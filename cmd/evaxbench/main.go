@@ -1,0 +1,117 @@
+// Command evaxbench regenerates the paper's evaluation: every table and
+// figure has a driver in internal/experiments, and this command runs them
+// and prints the corresponding rows and series. EXPERIMENTS.md records a
+// reference run next to the paper's numbers.
+//
+// Usage:
+//
+//	evaxbench                # run everything at the default scale
+//	evaxbench -exp fig16     # one experiment
+//	evaxbench -quick         # reduced scale (the test configuration)
+//	evaxbench -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"evax/internal/experiments"
+	"evax/internal/isa"
+)
+
+var experimentIDs = []string{
+	"table1", "table2", "fig6", "fig7", "fig9-11", "fig14", "fig15",
+	"fig16", "fig17", "fig18", "fig19", "fig20", "zeroday",
+}
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id or \"all\" (see -list)")
+		quick = flag.Bool("quick", false, "reduced scale (the test configuration)")
+		list  = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experimentIDs {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	opts := experiments.DefaultLabOptions()
+	if *quick {
+		opts = experiments.QuickLabOptions()
+	}
+
+	ids := experimentIDs
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+
+	needLab := false
+	for _, id := range ids {
+		if id != "table2" {
+			needLab = true
+		}
+	}
+
+	var lab *experiments.Lab
+	if needLab {
+		fmt.Println("building lab (corpus + AM-GAN + detectors)...")
+		t0 := time.Now()
+		lab = experiments.NewLab(opts)
+		fmt.Printf("lab ready in %v: %s\n\n", time.Since(t0).Round(time.Millisecond), lab.DS.Stats())
+	}
+
+	for _, id := range ids {
+		t0 := time.Now()
+		out, err := run(id, lab)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+	}
+}
+
+func run(id string, lab *experiments.Lab) (fmt.Stringer, error) {
+	switch id {
+	case "table1":
+		return experiments.TableI(lab), nil
+	case "table2":
+		return experiments.TableII(), nil
+	case "fig6":
+		return experiments.Figure6(lab), nil
+	case "fig7":
+		return experiments.Figure7(lab), nil
+	case "fig9-11", "fig9", "fig10", "fig11":
+		return experiments.Figure9to11(lab), nil
+	case "fig14":
+		return experiments.Figure14(lab), nil
+	case "fig15":
+		return experiments.Figure15(lab), nil
+	case "fig16":
+		return experiments.Figure16(lab), nil
+	case "fig17":
+		return experiments.Figure17(lab, 6), nil
+	case "fig18":
+		return experiments.Figure18(lab), nil
+	case "fig19":
+		return experiments.Figure19(lab, nil), nil // all folds
+	case "fig20":
+		return experiments.Figure20(lab, []int{1, 16, 32}), nil
+	case "zeroday":
+		return experiments.ZeroDayTPR(lab, []isa.Class{
+			isa.ClassRDRANDCovert, isa.ClassFlushConflict,
+			isa.ClassMedusaCacheIndex, isa.ClassDRAMA,
+			isa.ClassMicroScope, isa.ClassLeakyBuddies,
+			isa.ClassSMotherSpectre,
+		}), nil
+	}
+	return nil, fmt.Errorf("evaxbench: unknown experiment %q (try -list)", id)
+}

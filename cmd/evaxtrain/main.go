@@ -1,0 +1,112 @@
+// Command evaxtrain runs the full EVAX training pipeline: it builds the
+// sample corpus from simulator runs, trains the conditional AM-GAN, mines
+// the engineered security HPCs from the generator, trains the vaccinated
+// EVAX detector and the PerSpectron baseline, and reports training-set
+// statistics. Detector weights can be exported as JSON for inspection or a
+// microcode-style update.
+//
+// Usage:
+//
+//	evaxtrain -seeds 3 -interval 2000 -epochs 25
+//	evaxtrain -quick -weights weights.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"evax/internal/defense"
+	"evax/internal/experiments"
+)
+
+// weightsFile is the exported detector description.
+type weightsFile struct {
+	FeatureNames []string         `json:"feature_names"`
+	Engineered   []string         `json:"engineered"`
+	Weights      []float64        `json:"weights"`
+	Bias         float64          `json:"bias"`
+	Threshold    float64          `json:"threshold"`
+	StyleLoss    []float64        `json:"style_loss_per_epoch"`
+	Corpus       map[string]int64 `json:"corpus"`
+}
+
+func main() {
+	var (
+		seeds    = flag.Int("seeds", 3, "seeded instances per program")
+		interval = flag.Uint64("interval", 2000, "sampling cadence in instructions")
+		maxInstr = flag.Uint64("max", 60_000, "instruction cap per program run")
+		epochs   = flag.Int("epochs", 12, "AM-GAN training epochs")
+		quick    = flag.Bool("quick", false, "use the reduced test-scale configuration")
+		weights  = flag.String("weights", "", "write the trained EVAX detector to this JSON file")
+		bundleTo = flag.String("bundle", "", "write a deployable detection bundle (detector + normalizer) usable by evaxsim -bundle")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultLabOptions()
+	if *quick {
+		opts = experiments.QuickLabOptions()
+	} else {
+		opts.Corpus.Seeds = *seeds
+		opts.Corpus.Interval = *interval
+		opts.Corpus.MaxInstr = *maxInstr
+		opts.GANEpochs = *epochs
+	}
+
+	fmt.Println("building corpus and training (this runs the simulator on every workload and attack)...")
+	lab := experiments.NewLab(opts)
+	fmt.Println(lab.DS.Stats())
+	fmt.Println()
+	fmt.Print(experiments.TableI(lab))
+	fmt.Println()
+	tr := experiments.Figure7(lab)
+	fmt.Printf("AM-GAN style loss: %.5f (untrained) -> %.5f (final)\n",
+		tr.InitialStyleLoss, tr.StyleLoss[len(tr.StyleLoss)-1])
+	fmt.Printf("EVAX detector: %d features, threshold %.4f\n",
+		lab.EVAX.FS.Dim(), lab.EVAX.Threshold)
+	fmt.Printf("PerSpectron baseline: %d features, threshold %.4f\n",
+		lab.PerSpec.FS.Dim(), lab.PerSpec.Threshold)
+
+	if *weights != "" {
+		if err := writeWeights(*weights, lab); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote detector weights to %s\n", *weights)
+	}
+	if *bundleTo != "" {
+		if err := defense.SaveBundle(*bundleTo, lab.EVAX, lab.DS); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote deployable bundle to %s (run with: evaxsim -bundle %s -prog <attack>)\n", *bundleTo, *bundleTo)
+	}
+}
+
+func writeWeights(path string, lab *experiments.Lab) error {
+	layer := lab.EVAX.Net.Layers[0]
+	var engineered []string
+	for _, f := range lab.EVAX.FS.Engineered {
+		engineered = append(engineered, f.Name)
+	}
+	tr := experiments.Figure7(lab)
+	wf := weightsFile{
+		FeatureNames: lab.EVAX.FS.Names,
+		Engineered:   engineered,
+		Weights:      layer.W[0],
+		Bias:         layer.B[0],
+		Threshold:    lab.EVAX.Threshold,
+		StyleLoss:    tr.StyleLoss,
+		Corpus: map[string]int64{
+			"samples":  int64(len(lab.DS.Samples)),
+			"interval": int64(lab.Opts.Corpus.Interval),
+			"seeds":    int64(lab.Opts.Corpus.Seeds),
+		},
+	}
+	data, err := json.MarshalIndent(wf, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

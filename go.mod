@@ -1,0 +1,3 @@
+module evax
+
+go 1.22

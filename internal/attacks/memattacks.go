@@ -1,0 +1,360 @@
+package attacks
+
+import "evax/internal/isa"
+
+// Rowhammer hammers two rows in the same DRAM bank with flush+load pairs,
+// driving activation counts past the disturbance threshold to flip bits in
+// the victim row between them (integrity, not confidentiality).
+//
+// Aggressor addresses are one full row apart within a bank:
+// stride = rowBytes * banks (see internal/dram address mapping).
+func Rowhammer(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("rowhammer", isa.ClassRowhammer)
+	const rowStride = 8192 * 8 // DefaultConfig: 8KB rows, 8 banks
+	aggA := l.victim &^ 63
+	aggB := aggA + rowStride
+	victimRow := aggA + rowStride/2 // conceptually between the rows
+	b.InitMem(victimRow, 0xAAAA)
+	b.InitReg(isa.R1, aggA)
+	b.InitReg(isa.R2, aggB)
+	b.InitReg(isa.R3, victimRow)
+
+	b.SetPhase(isa.PhaseSetup)
+	b.Load(isa.R4, isa.R3, isa.R0, 0, 0) // victim value before
+
+	b.SetPhase(isa.PhaseLeak) // the hammering is the "attack body"
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(600*scale))
+	b.Label("hammer")
+	b.CLFlush(isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R5, isa.R1, isa.R0, 0, 0)
+	b.CLFlush(isa.R2, isa.R0, 0, 0)
+	b.Load(isa.R6, isa.R2, isa.R0, 0, 0)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "hammer")
+
+	b.SetPhase(isa.PhaseRecover)
+	b.CLFlush(isa.R3, isa.R0, 0, 0)
+	b.Load(isa.R7, isa.R3, isa.R0, 0, 0) // victim value after (flip check)
+	b.Xor(isa.R8, isa.R7, isa.R4)        // nonzero iff bits flipped
+	b.SetPhase(isa.PhaseNone)
+	return b.MustBuild()
+}
+
+// DRAMA is the DRAM row-buffer covert channel: the sender opens (or not) a
+// row; the receiver times an access to a different row in the same bank —
+// a row conflict is measurably slower than a row hit.
+func DRAMA(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("drama", isa.ClassDRAMA)
+	const rowStride = 8192 * 8
+	senderRow := l.victim &^ 63
+	recvRow := senderRow + rowStride
+	b.InitReg(isa.R1, senderRow)
+	b.InitReg(isa.R2, recvRow)
+	b.InitReg(isa.R6, uint64(l.secret)) // bits to transmit
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(60*scale))
+	b.Label("bit")
+	// Sender: open the row iff the current bit is 1.
+	b.SetPhase(isa.PhaseLeak)
+	b.Li(isa.R13, 1)
+	b.And(isa.R4, isa.R6, isa.R13)
+	b.Br(isa.CondEQ, isa.R4, isa.R0, "silent")
+	b.CLFlush(isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R5, isa.R1, isa.R0, 0, 0) // opens the sender row
+	b.Label("silent")
+	// Receiver: time an access to its own row in the same bank.
+	b.SetPhase(isa.PhaseTransmit)
+	b.CLFlush(isa.R2, isa.R0, 0, 0)
+	b.LFence()
+	b.RdTSC(isa.R7)
+	b.Load(isa.R8, isa.R2, isa.R0, 0, 0)
+	b.LFence()
+	b.RdTSC(isa.R9)
+	b.Sub(isa.R12, isa.R9, isa.R7) // conflict vs hit timing
+	// Rotate the secret for the next bit.
+	b.Shri(isa.R6, isa.R6, 1)
+	b.Br(isa.CondNE, isa.R6, isa.R0, "keep")
+	b.Li(isa.R6, l.secret)
+	b.Label("keep")
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "bit")
+	return b.MustBuild()
+}
+
+// BranchScope reads a victim branch's direction out of the shared pattern
+// history table: an attacker branch aliased onto the same PHT entry
+// mispredicts (slow) or not (fast) depending on the secret direction.
+//
+// With a 2048-entry local table and 4-byte instructions, branches 512
+// instruction slots apart alias to the same entry.
+func BranchScope(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("branchscope", isa.ClassBranchScope)
+	b.InitMem(l.victim, uint64(l.secret&1))
+	b.InitReg(isa.R1, l.victim)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(25*scale))
+	b.Label("round")
+	// Victim branch: direction = secret bit.
+	b.SetPhase(isa.PhaseLeak)
+	b.Load(isa.R2, isa.R1, isa.R0, 0, 0)
+	victimBr := b.Here()
+	b.Br(isa.CondNE, isa.R2, isa.R0, "vtaken")
+	b.Nop()
+	b.Label("vtaken")
+	// Pad so the attacker branch (one slot after the timing read)
+	// aliases the victim's PHT entry: local-table index repeats every
+	// 512 instruction slots.
+	b.SetPhase(isa.PhaseTransmit)
+	pad := (512 - (b.Here()+1-victimBr)%512) % 512
+	for i := 0; i < pad; i++ {
+		b.Nop()
+	}
+	b.RdTSC(isa.R5)
+	b.Br(isa.CondEQ, isa.R0, isa.R0, "ataken") // always taken
+	b.Nop()
+	b.Label("ataken")
+	b.LFence()
+	b.RdTSC(isa.R6)
+	b.Sub(isa.R7, isa.R6, isa.R5)
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// LeakyBuddies models the CPU side of the integrated CPU-GPU contention
+// channel: the sender thrashes the shared L2 (or idles); the receiver times
+// sweeps through its own L2-resident buffer.
+func LeakyBuddies(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("leaky-buddies", isa.ClassLeakyBuddies)
+	thrashBase := uint64(0xA0_0000)
+	recvBase := uint64(0xC0_0000)
+	b.InitReg(isa.R1, thrashBase)
+	b.InitReg(isa.R2, recvBase)
+	b.InitReg(isa.R6, uint64(l.secret))
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(12*scale))
+	b.Label("bit")
+	b.SetPhase(isa.PhaseLeak)
+	b.Li(isa.R13, 1)
+	b.And(isa.R4, isa.R6, isa.R13)
+	b.Br(isa.CondEQ, isa.R4, isa.R0, "idle")
+	// Thrash: stream 256 distinct lines through L2.
+	b.Li(isa.R5, 0)
+	b.Li(isa.R7, 256)
+	b.Label("thrash")
+	b.Load(isa.R8, isa.R1, isa.R5, 64, 0)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Br(isa.CondNE, isa.R5, isa.R7, "thrash")
+	b.Label("idle")
+	// Receiver: timed sweep over 32 lines.
+	b.SetPhase(isa.PhaseTransmit)
+	b.Li(isa.R5, 0)
+	b.Li(isa.R7, 32)
+	b.RdTSC(isa.R14)
+	b.Label("sweep")
+	b.Load(isa.R9, isa.R2, isa.R5, 64, 0)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Br(isa.CondNE, isa.R5, isa.R7, "sweep")
+	b.RdTSC(isa.R15)
+	b.Sub(isa.R16, isa.R15, isa.R14)
+	b.Shri(isa.R6, isa.R6, 1)
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "bit")
+	return b.MustBuild()
+}
+
+// RDRANDCovert transmits bits through contention on the shared hardware
+// random number generator: the sender issues RDRAND bursts (or idles); the
+// receiver times its own RDRAND.
+func RDRANDCovert(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("rdrand-covert", isa.ClassRDRANDCovert)
+	b.InitReg(isa.R6, uint64(l.secret)|0x10) // bit stream
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(80*scale))
+	b.Label("bit")
+	b.SetPhase(isa.PhaseLeak)
+	b.Li(isa.R13, 1)
+	b.And(isa.R4, isa.R6, isa.R13)
+	b.Br(isa.CondEQ, isa.R4, isa.R0, "idle")
+	// Sender burst occupies the RNG.
+	b.RdRand(isa.R5)
+	b.RdRand(isa.R5)
+	b.RdRand(isa.R5)
+	b.Label("idle")
+	// Receiver: timed RDRAND observes the contention.
+	b.SetPhase(isa.PhaseTransmit)
+	b.LFence()
+	b.RdTSC(isa.R7)
+	b.RdRand(isa.R8)
+	b.LFence()
+	b.RdTSC(isa.R9)
+	b.Sub(isa.R12, isa.R9, isa.R7)
+	b.Shri(isa.R6, isa.R6, 1)
+	b.Br(isa.CondNE, isa.R6, isa.R0, "next")
+	b.Li(isa.R6, l.secret|0x10)
+	b.Label("next")
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "bit")
+	return b.MustBuild()
+}
+
+// FlushConflict is the KASLR bypass that defeats current hardware fixes:
+// CLFLUSH executes measurably faster or slower depending on whether the
+// target kernel address is cached, revealing which kernel pages are mapped
+// and resident — without any architectural access.
+func FlushConflict(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("flushconflict", isa.ClassFlushConflict)
+	b.InitReg(isa.R1, l.kernel)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(20*scale))
+	b.Label("round")
+	b.SetPhase(isa.PhaseSetup)
+	b.Syscall() // kernel activity caches some kernel lines
+	b.SetPhase(isa.PhaseLeak)
+	// Probe 8 candidate kernel addresses by flush timing.
+	b.Li(isa.R4, 0)
+	b.Li(isa.R5, 8)
+	b.Label("cand")
+	b.LFence()
+	b.RdTSC(isa.R6)
+	b.CLFlush(isa.R1, isa.R4, 0x1000, 0)
+	b.LFence()
+	b.RdTSC(isa.R7)
+	b.Sub(isa.R8, isa.R7, isa.R6) // slow flush => line was cached => mapped
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Br(isa.CondNE, isa.R4, isa.R5, "cand")
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// FlushFlush is the stealthy cache attack that never loads the probe lines
+// itself: it measures CLFLUSH timing, which depends on line presence, so
+// the attacker causes no cache misses of its own.
+func FlushFlush(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("flush-flush", isa.ClassFlushFlush)
+	b.InitMem(l.victim, uint64(l.secret))
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, l.probe)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(25*scale))
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	// Victim: accesses the probe line indexed by its secret.
+	b.SetPhase(isa.PhaseLeak)
+	b.Load(isa.R4, isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R5, isa.R2, isa.R4, probeStride, 0)
+	// Attacker: flush-timing sweep (no loads!).
+	b.SetPhase(isa.PhaseTransmit)
+	b.Li(isa.R6, 0)
+	b.Li(isa.R7, numGuesses)
+	b.Label("probe")
+	b.LFence()
+	b.RdTSC(isa.R8)
+	b.CLFlush(isa.R2, isa.R6, probeStride, 0)
+	b.LFence()
+	b.RdTSC(isa.R9)
+	b.Sub(isa.R12, isa.R9, isa.R8)
+	b.Addi(isa.R6, isa.R6, 1)
+	b.Br(isa.CondNE, isa.R6, isa.R7, "probe")
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// FlushReload is the classic shared-memory cache attack: flush the probe
+// lines, let the victim run, reload with timing.
+func FlushReload(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("flush-reload", isa.ClassFlushReload)
+	b.InitMem(l.victim, uint64(l.secret))
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, l.probe)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(25*scale))
+	b.Label("round")
+	emitFlushProbe(b, l, isa.PhaseSetup, "r")
+	// Victim: secret-indexed access.
+	b.SetPhase(isa.PhaseLeak)
+	b.Load(isa.R4, isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R5, isa.R2, isa.R4, probeStride, 0)
+	emitReload(b, l, isa.R30)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// PrimeProbe fills a cache set with the attacker's eviction set, lets the
+// victim access its secret-dependent line, then times a re-walk of the
+// eviction set: a slow way reveals the victim's set.
+func PrimeProbe(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	l := newLayout(seed)
+	b := isa.NewBuilder("prime-probe", isa.ClassPrimeProbe)
+	// L1D: 64KB, 8-way, 64B lines -> 128 sets; same-set stride is 8KB.
+	const setStride = 128 * 64
+	evBase := uint64(0xE0_0000) // eviction set base, set 0
+	b.InitMem(l.victim, uint64(l.secret))
+	b.InitReg(isa.R1, l.victim)
+	b.InitReg(isa.R2, evBase)
+	b.InitReg(isa.R3, probeBase) // victim's target region (set-aliased)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(15*scale))
+	b.Label("round")
+	// Prime: fill all 8 ways of the target set.
+	b.SetPhase(isa.PhaseSetup)
+	b.Li(isa.R4, 0)
+	b.Li(isa.R5, 8)
+	b.Label("prime")
+	b.Load(isa.R6, isa.R2, isa.R4, setStride, 0)
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Br(isa.CondNE, isa.R4, isa.R5, "prime")
+	// Victim: secret-dependent access lands in some set.
+	b.SetPhase(isa.PhaseLeak)
+	b.Load(isa.R7, isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R8, isa.R3, isa.R7, setStride, 0)
+	// Probe: timed re-walk of the eviction set.
+	b.SetPhase(isa.PhaseTransmit)
+	b.Li(isa.R4, 0)
+	b.RdTSC(isa.R12)
+	b.Label("probe")
+	b.Load(isa.R6, isa.R2, isa.R4, setStride, 0)
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Br(isa.CondNE, isa.R4, isa.R5, "probe")
+	b.RdTSC(isa.R13)
+	b.Sub(isa.R14, isa.R13, isa.R12)
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}

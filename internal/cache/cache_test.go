@@ -1,0 +1,290 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newL1(backLat uint64) *Cache { return New(L1DConfig(), FixedLatency(backLat)) }
+
+func TestHitAfterMiss(t *testing.T) {
+	c := newL1(100)
+	missLat := c.Access(0, 0x1000, false)
+	hitLat := c.Access(missLat, 0x1000, false)
+	if missLat <= hitLat {
+		t.Fatalf("miss (%d) not slower than hit (%d)", missLat, hitLat)
+	}
+	if c.Stats.ReadMisses != 1 || c.Stats.ReadHits != 1 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+}
+
+func TestSameLineDifferentWordsHit(t *testing.T) {
+	c := newL1(100)
+	c.Access(0, 0x1000, false)
+	lat := c.Access(200, 0x1038, false) // same 64B line
+	if lat != 3 {                       // tag 1 + data 2
+		t.Fatalf("same-line access latency = %d, want 3", lat)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	cfg := Config{Name: "tiny", Size: 256, LineSize: 64, Assoc: 2,
+		TagLatency: 1, DataLatency: 1, RespLatency: 1, MSHRs: 4, WriteBufs: 2}
+	c := New(cfg, FixedLatency(50))
+	// 2 sets, 2 ways. Set 0 holds lines at stride 128.
+	now := uint64(0)
+	now += c.Access(now, 0, false)   // way 0
+	now += c.Access(now, 128, false) // way 1
+	now += c.Access(now, 0, false)   // touch line 0 -> line 128 is LRU
+	now += c.Access(now, 256, false) // evicts 128
+	if !c.Present(0) {
+		t.Fatal("MRU line 0 evicted")
+	}
+	if c.Present(128) {
+		t.Fatal("LRU line 128 not evicted")
+	}
+	if c.Stats.CleanEvicts != 1 {
+		t.Fatalf("clean evicts = %d, want 1", c.Stats.CleanEvicts)
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	cfg := Config{Name: "tiny", Size: 128, LineSize: 64, Assoc: 1,
+		TagLatency: 1, DataLatency: 1, RespLatency: 1, MSHRs: 4, WriteBufs: 2}
+	c := New(cfg, FixedLatency(50))
+	c.Access(0, 0, true)      // dirty line in set 0
+	c.Access(100, 128, false) // conflicts, evicts dirty line
+	if c.Stats.DirtyEvicts != 1 {
+		t.Fatalf("dirty evicts = %d, want 1", c.Stats.DirtyEvicts)
+	}
+}
+
+func TestMSHRCoalescing(t *testing.T) {
+	c := newL1(200)
+	lat1 := c.Access(0, 0x2000, false)
+	// Second access to the same line 10 cycles later coalesces and waits
+	// only the residual time.
+	lat2 := c.Access(10, 0x2008, false)
+	if c.Stats.MSHRHits != 1 {
+		t.Fatalf("mshr hits = %d, want 1", c.Stats.MSHRHits)
+	}
+	if lat2 >= lat1 {
+		t.Fatalf("coalesced access (%d) not faster than original miss (%d)", lat2, lat1)
+	}
+}
+
+func TestMSHRFullStalls(t *testing.T) {
+	cfg := L1DConfig()
+	cfg.MSHRs = 2
+	c := New(cfg, FixedLatency(500))
+	c.Access(0, 0x0000, false)
+	c.Access(0, 0x1000, false)
+	c.Access(0, 0x2000, false) // third concurrent miss: MSHRs full
+	if c.Stats.MSHRFullStalls != 1 {
+		t.Fatalf("mshr full stalls = %d, want 1", c.Stats.MSHRFullStalls)
+	}
+}
+
+func TestFlushTimingLeaksPresence(t *testing.T) {
+	// Flush+Flush primitive: flushing a cached line takes longer than
+	// flushing an uncached one.
+	c := newL1(100)
+	c.Access(0, 0x3000, false)
+	latPresent := c.Flush(200, 0x3000)
+	latAbsent := c.Flush(400, 0x3000)
+	if latPresent <= latAbsent {
+		t.Fatalf("flush(present)=%d not slower than flush(absent)=%d", latPresent, latAbsent)
+	}
+	if c.Present(0x3000) {
+		t.Fatal("line still present after flush")
+	}
+	if c.Stats.Flushes != 1 || c.Stats.FlushMisses != 1 {
+		t.Fatalf("flush stats = %+v", c.Stats)
+	}
+}
+
+func TestFlushPropagatesToL2(t *testing.T) {
+	l2 := New(L2Config(), FixedLatency(200))
+	l1 := New(L1DConfig(), l2)
+	l1.Access(0, 0x4000, false)
+	if !l2.Present(0x4000) {
+		t.Fatal("L2 not filled on L1 miss")
+	}
+	l1.Flush(100, 0x4000)
+	if l2.Present(0x4000) {
+		t.Fatal("L2 line survived flush")
+	}
+}
+
+func TestReadNoAllocateLeavesNoState(t *testing.T) {
+	l2 := New(L2Config(), FixedLatency(200))
+	l1 := New(L1DConfig(), l2)
+	lat := l1.ReadNoAllocate(0, 0x5000)
+	if l1.Present(0x5000) || l2.Present(0x5000) {
+		t.Fatal("invisible read left cache state")
+	}
+	if lat == 0 {
+		t.Fatal("invisible read had zero latency")
+	}
+	// And it should see real hierarchy latency: slower than an L1 hit.
+	l1.Access(0, 0x6000, false)
+	hit := l1.Access(500, 0x6000, false)
+	if lat <= hit {
+		t.Fatalf("invisible miss (%d) not slower than hit (%d)", lat, hit)
+	}
+}
+
+func TestPrefetchWarmsLine(t *testing.T) {
+	c := newL1(100)
+	c.Prefetch(0, 0x7000)
+	lat := c.Access(500, 0x7000, false)
+	if lat != 3 {
+		t.Fatalf("access after prefetch = %d, want hit latency 3", lat)
+	}
+	if c.Stats.PrefetchFills != 1 {
+		t.Fatalf("prefetch fills = %d, want 1", c.Stats.PrefetchFills)
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := newL1(100)
+	c.Access(0, 0x8000, false)
+	c.Invalidate(0x8000)
+	if c.Present(0x8000) {
+		t.Fatal("line present after invalidate")
+	}
+	if c.Stats.InvalidatesRecvd != 1 {
+		t.Fatalf("invalidates = %d", c.Stats.InvalidatesRecvd)
+	}
+}
+
+func TestWriteBufferStall(t *testing.T) {
+	cfg := Config{Name: "tiny", Size: 128, LineSize: 64, Assoc: 1,
+		TagLatency: 1, DataLatency: 1, RespLatency: 1, MSHRs: 8, WriteBufs: 1}
+	c := New(cfg, FixedLatency(400))
+	// Generate two dirty evictions from the same set in quick succession.
+	c.Access(0, 0, true)
+	c.Access(2, 128, true) // evicts dirty 0 (uses the only write buffer)
+	c.Access(4, 256, true) // evicts dirty 128 -> buffer still draining
+	if c.Stats.WriteBufFull == 0 {
+		t.Fatal("expected a write-buffer-full stall")
+	}
+}
+
+func TestOccupiedWays(t *testing.T) {
+	cfg := Config{Name: "tiny", Size: 512, LineSize: 64, Assoc: 4,
+		TagLatency: 1, DataLatency: 1, RespLatency: 1, MSHRs: 8, WriteBufs: 2}
+	c := New(cfg, FixedLatency(10))
+	// 2 sets; fill 3 ways of set 0 (stride = 128 bytes).
+	for i := 0; i < 3; i++ {
+		c.Access(uint64(i*100), uint64(i*128), false)
+	}
+	if got := c.OccupiedWays(0); got != 3 {
+		t.Fatalf("occupied ways = %d, want 3", got)
+	}
+}
+
+func TestGeometryAccessors(t *testing.T) {
+	c := New(L2Config(), FixedLatency(1))
+	if c.NumSets() != (2<<20)/(64*8) {
+		t.Fatalf("L2 sets = %d", c.NumSets())
+	}
+	if c.LineSize() != 64 || c.Assoc() != 8 {
+		t.Fatalf("geometry = %d/%d", c.LineSize(), c.Assoc())
+	}
+}
+
+func TestPropertyHitNeverSlowerThanMiss(t *testing.T) {
+	// Property: for any address sequence, a re-access immediately after a
+	// fill is at most the miss latency.
+	f := func(addrs []uint16) bool {
+		c := newL1(80)
+		now := uint64(0)
+		for _, a16 := range addrs {
+			a := uint64(a16) << 3
+			miss := c.Access(now, a, false)
+			now += miss
+			hit := c.Access(now, a, false)
+			now += hit
+			if hit > miss {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecBufferInvisibleUntilExposed(t *testing.T) {
+	l2 := New(L2Config(), FixedLatency(200))
+	l1 := New(L1DConfig(), l2)
+	sb := NewSpecBuffer(l1, 16)
+	lat := sb.Load(0, 0x9000)
+	if lat == 0 {
+		t.Fatal("spec load free")
+	}
+	if l1.Present(0x9000) || l2.Present(0x9000) {
+		t.Fatal("speculative load left cache state before exposure")
+	}
+	sb.Expose(500, 0x9000)
+	if !l1.Present(0x9000) {
+		t.Fatal("exposed line not in L1")
+	}
+	if l1.Stats.SpecFills != 1 || l1.Stats.SpecExposes != 1 {
+		t.Fatalf("spec stats = %+v", l1.Stats)
+	}
+}
+
+func TestSpecBufferSquashLeavesNoTrace(t *testing.T) {
+	l1 := newL1(100)
+	sb := NewSpecBuffer(l1, 16)
+	sb.Load(0, 0xA000)
+	sb.Squash(0xA000)
+	if l1.Present(0xA000) {
+		t.Fatal("squashed speculative line visible")
+	}
+	if sb.Len() != 0 {
+		t.Fatal("buffer not empty after squash")
+	}
+	if l1.Stats.SpecSquashed != 1 {
+		t.Fatalf("squashes = %d", l1.Stats.SpecSquashed)
+	}
+	// Exposing a squashed line is a no-op.
+	if lat := sb.Expose(100, 0xA000); lat != 0 {
+		t.Fatalf("expose after squash charged %d cycles", lat)
+	}
+}
+
+func TestSpecBufferHitFast(t *testing.T) {
+	l1 := newL1(100)
+	sb := NewSpecBuffer(l1, 16)
+	first := sb.Load(0, 0xB000)
+	second := sb.Load(200, 0xB000)
+	if second >= first {
+		t.Fatalf("buffered spec load (%d) not faster than first (%d)", second, first)
+	}
+	if l1.Stats.SpecBufHits != 1 {
+		t.Fatalf("spec buf hits = %d", l1.Stats.SpecBufHits)
+	}
+}
+
+func TestSpecBufferCapacity(t *testing.T) {
+	l1 := newL1(100)
+	sb := NewSpecBuffer(l1, 2)
+	sb.Load(0, 0x0000)
+	sb.Load(1, 0x1000)
+	sb.Load(2, 0x2000) // evicts oldest
+	if sb.Len() != 2 {
+		t.Fatalf("len = %d, want 2", sb.Len())
+	}
+	if sb.FullStalls != 1 {
+		t.Fatalf("full stalls = %d, want 1", sb.FullStalls)
+	}
+	sb.SquashAll()
+	if sb.Len() != 0 {
+		t.Fatal("SquashAll left entries")
+	}
+}

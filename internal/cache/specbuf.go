@@ -1,0 +1,86 @@
+package cache
+
+// SpecBuffer implements the InvisiSpec speculative buffer: speculative loads
+// deposit their lines here instead of in the cache; at the visibility point
+// the line is exposed (re-fetched into the cache), and on a squash the entry
+// is discarded leaving no cache footprint.
+//
+// The paper attaches a SpecBuffer to each L1 and one to the LLC; this model
+// uses one buffer in front of the L1D, with exposure walking the hierarchy,
+// which preserves the two first-order costs: the extra exposure access and
+// the loss of cross-load reuse while speculative.
+type SpecBuffer struct {
+	cache   *Cache
+	entries map[uint64]uint64 // line address -> fill cycle
+	cap     int
+
+	// FullStalls counts speculative loads delayed by a full buffer.
+	FullStalls uint64
+}
+
+// NewSpecBuffer creates a buffer of capacity entries in front of c.
+func NewSpecBuffer(c *Cache, capacity int) *SpecBuffer {
+	return &SpecBuffer{cache: c, entries: make(map[uint64]uint64, capacity), cap: capacity}
+}
+
+// Load performs an invisible speculative load: the latency is what the
+// hierarchy would charge, but no cache state changes; the line is recorded
+// in the buffer for later exposure.
+func (s *SpecBuffer) Load(now uint64, addr uint64) uint64 {
+	lineAddr := s.cache.LineAddr(addr)
+	if _, ok := s.entries[lineAddr]; ok {
+		s.cache.Stats.SpecBufHits++
+		return s.cache.cfg.TagLatency + s.cache.cfg.DataLatency
+	}
+	lat := s.cache.ReadNoAllocate(now, addr)
+	if len(s.entries) >= s.cap {
+		// Buffer full: the load must wait for an exposure slot; charge a
+		// drain penalty and evict the oldest entry.
+		s.FullStalls++
+		lat += s.cache.cfg.RespLatency
+		var oldest uint64
+		var oldestAt uint64 = ^uint64(0)
+		for a, at := range s.entries {
+			if at < oldestAt {
+				oldest, oldestAt = a, at
+			}
+		}
+		delete(s.entries, oldest)
+	}
+	s.entries[lineAddr] = now
+	s.cache.Stats.SpecFills++
+	return lat
+}
+
+// Expose makes the buffered line architecturally visible: the cache performs
+// the real fill. Returns the exposure latency (charged off the critical path
+// of the exposing instruction's commit in the pipeline model, but consuming
+// cache bandwidth).
+func (s *SpecBuffer) Expose(now uint64, addr uint64) uint64 {
+	lineAddr := s.cache.LineAddr(addr)
+	if _, ok := s.entries[lineAddr]; !ok {
+		return 0
+	}
+	delete(s.entries, lineAddr)
+	s.cache.Stats.SpecExposes++
+	return s.cache.Access(now, addr, false)
+}
+
+// Squash discards the buffered line without exposing it (misspeculation).
+func (s *SpecBuffer) Squash(addr uint64) {
+	lineAddr := s.cache.LineAddr(addr)
+	if _, ok := s.entries[lineAddr]; ok {
+		delete(s.entries, lineAddr)
+		s.cache.Stats.SpecSquashed++
+	}
+}
+
+// SquashAll discards every buffered line (pipeline flush).
+func (s *SpecBuffer) SquashAll() {
+	n := uint64(len(s.entries))
+	s.cache.Stats.SpecSquashed += n
+	clear(s.entries)
+}
+
+// Len reports the current occupancy.
+func (s *SpecBuffer) Len() int { return len(s.entries) }

@@ -1,0 +1,89 @@
+package dataset
+
+import (
+	"evax/internal/attacks"
+	"evax/internal/isa"
+	"evax/internal/sim"
+	"evax/internal/workload"
+)
+
+// CorpusOptions parameterizes corpus generation. The defaults trade volume
+// for runtime; experiments scale Seeds up for tighter statistics.
+type CorpusOptions struct {
+	// Seeds is the number of distinct seeded instances per program.
+	Seeds int
+	// Interval is the sampling cadence in instructions (paper: 100, 1k,
+	// 10k, 100k).
+	Interval uint64
+	// MaxInstr caps each program run.
+	MaxInstr uint64
+	// Scale is passed to the benign program builders (loop trips).
+	Scale int
+	// AttackScale is passed to attack builders (leak rounds). Attack
+	// programs are short per round, so this defaults much higher than
+	// Scale to give the sampler enough windows.
+	AttackScale int
+	// Config overrides the machine configuration (zero value: default).
+	Config *sim.Config
+	// SeedOffset shifts every program seed, so two corpora with
+	// different offsets contain disjoint program instances (train vs
+	// evaluation corpora).
+	SeedOffset int64
+	// AttackFilter, when non-nil, selects which attack classes to
+	// include. BenignOnly skips attacks entirely.
+	AttackFilter func(isa.Class) bool
+	BenignOnly   bool
+}
+
+// DefaultCorpusOptions returns a configuration that builds a corpus of a
+// few thousand windows in a few seconds.
+func DefaultCorpusOptions() CorpusOptions {
+	return CorpusOptions{
+		Seeds:       3,
+		Interval:    2000,
+		MaxInstr:    60_000,
+		Scale:       3,
+		AttackScale: 30,
+	}
+}
+
+func (o CorpusOptions) config() sim.Config {
+	if o.Config != nil {
+		return *o.Config
+	}
+	return sim.DefaultConfig()
+}
+
+// BuildCorpus runs every benign workload and every attack category under
+// the options, returning the dataset normalized by its own maxima.
+func BuildCorpus(o CorpusOptions) *Dataset { return New(CollectAll(o)) }
+
+// CollectAll gathers raw (unnormalized) samples for the options — callers
+// evaluating against an existing training corpus normalize these with the
+// training dataset's maxima instead of fitting new ones.
+func CollectAll(o CorpusOptions) []Sample {
+	var samples []Sample
+	cfg := o.config()
+	for _, w := range workload.All() {
+		for s := 0; s < o.Seeds; s++ {
+			p := w.Build(int64(s)*37+1+o.SeedOffset, o.Scale)
+			samples = append(samples, Collect(cfg, p, o.Interval, o.MaxInstr)...)
+		}
+	}
+	if !o.BenignOnly {
+		for _, a := range attacks.All() {
+			if o.AttackFilter != nil && !o.AttackFilter(a.Class) {
+				continue
+			}
+			ascale := o.AttackScale
+			if ascale < 1 {
+				ascale = 1
+			}
+			for s := 0; s < o.Seeds; s++ {
+				p := a.Build(int64(s)*41+11+o.SeedOffset, ascale)
+				samples = append(samples, Collect(cfg, p, o.Interval, o.MaxInstr)...)
+			}
+		}
+	}
+	return samples
+}

@@ -1,0 +1,179 @@
+package dataset
+
+import (
+	"testing"
+
+	"evax/internal/attacks"
+	"evax/internal/isa"
+	"evax/internal/sim"
+	"evax/internal/workload"
+)
+
+func TestCollectBenign(t *testing.T) {
+	p := workload.Compress(1, 4)
+	samples := Collect(sim.DefaultConfig(), p, 2000, 40_000)
+	if len(samples) < 5 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if s.Malicious || s.Class != isa.ClassBenign {
+			t.Fatal("benign mislabelled")
+		}
+		if len(s.Raw) != sim.CounterCatalog().Len() {
+			t.Fatalf("raw dim %d", len(s.Raw))
+		}
+		if len(s.Derived) != 7*len(s.Raw) {
+			t.Fatalf("derived dim %d", len(s.Derived))
+		}
+		if s.Instructions == 0 {
+			t.Fatal("zero-instruction window")
+		}
+	}
+}
+
+func TestCollectAttackPhases(t *testing.T) {
+	p := attacks.Meltdown(11, 30)
+	samples := Collect(sim.DefaultConfig(), p, 1000, 80_000)
+	if len(samples) < 5 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+	leak := 0
+	for _, s := range samples {
+		if !s.Malicious {
+			t.Fatal("attack sample not malicious")
+		}
+		if s.HasPhase(isa.PhaseLeak) {
+			leak++
+		}
+	}
+	if leak == 0 {
+		t.Fatal("no window flagged with the leak phase")
+	}
+}
+
+func TestNewNormalizes(t *testing.T) {
+	samples := []Sample{
+		{Derived: []float64{2, 10}},
+		{Derived: []float64{4, 0}},
+	}
+	d := New(samples)
+	if d.Samples[0].Derived[0] != 0.5 || d.Samples[1].Derived[0] != 1 {
+		t.Fatalf("normalization wrong: %v %v", d.Samples[0].Derived, d.Samples[1].Derived)
+	}
+	// Same scaling applies to external vectors.
+	v := []float64{8, 5}
+	d.NormalizeInPlace(v)
+	if v[0] != 1 || v[1] != 0.5 {
+		t.Fatalf("external normalize wrong: %v", v)
+	}
+}
+
+func TestTransmitOnly(t *testing.T) {
+	s := Sample{Phases: 1<<uint(isa.PhaseTransmit) | 1<<uint(isa.PhaseNone)}
+	if !s.TransmitOnly() {
+		t.Fatal("transmit-only window not detected")
+	}
+	s.Phases |= 1 << uint(isa.PhaseLeak)
+	if s.TransmitOnly() {
+		t.Fatal("leak window misclassified as transmit-only")
+	}
+	if (&Sample{Phases: 1 << uint(isa.PhaseNone)}).TransmitOnly() {
+		t.Fatal("phase-free window misclassified")
+	}
+}
+
+func TestRandomSplit(t *testing.T) {
+	samples := make([]Sample, 100)
+	for i := range samples {
+		samples[i].Derived = []float64{float64(i)}
+	}
+	d := New(samples)
+	sp := d.RandomSplit(1, 0.8)
+	if len(sp.Train) != 80 || len(sp.Test) != 20 {
+		t.Fatalf("split sizes %d/%d", len(sp.Train), len(sp.Test))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, sp.Train...), sp.Test...) {
+		if seen[i] {
+			t.Fatal("index appears twice")
+		}
+		seen[i] = true
+	}
+}
+
+func TestKFoldByAttack(t *testing.T) {
+	var samples []Sample
+	add := func(c isa.Class, n int, phases uint8) {
+		for i := 0; i < n; i++ {
+			samples = append(samples, Sample{
+				Derived:   []float64{float64(i)},
+				Class:     c,
+				Malicious: c.Malicious(),
+				Phases:    phases,
+			})
+		}
+	}
+	add(isa.ClassBenign, 30, 1<<uint(isa.PhaseNone))
+	add(isa.ClassMeltdown, 10, 1<<uint(isa.PhaseLeak))
+	add(isa.ClassSpectrePHT, 10, 1<<uint(isa.PhaseLeak))
+	add(isa.ClassSpectrePHT, 4, 1<<uint(isa.PhaseTransmit)) // excluded from test
+	d := New(samples)
+	folds := d.KFoldByAttack(1)
+	if len(folds) != 2 {
+		t.Fatalf("folds = %d, want 2", len(folds))
+	}
+	for _, f := range folds {
+		for _, i := range f.Train {
+			if d.Samples[i].Class == f.HeldOut {
+				t.Fatalf("held-out class %v leaked into training", f.HeldOut)
+			}
+		}
+		attackTest := 0
+		for _, i := range f.Test {
+			s := d.Samples[i]
+			if s.Class == f.HeldOut {
+				attackTest++
+				if s.TransmitOnly() {
+					t.Fatal("transmit-only window in held-out test set")
+				}
+			} else if s.Class != isa.ClassBenign {
+				t.Fatal("foreign attack class in test set")
+			}
+		}
+		if attackTest == 0 {
+			t.Fatal("no held-out samples in test set")
+		}
+	}
+}
+
+func TestBuildCorpusSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build")
+	}
+	o := CorpusOptions{
+		Seeds:       1,
+		Interval:    2000,
+		MaxInstr:    20_000,
+		Scale:       1,
+		AttackScale: 20,
+		AttackFilter: func(c isa.Class) bool {
+			return c == isa.ClassMeltdown || c == isa.ClassSpectrePHT
+		},
+	}
+	d := BuildCorpus(o)
+	if len(d.Samples) < 50 {
+		t.Fatalf("corpus too small: %s", d.Stats())
+	}
+	classes := d.Classes()
+	if classes[0] != isa.ClassBenign || len(classes) != 3 {
+		t.Fatalf("classes = %v", classes)
+	}
+	// All derived values normalized.
+	for _, s := range d.Samples {
+		for _, v := range s.Derived {
+			if v < 0 || v > 1 {
+				t.Fatalf("unnormalized value %v", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package defense
+
+import (
+	"evax/internal/dataset"
+	"evax/internal/detect"
+	"evax/internal/hpc"
+)
+
+// DetectorFlagger bridges a trained detector into the controller: each
+// sampling window is expanded into the derived feature space, normalized
+// with the training corpus's maxima, and scored.
+type DetectorFlagger struct {
+	Det *detect.Detector
+	DS  *dataset.Dataset
+}
+
+// NewDetectorFlagger wires det (trained on ds) into the controller.
+func NewDetectorFlagger(det *detect.Detector, ds *dataset.Dataset) *DetectorFlagger {
+	return &DetectorFlagger{Det: det, DS: ds}
+}
+
+// FlagWindow implements Flagger.
+func (f *DetectorFlagger) FlagWindow(s hpc.Sample) bool {
+	derived := hpc.ExpandDerived(s)
+	f.DS.NormalizeInPlace(derived)
+	return f.Det.Flag(derived)
+}

@@ -1,0 +1,52 @@
+package defense
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"evax/internal/dataset"
+	"evax/internal/detect"
+)
+
+// bundle is the deployable detection pipeline: the trained detector plus
+// the normalization maxima its inputs were scaled with — the paper's
+// vendor-distributed update unit (weights and feature set travel together,
+// like a microcode patch).
+type bundle struct {
+	Detector json.RawMessage `json:"detector"`
+	Maxima   []float64       `json:"maxima"`
+}
+
+// SaveBundle writes a detector and its training normalizer to one file.
+func SaveBundle(path string, det *detect.Detector, ds *dataset.Dataset) error {
+	dd, err := det.Marshal()
+	if err != nil {
+		return err
+	}
+	data, err := json.Marshal(bundle{Detector: dd, Maxima: ds.Maxima()})
+	if err != nil {
+		return fmt.Errorf("defense: encoding bundle: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadBundle reads a bundle and returns a ready-to-run Flagger.
+func LoadBundle(path string) (*DetectorFlagger, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("defense: decoding %s: %w", path, err)
+	}
+	det, err := detect.Unmarshal(b.Detector)
+	if err != nil {
+		return nil, err
+	}
+	if len(b.Maxima) == 0 {
+		return nil, fmt.Errorf("defense: bundle %s has no normalization maxima", path)
+	}
+	return NewDetectorFlagger(det, dataset.FromMaxima(b.Maxima)), nil
+}

@@ -1,0 +1,141 @@
+package defense
+
+import (
+	"testing"
+
+	"evax/internal/attacks"
+	"evax/internal/hpc"
+	"evax/internal/isa"
+	"evax/internal/sim"
+	"evax/internal/workload"
+)
+
+func benignProg() *isa.Program { return workload.Stream(1, 2) }
+
+// flagEvery returns a Flagger firing on every n-th window.
+func flagEvery(n int) Flagger {
+	count := 0
+	return FlaggerFunc(func(hpc.Sample) bool {
+		count++
+		return count%n == 0
+	})
+}
+
+func TestNeverOnMatchesUnprotected(t *testing.T) {
+	p := benignProg()
+	res := RunProgram(sim.DefaultConfig(), p, NeverOn, DefaultConfig(sim.PolicyFenceAfterBranch), 10_000_000)
+	m := sim.New(sim.DefaultConfig(), benignProg())
+	m.Run(10_000_000)
+	if res.Instructions != m.Instructions() {
+		t.Fatalf("instruction counts differ: %d vs %d", res.Instructions, m.Instructions())
+	}
+	ratio := float64(res.Cycles) / float64(m.Cycles())
+	if ratio > 1.02 || ratio < 0.98 {
+		t.Fatalf("never-on controller cost ratio %.3f", ratio)
+	}
+	if res.SecureInstr != 0 || res.Flags != 0 {
+		t.Fatalf("never-on spent %d secure instrs, %d flags", res.SecureInstr, res.Flags)
+	}
+}
+
+func TestAlwaysOnCostsMore(t *testing.T) {
+	dcfg := DefaultConfig(sim.PolicyFenceAfterBranch)
+	base := RunProgram(sim.DefaultConfig(), benignProg(), NeverOn, dcfg, 10_000_000)
+	prot := RunProgram(sim.DefaultConfig(), benignProg(), AlwaysOn, dcfg, 10_000_000)
+	if ov := Overhead(prot, base); ov <= 0.05 {
+		t.Fatalf("always-on fencing overhead %.3f, want substantial", ov)
+	}
+	if prot.SecureInstr == 0 {
+		t.Fatal("always-on never entered secure mode")
+	}
+}
+
+func TestAdaptiveGating(t *testing.T) {
+	dcfg := DefaultConfig(sim.PolicyFenceAfterBranch)
+	dcfg.SecureWindow = 20_000
+	dcfg.SampleInterval = 5_000
+
+	base := RunProgram(sim.DefaultConfig(), benignProg(), NeverOn, dcfg, 10_000_000)
+	always := RunProgram(sim.DefaultConfig(), benignProg(), AlwaysOn, dcfg, 10_000_000)
+	adaptive := RunProgram(sim.DefaultConfig(), benignProg(), flagEvery(10), dcfg, 10_000_000)
+
+	ovAlways := Overhead(always, base)
+	ovAdaptive := Overhead(adaptive, base)
+	if ovAdaptive >= ovAlways {
+		t.Fatalf("adaptive overhead %.3f not below always-on %.3f", ovAdaptive, ovAlways)
+	}
+	if adaptive.SecureInstr == 0 {
+		t.Fatal("adaptive run never engaged the mitigation")
+	}
+	if adaptive.SecureInstr >= always.SecureInstr {
+		t.Fatal("adaptive secure time not below always-on")
+	}
+}
+
+func TestAdaptiveStopsAttackWhenFlagged(t *testing.T) {
+	p := attacks.SpectrePHT(11, 4)
+	dcfg := DefaultConfig(sim.PolicyInvisiSpecSpectre)
+	dcfg.SampleInterval = 300 // engage within the first attack round
+	unprot := RunProgram(sim.DefaultConfig(), p, NeverOn, dcfg, 5_000_000)
+	if unprot.LeakedTransient == 0 {
+		t.Fatal("unprotected attack did not leak")
+	}
+	prot := RunProgram(sim.DefaultConfig(), attacks.SpectrePHT(11, 4), AlwaysOn, dcfg, 5_000_000)
+	if prot.LeakedTransient >= unprot.LeakedTransient/4 {
+		t.Fatalf("protected run leaked %d vs unprotected %d", prot.LeakedTransient, unprot.LeakedTransient)
+	}
+}
+
+func TestTimelineRecorded(t *testing.T) {
+	dcfg := DefaultConfig(sim.PolicyFenceAfterBranch)
+	dcfg.SampleInterval = 2_000
+	res := RunProgram(sim.DefaultConfig(), benignProg(), NeverOn, dcfg, 10_000_000)
+	if len(res.Timeline) < 5 {
+		t.Fatalf("timeline has %d points", len(res.Timeline))
+	}
+	for _, pt := range res.Timeline {
+		if pt.IPC < 0 || pt.IPC > 8 {
+			t.Fatalf("implausible timeline IPC %v", pt.IPC)
+		}
+	}
+	if res.Windows != len(res.Timeline) {
+		t.Fatalf("windows %d != timeline %d", res.Windows, len(res.Timeline))
+	}
+}
+
+func TestSecureWindowExpires(t *testing.T) {
+	// One early flag, then quiet: secure mode must disengage and the tail
+	// run at full speed.
+	dcfg := DefaultConfig(sim.PolicyFenceBeforeLoad)
+	dcfg.SecureWindow = 10_000
+	dcfg.SampleInterval = 2_000
+	first := true
+	once := FlaggerFunc(func(hpc.Sample) bool {
+		if first {
+			first = false
+			return true
+		}
+		return false
+	})
+	res := RunProgram(sim.DefaultConfig(), benignProg(), once, dcfg, 10_000_000)
+	if res.Flags != 1 {
+		t.Fatalf("flags = %d, want 1", res.Flags)
+	}
+	if res.SecureInstr == 0 {
+		t.Fatal("secure mode never engaged")
+	}
+	if res.SecureInstr > res.Instructions/2 {
+		t.Fatalf("secure window did not expire: %d of %d instructions secure",
+			res.SecureInstr, res.Instructions)
+	}
+}
+
+func TestFlagRate(t *testing.T) {
+	r := Result{Flags: 3, Windows: 12}
+	if r.FlagRate() != 0.25 {
+		t.Fatalf("flag rate = %v", r.FlagRate())
+	}
+	if (Result{}).FlagRate() != 0 {
+		t.Fatal("empty result flag rate")
+	}
+}

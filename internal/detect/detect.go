@@ -1,0 +1,348 @@
+// Package detect assembles the hardware malware detectors evaluated in the
+// paper: PerSpectron (the prior state of the art — a single-layer model
+// over 106 performance counters) and EVAX (the same architecture over 145
+// features: 133 selected counters plus 12 engineered security HPCs), as
+// well as the deeper networks of Figure 20. Detectors are trained either
+// conventionally (on real samples) or with EVAX vaccination (real samples
+// augmented by AM-GAN-generated adversarial samples).
+package detect
+
+import (
+	"math/rand"
+	"sort"
+
+	"evax/internal/dataset"
+	"evax/internal/featureng"
+	"evax/internal/hpc"
+	"evax/internal/metrics"
+	"evax/internal/ml"
+	"evax/internal/sim"
+)
+
+// FeatureSet selects base features from the derived counter space and
+// carries the engineered AND-features appended to them.
+type FeatureSet struct {
+	Name       string
+	Indices    []int    // indices into the derived counter space
+	Names      []string // aligned with Indices
+	Engineered []featureng.ANDFeature
+}
+
+// BaseDim is the number of selected base features.
+func (fs *FeatureSet) BaseDim() int { return len(fs.Indices) }
+
+// Dim is the full detector input dimensionality (base + engineered).
+func (fs *FeatureSet) Dim() int { return len(fs.Indices) + len(fs.Engineered) }
+
+// Base extracts the selected base features from a derived vector.
+func (fs *FeatureSet) Base(derived []float64) []float64 {
+	out := make([]float64, len(fs.Indices))
+	for i, idx := range fs.Indices {
+		out[i] = derived[idx]
+	}
+	return out
+}
+
+// Extend appends engineered feature values to a base vector.
+func (fs *FeatureSet) Extend(base []float64) []float64 {
+	return featureng.Append(base, fs.Engineered)
+}
+
+// Vector is Base followed by Extend.
+func (fs *FeatureSet) Vector(derived []float64) []float64 {
+	return fs.Extend(fs.Base(derived))
+}
+
+// FeatureOf maps a base-feature index to itself with its name — the adapter
+// featureng.Mine uses when mining over this feature set's space.
+func (fs *FeatureSet) FeatureOf(i int) (int, string) {
+	if i < 0 || i >= len(fs.Names) {
+		return -1, ""
+	}
+	return i, fs.Names[i]
+}
+
+// derivedIndex resolves "counter.view" to a derived-space index.
+func derivedIndex(cat *hpc.Catalog, counter string, view hpc.DerivedKind) int {
+	base := cat.MustIndex(counter)
+	return base*int(hpc.NumDerivedKinds) + int(view)
+}
+
+// perSpectronExclusions lists counters outside PerSpectron's 2020-era view:
+// DRAM internals and the InvisiSpec speculative-buffer counters.
+var perSpectronExclusions = map[string]bool{
+	"dcache.SpecFills": true, "dcache.SpecExposes": true,
+	"dcache.SpecSquashed": true, "dcache.SpecBufHits": true,
+}
+
+// keyRateCounters get a second, rate view in the PerSpectron set.
+var keyRateCounters = []string{
+	"lsq.squashedLoads", "iq.SquashedInstsExamined", "iew.BranchMispredicts",
+	"dcache.ReadReq_misses", "dcache.Flushes", "commit.Faults",
+}
+
+// PerSpectron builds the 106-feature baseline set (no engineered features).
+func PerSpectron() *FeatureSet {
+	cat := sim.CounterCatalog()
+	fs := &FeatureSet{Name: "perspectron-106"}
+	for i := 0; i < cat.Len(); i++ {
+		name := cat.Name(i)
+		if perSpectronExclusions[name] || len(name) > 5 && name[:5] == "dram." {
+			continue
+		}
+		fs.Indices = append(fs.Indices, i*int(hpc.NumDerivedKinds)+int(hpc.DerivedTotal))
+		fs.Names = append(fs.Names, name)
+	}
+	for _, c := range keyRateCounters {
+		fs.Indices = append(fs.Indices, derivedIndex(cat, c, hpc.DerivedRate))
+		fs.Names = append(fs.Names, c+".rate")
+	}
+	return fs
+}
+
+// evaxExtraRates get rate views in the EVAX base set beyond PerSpectron's.
+var evaxExtraRates = []string{
+	"lsq.ignoredResponses", "lsq.forwLoads", "iew.MemOrderViolation",
+	"rng.ContentionCycles", "dram.Activates", "dram.RowConflicts",
+	"dram.bytesReadWrQ", "dram.bytesRead", "fetch.SquashCycles",
+	"spec.LoadsExecuted", "dtlb.rdMisses", "branchPred.RASUnderflows",
+}
+
+// EVAXBase builds the 133-counter EVAX base set: everything PerSpectron
+// monitors plus the DRAM and speculation counters and additional rate
+// views. Engineered features are attached separately (DefaultEngineered or
+// featureng.Mine output).
+func EVAXBase() *FeatureSet {
+	cat := sim.CounterCatalog()
+	fs := &FeatureSet{Name: "evax-133"}
+	for i := 0; i < cat.Len(); i++ {
+		fs.Indices = append(fs.Indices, i*int(hpc.NumDerivedKinds)+int(hpc.DerivedTotal))
+		fs.Names = append(fs.Names, cat.Name(i))
+	}
+	for _, c := range append(append([]string(nil), keyRateCounters...), evaxExtraRates...) {
+		fs.Indices = append(fs.Indices, derivedIndex(cat, c, hpc.DerivedRate))
+		fs.Names = append(fs.Names, c+".rate")
+	}
+	return fs
+}
+
+// defaultEngineeredPairs names the 12 security HPCs of the paper's Table I
+// (those expressible in this machine's counter space), as
+// (counterA, counterB) pairs ANDed together.
+var defaultEngineeredPairs = [12][2]string{
+	{"dram.bytesReadWrQ", "lsq.squashedLoads"},                   // SquashedBytesReadFromWRQu
+	{"rename.CommittedMaps", "rename.Undone"},                    // Table I row 2
+	{"iew.MemOrderViolation", "dtlb.rdMisses"},                   // Table I row 3
+	{"lsq.squashedStores", "lsq.forwLoads"},                      // Table I row 4
+	{"membus.trans_dist::ReadSharedReq", "lsq.ignoredResponses"}, // row 5
+	{"iq.SquashedNonSpecLD", "dcache.ReadReq_mshr_miss_latency"}, // row 6
+	{"rename.serializingInsts", "iew.ExecSquashedInsts"},         // row 7
+	{"commit.Faults", "dcache.Flushes"},
+	{"dram.Activates", "dcache.FlushMisses"},
+	{"rng.ContentionCycles", "rng.Reads"},
+	{"branchPred.RASUnderflows", "lsq.squashedLoads"},
+	{"iew.BranchMispredicts", "dcache.ReadReq_misses"},
+}
+
+// DefaultEngineered returns the paper's Table I feature list resolved
+// against fs (the static fallback; the Table I experiment regenerates the
+// list by mining a trained AM-GAN generator).
+func DefaultEngineered(fs *FeatureSet) []featureng.ANDFeature {
+	pos := map[string]int{}
+	for i, n := range fs.Names {
+		pos[n] = i
+	}
+	var out []featureng.ANDFeature
+	for _, pair := range defaultEngineeredPairs {
+		a, okA := pos[pair[0]]
+		b, okB := pos[pair[1]]
+		if !okA || !okB {
+			continue
+		}
+		if a > b {
+			a, b = b, a
+		}
+		out = append(out, featureng.ANDFeature{A: a, B: b, Name: pair[0] + " AND " + pair[1]})
+	}
+	return out
+}
+
+// Detector is a trained classifier over a feature set. Threshold is the
+// malicious decision boundary on the model's sigmoid output (the paper
+// tunes it for sensitivity/ROC operating points).
+type Detector struct {
+	FS        *FeatureSet
+	Net       *ml.Network
+	Threshold float64
+}
+
+// NewPerceptron builds the HW-friendly single-layer detector (the
+// PerSpectron/EVAX architecture).
+func NewPerceptron(seed int64, fs *FeatureSet) *Detector {
+	return &Detector{
+		FS:        fs,
+		Net:       ml.New(seed, []int{fs.Dim(), 1}, ml.Linear, ml.Sigmoid),
+		Threshold: 0.5,
+	}
+}
+
+// NewDeep builds an N-hidden-layer detector of the given width (Figure 20's
+// 16- and 32-layer networks).
+func NewDeep(seed int64, fs *FeatureSet, hiddenLayers, width int) *Detector {
+	sizes := []int{fs.Dim()}
+	for i := 0; i < hiddenLayers; i++ {
+		sizes = append(sizes, width)
+	}
+	sizes = append(sizes, 1)
+	return &Detector{
+		FS:        fs,
+		Net:       ml.New(seed, sizes, ml.LeakyReLU, ml.Sigmoid),
+		Threshold: 0.5,
+	}
+}
+
+// ScoreVector scores a full detector-space vector (base + engineered).
+func (d *Detector) ScoreVector(x []float64) float64 { return d.Net.Forward(x)[0] }
+
+// ScoreBase scores a base-feature vector (engineered features computed).
+func (d *Detector) ScoreBase(base []float64) float64 {
+	return d.ScoreVector(d.FS.Extend(base))
+}
+
+// Score scores a derived-space sample vector.
+func (d *Detector) Score(derived []float64) float64 {
+	return d.ScoreVector(d.FS.Vector(derived))
+}
+
+// Flag reports malicious for a derived-space vector.
+func (d *Detector) Flag(derived []float64) bool { return d.Score(derived) >= d.Threshold }
+
+// FlagBase reports malicious for a base-space vector.
+func (d *Detector) FlagBase(base []float64) bool { return d.ScoreBase(base) >= d.Threshold }
+
+// TrainOptions controls detector training.
+type TrainOptions struct {
+	Epochs   int
+	LR       float64
+	Momentum float64
+	Batch    int
+	Seed     int64
+	// Monotone projects weights to be non-negative after each step,
+	// training a monotone detector: anomalous activity can only raise
+	// the suspicion score. This closes the negative-weight channel
+	// adversarial-ML evasion exploits (used by the hardened EVAX arm).
+	Monotone bool
+}
+
+// DefaultTrainOptions returns settings adequate for the corpus sizes the
+// experiments build.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{Epochs: 30, LR: 0.15, Momentum: 0.7, Batch: 16, Seed: 1}
+}
+
+// TrainVectors trains on detector-BASE-space vectors with boolean labels;
+// engineered features are computed on the fly. Classes are balanced by
+// inverse-frequency example weighting.
+func (d *Detector) TrainVectors(base [][]float64, labels []bool, o TrainOptions) {
+	if len(base) == 0 {
+		return
+	}
+	pos, neg := 0, 0
+	for _, l := range labels {
+		if l {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	wPos, wNeg := 1.0, 1.0
+	if pos > 0 && neg > 0 {
+		if pos > neg {
+			wNeg = float64(pos) / float64(neg)
+		} else {
+			wPos = float64(neg) / float64(pos)
+		}
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	grad := make([]float64, 1)
+	for e := 0; e < o.Epochs; e++ {
+		perm := rng.Perm(len(base))
+		inBatch := 0
+		for _, i := range perm {
+			x := d.FS.Extend(base[i])
+			target, w := 0.0, wNeg
+			if labels[i] {
+				target, w = 1.0, wPos
+			}
+			pred := d.Net.Forward(x)
+			ml.BCE(pred, []float64{target}, grad)
+			grad[0] *= w
+			d.Net.Backward(grad)
+			inBatch++
+			if inBatch == o.Batch {
+				d.Net.Step(o.LR, o.Momentum, o.Batch)
+				if o.Monotone {
+					d.Net.ProjectNonNegative()
+				}
+				inBatch = 0
+			}
+		}
+		if inBatch > 0 {
+			d.Net.Step(o.LR, o.Momentum, inBatch)
+			if o.Monotone {
+				d.Net.ProjectNonNegative()
+			}
+		}
+	}
+}
+
+// Train trains on dataset samples selected by idx.
+func (d *Detector) Train(ds *dataset.Dataset, idx []int, o TrainOptions) {
+	base := make([][]float64, len(idx))
+	labels := make([]bool, len(idx))
+	for k, i := range idx {
+		base[k] = d.FS.Base(ds.Samples[i].Derived)
+		labels[k] = ds.Samples[i].Malicious
+	}
+	d.TrainVectors(base, labels, o)
+}
+
+// Evaluate scores the dataset samples at idx and returns the confusion
+// matrix at the current threshold.
+func (d *Detector) Evaluate(ds *dataset.Dataset, idx []int) metrics.Confusion {
+	var c metrics.Confusion
+	for _, i := range idx {
+		c.Add(d.Flag(ds.Samples[i].Derived), ds.Samples[i].Malicious)
+	}
+	return c
+}
+
+// Scores returns raw scores and labels over idx (ROC input).
+func (d *Detector) Scores(ds *dataset.Dataset, idx []int) (scores []float64, labels []bool) {
+	for _, i := range idx {
+		scores = append(scores, d.Score(ds.Samples[i].Derived))
+		labels = append(labels, ds.Samples[i].Malicious)
+	}
+	return
+}
+
+// TuneThresholdForFPR sets the threshold to the smallest value whose
+// false-positive rate on the given benign scores does not exceed target
+// ("EVAX is tuned to have very high sensitivity" — the operating point is
+// chosen on benign traffic).
+func (d *Detector) TuneThresholdForFPR(benignScores []float64, target float64) {
+	if len(benignScores) == 0 {
+		return
+	}
+	s := append([]float64(nil), benignScores...)
+	sort.Float64s(s)
+	// Allow at most target fraction of benign scores >= threshold.
+	k := int(float64(len(s)) * (1 - target))
+	if k >= len(s) {
+		k = len(s) - 1
+	}
+	if k < 0 {
+		k = 0
+	}
+	d.Threshold = s[k] + 1e-9
+}

@@ -1,0 +1,113 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"evax/internal/featureng"
+	"evax/internal/ml"
+)
+
+// savedDetector is the on-disk form of a trained detector — the
+// "vendor-distributed patch" the paper envisions for weight and feature
+// updates (§VI-B).
+type savedDetector struct {
+	FeatureSetName string            `json:"feature_set"`
+	Indices        []int             `json:"indices"`
+	Names          []string          `json:"names"`
+	Engineered     []savedANDFeature `json:"engineered"`
+	Layers         []savedLayer      `json:"layers"`
+	Threshold      float64           `json:"threshold"`
+}
+
+type savedANDFeature struct {
+	A    int    `json:"a"`
+	B    int    `json:"b"`
+	Name string `json:"name"`
+}
+
+type savedLayer struct {
+	In  int         `json:"in"`
+	Out int         `json:"out"`
+	Act int         `json:"act"`
+	W   [][]float64 `json:"w"`
+	B   []float64   `json:"b"`
+}
+
+// Marshal encodes the detector as JSON.
+func (d *Detector) Marshal() ([]byte, error) {
+	sd := savedDetector{
+		FeatureSetName: d.FS.Name,
+		Indices:        d.FS.Indices,
+		Names:          d.FS.Names,
+		Threshold:      d.Threshold,
+	}
+	for _, f := range d.FS.Engineered {
+		sd.Engineered = append(sd.Engineered, savedANDFeature{A: f.A, B: f.B, Name: f.Name})
+	}
+	for _, l := range d.Net.Layers {
+		sd.Layers = append(sd.Layers, savedLayer{In: l.In, Out: l.Out, Act: int(l.Act), W: l.W, B: l.B})
+	}
+	data, err := json.MarshalIndent(sd, "", " ")
+	if err != nil {
+		return nil, fmt.Errorf("detect: encoding detector: %w", err)
+	}
+	return data, nil
+}
+
+// Save writes the detector (feature set, engineered features, weights and
+// threshold) as JSON.
+func (d *Detector) Save(path string) error {
+	data, err := d.Marshal()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Unmarshal decodes a detector encoded by Marshal.
+func Unmarshal(data []byte) (*Detector, error) {
+	var sd savedDetector
+	if err := json.Unmarshal(data, &sd); err != nil {
+		return nil, fmt.Errorf("detect: decoding detector: %w", err)
+	}
+	if len(sd.Layers) == 0 {
+		return nil, fmt.Errorf("detect: detector holds no layers")
+	}
+	fs := &FeatureSet{Name: sd.FeatureSetName, Indices: sd.Indices, Names: sd.Names}
+	for _, f := range sd.Engineered {
+		fs.Engineered = append(fs.Engineered, featureng.ANDFeature{A: f.A, B: f.B, Name: f.Name})
+	}
+	sizes := []int{sd.Layers[0].In}
+	for _, l := range sd.Layers {
+		sizes = append(sizes, l.Out)
+	}
+	hidden := ml.Linear
+	if len(sd.Layers) > 1 {
+		hidden = ml.Activation(sd.Layers[0].Act)
+	}
+	out := ml.Activation(sd.Layers[len(sd.Layers)-1].Act)
+	net := ml.New(0, sizes, hidden, out)
+	for li, l := range sd.Layers {
+		nl := net.Layers[li]
+		if nl.In != l.In || nl.Out != l.Out {
+			return nil, fmt.Errorf("detect: layer %d shape mismatch", li)
+		}
+		nl.Act = ml.Activation(l.Act)
+		for o := range l.W {
+			copy(nl.W[o], l.W[o])
+		}
+		copy(nl.B, l.B)
+	}
+	return &Detector{FS: fs, Net: net, Threshold: sd.Threshold}, nil
+}
+
+// Load reads a detector saved by Save.
+func Load(path string) (*Detector, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Unmarshal(data)
+}

@@ -1,0 +1,93 @@
+package detect
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	fs := EVAXBase()
+	fs.Engineered = DefaultEngineered(fs)
+	d := NewPerceptron(4, fs)
+	// Give it distinctive weights and threshold.
+	rng := rand.New(rand.NewSource(5))
+	for o := range d.Net.Layers[0].W {
+		for i := range d.Net.Layers[0].W[o] {
+			d.Net.Layers[0].W[o][i] = rng.NormFloat64()
+		}
+	}
+	d.Threshold = 0.371
+
+	path := filepath.Join(t.TempDir(), "det.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold != d.Threshold {
+		t.Fatalf("threshold %v != %v", got.Threshold, d.Threshold)
+	}
+	if got.FS.Dim() != d.FS.Dim() || len(got.FS.Engineered) != len(d.FS.Engineered) {
+		t.Fatal("feature set not preserved")
+	}
+	// Scores must agree exactly on random inputs.
+	for trial := 0; trial < 20; trial++ {
+		base := make([]float64, fs.BaseDim())
+		for i := range base {
+			base[i] = rng.Float64()
+		}
+		if got.ScoreBase(base) != d.ScoreBase(base) {
+			t.Fatal("loaded detector scores differ")
+		}
+	}
+}
+
+func TestSaveLoadDeepDetector(t *testing.T) {
+	fs := PerSpectron()
+	d := NewDeep(7, fs, 3, 8)
+	path := filepath.Join(t.TempDir(), "deep.json")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Net.Layers) != len(d.Net.Layers) {
+		t.Fatalf("layers %d != %d", len(got.Net.Layers), len(d.Net.Layers))
+	}
+	x := make([]float64, fs.Dim())
+	for i := range x {
+		x[i] = float64(i%3) / 3
+	}
+	if got.ScoreVector(x) != d.ScoreVector(x) {
+		t.Fatal("deep round-trip scores differ")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := writeFile(path, "{}"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("empty detector accepted")
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

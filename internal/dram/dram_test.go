@@ -1,0 +1,209 @@
+package dram
+
+import "testing"
+
+// testConfig shrinks thresholds so tests run fast.
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.FlipThreshold = 100
+	cfg.RefreshEvery = 1_000_000
+	return cfg
+}
+
+func TestRowBufferTiming(t *testing.T) {
+	d := New(testConfig())
+	// First access: empty bank -> activate.
+	lat1 := d.Access(0, 0x10000, false)
+	// Same bank (stride = banks*lineSize) and same row -> row hit, fastest.
+	sameBankSameRow := uint64(0x10000) + uint64(testConfig().Banks*64)
+	lat2 := d.Access(100, sameBankSameRow, false)
+	if lat2 >= lat1 {
+		t.Fatalf("row hit (%d) not faster than activate (%d)", lat2, lat1)
+	}
+	// Different row, same bank -> conflict, slowest.
+	cfg := testConfig()
+	conflictAddr := uint64(0x10000) + uint64(cfg.RowBytes*cfg.Banks)
+	bank1, row1 := d.BankRow(0x10000)
+	bank2, row2 := d.BankRow(conflictAddr)
+	if bank1 != bank2 || row1 == row2 {
+		t.Fatalf("address mapping: (%d,%d) vs (%d,%d), want same bank different row", bank1, row1, bank2, row2)
+	}
+	lat3 := d.Access(200, conflictAddr, false)
+	if lat3 <= lat1 {
+		t.Fatalf("row conflict (%d) not slower than activate (%d)", lat3, lat1)
+	}
+	if d.Stats.RowHits != 1 || d.Stats.RowConflicts != 1 {
+		t.Fatalf("stats = %+v", d.Stats)
+	}
+}
+
+func TestWriteQueueServicesReads(t *testing.T) {
+	d := New(testConfig())
+	d.Access(0, 0x2000, true)
+	lat := d.Access(10, 0x2000, false)
+	if d.Stats.BytesReadWrQ != 64 {
+		t.Fatalf("bytesReadWrQ = %d, want 64", d.Stats.BytesReadWrQ)
+	}
+	if lat >= d.cfg.TCAS {
+		t.Fatalf("write-queue read latency %d not faster than CAS %d", lat, d.cfg.TCAS)
+	}
+}
+
+func TestWriteQueueCapacity(t *testing.T) {
+	cfg := testConfig()
+	cfg.WriteQueue = 2
+	d := New(cfg)
+	d.Access(0, 0x1000, true)
+	d.Access(1, 0x2000, true)
+	d.Access(2, 0x3000, true) // evicts 0x1000
+	d.Access(3, 0x1000, false)
+	if d.Stats.BytesReadWrQ != 0 {
+		t.Fatal("evicted write-queue entry serviced a read")
+	}
+}
+
+func TestRowhammerFlipsWithoutTRR(t *testing.T) {
+	cfg := testConfig()
+	cfg.TRRTrackers = 0
+	d := New(cfg)
+	// Hammer two rows in the same bank alternately (classic double-sided
+	// pattern forces an activate each access).
+	a := uint64(0x10000)
+	b := a + uint64(cfg.RowBytes*cfg.Banks)
+	now := uint64(0)
+	for i := uint64(0); i < 2*cfg.FlipThreshold+10; i++ {
+		now += d.Access(now, a, false)
+		now += d.Access(now, b, false)
+	}
+	if d.Stats.BitFlips == 0 {
+		t.Fatal("no bit flips despite hammering past threshold")
+	}
+	if len(d.Flips()) != int(d.Stats.BitFlips) {
+		t.Fatalf("flip log %d != counter %d", len(d.Flips()), d.Stats.BitFlips)
+	}
+}
+
+func TestTRRMitigatesDoubleSided(t *testing.T) {
+	cfg := testConfig()
+	cfg.TRRTrackers = 4
+	d := New(cfg)
+	a := uint64(0x10000)
+	b := a + uint64(cfg.RowBytes*cfg.Banks)
+	now := uint64(0)
+	for i := uint64(0); i < 4*cfg.FlipThreshold; i++ {
+		now += d.Access(now, a, false)
+		now += d.Access(now, b, false)
+	}
+	if d.Stats.BitFlips != 0 {
+		t.Fatalf("TRR failed to stop 2-sided hammering: %d flips", d.Stats.BitFlips)
+	}
+	if d.Stats.TRRRefreshes == 0 {
+		t.Fatal("TRR never fired")
+	}
+}
+
+func TestManySidedDefeatsTRR(t *testing.T) {
+	// TRRespass: hammering more rows than TRR can track slips through.
+	cfg := testConfig()
+	cfg.TRRTrackers = 2
+	d := New(cfg)
+	stride := uint64(cfg.RowBytes * cfg.Banks)
+	rows := make([]uint64, 10)
+	for i := range rows {
+		rows[i] = 0x10000 + uint64(i)*stride
+	}
+	now := uint64(0)
+	for i := uint64(0); i < 3*cfg.FlipThreshold; i++ {
+		for _, r := range rows {
+			now += d.Access(now, r, false)
+		}
+	}
+	if d.Stats.BitFlips == 0 {
+		t.Fatal("many-sided hammering failed to flip bits under small TRR")
+	}
+}
+
+func TestRefreshClearsActivationCounts(t *testing.T) {
+	cfg := testConfig()
+	cfg.TRRTrackers = 0
+	d := New(cfg)
+	a := uint64(0x10000)
+	b := a + uint64(cfg.RowBytes*cfg.Banks)
+	// Hammer to just below threshold, then jump past a refresh boundary.
+	now := uint64(0)
+	for i := uint64(0); i < cfg.FlipThreshold/2; i++ {
+		now += d.Access(now, a, false)
+		now += d.Access(now, b, false)
+	}
+	pre := d.ActivationCount(a)
+	if pre == 0 {
+		t.Fatal("no activations recorded")
+	}
+	d.Access(now+cfg.RefreshEvery, a, false)
+	if got := d.ActivationCount(a); got > 1 {
+		t.Fatalf("activation count %d after refresh, want <=1", got)
+	}
+	if d.Stats.Refreshes == 0 {
+		t.Fatal("refresh not counted")
+	}
+}
+
+func TestBytesPerActivate(t *testing.T) {
+	d := New(testConfig())
+	if d.BytesPerActivate() != 0 {
+		t.Fatal("bytesPerActivate nonzero before any access")
+	}
+	// Streaming within one row: many bytes per activation.
+	now := uint64(0)
+	for i := uint64(0); i < 32; i++ {
+		now += d.Access(now, 0x10000+i*64*uint64(d.Banks()), false)
+	}
+	streamBPA := d.BytesPerActivate()
+	// Hammering: one line per activation.
+	d2 := New(testConfig())
+	a := uint64(0x10000)
+	b := a + uint64(d2.cfg.RowBytes*d2.cfg.Banks)
+	now = 0
+	for i := uint64(0); i < 32; i++ {
+		now += d2.Access(now, a, false)
+		now += d2.Access(now, b, false)
+	}
+	hammerBPA := d2.BytesPerActivate()
+	if hammerBPA >= streamBPA {
+		t.Fatalf("hammer BPA (%v) not below streaming BPA (%v)", hammerBPA, streamBPA)
+	}
+}
+
+func TestSelfRefreshAccumulatesWhenIdle(t *testing.T) {
+	d := New(testConfig())
+	d.Access(0, 0x1000, false)
+	d.Access(500_000, 0x1000, false) // long idle gap
+	if d.Stats.SelfRefreshTicks == 0 {
+		t.Fatal("no self-refresh energy accumulated over idle gap")
+	}
+}
+
+func TestDeterministicFlipPositions(t *testing.T) {
+	run := func() []Flip {
+		cfg := testConfig()
+		cfg.TRRTrackers = 0
+		d := New(cfg)
+		a := uint64(0x10000)
+		b := a + uint64(cfg.RowBytes*cfg.Banks)
+		now := uint64(0)
+		for i := uint64(0); i < 2*cfg.FlipThreshold; i++ {
+			now += d.Access(now, a, false)
+			now += d.Access(now, b, false)
+		}
+		return d.Flips()
+	}
+	f1, f2 := run(), run()
+	if len(f1) == 0 || len(f1) != len(f2) {
+		t.Fatalf("flip counts differ: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("flip %d differs: %+v vs %+v", i, f1[i], f2[i])
+		}
+	}
+}

@@ -1,0 +1,297 @@
+// Package evasion implements the attacker tooling the paper evaluates
+// against:
+//
+//   - program-level evasive mutation (the malware-community techniques):
+//     benign instruction insertion, padding and cache-noise injection that
+//     dilute an attack's counter signature while preserving its semantics;
+//   - automated attack-generation in the style of Transynther (Meltdown/MDS
+//     variant synthesis), TRRespass (many-sided Rowhammer patterns) and
+//     Osiris (random trigger/measure/reset timing triples);
+//   - feature-space adversarial-ML attacks that gradient-walk a sample
+//     toward a detector's benign region subject to leakage floors — the
+//     constraint that makes over-evasion disable the attack itself
+//     (the paper's Figure 18 argument).
+package evasion
+
+import (
+	"math/rand"
+
+	"evax/internal/isa"
+)
+
+// noise registers reserved for inserted instructions (unused by the attack
+// and workload builders).
+const (
+	noiseRegA = isa.Reg(28)
+	noiseRegB = isa.Reg(29)
+	noiseRegC = isa.Reg(31)
+)
+
+// noiseBase is a benign scratch region the inserted loads touch.
+const noiseBase uint64 = 0x70_0000
+
+// MutateOptions controls the evasive mutation engine.
+type MutateOptions struct {
+	// Strength in [0,1]: the probability of inserting noise after each
+	// instruction. Higher strength dilutes the signature more but risks
+	// breaking the attack's timing.
+	Strength float64
+	// CacheNoise inserts benign loads (vs pure ALU/nop noise).
+	CacheNoise bool
+	// SyscallNoise sprinkles serializing syscalls (bandwidth evasion).
+	SyscallNoise bool
+	Seed         int64
+}
+
+// Mutate produces an evasive variant of p: semantics-preserving noise
+// instructions are inserted between the original micro-ops, with all branch
+// targets relocated. The returned program keeps p's class (it is still the
+// same attack).
+func Mutate(p *isa.Program, o MutateOptions) *isa.Program {
+	rng := rand.New(rand.NewSource(o.Seed))
+	var code []isa.Inst
+	remap := make([]int, len(p.Code)+1)
+
+	emitNoise := func(phase isa.Phase) {
+		r := rng.Float64()
+		switch {
+		case o.SyscallNoise && r < 0.05:
+			code = append(code, isa.Inst{Kind: isa.Syscall, Phase: phase})
+		case o.CacheNoise && r < 0.45:
+			off := int64(rng.Intn(256)) * 64
+			code = append(code, isa.Inst{
+				Kind: isa.Load, Dest: noiseRegB, Base: isa.R0,
+				Imm: int64(noiseBase) + off, Phase: phase,
+			})
+		case r < 0.75:
+			code = append(code, isa.Inst{
+				Kind: isa.IntAlu, Alu: isa.OpAdd, Dest: noiseRegA,
+				Src1: noiseRegA, Src2: noiseRegC, Imm: 1, Phase: phase,
+			})
+		default:
+			code = append(code, isa.Inst{Kind: isa.Nop, Phase: phase})
+		}
+	}
+
+	for i, in := range p.Code {
+		remap[i] = len(code)
+		code = append(code, in)
+		// Strength <= 1 is an insertion probability; above 1 it also
+		// scales how much noise each insertion injects (deep dilution).
+		if rng.Float64() < o.Strength {
+			n := 1 + rng.Intn(3)
+			if o.Strength > 1 {
+				n += int(2 * (o.Strength - 1) * float64(1+rng.Intn(3)))
+			}
+			for k := 0; k < n; k++ {
+				emitNoise(in.Phase)
+			}
+		}
+	}
+	remap[len(p.Code)] = len(code)
+
+	for i := range code {
+		switch code[i].Kind {
+		case isa.Branch, isa.Jump, isa.Call:
+			code[i].Target = remap[code[i].Target]
+		}
+	}
+
+	out := &isa.Program{
+		Name:     p.Name + "-evasive",
+		Class:    p.Class,
+		Code:     code,
+		InitRegs: cloneRegs(p.InitRegs),
+		InitMem:  cloneMem(p.InitMem),
+	}
+	// Indirect jumps carry instruction indices in registers/memory; remap
+	// any initial values that are valid old indices. Attack builders store
+	// gadget indices via immediates, which Mutate cannot see — programs
+	// using IndirectJump should be re-generated rather than mutated, so
+	// Mutate refuses them.
+	for _, in := range p.Code {
+		if in.Kind == isa.IndirectJump {
+			return p
+		}
+	}
+	return out
+}
+
+func cloneRegs(m map[isa.Reg]uint64) map[isa.Reg]uint64 {
+	out := make(map[isa.Reg]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+func cloneMem(m map[uint64]uint64) map[uint64]uint64 {
+	out := make(map[uint64]uint64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// Transynther synthesizes a Meltdown/MDS-style variant from a primitive
+// pool, in the spirit of the Medusa paper's fuzzer: random choice of fault
+// or assist leak primitive, alias offsets, retirement-delay style, encode
+// stride and gadget interleaving.
+func Transynther(seed int64, scale int) *isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	if scale < 1 {
+		scale = 1
+	}
+	b := isa.NewBuilder("transynther", isa.ClassMedusaCacheIndex)
+	probe := uint64(0x80_0000) + uint64(rng.Intn(64))*64
+	victim := uint64(0x10_0000) + uint64(rng.Intn(64))*64
+	slow := uint64(0x24_0000) + uint64(rng.Intn(64))*64
+	kernel := isa.KernelBase + 0x1000 + uint64(rng.Intn(64))*64
+	secret := int64(1 + rng.Intn(7))
+	stride := int64(4096)
+	if rng.Intn(2) == 0 {
+		stride = 2048 + int64(rng.Intn(4))*1024
+	}
+	b.InitMem(kernel, uint64(secret))
+	b.InitReg(isa.R1, victim)
+	b.InitReg(isa.R2, probe)
+	b.InitReg(isa.R3, slow)
+	b.InitReg(isa.R21, kernel)
+
+	useFault := rng.Intn(2) == 0
+	aliasOff := int64(0x1000 * (1 + rng.Intn(3)))
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(8*scale))
+	b.Label("round")
+	b.SetPhase(isa.PhaseSetup)
+	// Flush the probe region.
+	b.Li(isa.R14, 0)
+	b.Li(isa.R15, 8)
+	b.Label("fl")
+	b.CLFlush(isa.R2, isa.R14, stride, 0)
+	b.Addi(isa.R14, isa.R14, 1)
+	b.Br(isa.CondNE, isa.R14, isa.R15, "fl")
+	// Retirement delay: flushed load or a division chain.
+	if rng.Intn(2) == 0 {
+		b.CLFlush(isa.R3, isa.R0, 0, 0)
+		b.SetPhase(isa.PhaseLeak)
+		b.Load(isa.R9, isa.R3, isa.R0, 0, 0)
+	} else {
+		b.SetPhase(isa.PhaseLeak)
+		b.InitReg(isa.R12, 977)
+		b.InitReg(isa.R13, 3)
+		b.Div(isa.R9, isa.R12, isa.R13)
+		b.Div(isa.R9, isa.R9, isa.R13)
+		b.Div(isa.R9, isa.R9, isa.R13)
+	}
+	if useFault {
+		b.Prefetch(isa.R21, isa.R0, 0, 0)
+		b.LoadK(isa.R4, isa.R21, isa.R0, 0, 0)
+	} else {
+		b.Li(isa.R5, secret)
+		b.Store(isa.R5, isa.R1, isa.R0, 0, aliasOff)
+		b.LoadAssist(isa.R4, isa.R1, isa.R0, 0, 0)
+	}
+	// Optional gadget interleaving noise.
+	for k := 0; k < rng.Intn(3); k++ {
+		b.Addi(isa.R19, isa.R19, 7)
+	}
+	b.Load(isa.R6, isa.R2, isa.R4, stride, 0) // encode
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "round")
+	return b.MustBuild()
+}
+
+// TRRespass synthesizes an n-sided Rowhammer pattern with randomized
+// aggressor count, ordering and intensity — the patterns that slip past
+// Target Row Refresh when n exceeds the tracker capacity.
+func TRRespass(seed int64, scale int) *isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	if scale < 1 {
+		scale = 1
+	}
+	b := isa.NewBuilder("trrespass", isa.ClassRowhammer)
+	const rowStride = 8192 * 8
+	sides := 3 + rng.Intn(10) // 3- to 12-sided
+	base := uint64(0x10_0000) + uint64(rng.Intn(32))*rowStride
+	order := rng.Perm(sides)
+	for i, r := range order {
+		b.InitReg(isa.Reg(1+i), base+uint64(r*2)*rowStride)
+	}
+	b.SetPhase(isa.PhaseLeak)
+	b.Li(isa.R20, 0)
+	b.Li(isa.R21, int64(300*scale))
+	b.Label("hammer")
+	for i := 0; i < sides; i++ {
+		r := isa.Reg(1 + i)
+		b.CLFlush(r, isa.R0, 0, 0)
+		b.Load(isa.R22, r, isa.R0, 0, 0)
+	}
+	b.Addi(isa.R20, isa.R20, 1)
+	b.Br(isa.CondNE, isa.R20, isa.R21, "hammer")
+	b.SetPhase(isa.PhaseNone)
+	return b.MustBuild()
+}
+
+// Osiris synthesizes a random (trigger, measure, reset) side-channel triple
+// from a primitive pool, mirroring the Osiris fuzzer's search for timing
+// channels. Many triples are duds; the interesting ones exercise unusual
+// counter mixes the detector must still flag.
+func Osiris(seed int64, scale int) *isa.Program {
+	rng := rand.New(rand.NewSource(seed))
+	if scale < 1 {
+		scale = 1
+	}
+	b := isa.NewBuilder("osiris", isa.ClassFlushConflict)
+	target := uint64(0x40_0000) + uint64(rng.Intn(256))*64
+	b.InitReg(isa.R1, target)
+	b.InitMem(target, 1)
+
+	trigger := rng.Intn(4)
+	measure := rng.Intn(3)
+	reset := rng.Intn(3)
+
+	b.Li(isa.R10, 0)
+	b.Li(isa.R11, int64(60*scale))
+	b.Label("triple")
+	b.SetPhase(isa.PhaseLeak)
+	switch trigger { // bring the microarchitecture into a state
+	case 0:
+		b.Load(isa.R2, isa.R1, isa.R0, 0, 0)
+	case 1:
+		b.Prefetch(isa.R1, isa.R0, 0, 0)
+	case 2:
+		b.Store(isa.R2, isa.R1, isa.R0, 0, 0)
+	case 3:
+		b.RdRand(isa.R2)
+	}
+	b.SetPhase(isa.PhaseTransmit)
+	b.LFence()
+	b.RdTSC(isa.R3)
+	switch measure { // observe the state through timing
+	case 0:
+		b.Load(isa.R4, isa.R1, isa.R0, 0, 0)
+	case 1:
+		b.CLFlush(isa.R1, isa.R0, 0, 0)
+	case 2:
+		b.RdRand(isa.R4)
+	}
+	b.LFence()
+	b.RdTSC(isa.R5)
+	b.Sub(isa.R6, isa.R5, isa.R3)
+	b.SetPhase(isa.PhaseRecover)
+	switch reset { // restore a known state
+	case 0:
+		b.CLFlush(isa.R1, isa.R0, 0, 0)
+	case 1:
+		b.Load(isa.R7, isa.R1, isa.R0, 0, 0)
+	case 2:
+		b.Nop()
+	}
+	b.SetPhase(isa.PhaseNone)
+	b.Addi(isa.R10, isa.R10, 1)
+	b.Br(isa.CondNE, isa.R10, isa.R11, "triple")
+	return b.MustBuild()
+}

@@ -1,0 +1,273 @@
+package evasion
+
+import (
+	"math/rand"
+	"testing"
+
+	"evax/internal/attacks"
+	"evax/internal/detect"
+	"evax/internal/isa"
+	"evax/internal/sim"
+)
+
+func TestMutatePreservesSemantics(t *testing.T) {
+	p := attacks.Meltdown(11, 2)
+	mp := Mutate(p, MutateOptions{Strength: 0.4, CacheNoise: true, Seed: 5})
+	if err := mp.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if mp.Len() <= p.Len() {
+		t.Fatal("no noise inserted")
+	}
+	if mp.Class != p.Class {
+		t.Fatal("class changed")
+	}
+	m := sim.New(sim.DefaultConfig(), mp)
+	m.Run(5_000_000)
+	if !m.Done() {
+		t.Fatal("mutated program did not finish")
+	}
+	// The attack must still work: transient leaks still occur.
+	if m.C.LeakedTransientLoads == 0 {
+		t.Fatal("mutation killed the attack")
+	}
+	if m.C.CommitFaults == 0 {
+		t.Fatal("meltdown fault path lost")
+	}
+}
+
+func TestMutateAllAttacks(t *testing.T) {
+	for _, spec := range attacks.All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			p := spec.Build(11, 1)
+			mp := Mutate(p, MutateOptions{Strength: 0.3, CacheNoise: true, SyscallNoise: true, Seed: 9})
+			if err := mp.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			m := sim.New(sim.DefaultConfig(), mp)
+			m.Run(5_000_000)
+			if !m.Done() {
+				t.Fatalf("mutated %s did not finish", spec.Name)
+			}
+		})
+	}
+}
+
+func TestMutateRefusesIndirectJumps(t *testing.T) {
+	p := attacks.SpectreBTB(11, 1)
+	mp := Mutate(p, MutateOptions{Strength: 0.5, Seed: 1})
+	if mp != p {
+		t.Fatal("programs with indirect jumps must be returned unmodified")
+	}
+}
+
+func TestMutateStrengthScalesDilution(t *testing.T) {
+	p := attacks.FlushReload(11, 1)
+	weak := Mutate(p, MutateOptions{Strength: 0.1, Seed: 2})
+	strong := Mutate(p, MutateOptions{Strength: 0.8, CacheNoise: true, Seed: 2})
+	if strong.Len() <= weak.Len() {
+		t.Fatalf("strength had no effect: %d vs %d", weak.Len(), strong.Len())
+	}
+}
+
+func TestTransyntherVariants(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		p := Transynther(seed, 1)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		m := sim.New(sim.DefaultConfig(), p)
+		m.Run(3_000_000)
+		if !m.Done() {
+			t.Fatalf("seed %d did not finish", seed)
+		}
+		// Meltdown-style variants must exercise a replay channel.
+		if m.C.CommitFaults == 0 && m.C.LSQIgnoredResponses == 0 {
+			t.Fatalf("seed %d produced no fault/assist activity", seed)
+		}
+	}
+}
+
+func TestTransyntherDiversity(t *testing.T) {
+	a, b := Transynther(1, 1), Transynther(2, 1)
+	if a.Len() == b.Len() {
+		// Same structure is possible; check register seeds differ.
+		if a.InitRegs[isa.R21] == b.InitRegs[isa.R21] {
+			t.Fatal("seeds produced identical variants")
+		}
+	}
+}
+
+func TestTRRespassManySided(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.DRAM.FlipThreshold = 150
+	cfg.DRAM.TRRTrackers = 2
+	flipped := 0
+	for seed := int64(0); seed < 6; seed++ {
+		p := TRRespass(seed, 2)
+		m := sim.New(cfg, p)
+		m.Run(5_000_000)
+		if !m.Done() {
+			t.Fatalf("seed %d did not finish", seed)
+		}
+		if m.DRAM().Stats.BitFlips > 0 {
+			flipped++
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("no TRRespass pattern defeated the weak TRR")
+	}
+}
+
+func TestOsirisTriples(t *testing.T) {
+	for seed := int64(0); seed < 9; seed++ {
+		p := Osiris(seed, 1)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		m := sim.New(sim.DefaultConfig(), p)
+		m.Run(3_000_000)
+		if !m.Done() {
+			t.Fatalf("seed %d did not finish", seed)
+		}
+	}
+}
+
+// tinyDetector trains a 3-feature perceptron where feature 0 is the
+// "leak-critical" one.
+func tinyDetector(t *testing.T) *detect.Detector {
+	t.Helper()
+	fs := &detect.FeatureSet{Name: "tiny", Indices: []int{0, 1, 2}, Names: []string{"a", "b", "c"}}
+	d := detect.NewPerceptron(1, fs)
+	rng := rand.New(rand.NewSource(4))
+	var base [][]float64
+	var labels []bool
+	for i := 0; i < 400; i++ {
+		mal := i%2 == 0
+		x := []float64{rng.Float64() * 0.2, rng.Float64() * 0.5, rng.Float64() * 0.5}
+		if mal {
+			x[0] = 0.6 + rng.Float64()*0.4
+		}
+		base = append(base, x)
+		labels = append(labels, mal)
+	}
+	d.TrainVectors(base, labels, detect.DefaultTrainOptions())
+	return d
+}
+
+func TestAMLEvadesWeakDetectorWithoutFloors(t *testing.T) {
+	d := tinyDetector(t)
+	aml := NewAML([]float64{0, 0, 0}) // unconstrained
+	mal := []float64{0.9, 0.3, 0.3}
+	if !d.FlagBase(mal) {
+		t.Fatal("malicious sample not flagged pre-attack")
+	}
+	res := aml.Perturb(d, mal, false)
+	if !res.Evaded {
+		t.Fatal("unconstrained AML failed to evade a linear detector")
+	}
+}
+
+func TestAMLFloorsBlockEvasionWhenMarginLarge(t *testing.T) {
+	d := tinyDetector(t)
+	// Floor the leak-critical feature at the malicious operating level.
+	aml := NewAML([]float64{0.6, 0, 0})
+	mal := []float64{0.9, 0.3, 0.3}
+	res := aml.Perturb(d, mal, true)
+	if res.Evaded {
+		// With the decision boundary below the floor (a well-margined
+		// detector on feature 0), evasion should be impossible.
+		t.Fatalf("evaded while respecting floors: adv=%v score=%v threshold=%v",
+			res.Adv, d.ScoreBase(res.Adv), d.Threshold)
+	}
+	if !res.AttackAlive {
+		t.Fatal("floors were violated despite respectFloors")
+	}
+}
+
+func TestAMLIgnoringFloorsDisablesAttack(t *testing.T) {
+	d := tinyDetector(t)
+	aml := NewAML([]float64{0.6, 0, 0})
+	mal := []float64{0.9, 0.3, 0.3}
+	res := aml.Perturb(d, mal, false)
+	if res.Evaded && res.AttackAlive {
+		t.Fatal("evasion succeeded with the attack alive — detector margin too small for this synthetic setup")
+	}
+}
+
+func TestFloorsFromSamples(t *testing.T) {
+	attack := [][]float64{
+		{0.8, 0.1, 0.5},
+		{0.9, 0.2, 0.6},
+		{0.7, 0.1, 0.4},
+	}
+	benign := [][]float64{
+		{0.1, 0.1, 0.5},
+		{0.05, 0.15, 0.45},
+		{0.12, 0.12, 0.55},
+	}
+	floors := FloorsFromSamples(attack, benign, 0.5)
+	if floors[0] <= 0 {
+		t.Fatal("leak-critical feature 0 got no floor")
+	}
+	if floors[1] != 0 {
+		t.Fatal("noise feature 1 got a floor")
+	}
+	if floors[2] != 0 {
+		t.Fatal("feature 2 matches benign levels; no floor expected")
+	}
+	if FloorsFromSamples(nil, benign, 0.5) != nil {
+		t.Fatal("empty attack set should give nil floors")
+	}
+}
+
+func TestDescendReachesFloorMinimum(t *testing.T) {
+	d := tinyDetector(t)
+	aml := NewAML([]float64{0.6, 0, 0})
+	aml.MaxIter = 200
+	mal := []float64{0.9, 0.3, 0.3}
+	res := aml.Descend(d, mal)
+	// Descend never stops at the boundary: the floored feature must sit
+	// exactly at its floor and the others at a box extreme.
+	if res.Adv[0] != 0.6 {
+		t.Fatalf("floored feature at %v, want 0.6", res.Adv[0])
+	}
+	if !res.AttackAlive {
+		t.Fatal("Descend crossed a floor")
+	}
+	// The descended score is at most the boundary-stop score.
+	stop := aml.Perturb(d, []float64{0.9, 0.3, 0.3}, true)
+	if d.ScoreBase(res.Adv) > d.ScoreBase(stop.Adv)+1e-12 {
+		t.Fatal("Descend found a higher score than Perturb")
+	}
+}
+
+func TestMonotoneDetectorBlocksAML(t *testing.T) {
+	// Against a monotone detector, a floor-respecting attacker cannot
+	// push the score below the floor point's score.
+	fs := &detect.FeatureSet{Name: "m", Indices: []int{0, 1, 2}, Names: []string{"a", "b", "c"}}
+	d := detect.NewPerceptron(5, fs)
+	rng := rand.New(rand.NewSource(7))
+	var base [][]float64
+	var labels []bool
+	for i := 0; i < 300; i++ {
+		mal := i%2 == 0
+		x := []float64{rng.Float64() * 0.2, rng.Float64() * 0.4, rng.Float64() * 0.4}
+		if mal {
+			x[0] = 0.6 + rng.Float64()*0.4
+		}
+		base = append(base, x)
+		labels = append(labels, mal)
+	}
+	opts := detect.DefaultTrainOptions()
+	opts.Monotone = true
+	d.TrainVectors(base, labels, opts)
+	aml := NewAML([]float64{0.6, 0, 0})
+	aml.MaxIter = 300
+	res := aml.Perturb(d, []float64{0.9, 0.3, 0.3}, true)
+	if res.Evaded {
+		t.Fatalf("monotone detector evaded at score %v (threshold %v)",
+			d.ScoreBase(res.Adv), d.Threshold)
+	}
+}

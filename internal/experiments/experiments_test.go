@@ -1,0 +1,326 @@
+package experiments
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"evax/internal/isa"
+	"evax/internal/sim"
+)
+
+// The quick lab is expensive (corpus + GAN + detectors); tests share one.
+var (
+	labOnce sync.Once
+	quick   *Lab
+)
+
+func quickLab(t *testing.T) *Lab {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("experiment lab build")
+	}
+	labOnce.Do(func() { quick = NewLab(QuickLabOptions()) })
+	return quick
+}
+
+func TestLabPipelineArtifacts(t *testing.T) {
+	lab := quickLab(t)
+	if len(lab.DS.Samples) < 500 {
+		t.Fatalf("corpus too small: %s", lab.DS.Stats())
+	}
+	if got := len(lab.DS.Classes()); got != int(isa.NumClasses) {
+		t.Fatalf("classes in corpus = %d, want %d", got, isa.NumClasses)
+	}
+	if len(lab.Mined) != 12 {
+		t.Fatalf("mined %d engineered HPCs, want 12", len(lab.Mined))
+	}
+	if lab.PerSpec.FS.Dim() != 106 {
+		t.Fatalf("PerSpectron dim = %d", lab.PerSpec.FS.Dim())
+	}
+	if lab.EVAX.FS.Dim() != 145 {
+		t.Fatalf("EVAX dim = %d", lab.EVAX.FS.Dim())
+	}
+}
+
+func TestTableI(t *testing.T) {
+	lab := quickLab(t)
+	r := TableI(lab)
+	if len(r.Features) != 12 {
+		t.Fatalf("Table I rows = %d, want 12", len(r.Features))
+	}
+	out := r.String()
+	if !strings.Contains(out, "AND") {
+		t.Fatal("Table I rendering missing AND combinations")
+	}
+	for _, f := range r.Features {
+		if f.A >= f.B {
+			t.Fatalf("unordered engineered pair %+v", f)
+		}
+	}
+}
+
+func TestTableII(t *testing.T) {
+	r := TableII()
+	out := r.String()
+	for _, want := range []string{"ROBEntries=192", "LQEntries=32", "4096 BTB", "16 RAS", "64KB", "2MB"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table II missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigure6StyleSeparation(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure6(lab)
+	if r.LossBC >= r.LossAC {
+		t.Fatalf("generated %s not closer to its own type: same=%.5f cross=%.5f",
+			r.BaseClass, r.LossBC, r.LossAC)
+	}
+	if len(r.GramB) != len(r.Features) {
+		t.Fatalf("gram dimension %d != features %d", len(r.GramB), len(r.Features))
+	}
+}
+
+func TestFigure7StyleLossDecreases(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure7(lab)
+	if len(r.StyleLoss) == 0 {
+		t.Fatal("no style loss trace")
+	}
+	final := r.StyleLoss[len(r.StyleLoss)-1]
+	if final >= r.InitialStyleLoss {
+		t.Fatalf("style loss did not decrease: initial %.5f, final %.5f",
+			r.InitialStyleLoss, final)
+	}
+}
+
+func TestFigure9to11Separation(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure9to11(lab)
+	if len(r.Rows) < 3 {
+		t.Fatalf("only %d separation rows", len(r.Rows))
+	}
+	// Each highlighted HPC must elevate for at least one of its attack
+	// classes relative to benign.
+	for _, row := range r.Rows {
+		elevated := false
+		for _, v := range row.Attacks {
+			if v > 1.5*row.BenignMean {
+				elevated = true
+			}
+		}
+		if !elevated {
+			t.Errorf("%s does not separate its classes: %+v", row.Feature, row)
+		}
+	}
+}
+
+func TestFigure14AdaptiveIPC(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure14(lab)
+	if r.Baseline <= 0 {
+		t.Fatal("no baseline IPC")
+	}
+	get := func(name string) Figure14Series {
+		for _, s := range r.Series {
+			if strings.Contains(s.Name, name) {
+				return s
+			}
+		}
+		t.Fatalf("series %q missing", name)
+		return Figure14Series{}
+	}
+	evaxFence := get("EVAX-SpectreSafe")
+	// The adaptive architecture keeps IPC near baseline (paper: above
+	// 0.85 in most regions).
+	if evaxFence.MeanIPC < 0.85*r.Baseline {
+		t.Fatalf("EVAX-SpectreSafe IPC %.3f below 85%% of baseline %.3f",
+			evaxFence.MeanIPC, r.Baseline)
+	}
+	if len(get("InvisiSpec").Timeline) == 0 {
+		t.Fatal("no IPC timeline recorded")
+	}
+}
+
+func TestFigure15FalseRates(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure15(lab)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(r.Rows))
+	}
+	byKey := map[string]Figure15Row{}
+	for _, row := range r.Rows {
+		if row.Interval == lab.Opts.Corpus.Interval {
+			byKey[row.Detector] = row
+		}
+		// Detection of attacks must be near-total at every cadence.
+		if row.FNR > 0.1 {
+			t.Errorf("%s at interval %d: FNR %.3f too high", row.Detector, row.Interval, row.FNR)
+		}
+	}
+	ps, ev := byKey["PerSpectron"], byKey["EVAX"]
+	// The paper's headline: EVAX improves false positives over
+	// PerSpectron.
+	if ev.FPPer10K > ps.FPPer10K {
+		t.Fatalf("EVAX FP/10k (%.4f) above PerSpectron (%.4f)", ev.FPPer10K, ps.FPPer10K)
+	}
+	// Absolute practicality: a handful of FPs per 10k instructions max.
+	if ev.FPPer10K > 1.0 {
+		t.Fatalf("EVAX FP/10k = %.4f, not deployment-practical", ev.FPPer10K)
+	}
+}
+
+func TestFigure16OverheadReduction(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure16(lab)
+	always := map[sim.Policy]float64{}
+	for _, row := range r.Rows {
+		if row.Gating == "always-on" {
+			always[row.Policy] = row.Overhead
+		}
+	}
+	// Always-on fencing must be expensive; InvisiSpec cheaper but real.
+	if always[sim.PolicyFenceAfterBranch] < 0.3 {
+		t.Fatalf("always-on Spectre fencing overhead %.3f implausibly low", always[sim.PolicyFenceAfterBranch])
+	}
+	if always[sim.PolicyFenceBeforeLoad] <= always[sim.PolicyFenceAfterBranch] {
+		t.Fatal("futuristic fencing not costlier than Spectre fencing")
+	}
+	if always[sim.PolicyInvisiSpecSpectre] >= always[sim.PolicyFenceAfterBranch] {
+		t.Fatal("InvisiSpec not cheaper than fencing")
+	}
+	if always[sim.PolicyInvisiSpecFuturistic] <= always[sim.PolicyInvisiSpecSpectre] {
+		t.Fatal("futuristic InvisiSpec not costlier than Spectre InvisiSpec")
+	}
+	for _, row := range r.Rows {
+		if row.Gating == "evax" {
+			// The headline 95% overhead reduction; quick corpora often
+			// reach ~100% because no benign window false-positives.
+			if row.Reduction < 0.9 {
+				t.Errorf("%s: EVAX gating reduction %.2f below 90%%", row.Name, row.Reduction)
+			}
+		}
+	}
+}
+
+func TestFigure17EvasiveResilience(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure17(lab, 4)
+	if len(r.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(r.Rows))
+	}
+	if r.MeanAUCEVAX <= r.MeanAUCPerSpectron {
+		t.Fatalf("EVAX mean AUC %.3f not above PerSpectron %.3f",
+			r.MeanAUCEVAX, r.MeanAUCPerSpectron)
+	}
+	if r.MeanAUCEVAX < 0.9 {
+		t.Fatalf("EVAX mean AUC %.3f below 0.9 on evasive tools", r.MeanAUCEVAX)
+	}
+}
+
+func TestFigure18AdversarialML(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure18(lab)
+	if r.Attempts < 50 {
+		t.Fatalf("only %d AML attempts", r.Attempts)
+	}
+	if r.AccEVAX <= r.AccPFuzzer {
+		t.Fatalf("EVAX accuracy under AML (%.2f) not above fuzzer-hardened PerSpectron (%.2f)",
+			r.AccEVAX, r.AccPFuzzer)
+	}
+	if r.AccEVAX < 0.8 {
+		t.Fatalf("EVAX accuracy under AML %.2f below 0.8", r.AccEVAX)
+	}
+	// Over-evasion must disable the attack (the margin argument).
+	if r.DisabledShare < 0.5 {
+		t.Fatalf("only %.2f of unconstrained evasions disabled the attack", r.DisabledShare)
+	}
+}
+
+func TestFigure19KFold(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure19(lab, []isa.Class{isa.ClassMeltdown, isa.ClassDRAMA, isa.ClassFlushConflict})
+	if len(r.Rows) != 3 {
+		t.Fatalf("folds = %d, want 3", len(r.Rows))
+	}
+	if r.MeanEVAX > r.MeanPerSpec {
+		t.Fatalf("EVAX mean generalization error %.3f above PerSpectron %.3f",
+			r.MeanEVAX, r.MeanPerSpec)
+	}
+}
+
+func TestFigure20DeepNets(t *testing.T) {
+	lab := quickLab(t)
+	r := Figure20(lab, []int{1, 8})
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	byKey := func(depth int, mode string) Figure20Row {
+		for _, row := range r.Rows {
+			if row.HiddenLayers == depth && row.Training == mode {
+				return row
+			}
+		}
+		t.Fatalf("row %d/%s missing", depth, mode)
+		return Figure20Row{}
+	}
+	// EVAX training must not hurt the shallow model and must lift the
+	// deep model's median (the paper's Figure 20 shape).
+	deepTrad := byKey(8, "traditional")
+	deepEVAX := byKey(8, "evax")
+	if deepEVAX.MedianAcc < deepTrad.MedianAcc {
+		t.Fatalf("EVAX training lowered deep median: %.3f vs %.3f",
+			deepEVAX.MedianAcc, deepTrad.MedianAcc)
+	}
+	if byKey(1, "evax").MedianAcc < 0.9 {
+		t.Fatal("shallow EVAX-trained detector inaccurate")
+	}
+}
+
+func TestZeroDayTPR(t *testing.T) {
+	lab := quickLab(t)
+	classes := []isa.Class{isa.ClassRDRANDCovert, isa.ClassFlushConflict, isa.ClassDRAMA}
+	r := ZeroDayTPR(lab, classes)
+	if len(r.Rows) != len(classes) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.TPREVAX < row.TPRPerSpec-0.05 {
+			t.Errorf("%s: zero-day EVAX TPR %.2f below PerSpectron %.2f",
+				row.Class, row.TPREVAX, row.TPRPerSpec)
+		}
+		if row.TPRRetrain < 0.9 {
+			t.Errorf("%s: retrained TPR %.2f below 0.9", row.Class, row.TPRRetrain)
+		}
+	}
+}
+
+func TestHardenAdversarialMonotone(t *testing.T) {
+	lab := quickLab(t)
+	d := lab.HardenAdversarial(lab.EVAX, 2)
+	for _, l := range d.Net.Layers {
+		for o := range l.W {
+			for i := range l.W[o] {
+				if l.W[o][i] < 0 {
+					t.Fatalf("hardened detector has negative weight %v", l.W[o][i])
+				}
+			}
+		}
+	}
+}
+
+func TestEvalCorpusNormalizedByTraining(t *testing.T) {
+	lab := quickLab(t)
+	samples := lab.EvalCorpus(9100)
+	if len(samples) < 100 {
+		t.Fatalf("eval corpus too small: %d", len(samples))
+	}
+	for i := range samples {
+		for _, v := range samples[i].Derived {
+			if v < 0 || v > 1 {
+				t.Fatalf("unnormalized eval value %v", v)
+			}
+		}
+	}
+}

@@ -1,0 +1,580 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"evax/internal/attacks"
+	"evax/internal/dataset"
+	"evax/internal/detect"
+	"evax/internal/evasion"
+	"evax/internal/gram"
+	"evax/internal/isa"
+	"evax/internal/metrics"
+	"evax/internal/sim"
+)
+
+// Figure6Result compares leakage-phase Gram matrices: a base attack (B), a
+// different-type attack (A), and an AM-GAN-generated sample of B's type (C).
+// Same-type pairs have low style loss; cross-type pairs high.
+type Figure6Result struct {
+	Features   []string
+	BaseClass  isa.Class // B and C's type
+	OtherClass isa.Class // A's type
+	GramA      [][]float64
+	GramB      [][]float64
+	GramC      [][]float64
+	LossBC     float64 // same type: near zero
+	LossAC     float64 // cross type: larger
+}
+
+// Figure6 reproduces the Gram-matrix interpretability check with
+// Spectre-RSB as the conditioning type and Meltdown as the contrast.
+func Figure6(lab *Lab) Figure6Result {
+	fs := detect.EVAXBase()
+	featNames := []string{"commit.Faults", "branchPred.RASUnderflows", "lsq.squashedLoads"}
+	var featPos []int
+	for _, n := range featNames {
+		for i, fn := range fs.Names {
+			if fn == n {
+				featPos = append(featPos, i)
+			}
+		}
+	}
+	leakWindows := func(c isa.Class) [][]float64 {
+		var out [][]float64
+		for i := range lab.DS.Samples {
+			s := &lab.DS.Samples[i]
+			if s.Class == c && s.HasPhase(isa.PhaseLeak) {
+				base := fs.Base(s.Derived)
+				row := make([]float64, len(featPos))
+				for k, p := range featPos {
+					row[k] = base[p]
+				}
+				out = append(out, row)
+			}
+		}
+		return out
+	}
+	project := func(vs [][]float64) [][]float64 {
+		out := make([][]float64, len(vs))
+		for i, v := range vs {
+			row := make([]float64, len(featPos))
+			for k, p := range featPos {
+				row[k] = v[p]
+			}
+			out[i] = row
+		}
+		return out
+	}
+	res := Figure6Result{
+		Features:   featNames,
+		BaseClass:  isa.ClassSpectreRSB,
+		OtherClass: isa.ClassMeltdown,
+	}
+	a := leakWindows(res.OtherClass)
+	b := leakWindows(res.BaseClass)
+	c := project(lab.GAN.GenerateFiltered(lab.ClassIndex(res.BaseClass), 32, 6))
+	res.GramA = gram.Matrix(a)
+	res.GramB = gram.Matrix(b)
+	res.GramC = gram.Matrix(c)
+	res.LossBC = gram.StyleLoss(res.GramB, res.GramC, 1)
+	res.LossAC = gram.StyleLoss(res.GramA, res.GramC, 1)
+	return res
+}
+
+// String renders the style-loss comparison.
+func (r Figure6Result) String() string {
+	return fmt.Sprintf(
+		"Figure 6: Gram-matrix attack style (features %v)\n"+
+			"  L_GM(%s real, %s generated) = %.5f (same type: low)\n"+
+			"  L_GM(%s real, %s generated) = %.5f (cross type: high)\n",
+		r.Features, r.BaseClass, r.BaseClass, r.LossBC, r.OtherClass, r.BaseClass, r.LossAC)
+}
+
+// Figure7Result is the style-loss trace over AM-GAN training epochs,
+// starting from the untrained generator's style loss.
+type Figure7Result struct {
+	InitialStyleLoss float64
+	StyleLoss        []float64
+	DLoss            []float64
+	GLoss            []float64
+}
+
+// Figure7 returns the quality trace of the lab's AM-GAN training run.
+func Figure7(lab *Lab) Figure7Result {
+	r := Figure7Result{InitialStyleLoss: lab.GANTrace.InitialStyleLoss}
+	for _, e := range lab.GANTrace.Epochs {
+		r.StyleLoss = append(r.StyleLoss, e.StyleLoss)
+		r.DLoss = append(r.DLoss, e.DLoss)
+		r.GLoss = append(r.GLoss, e.GLoss)
+	}
+	return r
+}
+
+// String renders the trace.
+func (r Figure7Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: Attack style loss during AM-GAN training\n")
+	fmt.Fprintf(&b, "  untrained L_GM=%.5f\n", r.InitialStyleLoss)
+	for i := range r.StyleLoss {
+		fmt.Fprintf(&b, "  epoch %2d  L_GM=%.5f  dLoss=%.4f  gLoss=%.4f\n",
+			i, r.StyleLoss[i], r.DLoss[i], r.GLoss[i])
+	}
+	return b.String()
+}
+
+// Figure17Row is one detector's resilience against one evasive-tool family.
+type Figure17Row struct {
+	Tool     string
+	Detector string
+	AUC      float64
+	Samples  int
+}
+
+// Figure17Result is the evasive-technology ROC comparison.
+type Figure17Result struct {
+	Rows []Figure17Row
+	// MeanAUCPerSpectron / MeanAUCEVAX aggregate across tools.
+	MeanAUCPerSpectron float64
+	MeanAUCEVAX        float64
+}
+
+// evasiveSamples builds the attack sample set for one tool family, plus
+// mutated known attacks (the "manual evasion" set).
+func (lab *Lab) evasiveSamples(tool string, seeds int) []dataset.Sample {
+	cfg := sim.DefaultConfig()
+	o := lab.Opts.Corpus
+	var progs []*isa.Program
+	for s := 0; s < seeds; s++ {
+		switch tool {
+		case "transynther":
+			progs = append(progs, evasion.Transynther(int64(s)+501, 8))
+		case "trrespass":
+			progs = append(progs, evasion.TRRespass(int64(s)+601, 3))
+		case "osiris":
+			progs = append(progs, evasion.Osiris(int64(s)+701, 4))
+		case "mutation":
+			specs := attacks.All()
+			spec := specs[s%len(specs)]
+			p := spec.Build(int64(s)+801, 12)
+			progs = append(progs, evasion.Mutate(p, evasion.MutateOptions{
+				Strength: 0.35, CacheNoise: true, SyscallNoise: s%2 == 0, Seed: int64(s) + 31,
+			}))
+		}
+	}
+	var out []dataset.Sample
+	for pi, p := range progs {
+		// Every tool output is additionally diluted with benign noise
+		// (bandwidth evasion): the signature is spread thin across
+		// windows while the attack keeps running.
+		mp := evasion.Mutate(p, evasion.MutateOptions{
+			Strength: 1.8, CacheNoise: true, Seed: int64(pi) + 97,
+		})
+		out = append(out, dataset.Collect(cfg, mp, o.Interval, o.MaxInstr)...)
+	}
+	for i := range out {
+		lab.DS.NormalizeInPlace(out[i].Derived)
+	}
+	return out
+}
+
+// Figure17 scores both detectors on evasive-tool samples mixed with unseen
+// benign traffic and reports per-tool AUC.
+func Figure17(lab *Lab, seedsPerTool int) Figure17Result {
+	benign := lab.benignEval(4500)
+	var res Figure17Result
+	var sumPS, sumEV float64
+	tools := []string{"transynther", "trrespass", "osiris", "mutation"}
+	for _, tool := range tools {
+		evasive := lab.evasiveSamples(tool, seedsPerTool)
+		var scoresPS, scoresEV []float64
+		var labels []bool
+		add := func(s *dataset.Sample, label bool) {
+			scoresPS = append(scoresPS, lab.PerSpec.Score(s.Derived))
+			scoresEV = append(scoresEV, lab.EVAX.Score(s.Derived))
+			labels = append(labels, label)
+		}
+		for i := range evasive {
+			add(&evasive[i], true)
+		}
+		for i := range benign {
+			add(&benign[i], false)
+		}
+		aucPS := metrics.AUCFromScores(scoresPS, labels)
+		aucEV := metrics.AUCFromScores(scoresEV, labels)
+		res.Rows = append(res.Rows,
+			Figure17Row{tool, "PerSpectron", aucPS, len(evasive)},
+			Figure17Row{tool, "EVAX", aucEV, len(evasive)},
+		)
+		sumPS += aucPS
+		sumEV += aucEV
+	}
+	res.MeanAUCPerSpectron = sumPS / float64(len(tools))
+	res.MeanAUCEVAX = sumEV / float64(len(tools))
+	return res
+}
+
+// benignEval collects unseen benign windows normalized by the training set.
+func (lab *Lab) benignEval(seedOffset int64) []dataset.Sample {
+	o := lab.Opts.Corpus
+	o.SeedOffset = seedOffset
+	o.BenignOnly = true
+	samples := dataset.CollectAll(o)
+	for i := range samples {
+		lab.DS.NormalizeInPlace(samples[i].Derived)
+	}
+	return samples
+}
+
+// String renders the resilience table.
+func (r Figure17Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 17: Resiliency (AUC) against evasive attack-generation tools\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %-12s AUC=%.3f (%d samples)\n", row.Tool, row.Detector, row.AUC, row.Samples)
+	}
+	fmt.Fprintf(&b, "  mean AUC: PerSpectron=%.3f EVAX=%.3f\n", r.MeanAUCPerSpectron, r.MeanAUCEVAX)
+	return b.String()
+}
+
+// Figure18Result reports the adversarial-ML experiment: accuracy on AML
+// samples for a fuzzer-hardened PerSpectron versus EVAX, plus how many
+// evasion attempts were forced past the leakage floors (disabling the
+// attack).
+type Figure18Result struct {
+	AccPFuzzer float64 // detected fraction under AML (fuzzer-hardened)
+	AccEVAX    float64
+	// DisabledShare is the share of unconstrained evasions that crossed
+	// leakage floors against EVAX — evasions that kill the attack.
+	DisabledShare float64
+	Attempts      int
+}
+
+// HardenAdversarial returns a copy-trained detector whose classification
+// margin has been pushed in the worst adversarial directions: for several
+// rounds, floor-respecting AML perturbations of the malicious training
+// samples (the reachable evasion region, since leakage floors bound how far
+// a *working* attack can move) are added to the training set labelled
+// malicious. This realizes the paper's core defense: once the boundary lies
+// beyond the leakage window, any evasion that crosses it kills the attack.
+func (lab *Lab) HardenAdversarial(base *detect.Detector, rounds int) *detect.Detector {
+	fs := base.FS
+	d := detect.NewPerceptron(lab.Opts.Seed+31, fs)
+
+	var benign [][]float64
+	var trainVecs [][]float64
+	var trainLabels []bool
+	perClass := map[isa.Class][][]float64{}
+	for i := range lab.DS.Samples {
+		s := &lab.DS.Samples[i]
+		v := fs.Base(s.Derived)
+		trainVecs = append(trainVecs, v)
+		trainLabels = append(trainLabels, s.Malicious)
+		if !s.Malicious {
+			benign = append(benign, v)
+		} else if s.HasPhase(isa.PhaseLeak) {
+			perClass[s.Class] = append(perClass[s.Class], v)
+		}
+	}
+	gen, genLabels := lab.GeneratedAugmentation(lab.Opts.GenPerClass)
+	trainVecs = append(trainVecs, gen...)
+	trainLabels = append(trainLabels, genLabels...)
+
+	opts := detect.DefaultTrainOptions()
+	opts.Monotone = true // close the negative-weight evasion channel
+	d.TrainVectors(trainVecs, trainLabels, opts)
+	lab.tuneThreshold(d)
+	for r := 0; r < rounds; r++ {
+		var advVecs [][]float64
+		for c := isa.ClassBenign + 1; c < isa.NumClasses; c++ {
+			vecs := perClass[c]
+			if len(vecs) < 3 {
+				continue
+			}
+			floors := evasion.FloorsFromSamples(vecs, benign, 1.0)
+			aml := evasion.NewAML(floors)
+			aml.MaxIter = 120
+			for k := 0; k < len(vecs) && k < 8; k++ {
+				// Descend to the worst-case reachable point — the
+				// floor-constrained minimum — and make it part of
+				// the malicious class.
+				res := aml.Descend(d, vecs[k])
+				if res.Evaded {
+					advVecs = append(advVecs, res.Adv)
+				}
+			}
+		}
+		if len(advVecs) == 0 {
+			break // margin already beyond every reachable evasion
+		}
+		for range advVecs {
+			trainLabels = append(trainLabels, true)
+		}
+		trainVecs = append(trainVecs, advVecs...)
+		d = detect.NewPerceptron(lab.Opts.Seed+31+int64(r), fs)
+		d.TrainVectors(trainVecs, trainLabels, opts)
+		lab.tuneThreshold(d)
+	}
+	return d
+}
+
+// Figure18 runs the white-box AML attack against both detectors on the
+// corpus's attack leak windows.
+func Figure18(lab *Lab) Figure18Result {
+	// Fuzzer-hardened PerSpectron: augmented with evasive-tool samples.
+	fuzz := lab.evasiveSamples("transynther", 4)
+	fuzz = append(fuzz, lab.evasiveSamples("osiris", 4)...)
+	psFS := detect.PerSpectron()
+	var fuzzVec [][]float64
+	var fuzzLab []bool
+	for i := range fuzz {
+		fuzzVec = append(fuzzVec, psFS.Base(fuzz[i].Derived))
+		fuzzLab = append(fuzzLab, true)
+	}
+	pfuzzer := lab.TrainDetectorLike("pfuzzer", lab.allIdx(), fuzzVec, fuzzLab)
+
+	// EVAX's vaccinated, adversarially-hardened detector. Both arms run
+	// at the paper's high-sensitivity operating point.
+	hardened := lab.HardenAdversarial(lab.EVAX, 3)
+	lab.tuneThresholdAt(pfuzzer, 0.04)
+	lab.tuneThresholdAt(hardened, 0.04)
+
+	// Floors per class from the corpus (leak-critical medians).
+	run := func(d *detect.Detector) (detected, attempts, disabled int) {
+		fs := d.FS
+		var benign [][]float64
+		for i := range lab.DS.Samples {
+			if !lab.DS.Samples[i].Malicious {
+				benign = append(benign, fs.Base(lab.DS.Samples[i].Derived))
+			}
+		}
+		perClass := map[isa.Class][][]float64{}
+		for i := range lab.DS.Samples {
+			s := &lab.DS.Samples[i]
+			if s.Malicious && s.HasPhase(isa.PhaseLeak) {
+				perClass[s.Class] = append(perClass[s.Class], fs.Base(s.Derived))
+			}
+		}
+		for c := isa.ClassBenign + 1; c < isa.NumClasses; c++ {
+			vecs := perClass[c]
+			if len(vecs) < 3 {
+				continue
+			}
+			floors := evasion.FloorsFromSamples(vecs, benign, 1.0)
+			aml := evasion.NewAML(floors)
+			for k := 0; k < len(vecs) && k < 10; k++ {
+				attempts++
+				res := aml.Perturb(d, vecs[k], true)
+				if !res.Evaded {
+					detected++
+				}
+				// What would an unconstrained attacker achieve?
+				free := aml.Perturb(d, vecs[k], false)
+				if free.Evaded && !free.AttackAlive {
+					disabled++
+				}
+			}
+		}
+		return
+	}
+	detPF, attPF, _ := run(pfuzzer)
+	detEV, attEV, disEV := run(hardened)
+	res := Figure18Result{Attempts: attEV}
+	if attPF > 0 {
+		res.AccPFuzzer = float64(detPF) / float64(attPF)
+	}
+	if attEV > 0 {
+		res.AccEVAX = float64(detEV) / float64(attEV)
+		res.DisabledShare = float64(disEV) / float64(attEV)
+	}
+	return res
+}
+
+// String renders the AML comparison.
+func (r Figure18Result) String() string {
+	return fmt.Sprintf("Figure 18: Accuracy under adversarial-ML attack (%d attempts)\n"+
+		"  PerSpectron+Fuzzer hardening: %.1f%%\n"+
+		"  EVAX (AM-GAN vaccination):    %.1f%%\n"+
+		"  unconstrained evasions that disabled the attack vs EVAX: %.1f%%\n",
+		r.Attempts, 100*r.AccPFuzzer, 100*r.AccEVAX, 100*r.DisabledShare)
+}
+
+// Figure19Row is one fold of the zero-day cross-validation.
+type Figure19Row struct {
+	HeldOut     isa.Class
+	ErrPerSpec  float64
+	ErrPFuzzer  float64
+	ErrEVAX     float64
+	TestSamples int
+}
+
+// Figure19Result is the k-fold generalization-error comparison.
+type Figure19Result struct {
+	Rows []Figure19Row
+	// Mean generalization errors.
+	MeanPerSpec, MeanPFuzzer, MeanEVAX float64
+}
+
+// Figure19 runs attack-holdout cross-validation. When only is non-empty,
+// folds are restricted to those classes (tests use a subset; the benchmark
+// runs all).
+func Figure19(lab *Lab, only []isa.Class) Figure19Result {
+	folds := lab.DS.KFoldByAttack(lab.Opts.Seed)
+	filter := map[isa.Class]bool{}
+	for _, c := range only {
+		filter[c] = true
+	}
+	// Shared fuzzer augmentation for the P.Fuzzer arm.
+	fuzz := lab.evasiveSamples("transynther", 3)
+	fuzz = append(fuzz, lab.evasiveSamples("trrespass", 2)...)
+	psFS := detect.PerSpectron()
+
+	var res Figure19Result
+	var n float64
+	for _, fold := range folds {
+		if len(only) > 0 && !filter[fold.HeldOut] {
+			continue
+		}
+		var fuzzVec [][]float64
+		var fuzzLab []bool
+		for i := range fuzz {
+			// Exclude fuzzer samples of the held-out class from the
+			// P.Fuzzer training augmentation.
+			if fuzz[i].Class == fold.HeldOut {
+				continue
+			}
+			fuzzVec = append(fuzzVec, psFS.Base(fuzz[i].Derived))
+			fuzzLab = append(fuzzLab, true)
+		}
+		ps := lab.TrainDetectorLike("perspectron", fold.Train, nil, nil)
+		pf := lab.TrainDetectorLike("pfuzzer", fold.Train, fuzzVec, fuzzLab)
+		ev := lab.TrainDetectorLike("evax", fold.Train, nil, nil)
+		cps := ps.Evaluate(lab.DS, fold.Test)
+		cpf := pf.Evaluate(lab.DS, fold.Test)
+		cev := ev.Evaluate(lab.DS, fold.Test)
+		row := Figure19Row{
+			HeldOut:     fold.HeldOut,
+			ErrPerSpec:  cps.GeneralizationError(),
+			ErrPFuzzer:  cpf.GeneralizationError(),
+			ErrEVAX:     cev.GeneralizationError(),
+			TestSamples: len(fold.Test),
+		}
+		res.Rows = append(res.Rows, row)
+		res.MeanPerSpec += row.ErrPerSpec
+		res.MeanPFuzzer += row.ErrPFuzzer
+		res.MeanEVAX += row.ErrEVAX
+		n++
+	}
+	if n > 0 {
+		res.MeanPerSpec /= n
+		res.MeanPFuzzer /= n
+		res.MeanEVAX /= n
+	}
+	return res
+}
+
+// String renders the cross-validation table.
+func (r Figure19Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 19: K-fold (attack-holdout) generalization error\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  holdout %-20s PerSpectron=%.3f  P.Fuzzer=%.3f  EVAX=%.3f  (%d test windows)\n",
+			row.HeldOut, row.ErrPerSpec, row.ErrPFuzzer, row.ErrEVAX, row.TestSamples)
+	}
+	fmt.Fprintf(&b, "  mean: PerSpectron=%.3f  P.Fuzzer=%.3f  EVAX=%.3f\n",
+		r.MeanPerSpec, r.MeanPFuzzer, r.MeanEVAX)
+	return b.String()
+}
+
+// Figure20Row reports one depth/training-mode combination.
+type Figure20Row struct {
+	HiddenLayers int
+	Training     string // "traditional" or "evax"
+	MinAcc       float64
+	MedianAcc    float64
+	MaxAcc       float64
+}
+
+// Figure20Result shows EVAX training lifting deeper detectors.
+type Figure20Result struct {
+	Rows []Figure20Row
+}
+
+// Figure20 trains detectors of several depths with traditional and
+// EVAX (GAN-augmented) data and reports per-attack-class accuracy spreads
+// on a held-out split.
+func Figure20(lab *Lab, depths []int) Figure20Result {
+	if len(depths) == 0 {
+		depths = []int{1, 16, 32}
+	}
+	fs := detect.EVAXBase()
+	fs.Engineered = lab.Mined
+
+	trainVecs, trainLabels, _ := lab.baseVectors(fs, lab.allIdx())
+	gen, genLabels := lab.GeneratedAugmentation(lab.Opts.GenPerClass)
+
+	// Evaluation on unseen program instances; per-class accuracy plays
+	// the role of the paper's per-workload accuracy distribution.
+	eval := lab.EvalCorpus(5200)
+	perClassAcc := func(d *detect.Detector) []float64 {
+		conf := map[isa.Class]*metrics.Confusion{}
+		for i := range eval {
+			s := &eval[i]
+			c, ok := conf[s.Class]
+			if !ok {
+				c = &metrics.Confusion{}
+				conf[s.Class] = c
+			}
+			c.Add(d.Flag(s.Derived), s.Malicious)
+		}
+		var accs []float64
+		for c := isa.ClassBenign; c < isa.NumClasses; c++ {
+			if cf, ok := conf[c]; ok && cf.Total() >= 5 {
+				accs = append(accs, cf.Accuracy())
+			}
+		}
+		return accs
+	}
+
+	var res Figure20Result
+	opts := detect.DefaultTrainOptions()
+	opts.Epochs = 20
+	for _, depth := range depths {
+		for _, mode := range []string{"traditional", "evax"} {
+			var d *detect.Detector
+			if depth <= 1 {
+				d = detect.NewPerceptron(lab.Opts.Seed+int64(depth), fs)
+			} else {
+				d = detect.NewDeep(lab.Opts.Seed+int64(depth), fs, depth, 24)
+			}
+			if mode == "traditional" {
+				d.TrainVectors(trainVecs, trainLabels, opts)
+			} else {
+				d.TrainVectors(append(append([][]float64{}, trainVecs...), gen...),
+					append(append([]bool{}, trainLabels...), genLabels...), opts)
+			}
+			accs := perClassAcc(d)
+			min, max := metrics.MinMax(accs)
+			res.Rows = append(res.Rows, Figure20Row{
+				HiddenLayers: depth,
+				Training:     mode,
+				MinAcc:       min,
+				MedianAcc:    metrics.Median(accs),
+				MaxAcc:       max,
+			})
+		}
+	}
+	return res
+}
+
+// String renders the depth/training comparison.
+func (r Figure20Result) String() string {
+	var b strings.Builder
+	b.WriteString("Figure 20: Improving other ML models with EVAX training\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %2d-layer %-12s acc min/median/max = %.3f / %.3f / %.3f\n",
+			row.HiddenLayers, row.Training, row.MinAcc, row.MedianAcc, row.MaxAcc)
+	}
+	return b.String()
+}

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"evax/internal/featureng"
+	"evax/internal/sim"
+)
+
+// TableIResult is the engineered security-HPC list (paper Table I).
+type TableIResult struct {
+	Features []featureng.ANDFeature
+}
+
+// TableI returns the engineered security HPCs mined from the lab's trained
+// AM-GAN generator.
+func TableI(lab *Lab) TableIResult { return TableIResult{Features: lab.Mined} }
+
+// String renders the table.
+func (r TableIResult) String() string {
+	var b strings.Builder
+	b.WriteString("Table I: Security HPCs engineered by EVAX (mined from the AM-GAN generator)\n")
+	b.WriteString("  #  engineered counter\n")
+	for i, f := range r.Features {
+		fmt.Fprintf(&b, "  %-2d %s\n", i+1, f.Name)
+	}
+	return b.String()
+}
+
+// TableIIRow is one parameter of the simulated architecture.
+type TableIIRow struct{ Name, Value string }
+
+// TableIIResult echoes the simulated architecture (paper Table II).
+type TableIIResult struct {
+	Rows []TableIIRow
+}
+
+// TableII reports the machine configuration used by every experiment.
+func TableII() TableIIResult {
+	c := sim.DefaultConfig()
+	rows := []TableIIRow{
+		{"Architecture", "X86-like O3 single core, single thread (2.0 GHz model)"},
+		{"Core", fmt.Sprintf("Tournament branch predictor, %d RAS entries, %d BTB entries",
+			c.Branch.RASEntries, c.Branch.BTBEntries)},
+		{"Queues", fmt.Sprintf("LQEntries=%d, SQEntries=%d, ROBEntries=%d", c.LQEntries, c.SQEntries, c.ROBEntries)},
+		{"Width", fmt.Sprintf("fetch/disp/issue/commit %d wide", c.FetchWidth)},
+		{"Registers", fmt.Sprintf("numPhysIntRegs=%d", c.PhysIntRegs)},
+		{"L1 I-Cache", fmt.Sprintf("%dKB, %dB line, %d-way", c.L1I.Size>>10, c.L1I.LineSize, c.L1I.Assoc)},
+		{"L1 D-Cache", fmt.Sprintf("%dKB, %dB line, %d-way", c.L1D.Size>>10, c.L1D.LineSize, c.L1D.Assoc)},
+		{"L2 Shared Cache", fmt.Sprintf("%dMB bank, %dB line, %d-way, responseLatency=%d, mshrs=%d, writeBuffers=%d, tagLatency=%d, dataLatency=%d",
+			c.L2.Size>>20, c.L2.LineSize, c.L2.Assoc, c.L2.RespLatency, c.L2.MSHRs, c.L2.WriteBufs, c.L2.TagLatency, c.L2.DataLatency)},
+		{"DRAM", fmt.Sprintf("%d banks, %dKB rows, TRR trackers=%d", c.DRAM.Banks, c.DRAM.RowBytes>>10, c.DRAM.TRRTrackers)},
+	}
+	return TableIIResult{Rows: rows}
+}
+
+// String renders the table.
+func (r TableIIResult) String() string {
+	var b strings.Builder
+	b.WriteString("Table II: Parameters of the simulated architecture\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-16s %s\n", row.Name, row.Value)
+	}
+	return b.String()
+}

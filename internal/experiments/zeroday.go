@@ -1,0 +1,77 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"evax/internal/isa"
+	"evax/internal/metrics"
+)
+
+// ZeroDayRow reports one held-out attack's detection.
+type ZeroDayRow struct {
+	Class       isa.Class
+	TPRPerSpec  float64 // PerSpectron, class excluded from training
+	TPREVAX     float64 // EVAX, class excluded from training (zero-day)
+	TPRRetrain  float64 // EVAX trained with the class included
+	TestWindows int
+}
+
+// ZeroDayResult is the §VIII-C zero-day study: per-class true-positive
+// rates with the class held out, and after retraining with it included.
+type ZeroDayResult struct {
+	Rows []ZeroDayRow
+}
+
+// ZeroDayTPR evaluates the given classes (all attack classes when empty) in
+// the hold-one-attack-out setting.
+func ZeroDayTPR(lab *Lab, classes []isa.Class) ZeroDayResult {
+	if len(classes) == 0 {
+		for c := isa.ClassBenign + 1; c < isa.NumClasses; c++ {
+			classes = append(classes, c)
+		}
+	}
+	folds := lab.DS.KFoldByAttack(lab.Opts.Seed)
+	byClass := map[isa.Class]int{}
+	for i, f := range folds {
+		byClass[f.HeldOut] = i
+	}
+	var res ZeroDayResult
+	for _, c := range classes {
+		fi, ok := byClass[c]
+		if !ok {
+			continue
+		}
+		fold := folds[fi]
+		ps := lab.TrainDetectorLike("perspectron", fold.Train, nil, nil)
+		ev := lab.TrainDetectorLike("evax", fold.Train, nil, nil)
+		row := ZeroDayRow{Class: c}
+		var psC, evC, rtC metrics.Confusion
+		for _, i := range fold.Test {
+			s := &lab.DS.Samples[i]
+			if s.Class != c {
+				continue // TPR is measured on the held-out attack only
+			}
+			row.TestWindows++
+			psC.Add(ps.Flag(s.Derived), true)
+			evC.Add(ev.Flag(s.Derived), true)
+			rtC.Add(lab.EVAX.Flag(s.Derived), true)
+		}
+		row.TPRPerSpec = psC.TPR()
+		row.TPREVAX = evC.TPR()
+		row.TPRRetrain = rtC.TPR()
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// String renders the zero-day table.
+func (r ZeroDayResult) String() string {
+	var b strings.Builder
+	b.WriteString("Zero-day detection (hold-one-attack-out TPR)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-20s PerSpectron=%.2f  EVAX=%.2f  EVAX-retrained=%.2f  (%d windows)\n",
+			row.Class, row.TPRPerSpec, row.TPREVAX, row.TPRRetrain, row.TestWindows)
+	}
+	return b.String()
+}

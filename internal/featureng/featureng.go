@@ -1,0 +1,126 @@
+// Package featureng implements the paper's automatic security-HPC
+// engineering (§VI-A): instead of brute-forcing the ~2.6e8 ways to combine
+// counters, it inspects the hidden nodes of the trained AM-GAN generator.
+// The hidden nodes that drive the output feature layer hardest encode which
+// counters the generative model of attacks co-activates; the AND of each
+// such node's two dominant counters becomes a new security-centric HPC
+// (paper Table I, e.g. "lsq.squashedStores AND lsq.forwLoads").
+package featureng
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"evax/internal/ml"
+)
+
+// ANDFeature is one engineered counter: the boolean AND of two base
+// features (indices into the detector's feature space), implementable in
+// hardware with a single gate on the two counters' threshold outputs.
+type ANDFeature struct {
+	A, B   int
+	Name   string
+	Weight float64 // the hidden-node salience that selected it
+}
+
+// Eval computes the engineered feature for a normalized sample: the
+// geometric interaction of the two features (both must be active). The
+// hardware realizes it as threshold(A) AND threshold(B); the continuous
+// form keeps gradient-based tooling working.
+func (f ANDFeature) Eval(features []float64) float64 {
+	return features[f.A] * features[f.B]
+}
+
+// EvalBinary is the hardware form: 1 iff both features exceed their
+// thresholds.
+func (f ANDFeature) EvalBinary(features []float64, thresholds []float64) float64 {
+	if features[f.A] > thresholds[f.A] && features[f.B] > thresholds[f.B] {
+		return 1
+	}
+	return 0
+}
+
+// Mine extracts k engineered features from a trained generator. For each
+// hidden node of the generator's last hidden layer, salience is the largest
+// |weight| connecting it to the output (feature) layer; the node's two
+// strongest output connections name the counters to combine. featureOf maps
+// an output index to a feature index/name in the detector space; outputs
+// mapping to -1 are skipped.
+func Mine(gen *ml.Network, k int, featureOf func(out int) (int, string)) []ANDFeature {
+	if len(gen.Layers) < 2 {
+		return nil
+	}
+	outLayer := gen.Layers[len(gen.Layers)-1]
+	type nodeSal struct {
+		node int
+		sal  float64
+	}
+	sal := make([]nodeSal, outLayer.In)
+	for h := 0; h < outLayer.In; h++ {
+		var m float64
+		for o := 0; o < outLayer.Out; o++ {
+			if a := math.Abs(outLayer.W[o][h]); a > m {
+				m = a
+			}
+		}
+		sal[h] = nodeSal{h, m}
+	}
+	sort.Slice(sal, func(i, j int) bool { return sal[i].sal > sal[j].sal })
+
+	var out []ANDFeature
+	seen := map[[2]int]bool{}
+	for _, ns := range sal {
+		if len(out) >= k {
+			break
+		}
+		// The node's two dominant output features.
+		best, second := -1, -1
+		var bw, sw float64
+		for o := 0; o < outLayer.Out; o++ {
+			a := math.Abs(outLayer.W[o][ns.node])
+			switch {
+			case a > bw:
+				second, sw = best, bw
+				best, bw = o, a
+			case a > sw:
+				second, sw = o, a
+			}
+		}
+		if best < 0 || second < 0 {
+			continue
+		}
+		ai, an := featureOf(best)
+		bi, bn := featureOf(second)
+		if ai < 0 || bi < 0 || ai == bi {
+			continue
+		}
+		if ai > bi {
+			ai, bi = bi, ai
+			an, bn = bn, an
+		}
+		key := [2]int{ai, bi}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, ANDFeature{
+			A:      ai,
+			B:      bi,
+			Name:   fmt.Sprintf("%s AND %s", an, bn),
+			Weight: ns.sal,
+		})
+	}
+	return out
+}
+
+// Append evaluates the engineered features and appends them to a base
+// feature vector, returning the extended vector.
+func Append(base []float64, feats []ANDFeature) []float64 {
+	out := make([]float64, len(base)+len(feats))
+	copy(out, base)
+	for i, f := range feats {
+		out[len(base)+i] = f.Eval(base)
+	}
+	return out
+}

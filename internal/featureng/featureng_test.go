@@ -1,0 +1,151 @@
+package featureng
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"evax/internal/gan"
+	"evax/internal/ml"
+)
+
+func names(i int) (int, string) { return i, fmt.Sprintf("hpc%d", i) }
+
+func TestMineFromHandCraftedGenerator(t *testing.T) {
+	// Build a 2-hidden-node generator whose node 0 drives outputs 2 and 5
+	// hard and node 1 drives nothing: mining must produce hpc2 AND hpc5.
+	n := ml.New(1, []int{3, 2, 6}, ml.LeakyReLU, ml.Sigmoid)
+	out := n.Layers[1]
+	for o := 0; o < 6; o++ {
+		out.W[o][0] = 0.01
+		out.W[o][1] = 0.01
+	}
+	out.W[2][0] = 5
+	out.W[5][0] = -4
+	feats := Mine(n, 1, names)
+	if len(feats) != 1 {
+		t.Fatalf("mined %d features, want 1", len(feats))
+	}
+	f := feats[0]
+	if f.A != 2 || f.B != 5 {
+		t.Fatalf("mined (%d,%d), want (2,5)", f.A, f.B)
+	}
+	if !strings.Contains(f.Name, "AND") {
+		t.Fatalf("name %q missing AND", f.Name)
+	}
+}
+
+func TestMineDeduplicatesAndBounds(t *testing.T) {
+	n := ml.New(2, []int{4, 8, 5}, ml.LeakyReLU, ml.Sigmoid)
+	feats := Mine(n, 100, names)
+	if len(feats) == 0 {
+		t.Fatal("no features mined from random generator")
+	}
+	seen := map[[2]int]bool{}
+	for _, f := range feats {
+		if f.A >= f.B {
+			t.Fatalf("unordered pair (%d,%d)", f.A, f.B)
+		}
+		k := [2]int{f.A, f.B}
+		if seen[k] {
+			t.Fatalf("duplicate pair %v", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestMineSkipsExcludedFeatures(t *testing.T) {
+	n := ml.New(3, []int{4, 8, 5}, ml.LeakyReLU, ml.Sigmoid)
+	feats := Mine(n, 100, func(i int) (int, string) {
+		if i < 3 {
+			return -1, "" // excluded outputs
+		}
+		return i, fmt.Sprintf("hpc%d", i)
+	})
+	for _, f := range feats {
+		if f.A < 3 || f.B < 3 {
+			t.Fatalf("excluded feature used: %+v", f)
+		}
+	}
+}
+
+func TestMineShallowGeneratorReturnsNil(t *testing.T) {
+	n := ml.New(1, []int{4, 2}, ml.Linear, ml.Sigmoid)
+	if feats := Mine(n, 5, names); feats != nil {
+		t.Fatalf("single-layer network mined %d features", len(feats))
+	}
+}
+
+func TestEvalForms(t *testing.T) {
+	f := ANDFeature{A: 0, B: 2}
+	x := []float64{0.8, 0, 0.5}
+	if got := f.Eval(x); got != 0.4 {
+		t.Fatalf("Eval = %v, want 0.4", got)
+	}
+	th := []float64{0.5, 0.5, 0.4}
+	if f.EvalBinary(x, th) != 1 {
+		t.Fatal("binary AND should fire")
+	}
+	x[2] = 0.3
+	if f.EvalBinary(x, th) != 0 {
+		t.Fatal("binary AND should not fire")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	base := []float64{1, 0.5, 0.2}
+	feats := []ANDFeature{{A: 0, B: 1}, {A: 1, B: 2}}
+	out := Append(base, feats)
+	if len(out) != 5 {
+		t.Fatalf("len = %d", len(out))
+	}
+	if out[3] != 0.5 || out[4] != 0.1 {
+		t.Fatalf("engineered values = %v", out[3:])
+	}
+	// Base must be copied, not aliased.
+	out[0] = 99
+	if base[0] == 99 {
+		t.Fatal("Append aliased the base vector")
+	}
+}
+
+// TestMinedFeaturesTrackCoActivation trains a small AM-GAN on data where
+// features 0 and 1 co-activate in the malicious class, then checks the
+// mined feature set includes a pair touching those features — the paper's
+// claim that generator internals surface security-relevant combinations.
+func TestMinedFeaturesTrackCoActivation(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var samples [][]float64
+	var classes []int
+	for i := 0; i < 120; i++ {
+		v := make([]float64, 6)
+		if i%2 == 0 { // "attack": features 0,1 fire together
+			a := 0.6 + 0.4*rng.Float64()
+			v[0], v[1] = a, a
+		} else { // "benign": diffuse noise
+			for j := range v {
+				v[j] = rng.Float64() * 0.3
+			}
+		}
+		samples = append(samples, v)
+		classes = append(classes, i%2)
+	}
+	cfg := gan.DefaultConfig(6, 2)
+	cfg.GenHidden = []int{12, 8}
+	a := gan.New(cfg)
+	a.Train(samples, classes, 30)
+	feats := Mine(a.Generator(), 4, names)
+	if len(feats) == 0 {
+		t.Fatal("nothing mined")
+	}
+	found := false
+	for _, f := range feats {
+		if f.A == 0 || f.B == 0 || f.A == 1 || f.B == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("mined features %v ignore the co-activating pair", feats)
+	}
+}

@@ -1,0 +1,210 @@
+package gan
+
+import (
+	"math/rand"
+	"testing"
+
+	"evax/internal/gram"
+)
+
+// synthClasses builds two synthetic "attack types" in an 8-feature space:
+// class 0 co-activates features 0&1, class 1 co-activates features 2&3.
+func synthClasses(n int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var samples [][]float64
+	var classes []int
+	for i := 0; i < n; i++ {
+		v := make([]float64, 8)
+		a := 0.5 + 0.5*rng.Float64()
+		c := i % 2
+		if c == 0 {
+			v[0], v[1] = a, a*0.9
+		} else {
+			v[2], v[3] = a, a*0.9
+		}
+		for j := 4; j < 8; j++ {
+			v[j] = rng.Float64() * 0.1
+		}
+		samples = append(samples, v)
+		classes = append(classes, c)
+	}
+	return samples, classes
+}
+
+func trainedGAN(t *testing.T) (*AMGAN, [][]float64, []int) {
+	t.Helper()
+	samples, classes := synthClasses(80, 3)
+	cfg := DefaultConfig(8, 2)
+	cfg.GenHidden = []int{24, 16}
+	a := New(cfg)
+	a.Train(samples, classes, 150)
+	return a, samples, classes
+}
+
+func TestGenerateShapeAndRange(t *testing.T) {
+	a := New(DefaultConfig(8, 2))
+	g := a.Generate(0)
+	if len(g) != 8 {
+		t.Fatalf("generated dim = %d", len(g))
+	}
+	for _, v := range g {
+		if v < 0 || v > 1 {
+			t.Fatalf("generated value %v outside [0,1]", v)
+		}
+	}
+	if len(a.GenerateBatch(1, 5)) != 5 {
+		t.Fatal("batch size wrong")
+	}
+}
+
+func TestGenerateVariesAcrossCalls(t *testing.T) {
+	a := New(DefaultConfig(8, 2))
+	g1, g2 := a.Generate(0), a.Generate(0)
+	same := true
+	for i := range g1 {
+		if g1[i] != g2[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("noise input had no effect")
+	}
+}
+
+func TestTrainingImprovesDiscrimination(t *testing.T) {
+	// Mid-training (well before equilibrium), D must score real matching
+	// pairs above mismatched pairs on average. Near Nash equilibrium the
+	// gap legitimately collapses, so this uses a short run.
+	samples, classes := synthClasses(80, 3)
+	cfg := DefaultConfig(8, 2)
+	cfg.GenHidden = []int{24, 16}
+	a := New(cfg)
+	a.Train(samples, classes, 25)
+	var match, mismatch float64
+	for i := range samples {
+		match += a.Discriminate(samples[i], classes[i])
+		mismatch += a.Discriminate(samples[i], 1-classes[i])
+	}
+	if match <= mismatch {
+		t.Fatalf("D does not prefer matching pairs: %v vs %v", match, mismatch)
+	}
+}
+
+func TestStyleLossDecreases(t *testing.T) {
+	// The Figure 7 property: generated samples grow stylistically closer
+	// to their class over training.
+	samples, classes := synthClasses(80, 5)
+	cfg := DefaultConfig(8, 2)
+	cfg.GenHidden = []int{24, 16}
+	a := New(cfg)
+	res := a.Train(samples, classes, 40)
+	if len(res.Epochs) != 40 {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+	early := (res.Epochs[0].StyleLoss + res.Epochs[1].StyleLoss + res.Epochs[2].StyleLoss) / 3
+	late := (res.Epochs[37].StyleLoss + res.Epochs[38].StyleLoss + res.Epochs[39].StyleLoss) / 3
+	if late >= early {
+		t.Fatalf("style loss did not decrease: early %v, late %v", early, late)
+	}
+}
+
+func TestConditioningControlsStyle(t *testing.T) {
+	a, samples, classes := trainedGAN(t)
+	// Split real samples by class.
+	var real0, real1 [][]float64
+	for i := range samples {
+		if classes[i] == 0 {
+			real0 = append(real0, samples[i])
+		} else {
+			real1 = append(real1, samples[i])
+		}
+	}
+	gen0 := a.GenerateBatch(0, 32)
+	sameStyle := gram.SeriesStyleLoss(real0, gen0, 1)
+	crossStyle := gram.SeriesStyleLoss(real1, gen0, 1)
+	if sameStyle >= crossStyle {
+		t.Fatalf("class-0 generation not closer to class 0: same %v cross %v", sameStyle, crossStyle)
+	}
+}
+
+func TestDeterministicTraining(t *testing.T) {
+	run := func() float64 {
+		samples, classes := synthClasses(40, 7)
+		cfg := DefaultConfig(8, 2)
+		cfg.GenHidden = []int{16}
+		a := New(cfg)
+		res := a.Train(samples, classes, 5)
+		return res.Epochs[4].GLoss
+	}
+	if run() != run() {
+		t.Fatal("training not deterministic for a fixed seed")
+	}
+}
+
+func TestGeneratorAccessors(t *testing.T) {
+	cfg := DefaultConfig(8, 2)
+	a := New(cfg)
+	if a.Generator() == nil {
+		t.Fatal("nil generator")
+	}
+	if a.Config().FeatureDim != 8 {
+		t.Fatal("config not retained")
+	}
+	// Asymmetry: G deep, D shallow.
+	if len(a.Generator().Layers) <= len(a.D.Layers) {
+		t.Fatalf("AM-GAN asymmetry violated: G %d layers, D %d",
+			len(a.Generator().Layers), len(a.D.Layers))
+	}
+}
+
+func TestGenerateFiltered(t *testing.T) {
+	a, _, _ := trainedGAN(t)
+	got := a.GenerateFiltered(0, 10, 4)
+	if len(got) != 10 {
+		t.Fatalf("filtered batch = %d", len(got))
+	}
+	// The kept samples must score at least as well as a fresh raw batch
+	// on average (they were selected for discriminator realism).
+	var kept, raw float64
+	for _, v := range got {
+		kept += a.Discriminate(v, 0)
+	}
+	for _, v := range a.GenerateBatch(0, 40) {
+		raw += a.Discriminate(v, 0) / 4
+	}
+	if kept < raw-1e-9 {
+		t.Fatalf("filtered mean score %v below raw %v", kept/10, raw/10)
+	}
+	if got := a.GenerateFiltered(0, 3, 0); len(got) != 3 {
+		t.Fatalf("overgen<1 not clamped: %d", len(got))
+	}
+}
+
+func TestInitialStyleLossRecorded(t *testing.T) {
+	samples, classes := synthClasses(40, 9)
+	cfg := DefaultConfig(8, 2)
+	cfg.GenHidden = []int{16}
+	a := New(cfg)
+	res := a.Train(samples, classes, 3)
+	if res.InitialStyleLoss <= 0 {
+		t.Fatalf("initial style loss = %v", res.InitialStyleLoss)
+	}
+}
+
+func TestReconstructionAnchorConditions(t *testing.T) {
+	// With the anchor on, generated class-0 samples must activate class
+	// 0's signature features more than class 1's.
+	samples, classes := synthClasses(80, 13)
+	cfg := DefaultConfig(8, 2)
+	cfg.GenHidden = []int{24, 16}
+	a := New(cfg)
+	a.Train(samples, classes, 60)
+	var own, other float64
+	for _, v := range a.GenerateBatch(0, 40) {
+		own += v[0] + v[1]
+		other += v[2] + v[3]
+	}
+	if own <= other {
+		t.Fatalf("conditioning failed: own-signature %v <= other %v", own, other)
+	}
+}

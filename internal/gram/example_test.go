@@ -1,0 +1,23 @@
+package gram_test
+
+import (
+	"fmt"
+
+	"evax/internal/gram"
+)
+
+// ExampleSeriesStyleLoss demonstrates the paper's attack-style metric: two
+// windows with the same feature co-activation structure score near zero,
+// while structurally different windows score high.
+func ExampleSeriesStyleLoss() {
+	// Features 0 and 1 fire together in both windows of "type A".
+	typeA1 := [][]float64{{0.8, 0.8, 0}, {0.6, 0.6, 0}}
+	typeA2 := [][]float64{{0.7, 0.7, 0}, {0.9, 0.9, 0}}
+	// "Type B" co-activates features 1 and 2 instead.
+	typeB := [][]float64{{0, 0.8, 0.8}, {0, 0.6, 0.6}}
+
+	same := gram.SeriesStyleLoss(typeA1, typeA2, 1)
+	cross := gram.SeriesStyleLoss(typeA1, typeB, 1)
+	fmt.Println("same type is closer:", same < cross)
+	// Output: same type is closer: true
+}

@@ -1,0 +1,307 @@
+// Package hpc implements the hardware-performance-counter fabric: a named,
+// ordered catalog of microarchitectural event counters, a sampler that
+// snapshots deltas every N instructions, per-counter max-normalization (the
+// paper normalizes statistics over the maximum seen value), and a derived
+// statistic expansion (total / rate / per-cycle / distribution views) that
+// grows the base event space toward the ~1160-counter space the paper
+// collects from gem5.
+package hpc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Catalog is an immutable ordered list of counter names. Counter vectors are
+// aligned with it by index.
+type Catalog struct {
+	names []string
+	index map[string]int
+}
+
+// NewCatalog builds a catalog from names, which must be unique.
+func NewCatalog(names []string) (*Catalog, error) {
+	c := &Catalog{names: append([]string(nil), names...), index: make(map[string]int, len(names))}
+	for i, n := range names {
+		if _, dup := c.index[n]; dup {
+			return nil, fmt.Errorf("duplicate counter name %q", n)
+		}
+		c.index[n] = i
+	}
+	return c, nil
+}
+
+// MustCatalog is NewCatalog panicking on error (for static catalogs).
+func MustCatalog(names []string) *Catalog {
+	c, err := NewCatalog(names)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Len returns the number of counters.
+func (c *Catalog) Len() int { return len(c.names) }
+
+// Name returns the name at index i.
+func (c *Catalog) Name(i int) string { return c.names[i] }
+
+// Names returns a copy of all names in order.
+func (c *Catalog) Names() []string { return append([]string(nil), c.names...) }
+
+// Index returns the index of name, or -1 if absent.
+func (c *Catalog) Index(name string) int {
+	if i, ok := c.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustIndex returns the index of name, panicking if absent. Feature lists
+// for the detectors are static; a missing name is a programming error.
+func (c *Catalog) MustIndex(name string) int {
+	i := c.Index(name)
+	if i < 0 {
+		panic(fmt.Sprintf("hpc: unknown counter %q", name))
+	}
+	return i
+}
+
+// Source provides live counter values aligned with a catalog.
+type Source interface {
+	// ReadCounters fills out (len == catalog.Len()) with cumulative values.
+	ReadCounters(out []uint64)
+	// Instructions returns committed instructions so far.
+	Instructions() uint64
+	// Cycles returns elapsed cycles so far.
+	Cycles() uint64
+}
+
+// Sample is one sampling-window delta of every counter.
+type Sample struct {
+	// Values holds per-counter deltas over the window, aligned with the
+	// catalog.
+	Values []float64
+	// Instructions and Cycles are the window lengths.
+	Instructions uint64
+	Cycles       uint64
+	// InstrStart is the committed-instruction count at window start.
+	InstrStart uint64
+}
+
+// Sampler snapshots counter deltas from a Source at a fixed instruction
+// cadence (the paper samples every 100 / 1k / 10k / 100k instructions).
+type Sampler struct {
+	cat      *Catalog
+	src      Source
+	interval uint64
+
+	prev      []uint64
+	cur       []uint64
+	prevInstr uint64
+	prevCycle uint64
+	started   bool
+}
+
+// NewSampler creates a sampler reading src every interval instructions.
+func NewSampler(cat *Catalog, src Source, interval uint64) *Sampler {
+	if interval == 0 {
+		interval = 10_000
+	}
+	return &Sampler{
+		cat:      cat,
+		src:      src,
+		interval: interval,
+		prev:     make([]uint64, cat.Len()),
+		cur:      make([]uint64, cat.Len()),
+	}
+}
+
+// Interval returns the sampling cadence in instructions.
+func (s *Sampler) Interval() uint64 { return s.interval }
+
+// Due reports whether a full window has elapsed since the last sample.
+func (s *Sampler) Due() bool {
+	if !s.started {
+		return true
+	}
+	return s.src.Instructions() >= s.prevInstr+s.interval
+}
+
+// Take snapshots the current window. The first call establishes the
+// baseline and returns (Sample{}, false).
+func (s *Sampler) Take() (Sample, bool) {
+	instr := s.src.Instructions()
+	cycles := s.src.Cycles()
+	s.src.ReadCounters(s.cur)
+	if !s.started {
+		s.started = true
+		copy(s.prev, s.cur)
+		s.prevInstr, s.prevCycle = instr, cycles
+		return Sample{}, false
+	}
+	vals := make([]float64, s.cat.Len())
+	for i := range vals {
+		vals[i] = float64(s.cur[i] - s.prev[i])
+	}
+	sm := Sample{
+		Values:       vals,
+		Instructions: instr - s.prevInstr,
+		Cycles:       cycles - s.prevCycle,
+		InstrStart:   s.prevInstr,
+	}
+	copy(s.prev, s.cur)
+	s.prevInstr, s.prevCycle = instr, cycles
+	return sm, true
+}
+
+// Normalizer tracks the running maximum of each counter and scales samples
+// into [0,1] ("statistics are normalized over the maximum value of the
+// counter").
+type Normalizer struct {
+	max []float64
+}
+
+// NewNormalizer creates a normalizer for n counters.
+func NewNormalizer(n int) *Normalizer { return &Normalizer{max: make([]float64, n)} }
+
+// Observe updates running maxima from a raw sample.
+func (n *Normalizer) Observe(values []float64) {
+	for i, v := range values {
+		if v > n.max[i] {
+			n.max[i] = v
+		}
+	}
+}
+
+// Normalize scales values in place to [0,1] by the running maxima. Counters
+// never observed nonzero stay zero.
+func (n *Normalizer) Normalize(values []float64) {
+	for i, v := range values {
+		if n.max[i] > 0 {
+			x := v / n.max[i]
+			if x > 1 {
+				x = 1
+			}
+			values[i] = x
+		} else {
+			values[i] = 0
+		}
+	}
+}
+
+// Max returns the running maximum for counter i.
+func (n *Normalizer) Max(i int) float64 { return n.max[i] }
+
+// FitAll observes every sample, then normalizes each in place — the offline
+// training flow where the full trace is available.
+func (n *Normalizer) FitAll(samples []Sample) {
+	for i := range samples {
+		n.Observe(samples[i].Values)
+	}
+	for i := range samples {
+		n.Normalize(samples[i].Values)
+	}
+}
+
+// DerivedKind names one derived view of a base counter.
+type DerivedKind int
+
+const (
+	// DerivedTotal is the raw window delta.
+	DerivedTotal DerivedKind = iota
+	// DerivedRate is the delta per 1k instructions.
+	DerivedRate
+	// DerivedPerCycle is the delta per cycle.
+	DerivedPerCycle
+	// DerivedBurst is delta² / window (spikiness proxy for distribution).
+	DerivedBurst
+	// DerivedPresence is 1 if the event fired at all in the window.
+	DerivedPresence
+	// DerivedLog is log2(1+delta), compressing heavy-tailed counters.
+	DerivedLog
+	// DerivedShare is this counter's share of the window's total events.
+	DerivedShare
+	// NumDerivedKinds is the number of derived views per base counter.
+	NumDerivedKinds
+)
+
+var derivedNames = [NumDerivedKinds]string{
+	"total", "rate", "percycle", "burst", "presence", "log", "share",
+}
+
+// DerivedSpaceSize returns the dimensionality of the expanded counter space
+// for a catalog of n base events. With the machine's ~115 base events and 7
+// views this yields an ~800-dimensional derived space, standing in for the
+// ~1160-counter space the paper samples from gem5.
+func DerivedSpaceSize(n int) int { return n * int(NumDerivedKinds) }
+
+// DerivedName names derived feature j of an expanded space over cat.
+func DerivedName(cat *Catalog, j int) string {
+	base := j / int(NumDerivedKinds)
+	kind := j % int(NumDerivedKinds)
+	return cat.Name(base) + "." + derivedNames[kind]
+}
+
+// ExpandDerived computes the derived feature vector for a sample. The
+// result has DerivedSpaceSize(len(s.Values)) entries.
+func ExpandDerived(s Sample) []float64 {
+	out := make([]float64, DerivedSpaceSize(len(s.Values)))
+	var total float64
+	for _, v := range s.Values {
+		total += v
+	}
+	instrK := float64(s.Instructions) / 1000
+	if instrK == 0 {
+		instrK = 1
+	}
+	cyc := float64(s.Cycles)
+	if cyc == 0 {
+		cyc = 1
+	}
+	for i, v := range s.Values {
+		o := i * int(NumDerivedKinds)
+		out[o+int(DerivedTotal)] = v
+		out[o+int(DerivedRate)] = v / instrK
+		out[o+int(DerivedPerCycle)] = v / cyc
+		out[o+int(DerivedBurst)] = v * v / cyc
+		if v > 0 {
+			out[o+int(DerivedPresence)] = 1
+		}
+		out[o+int(DerivedLog)] = log2p1(v)
+		if total > 0 {
+			out[o+int(DerivedShare)] = v / total
+		}
+	}
+	return out
+}
+
+func log2p1(v float64) float64 {
+	// Cheap log2(1+v) via frexp-free iteration; v is a counter delta so
+	// precision demands are low. Use a small series around powers of two.
+	if v <= 0 {
+		return 0
+	}
+	n := 0.0
+	x := 1 + v
+	for x >= 2 {
+		x /= 2
+		n++
+	}
+	// linear interpolation of log2 on [1,2): log2(x) ~ x-1
+	return n + (x - 1)
+}
+
+// TopK returns the indices of the k largest values (used by interpretability
+// tooling and the feature-engineering search). Ties break toward lower index.
+func TopK(values []float64, k int) []int {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return values[idx[a]] > values[idx[b]] })
+	if k > len(idx) {
+		k = len(idx)
+	}
+	return idx[:k]
+}

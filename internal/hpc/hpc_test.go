@@ -1,0 +1,249 @@
+package hpc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+type fakeSource struct {
+	counters []uint64
+	instr    uint64
+	cycles   uint64
+}
+
+func (f *fakeSource) ReadCounters(out []uint64) { copy(out, f.counters) }
+func (f *fakeSource) Instructions() uint64      { return f.instr }
+func (f *fakeSource) Cycles() uint64            { return f.cycles }
+
+func TestCatalogBasics(t *testing.T) {
+	c := MustCatalog([]string{"a", "b", "c"})
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	if c.Index("b") != 1 || c.Index("zzz") != -1 {
+		t.Fatal("index lookup wrong")
+	}
+	if c.MustIndex("c") != 2 {
+		t.Fatal("MustIndex wrong")
+	}
+	if c.Name(0) != "a" {
+		t.Fatal("Name wrong")
+	}
+	names := c.Names()
+	names[0] = "mutated"
+	if c.Name(0) != "a" {
+		t.Fatal("Names() aliases internal storage")
+	}
+}
+
+func TestCatalogRejectsDuplicates(t *testing.T) {
+	if _, err := NewCatalog([]string{"x", "x"}); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+}
+
+func TestMustIndexPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown counter")
+		}
+	}()
+	MustCatalog([]string{"a"}).MustIndex("nope")
+}
+
+func TestSamplerDeltas(t *testing.T) {
+	cat := MustCatalog([]string{"x", "y"})
+	src := &fakeSource{counters: []uint64{10, 20}, instr: 0, cycles: 0}
+	s := NewSampler(cat, src, 100)
+	if _, ok := s.Take(); ok {
+		t.Fatal("first Take should only establish baseline")
+	}
+	src.counters = []uint64{15, 50}
+	src.instr, src.cycles = 100, 250
+	sm, ok := s.Take()
+	if !ok {
+		t.Fatal("second Take produced nothing")
+	}
+	if sm.Values[0] != 5 || sm.Values[1] != 30 {
+		t.Fatalf("deltas = %v, want [5 30]", sm.Values)
+	}
+	if sm.Instructions != 100 || sm.Cycles != 250 || sm.InstrStart != 0 {
+		t.Fatalf("window = %+v", sm)
+	}
+}
+
+func TestSamplerDue(t *testing.T) {
+	cat := MustCatalog([]string{"x"})
+	src := &fakeSource{counters: []uint64{0}}
+	s := NewSampler(cat, src, 100)
+	if !s.Due() {
+		t.Fatal("fresh sampler not due for baseline")
+	}
+	s.Take()
+	src.instr = 50
+	if s.Due() {
+		t.Fatal("due at half window")
+	}
+	src.instr = 100
+	if !s.Due() {
+		t.Fatal("not due at full window")
+	}
+}
+
+func TestSamplerZeroIntervalDefaults(t *testing.T) {
+	cat := MustCatalog([]string{"x"})
+	s := NewSampler(cat, &fakeSource{counters: []uint64{0}}, 0)
+	if s.Interval() == 0 {
+		t.Fatal("zero interval not defaulted")
+	}
+}
+
+func TestNormalizerScalesToUnit(t *testing.T) {
+	n := NewNormalizer(2)
+	n.Observe([]float64{10, 0})
+	n.Observe([]float64{40, 0})
+	v := []float64{20, 5}
+	n.Normalize(v)
+	if v[0] != 0.5 {
+		t.Fatalf("v[0] = %v, want 0.5", v[0])
+	}
+	if v[1] != 0 {
+		t.Fatalf("never-observed counter normalized to %v, want 0", v[1])
+	}
+	// Values above the running max clamp to 1.
+	v = []float64{80, 0}
+	n.Normalize(v)
+	if v[0] != 1 {
+		t.Fatalf("clamp failed: %v", v[0])
+	}
+}
+
+func TestNormalizerFitAll(t *testing.T) {
+	n := NewNormalizer(1)
+	samples := []Sample{
+		{Values: []float64{2}},
+		{Values: []float64{8}},
+		{Values: []float64{4}},
+	}
+	n.FitAll(samples)
+	want := []float64{0.25, 1, 0.5}
+	for i, w := range want {
+		if samples[i].Values[0] != w {
+			t.Fatalf("sample %d = %v, want %v", i, samples[i].Values[0], w)
+		}
+	}
+	if n.Max(0) != 8 {
+		t.Fatalf("max = %v", n.Max(0))
+	}
+}
+
+func TestNormalizeBounds(t *testing.T) {
+	// Property: after Observe+Normalize every value is within [0,1].
+	f := func(obs, vals []float64) bool {
+		size := len(obs)
+		if len(vals) < size {
+			size = len(vals)
+		}
+		if size == 0 {
+			return true
+		}
+		n := NewNormalizer(size)
+		abs := func(xs []float64) []float64 {
+			out := make([]float64, size)
+			for i := 0; i < size; i++ {
+				out[i] = math.Abs(xs[i])
+				if math.IsNaN(out[i]) || math.IsInf(out[i], 0) {
+					out[i] = 0
+				}
+			}
+			return out
+		}
+		n.Observe(abs(obs))
+		v := abs(vals)
+		n.Normalize(v)
+		for _, x := range v {
+			if x < 0 || x > 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExpandDerived(t *testing.T) {
+	s := Sample{
+		Values:       []float64{100, 0},
+		Instructions: 1000,
+		Cycles:       500,
+	}
+	out := ExpandDerived(s)
+	if len(out) != DerivedSpaceSize(2) {
+		t.Fatalf("len = %d, want %d", len(out), DerivedSpaceSize(2))
+	}
+	get := func(base int, k DerivedKind) float64 { return out[base*int(NumDerivedKinds)+int(k)] }
+	if get(0, DerivedTotal) != 100 {
+		t.Fatalf("total = %v", get(0, DerivedTotal))
+	}
+	if get(0, DerivedRate) != 100 {
+		t.Fatalf("rate per kinstr = %v, want 100", get(0, DerivedRate))
+	}
+	if get(0, DerivedPerCycle) != 0.2 {
+		t.Fatalf("percycle = %v, want 0.2", get(0, DerivedPerCycle))
+	}
+	if get(0, DerivedPresence) != 1 || get(1, DerivedPresence) != 0 {
+		t.Fatal("presence flags wrong")
+	}
+	if get(0, DerivedShare) != 1 || get(1, DerivedShare) != 0 {
+		t.Fatal("share wrong")
+	}
+	if got := get(0, DerivedLog); math.Abs(got-math.Log2(101)) > 0.2 {
+		t.Fatalf("log approx = %v, want ~%v", got, math.Log2(101))
+	}
+}
+
+func TestDerivedNames(t *testing.T) {
+	cat := MustCatalog([]string{"dcache.misses", "lsq.forwLoads"})
+	seen := map[string]bool{}
+	for j := 0; j < DerivedSpaceSize(cat.Len()); j++ {
+		n := DerivedName(cat, j)
+		if n == "" || seen[n] {
+			t.Fatalf("bad or duplicate derived name %q at %d", n, j)
+		}
+		seen[n] = true
+	}
+	if !seen["lsq.forwLoads.rate"] {
+		t.Fatal("expected derived name lsq.forwLoads.rate")
+	}
+}
+
+func TestTopK(t *testing.T) {
+	v := []float64{1, 9, 3, 9, 5}
+	top := TopK(v, 3)
+	if len(top) != 3 {
+		t.Fatalf("len = %d", len(top))
+	}
+	if top[0] != 1 || top[1] != 3 { // ties break toward lower index
+		t.Fatalf("top = %v", top)
+	}
+	if top[2] != 4 {
+		t.Fatalf("third = %d, want 4", top[2])
+	}
+	if got := TopK(v, 10); len(got) != 5 {
+		t.Fatalf("overlong k returned %d", len(got))
+	}
+}
+
+func TestLog2p1Monotonic(t *testing.T) {
+	prev := -1.0
+	for v := 0.0; v < 1e6; v = v*1.7 + 1 {
+		got := log2p1(v)
+		if got < prev {
+			t.Fatalf("log2p1 not monotonic at %v", v)
+		}
+		prev = got
+	}
+}

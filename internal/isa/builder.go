@@ -1,0 +1,235 @@
+package isa
+
+import "fmt"
+
+// Builder assembles a Program with symbolic labels. All emit methods return
+// the index of the emitted instruction. Branch targets may reference labels
+// defined later; Build resolves them.
+type Builder struct {
+	name   string
+	class  Class
+	code   []Inst
+	labels map[string]int
+	fixups []fixup
+	phase  Phase
+	regs   map[Reg]uint64
+	mem    map[uint64]uint64
+	errs   []error
+}
+
+type fixup struct {
+	at    int
+	label string
+}
+
+// NewBuilder creates a builder for a program of the given name and class.
+func NewBuilder(name string, class Class) *Builder {
+	return &Builder{
+		name:   name,
+		class:  class,
+		labels: make(map[string]int),
+		regs:   make(map[Reg]uint64),
+		mem:    make(map[uint64]uint64),
+	}
+}
+
+// SetPhase sets the phase tag applied to subsequently emitted instructions.
+func (b *Builder) SetPhase(p Phase) { b.phase = p }
+
+// InitReg seeds an architectural register value.
+func (b *Builder) InitReg(r Reg, v uint64) { b.regs[r] = v }
+
+// InitMem seeds a memory word.
+func (b *Builder) InitMem(addr, v uint64) { b.mem[addr] = v }
+
+// Label defines a label at the next instruction index.
+func (b *Builder) Label(name string) {
+	if _, dup := b.labels[name]; dup {
+		b.errs = append(b.errs, fmt.Errorf("duplicate label %q", name))
+		return
+	}
+	b.labels[name] = len(b.code)
+}
+
+// Here returns the index of the next instruction to be emitted.
+func (b *Builder) Here() int { return len(b.code) }
+
+func (b *Builder) emit(in Inst) int {
+	in.Phase = b.phase
+	b.code = append(b.code, in)
+	return len(b.code) - 1
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() int { return b.emit(Inst{Kind: Nop}) }
+
+// Li loads an immediate into dst (add R0 + imm).
+func (b *Builder) Li(dst Reg, imm int64) int {
+	return b.emit(Inst{Kind: IntAlu, Alu: OpAdd, Dest: dst, Src1: R0, Src2: R0, Imm: imm})
+}
+
+// Mov copies src to dst.
+func (b *Builder) Mov(dst, src Reg) int {
+	return b.emit(Inst{Kind: IntAlu, Alu: OpAdd, Dest: dst, Src1: src, Src2: R0})
+}
+
+// Alu emits an integer ALU op dst = op(s1, s2) + imm semantics per AluOp.
+func (b *Builder) Alu(op AluOp, dst, s1, s2 Reg, imm int64) int {
+	kind := IntAlu
+	switch op {
+	case OpMul:
+		kind = IntMult
+	case OpDiv:
+		kind = IntDiv
+	}
+	return b.emit(Inst{Kind: kind, Alu: op, Dest: dst, Src1: s1, Src2: s2, Imm: imm})
+}
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 Reg) int { return b.Alu(OpAdd, dst, s1, s2, 0) }
+
+// Addi emits dst = s1 + imm.
+func (b *Builder) Addi(dst, s1 Reg, imm int64) int { return b.Alu(OpAdd, dst, s1, R0, imm) }
+
+// Sub emits dst = s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 Reg) int { return b.Alu(OpSub, dst, s1, s2, 0) }
+
+// And emits dst = s1 & s2.
+func (b *Builder) And(dst, s1, s2 Reg) int { return b.Alu(OpAnd, dst, s1, s2, 0) }
+
+// Xor emits dst = s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 Reg) int { return b.Alu(OpXor, dst, s1, s2, 0) }
+
+// Shli emits dst = s1 << imm.
+func (b *Builder) Shli(dst, s1 Reg, imm int64) int { return b.Alu(OpShl, dst, s1, R0, imm) }
+
+// Shri emits dst = s1 >> imm.
+func (b *Builder) Shri(dst, s1 Reg, imm int64) int { return b.Alu(OpShr, dst, s1, R0, imm) }
+
+// Mul emits dst = s1 * s2 on the multiply pipe.
+func (b *Builder) Mul(dst, s1, s2 Reg) int { return b.Alu(OpMul, dst, s1, s2, 0) }
+
+// Div emits dst = s1 / s2 on the divide unit.
+func (b *Builder) Div(dst, s1, s2 Reg) int { return b.Alu(OpDiv, dst, s1, s2, 0) }
+
+// FAdd emits a floating ALU op (timing only; value semantics are integer add).
+func (b *Builder) FAdd(dst, s1, s2 Reg) int {
+	return b.emit(Inst{Kind: FloatAlu, Alu: OpAdd, Dest: dst, Src1: s1, Src2: s2})
+}
+
+// Load emits dst = mem[base + index*scale + imm].
+func (b *Builder) Load(dst, base, index Reg, scale, imm int64) int {
+	return b.emit(Inst{Kind: Load, Dest: dst, Base: base, Index: index, Scale: scale, Imm: imm})
+}
+
+// LoadK emits a kernel-privileged load that faults at commit (Meltdown-style).
+func (b *Builder) LoadK(dst, base, index Reg, scale, imm int64) int {
+	return b.emit(Inst{Kind: Load, Dest: dst, Base: base, Index: index, Scale: scale, Imm: imm, Kernel: true})
+}
+
+// LoadAssist emits a load marked as taking the microcode-assist path that
+// speculatively forwards stale buffer data (LVI/MDS-style).
+func (b *Builder) LoadAssist(dst, base, index Reg, scale, imm int64) int {
+	return b.emit(Inst{Kind: Load, Dest: dst, Base: base, Index: index, Scale: scale, Imm: imm, NoFwd: true})
+}
+
+// Store emits mem[base + index*scale + imm] = src.
+func (b *Builder) Store(src, base, index Reg, scale, imm int64) int {
+	return b.emit(Inst{Kind: Store, Src1: src, Base: base, Index: index, Scale: scale, Imm: imm})
+}
+
+// CLFlush emits a cache line flush of the addressed line.
+func (b *Builder) CLFlush(base, index Reg, scale, imm int64) int {
+	return b.emit(Inst{Kind: CLFlush, Base: base, Index: index, Scale: scale, Imm: imm})
+}
+
+// Prefetch emits a prefetch of the addressed line into L1D.
+func (b *Builder) Prefetch(base, index Reg, scale, imm int64) int {
+	return b.emit(Inst{Kind: Prefetch, Base: base, Index: index, Scale: scale, Imm: imm})
+}
+
+// Br emits a conditional branch to label.
+func (b *Builder) Br(c Cond, s1, s2 Reg, label string) int {
+	i := b.emit(Inst{Kind: Branch, Cond: c, Src1: s1, Src2: s2})
+	b.fixups = append(b.fixups, fixup{at: i, label: label})
+	return i
+}
+
+// Jmp emits an unconditional jump to label.
+func (b *Builder) Jmp(label string) int {
+	i := b.emit(Inst{Kind: Jump})
+	b.fixups = append(b.fixups, fixup{at: i, label: label})
+	return i
+}
+
+// IJmp emits an indirect jump through src (target predicted by the BTB).
+func (b *Builder) IJmp(src Reg) int {
+	return b.emit(Inst{Kind: IndirectJump, Src1: src})
+}
+
+// Call emits a direct call to label.
+func (b *Builder) Call(label string) int {
+	i := b.emit(Inst{Kind: Call})
+	b.fixups = append(b.fixups, fixup{at: i, label: label})
+	return i
+}
+
+// Ret emits a return (pops the return stack).
+func (b *Builder) Ret() int { return b.emit(Inst{Kind: Ret}) }
+
+// Fence emits a full memory fence.
+func (b *Builder) Fence() int { return b.emit(Inst{Kind: Fence}) }
+
+// LFence emits a load/serialization fence.
+func (b *Builder) LFence() int { return b.emit(Inst{Kind: LFence}) }
+
+// RdTSC reads the cycle counter into dst.
+func (b *Builder) RdTSC(dst Reg) int { return b.emit(Inst{Kind: RdTSC, Dest: dst}) }
+
+// RdRand reads the shared hardware RNG into dst.
+func (b *Builder) RdRand(dst Reg) int { return b.emit(Inst{Kind: RdRand, Dest: dst}) }
+
+// Syscall emits a serializing kernel trap.
+func (b *Builder) Syscall() int { return b.emit(Inst{Kind: Syscall}) }
+
+// Serialize emits a CPUID-like full serialization.
+func (b *Builder) Serialize() int { return b.emit(Inst{Kind: Serialize}) }
+
+// Quiesce emits a fetch-quiescing stall.
+func (b *Builder) Quiesce() int { return b.emit(Inst{Kind: Quiesce}) }
+
+// Build resolves labels and returns the validated program.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		t, ok := b.labels[f.label]
+		if !ok {
+			b.errs = append(b.errs, fmt.Errorf("undefined label %q", f.label))
+			continue
+		}
+		b.code[f.at].Target = t
+	}
+	if len(b.errs) > 0 {
+		return nil, fmt.Errorf("%s: %v", b.name, b.errs[0])
+	}
+	p := &Program{
+		Name:     b.name,
+		Class:    b.class,
+		Code:     b.code,
+		InitRegs: b.regs,
+		InitMem:  b.mem,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build but panics on error; intended for statically known
+// generator code whose correctness is covered by tests.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}

@@ -1,0 +1,41 @@
+package isa_test
+
+import (
+	"fmt"
+
+	"evax/internal/isa"
+)
+
+// ExampleBuilder assembles and architecturally executes a small program.
+func ExampleBuilder() {
+	b := isa.NewBuilder("triangle", isa.ClassBenign)
+	b.Li(isa.R1, 0)  // sum
+	b.Li(isa.R2, 1)  // i
+	b.Li(isa.R3, 11) // bound
+	b.Label("top")
+	b.Add(isa.R1, isa.R1, isa.R2)
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Br(isa.CondNE, isa.R2, isa.R3, "top")
+	prog := b.MustBuild()
+
+	it := isa.NewInterp(prog)
+	it.Run(prog, 1000)
+	fmt.Println("sum 1..10 =", it.Regs[isa.R1])
+	// Output: sum 1..10 = 55
+}
+
+// ExampleInterp_kernelFault shows the architectural behaviour of a kernel
+// access: the fault suppresses the value (the pipeline model additionally
+// gives it a transient window).
+func ExampleInterp_kernelFault() {
+	b := isa.NewBuilder("fault", isa.ClassMeltdown)
+	b.InitReg(isa.R1, isa.KernelBase)
+	b.InitMem(isa.KernelBase, 42) // the "secret"
+	b.Load(isa.R2, isa.R1, isa.R0, 0, 0)
+	prog := b.MustBuild()
+
+	it := isa.NewInterp(prog)
+	it.Run(prog, 10)
+	fmt.Println("faults:", it.Faults, "value:", it.Regs[isa.R2])
+	// Output: faults: 1 value: 0
+}

@@ -1,0 +1,165 @@
+package isa
+
+import "fmt"
+
+// KernelBase is the lowest address of supervisor memory. User-mode loads at
+// or above it fault architecturally (they still execute transiently in the
+// pipeline model).
+const KernelBase uint64 = 0xFFFF_8000_0000_0000
+
+// Interp is the functional (architectural) interpreter: the golden model the
+// out-of-order pipeline must agree with on committed state. It executes
+// in-order with no timing; faulting kernel loads deliver zero and continue
+// (matching the pipeline's committed-state behaviour where the fault is
+// suppressed/handled and the destination is architecturally zeroed).
+type Interp struct {
+	Regs  [NumRegs]uint64
+	Mem   map[uint64]uint64
+	ras   []int
+	tsc   uint64
+	rng   uint64
+	Steps uint64
+	// Faults counts kernel-access faults delivered at commit.
+	Faults uint64
+}
+
+// NewInterp creates an interpreter with the program's initial state loaded.
+func NewInterp(p *Program) *Interp {
+	it := &Interp{Mem: make(map[uint64]uint64, len(p.InitMem))}
+	for r, v := range p.InitRegs {
+		it.Regs[r] = v
+	}
+	for a, v := range p.InitMem {
+		it.Mem[a] = v
+	}
+	return it
+}
+
+func (it *Interp) read(r Reg) uint64 {
+	if r == R0 {
+		return 0
+	}
+	return it.Regs[r]
+}
+
+func (it *Interp) write(r Reg, v uint64) {
+	if r != R0 {
+		it.Regs[r] = v
+	}
+}
+
+// alu computes the ALU result for an instruction.
+func alu(op AluOp, a, b uint64, imm int64) uint64 {
+	switch op {
+	case OpAdd:
+		return a + b + uint64(imm)
+	case OpSub:
+		return a - b + uint64(imm)
+	case OpAnd:
+		if imm != 0 {
+			return a & b & uint64(imm)
+		}
+		return a & b
+	case OpOr:
+		return a | b | uint64(imm)
+	case OpXor:
+		return a ^ b ^ uint64(imm)
+	case OpShl:
+		return a << ((b + uint64(imm)) & 63)
+	case OpShr:
+		return a >> ((b + uint64(imm)) & 63)
+	case OpMul:
+		return a * b
+	case OpDiv:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	}
+	return 0
+}
+
+// AluResult exposes the ALU function for the pipeline's execute stage.
+func AluResult(op AluOp, a, b uint64, imm int64) uint64 { return alu(op, a, b, imm) }
+
+// Run executes the program from index 0 until it falls off the end or
+// maxSteps instructions have committed. It returns the number of committed
+// instructions.
+func (it *Interp) Run(p *Program, maxSteps uint64) (uint64, error) {
+	pc := 0
+	for it.Steps < maxSteps && pc >= 0 && pc < len(p.Code) {
+		next, err := it.Step(p, pc)
+		if err != nil {
+			return it.Steps, err
+		}
+		pc = next
+	}
+	return it.Steps, nil
+}
+
+// Step executes the instruction at pc and returns the next pc.
+func (it *Interp) Step(p *Program, pc int) (int, error) {
+	in := &p.Code[pc]
+	it.Steps++
+	it.tsc += 3 // nominal cost; architectural value only needs monotonicity
+	next := pc + 1
+	switch in.Kind {
+	case Nop, Fence, LFence, Serialize, Quiesce, Syscall:
+		// no architectural effect in this model
+	case IntAlu, IntMult, IntDiv, FloatAlu:
+		it.write(in.Dest, alu(in.Alu, it.read(in.Src1), it.read(in.Src2), in.Imm))
+	case Load:
+		ea := in.EA(it.read)
+		if in.Kernel || ea >= KernelBase {
+			// Architectural fault: value suppressed, handler zeroes dest.
+			it.Faults++
+			it.write(in.Dest, 0)
+		} else {
+			it.write(in.Dest, it.Mem[ea&^7])
+		}
+	case Store:
+		ea := in.EA(it.read)
+		if ea < KernelBase {
+			it.Mem[ea&^7] = it.read(in.Src1)
+		} else {
+			it.Faults++
+		}
+	case CLFlush, Prefetch:
+		// cache-state only; no architectural effect
+	case RdTSC:
+		it.write(in.Dest, it.tsc)
+	case RdRand:
+		// xorshift64: deterministic architectural RNG
+		it.rng ^= it.rng << 13
+		it.rng ^= it.rng >> 7
+		it.rng ^= it.rng << 17
+		if it.rng == 0 {
+			it.rng = 0x9E3779B97F4A7C15
+		}
+		it.write(in.Dest, it.rng)
+	case Branch:
+		if in.Cond.Eval(it.read(in.Src1), it.read(in.Src2)) {
+			next = in.Target
+		}
+	case Jump:
+		next = in.Target
+	case IndirectJump:
+		next = int(it.read(in.Src1))
+		if next < 0 || next > len(p.Code) {
+			return 0, fmt.Errorf("%s: ijmp at %d to out-of-range %d", p.Name, pc, next)
+		}
+	case Call:
+		it.ras = append(it.ras, pc+1)
+		next = in.Target
+	case Ret:
+		if len(it.ras) == 0 {
+			// Return with empty stack terminates the program.
+			return len(p.Code), nil
+		}
+		next = it.ras[len(it.ras)-1]
+		it.ras = it.ras[:len(it.ras)-1]
+	default:
+		return 0, fmt.Errorf("%s: unknown kind %d at %d", p.Name, in.Kind, pc)
+	}
+	return next, nil
+}

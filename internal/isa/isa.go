@@ -1,0 +1,425 @@
+// Package isa defines the micro-op instruction set consumed by the
+// cycle-level simulator in internal/sim.
+//
+// Programs are straight-line slices of Inst with branch targets resolved to
+// instruction indices. A small functional interpreter (Interp) provides the
+// golden architectural semantics against which the out-of-order pipeline is
+// validated: both must commit the same architectural state.
+//
+// The ISA is deliberately RISC-like — one memory operand per instruction,
+// register+register*scale+immediate addressing — but includes the x86-flavoured
+// operations microarchitectural attacks depend on: CLFLUSH, LFENCE/MFENCE,
+// PREFETCH, RDTSC, RDRAND and SYSCALL.
+package isa
+
+import "fmt"
+
+// Reg names an architectural register. R0 is hard-wired to zero; writes to it
+// are discarded. There are 32 integer registers.
+type Reg uint8
+
+// Architectural register file size.
+const NumRegs = 32
+
+// Named registers. R0 is the zero register; RSP is used by Call/Ret only
+// implicitly (the RAS models the return stack; architecturally Call pushes
+// the return index to an internal stack in the interpreter and pipeline).
+const (
+	R0 Reg = iota
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	R16
+	R17
+	R18
+	R19
+	R20
+	R21
+	R22
+	R23
+	R24
+	R25
+	R26
+	R27
+	R28
+	R29
+	R30
+	R31
+)
+
+// Kind enumerates micro-op classes. Each class maps to an execution unit and
+// latency in the pipeline model.
+type Kind uint8
+
+const (
+	// Nop does nothing but occupies pipeline slots.
+	Nop Kind = iota
+	// IntAlu is a single-cycle integer operation (add/sub/logic/compare).
+	IntAlu
+	// IntMult is a pipelined integer multiply.
+	IntMult
+	// IntDiv is an unpipelined integer divide.
+	IntDiv
+	// FloatAlu is a floating-point add/mul (modelled on the FP unit).
+	FloatAlu
+	// Load reads 8 bytes from memory at EA.
+	Load
+	// Store writes 8 bytes to memory at EA.
+	Store
+	// Branch is a conditional direct branch.
+	Branch
+	// Jump is an unconditional direct jump.
+	Jump
+	// IndirectJump jumps to the address held in Src1 (BTB-predicted).
+	IndirectJump
+	// Call is a direct call; pushes the return index onto the RAS.
+	Call
+	// Ret pops the RAS.
+	Ret
+	// Fence is a full memory fence (MFENCE): no younger memory op may
+	// issue until it commits.
+	Fence
+	// LFence serializes load issue (LFENCE): no younger instruction may
+	// issue until all older instructions complete.
+	LFence
+	// CLFlush evicts the line containing EA from every cache level.
+	CLFlush
+	// Prefetch warms the line containing EA into the L1D.
+	Prefetch
+	// RdTSC reads the cycle counter into Dest.
+	RdTSC
+	// RdRand reads the hardware random number generator into Dest; the
+	// RNG is a shared contended resource (the RDRAND covert channel).
+	RdRand
+	// Syscall traps into the kernel (serializing; adds kernel noise).
+	Syscall
+	// Serialize is a full pipeline serialization (CPUID-like).
+	Serialize
+	// Quiesce stalls fetch until all in-flight activity drains (models
+	// the gem5 quiesce pseudo-op that parks the CPU).
+	Quiesce
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"nop", "alu", "mul", "div", "fp", "ld", "st", "br", "jmp", "ijmp",
+	"call", "ret", "mfence", "lfence", "clflush", "prefetch", "rdtsc",
+	"rdrand", "syscall", "serialize", "quiesce",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// IsMem reports whether the kind computes an effective address.
+func (k Kind) IsMem() bool {
+	switch k {
+	case Load, Store, CLFlush, Prefetch:
+		return true
+	}
+	return false
+}
+
+// IsCtrl reports whether the kind redirects control flow.
+func (k Kind) IsCtrl() bool {
+	switch k {
+	case Branch, Jump, IndirectJump, Call, Ret:
+		return true
+	}
+	return false
+}
+
+// IsSerializing reports whether the kind drains the pipeline before and
+// after executing.
+func (k Kind) IsSerializing() bool {
+	switch k {
+	case Syscall, Serialize, Quiesce:
+		return true
+	}
+	return false
+}
+
+// Cond is a branch condition evaluated over the values of Src1 and Src2.
+type Cond uint8
+
+const (
+	// CondEQ taken when Src1 == Src2.
+	CondEQ Cond = iota
+	// CondNE taken when Src1 != Src2.
+	CondNE
+	// CondLT taken when int64(Src1) < int64(Src2).
+	CondLT
+	// CondGE taken when int64(Src1) >= int64(Src2).
+	CondGE
+	// CondULT taken when Src1 < Src2 (unsigned).
+	CondULT
+	// CondUGE taken when Src1 >= Src2 (unsigned).
+	CondUGE
+)
+
+func (c Cond) String() string {
+	switch c {
+	case CondEQ:
+		return "eq"
+	case CondNE:
+		return "ne"
+	case CondLT:
+		return "lt"
+	case CondGE:
+		return "ge"
+	case CondULT:
+		return "ult"
+	case CondUGE:
+		return "uge"
+	}
+	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Eval evaluates the condition on concrete operand values.
+func (c Cond) Eval(a, b uint64) bool {
+	switch c {
+	case CondEQ:
+		return a == b
+	case CondNE:
+		return a != b
+	case CondLT:
+		return int64(a) < int64(b)
+	case CondGE:
+		return int64(a) >= int64(b)
+	case CondULT:
+		return a < b
+	case CondUGE:
+		return a >= b
+	}
+	return false
+}
+
+// AluOp selects the integer/float ALU function.
+type AluOp uint8
+
+const (
+	// OpAdd computes Src1 + Src2 + Imm (covers LI and MOV via R0).
+	OpAdd AluOp = iota
+	// OpSub computes Src1 - Src2 + Imm.
+	OpSub
+	// OpAnd computes Src1 & Src2 & uint64(Imm) when Imm != 0, else Src1 & Src2.
+	OpAnd
+	// OpOr computes Src1 | Src2 | uint64(Imm).
+	OpOr
+	// OpXor computes Src1 ^ Src2 ^ uint64(Imm).
+	OpXor
+	// OpShl computes Src1 << (Src2 + Imm).
+	OpShl
+	// OpShr computes Src1 >> (Src2 + Imm).
+	OpShr
+	// OpMul computes Src1 * Src2 (IntMult kind).
+	OpMul
+	// OpDiv computes Src1 / Src2 (IntDiv kind, 0 if divisor 0).
+	OpDiv
+)
+
+// Phase tags an instruction with the attack phase it belongs to. The dataset
+// builder uses phases to checkpoint samples (e.g. the paper excludes the
+// recovery/transmission phase of held-out attacks from k-fold test sets).
+type Phase uint8
+
+const (
+	// PhaseNone marks ordinary (benign) execution.
+	PhaseNone Phase = iota
+	// PhaseSetup covers attack preparation: allocation, priming, flushing.
+	PhaseSetup
+	// PhaseMistrain covers predictor/TRR mistraining loops.
+	PhaseMistrain
+	// PhaseLeak covers the transient window in which the secret is read
+	// and encoded into microarchitectural state.
+	PhaseLeak
+	// PhaseTransmit covers the receive/decode side of the channel
+	// (reload-and-time loops, probe sweeps).
+	PhaseTransmit
+	// PhaseRecover covers post-leak cleanup.
+	PhaseRecover
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseNone:
+		return "none"
+	case PhaseSetup:
+		return "setup"
+	case PhaseMistrain:
+		return "mistrain"
+	case PhaseLeak:
+		return "leak"
+	case PhaseTransmit:
+		return "transmit"
+	case PhaseRecover:
+		return "recover"
+	}
+	return fmt.Sprintf("phase(%d)", uint8(p))
+}
+
+// Inst is one micro-op. Memory operations compute
+//
+//	EA = reg[Base] + reg[Index]*Scale + Imm
+//
+// Branches evaluate Cond over (Src1, Src2) and jump to Target when taken.
+// ALU ops compute Alu over (Src1, Src2, Imm) into Dest.
+type Inst struct {
+	Kind Kind
+	Alu  AluOp
+	Cond Cond
+
+	Dest Reg
+	Src1 Reg
+	Src2 Reg
+
+	// Base/Index/Scale/Imm form the effective address for memory ops;
+	// Imm is also the ALU immediate.
+	Base  Reg
+	Index Reg
+	Scale int64
+	Imm   int64
+
+	// Target is the resolved instruction index for direct control flow.
+	Target int
+
+	// Kernel marks a memory access to a supervisor page: it faults at
+	// commit in user mode but still executes transiently (the Meltdown
+	// window).
+	Kernel bool
+
+	// NoFwd marks a load as hitting a microcode-assist path that
+	// forwards stale buffer data speculatively (LVI/MDS modelling).
+	NoFwd bool
+
+	// Phase annotates the attack phase for dataset checkpointing.
+	Phase Phase
+}
+
+// EA computes the effective address of a memory micro-op given a register
+// read function.
+func (in *Inst) EA(read func(Reg) uint64) uint64 {
+	return read(in.Base) + read(in.Index)*uint64(in.Scale) + uint64(in.Imm)
+}
+
+// String renders a compact disassembly of the instruction.
+func (in Inst) String() string {
+	switch {
+	case in.Kind == IntAlu || in.Kind == IntMult || in.Kind == IntDiv || in.Kind == FloatAlu:
+		return fmt.Sprintf("%s.%d r%d, r%d, r%d, #%d", in.Kind, in.Alu, in.Dest, in.Src1, in.Src2, in.Imm)
+	case in.Kind.IsMem():
+		return fmt.Sprintf("%s r%d, [r%d + r%d*%d + %d]", in.Kind, in.Dest, in.Base, in.Index, in.Scale, in.Imm)
+	case in.Kind == Branch:
+		return fmt.Sprintf("br.%s r%d, r%d -> %d", in.Cond, in.Src1, in.Src2, in.Target)
+	case in.Kind == Jump || in.Kind == Call:
+		return fmt.Sprintf("%s -> %d", in.Kind, in.Target)
+	case in.Kind == IndirectJump:
+		return fmt.Sprintf("ijmp [r%d]", in.Src1)
+	default:
+		return in.Kind.String()
+	}
+}
+
+// Class labels a program with its workload category. Benign workloads use
+// ClassBenign; each attack family has its own class so the conditional GAN
+// and the k-fold splitter can treat categories independently.
+type Class int
+
+const (
+	ClassBenign Class = iota
+	ClassSpectrePHT
+	ClassSpectreBTB
+	ClassSpectreRSB
+	ClassSpectreSTL
+	ClassMeltdown
+	ClassLVI
+	ClassMedusaCacheIndex
+	ClassMedusaUnaligned
+	ClassMedusaShadowREP
+	ClassFallout
+	ClassRowhammer
+	ClassDRAMA
+	ClassSMotherSpectre
+	ClassBranchScope
+	ClassMicroScope
+	ClassLeakyBuddies
+	ClassRDRANDCovert
+	ClassFlushConflict
+	ClassFlushFlush
+	ClassFlushReload
+	ClassPrimeProbe
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"benign", "spectre-pht", "spectre-btb", "spectre-rsb", "spectre-stl",
+	"meltdown", "lvi", "medusa-cache-index", "medusa-unaligned",
+	"medusa-shadow-rep", "fallout", "rowhammer", "drama", "smotherspectre",
+	"branchscope", "microscope", "leaky-buddies", "rdrand-covert",
+	"flushconflict", "flush-flush", "flush-reload", "prime-probe",
+}
+
+func (c Class) String() string {
+	if c >= 0 && int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Malicious reports whether the class is an attack category.
+func (c Class) Malicious() bool { return c != ClassBenign }
+
+// NumAttackClasses is the number of attack categories (the paper's "19
+// categories" plus the three classic cache attacks).
+const NumAttackClasses = int(NumClasses) - 1
+
+// Program is a fully resolved micro-op sequence plus metadata.
+type Program struct {
+	Name  string
+	Class Class
+	Code  []Inst
+
+	// InitRegs seeds architectural registers before execution.
+	InitRegs map[Reg]uint64
+	// InitMem seeds memory words (address -> value) before execution.
+	InitMem map[uint64]uint64
+}
+
+// Len returns the static instruction count.
+func (p *Program) Len() int { return len(p.Code) }
+
+// Validate checks structural invariants: targets in range, register indices
+// valid, scale fields sane. The simulator assumes a validated program.
+func (p *Program) Validate() error {
+	for i, in := range p.Code {
+		if in.Kind >= numKinds {
+			return fmt.Errorf("%s: inst %d: bad kind %d", p.Name, i, in.Kind)
+		}
+		if in.Dest >= NumRegs || in.Src1 >= NumRegs || in.Src2 >= NumRegs ||
+			in.Base >= NumRegs || in.Index >= NumRegs {
+			return fmt.Errorf("%s: inst %d: register out of range", p.Name, i)
+		}
+		switch in.Kind {
+		case Branch, Jump, Call:
+			if in.Target < 0 || in.Target >= len(p.Code) {
+				return fmt.Errorf("%s: inst %d: target %d out of range [0,%d)", p.Name, i, in.Target, len(p.Code))
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,406 @@
+package isa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKindPredicates(t *testing.T) {
+	memKinds := map[Kind]bool{Load: true, Store: true, CLFlush: true, Prefetch: true}
+	ctrlKinds := map[Kind]bool{Branch: true, Jump: true, IndirectJump: true, Call: true, Ret: true}
+	serKinds := map[Kind]bool{Syscall: true, Serialize: true, Quiesce: true}
+	for k := Kind(0); k < numKinds; k++ {
+		if got := k.IsMem(); got != memKinds[k] {
+			t.Errorf("%v.IsMem() = %v, want %v", k, got, memKinds[k])
+		}
+		if got := k.IsCtrl(); got != ctrlKinds[k] {
+			t.Errorf("%v.IsCtrl() = %v, want %v", k, got, ctrlKinds[k])
+		}
+		if got := k.IsSerializing(); got != serKinds[k] {
+			t.Errorf("%v.IsSerializing() = %v, want %v", k, got, serKinds[k])
+		}
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+	}
+}
+
+func TestCondEval(t *testing.T) {
+	tests := []struct {
+		c    Cond
+		a, b uint64
+		want bool
+	}{
+		{CondEQ, 5, 5, true},
+		{CondEQ, 5, 6, false},
+		{CondNE, 5, 6, true},
+		{CondNE, 5, 5, false},
+		{CondLT, ^uint64(0), 1, true}, // -1 < 1 signed
+		{CondLT, 1, 2, true},
+		{CondLT, 2, 1, false},
+		{CondGE, 2, 2, true},
+		{CondGE, 1, 2, false},
+		{CondULT, ^uint64(0), 1, false}, // max uint not < 1 unsigned
+		{CondULT, 1, 2, true},
+		{CondUGE, ^uint64(0), 1, true},
+		{CondUGE, 0, 1, false},
+	}
+	for _, tc := range tests {
+		if got := tc.c.Eval(tc.a, tc.b); got != tc.want {
+			t.Errorf("%v.Eval(%d,%d) = %v, want %v", tc.c, tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCondEvalComplementary(t *testing.T) {
+	// EQ/NE, LT/GE, ULT/UGE must be exact complements for all inputs.
+	f := func(a, b uint64) bool {
+		return CondEQ.Eval(a, b) != CondNE.Eval(a, b) &&
+			CondLT.Eval(a, b) != CondGE.Eval(a, b) &&
+			CondULT.Eval(a, b) != CondUGE.Eval(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderLabelsResolve(t *testing.T) {
+	b := NewBuilder("loop", ClassBenign)
+	b.Li(R1, 10)
+	b.Li(R2, 0)
+	b.Label("top")
+	b.Addi(R2, R2, 1)
+	b.Br(CondNE, R2, R1, "top")
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := p.Code[3]
+	if br.Kind != Branch || br.Target != 2 {
+		t.Fatalf("branch = %+v, want target 2", br)
+	}
+}
+
+func TestBuilderForwardLabel(t *testing.T) {
+	b := NewBuilder("fwd", ClassBenign)
+	b.Li(R1, 1)
+	b.Br(CondEQ, R1, R1, "end")
+	b.Li(R2, 99)
+	b.Label("end")
+	b.Nop()
+	p, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Target != 3 {
+		t.Fatalf("forward branch target = %d, want 3", p.Code[1].Target)
+	}
+}
+
+func TestBuilderUndefinedLabel(t *testing.T) {
+	b := NewBuilder("bad", ClassBenign)
+	b.Jmp("nowhere")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestBuilderDuplicateLabel(t *testing.T) {
+	b := NewBuilder("dup", ClassBenign)
+	b.Label("x")
+	b.Nop()
+	b.Label("x")
+	if _, err := b.Build(); err == nil {
+		t.Fatal("expected error for duplicate label")
+	}
+}
+
+func TestBuilderPhaseTagging(t *testing.T) {
+	b := NewBuilder("phases", ClassMeltdown)
+	b.SetPhase(PhaseSetup)
+	b.Nop()
+	b.SetPhase(PhaseLeak)
+	b.Nop()
+	b.SetPhase(PhaseTransmit)
+	b.Nop()
+	p := b.MustBuild()
+	want := []Phase{PhaseSetup, PhaseLeak, PhaseTransmit}
+	for i, w := range want {
+		if p.Code[i].Phase != w {
+			t.Errorf("inst %d phase = %v, want %v", i, p.Code[i].Phase, w)
+		}
+	}
+}
+
+func TestValidateRejectsBadTarget(t *testing.T) {
+	p := &Program{Name: "bad", Code: []Inst{{Kind: Jump, Target: 5}}}
+	if err := p.Validate(); err == nil {
+		t.Fatal("expected out-of-range target error")
+	}
+}
+
+func TestInterpArithmetic(t *testing.T) {
+	b := NewBuilder("arith", ClassBenign)
+	b.Li(R1, 7)
+	b.Li(R2, 3)
+	b.Add(R3, R1, R2)  // 10
+	b.Sub(R4, R1, R2)  // 4
+	b.Mul(R5, R1, R2)  // 21
+	b.Div(R6, R1, R2)  // 2
+	b.Xor(R7, R1, R2)  // 4
+	b.Shli(R8, R2, 4)  // 48
+	b.Shri(R9, R1, 1)  // 3
+	b.And(R10, R1, R2) // 3
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	want := map[Reg]uint64{R3: 10, R4: 4, R5: 21, R6: 2, R7: 4, R8: 48, R9: 3, R10: 3}
+	for r, w := range want {
+		if it.Regs[r] != w {
+			t.Errorf("r%d = %d, want %d", r, it.Regs[r], w)
+		}
+	}
+}
+
+func TestInterpZeroRegister(t *testing.T) {
+	b := NewBuilder("zero", ClassBenign)
+	b.Li(R0, 42) // write to R0 is discarded
+	b.Mov(R1, R0)
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R1] != 0 {
+		t.Fatalf("R1 = %d, want 0 (R0 hard-wired)", it.Regs[R1])
+	}
+}
+
+func TestInterpLoadStore(t *testing.T) {
+	b := NewBuilder("mem", ClassBenign)
+	b.Li(R1, 0x1000)
+	b.Li(R2, 0xDEAD)
+	b.Store(R2, R1, R0, 0, 8)
+	b.Load(R3, R1, R0, 0, 8)
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R3] != 0xDEAD {
+		t.Fatalf("loaded %#x, want 0xDEAD", it.Regs[R3])
+	}
+}
+
+func TestInterpScaledAddressing(t *testing.T) {
+	b := NewBuilder("scaled", ClassBenign)
+	b.InitMem(0x1000+5*64, 77)
+	b.Li(R1, 0x1000)
+	b.Li(R2, 5)
+	b.Load(R3, R1, R2, 64, 0)
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R3] != 77 {
+		t.Fatalf("scaled load = %d, want 77", it.Regs[R3])
+	}
+}
+
+func TestInterpKernelFault(t *testing.T) {
+	b := NewBuilder("fault", ClassMeltdown)
+	b.Li(R1, 123)
+	b.InitReg(R5, KernelBase+0x40)
+	b.Load(R1, R5, R0, 0, 0) // faulting kernel load: R1 zeroed
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Faults != 1 {
+		t.Fatalf("faults = %d, want 1", it.Faults)
+	}
+	if it.Regs[R1] != 0 {
+		t.Fatalf("faulting load delivered %d, want 0", it.Regs[R1])
+	}
+}
+
+func TestInterpLoop(t *testing.T) {
+	b := NewBuilder("sumloop", ClassBenign)
+	b.Li(R1, 0)  // sum
+	b.Li(R2, 1)  // i
+	b.Li(R3, 11) // bound
+	b.Label("top")
+	b.Add(R1, R1, R2)
+	b.Addi(R2, R2, 1)
+	b.Br(CondNE, R2, R3, "top")
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 10000); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R1] != 55 {
+		t.Fatalf("sum 1..10 = %d, want 55", it.Regs[R1])
+	}
+}
+
+func TestInterpCallRet(t *testing.T) {
+	b := NewBuilder("callret", ClassBenign)
+	b.Li(R1, 1)
+	b.Call("fn")
+	b.Addi(R1, R1, 100) // after return
+	b.Jmp("end")
+	b.Label("fn")
+	b.Addi(R1, R1, 10)
+	b.Ret()
+	b.Label("end")
+	b.Nop()
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R1] != 111 {
+		t.Fatalf("R1 = %d, want 111", it.Regs[R1])
+	}
+}
+
+func TestInterpRetEmptyStackTerminates(t *testing.T) {
+	b := NewBuilder("ret-term", ClassBenign)
+	b.Li(R1, 5)
+	b.Ret()
+	b.Li(R1, 9) // unreachable
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R1] != 5 {
+		t.Fatalf("R1 = %d, want 5 (ret should terminate)", it.Regs[R1])
+	}
+}
+
+func TestInterpIndirectJump(t *testing.T) {
+	b := NewBuilder("ijmp", ClassBenign)
+	b.Li(R1, 4) // jump to index 4
+	b.IJmp(R1)
+	b.Li(R2, 1) // skipped
+	b.Li(R2, 2) // skipped
+	b.Li(R2, 3) // index 4
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R2] != 3 {
+		t.Fatalf("R2 = %d, want 3", it.Regs[R2])
+	}
+}
+
+func TestInterpRdTSCMonotonic(t *testing.T) {
+	b := NewBuilder("tsc", ClassBenign)
+	b.RdTSC(R1)
+	b.RdTSC(R2)
+	p := b.MustBuild()
+	it := NewInterp(p)
+	if _, err := it.Run(p, 100); err != nil {
+		t.Fatal(err)
+	}
+	if it.Regs[R2] <= it.Regs[R1] {
+		t.Fatalf("tsc not monotonic: %d then %d", it.Regs[R1], it.Regs[R2])
+	}
+}
+
+func TestInterpRdRandDeterministicNonZero(t *testing.T) {
+	b := NewBuilder("rng", ClassBenign)
+	b.RdRand(R1)
+	b.RdRand(R2)
+	p := b.MustBuild()
+	run := func() (uint64, uint64) {
+		it := NewInterp(p)
+		if _, err := it.Run(p, 100); err != nil {
+			t.Fatal(err)
+		}
+		return it.Regs[R1], it.Regs[R2]
+	}
+	a1, a2 := run()
+	b1, b2 := run()
+	if a1 != b1 || a2 != b2 {
+		t.Fatal("rdrand not deterministic across runs")
+	}
+	if a1 == 0 || a2 == 0 {
+		t.Fatal("rdrand returned zero")
+	}
+}
+
+func TestInterpMaxSteps(t *testing.T) {
+	b := NewBuilder("inf", ClassBenign)
+	b.Label("top")
+	b.Jmp("top")
+	p := b.MustBuild()
+	it := NewInterp(p)
+	n, err := it.Run(p, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("steps = %d, want 500", n)
+	}
+}
+
+func TestAluResultMatchesInterp(t *testing.T) {
+	// Property: the exported AluResult agrees with interpreter execution.
+	rng := rand.New(rand.NewSource(1))
+	ops := []AluOp{OpAdd, OpSub, OpAnd, OpOr, OpXor, OpShl, OpShr, OpMul, OpDiv}
+	for i := 0; i < 200; i++ {
+		op := ops[rng.Intn(len(ops))]
+		a, bv := rng.Uint64(), rng.Uint64()%16
+		imm := int64(rng.Intn(8))
+		b := NewBuilder("prop", ClassBenign)
+		b.InitReg(R1, a)
+		b.InitReg(R2, bv)
+		b.Alu(op, R3, R1, R2, imm)
+		p := b.MustBuild()
+		it := NewInterp(p)
+		if _, err := it.Run(p, 10); err != nil {
+			t.Fatal(err)
+		}
+		if want := AluResult(op, a, bv, imm); it.Regs[R3] != want {
+			t.Fatalf("op %d: interp %d != AluResult %d", op, it.Regs[R3], want)
+		}
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Class(0); c < NumClasses; c++ {
+		name := c.String()
+		if name == "" || seen[name] {
+			t.Errorf("class %d: bad or duplicate name %q", c, name)
+		}
+		seen[name] = true
+		if c == ClassBenign && c.Malicious() {
+			t.Error("benign class reported malicious")
+		}
+		if c != ClassBenign && !c.Malicious() {
+			t.Errorf("%v not reported malicious", c)
+		}
+	}
+	if NumAttackClasses != int(NumClasses)-1 {
+		t.Fatalf("NumAttackClasses = %d, want %d", NumAttackClasses, int(NumClasses)-1)
+	}
+}
+
+func TestInstString(t *testing.T) {
+	// Smoke test: String must not panic and must be non-empty for all kinds.
+	for k := Kind(0); k < numKinds; k++ {
+		in := Inst{Kind: k}
+		if in.String() == "" {
+			t.Errorf("empty String() for kind %v", k)
+		}
+	}
+}

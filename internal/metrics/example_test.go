@@ -1,0 +1,15 @@
+package metrics_test
+
+import (
+	"fmt"
+
+	"evax/internal/metrics"
+)
+
+// ExampleAUCFromScores computes a detector's ROC area.
+func ExampleAUCFromScores() {
+	scores := []float64{0.9, 0.8, 0.7, 0.3, 0.2, 0.1}
+	labels := []bool{true, true, false, true, false, false}
+	fmt.Printf("AUC = %.2f\n", metrics.AUCFromScores(scores, labels))
+	// Output: AUC = 0.89
+}

@@ -1,0 +1,177 @@
+// Package metrics provides the evaluation statistics used throughout the
+// experiments: confusion counts, FP/FN rates per window, ROC curves with
+// AUC, and accuracy summaries.
+package metrics
+
+import "sort"
+
+// Confusion accumulates binary classification outcomes.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one prediction against ground truth.
+func (c *Confusion) Add(predicted, actual bool) {
+	switch {
+	case predicted && actual:
+		c.TP++
+	case predicted && !actual:
+		c.FP++
+	case !predicted && !actual:
+		c.TN++
+	default:
+		c.FN++
+	}
+}
+
+// Total returns the number of recorded outcomes.
+func (c *Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// Accuracy is (TP+TN)/total.
+func (c *Confusion) Accuracy() float64 {
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(c.TP+c.TN) / float64(c.Total())
+}
+
+// TPR is the true-positive rate (recall / sensitivity).
+func (c *Confusion) TPR() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FPR is the false-positive rate.
+func (c *Confusion) FPR() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// FNR is the false-negative rate.
+func (c *Confusion) FNR() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.FN) / float64(c.TP+c.FN)
+}
+
+// Precision is TP/(TP+FP).
+func (c *Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// GeneralizationError is the misclassification rate (1 - accuracy).
+func (c *Confusion) GeneralizationError() float64 { return 1 - c.Accuracy() }
+
+// ROCPoint is one operating point of a detector.
+type ROCPoint struct {
+	Threshold float64
+	TPR, FPR  float64
+}
+
+// ROC computes the full ROC curve from scores (higher = more malicious) and
+// labels. Points are ordered from FPR 0 to 1.
+func ROC(scores []float64, labels []bool) []ROCPoint {
+	type sl struct {
+		s float64
+		l bool
+	}
+	data := make([]sl, len(scores))
+	pos, neg := 0, 0
+	for i := range scores {
+		data[i] = sl{scores[i], labels[i]}
+		if labels[i] {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	sort.Slice(data, func(i, j int) bool { return data[i].s > data[j].s })
+	points := []ROCPoint{{Threshold: 1e18}}
+	tp, fp := 0, 0
+	for i := 0; i < len(data); {
+		s := data[i].s
+		for i < len(data) && data[i].s == s {
+			if data[i].l {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		pt := ROCPoint{Threshold: s}
+		if pos > 0 {
+			pt.TPR = float64(tp) / float64(pos)
+		}
+		if neg > 0 {
+			pt.FPR = float64(fp) / float64(neg)
+		}
+		points = append(points, pt)
+	}
+	return points
+}
+
+// AUC computes the area under the ROC curve by trapezoidal integration.
+func AUC(points []ROCPoint) float64 {
+	var area float64
+	for i := 1; i < len(points); i++ {
+		dx := points[i].FPR - points[i-1].FPR
+		area += dx * (points[i].TPR + points[i-1].TPR) / 2
+	}
+	return area
+}
+
+// AUCFromScores is ROC + AUC in one call.
+func AUCFromScores(scores []float64, labels []bool) float64 {
+	return AUC(ROC(scores, labels))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Median returns the median of xs (0 for empty input).
+func Median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	n := len(c)
+	if n%2 == 1 {
+		return c[n/2]
+	}
+	return (c[n/2-1] + c[n/2]) / 2
+}
+
+// MinMax returns the extrema of xs.
+func MinMax(xs []float64) (min, max float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	min, max = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	return
+}

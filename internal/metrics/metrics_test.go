@@ -1,0 +1,137 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfusion(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, false) // TN
+	c.Add(false, true)  // FN
+	if c.TP != 1 || c.FP != 1 || c.TN != 1 || c.FN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Total() != 4 || c.Accuracy() != 0.5 {
+		t.Fatalf("total/acc = %d/%v", c.Total(), c.Accuracy())
+	}
+	if c.TPR() != 0.5 || c.FPR() != 0.5 || c.FNR() != 0.5 || c.Precision() != 0.5 {
+		t.Fatalf("rates: tpr=%v fpr=%v fnr=%v prec=%v", c.TPR(), c.FPR(), c.FNR(), c.Precision())
+	}
+	if c.GeneralizationError() != 0.5 {
+		t.Fatal("generalization error wrong")
+	}
+}
+
+func TestConfusionEmptySafe(t *testing.T) {
+	var c Confusion
+	if c.Accuracy() != 0 || c.TPR() != 0 || c.FPR() != 0 || c.Precision() != 0 {
+		t.Fatal("empty confusion not zero")
+	}
+}
+
+func TestROCPerfectClassifier(t *testing.T) {
+	scores := []float64{0.9, 0.8, 0.2, 0.1}
+	labels := []bool{true, true, false, false}
+	if auc := AUCFromScores(scores, labels); auc != 1 {
+		t.Fatalf("perfect AUC = %v", auc)
+	}
+}
+
+func TestROCInvertedClassifier(t *testing.T) {
+	scores := []float64{0.1, 0.2, 0.8, 0.9}
+	labels := []bool{true, true, false, false}
+	if auc := AUCFromScores(scores, labels); auc != 0 {
+		t.Fatalf("inverted AUC = %v", auc)
+	}
+}
+
+func TestROCRandomClassifierNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var scores []float64
+	var labels []bool
+	for i := 0; i < 4000; i++ {
+		scores = append(scores, rng.Float64())
+		labels = append(labels, rng.Intn(2) == 0)
+	}
+	if auc := AUCFromScores(scores, labels); math.Abs(auc-0.5) > 0.05 {
+		t.Fatalf("random AUC = %v, want ~0.5", auc)
+	}
+}
+
+func TestROCEndpointsAndMonotonicity(t *testing.T) {
+	scores := []float64{0.9, 0.7, 0.7, 0.3, 0.2}
+	labels := []bool{true, false, true, false, true}
+	pts := ROC(scores, labels)
+	first, last := pts[0], pts[len(pts)-1]
+	if first.TPR != 0 || first.FPR != 0 {
+		t.Fatalf("ROC does not start at origin: %+v", first)
+	}
+	if last.TPR != 1 || last.FPR != 1 {
+		t.Fatalf("ROC does not end at (1,1): %+v", last)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].TPR < pts[i-1].TPR || pts[i].FPR < pts[i-1].FPR {
+			t.Fatal("ROC not monotone")
+		}
+	}
+}
+
+func TestROCTiedScoresGrouped(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5}
+	labels := []bool{true, false, true}
+	pts := ROC(scores, labels)
+	// Origin plus one grouped point.
+	if len(pts) != 2 {
+		t.Fatalf("tied scores produced %d points", len(pts))
+	}
+}
+
+func TestMeanMedianMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Mean(xs) != 2 {
+		t.Fatal("mean")
+	}
+	if Median(xs) != 2 {
+		t.Fatal("median odd")
+	}
+	if Median([]float64{1, 2, 3, 4}) != 2.5 {
+		t.Fatal("median even")
+	}
+	min, max := MinMax(xs)
+	if min != 1 || max != 3 {
+		t.Fatal("minmax")
+	}
+	if Mean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty stats not zero")
+	}
+	if a, b := MinMax(nil); a != 0 || b != 0 {
+		t.Fatal("empty minmax")
+	}
+	// Median must not mutate its input.
+	if xs[0] != 3 {
+		t.Fatal("median sorted the caller's slice")
+	}
+}
+
+func TestBetterDetectorHigherAUC(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var strong, weak []float64
+	var labels []bool
+	for i := 0; i < 2000; i++ {
+		mal := i%2 == 0
+		labels = append(labels, mal)
+		base := 0.0
+		if mal {
+			base = 1
+		}
+		strong = append(strong, base+rng.NormFloat64()*0.3)
+		weak = append(weak, base+rng.NormFloat64()*2.0)
+	}
+	if AUCFromScores(strong, labels) <= AUCFromScores(weak, labels) {
+		t.Fatal("sharper separation did not raise AUC")
+	}
+}

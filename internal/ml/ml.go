@@ -1,0 +1,308 @@
+// Package ml is a small, dependency-free neural-network library: dense
+// layers of arbitrary depth, sigmoid/tanh/ReLU activations, backpropagation
+// and SGD with momentum. It plays the role Keras and FANN play in the paper:
+// the AM-GAN generator and discriminator, the EVAX/PerSpectron detectors and
+// the deep detectors of Figure 20 are all built on it.
+//
+// Everything is deterministic given the construction seed.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects a layer nonlinearity.
+type Activation int
+
+const (
+	// Linear is the identity.
+	Linear Activation = iota
+	// ReLU is max(0, x).
+	ReLU
+	// LeakyReLU is x for x>0, 0.01x otherwise (GAN-friendly).
+	LeakyReLU
+	// Sigmoid is 1/(1+e^-x).
+	Sigmoid
+	// Tanh is the hyperbolic tangent.
+	Tanh
+)
+
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	case LeakyReLU:
+		if x < 0 {
+			return 0.01 * x
+		}
+		return x
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	}
+	return x
+}
+
+// deriv computes the activation derivative given the *output* value y.
+func (a Activation) deriv(y float64) float64 {
+	switch a {
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	case LeakyReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0.01
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	}
+	return 1
+}
+
+// Layer is one dense layer.
+type Layer struct {
+	In, Out int
+	Act     Activation
+	// W[o][i] is the weight from input i to output o; B[o] the bias.
+	W [][]float64
+	B []float64
+
+	// Caches for backprop (single sample at a time).
+	x     []float64 // last input
+	y     []float64 // last output (post-activation)
+	delta []float64 // dL/dz for the last sample
+
+	// Accumulated gradients and momentum.
+	gradW [][]float64
+	gradB []float64
+	velW  [][]float64
+	velB  []float64
+}
+
+// Network is a feed-forward stack of dense layers.
+type Network struct {
+	Layers []*Layer
+}
+
+// New creates a network with the given layer sizes, e.g. sizes =
+// [145, 64, 1] builds 145→64→1. hidden and out select activations. Weights
+// use scaled (He/Xavier-style) initialization from the seeded RNG.
+func New(seed int64, sizes []int, hidden, out Activation) *Network {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("ml: need at least 2 sizes, got %v", sizes))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	n := &Network{}
+	for l := 0; l+1 < len(sizes); l++ {
+		act := hidden
+		if l == len(sizes)-2 {
+			act = out
+		}
+		n.Layers = append(n.Layers, newLayer(rng, sizes[l], sizes[l+1], act))
+	}
+	return n
+}
+
+func newLayer(rng *rand.Rand, in, out int, act Activation) *Layer {
+	l := &Layer{In: in, Out: out, Act: act}
+	scale := math.Sqrt(2 / float64(in))
+	if act == Sigmoid || act == Tanh || act == Linear {
+		scale = math.Sqrt(1 / float64(in))
+	}
+	l.W = make([][]float64, out)
+	l.gradW = make([][]float64, out)
+	l.velW = make([][]float64, out)
+	for o := 0; o < out; o++ {
+		l.W[o] = make([]float64, in)
+		l.gradW[o] = make([]float64, in)
+		l.velW[o] = make([]float64, in)
+		for i := 0; i < in; i++ {
+			l.W[o][i] = rng.NormFloat64() * scale
+		}
+	}
+	l.B = make([]float64, out)
+	l.gradB = make([]float64, out)
+	l.velB = make([]float64, out)
+	l.x = make([]float64, in)
+	l.y = make([]float64, out)
+	l.delta = make([]float64, out)
+	return l
+}
+
+// InputSize returns the network's input dimensionality.
+func (n *Network) InputSize() int { return n.Layers[0].In }
+
+// OutputSize returns the network's output dimensionality.
+func (n *Network) OutputSize() int { return n.Layers[len(n.Layers)-1].Out }
+
+// Forward runs one sample through the network, returning the output slice
+// (owned by the network; copy if retaining).
+func (n *Network) Forward(x []float64) []float64 {
+	for _, l := range n.Layers {
+		copy(l.x, x)
+		for o := 0; o < l.Out; o++ {
+			z := l.B[o]
+			w := l.W[o]
+			for i, xi := range x {
+				z += w[i] * xi
+			}
+			l.y[o] = l.Act.apply(z)
+		}
+		x = l.y
+	}
+	return x
+}
+
+// Backward backpropagates dL/dOutput for the most recent Forward sample,
+// accumulating parameter gradients. It returns dL/dInput (the gradient the
+// GAN feeds from discriminator into generator).
+func (n *Network) Backward(gradOut []float64) []float64 {
+	grad := gradOut
+	for li := len(n.Layers) - 1; li >= 0; li-- {
+		l := n.Layers[li]
+		for o := 0; o < l.Out; o++ {
+			l.delta[o] = grad[o] * l.Act.deriv(l.y[o])
+		}
+		for o := 0; o < l.Out; o++ {
+			d := l.delta[o]
+			gw := l.gradW[o]
+			for i, xi := range l.x {
+				gw[i] += d * xi
+			}
+			l.gradB[o] += d
+		}
+		next := make([]float64, l.In)
+		for o := 0; o < l.Out; o++ {
+			d := l.delta[o]
+			w := l.W[o]
+			for i := range next {
+				next[i] += d * w[i]
+			}
+		}
+		grad = next
+	}
+	return grad
+}
+
+// Step applies accumulated gradients with SGD + momentum and clears them.
+// batch is the number of samples accumulated since the last Step.
+func (n *Network) Step(lr, momentum float64, batch int) {
+	if batch < 1 {
+		batch = 1
+	}
+	inv := 1 / float64(batch)
+	for _, l := range n.Layers {
+		for o := 0; o < l.Out; o++ {
+			for i := 0; i < l.In; i++ {
+				v := momentum*l.velW[o][i] - lr*l.gradW[o][i]*inv
+				l.velW[o][i] = v
+				l.W[o][i] += v
+				l.gradW[o][i] = 0
+			}
+			v := momentum*l.velB[o] - lr*l.gradB[o]*inv
+			l.velB[o] = v
+			l.B[o] += v
+			l.gradB[o] = 0
+		}
+	}
+}
+
+// ProjectNonNegative clamps every weight to be >= 0 (biases unconstrained).
+// Projected after each optimizer step, this trains a monotone classifier:
+// for detectors over activity counters it guarantees that *more* anomalous
+// activity never lowers the suspicion score — closing the
+// negative-weight evasion channel adversarial perturbations exploit.
+func (n *Network) ProjectNonNegative() {
+	for _, l := range n.Layers {
+		for o := 0; o < l.Out; o++ {
+			for i := 0; i < l.In; i++ {
+				if l.W[o][i] < 0 {
+					l.W[o][i] = 0
+				}
+			}
+		}
+	}
+}
+
+// ClearGrads discards accumulated gradients without touching weights or
+// momentum (used when a backward pass was only needed for its input
+// gradient, as in GAN generator training).
+func (n *Network) ClearGrads() {
+	for _, l := range n.Layers {
+		for o := 0; o < l.Out; o++ {
+			for i := 0; i < l.In; i++ {
+				l.gradW[o][i] = 0
+			}
+			l.gradB[o] = 0
+		}
+	}
+}
+
+// Clone deep-copies the network parameters (caches and momentum excluded).
+func (n *Network) Clone() *Network {
+	c := &Network{}
+	for _, l := range n.Layers {
+		nl := newLayer(rand.New(rand.NewSource(0)), l.In, l.Out, l.Act)
+		for o := range l.W {
+			copy(nl.W[o], l.W[o])
+		}
+		copy(nl.B, l.B)
+		c.Layers = append(c.Layers, nl)
+	}
+	return c
+}
+
+// NumParams counts trainable parameters.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, l := range n.Layers {
+		total += l.In*l.Out + l.Out
+	}
+	return total
+}
+
+// MSE returns the mean squared error and writes dL/dPred into grad.
+func MSE(pred, target, grad []float64) float64 {
+	var loss float64
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += d * d
+		grad[i] = 2 * d / float64(len(pred))
+	}
+	return loss / float64(len(pred))
+}
+
+// BCE returns binary cross-entropy loss and writes dL/dPred into grad.
+// Predictions are clamped away from {0,1} for numerical stability.
+func BCE(pred, target, grad []float64) float64 {
+	const eps = 1e-7
+	var loss float64
+	for i := range pred {
+		p := math.Min(math.Max(pred[i], eps), 1-eps)
+		t := target[i]
+		loss += -(t*math.Log(p) + (1-t)*math.Log(1-p))
+		grad[i] = (p - t) / (p * (1 - p)) / float64(len(pred))
+	}
+	return loss / float64(len(pred))
+}
+
+// TrainSample is one forward/backward/no-step pass with BCE loss; callers
+// batch several and then Step.
+func (n *Network) TrainSample(x, target []float64) float64 {
+	pred := n.Forward(x)
+	grad := make([]float64, len(pred))
+	loss := BCE(pred, target, grad)
+	n.Backward(grad)
+	return loss
+}

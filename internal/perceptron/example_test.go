@@ -1,0 +1,22 @@
+package perceptron_test
+
+import (
+	"fmt"
+
+	"evax/internal/perceptron"
+)
+
+// Example shows the hardware cost model of the paper's 145-feature
+// detector: 9-bit accumulator, serial single-adder evaluation, well under
+// the 4000-transistor estimate.
+func Example() {
+	p := perceptron.New(145)
+	q := p.Quantize()
+	fmt.Println("accumulator bits:", q.AccumulatorBits())
+	fmt.Println("under 4000 transistors:", q.TransistorEstimate() <= 4000)
+	fmt.Println("latency is a few hundred cycles:", q.LatencyCycles() < 400)
+	// Output:
+	// accumulator bits: 9
+	// under 4000 transistors: true
+	// latency is a few hundred cycles: true
+}

@@ -1,0 +1,188 @@
+// Package perceptron models the paper's hardware detector: a single-layer
+// perceptron over binarized HPC features with 9-bit quantized weights in
+// [-2, 1], evaluated by a serial single-adder dot product (a few hundred
+// cycles worst case, ~4000 transistors — Section VI-B of the paper).
+//
+// The float-weight perceptron here is the training-time model; Quantize
+// produces the deployable hardware configuration and the cost model.
+package perceptron
+
+import "math"
+
+// Binarizer thresholds normalized feature values into the 0/1 inputs the
+// hardware consumes ("since 0 and 1 are the only possible input values,
+// multiplication is unnecessary").
+type Binarizer struct {
+	Thresholds []float64
+}
+
+// FitBinarizer sets each feature's threshold to its mean over the training
+// samples (features are max-normalized upstream, so the mean splits typical
+// from elevated activity).
+func FitBinarizer(samples [][]float64) *Binarizer {
+	if len(samples) == 0 {
+		return &Binarizer{}
+	}
+	n := len(samples[0])
+	th := make([]float64, n)
+	for _, s := range samples {
+		for i, v := range s {
+			th[i] += v
+		}
+	}
+	for i := range th {
+		th[i] /= float64(len(samples))
+		if th[i] <= 0 {
+			th[i] = 0.5 // never-firing feature: require real activity
+		}
+	}
+	return &Binarizer{Thresholds: th}
+}
+
+// Binarize writes the bit vector for x into out.
+func (b *Binarizer) Binarize(x, out []float64) {
+	for i, v := range x {
+		if v > b.Thresholds[i] {
+			out[i] = 1
+		} else {
+			out[i] = 0
+		}
+	}
+}
+
+// Perceptron is the float-weight training model.
+type Perceptron struct {
+	W    []float64
+	Bias float64
+}
+
+// New creates a zero-weight perceptron for n features.
+func New(n int) *Perceptron { return &Perceptron{W: make([]float64, n)} }
+
+// Score returns the weighted sum for bit vector x.
+func (p *Perceptron) Score(x []float64) float64 {
+	s := p.Bias
+	for i, v := range x {
+		if v != 0 {
+			s += p.W[i] * v
+		}
+	}
+	return s
+}
+
+// Predict reports malicious (score >= 0).
+func (p *Perceptron) Predict(x []float64) bool { return p.Score(x) >= 0 }
+
+// TrainEpoch runs one pass of margin-perceptron updates. labels are
+// true=malicious. Returns the number of updates made (0 means converged).
+func (p *Perceptron) TrainEpoch(samples [][]float64, labels []bool, lr, margin float64) int {
+	updates := 0
+	for k, x := range samples {
+		score := p.Score(x)
+		want := -1.0
+		if labels[k] {
+			want = 1
+		}
+		if score*want < margin {
+			updates++
+			for i, v := range x {
+				if v != 0 {
+					p.W[i] += lr * want * v
+				}
+			}
+			p.Bias += lr * want
+		}
+	}
+	return updates
+}
+
+// Train runs up to epochs training passes, stopping early on convergence.
+func (p *Perceptron) Train(samples [][]float64, labels []bool, epochs int, lr, margin float64) {
+	for e := 0; e < epochs; e++ {
+		if p.TrainEpoch(samples, labels, lr, margin) == 0 {
+			return
+		}
+	}
+}
+
+// Quantized is the hardware configuration: weights clamped to the paper's
+// [-2, 1] range after scaling. With 145 weights the accumulator range is
+// [-290, +145]: 435 distinct values, 9 bits.
+type Quantized struct {
+	W     []int8
+	Bias  int8
+	Scale float64
+}
+
+// Quantize scales the float weights so the largest magnitude maps within
+// [-2, 1] and rounds.
+func (p *Perceptron) Quantize() *Quantized {
+	var maxAbs float64
+	for _, w := range p.W {
+		if a := math.Abs(w); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if a := math.Abs(p.Bias); a > maxAbs {
+		maxAbs = a
+	}
+	if maxAbs == 0 {
+		maxAbs = 1
+	}
+	scale := 2 / maxAbs
+	q := &Quantized{W: make([]int8, len(p.W)), Scale: scale}
+	clamp := func(v float64) int8 {
+		r := math.Round(v * scale)
+		if r < -2 {
+			r = -2
+		}
+		if r > 1 {
+			r = 1
+		}
+		return int8(r)
+	}
+	for i, w := range p.W {
+		q.W[i] = clamp(w)
+	}
+	q.Bias = clamp(p.Bias)
+	return q
+}
+
+// Score computes the integer accumulator value for bit vector x.
+func (q *Quantized) Score(x []float64) int {
+	s := int(q.Bias)
+	for i, v := range x {
+		if v != 0 {
+			s += int(q.W[i])
+		}
+	}
+	return s
+}
+
+// Predict reports malicious.
+func (q *Quantized) Predict(x []float64) bool { return q.Score(x) >= 0 }
+
+// AccumulatorBits returns the bits needed by the serial accumulator:
+// weights in [-2,1] over n features span [-2n, n].
+func (q *Quantized) AccumulatorBits() int {
+	n := len(q.W)
+	span := 3*n + 1 // -2n .. +n inclusive
+	bits := 0
+	for v := 1; v < span; v <<= 1 {
+		bits++
+	}
+	return bits
+}
+
+// LatencyCycles is the serial single-adder evaluation time: one add per
+// set input bit plus drain — "a result in a few hundred cycles in the worst
+// case".
+func (q *Quantized) LatencyCycles() int { return len(q.W) + 8 }
+
+// TransistorEstimate roughly costs the dot-product logic: a 9-bit adder
+// (~28 transistors/bit full adder) plus accumulator and control — the
+// paper estimates no more than 4,000.
+func (q *Quantized) TransistorEstimate() int {
+	bits := q.AccumulatorBits()
+	return bits*28 /*adder*/ + bits*12 /*accumulator*/ + 2*len(q.W) /*input mux*/ + 500
+}

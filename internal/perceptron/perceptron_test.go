@@ -1,0 +1,133 @@
+package perceptron
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBinarizer(t *testing.T) {
+	samples := [][]float64{
+		{0.2, 0.0},
+		{0.8, 0.0},
+	}
+	b := FitBinarizer(samples)
+	if b.Thresholds[0] != 0.5 {
+		t.Fatalf("threshold[0] = %v, want 0.5", b.Thresholds[0])
+	}
+	// Never-firing feature defaults to 0.5 so noise stays 0.
+	if b.Thresholds[1] != 0.5 {
+		t.Fatalf("threshold[1] = %v, want 0.5 default", b.Thresholds[1])
+	}
+	out := make([]float64, 2)
+	b.Binarize([]float64{0.6, 0.1}, out)
+	if out[0] != 1 || out[1] != 0 {
+		t.Fatalf("binarized = %v", out)
+	}
+}
+
+func TestFitBinarizerEmpty(t *testing.T) {
+	b := FitBinarizer(nil)
+	if len(b.Thresholds) != 0 {
+		t.Fatal("empty fit produced thresholds")
+	}
+}
+
+func makeLinearly(n int, seed int64) ([][]float64, []bool) {
+	rng := rand.New(rand.NewSource(seed))
+	samples := make([][]float64, n)
+	labels := make([]bool, n)
+	for k := range samples {
+		x := make([]float64, 8)
+		for i := range x {
+			if rng.Float64() < 0.5 {
+				x[i] = 1
+			}
+		}
+		samples[k] = x
+		// Malicious iff bits 0 and 2 set and bit 5 clear (an AND-style
+		// signature like the engineered security HPCs).
+		labels[k] = x[0] == 1 && x[2] == 1 && x[5] == 0
+	}
+	return samples, labels
+}
+
+func TestTrainConverges(t *testing.T) {
+	samples, labels := makeLinearly(400, 3)
+	p := New(8)
+	p.Train(samples, labels, 200, 0.5, 0.1)
+	wrong := 0
+	for k, x := range samples {
+		if p.Predict(x) != labels[k] {
+			wrong++
+		}
+	}
+	if wrong > 8 {
+		t.Fatalf("training errors = %d/400", wrong)
+	}
+}
+
+func TestTrainEpochConvergedReturnsZero(t *testing.T) {
+	samples := [][]float64{{1, 0}, {0, 1}}
+	labels := []bool{true, false}
+	p := New(2)
+	p.Train(samples, labels, 100, 1, 0.5)
+	if u := p.TrainEpoch(samples, labels, 1, 0); u != 0 {
+		t.Fatalf("updates after convergence = %d", u)
+	}
+}
+
+func TestQuantizePreservesDecisions(t *testing.T) {
+	samples, labels := makeLinearly(400, 5)
+	p := New(8)
+	p.Train(samples, labels, 300, 0.5, 0.2)
+	q := p.Quantize()
+	agree := 0
+	for _, x := range samples {
+		if p.Predict(x) == q.Predict(x) {
+			agree++
+		}
+	}
+	if agree < 360 {
+		t.Fatalf("quantized agreement %d/400", agree)
+	}
+	for _, w := range q.W {
+		if w < -2 || w > 1 {
+			t.Fatalf("weight %d outside [-2,1]", w)
+		}
+	}
+}
+
+func TestQuantizeZeroWeights(t *testing.T) {
+	p := New(4)
+	q := p.Quantize() // must not divide by zero
+	for _, w := range q.W {
+		if w != 0 {
+			t.Fatal("zero perceptron quantized nonzero")
+		}
+	}
+}
+
+func TestHardwareCostModel(t *testing.T) {
+	// The paper's configuration: 145 features, weights in [-2,1] ->
+	// 9-bit accumulator, <=4000 transistors, a few hundred cycles.
+	p := New(145)
+	q := p.Quantize()
+	if bits := q.AccumulatorBits(); bits != 9 {
+		t.Fatalf("accumulator bits = %d, want 9", bits)
+	}
+	if lat := q.LatencyCycles(); lat < 145 || lat > 400 {
+		t.Fatalf("latency = %d cycles, want a few hundred", lat)
+	}
+	if tr := q.TransistorEstimate(); tr > 4000 {
+		t.Fatalf("transistor estimate = %d, paper bound 4000", tr)
+	}
+}
+
+func TestScoreSparse(t *testing.T) {
+	p := New(3)
+	p.W = []float64{1, 2, 3}
+	p.Bias = -1
+	if s := p.Score([]float64{1, 0, 1}); s != 3 {
+		t.Fatalf("score = %v, want 3", s)
+	}
+}

@@ -1,0 +1,156 @@
+// Package sim implements the cycle-level out-of-order core: an 8-wide
+// fetch/dispatch/issue/commit pipeline with a 192-entry ROB, 32-entry load
+// and store queues, tournament branch prediction, cache hierarchy, TLBs and
+// DRAM — the configuration of the paper's Table II.
+//
+// The model is functional-first/timing-decoupled: micro-ops execute
+// functionally at dispatch along the *predicted* path (wrong-path
+// instructions really execute and really touch the caches — the transient
+// leakage the detector must catch), while a scoreboard computes issue and
+// completion cycles from data dependences, execution-unit contention and
+// memory latency. Mispredicted branches squash younger work when they
+// resolve; faulting and assist loads squash at commit, giving a
+// Meltdown/LVI transient window naturally bounded by ROB occupancy.
+package sim
+
+import (
+	"evax/internal/branch"
+	"evax/internal/cache"
+	"evax/internal/dram"
+	"evax/internal/tlb"
+)
+
+// Config holds all architectural parameters (paper Table II).
+type Config struct {
+	FetchWidth  int
+	CommitWidth int
+	ROBEntries  int
+	IQEntries   int
+	LQEntries   int
+	SQEntries   int
+	PhysIntRegs int
+
+	IntALUs   int
+	IntMults  int
+	IntDivs   int
+	FPUnits   int
+	LoadPorts int
+	StorePort int
+
+	IntALULat  uint64
+	IntMultLat uint64
+	IntDivLat  uint64
+	FPLat      uint64
+
+	FetchToDispatch uint64 // front-end depth in cycles
+	SquashPenalty   uint64 // fetch redirect bubble after a squash
+	SyscallLat      uint64
+	RdRandLat       uint64
+
+	Branch branch.Config
+	L1I    cache.Config
+	L1D    cache.Config
+	L2     cache.Config
+	DTLB   tlb.Config
+	ITLB   tlb.Config
+	DRAM   dram.Config
+
+	// SpecBufferEntries sizes the InvisiSpec speculative buffer.
+	SpecBufferEntries int
+
+	// Prefetcher configures the optional stride prefetcher.
+	Prefetcher PrefetchConfig
+}
+
+// DefaultConfig mirrors the paper's Table II: X86 O3 single core at 2 GHz,
+// 8-wide, ROB=192, LQ=SQ=32, 256 physical integer registers, tournament
+// predictor with 4096 BTB entries and 16 RAS entries, 32KB L1I, 64KB L1D,
+// 2MB L2.
+func DefaultConfig() Config {
+	return Config{
+		FetchWidth:  8,
+		CommitWidth: 8,
+		ROBEntries:  192,
+		IQEntries:   64,
+		LQEntries:   32,
+		SQEntries:   32,
+		PhysIntRegs: 256,
+
+		IntALUs:   4,
+		IntMults:  1,
+		IntDivs:   1,
+		FPUnits:   2,
+		LoadPorts: 2,
+		StorePort: 1,
+
+		IntALULat:  1,
+		IntMultLat: 3,
+		IntDivLat:  20,
+		FPLat:      4,
+
+		FetchToDispatch: 5,
+		SquashPenalty:   8,
+		SyscallLat:      150,
+		RdRandLat:       170,
+
+		Branch: branch.DefaultConfig(),
+		L1I:    cache.L1IConfig(),
+		L1D:    cache.L1DConfig(),
+		L2:     cache.L2Config(),
+		DTLB:   tlb.DefaultDTLB(),
+		ITLB:   tlb.DefaultITLB(),
+		DRAM:   dram.DefaultConfig(),
+
+		SpecBufferEntries: 32,
+
+		Prefetcher: DefaultPrefetchConfig(),
+	}
+}
+
+// Policy selects the active defense mechanism. The adaptive controller in
+// internal/defense flips between PolicyNone (performance mode) and a
+// protective policy (secure mode) on detector flags.
+type Policy uint8
+
+const (
+	// PolicyNone runs unprotected at full speed.
+	PolicyNone Policy = iota
+	// PolicyFenceAfterBranch inserts an implicit serialization after
+	// every branch: younger instructions wait for branch resolution
+	// (the Spectre-model fencing defense, 74% always-on overhead in the
+	// paper).
+	PolicyFenceAfterBranch
+	// PolicyFenceBeforeLoad serializes every load against all older
+	// instructions (the Futuristic-model fencing defense that also stops
+	// LVI; ~200% always-on overhead in the paper).
+	PolicyFenceBeforeLoad
+	// PolicyInvisiSpecSpectre sends loads issued under unresolved
+	// branches to the speculative buffer (InvisiSpec, Spectre model).
+	PolicyInvisiSpecSpectre
+	// PolicyInvisiSpecFuturistic sends every load not at the ROB head to
+	// the speculative buffer (InvisiSpec, Futuristic model).
+	PolicyInvisiSpecFuturistic
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyFenceAfterBranch:
+		return "fence-after-branch"
+	case PolicyFenceBeforeLoad:
+		return "fence-before-load"
+	case PolicyInvisiSpecSpectre:
+		return "invisispec-spectre"
+	case PolicyInvisiSpecFuturistic:
+		return "invisispec-futuristic"
+	}
+	return "policy(?)"
+}
+
+// CodeBase is the virtual address of instruction index 0; instructions are
+// 4 bytes apart for I-cache/ITLB purposes.
+const CodeBase uint64 = 0x0040_0000
+
+// PCOf maps an instruction index to its virtual address.
+func PCOf(idx int) uint64 { return CodeBase + uint64(idx)*4 }

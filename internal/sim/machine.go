@@ -1,0 +1,442 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"evax/internal/branch"
+	"evax/internal/cache"
+	"evax/internal/dram"
+	"evax/internal/isa"
+	"evax/internal/tlb"
+)
+
+// robEntry is one in-flight micro-op.
+type robEntry struct {
+	seq     uint64
+	instIdx int
+	kind    isa.Kind
+	phase   isa.Phase
+	hasDest bool
+
+	execStart uint64 // cycle issue/execution begins
+	doneAt    uint64 // cycle the result is available
+
+	wrongPath bool // dispatched under a known-wrong path
+
+	// Control-flow resolution.
+	isCtrl     bool
+	mispredict bool
+	actualNext int
+	predDir    branch.Direction
+	hasPredDir bool
+	btbPred    int
+	btbHad     bool
+	rasUsed    bool
+	rasCorrect bool
+
+	// Memory.
+	isLoad   bool
+	isStore  bool
+	ea       uint64
+	specLoad bool // routed through the InvisiSpec buffer
+	// didCacheAccess records that the op really touched the cache
+	// hierarchy; a squashed load with this set is a transient leak
+	// candidate (the security ground truth the experiments measure).
+	didCacheAccess bool
+
+	// Commit-time replay triggers.
+	fault        bool   // kernel permission fault (Meltdown window)
+	assistReplay bool   // microcode assist / LVI-style injection replay
+	stlViolation bool   // load bypassed an unresolved older store
+	squashAtEst  uint64 // estimated commit/squash cycle for replay loads
+
+	// destValue is the architectural result recorded at dispatch. For
+	// replay loads it is the correct post-replay value; the transient
+	// value lives only in the speculative register file.
+	destValue uint64
+	dest      isa.Reg
+
+	ckpt *checkpoint
+}
+
+// checkpoint captures speculative register/control state for squash
+// recovery. SQ/LQ occupancy is unwound by ROB truncation, not here. For
+// control ops the snapshot reflects state just *after* the op's own
+// functional effects; for replay loads, just *before* the transient
+// destination write.
+type checkpoint struct {
+	specRegs  [isa.NumRegs]uint64
+	regReady  [isa.NumRegs]uint64
+	callStack []int
+	ras       branch.RASSnapshot
+}
+
+// redirect records the pending squash for a right-path mispredicted control
+// op (at most one exists: everything fetched after it is wrong-path).
+type redirect struct {
+	seq        uint64
+	doneAt     uint64 // resolution cycle, when the squash fires
+	actualNext int
+	ckpt       *checkpoint
+}
+
+// sqEntry is an in-flight store. Address and data readiness are tracked
+// separately: a load may forward from a store whose address is known even if
+// the data arrives later, but a store with an unresolved address is invisible
+// to younger loads — the Spectre-STL bypass condition.
+type sqEntry struct {
+	seq    uint64
+	addr   uint64 // word-aligned
+	value  uint64
+	addrAt uint64 // address resolution cycle
+	dataAt uint64 // data ready cycle
+}
+
+// uint64Heap is a min-heap of cycle numbers (issue-queue drain tracking).
+type uint64Heap []uint64
+
+func (h uint64Heap) Len() int            { return len(h) }
+func (h uint64Heap) Less(i, j int) bool  { return h[i] < h[j] }
+func (h uint64Heap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *uint64Heap) Push(x interface{}) { *h = append(*h, x.(uint64)) }
+func (h *uint64Heap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Counters is the machine-level event block; component stats live in the
+// components themselves and are merged by ReadCounters.
+type Counters struct {
+	FetchCycles          uint64
+	FetchInsts           uint64
+	FetchStallCycles     uint64
+	FetchICacheStalls    uint64
+	FetchSquashCycles    uint64
+	PendingQuiesceStalls uint64
+
+	DecodeInsts   uint64
+	DecodeBlocked uint64
+
+	RenameInsts       uint64
+	RenameUndone      uint64 // renames squashed
+	RenameSerializing uint64
+	RenameFullRegs    uint64
+	CommittedMaps     uint64
+
+	IQAdded             uint64
+	IQIssued            uint64
+	IQFullStalls        uint64
+	IQSquashedExamined  uint64
+	IQSquashedNonSpecLD uint64
+	IQConflicts         uint64 // execution-port contention events
+
+	ExecutedInsts     uint64
+	ExecSquashedInsts uint64
+	MemOrderViolation uint64
+	BranchMispredicts uint64 // resolved right-path mispredictions
+
+	LSQForwLoads        uint64
+	LSQSquashedLoads    uint64
+	LSQSquashedStores   uint64
+	LSQIgnoredResponses uint64
+	LSQRescheduled      uint64
+	LSQBlockedLoads     uint64
+	SpecLoadsHitWrQ     uint64
+
+	ROBFullStalls uint64
+	ROBReads      uint64
+
+	CommitInsts    uint64
+	CommitBranches uint64
+	CommitLoads    uint64
+	CommitStores   uint64
+	CommitFaults   uint64
+	CommitSquashed uint64 // total squashed micro-ops
+
+	SpecInstsAdded    uint64 // dispatched while speculation pending
+	SpecLoadsExecuted uint64
+
+	FenceStallCycles uint64
+	SerializeDrains  uint64
+	RdRandReads      uint64
+	RdRandContention uint64
+	SyscallCount     uint64
+	QuiesceCycles    uint64
+
+	MemCorruptions   uint64 // Rowhammer bit flips applied to memory
+	DefenseSwitches  uint64
+	DefenseActiveCyc uint64
+
+	// LeakedTransientLoads counts squashed loads that really modified
+	// cache state — the "leakage occurred" ground truth for the security
+	// experiments. It is NOT exposed to the detector's feature catalog.
+	LeakedTransientLoads uint64
+}
+
+// Machine is one simulated core running one program.
+type Machine struct {
+	cfg  Config
+	prog *isa.Program
+
+	bp      *branch.Predictor
+	l1i     *cache.Cache
+	l1d     *cache.Cache
+	l2      *cache.Cache
+	dtlb    *tlb.TLB
+	itlb    *tlb.TLB
+	mem     *dram.DRAM
+	specBuf *cache.SpecBuffer
+	pf      *stridePrefetcher
+
+	// Architectural state.
+	archRegs [isa.NumRegs]uint64
+	memory   map[uint64]uint64
+
+	// Speculative state along the fetch path.
+	specRegs  [isa.NumRegs]uint64
+	regReady  [isa.NumRegs]uint64
+	callStack []int
+
+	rob     []robEntry
+	robHead int
+	seq     uint64
+
+	sq            []sqEntry
+	lqCount       int
+	inFlightDests int
+	iqHeap        uint64Heap
+
+	fetchIdx      int
+	fetchReadyAt  uint64
+	lastFetchLine uint64
+	quiescing     bool
+
+	// pendingRedirect is set while a right-path mispredicted control op
+	// awaits resolution (at most one can exist).
+	pendingRedirect *redirect
+
+	// inFlightCtrl counts dispatched-but-uncommitted control ops; the
+	// InvisiSpec Spectre model treats loads issued under any of them as
+	// unsafe (their visibility point is the last older branch's commit).
+	inFlightCtrl int
+
+	// pendingReplays counts in-flight loads that will squash at commit
+	// (faults, assists, memory-order violations); replayGate is the
+	// estimated squash cycle of the oldest such load — micro-ops whose
+	// execution would begin at or after it never actually execute.
+	pendingReplays int
+	replayGate     uint64
+
+	// Serialization barriers (cycle numbers younger ops must wait for).
+	serializeBarrier uint64 // LFence/serialize: all younger ops
+	memBarrier       uint64 // MFence: younger memory ops
+	maxDoneAll       uint64 // running max doneAt of all dispatched ops
+	maxDoneMem       uint64 // running max doneAt of memory ops
+	maxDoneCtrl      uint64 // running max doneAt of control ops
+	branchFence      uint64 // fence-after-branch barrier (LFENCE semantics)
+
+	// Execution unit free cycles.
+	aluFree   []uint64
+	multFree  []uint64
+	divFree   []uint64
+	fpFree    []uint64
+	loadFree  []uint64
+	storeFree []uint64
+	rngFree   uint64
+
+	cycle            uint64
+	committed        uint64
+	commitStallUntil uint64 // InvisiSpec exposure/validation backpressure
+	policy           Policy
+
+	flipsApplied int
+
+	// Phase histogram, incremented at dispatch (leaking micro-ops often
+	// never commit, so dispatch-time attribution is what the detector's
+	// ground truth needs).
+	phaseDispatched [6]uint64
+
+	C Counters
+
+	rng uint64 // architectural RDRAND state (matches isa.Interp)
+
+	done bool
+}
+
+// New creates a machine for prog.
+func New(cfg Config, prog *isa.Program) *Machine {
+	m := &Machine{
+		cfg:    cfg,
+		prog:   prog,
+		bp:     branch.New(cfg.Branch),
+		memory: make(map[uint64]uint64, len(prog.InitMem)),
+	}
+	m.mem = dram.New(cfg.DRAM)
+	m.l2 = cache.New(cfg.L2, m.mem)
+	m.l1d = cache.New(cfg.L1D, m.l2)
+	m.l1i = cache.New(cfg.L1I, m.l2)
+	m.dtlb = tlb.New(cfg.DTLB)
+	m.itlb = tlb.New(cfg.ITLB)
+	m.specBuf = cache.NewSpecBuffer(m.l1d, cfg.SpecBufferEntries)
+	if cfg.Prefetcher.Enabled {
+		m.pf = newStridePrefetcher(cfg.Prefetcher)
+	}
+
+	for r, v := range prog.InitRegs {
+		m.archRegs[r] = v
+		m.specRegs[r] = v
+	}
+	for a, v := range prog.InitMem {
+		m.memory[a&^7] = v
+	}
+	m.aluFree = make([]uint64, cfg.IntALUs)
+	m.multFree = make([]uint64, cfg.IntMults)
+	m.divFree = make([]uint64, cfg.IntDivs)
+	m.fpFree = make([]uint64, cfg.FPUnits)
+	m.loadFree = make([]uint64, cfg.LoadPorts)
+	m.storeFree = make([]uint64, cfg.StorePort)
+	m.rob = make([]robEntry, 0, cfg.ROBEntries)
+	heap.Init(&m.iqHeap)
+	return m
+}
+
+// Program returns the running program.
+func (m *Machine) Program() *isa.Program { return m.prog }
+
+// Cycles returns the elapsed cycle count.
+func (m *Machine) Cycles() uint64 { return m.cycle }
+
+// Instructions returns committed instructions.
+func (m *Machine) Instructions() uint64 { return m.committed }
+
+// Done reports whether the program has run to completion.
+func (m *Machine) Done() bool { return m.done }
+
+// IPC returns committed instructions per cycle so far.
+func (m *Machine) IPC() float64 {
+	if m.cycle == 0 {
+		return 0
+	}
+	return float64(m.committed) / float64(m.cycle)
+}
+
+// Policy returns the active defense policy.
+func (m *Machine) Policy() Policy { return m.policy }
+
+// SetPolicy switches the defense policy (the adaptive controller's lever).
+func (m *Machine) SetPolicy(p Policy) {
+	if p != m.policy {
+		m.C.DefenseSwitches++
+	}
+	m.policy = p
+}
+
+// ArchReg reads an architectural register (committed state).
+func (m *Machine) ArchReg(r isa.Reg) uint64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return m.archRegs[r]
+}
+
+// MemWord reads committed memory.
+func (m *Machine) MemWord(addr uint64) uint64 { return m.memory[addr&^7] }
+
+// L1D exposes the data cache (tests and attack verification).
+func (m *Machine) L1D() *cache.Cache { return m.l1d }
+
+// L2 exposes the shared cache.
+func (m *Machine) L2() *cache.Cache { return m.l2 }
+
+// DRAM exposes the memory model.
+func (m *Machine) DRAM() *dram.DRAM { return m.mem }
+
+// Predictor exposes the branch predictor.
+func (m *Machine) Predictor() *branch.Predictor { return m.bp }
+
+// PrefetchesIssued reports stride-prefetcher activity (0 when disabled).
+func (m *Machine) PrefetchesIssued() uint64 {
+	if m.pf == nil {
+		return 0
+	}
+	return m.pf.Issued
+}
+
+// SpecBufLen reports InvisiSpec buffer occupancy.
+func (m *Machine) SpecBufLen() int { return m.specBuf.Len() }
+
+// ROBOccupancy reports in-flight micro-ops.
+func (m *Machine) ROBOccupancy() int { return len(m.rob) - m.robHead }
+
+// PhaseDispatched returns the cumulative dispatch counts per attack phase.
+func (m *Machine) PhaseDispatched() [6]uint64 { return m.phaseDispatched }
+
+func (m *Machine) specRead(r isa.Reg) uint64 {
+	if r == isa.R0 {
+		return 0
+	}
+	return m.specRegs[r]
+}
+
+func (m *Machine) specWrite(r isa.Reg, v uint64) {
+	if r != isa.R0 {
+		m.specRegs[r] = v
+	}
+}
+
+// memRead returns the functional value a load observes: the newest older
+// store in the SQ for the word, else committed memory.
+func (m *Machine) memRead(addr uint64) uint64 {
+	w := addr &^ 7
+	for i := len(m.sq) - 1; i >= 0; i-- {
+		if m.sq[i].addr == w {
+			return m.sq[i].value
+		}
+	}
+	return m.memory[w]
+}
+
+func (m *Machine) takeCheckpoint() *checkpoint {
+	return &checkpoint{
+		specRegs:  m.specRegs,
+		regReady:  m.regReady,
+		callStack: append([]int(nil), m.callStack...),
+		ras:       m.bp.SnapshotRAS(),
+	}
+}
+
+func (m *Machine) restoreCheckpoint(ck *checkpoint) {
+	m.specRegs = ck.specRegs
+	m.regReady = ck.regReady
+	m.callStack = append(m.callStack[:0], ck.callStack...)
+	m.bp.RestoreRAS(ck.ras)
+}
+
+// applyFlips propagates Rowhammer bit flips from the DRAM model into
+// functional memory (the paper's dedicated memory-corruption module).
+func (m *Machine) applyFlips() {
+	flips := m.mem.Flips()
+	for ; m.flipsApplied < len(flips); m.flipsApplied++ {
+		f := flips[m.flipsApplied]
+		rowBytes := uint64(m.mem.RowBytes())
+		banks := uint64(m.mem.Banks())
+		base := uint64(f.Row) * rowBytes * banks
+		addr := (base + uint64(f.Bit/8)) &^ 7
+		// Align the address into the right bank by stepping lines.
+		for b, _ := m.mem.BankRow(addr); b != f.Bank; b, _ = m.mem.BankRow(addr) {
+			addr += 64
+		}
+		m.memory[addr] ^= 1 << (f.Bit % 64)
+		m.C.MemCorruptions++
+	}
+}
+
+// String summarizes machine state (debugging aid).
+func (m *Machine) String() string {
+	return fmt.Sprintf("machine{%s cycle=%d committed=%d rob=%d policy=%s}",
+		m.prog.Name, m.cycle, m.committed, m.ROBOccupancy(), m.policy)
+}

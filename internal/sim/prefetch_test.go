@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"evax/internal/isa"
+)
+
+func pfConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Prefetcher = PrefetchConfig{Enabled: true, TableSize: 64, Degree: 2}
+	return cfg
+}
+
+// streamProg walks a long array with unit-line stride — the pattern a
+// stride prefetcher must capture.
+func streamProg() *isa.Program {
+	b := isa.NewBuilder("pfstream", isa.ClassBenign)
+	b.Li(isa.R1, 0)
+	b.Li(isa.R2, 2000)
+	b.Li(isa.R3, 0x40_0000)
+	b.Label("top")
+	b.Load(isa.R4, isa.R3, isa.R1, 64, 0)
+	b.Add(isa.R5, isa.R5, isa.R4)
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Br(isa.CondNE, isa.R1, isa.R2, "top")
+	return b.MustBuild()
+}
+
+func TestPrefetcherLearnsStride(t *testing.T) {
+	m := New(pfConfig(), streamProg())
+	m.Run(10_000_000)
+	if !m.Done() {
+		t.Fatal("did not finish")
+	}
+	if m.PrefetchesIssued() < 1000 {
+		t.Fatalf("prefetches issued = %d on a 2000-line stream", m.PrefetchesIssued())
+	}
+	if m.L1D().Stats.PrefetchFills == 0 {
+		t.Fatal("no prefetch fills")
+	}
+}
+
+func TestPrefetcherSpeedsUpStreaming(t *testing.T) {
+	base := New(DefaultConfig(), streamProg())
+	base.Run(10_000_000)
+	pf := New(pfConfig(), streamProg())
+	pf.Run(10_000_000)
+	if base.Instructions() != pf.Instructions() {
+		t.Fatal("instruction counts differ")
+	}
+	if pf.Cycles() >= base.Cycles() {
+		t.Fatalf("prefetcher did not help streaming: %d vs %d cycles",
+			pf.Cycles(), base.Cycles())
+	}
+}
+
+func TestPrefetcherDisabledByDefault(t *testing.T) {
+	m := New(DefaultConfig(), streamProg())
+	m.Run(10_000_000)
+	if m.PrefetchesIssued() != 0 {
+		t.Fatal("default config issued prefetches")
+	}
+}
+
+func TestPrefetcherDoesNotChangeArchitecture(t *testing.T) {
+	// Timing-only component: committed state must match the interpreter.
+	p := streamProg()
+	m := New(pfConfig(), p)
+	m.Run(10_000_000)
+	it := isa.NewInterp(p)
+	if _, err := it.Run(p, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if m.ArchReg(r) != it.Regs[r] {
+			t.Fatalf("r%d: machine %d, interp %d", r, m.ArchReg(r), it.Regs[r])
+		}
+	}
+}
+
+func TestPrefetcherIgnoresIrregularPattern(t *testing.T) {
+	// A pointer chase has no stable stride: the prefetcher must stay
+	// mostly quiet rather than polluting the cache.
+	b := isa.NewBuilder("pfchase", isa.ClassBenign)
+	const nodes = 256
+	perm := rand.New(rand.NewSource(3)).Perm(nodes)
+	for i := 0; i < nodes; i++ {
+		b.InitMem(0x50_0000+uint64(perm[i])*64, uint64(perm[(i+1)%nodes]))
+	}
+	b.InitReg(isa.R1, 0x50_0000)
+	b.InitReg(isa.R2, uint64(perm[0]))
+	b.Li(isa.R3, 0)
+	b.Li(isa.R4, 1000)
+	b.Label("walk")
+	b.Load(isa.R2, isa.R1, isa.R2, 64, 0)
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Br(isa.CondNE, isa.R3, isa.R4, "walk")
+	p := b.MustBuild()
+	m := New(pfConfig(), p)
+	m.Run(10_000_000)
+	if !m.Done() {
+		t.Fatal("did not finish")
+	}
+	// Far fewer prefetches than loads.
+	if m.PrefetchesIssued() > m.C.CommitLoads/2 {
+		t.Fatalf("prefetcher issued %d on %d irregular loads",
+			m.PrefetchesIssued(), m.C.CommitLoads)
+	}
+}
+
+func TestStridePrefetcherUnit(t *testing.T) {
+	pf := newStridePrefetcher(PrefetchConfig{Enabled: true, TableSize: 8, Degree: 2})
+	pc := uint64(0x400100)
+	if got := pf.observe(pc, 1000); got != nil {
+		t.Fatal("first access triggered")
+	}
+	if got := pf.observe(pc, 1064); got != nil {
+		t.Fatal("stride not yet confirmed")
+	}
+	got := pf.observe(pc, 1128)
+	if len(got) != 2 || got[0] != 1192 || got[1] != 1256 {
+		t.Fatalf("prefetches = %v, want [1192 1256]", got)
+	}
+	// Stride change disarms.
+	if got := pf.observe(pc, 1129); got != nil {
+		t.Fatal("stride change still triggered")
+	}
+	// Negative strides work too.
+	pc2 := uint64(0x400200)
+	pf.observe(pc2, 5000)
+	pf.observe(pc2, 4936)
+	down := pf.observe(pc2, 4872)
+	if len(down) != 2 || down[0] != 4808 {
+		t.Fatalf("negative-stride prefetches = %v", down)
+	}
+}
+
+func TestStridePrefetcherBadConfigDefaults(t *testing.T) {
+	pf := newStridePrefetcher(PrefetchConfig{Enabled: true, TableSize: 7, Degree: 0})
+	if len(pf.entries) != 64 || pf.degree != 1 {
+		t.Fatalf("bad config not defaulted: %d entries, degree %d", len(pf.entries), pf.degree)
+	}
+}

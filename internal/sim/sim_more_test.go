@@ -1,0 +1,245 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"evax/internal/isa"
+)
+
+// lviGadget builds an LVI-style injection: an aliasing store poisons a
+// victim assist-load whose transient value indexes the probe array.
+func lviGadget() (*isa.Program, uint64) {
+	const (
+		probeBase = 0x8_0000
+		stride    = 4096
+		poison    = 5
+	)
+	victim := uint64(0x7008)
+	alias := victim + 0x3000
+	b := isa.NewBuilder("lvi-gadget", isa.ClassLVI)
+	b.InitMem(victim, 1)
+	b.InitReg(isa.R1, victim)
+	b.InitReg(isa.R2, alias)
+	b.InitReg(isa.R20, probeBase)
+	b.InitReg(isa.R21, 0x5_0000)
+	b.CLFlush(isa.R21, isa.R0, 0, 0)
+	b.Li(isa.R3, poison)
+	b.Store(isa.R3, isa.R2, isa.R0, 0, 0)
+	b.Load(isa.R9, isa.R21, isa.R0, 0, 0)      // delay retirement
+	b.LoadAssist(isa.R4, isa.R1, isa.R0, 0, 0) // injected
+	b.Load(isa.R5, isa.R20, isa.R4, stride, 0) // leak
+	b.Nop()
+	return b.MustBuild(), probeBase + poison*stride
+}
+
+func TestFenceBeforeLoadStopsLVI(t *testing.T) {
+	// The paper's Futuristic model: fencing every load is the only
+	// mitigation that covers LVI (at 900% overhead on real hardware).
+	p, leakAddr := lviGadget()
+	m := New(DefaultConfig(), p)
+	m.Run(1_000_000)
+	if !m.L1D().Present(leakAddr) {
+		t.Fatal("LVI gadget inert without defenses")
+	}
+
+	p2, leakAddr2 := lviGadget()
+	m2 := New(DefaultConfig(), p2)
+	m2.SetPolicy(PolicyFenceBeforeLoad)
+	m2.Run(1_000_000)
+	if m2.L1D().Present(leakAddr2) {
+		t.Fatal("fence-before-load failed to stop LVI")
+	}
+	// Architectural result unchanged: the victim's true value.
+	if m2.ArchReg(isa.R4) != 1 {
+		t.Fatalf("assist load committed %d, want 1", m2.ArchReg(isa.R4))
+	}
+}
+
+func TestInvisiSpecFuturisticStopsLVI(t *testing.T) {
+	p, leakAddr := lviGadget()
+	m := New(DefaultConfig(), p)
+	m.SetPolicy(PolicyInvisiSpecFuturistic)
+	m.Run(1_000_000)
+	if m.L1D().Present(leakAddr) {
+		t.Fatal("futuristic InvisiSpec failed to hide the LVI leak")
+	}
+}
+
+func TestSpectreModelDefensesDoNotStopLVI(t *testing.T) {
+	// The Spectre-model mitigations must NOT stop LVI — the paper's
+	// motivation for the Futuristic tier.
+	for _, pol := range []Policy{PolicyFenceAfterBranch, PolicyInvisiSpecSpectre} {
+		p, leakAddr := lviGadget()
+		m := New(DefaultConfig(), p)
+		m.SetPolicy(pol)
+		m.Run(1_000_000)
+		if !m.L1D().Present(leakAddr) {
+			t.Fatalf("%v unexpectedly stopped LVI (it should not cover fault/assist channels)", pol)
+		}
+	}
+}
+
+func TestLQFullStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.LQEntries = 2
+	b := isa.NewBuilder("lqfull", isa.ClassBenign)
+	b.Li(isa.R1, 0x9000)
+	b.CLFlush(isa.R1, isa.R0, 0, 0)
+	for i := 0; i < 8; i++ {
+		b.Load(isa.Reg(2+i), isa.R1, isa.R0, 0, int64(i*4096)) // slow loads
+	}
+	p := b.MustBuild()
+	m := New(cfg, p)
+	m.Run(10000)
+	if !m.Done() {
+		t.Fatal("did not finish")
+	}
+	if m.C.LSQBlockedLoads == 0 {
+		t.Fatal("tiny LQ never blocked dispatch")
+	}
+}
+
+func TestPhysRegExhaustion(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.PhysIntRegs = isa.NumRegs + 4 // only 4 rename registers
+	b := isa.NewBuilder("regfull", isa.ClassBenign)
+	b.Li(isa.R1, 0x9000)
+	b.CLFlush(isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R2, isa.R1, isa.R0, 0, 0) // slow op holds its dest
+	for i := 0; i < 30; i++ {
+		b.Addi(isa.Reg(3+(i%8)), isa.R2, int64(i)) // dependent dests pile up
+	}
+	p := b.MustBuild()
+	m := New(cfg, p)
+	m.Run(10000)
+	if !m.Done() {
+		t.Fatal("did not finish")
+	}
+	if m.C.RenameFullRegs == 0 {
+		t.Fatal("rename never stalled on free physical registers")
+	}
+}
+
+func TestIQFullStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.IQEntries = 4
+	b := isa.NewBuilder("iqfull", isa.ClassBenign)
+	b.Li(isa.R1, 0x9000)
+	b.CLFlush(isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R2, isa.R1, isa.R0, 0, 0)
+	for i := 0; i < 40; i++ {
+		b.Add(isa.R3, isa.R3, isa.R2) // all wait on the slow load
+	}
+	p := b.MustBuild()
+	m := New(cfg, p)
+	m.Run(10000)
+	if !m.Done() {
+		t.Fatal("did not finish")
+	}
+	if m.C.IQFullStalls == 0 {
+		t.Fatal("tiny IQ never filled")
+	}
+}
+
+func TestROBFullStalls(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ROBEntries = 8
+	b := isa.NewBuilder("robfull", isa.ClassBenign)
+	b.Li(isa.R1, 0x9000)
+	b.CLFlush(isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R2, isa.R1, isa.R0, 0, 0) // blocks the head
+	for i := 0; i < 40; i++ {
+		b.Addi(isa.R3, isa.R3, 1)
+	}
+	p := b.MustBuild()
+	m := New(cfg, p)
+	m.Run(10000)
+	if m.C.ROBFullStalls == 0 {
+		t.Fatal("tiny ROB never filled")
+	}
+}
+
+func TestROBBoundsTransientWindow(t *testing.T) {
+	// The paper's argument: the transient window is bounded by the ROB.
+	// A Spectre gadget on a small-ROB machine leaks measurably less.
+	leaksFor := func(rob int) uint64 {
+		cfg := DefaultConfig()
+		cfg.ROBEntries = rob
+		p, _ := spectreGadget()
+		m := New(cfg, p)
+		m.Run(1_000_000)
+		return m.C.LeakedTransientLoads
+	}
+	small, large := leaksFor(16), leaksFor(192)
+	if small >= large {
+		t.Fatalf("ROB 16 leaked %d, ROB 192 leaked %d: window not ROB-bounded", small, large)
+	}
+}
+
+func TestRunCyclesBudget(t *testing.T) {
+	p, _ := spectreGadget()
+	m := New(DefaultConfig(), p)
+	m.RunCycles(100)
+	if m.Cycles() > 120 {
+		t.Fatalf("RunCycles(100) advanced %d cycles", m.Cycles())
+	}
+}
+
+func TestSamplerIntegration(t *testing.T) {
+	// Machine implements hpc.Source end to end: windows carry plausible
+	// instruction and cycle counts.
+	p, _ := spectreGadget()
+	m := New(DefaultConfig(), p)
+	cat := CounterCatalog()
+	buf := make([]uint64, cat.Len())
+	m.ReadCounters(buf)
+	m.Run(5_000)
+	m.ReadCounters(buf)
+	if buf[cat.MustIndex("commit.CommittedInsts")] != m.Instructions() {
+		t.Fatal("committed-instruction counter disagrees with Instructions()")
+	}
+}
+
+// TestRandomCallProgramsMatchInterp extends the differential test with
+// call/ret-heavy random programs (RAS speculation and squash-recovery of
+// the call stack are the riskiest recovery paths).
+func TestRandomCallProgramsMatchInterp(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 15; trial++ {
+		b := isa.NewBuilder("randcall", isa.ClassBenign)
+		for r := isa.Reg(1); r <= 6; r++ {
+			b.InitReg(r, uint64(rng.Intn(50)))
+		}
+		b.Li(isa.R9, 0x4000)
+		b.Li(isa.R10, 0)
+		b.Li(isa.R11, int64(2+rng.Intn(4)))
+		b.Label("loop")
+		b.Call("fa")
+		b.Call("fb")
+		b.Addi(isa.R10, isa.R10, 1)
+		b.Br(isa.CondNE, isa.R10, isa.R11, "loop")
+		b.Jmp("end")
+
+		b.Label("fa")
+		for i := 0; i < 4; i++ {
+			b.Add(isa.Reg(1+rng.Intn(6)), isa.Reg(1+rng.Intn(6)), isa.Reg(1+rng.Intn(6)))
+		}
+		// Data-dependent early return.
+		b.Br(isa.CondLT, isa.Reg(1+rng.Intn(6)), isa.Reg(1+rng.Intn(6)), "faout")
+		b.Call("fb")
+		b.Label("faout")
+		b.Ret()
+
+		b.Label("fb")
+		b.Store(isa.Reg(1+rng.Intn(6)), isa.R9, isa.R0, 0, int64(rng.Intn(4)*8))
+		b.Load(isa.Reg(1+rng.Intn(6)), isa.R9, isa.R0, 0, int64(rng.Intn(4)*8))
+		b.Ret()
+
+		b.Label("end")
+		b.Nop()
+		p := b.MustBuild()
+		m, it := runBoth(t, p, 100000)
+		checkArchMatch(t, m, it)
+	}
+}

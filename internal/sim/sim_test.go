@@ -1,0 +1,622 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"evax/internal/isa"
+)
+
+// runBoth executes a program on the pipeline and the golden interpreter and
+// compares committed architectural register state.
+func runBoth(t *testing.T, p *isa.Program, maxInstr uint64) (*Machine, *isa.Interp) {
+	t.Helper()
+	m := New(DefaultConfig(), p)
+	m.Run(maxInstr)
+	it := isa.NewInterp(p)
+	if _, err := it.Run(p, maxInstr); err != nil {
+		t.Fatalf("interp: %v", err)
+	}
+	return m, it
+}
+
+func checkArchMatch(t *testing.T, m *Machine, it *isa.Interp) {
+	t.Helper()
+	if !m.Done() {
+		t.Fatalf("machine did not finish: %s", m)
+	}
+	for r := isa.Reg(1); r < isa.NumRegs; r++ {
+		if m.ArchReg(r) != it.Regs[r] {
+			t.Errorf("r%d: machine %#x, interp %#x", r, m.ArchReg(r), it.Regs[r])
+		}
+	}
+}
+
+func TestSimpleArithmeticMatchesInterp(t *testing.T) {
+	b := isa.NewBuilder("arith", isa.ClassBenign)
+	b.Li(isa.R1, 7)
+	b.Li(isa.R2, 3)
+	b.Add(isa.R3, isa.R1, isa.R2)
+	b.Mul(isa.R4, isa.R3, isa.R1)
+	b.Div(isa.R5, isa.R4, isa.R2)
+	b.Xor(isa.R6, isa.R5, isa.R1)
+	p := b.MustBuild()
+	m, it := runBoth(t, p, 1000)
+	checkArchMatch(t, m, it)
+}
+
+func TestLoopMatchesInterp(t *testing.T) {
+	b := isa.NewBuilder("sumloop", isa.ClassBenign)
+	b.Li(isa.R1, 0)
+	b.Li(isa.R2, 1)
+	b.Li(isa.R3, 101)
+	b.Label("top")
+	b.Add(isa.R1, isa.R1, isa.R2)
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Br(isa.CondNE, isa.R2, isa.R3, "top")
+	p := b.MustBuild()
+	m, it := runBoth(t, p, 100000)
+	checkArchMatch(t, m, it)
+	if m.ArchReg(isa.R1) != 5050 {
+		t.Fatalf("sum = %d, want 5050", m.ArchReg(isa.R1))
+	}
+}
+
+func TestLoadStoreMatchesInterp(t *testing.T) {
+	b := isa.NewBuilder("memcopy", isa.ClassBenign)
+	b.Li(isa.R1, 0x1000) // src
+	b.Li(isa.R2, 0x2000) // dst
+	b.Li(isa.R3, 0)      // i
+	b.Li(isa.R4, 64)     // n
+	for i := 0; i < 8; i++ {
+		b.InitMem(0x1000+uint64(i)*8, uint64(i*i+1))
+	}
+	b.Label("top")
+	b.Load(isa.R5, isa.R1, isa.R3, 8, 0)
+	b.Addi(isa.R5, isa.R5, 10)
+	b.Store(isa.R5, isa.R2, isa.R3, 8, 0)
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Br(isa.CondNE, isa.R3, isa.R4, "top")
+	p := b.MustBuild()
+	m, it := runBoth(t, p, 100000)
+	checkArchMatch(t, m, it)
+	for i := uint64(0); i < 8; i++ {
+		if got, want := m.MemWord(0x2000+i*8), it.Mem[0x2000+i*8]; got != want {
+			t.Errorf("mem[%d]: machine %d, interp %d", i, got, want)
+		}
+	}
+}
+
+func TestCallRetMatchesInterp(t *testing.T) {
+	b := isa.NewBuilder("calls", isa.ClassBenign)
+	b.Li(isa.R1, 0)
+	b.Li(isa.R2, 0)
+	b.Li(isa.R3, 20)
+	b.Label("loop")
+	b.Call("fn")
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Br(isa.CondNE, isa.R2, isa.R3, "loop")
+	b.Jmp("end")
+	b.Label("fn")
+	b.Addi(isa.R1, isa.R1, 3)
+	b.Ret()
+	b.Label("end")
+	b.Nop()
+	p := b.MustBuild()
+	m, it := runBoth(t, p, 100000)
+	checkArchMatch(t, m, it)
+	if m.ArchReg(isa.R1) != 60 {
+		t.Fatalf("R1 = %d, want 60", m.ArchReg(isa.R1))
+	}
+}
+
+func TestStoreForwarding(t *testing.T) {
+	b := isa.NewBuilder("fwd", isa.ClassBenign)
+	b.Li(isa.R1, 0x3000)
+	b.Li(isa.R2, 99)
+	b.Store(isa.R2, isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R3, isa.R1, isa.R0, 0, 0) // forwarded from SQ
+	p := b.MustBuild()
+	m, it := runBoth(t, p, 1000)
+	checkArchMatch(t, m, it)
+	if m.C.LSQForwLoads == 0 {
+		t.Fatal("no store-to-load forwarding recorded")
+	}
+}
+
+func TestRandomProgramsMatchInterp(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 25; trial++ {
+		b := isa.NewBuilder("rand", isa.ClassBenign)
+		// Initialize registers with random small values.
+		for r := isa.Reg(1); r <= 8; r++ {
+			b.InitReg(r, uint64(rng.Intn(100)))
+		}
+		b.Li(isa.R9, 0x4000)
+		// A counted loop around a random straight-line body with
+		// forward branches.
+		b.Li(isa.R10, 0)
+		b.Li(isa.R11, int64(3+rng.Intn(6)))
+		b.Label("loop")
+		for i := 0; i < 12; i++ {
+			switch rng.Intn(6) {
+			case 0:
+				b.Add(isa.Reg(1+rng.Intn(8)), isa.Reg(1+rng.Intn(8)), isa.Reg(1+rng.Intn(8)))
+			case 1:
+				b.Mul(isa.Reg(1+rng.Intn(8)), isa.Reg(1+rng.Intn(8)), isa.Reg(1+rng.Intn(8)))
+			case 2:
+				b.Xor(isa.Reg(1+rng.Intn(8)), isa.Reg(1+rng.Intn(8)), isa.Reg(1+rng.Intn(8)))
+			case 3:
+				b.Store(isa.Reg(1+rng.Intn(8)), isa.R9, isa.R10, 8, int64(rng.Intn(4)*8))
+			case 4:
+				b.Load(isa.Reg(1+rng.Intn(8)), isa.R9, isa.R10, 8, int64(rng.Intn(4)*8))
+			case 5:
+				skip := "skip" + string(rune('a'+i)) + string(rune('0'+trial%10))
+				b.Br(isa.CondLT, isa.Reg(1+rng.Intn(8)), isa.Reg(1+rng.Intn(8)), skip)
+				b.Addi(isa.Reg(1+rng.Intn(8)), isa.R0, int64(rng.Intn(50)))
+				b.Label(skip)
+			}
+		}
+		b.Addi(isa.R10, isa.R10, 1)
+		b.Br(isa.CondNE, isa.R10, isa.R11, "loop")
+		p, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, it := runBoth(t, p, 100000)
+		checkArchMatch(t, m, it)
+	}
+}
+
+func TestILPBeatsDependencyChain(t *testing.T) {
+	build := func(dep bool) *isa.Program {
+		b := isa.NewBuilder("ilp", isa.ClassBenign)
+		for r := isa.Reg(1); r <= 8; r++ {
+			b.InitReg(r, uint64(r))
+		}
+		for i := 0; i < 400; i++ {
+			if dep {
+				b.Add(isa.R1, isa.R1, isa.R2) // serial chain
+			} else {
+				b.Add(isa.Reg(1+(i%4)), isa.Reg(1+(i%4)), isa.R5)
+			}
+		}
+		return b.MustBuild()
+	}
+	mi := New(DefaultConfig(), build(false))
+	mi.Run(1_000_000)
+	md := New(DefaultConfig(), build(true))
+	md.Run(1_000_000)
+	if mi.IPC() <= md.IPC() {
+		t.Fatalf("independent IPC %.2f not above dependent IPC %.2f", mi.IPC(), md.IPC())
+	}
+}
+
+func TestBranchPredictorLearnsLoop(t *testing.T) {
+	b := isa.NewBuilder("tightloop", isa.ClassBenign)
+	b.Li(isa.R1, 0)
+	b.Li(isa.R2, 2000)
+	b.Label("top")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Br(isa.CondNE, isa.R1, isa.R2, "top")
+	p := b.MustBuild()
+	m := New(DefaultConfig(), p)
+	m.Run(1_000_000)
+	if !m.Done() {
+		t.Fatal("loop did not finish")
+	}
+	// One mispredict at the final iteration plus a few at warmup.
+	if m.C.BranchMispredicts > 20 {
+		t.Fatalf("mispredicts = %d, want < 20 for a counted loop", m.C.BranchMispredicts)
+	}
+}
+
+// spectreGadget builds a canonical Spectre-PHT bounds-check-bypass gadget:
+// train a bounds check in-bounds, flush the bound, then supply an
+// out-of-bounds index so the wrong path loads probe[secret*stride].
+func spectreGadget() (*isa.Program, uint64) {
+	const (
+		arrBase    = 0x1_0000
+		boundAddr  = 0x2_0000
+		secretAddr = uint64(arrBase + 100*8) // "out of bounds" target
+		probeBase  = 0x8_0000
+		stride     = 4096
+		secretVal  = 5
+	)
+	b := isa.NewBuilder("spectre-gadget", isa.ClassSpectrePHT)
+	b.InitMem(boundAddr, 16)
+	b.InitMem(secretAddr, secretVal)
+	b.InitReg(isa.R20, arrBase)
+	b.InitReg(isa.R21, boundAddr)
+	b.InitReg(isa.R22, probeBase)
+
+	// Warm the secret's line so the wrong-path chain runs fast, and train
+	// the branch with in-bounds indices.
+	b.SetPhase(isa.PhaseSetup)
+	b.Prefetch(isa.R20, isa.R0, 0, 100*8)
+	b.Li(isa.R1, 0)
+	b.Li(isa.R2, 30)
+	b.Label("train")
+	b.Load(isa.R3, isa.R21, isa.R0, 0, 0) // bound
+	b.Br(isa.CondUGE, isa.R1, isa.R3, "skip1")
+	b.Load(isa.R4, isa.R20, isa.R1, 8, 0)
+	b.Label("skip1")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.And(isa.R1, isa.R1, isa.R0) // reset idx to 0 each iteration (in bounds)
+	b.Addi(isa.R2, isa.R2, -1)
+	b.Br(isa.CondNE, isa.R2, isa.R0, "train")
+
+	// Attack iteration: flush the bound so the check resolves late, then
+	// use the out-of-bounds index.
+	b.SetPhase(isa.PhaseLeak)
+	b.CLFlush(isa.R21, isa.R0, 0, 0)
+	b.Li(isa.R1, 100) // out of bounds
+	b.Load(isa.R3, isa.R21, isa.R0, 0, 0)
+	b.Br(isa.CondUGE, isa.R1, isa.R3, "skip2")
+	b.Load(isa.R4, isa.R20, isa.R1, 8, 0)      // reads the secret transiently
+	b.Load(isa.R5, isa.R22, isa.R4, stride, 0) // encodes it in the cache
+	b.Label("skip2")
+	b.SetPhase(isa.PhaseNone)
+	b.Nop()
+	return b.MustBuild(), probeBase + secretVal*stride
+}
+
+func TestSpectreTransientLeak(t *testing.T) {
+	p, leakAddr := spectreGadget()
+	m := New(DefaultConfig(), p)
+	m.Run(1_000_000)
+	if !m.Done() {
+		t.Fatal("gadget did not finish")
+	}
+	if !m.L1D().Present(leakAddr) {
+		t.Fatal("wrong-path load left no cache footprint: Spectre window not modelled")
+	}
+	if m.C.LeakedTransientLoads == 0 {
+		t.Fatal("transient leak not counted")
+	}
+	// The out-of-bounds access must never commit architecturally.
+	if m.ArchReg(isa.R4) == 5 {
+		t.Fatal("secret committed architecturally")
+	}
+}
+
+func TestFenceAfterBranchStopsSpectre(t *testing.T) {
+	p, leakAddr := spectreGadget()
+	m := New(DefaultConfig(), p)
+	m.SetPolicy(PolicyFenceAfterBranch)
+	m.Run(1_000_000)
+	if m.L1D().Present(leakAddr) {
+		t.Fatal("fence-after-branch failed to stop the transient leak")
+	}
+}
+
+func TestInvisiSpecStopsSpectre(t *testing.T) {
+	p, leakAddr := spectreGadget()
+	m := New(DefaultConfig(), p)
+	m.SetPolicy(PolicyInvisiSpecSpectre)
+	m.Run(1_000_000)
+	if m.L1D().Present(leakAddr) || m.L2().Present(leakAddr) {
+		t.Fatal("InvisiSpec failed: squashed speculative load left cache state")
+	}
+	if m.L1D().Stats.SpecSquashed == 0 {
+		t.Fatal("no speculative-buffer squashes recorded")
+	}
+}
+
+// meltdownGadget: delay retirement with a flushed load, read a kernel
+// address, and encode the transient value in the cache.
+func meltdownGadget() (*isa.Program, uint64) {
+	const (
+		probeBase = 0x8_0000
+		stride    = 4096
+		slowAddr  = 0x5_0000
+		secretVal = 3
+	)
+	kAddr := isa.KernelBase + 0x1000
+	b := isa.NewBuilder("meltdown-gadget", isa.ClassMeltdown)
+	b.InitMem(kAddr, secretVal)
+	b.InitReg(isa.R20, probeBase)
+	b.InitReg(isa.R21, slowAddr)
+	b.InitReg(isa.R22, kAddr)
+
+	b.SetPhase(isa.PhaseSetup)
+	b.Prefetch(isa.R22, isa.R0, 0, 0) // kernel line cached (syscall preload)
+	b.CLFlush(isa.R21, isa.R0, 0, 0)  // retirement delayed by slow older load
+
+	b.SetPhase(isa.PhaseLeak)
+	b.Load(isa.R9, isa.R21, isa.R0, 0, 0)      // slow: blocks retirement
+	b.LoadK(isa.R4, isa.R22, isa.R0, 0, 0)     // faulting kernel load
+	b.Load(isa.R5, isa.R20, isa.R4, stride, 0) // transient encode
+	b.SetPhase(isa.PhaseNone)
+	b.Nop()
+	return b.MustBuild(), probeBase + secretVal*stride
+}
+
+func TestMeltdownTransientLeak(t *testing.T) {
+	p, leakAddr := meltdownGadget()
+	m := New(DefaultConfig(), p)
+	m.Run(1_000_000)
+	if !m.Done() {
+		t.Fatal("gadget did not finish")
+	}
+	if !m.L1D().Present(leakAddr) {
+		t.Fatal("Meltdown window not modelled: no transient cache footprint")
+	}
+	if m.C.CommitFaults != 1 {
+		t.Fatalf("commit faults = %d, want 1", m.C.CommitFaults)
+	}
+	if m.ArchReg(isa.R4) != 0 {
+		t.Fatalf("faulting load committed %d, want 0", m.ArchReg(isa.R4))
+	}
+}
+
+func TestFenceBeforeLoadStopsMeltdown(t *testing.T) {
+	p, leakAddr := meltdownGadget()
+	m := New(DefaultConfig(), p)
+	m.SetPolicy(PolicyFenceBeforeLoad)
+	m.Run(1_000_000)
+	if m.L1D().Present(leakAddr) {
+		t.Fatal("fence-before-load failed to close the Meltdown window")
+	}
+	if m.ArchReg(isa.R4) != 0 {
+		t.Fatalf("faulting load committed %d, want 0", m.ArchReg(isa.R4))
+	}
+}
+
+func TestInvisiSpecFuturisticStopsMeltdown(t *testing.T) {
+	p, leakAddr := meltdownGadget()
+	m := New(DefaultConfig(), p)
+	m.SetPolicy(PolicyInvisiSpecFuturistic)
+	m.Run(1_000_000)
+	if m.L1D().Present(leakAddr) {
+		t.Fatal("InvisiSpec (futuristic) failed to hide the transient load")
+	}
+}
+
+func TestSpectreSTLViolation(t *testing.T) {
+	// A store whose data arrives late; the following load to the same
+	// address bypasses it speculatively and reads stale memory.
+	b := isa.NewBuilder("stl", isa.ClassSpectreSTL)
+	addr := uint64(0x6000)
+	b.InitMem(addr, 111) // stale value
+	b.InitReg(isa.R1, addr)
+	b.InitReg(isa.R2, 48) // 48/7/7 -> 0, so R1+R4*8 == addr
+	b.InitReg(isa.R3, 7)
+	b.InitReg(isa.R7, 222)
+	// Slow chain computing the store *address* offset (resolves to 0).
+	b.Div(isa.R4, isa.R2, isa.R3)
+	b.Div(isa.R4, isa.R4, isa.R3)
+	b.Store(isa.R7, isa.R1, isa.R4, 8, 0) // address unresolved when load issues
+	b.Load(isa.R5, isa.R1, isa.R0, 0, 0)  // bypasses -> stale 111 transiently
+	b.Addi(isa.R6, isa.R5, 0)
+	p := b.MustBuild()
+	m, it := runBoth(t, p, 10000)
+	checkArchMatch(t, m, it)
+	if m.C.MemOrderViolation != 1 {
+		t.Fatalf("memory-order violations = %d, want 1", m.C.MemOrderViolation)
+	}
+	if m.ArchReg(isa.R5) != 222 {
+		t.Fatalf("replayed load committed %d, want 222", m.ArchReg(isa.R5))
+	}
+}
+
+func TestAssistLoadInjection(t *testing.T) {
+	// LVI-style: a NoFwd load transiently receives a 4K-aliasing store's
+	// value; the architectural result is the true memory value.
+	const (
+		probeBase = 0x8_0000
+		stride    = 4096
+	)
+	b := isa.NewBuilder("lvi", isa.ClassLVI)
+	victim := uint64(0x7008)
+	alias := victim + 0x3000 // same low 12 bits
+	b.InitMem(victim, 1)     // true value
+	b.InitReg(isa.R1, victim)
+	b.InitReg(isa.R2, alias)
+	b.InitReg(isa.R20, probeBase)
+	b.Li(isa.R3, 6) // injected "poison"
+	b.Store(isa.R3, isa.R2, isa.R0, 0, 0)
+	b.LoadAssist(isa.R4, isa.R1, isa.R0, 0, 0) // transiently gets 6
+	b.Load(isa.R5, isa.R20, isa.R4, stride, 0) // leaks the poison
+	p := b.MustBuild()
+	m := New(DefaultConfig(), p)
+	m.Run(1_000_000)
+	if !m.Done() {
+		t.Fatal("did not finish")
+	}
+	if m.ArchReg(isa.R4) != 1 {
+		t.Fatalf("assist load committed %d, want 1 (true value)", m.ArchReg(isa.R4))
+	}
+	if m.C.LSQIgnoredResponses != 1 {
+		t.Fatalf("ignored responses = %d, want 1", m.C.LSQIgnoredResponses)
+	}
+	if !m.L1D().Present(probeBase + 6*stride) {
+		t.Fatal("injected value left no transient footprint")
+	}
+}
+
+func TestDefenseOverheadOrdering(t *testing.T) {
+	// A benign pointer-chasing loop: fencing must cost cycles, and
+	// fence-before-load must cost more than fence-after-branch.
+	build := func() *isa.Program {
+		b := isa.NewBuilder("bench", isa.ClassBenign)
+		b.Li(isa.R1, 0)
+		b.Li(isa.R2, 300)
+		b.Li(isa.R3, 0x9000)
+		b.Li(isa.R6, 1_000_000) // sentinel never matched
+		b.Label("top")
+		// A load-rich body: one data-dependent branch keeps some loads
+		// speculative; the independent loads expose the serialization
+		// cost of fence-before-load.
+		b.Load(isa.R4, isa.R3, isa.R1, 64, 0)
+		b.Br(isa.CondEQ, isa.R4, isa.R6, "top")
+		b.Load(isa.R7, isa.R3, isa.R1, 64, 8)
+		b.Load(isa.R8, isa.R3, isa.R1, 64, 16)
+		b.Load(isa.R9, isa.R3, isa.R1, 64, 24)
+		b.Add(isa.R5, isa.R5, isa.R4)
+		b.Add(isa.R5, isa.R5, isa.R7)
+		b.Add(isa.R5, isa.R5, isa.R8)
+		b.Add(isa.R5, isa.R5, isa.R9)
+		b.Addi(isa.R1, isa.R1, 1)
+		b.Br(isa.CondNE, isa.R1, isa.R2, "top")
+		return b.MustBuild()
+	}
+	cycles := func(pol Policy) uint64 {
+		m := New(DefaultConfig(), build())
+		m.SetPolicy(pol)
+		m.Run(1_000_000)
+		if !m.Done() {
+			t.Fatal("did not finish")
+		}
+		return m.Cycles()
+	}
+	none := cycles(PolicyNone)
+	fab := cycles(PolicyFenceAfterBranch)
+	fbl := cycles(PolicyFenceBeforeLoad)
+	ivs := cycles(PolicyInvisiSpecSpectre)
+	if fab <= none {
+		t.Fatalf("fence-after-branch (%d) not slower than none (%d)", fab, none)
+	}
+	if fbl <= fab {
+		t.Fatalf("fence-before-load (%d) not slower than fence-after-branch (%d)", fbl, fab)
+	}
+	if ivs <= none {
+		t.Fatalf("invisispec (%d) not slower than none (%d)", ivs, none)
+	}
+	if ivs >= fab {
+		t.Fatalf("invisispec (%d) should cost less than fencing (%d)", ivs, fab)
+	}
+}
+
+func TestCountersAlignWithCatalog(t *testing.T) {
+	cat := CounterCatalog()
+	if cat.Len() != len(counterDefs) {
+		t.Fatalf("catalog %d != defs %d", cat.Len(), len(counterDefs))
+	}
+	p, _ := spectreGadget()
+	m := New(DefaultConfig(), p)
+	before := make([]uint64, cat.Len())
+	m.ReadCounters(before)
+	m.Run(1_000_000)
+	after := make([]uint64, cat.Len())
+	m.ReadCounters(after)
+	nonzero := 0
+	for i := range after {
+		if after[i] < before[i] {
+			t.Errorf("counter %s decreased: %d -> %d", cat.Name(i), before[i], after[i])
+		}
+		if after[i] > 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 40 {
+		t.Fatalf("only %d counters fired; expected a rich event mix", nonzero)
+	}
+}
+
+func TestRunMaxInstrCap(t *testing.T) {
+	b := isa.NewBuilder("inf", isa.ClassBenign)
+	b.Label("top")
+	b.Addi(isa.R1, isa.R1, 1)
+	b.Jmp("top")
+	p := b.MustBuild()
+	m := New(DefaultConfig(), p)
+	m.Run(5000)
+	if m.Done() {
+		t.Fatal("infinite loop reported done")
+	}
+	if m.Instructions() < 5000 {
+		t.Fatalf("committed %d < 5000", m.Instructions())
+	}
+}
+
+func TestPhaseAttribution(t *testing.T) {
+	p, _ := spectreGadget()
+	m := New(DefaultConfig(), p)
+	m.Run(1_000_000)
+	ph := m.PhaseDispatched()
+	if ph[isa.PhaseSetup] == 0 || ph[isa.PhaseLeak] == 0 {
+		t.Fatalf("phase histogram missing entries: %v", ph)
+	}
+}
+
+func TestSyscallSerializesAndAddsNoise(t *testing.T) {
+	b := isa.NewBuilder("sys", isa.ClassBenign)
+	b.Li(isa.R1, 1)
+	b.Syscall()
+	b.Li(isa.R2, 2)
+	p := b.MustBuild()
+	m := New(DefaultConfig(), p)
+	m.Run(1000)
+	if !m.Done() {
+		t.Fatal("did not finish")
+	}
+	if m.C.SyscallCount != 1 || m.C.SerializeDrains != 1 {
+		t.Fatalf("syscall counters: %+v", m.C)
+	}
+	if m.itlb.Stats.Flushes == 0 {
+		t.Fatal("syscall did not flush ITLB")
+	}
+}
+
+func TestQuiesceDrains(t *testing.T) {
+	b := isa.NewBuilder("quiesce", isa.ClassBenign)
+	b.Li(isa.R1, 0x9100)
+	b.CLFlush(isa.R1, isa.R0, 0, 0)
+	b.Load(isa.R2, isa.R1, isa.R0, 0, 0) // slow DRAM load
+	b.Quiesce()
+	b.Li(isa.R3, 7)
+	p := b.MustBuild()
+	m := New(DefaultConfig(), p)
+	m.Run(1000)
+	if !m.Done() {
+		t.Fatal("did not finish")
+	}
+	if m.C.PendingQuiesceStalls == 0 {
+		t.Fatal("quiesce produced no stall cycles")
+	}
+	if m.ArchReg(isa.R3) != 7 {
+		t.Fatal("post-quiesce instruction lost")
+	}
+}
+
+func TestRdRandContention(t *testing.T) {
+	b := isa.NewBuilder("rng", isa.ClassRDRANDCovert)
+	for i := 0; i < 8; i++ {
+		b.RdRand(isa.Reg(1 + i))
+	}
+	p := b.MustBuild()
+	m := New(DefaultConfig(), p)
+	m.Run(10000)
+	if m.C.RdRandReads != 8 {
+		t.Fatalf("rdrand reads = %d, want 8", m.C.RdRandReads)
+	}
+	if m.C.RdRandContention == 0 {
+		t.Fatal("back-to-back RDRAND showed no unit contention")
+	}
+}
+
+func TestAdaptivePolicySwitchCounted(t *testing.T) {
+	p, _ := spectreGadget()
+	m := New(DefaultConfig(), p)
+	m.SetPolicy(PolicyFenceAfterBranch)
+	m.SetPolicy(PolicyNone)
+	m.SetPolicy(PolicyNone) // no-op
+	if m.C.DefenseSwitches != 2 {
+		t.Fatalf("switches = %d, want 2", m.C.DefenseSwitches)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (uint64, uint64, [6]uint64) {
+		p, _ := spectreGadget()
+		m := New(DefaultConfig(), p)
+		m.Run(1_000_000)
+		return m.Cycles(), m.Instructions(), m.PhaseDispatched()
+	}
+	c1, i1, p1 := run()
+	c2, i2, p2 := run()
+	if c1 != c2 || i1 != i2 || p1 != p2 {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", c1, i1, c2, i2)
+	}
+}

@@ -1,0 +1,81 @@
+package tlb
+
+import (
+	"testing"
+
+	"evax/internal/isa"
+)
+
+func TestMissThenHit(t *testing.T) {
+	tb := New(DefaultDTLB())
+	r1 := tb.Translate(0x1000, false)
+	if !r1.Miss || r1.Latency != 31 {
+		t.Fatalf("first access = %+v, want miss with walk", r1)
+	}
+	r2 := tb.Translate(0x1FF8, false) // same page
+	if r2.Miss || r2.Latency != 1 {
+		t.Fatalf("same-page access = %+v, want hit", r2)
+	}
+	if tb.Stats.RdMisses != 1 || tb.Stats.RdHits != 1 || tb.Stats.Walks != 1 {
+		t.Fatalf("stats = %+v", tb.Stats)
+	}
+}
+
+func TestWriteCounters(t *testing.T) {
+	tb := New(DefaultDTLB())
+	tb.Translate(0x2000, true)
+	tb.Translate(0x2008, true)
+	if tb.Stats.WrMisses != 1 || tb.Stats.WrHits != 1 {
+		t.Fatalf("stats = %+v", tb.Stats)
+	}
+}
+
+func TestLRUReplacement(t *testing.T) {
+	tb := New(Config{Entries: 2, WalkLatency: 10})
+	tb.Translate(0*PageSize, false)
+	tb.Translate(1*PageSize, false)
+	tb.Translate(0*PageSize, false) // page 1 is now LRU
+	tb.Translate(2*PageSize, false) // evicts page 1
+	r := tb.Translate(0*PageSize, false)
+	if r.Miss {
+		t.Fatal("MRU page evicted")
+	}
+	r = tb.Translate(1*PageSize, false)
+	if !r.Miss {
+		t.Fatal("LRU page not evicted")
+	}
+}
+
+func TestKernelPermFault(t *testing.T) {
+	tb := New(DefaultDTLB())
+	r := tb.Translate(isa.KernelBase+0x40, false)
+	if !r.Fault {
+		t.Fatal("kernel access did not fault")
+	}
+	if tb.Stats.PermFault != 1 {
+		t.Fatalf("perm faults = %d", tb.Stats.PermFault)
+	}
+	// Translation still completes (transient window).
+	if r.Latency == 0 {
+		t.Fatal("faulting translation had zero latency")
+	}
+}
+
+func TestFlush(t *testing.T) {
+	tb := New(DefaultDTLB())
+	tb.Translate(0x1000, false)
+	tb.Translate(0x5000, false)
+	if tb.Occupancy() != 2 {
+		t.Fatalf("occupancy = %d, want 2", tb.Occupancy())
+	}
+	tb.Flush()
+	if tb.Occupancy() != 0 {
+		t.Fatal("entries survived flush")
+	}
+	if r := tb.Translate(0x1000, false); !r.Miss {
+		t.Fatal("hit after flush")
+	}
+	if tb.Stats.Flushes != 1 {
+		t.Fatalf("flushes = %d", tb.Stats.Flushes)
+	}
+}

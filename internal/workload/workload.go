@@ -1,0 +1,466 @@
+// Package workload generates the benign programs of the evaluation: ten
+// synthetic kernels mirroring the paper's SPEC CPU 2006 workload mix —
+// compression doing most work in memory, optimization scheduling, an
+// Ethernet network simulator, game-tree AI, discrete-event simulation,
+// gene-sequence analysis, the A* algorithm, plus streaming, dense linear
+// algebra and pointer-chasing kernels. Each emits a real micro-op program
+// through the same pipeline the attacks run on, so the detector's benign
+// class covers a diverse mix of microarchitectural behaviour.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"evax/internal/isa"
+)
+
+// Spec describes one benign workload generator.
+type Spec struct {
+	Name string
+	// Build creates the program; seed varies data and layout, scale the
+	// iteration count (1 is the default used by the experiments).
+	Build func(seed int64, scale int) *isa.Program
+}
+
+// All returns the benign workload registry in a stable order.
+func All() []Spec {
+	return []Spec{
+		{"compress", Compress},
+		{"scheduler", Scheduler},
+		{"netsim", NetSim},
+		{"gametree", GameTree},
+		{"devents", DiscreteEvents},
+		{"geneseq", GeneSeq},
+		{"astar", AStar},
+		{"stream", Stream},
+		{"matmul", MatMul},
+		{"mcf", PointerChase},
+	}
+}
+
+// ByName returns the named workload spec.
+func ByName(name string) (Spec, error) {
+	for _, s := range All() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("workload: unknown workload %q", name)
+}
+
+func clampScale(scale int) int {
+	if scale < 1 {
+		return 1
+	}
+	return scale
+}
+
+// seedMem fills words addressed base..base+n*8 with pseudo-random data.
+func seedMem(b *isa.Builder, rng *rand.Rand, base uint64, n int) {
+	for i := 0; i < n; i++ {
+		b.InitMem(base+uint64(i)*8, uint64(rng.Int63()))
+	}
+}
+
+// Compress models an LZ-style compressor working in memory: a rolling hash
+// over the input selects hash-chain heads, candidate matches are compared
+// with data-dependent branches, and literals/copies write to an output
+// buffer. Branchy, load-heavy, moderate locality.
+func Compress(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("compress", isa.ClassBenign)
+	const (
+		inBase   = 0x10_0000
+		hashBase = 0x20_0000
+		outBase  = 0x30_0000
+		inWords  = 512
+	)
+	seedMem(b, rng, inBase, inWords)
+	b.InitReg(isa.R1, inBase)
+	b.InitReg(isa.R2, hashBase)
+	b.InitReg(isa.R3, outBase)
+	b.Li(isa.R4, 0)                             // i
+	b.Li(isa.R5, int64(inWords-4)*int64(scale)) // bound (wraps via mask)
+	b.Li(isa.R12, int64(inWords-1))             // index mask
+	b.Label("loop")
+	b.And(isa.R13, isa.R4, isa.R12) // i mod inWords
+	b.Load(isa.R6, isa.R1, isa.R13, 8, 0)
+	// Rolling hash: h = (x*2654435761) >> 52 (12-bit table).
+	b.Li(isa.R7, 2654435761)
+	b.Mul(isa.R8, isa.R6, isa.R7)
+	b.Shri(isa.R8, isa.R8, 52)
+	// Chain head lookup and update.
+	b.Load(isa.R9, isa.R2, isa.R8, 8, 0)
+	b.Store(isa.R13, isa.R2, isa.R8, 8, 0)
+	// Candidate compare: match if head word equals current word.
+	b.And(isa.R14, isa.R9, isa.R12)
+	b.Load(isa.R10, isa.R1, isa.R14, 8, 0)
+	b.Br(isa.CondNE, isa.R10, isa.R6, "literal")
+	// Emit a copy token.
+	b.Store(isa.R9, isa.R3, isa.R13, 8, 0)
+	b.Jmp("next")
+	b.Label("literal")
+	b.Store(isa.R6, isa.R3, isa.R13, 8, 0)
+	b.Label("next")
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Br(isa.CondNE, isa.R4, isa.R5, "loop")
+	return b.MustBuild()
+}
+
+// Scheduler models list-scheduling of an instruction DAG: repeatedly pull
+// the min-priority ready node from a binary heap in memory, relax its
+// dependents, push them back. Heap swaps make it store-heavy with irregular
+// branches.
+func Scheduler(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("scheduler", isa.ClassBenign)
+	const (
+		heapBase = 0x14_0000
+		heapLen  = 256
+	)
+	seedMem(b, rng, heapBase, heapLen)
+	b.InitReg(isa.R1, heapBase)
+	b.Li(isa.R2, 0) // round
+	b.Li(isa.R3, int64(600*scale))
+	b.Li(isa.R12, heapLen-1)
+	b.Label("round")
+	// "Pop": take slot (round mod len), sift-down two levels.
+	b.And(isa.R4, isa.R2, isa.R12)
+	b.Load(isa.R5, isa.R1, isa.R4, 8, 0)
+	b.Shli(isa.R6, isa.R4, 1)
+	b.Addi(isa.R6, isa.R6, 1)
+	b.And(isa.R6, isa.R6, isa.R12)
+	b.Load(isa.R7, isa.R1, isa.R6, 8, 0)
+	b.Br(isa.CondULT, isa.R5, isa.R7, "noswap")
+	b.Store(isa.R5, isa.R1, isa.R6, 8, 0)
+	b.Store(isa.R7, isa.R1, isa.R4, 8, 0)
+	b.Label("noswap")
+	// Relax dependent priority.
+	b.Addi(isa.R8, isa.R5, 17)
+	b.Shri(isa.R8, isa.R8, 1)
+	b.And(isa.R9, isa.R8, isa.R12)
+	b.Store(isa.R8, isa.R1, isa.R9, 8, 0)
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Br(isa.CondNE, isa.R2, isa.R3, "round")
+	return b.MustBuild()
+}
+
+// NetSim models an Ethernet network simulator: packets hash into routing
+// tables, queue occupancies update, and occasional control-plane syscalls
+// occur (the kernel-noise component of the benign mix).
+func NetSim(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("netsim", isa.ClassBenign)
+	const (
+		tableBase = 0x18_0000
+		queueBase = 0x28_0000
+		tableLen  = 1024
+	)
+	seedMem(b, rng, tableBase, tableLen)
+	b.InitReg(isa.R1, tableBase)
+	b.InitReg(isa.R2, queueBase)
+	b.InitReg(isa.R10, uint64(rng.Int63())|1) // packet id stream
+	b.Li(isa.R3, 0)
+	b.Li(isa.R4, int64(500*scale))
+	b.Li(isa.R12, tableLen-1)
+	b.Label("pkt")
+	// Next packet id (LCG) and route lookup.
+	b.Li(isa.R5, 6364136223846793005)
+	b.Mul(isa.R10, isa.R10, isa.R5)
+	b.Addi(isa.R10, isa.R10, 1442695040888963407)
+	b.Shri(isa.R6, isa.R10, 33)
+	b.And(isa.R6, isa.R6, isa.R12)
+	b.Load(isa.R7, isa.R1, isa.R6, 8, 0) // route entry
+	// Queue update on the output port (entry low bits).
+	b.Li(isa.R13, 15)
+	b.And(isa.R8, isa.R7, isa.R13)
+	b.Load(isa.R9, isa.R2, isa.R8, 8, 0)
+	b.Addi(isa.R9, isa.R9, 1)
+	b.Store(isa.R9, isa.R2, isa.R8, 8, 0)
+	// Control-plane interrupt every 128 packets.
+	b.Li(isa.R13, 127)
+	b.And(isa.R11, isa.R3, isa.R13)
+	b.Br(isa.CondNE, isa.R11, isa.R0, "nopoll")
+	b.Syscall()
+	b.Label("nopoll")
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Br(isa.CondNE, isa.R3, isa.R4, "pkt")
+	return b.MustBuild()
+}
+
+// GameTree models game-playing AI: a depth-bounded recursive negamax over a
+// branchy evaluation function — deep call/return chains exercising the RAS,
+// hard-to-predict branches.
+func GameTree(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("gametree", isa.ClassBenign)
+	const boardBase = 0x1C_0000
+	seedMem(b, rng, boardBase, 256)
+	b.InitReg(isa.R1, boardBase)
+	b.Li(isa.R2, 0) // game counter
+	b.Li(isa.R3, int64(40*scale))
+	b.Label("games")
+	b.Li(isa.R4, 5) // depth
+	b.Li(isa.R5, 0) // accumulated score
+	b.Call("search")
+	b.Addi(isa.R2, isa.R2, 1)
+	b.Br(isa.CondNE, isa.R2, isa.R3, "games")
+	b.Jmp("end")
+
+	// search(R4=depth): explores two children per node.
+	b.Label("search")
+	b.Br(isa.CondEQ, isa.R4, isa.R0, "leaf")
+	b.Addi(isa.R4, isa.R4, -1)
+	b.Call("search")
+	// Evaluate a board cell between children (data-dependent branch).
+	b.Li(isa.R13, 255)
+	b.Add(isa.R6, isa.R5, isa.R2)
+	b.And(isa.R6, isa.R6, isa.R13)
+	b.Load(isa.R7, isa.R1, isa.R6, 8, 0)
+	b.Li(isa.R13, 1)
+	b.And(isa.R8, isa.R7, isa.R13)
+	b.Br(isa.CondEQ, isa.R8, isa.R0, "skipchild")
+	b.Call("search")
+	b.Label("skipchild")
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Ret()
+	b.Label("leaf")
+	b.Addi(isa.R5, isa.R5, 3)
+	b.Ret()
+	b.Label("end")
+	b.Nop()
+	return b.MustBuild()
+}
+
+// DiscreteEvents models a discrete-event simulator: an event wheel of
+// linked lists; each event schedules a successor at a pseudo-random future
+// slot. Pointer-chasing with frequent short dependent chains.
+func DiscreteEvents(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("devents", isa.ClassBenign)
+	const (
+		wheelBase = 0x24_0000
+		wheelLen  = 512
+	)
+	// Wheel slots hold "next slot" indices.
+	for i := 0; i < wheelLen; i++ {
+		b.InitMem(wheelBase+uint64(i)*8, uint64(rng.Intn(wheelLen)))
+	}
+	b.InitReg(isa.R1, wheelBase)
+	b.Li(isa.R2, 0) // current slot
+	b.Li(isa.R3, 0)
+	b.Li(isa.R4, int64(1500*scale))
+	b.Li(isa.R12, wheelLen-1)
+	b.Label("tick")
+	b.Load(isa.R5, isa.R1, isa.R2, 8, 0) // next event slot
+	// Reschedule: new successor = (cur*31 + next) mod len.
+	b.Li(isa.R6, 31)
+	b.Mul(isa.R7, isa.R2, isa.R6)
+	b.Add(isa.R7, isa.R7, isa.R5)
+	b.And(isa.R7, isa.R7, isa.R12)
+	b.Store(isa.R7, isa.R1, isa.R2, 8, 0)
+	b.And(isa.R2, isa.R5, isa.R12) // jump to the event's slot
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Br(isa.CondNE, isa.R3, isa.R4, "tick")
+	return b.MustBuild()
+}
+
+// GeneSeq models profile-HMM sequence scoring (hmmer-like): a dynamic
+// programming recurrence over a score matrix — dense regular loads/stores
+// with ALU-dominated inner loops.
+func GeneSeq(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("geneseq", isa.ClassBenign)
+	const (
+		seqBase = 0x2C_0000
+		dpBase  = 0x34_0000
+		cols    = 128
+	)
+	seedMem(b, rng, seqBase, cols)
+	b.InitReg(isa.R1, seqBase)
+	b.InitReg(isa.R2, dpBase)
+	b.Li(isa.R3, 0) // row
+	b.Li(isa.R4, int64(12*scale))
+	b.Label("row")
+	b.Li(isa.R5, 1) // col
+	b.Li(isa.R6, cols)
+	b.Label("col")
+	b.Load(isa.R7, isa.R2, isa.R5, 8, -8) // dp[col-1]
+	b.Load(isa.R8, isa.R2, isa.R5, 8, 0)  // dp[col]
+	b.Load(isa.R9, isa.R1, isa.R5, 8, 0)  // emission
+	b.Li(isa.R13, 255)
+	b.And(isa.R9, isa.R9, isa.R13)
+	b.Add(isa.R10, isa.R7, isa.R9)
+	// dp[col] = max(dp[col], dp[col-1]+emit)
+	b.Br(isa.CondUGE, isa.R8, isa.R10, "keep")
+	b.Store(isa.R10, isa.R2, isa.R5, 8, 0)
+	b.Label("keep")
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Br(isa.CondNE, isa.R5, isa.R6, "col")
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Br(isa.CondNE, isa.R3, isa.R4, "row")
+	return b.MustBuild()
+}
+
+// AStar models grid pathfinding: pop the best frontier cell, expand four
+// neighbours with bounds checks, update g-scores. Irregular access over a
+// grid plus a small frontier heap.
+func AStar(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("astar", isa.ClassBenign)
+	const (
+		gridBase = 0x38_0000
+		openBase = 0x3C_0000
+		gridLen  = 1024 // 32x32
+	)
+	seedMem(b, rng, gridBase, gridLen)
+	b.InitReg(isa.R1, gridBase)
+	b.InitReg(isa.R2, openBase)
+	b.InitReg(isa.R10, uint64(rng.Intn(gridLen)))
+	b.Li(isa.R3, 0)
+	b.Li(isa.R4, int64(400*scale))
+	b.Li(isa.R12, gridLen-1)
+	b.Label("expand")
+	// Current cell cost.
+	b.Load(isa.R5, isa.R1, isa.R10, 8, 0)
+	// Four neighbours: +1, -1, +32, -32.
+	for di, d := range []int64{1, -1, 32, -32} {
+		lbl := fmt.Sprintf("n%d", di)
+		b.Addi(isa.R6, isa.R10, d)
+		b.And(isa.R6, isa.R6, isa.R12)
+		b.Load(isa.R7, isa.R1, isa.R6, 8, 0)
+		b.Addi(isa.R8, isa.R5, 10)
+		b.Br(isa.CondULT, isa.R7, isa.R8, lbl)
+		b.Store(isa.R8, isa.R1, isa.R6, 8, 0)
+		b.Store(isa.R6, isa.R2, isa.R3, 8, 0) // push to frontier log
+		b.Label(lbl)
+	}
+	// Next frontier cell: reload from the log (mod window).
+	b.Li(isa.R13, 63)
+	b.And(isa.R9, isa.R3, isa.R13)
+	b.Load(isa.R10, isa.R2, isa.R9, 8, 0)
+	b.And(isa.R10, isa.R10, isa.R12)
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Br(isa.CondNE, isa.R3, isa.R4, "expand")
+	return b.MustBuild()
+}
+
+// Stream models bandwidth-bound streaming (libquantum/lbm-like): long
+// unit-stride read-modify-write sweeps over a working set larger than L1.
+func Stream(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	b := isa.NewBuilder("stream", isa.ClassBenign)
+	const (
+		srcBase = 0x40_0000
+		dstBase = 0x50_0000
+		words   = 4096 // 32KB each way
+	)
+	b.InitReg(isa.R1, srcBase)
+	b.InitReg(isa.R2, dstBase)
+	b.InitReg(isa.R9, uint64(seed)|1)
+	b.Li(isa.R3, 0)
+	b.Li(isa.R4, int64(2*scale)) // sweeps
+	b.Label("sweep")
+	b.Li(isa.R5, 0)
+	b.Li(isa.R6, words)
+	b.Label("inner")
+	b.Load(isa.R7, isa.R1, isa.R5, 8, 0)
+	b.Add(isa.R7, isa.R7, isa.R9)
+	b.Store(isa.R7, isa.R2, isa.R5, 8, 0)
+	b.Addi(isa.R5, isa.R5, 1)
+	b.Br(isa.CondNE, isa.R5, isa.R6, "inner")
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Br(isa.CondNE, isa.R3, isa.R4, "sweep")
+	return b.MustBuild()
+}
+
+// MatMul models dense linear algebra on the FP pipes: a blocked
+// matrix-multiply inner kernel with high ILP and regular access.
+func MatMul(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("matmul", isa.ClassBenign)
+	const (
+		aBase = 0x44_0000
+		bBase = 0x48_0000
+		cBase = 0x4C_0000
+		n     = 24
+	)
+	seedMem(b, rng, aBase, n*n)
+	seedMem(b, rng, bBase, n*n)
+	b.InitReg(isa.R1, aBase)
+	b.InitReg(isa.R2, bBase)
+	b.InitReg(isa.R3, cBase)
+	b.Li(isa.R4, 0)
+	b.Li(isa.R5, int64(n*scale)) // i (row, repeated by scale)
+	b.Label("i")
+	b.Li(isa.R6, 0) // j
+	b.Li(isa.R7, n)
+	b.Label("j")
+	b.Li(isa.R8, 0) // k
+	b.Li(isa.R9, 0) // acc
+	b.Label("k")
+	b.Li(isa.R13, int64(n*n-1))
+	b.Li(isa.R14, n)
+	b.Mul(isa.R10, isa.R4, isa.R14)
+	b.Add(isa.R10, isa.R10, isa.R8)
+	b.And(isa.R10, isa.R10, isa.R13)
+	b.Load(isa.R11, isa.R1, isa.R10, 8, 0)
+	b.Mul(isa.R10, isa.R8, isa.R14)
+	b.Add(isa.R10, isa.R10, isa.R6)
+	b.And(isa.R10, isa.R10, isa.R13)
+	b.Load(isa.R12, isa.R2, isa.R10, 8, 0)
+	b.FAdd(isa.R15, isa.R11, isa.R12)
+	b.Add(isa.R9, isa.R9, isa.R15)
+	b.Addi(isa.R8, isa.R8, 1)
+	b.Br(isa.CondNE, isa.R8, isa.R7, "k")
+	b.Mul(isa.R10, isa.R4, isa.R14)
+	b.Add(isa.R10, isa.R10, isa.R6)
+	b.And(isa.R10, isa.R10, isa.R13)
+	b.Store(isa.R9, isa.R3, isa.R10, 8, 0)
+	b.Addi(isa.R6, isa.R6, 1)
+	b.Br(isa.CondNE, isa.R6, isa.R7, "j")
+	b.Addi(isa.R4, isa.R4, 1)
+	b.Br(isa.CondNE, isa.R4, isa.R5, "i")
+	return b.MustBuild()
+}
+
+// PointerChase models sparse-graph optimization (mcf-like): a long random
+// cycle walked serially — a DRAM-latency-bound dependent-load chain.
+func PointerChase(seed int64, scale int) *isa.Program {
+	scale = clampScale(scale)
+	rng := rand.New(rand.NewSource(seed))
+	b := isa.NewBuilder("mcf", isa.ClassBenign)
+	const (
+		base  = 0x60_0000
+		nodes = 2048 // 16 KB of node words, strided onto separate lines
+	)
+	// Random permutation cycle so the chain never short-circuits.
+	perm := rng.Perm(nodes)
+	for i := 0; i < nodes; i++ {
+		b.InitMem(base+uint64(perm[i])*64, uint64(perm[(i+1)%nodes]))
+	}
+	b.InitReg(isa.R1, base)
+	b.InitReg(isa.R2, uint64(perm[0]))
+	b.Li(isa.R3, 0)
+	b.Li(isa.R4, int64(1200*scale))
+	b.Label("walk")
+	b.Load(isa.R2, isa.R1, isa.R2, 64, 0)
+	// Arc-cost bookkeeping overlapping the next miss.
+	b.Add(isa.R5, isa.R5, isa.R2)
+	b.Shri(isa.R6, isa.R5, 3)
+	b.Xor(isa.R7, isa.R6, isa.R2)
+	b.Add(isa.R8, isa.R8, isa.R7)
+	b.Mul(isa.R9, isa.R7, isa.R6)
+	b.Addi(isa.R3, isa.R3, 1)
+	b.Br(isa.CondNE, isa.R3, isa.R4, "walk")
+	return b.MustBuild()
+}

@@ -1,0 +1,147 @@
+package workload
+
+import (
+	"testing"
+
+	"evax/internal/isa"
+	"evax/internal/sim"
+)
+
+func TestAllBuildAndValidate(t *testing.T) {
+	for _, spec := range All() {
+		p := spec.Build(1, 1)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+		if p.Class != isa.ClassBenign {
+			t.Errorf("%s: class %v, want benign", spec.Name, p.Class)
+		}
+		if p.Len() < 5 {
+			t.Errorf("%s: suspiciously short (%d instructions)", spec.Name, p.Len())
+		}
+	}
+}
+
+func TestAllRunToCompletion(t *testing.T) {
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			p := spec.Build(7, 1)
+			m := sim.New(sim.DefaultConfig(), p)
+			m.Run(3_000_000)
+			if !m.Done() {
+				t.Fatalf("did not finish within budget (committed %d)", m.Instructions())
+			}
+			if m.Instructions() < 2000 {
+				t.Fatalf("only %d instructions committed; workloads must be substantial", m.Instructions())
+			}
+			if ipc := m.IPC(); ipc <= 0.05 || ipc > 8 {
+				t.Fatalf("implausible IPC %.3f", ipc)
+			}
+		})
+	}
+}
+
+func TestMatchInterpreter(t *testing.T) {
+	// Every benign workload must commit the same architectural state as
+	// the golden interpreter (they use no timing-dependent ops).
+	for _, spec := range All() {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			p := spec.Build(3, 1)
+			m := sim.New(sim.DefaultConfig(), p)
+			m.Run(3_000_000)
+			if !m.Done() {
+				t.Fatal("did not finish")
+			}
+			it := isa.NewInterp(p)
+			if _, err := it.Run(p, 10_000_000); err != nil {
+				t.Fatal(err)
+			}
+			for r := isa.Reg(1); r < isa.NumRegs; r++ {
+				if m.ArchReg(r) != it.Regs[r] {
+					t.Fatalf("r%d: machine %#x, interp %#x", r, m.ArchReg(r), it.Regs[r])
+				}
+			}
+		})
+	}
+}
+
+func TestSeedsVaryBehaviour(t *testing.T) {
+	a := Compress(1, 1)
+	b := Compress(2, 1)
+	diff := false
+	for addr, v := range a.InitMem {
+		if b.InitMem[addr] != v {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestScaleExtendsRun(t *testing.T) {
+	run := func(scale int) uint64 {
+		p := Stream(1, scale)
+		m := sim.New(sim.DefaultConfig(), p)
+		m.Run(20_000_000)
+		if !m.Done() {
+			t.Fatal("did not finish")
+		}
+		return m.Instructions()
+	}
+	if n1, n3 := run(1), run(3); n3 < 2*n1 {
+		t.Fatalf("scale 3 ran %d instructions vs %d at scale 1", n3, n1)
+	}
+}
+
+func TestByName(t *testing.T) {
+	if _, err := ByName("astar"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestWorkloadsAreMicroarchitecturallyDiverse(t *testing.T) {
+	// The benign mix must cover distinct behaviours: at least one
+	// workload each that is branch-mispredict-heavy, DRAM-bound, and
+	// syscall-bearing.
+	type profile struct {
+		name       string
+		mispredict float64
+		dramReads  uint64
+		syscalls   uint64
+	}
+	var profs []profile
+	for _, spec := range All() {
+		p := spec.Build(1, 1)
+		m := sim.New(sim.DefaultConfig(), p)
+		m.Run(2_000_000)
+		profs = append(profs, profile{
+			name:       spec.Name,
+			mispredict: float64(m.C.BranchMispredicts) / float64(m.Instructions()+1),
+			dramReads:  m.DRAM().Stats.Reads,
+			syscalls:   m.C.SyscallCount,
+		})
+	}
+	var anyBranchy, anyDRAM, anySyscall bool
+	for _, pr := range profs {
+		if pr.mispredict > 0.01 {
+			anyBranchy = true
+		}
+		if pr.dramReads > 500 {
+			anyDRAM = true
+		}
+		if pr.syscalls > 0 {
+			anySyscall = true
+		}
+	}
+	if !anyBranchy || !anyDRAM || !anySyscall {
+		t.Fatalf("diversity missing: branchy=%v dram=%v syscall=%v (%+v)",
+			anyBranchy, anyDRAM, anySyscall, profs)
+	}
+}
