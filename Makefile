@@ -1,0 +1,31 @@
+# Local and CI invocations are identical: .github/workflows/ci.yml calls
+# these targets, so a green `make check` locally means a green CI run.
+
+GO ?= go
+
+.PHONY: build test race lint bench check fmt
+
+build: ## compile every package
+	$(GO) build ./...
+
+test: ## run the tier-1 test suite
+	$(GO) test ./...
+
+race: ## run the test suite under the race detector
+	$(GO) test -race ./...
+
+lint: ## gofmt (fail on diff), go vet, and the evaxlint suite
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	$(GO) vet ./...
+	$(GO) run ./cmd/evaxlint ./...
+
+bench: ## run the microbenchmarks
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+fmt: ## rewrite sources with gofmt
+	gofmt -w .
+
+check: build lint test ## everything except race/bench (fast pre-push gate)

@@ -1,0 +1,80 @@
+// Command evaxlint runs evax's project-specific static-analysis suite
+// (internal/analysis) over the module: determinism, maporder, floateq,
+// droppederr and ctrname. It exits nonzero when any unsuppressed
+// diagnostic is found, so CI can gate on it.
+//
+// Usage:
+//
+//	evaxlint [packages]   # defaults to ./...
+//
+// Suppress a finding with a trailing or preceding comment:
+//
+//	//evaxlint:ignore <rule>[,<rule>...] <justification>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"evax/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("rules", false, "list the analyzer rules and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: evaxlint [-rules] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evaxlint: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags, err := analysis.LintModule(root, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "evaxlint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "evaxlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks upward from the working directory to the nearest go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"evax/internal/analysis"
+)
+
+// TestRepoIsLintClean lints the whole repository and requires zero
+// findings — the same gate CI enforces with `go run ./cmd/evaxlint ./...`.
+// It doubles as an end-to-end exercise of the loader, all five analyzers,
+// and the //evaxlint:ignore suppressions present in production code.
+func TestRepoIsLintClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.LintModule(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("LintModule: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected finding: %s", d.String())
+	}
+}
+
+// TestModuleRoot verifies go.mod discovery from the package directory.
+func TestModuleRoot(t *testing.T) {
+	root, err := moduleRoot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != want {
+		t.Errorf("moduleRoot() = %q, want %q", root, want)
+	}
+}

@@ -1,0 +1,179 @@
+// Package analysis is evax's project-specific static-analysis suite. It
+// implements a small, stdlib-only (go/ast, go/parser, go/token, go/types)
+// multi-analyzer framework plus five EVAX-specific rules that enforce the
+// invariants the paper's reproducibility claims rest on: no wall-clock or
+// global RNG in simulation/training paths (determinism), no map-iteration-
+// order-dependent accumulation (maporder), no exact float comparison
+// (floateq), no silently dropped errors (droppederr), and counter-name
+// referential integrity against the internal/sim registry (ctrname).
+//
+// The suite is wired into CI via cmd/evaxlint; see DESIGN.md ("Static
+// analysis & determinism guarantees") for the rule catalog, the approved
+// idioms, and the //evaxlint:ignore suppression syntax.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding: a position, the rule that fired, and a
+// human-readable message.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String formats the diagnostic as file:line:col: rule: message.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Message)
+}
+
+// Package is one parsed and type-checked package under analysis.
+type Package struct {
+	// Path is the import path, e.g. "evax/internal/sim".
+	Path string
+	// Files holds the parsed non-test files; Filenames is aligned with it.
+	Files     []*ast.File
+	Filenames []string
+	// Types and Info carry the go/types results for the package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// HasSuffix reports whether the package's import path ends with suffix
+// (matched at a path-segment boundary, so "internal/sim" does not match
+// "internal/simx").
+func (p *Package) HasSuffix(suffix string) bool {
+	return p.Path == suffix || strings.HasSuffix(p.Path, "/"+suffix)
+}
+
+// Program is the full set of packages loaded for one lint run, in
+// dependency (topological) order.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+
+	// ctrRegistry caches the counter registry extracted from internal/sim
+	// (see ctrname.go).
+	ctrRegistry *counterRegistry
+}
+
+// PackageBySuffix returns the first package whose import path ends with
+// suffix, or nil.
+func (prog *Program) PackageBySuffix(suffix string) *Package {
+	for _, p := range prog.Packages {
+		if p.HasSuffix(suffix) {
+			return p
+		}
+	}
+	return nil
+}
+
+// Pass is the per-package unit of work handed to an analyzer.
+type Pass struct {
+	Prog *Program
+	Pkg  *Package
+}
+
+// Position resolves a token.Pos against the program's file set.
+func (p *Pass) Position(pos token.Pos) token.Position {
+	return p.Prog.Fset.Position(pos)
+}
+
+// TypeOf returns the static type of an expression, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Pkg.Info.TypeOf(e)
+}
+
+// Analyzer is one lint rule.
+type Analyzer struct {
+	// Name is the rule identifier used in diagnostics and in
+	// //evaxlint:ignore comments.
+	Name string
+	// Doc is a one-line description.
+	Doc string
+	// Run analyzes one package and returns its findings.
+	Run func(*Pass) []Diagnostic
+}
+
+// Analyzers is the full evaxlint rule suite, in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		DeterminismAnalyzer(),
+		MapOrderAnalyzer(),
+		FloatEqAnalyzer(),
+		DroppedErrAnalyzer(),
+		CtrNameAnalyzer(),
+	}
+}
+
+// Analyze runs every analyzer over every package of prog, drops
+// suppressed findings (//evaxlint:ignore), and returns the remainder
+// sorted by position.
+func Analyze(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	sup := collectSuppressions(prog)
+	var out []Diagnostic
+	for _, pkg := range prog.Packages {
+		pass := &Pass{Prog: prog, Pkg: pkg}
+		for _, a := range analyzers {
+			for _, d := range a.Run(pass) {
+				if sup.suppressed(d) {
+					continue
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// pkgNameOf returns the imported package path if ident is a package name
+// (e.g. the "rand" in rand.Intn), or "".
+func pkgNameOf(info *types.Info, ident *ast.Ident) string {
+	if obj, ok := info.Uses[ident]; ok {
+		if pn, ok := obj.(*types.PkgName); ok {
+			return pn.Imported().Path()
+		}
+	}
+	return ""
+}
+
+// isFloat reports whether t is a floating-point type (after unwrapping
+// named types and untyped constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return false
+	}
+	return b.Info()&types.IsFloat != 0
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

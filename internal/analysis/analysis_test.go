@@ -1,0 +1,203 @@
+package analysis
+
+import (
+	"flag"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixturePkg describes one synthetic package assembled from testdata files.
+type fixturePkg struct {
+	// path is the import path the fixture pretends to have; analyzers
+	// scope by path suffix, so tests pick paths inside/outside each scope.
+	path  string
+	files []string
+}
+
+// loadFixtureProg parses and type-checks fixture packages into a Program.
+func loadFixtureProg(t *testing.T, pkgs ...fixturePkg) *Program {
+	t.Helper()
+	fset := token.NewFileSet()
+	prog := &Program{Fset: fset}
+	imp := importer.ForCompiler(fset, "source", nil)
+	for _, fp := range pkgs {
+		var files []*ast.File
+		for _, fn := range fp.files {
+			f, err := parser.ParseFile(fset, fn, nil, parser.ParseComments)
+			if err != nil {
+				t.Fatalf("parsing %s: %v", fn, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(fp.path, fset, files, info)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", fp.path, err)
+		}
+		prog.Packages = append(prog.Packages, &Package{
+			Path:      fp.path,
+			Files:     files,
+			Filenames: fp.files,
+			Types:     tpkg,
+			Info:      info,
+		})
+	}
+	return prog
+}
+
+// formatDiags renders diagnostics with base filenames for stable goldens.
+func formatDiags(diags []Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		d.Pos.Filename = filepath.Base(d.Pos.Filename)
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// checkGolden compares got against the golden file, rewriting it under
+// -update.
+func checkGolden(t *testing.T, goldenPath, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("updating golden: %v", err)
+		}
+		return
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden (run `go test -run %s -update` to create): %v", t.Name(), err)
+	}
+	if got != string(want) {
+		t.Errorf("diagnostics mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// runRule loads fixtures, runs a single analyzer via the full Analyze
+// pipeline (so suppression applies) and compares against the golden file.
+func runRule(t *testing.T, a *Analyzer, goldenPath string, pkgs ...fixturePkg) {
+	t.Helper()
+	prog := loadFixtureProg(t, pkgs...)
+	got := formatDiags(Analyze(prog, []*Analyzer{a}))
+	checkGolden(t, goldenPath, got)
+}
+
+func fixture(rule string, names ...string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = filepath.Join("testdata", "src", rule, n)
+	}
+	return out
+}
+
+func TestDeterminism(t *testing.T) {
+	runRule(t, DeterminismAnalyzer(),
+		filepath.Join("testdata", "src", "determinism", "bad.golden"),
+		fixturePkg{path: "evax/internal/sim", files: fixture("determinism", "bad.go")})
+	runRule(t, DeterminismAnalyzer(),
+		filepath.Join("testdata", "src", "determinism", "clean.golden"),
+		fixturePkg{path: "evax/internal/sim", files: fixture("determinism", "clean.go")})
+}
+
+func TestDeterminismOutOfScope(t *testing.T) {
+	// The same violating file outside the deterministic packages is fine:
+	// wall-clock use in cmd/ tooling is allowed.
+	prog := loadFixtureProg(t, fixturePkg{
+		path:  "evax/cmd/evaxbench",
+		files: fixture("determinism", "bad.go"),
+	})
+	if diags := Analyze(prog, []*Analyzer{DeterminismAnalyzer()}); len(diags) != 0 {
+		t.Errorf("determinism fired outside its scope: %v", diags)
+	}
+}
+
+func TestMapOrder(t *testing.T) {
+	runRule(t, MapOrderAnalyzer(),
+		filepath.Join("testdata", "src", "maporder", "bad.golden"),
+		fixturePkg{path: "evax/internal/ml", files: fixture("maporder", "bad.go")})
+	runRule(t, MapOrderAnalyzer(),
+		filepath.Join("testdata", "src", "maporder", "clean.golden"),
+		fixturePkg{path: "evax/internal/ml", files: fixture("maporder", "clean.go")})
+}
+
+func TestFloatEq(t *testing.T) {
+	runRule(t, FloatEqAnalyzer(),
+		filepath.Join("testdata", "src", "floateq", "bad.golden"),
+		fixturePkg{path: "evax/internal/detect", files: fixture("floateq", "bad.go")})
+	runRule(t, FloatEqAnalyzer(),
+		filepath.Join("testdata", "src", "floateq", "clean.golden"),
+		fixturePkg{path: "evax/internal/detect", files: fixture("floateq", "clean.go")})
+}
+
+func TestDroppedErr(t *testing.T) {
+	runRule(t, DroppedErrAnalyzer(),
+		filepath.Join("testdata", "src", "droppederr", "bad.golden"),
+		fixturePkg{path: "evax/internal/dataset", files: fixture("droppederr", "bad.go")})
+	runRule(t, DroppedErrAnalyzer(),
+		filepath.Join("testdata", "src", "droppederr", "clean.golden"),
+		fixturePkg{path: "evax/internal/dataset", files: fixture("droppederr", "clean.go")})
+}
+
+func TestCtrName(t *testing.T) {
+	runRule(t, CtrNameAnalyzer(),
+		filepath.Join("testdata", "src", "ctrname", "bad.golden"),
+		fixturePkg{path: "evax/internal/sim", files: fixture("ctrname", "registry.go")},
+		fixturePkg{path: "evax/internal/detect", files: fixture("ctrname", "bad.go")})
+	runRule(t, CtrNameAnalyzer(),
+		filepath.Join("testdata", "src", "ctrname", "clean.golden"),
+		fixturePkg{path: "evax/internal/sim", files: fixture("ctrname", "registry_clean.go")},
+		fixturePkg{path: "evax/internal/detect", files: fixture("ctrname", "clean.go")})
+}
+
+func TestSuppression(t *testing.T) {
+	// suppressed.go carries the same violations as the floateq bad fixture
+	// but every site is annotated with //evaxlint:ignore.
+	prog := loadFixtureProg(t, fixturePkg{
+		path:  "evax/internal/detect",
+		files: fixture("floateq", "suppressed.go"),
+	})
+	if diags := Analyze(prog, Analyzers()); len(diags) != 0 {
+		t.Errorf("expected all diagnostics suppressed, got: %v", diags)
+	}
+}
+
+func TestMatch(t *testing.T) {
+	pkg := &Package{Path: "evax/internal/sim"}
+	cases := []struct {
+		patterns []string
+		want     bool
+	}{
+		{[]string{"./..."}, true},
+		{[]string{"..."}, true},
+		{[]string{"./internal/..."}, true},
+		{[]string{"internal/sim"}, true},
+		{[]string{"./internal/sim"}, true},
+		{[]string{"evax/internal/sim"}, true},
+		{[]string{"./internal/sim/..."}, true},
+		{[]string{"./internal/gan"}, false},
+		{[]string{"internal/simx"}, false},
+		{[]string{"./cmd/..."}, false},
+	}
+	for _, c := range cases {
+		if got := pkg.Match("evax", c.patterns); got != c.want {
+			t.Errorf("Match(%v) = %v, want %v", c.patterns, got, c.want)
+		}
+	}
+}

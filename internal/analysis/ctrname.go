@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// ctrNameScope lists the packages whose counter-name string literals are
+// cross-checked against the internal/sim registry. A typo here compiles
+// fine and only explodes at runtime (or worse, silently selects the wrong
+// feature), so the check runs at lint time.
+var ctrNameScope = []string{
+	"internal/detect",
+	"internal/featureng",
+	"internal/hpc",
+}
+
+// counterNameRE matches a counter-name-shaped string literal: a group
+// prefix, a dot, then a counter identifier (possibly with a gem5-style
+// "::" bucket or a derived-view suffix).
+var counterNameRE = regexp.MustCompile(`^[a-zA-Z][a-zA-Z0-9]*\.[A-Za-z_][A-Za-z0-9_:.]*$`)
+
+// derivedSuffixes mirrors internal/hpc's derived-view names; a reference
+// "lsq.forwLoads.rate" is valid when its base name is registered.
+var derivedSuffixes = map[string]bool{
+	"total": true, "rate": true, "percycle": true, "burst": true,
+	"presence": true, "log": true, "share": true,
+}
+
+// counterRegistry is the name set extracted from internal/sim/counters.go.
+type counterRegistry struct {
+	names  map[string]token.Pos
+	groups map[string]bool
+	dups   []Diagnostic
+	found  bool
+}
+
+// CtrNameAnalyzer cross-checks counter references against the registry:
+// every counter-name string literal in internal/detect, internal/featureng
+// and internal/hpc must name a counter registered in the counterDefs table
+// of internal/sim/counters.go, and registry names must be unique.
+func CtrNameAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "ctrname",
+		Doc:  "cross-check counter-name literals against the internal/sim registry",
+		Run:  runCtrName,
+	}
+}
+
+func runCtrName(pass *Pass) []Diagnostic {
+	reg := pass.Prog.registry()
+	var diags []Diagnostic
+	if pass.Pkg.HasSuffix("internal/sim") {
+		// Report duplicate registry entries at their definition sites.
+		diags = append(diags, reg.dups...)
+	}
+	inScope := false
+	for _, s := range ctrNameScope {
+		if pass.Pkg.HasSuffix(s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope || !reg.found {
+		return diags
+	}
+	for _, f := range pass.Pkg.Files {
+		// Struct tags are BasicLits too; collect them so they are skipped.
+		tags := map[*ast.BasicLit]bool{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			if field, ok := n.(*ast.Field); ok && field.Tag != nil {
+				tags[field.Tag] = true
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || tags[lit] {
+				return true
+			}
+			val, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if !counterNameRE.MatchString(val) {
+				return true
+			}
+			group := val[:strings.IndexByte(val, '.')]
+			if !reg.groups[group] {
+				return true
+			}
+			if reg.valid(val) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pass.Position(lit.Pos()),
+				Rule: "ctrname",
+				Message: fmt.Sprintf("counter %q is not registered in internal/sim/counters.go "+
+					"(group %q exists; check the counter name)", val, group),
+			})
+			return true
+		})
+	}
+	return diags
+}
+
+// valid reports whether name (or its derived-view base) is registered.
+func (r *counterRegistry) valid(name string) bool {
+	if _, ok := r.names[name]; ok {
+		return true
+	}
+	// Derived view: strip a trailing ".suffix" and retry.
+	if i := strings.LastIndexByte(name, '.'); i > 0 && derivedSuffixes[name[i+1:]] {
+		if _, ok := r.names[name[:i]]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// registry lazily extracts the counter registry from the module's
+// internal/sim package: the string literal in the first field of each
+// element of the top-level `counterDefs` composite literal.
+func (prog *Program) registry() *counterRegistry {
+	if prog.ctrRegistry != nil {
+		return prog.ctrRegistry
+	}
+	reg := &counterRegistry{names: map[string]token.Pos{}, groups: map[string]bool{}}
+	prog.ctrRegistry = reg
+	sim := prog.PackageBySuffix("internal/sim")
+	if sim == nil {
+		return reg
+	}
+	for _, f := range sim.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "counterDefs" || len(vs.Values) != 1 {
+					continue
+				}
+				cl, ok := vs.Values[0].(*ast.CompositeLit)
+				if !ok {
+					continue
+				}
+				reg.found = true
+				for _, elt := range cl.Elts {
+					entry, ok := elt.(*ast.CompositeLit)
+					if !ok || len(entry.Elts) == 0 {
+						continue
+					}
+					lit, ok := entry.Elts[0].(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						continue
+					}
+					name, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						continue
+					}
+					if prev, dup := reg.names[name]; dup {
+						reg.dups = append(reg.dups, Diagnostic{
+							Pos:  prog.Fset.Position(lit.Pos()),
+							Rule: "ctrname",
+							Message: fmt.Sprintf("duplicate counter name %q in registry (first registered at %s)",
+								name, prog.Fset.Position(prev)),
+						})
+						continue
+					}
+					reg.names[name] = lit.Pos()
+					if i := strings.IndexByte(name, '.'); i > 0 {
+						reg.groups[name[:i]] = true
+					}
+				}
+			}
+		}
+	}
+	return reg
+}

@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+)
+
+// determinismScope lists the package-path suffixes whose results must be
+// bit-for-bit reproducible across runs: the cycle-level simulator and every
+// ML/training path. The paper's figures (0.2% overhead, 93.1% zero-day
+// detection) are regenerated from fixed seeds, so wall-clock reads and the
+// process-global RNG are banned here.
+var determinismScope = []string{
+	"internal/sim",
+	"internal/gan",
+	"internal/perceptron",
+	"internal/ml",
+}
+
+// approvedRandFuncs are the only top-level math/rand functions allowed in
+// deterministic packages: constructing an explicitly-seeded generator.
+var approvedRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true, // takes a *rand.Rand; inherits its seed
+}
+
+// bannedTimeFuncs are wall-clock reads. (time.Duration arithmetic and
+// constants remain fine; only sampling the real clock is nondeterministic.)
+var bannedTimeFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// DeterminismAnalyzer flags wall-clock reads (time.Now/Since/Until) and
+// process-global math/rand calls (rand.Intn, rand.Float64, rand.Seed, ...)
+// inside the simulator and ML packages. The approved idiom is a seeded
+// local generator: rand.New(rand.NewSource(seed)).
+func DeterminismAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "determinism",
+		Doc:  "forbid wall-clock and global-RNG use in sim/ML packages",
+		Run:  runDeterminism,
+	}
+}
+
+func runDeterminism(pass *Pass) []Diagnostic {
+	inScope := false
+	for _, s := range determinismScope {
+		if pass.Pkg.HasSuffix(s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			switch pkgNameOf(pass.Pkg.Info, ident) {
+			case "time":
+				if bannedTimeFuncs[sel.Sel.Name] {
+					diags = append(diags, Diagnostic{
+						Pos:  pass.Position(call.Pos()),
+						Rule: "determinism",
+						Message: fmt.Sprintf("time.%s reads the wall clock; simulation/training paths must be reproducible — use the machine's cycle/instruction counters instead",
+							sel.Sel.Name),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if !approvedRandFuncs[sel.Sel.Name] {
+					diags = append(diags, Diagnostic{
+						Pos:  pass.Position(call.Pos()),
+						Rule: "determinism",
+						Message: fmt.Sprintf("rand.%s uses the process-global RNG; thread a seeded generator (rand.New(rand.NewSource(seed))) instead",
+							sel.Sel.Name),
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

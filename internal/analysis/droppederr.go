@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// droppedErrAllowedFuncs maps package path -> function names whose error
+// (or (n, error)) result may be ignored: terminal/stdout printing, where
+// the conventional Go idiom is to ignore the write error.
+var droppedErrAllowedFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+}
+
+// droppedErrAllowedMethods lists receiver types (sans pointer) whose
+// Write*/Read* style methods are documented to always return a nil error.
+var droppedErrAllowedMethods = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+	"strings.Reader":  true,
+	"hash.Hash":       true,
+}
+
+// DroppedErrAnalyzer flags call statements whose error result is silently
+// discarded: bare expression statements, go/defer statements, and
+// blank-identifier assignments. A dropped error in the training or
+// persistence paths (detector save/load, corpus I/O) turns a hard failure
+// into silent result corruption. Allowed: fmt printing to stdio and
+// bytes.Buffer/strings.Builder writes (documented nil-error).
+func DroppedErrAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc:  "forbid silently discarded error results",
+		Run:  runDroppedErr,
+	}
+}
+
+func runDroppedErr(pass *Pass) []Diagnostic {
+	var diags []Diagnostic
+	check := func(call *ast.CallExpr, how string) {
+		if call == nil || !callReturnsError(pass, call) || callErrAllowed(pass, call) {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pass.Position(call.Pos()),
+			Rule: "droppederr",
+			Message: "error result of " + callName(call) + " is " + how +
+				"; handle it or annotate with //evaxlint:ignore droppederr <reason>",
+		})
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := st.X.(*ast.CallExpr); ok {
+					check(call, "discarded")
+				}
+			case *ast.GoStmt:
+				check(st.Call, "discarded (go statement)")
+			case *ast.DeferStmt:
+				check(st.Call, "discarded (deferred call)")
+			case *ast.AssignStmt:
+				diags = append(diags, blankErrAssigns(pass, st)...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// blankErrAssigns flags error results assigned to the blank identifier.
+func blankErrAssigns(pass *Pass, st *ast.AssignStmt) []Diagnostic {
+	var diags []Diagnostic
+	flag := func(call *ast.CallExpr) {
+		if callErrAllowed(pass, call) {
+			return
+		}
+		diags = append(diags, Diagnostic{
+			Pos:  pass.Position(call.Pos()),
+			Rule: "droppederr",
+			Message: "error result of " + callName(call) + " is blank-assigned" +
+				"; handle it or annotate with //evaxlint:ignore droppederr <reason>",
+		})
+	}
+	if len(st.Rhs) == 1 && len(st.Lhs) > 1 {
+		// n, err := f() form: find which tuple slots are errors.
+		call, ok := st.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return nil
+		}
+		tuple, ok := pass.TypeOf(call).(*types.Tuple)
+		if !ok {
+			return nil
+		}
+		for i := 0; i < tuple.Len() && i < len(st.Lhs); i++ {
+			if !isErrorType(tuple.At(i).Type()) {
+				continue
+			}
+			if ident, ok := st.Lhs[i].(*ast.Ident); ok && ident.Name == "_" {
+				flag(call)
+			}
+		}
+		return diags
+	}
+	// 1:1 assignments: _ = f() where f returns exactly an error.
+	for i, rhs := range st.Rhs {
+		if i >= len(st.Lhs) {
+			break
+		}
+		ident, ok := st.Lhs[i].(*ast.Ident)
+		if !ok || ident.Name != "_" {
+			continue
+		}
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		if isErrorType(pass.TypeOf(call)) {
+			flag(call)
+		}
+	}
+	return diags
+}
+
+// callReturnsError reports whether the call's result is or contains error.
+func callReturnsError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if isErrorType(t) {
+		return true
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// callErrAllowed reports whether the callee is on the ignore allowlist.
+func callErrAllowed(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	// Package-level function: fmt.Printf etc.
+	if ident, ok := sel.X.(*ast.Ident); ok {
+		if funcs, ok := droppedErrAllowedFuncs[pkgNameOf(pass.Pkg.Info, ident)]; ok {
+			return funcs[sel.Sel.Name]
+		}
+	}
+	// Method call: match the receiver type string.
+	if s, ok := pass.Pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		recv := s.Recv().String()
+		if droppedErrAllowedMethods[recv] || droppedErrAllowedMethods[strings.TrimPrefix(recv, "*")] {
+			return true
+		}
+	}
+	return false
+}
+
+// callName renders a short name for the called function.
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.Ident:
+		return fn.Name
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			return x.Name + "." + fn.Sel.Name
+		}
+		return fn.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,62 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// floatEqExemptPkgs are the approved epsilon-helper packages; comparisons
+// inside them are the implementation of the approved idiom itself.
+var floatEqExemptPkgs = []string{
+	"internal/fmath",
+}
+
+// FloatEqAnalyzer flags == and != between floating-point operands. The
+// detector thresholds, GAN losses and normalized counters all live in
+// float64; exact comparison silently diverges across compilers, FMA
+// contraction, and accumulation order, which breaks run-to-run
+// reproducibility of the paper's figures. The approved idiom is
+// evax/internal/fmath: fmath.Eq(a, b), fmath.Zero(x), fmath.Near(a, b, eps).
+func FloatEqAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "floateq",
+		Doc:  "forbid ==/!= between floating-point operands",
+		Run:  runFloatEq,
+	}
+}
+
+func runFloatEq(pass *Pass) []Diagnostic {
+	for _, s := range floatEqExemptPkgs {
+		if pass.Pkg.HasSuffix(s) {
+			return nil
+		}
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			if bin.Op != token.EQL && bin.Op != token.NEQ {
+				return true
+			}
+			if !isFloat(pass.TypeOf(bin.X)) && !isFloat(pass.TypeOf(bin.Y)) {
+				return true
+			}
+			// Constant-folded comparisons (e.g. two untyped constants)
+			// are evaluated at compile time and are exact.
+			if tv, ok := pass.Pkg.Info.Types[bin]; ok && tv.Value != nil {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Pos:  pass.Position(bin.Pos()),
+				Rule: "floateq",
+				Message: "exact float comparison (" + bin.Op.String() + ") is not reproducible across " +
+					"optimization/accumulation-order changes; use fmath.Eq/fmath.Zero/fmath.Near",
+			})
+			return true
+		})
+	}
+	return diags
+}

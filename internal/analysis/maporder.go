@@ -1,0 +1,192 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// mapOrderScope lists the package-path suffixes where map-iteration-order
+// sensitivity corrupts results: feature vectors, training updates, and
+// simulator statistics must not depend on Go's randomized map ordering.
+var mapOrderScope = []string{
+	"internal/sim",
+	"internal/ml",
+	"internal/gan",
+	"internal/perceptron",
+	"internal/featureng",
+	"internal/hpc",
+	"internal/detect",
+}
+
+// MapOrderAnalyzer flags `range` loops over maps whose body appends to a
+// slice declared outside the loop or float-accumulates (+=, -=, *=, /=)
+// into a variable declared outside the loop. Both make the result depend
+// on Go's randomized map iteration order: appends reorder elements, and
+// float accumulation is not associative, so even a "sum" changes across
+// runs. The fix is to extract and sort the keys first.
+func MapOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "maporder",
+		Doc:  "forbid order-dependent accumulation while ranging over a map",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(pass *Pass) []Diagnostic {
+	inScope := false
+	for _, s := range mapOrderScope {
+		if pass.Pkg.HasSuffix(s) {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		sorted := sortCallSites(pass, f)
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			diags = append(diags, mapOrderBody(pass, rng, sorted)...)
+			return true
+		})
+	}
+	return diags
+}
+
+// sortFuncs lists sort-package (and slices-package) functions whose first
+// argument establishes a deterministic order for the slice passed in.
+var sortFuncs = map[string]map[string]bool{
+	"sort": {
+		"Ints": true, "Strings": true, "Float64s": true,
+		"Slice": true, "SliceStable": true, "Sort": true, "Stable": true,
+	},
+	"slices": {
+		"Sort": true, "SortFunc": true, "SortStableFunc": true,
+	},
+}
+
+// sortCallSites maps each identifier object passed as the first argument
+// of a sort call to the positions of those calls. The canonical maporder
+// fix — collect map keys into a slice, sort it, then iterate — appends in
+// map order on purpose; an append target that is sorted after the loop is
+// therefore exempt.
+func sortCallSites(pass *Pass, f *ast.File) map[types.Object][]token.Pos {
+	sites := map[types.Object][]token.Pos{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgIdent, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		funcs, ok := sortFuncs[pkgNameOf(pass.Pkg.Info, pkgIdent)]
+		if !ok || !funcs[sel.Sel.Name] {
+			return true
+		}
+		arg, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if obj := pass.Pkg.Info.ObjectOf(arg); obj != nil {
+			sites[obj] = append(sites[obj], call.Pos())
+		}
+		return true
+	})
+	return sites
+}
+
+// mapOrderBody scans one map-range body for order-dependent accumulation.
+func mapOrderBody(pass *Pass, rng *ast.RangeStmt, sorted map[types.Object][]token.Pos) []Diagnostic {
+	var diags []Diagnostic
+	outside := func(ident *ast.Ident) bool {
+		obj := pass.Pkg.Info.ObjectOf(ident)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < rng.Pos() || obj.Pos() > rng.End()
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch assign.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			// x += v with float x declared outside the loop: float addition
+			// is not associative, so the sum depends on iteration order.
+			if ident, ok := assign.Lhs[0].(*ast.Ident); ok &&
+				isFloat(pass.TypeOf(assign.Lhs[0])) && outside(ident) {
+				diags = append(diags, Diagnostic{
+					Pos:  pass.Position(assign.Pos()),
+					Rule: "maporder",
+					Message: "float accumulation inside a map range depends on iteration order " +
+						"(float addition is not associative); iterate over sorted keys instead",
+				})
+			}
+		case token.ASSIGN, token.DEFINE:
+			// s = append(s, ...) with s declared outside the loop: element
+			// order follows map iteration order.
+			for i, rhs := range assign.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok {
+					continue
+				}
+				fn, ok := call.Fun.(*ast.Ident)
+				if !ok || fn.Name != "append" {
+					continue
+				}
+				if obj := pass.Pkg.Info.Uses[fn]; obj != nil {
+					if _, isBuiltin := obj.(*types.Builtin); !isBuiltin {
+						continue
+					}
+				}
+				if i < len(assign.Lhs) {
+					if ident, ok := assign.Lhs[i].(*ast.Ident); ok && outside(ident) && !sortedAfter(pass, sorted, ident, rng) {
+						diags = append(diags, Diagnostic{
+							Pos:  pass.Position(assign.Pos()),
+							Rule: "maporder",
+							Message: "append inside a map range produces map-iteration-order-dependent " +
+								"element order; iterate over sorted keys instead",
+						})
+					}
+				}
+			}
+		}
+		return true
+	})
+	return diags
+}
+
+// sortedAfter reports whether ident's object is passed to a sort call
+// positioned after the range loop — the collect-keys-then-sort idiom.
+func sortedAfter(pass *Pass, sorted map[types.Object][]token.Pos, ident *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := pass.Pkg.Info.ObjectOf(ident)
+	if obj == nil {
+		return false
+	}
+	for _, pos := range sorted[obj] {
+		if pos > rng.End() {
+			return true
+		}
+	}
+	return false
+}

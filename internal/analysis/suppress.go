@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"strings"
+)
+
+// Suppressions are parsed from //evaxlint:ignore comments. The syntax is
+//
+//	//evaxlint:ignore rule1[,rule2,...] optional justification
+//
+// A suppression applies to diagnostics of the named rules on the comment's
+// own line (trailing comment) and on the line immediately below (comment on
+// its own line above the offending statement). The rule list may be "all"
+// to suppress every rule.
+type suppressions struct {
+	// byFile maps filename -> line -> set of suppressed rule names.
+	byFile map[string]map[int]map[string]bool
+}
+
+const ignoreDirective = "evaxlint:ignore"
+
+// collectSuppressions scans every comment in the program.
+func collectSuppressions(prog *Program) *suppressions {
+	s := &suppressions{byFile: map[string]map[int]map[string]bool{}}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					text = strings.TrimSpace(text)
+					rest, ok := strings.CutPrefix(text, ignoreDirective)
+					if !ok {
+						continue
+					}
+					fields := strings.Fields(rest)
+					if len(fields) == 0 {
+						continue
+					}
+					rules := strings.Split(fields[0], ",")
+					pos := prog.Fset.Position(c.Pos())
+					lines := s.byFile[pos.Filename]
+					if lines == nil {
+						lines = map[int]map[string]bool{}
+						s.byFile[pos.Filename] = lines
+					}
+					// Apply to the comment's line and the next line.
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						set := lines[line]
+						if set == nil {
+							set = map[string]bool{}
+							lines[line] = set
+						}
+						for _, r := range rules {
+							if r = strings.TrimSpace(r); r != "" {
+								set[r] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// suppressed reports whether d is covered by an ignore directive.
+func (s *suppressions) suppressed(d Diagnostic) bool {
+	lines, ok := s.byFile[d.Pos.Filename]
+	if !ok {
+		return false
+	}
+	set, ok := lines[d.Pos.Line]
+	if !ok {
+		return false
+	}
+	return set[d.Rule] || set["all"]
+}

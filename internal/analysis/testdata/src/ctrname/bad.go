@@ -1,0 +1,12 @@
+package detect
+
+// features references counters by name; "lsq.forwLoad" drops the final
+// "s" — the kind of typo that compiles fine and breaks at runtime.
+var features = []string{
+	"fetch.Cycles",
+	"lsq.forwLoads",
+	"lsq.forwLoad",
+	"fetch.Cycles.rate",
+	"unknowngroup.Whatever",
+	"not a counter name",
+}

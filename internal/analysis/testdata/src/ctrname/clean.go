@@ -1,0 +1,9 @@
+package detect
+
+// features references only registered counters (one via a derived view).
+var features = []string{
+	"fetch.Cycles",
+	"lsq.forwLoads",
+	"dcache.ReadReq_misses",
+	"lsq.forwLoads.percycle",
+}

@@ -1,0 +1,15 @@
+package sim
+
+// counterDef mirrors the shape of internal/sim/counters.go: the first
+// field of each entry is the registered counter name.
+type counterDef struct {
+	name string
+	get  func() uint64
+}
+
+var counterDefs = []counterDef{
+	{"fetch.Cycles", nil},
+	{"lsq.forwLoads", nil},
+	{"dcache.ReadReq_misses", nil},
+	{"fetch.Cycles", nil}, // duplicate registration
+}

@@ -1,0 +1,12 @@
+package sim
+
+type counterDef struct {
+	name string
+	get  func() uint64
+}
+
+var counterDefs = []counterDef{
+	{"fetch.Cycles", nil},
+	{"lsq.forwLoads", nil},
+	{"dcache.ReadReq_misses", nil},
+}

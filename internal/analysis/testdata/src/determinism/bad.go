@@ -1,0 +1,17 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad exercises every banned nondeterminism source in a sim-scoped package.
+func Bad() float64 {
+	t0 := time.Now()
+	elapsed := time.Since(t0)
+	_ = elapsed
+	x := rand.Float64()
+	y := rand.Intn(10)
+	rand.Shuffle(y, func(i, j int) {})
+	return x + float64(y)
+}

@@ -1,0 +1,18 @@
+package dataset
+
+import "os"
+
+func mayFail() error { return nil }
+
+func value() (int, error) { return 0, nil }
+
+// Bad discards errors every way the rule catches.
+func Bad(path string) {
+	mayFail()
+	os.Remove(path)
+	_ = mayFail()
+	n, _ := value()
+	_ = n
+	go mayFail()
+	defer mayFail()
+}

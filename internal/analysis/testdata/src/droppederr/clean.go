@@ -1,0 +1,31 @@
+package dataset
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail2() error { return nil }
+
+func value2() (int, error) { return 0, nil }
+
+// Clean handles every error, or calls allowlisted stdio/builder functions.
+func Clean(path string) error {
+	if err := mayFail2(); err != nil {
+		return err
+	}
+	n, err := value2()
+	if err != nil {
+		return err
+	}
+	_ = n // blank-assigning a non-call value is fine
+
+	fmt.Println("progress:", path) // stdio printing is allowlisted
+	fmt.Fprintf(os.Stderr, "n=%d\n", n)
+
+	var b strings.Builder
+	b.WriteString("builder writes never fail") // documented nil error
+	fmt.Println(b.String())
+	return nil
+}

@@ -1,0 +1,12 @@
+package detect
+
+// Bad compares floats exactly.
+func Bad(a, b float64, xs []float32) bool {
+	if a == b {
+		return true
+	}
+	if b != 0 {
+		return false
+	}
+	return xs[0] == 1.5
+}

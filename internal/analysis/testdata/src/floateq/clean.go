@@ -1,0 +1,15 @@
+package detect
+
+// Clean uses ordered comparison, integer equality, and constant folding —
+// none of which the floateq rule flags.
+func Clean(a, b float64, n, m int) bool {
+	if a < b || a >= b {
+		return n == m
+	}
+	const half = 1.5
+	const whole = 3.0
+	if half == whole/2 { // constant-folded at compile time: exact
+		return true
+	}
+	return false
+}

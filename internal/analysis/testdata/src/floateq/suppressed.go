@@ -1,0 +1,15 @@
+package detect
+
+// Suppressed carries floateq violations annotated with ignore directives:
+// one trailing, one on the line above, and one using the "all" rule list.
+func Suppressed(a, b float64) bool {
+	if a == b { //evaxlint:ignore floateq inputs are bit-identical snapshots
+		return true
+	}
+	//evaxlint:ignore floateq sentinel zero is assigned, never computed
+	if b != 0 {
+		return false
+	}
+	//evaxlint:ignore all demonstration of the catch-all form
+	return a == 1.5
+}

@@ -1,0 +1,12 @@
+package ml
+
+// Bad accumulates order-dependent state while ranging over a map.
+func Bad(m map[string]float64) ([]string, float64) {
+	var keys []string
+	var sum float64
+	for k, v := range m {
+		keys = append(keys, k)
+		sum += v
+	}
+	return keys, sum
+}

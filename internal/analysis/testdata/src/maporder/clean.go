@@ -1,0 +1,34 @@
+package ml
+
+import "sort"
+
+// Clean demonstrates the approved patterns around map iteration.
+func Clean(m map[string]float64) ([]string, float64) {
+	// Collect-then-sort: the append target is sorted after the loop, so
+	// the map-order dependence is erased before anyone observes it.
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	// Deterministic accumulation over the sorted keys.
+	var sum float64
+	for _, k := range keys {
+		sum += m[k]
+	}
+
+	// Integer accumulation is associative — order cannot change the result.
+	n := 0
+	for range m {
+		n++
+	}
+
+	// Loop-local float work does not escape the iteration.
+	for _, v := range m {
+		local := v * 2
+		_ = local
+	}
+	_ = n
+	return keys, sum
+}

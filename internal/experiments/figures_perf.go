@@ -7,6 +7,7 @@ import (
 	"evax/internal/dataset"
 	"evax/internal/defense"
 	"evax/internal/detect"
+	"evax/internal/fmath"
 	"evax/internal/isa"
 	"evax/internal/metrics"
 	"evax/internal/sim"
@@ -362,7 +363,7 @@ func Figure16(lab *Lab) Figure16Result {
 }
 
 func safeDiv(a, b float64) float64 {
-	if b == 0 {
+	if fmath.Zero(b) {
 		return 0
 	}
 	return a / b

@@ -1,0 +1,37 @@
+// Package fmath holds the approved floating-point comparison idioms
+// enforced by evaxlint's floateq rule. Exact ==/!= between floats is
+// banned outside this package: results differ across FMA contraction,
+// accumulation order and compiler versions, which breaks the bit-for-bit
+// reproducibility the detector/GAN training pipeline depends on.
+package fmath
+
+import "math"
+
+// Eps is the default comparison tolerance. Counter features are
+// max-normalized into [0,1] and network weights stay O(1), so a single
+// absolute/relative hybrid tolerance serves the whole pipeline.
+const Eps = 1e-9
+
+// Eq reports a ≈ b under a hybrid absolute/relative tolerance: absolute
+// Eps near zero, relative Eps for large magnitudes.
+func Eq(a, b float64) bool {
+	if a == b { // fast path; also handles ±Inf
+		return true
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return diff <= Eps*scale
+}
+
+// Zero reports |x| <= Eps.
+func Zero(x float64) bool {
+	return math.Abs(x) <= Eps
+}
+
+// Near reports |a-b| <= eps under an explicit absolute tolerance.
+func Near(a, b, eps float64) bool {
+	return math.Abs(a-b) <= eps
+}

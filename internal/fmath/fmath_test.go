@@ -1,0 +1,48 @@
+package fmath
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b float64
+		want bool
+	}{
+		{0, 0, true},
+		{1, 1, true},
+		{1, 1 + 1e-12, true},
+		{1, 1 + 1e-6, false},
+		{0, 1e-12, true},
+		{0, 1e-6, false},
+		{1e12, 1e12 * (1 + 1e-12), true}, // relative tolerance at scale
+		{1e12, 1e12 * (1 + 1e-6), false},
+		{math.Inf(1), math.Inf(1), true},
+		{math.Inf(1), math.Inf(-1), false},
+		{math.NaN(), math.NaN(), false},
+	}
+	for _, c := range cases {
+		if got := Eq(c.a, c.b); got != c.want {
+			t.Errorf("Eq(%g, %g) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !Zero(0) || !Zero(1e-12) || !Zero(-1e-12) {
+		t.Error("Zero should accept tiny values")
+	}
+	if Zero(1e-6) || Zero(-1) {
+		t.Error("Zero should reject non-tiny values")
+	}
+}
+
+func TestNear(t *testing.T) {
+	if !Near(1.0, 1.05, 0.1) {
+		t.Error("Near(1, 1.05, 0.1) should hold")
+	}
+	if Near(1.0, 1.2, 0.1) {
+		t.Error("Near(1, 1.2, 0.1) should not hold")
+	}
+}

@@ -13,6 +13,7 @@ package gan
 
 import (
 	"math/rand"
+	"sort"
 
 	"evax/internal/gram"
 	"evax/internal/ml"
@@ -292,9 +293,17 @@ func (a *AMGAN) StyleLoss(samples [][]float64, classes []int, n int) float64 {
 	for i, c := range classes {
 		byClass[c] = append(byClass[c], samples[i])
 	}
+	// Iterate classes in sorted order: the loss sum and the generator's
+	// RNG draws must not depend on map iteration order.
+	classOrder := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classOrder = append(classOrder, c)
+	}
+	sort.Ints(classOrder)
 	var total float64
 	var classesSeen int
-	for c, real := range byClass {
+	for _, c := range classOrder {
+		real := byClass[c]
 		if len(real) < 2 {
 			continue
 		}

@@ -9,6 +9,8 @@
 // score near zero and cross-type pairs score high (paper Figures 6 and 7).
 package gram
 
+import "evax/internal/fmath"
+
 // Matrix computes the Gram matrix of a feature time series: series[t][f] is
 // feature f at time step t; the result G[i][j] = Σ_t series[t][i]·series[t][j],
 // normalized by the number of time steps.
@@ -25,7 +27,7 @@ func Matrix(series [][]float64) [][]float64 {
 	for _, row := range series {
 		for i := 0; i < n; i++ {
 			vi := row[i]
-			if vi == 0 {
+			if fmath.Zero(vi) {
 				continue
 			}
 			gi := g[i]
@@ -93,7 +95,7 @@ func TopPairs(g [][]float64, k int) [][2]int {
 	var pairs []pair
 	for i := range g {
 		for j := i + 1; j < len(g); j++ {
-			if g[i][j] != 0 {
+			if !fmath.Zero(g[i][j]) {
 				pairs = append(pairs, pair{i, j, g[i][j]})
 			}
 		}

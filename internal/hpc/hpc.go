@@ -10,6 +10,8 @@ package hpc
 import (
 	"fmt"
 	"sort"
+
+	"evax/internal/fmath"
 )
 
 // Catalog is an immutable ordered list of counter names. Counter vectors are
@@ -252,11 +254,11 @@ func ExpandDerived(s Sample) []float64 {
 		total += v
 	}
 	instrK := float64(s.Instructions) / 1000
-	if instrK == 0 {
+	if fmath.Zero(instrK) {
 		instrK = 1
 	}
 	cyc := float64(s.Cycles)
-	if cyc == 0 {
+	if fmath.Zero(cyc) {
 		cyc = 1
 	}
 	for i, v := range s.Values {

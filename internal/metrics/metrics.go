@@ -98,6 +98,7 @@ func ROC(scores []float64, labels []bool) []ROCPoint {
 	tp, fp := 0, 0
 	for i := 0; i < len(data); {
 		s := data[i].s
+		//evaxlint:ignore floateq grouping identical scores at one ROC threshold requires exact equality
 		for i < len(data) && data[i].s == s {
 			if data[i].l {
 				tp++

@@ -7,7 +7,11 @@
 // produces the deployable hardware configuration and the cost model.
 package perceptron
 
-import "math"
+import (
+	"math"
+
+	"evax/internal/fmath"
+)
 
 // Binarizer thresholds normalized feature values into the 0/1 inputs the
 // hardware consumes ("since 0 and 1 are the only possible input values,
@@ -63,7 +67,7 @@ func New(n int) *Perceptron { return &Perceptron{W: make([]float64, n)} }
 func (p *Perceptron) Score(x []float64) float64 {
 	s := p.Bias
 	for i, v := range x {
-		if v != 0 {
+		if v != 0 { //evaxlint:ignore floateq binarized inputs are exactly 0 or 1
 			s += p.W[i] * v
 		}
 	}
@@ -86,7 +90,7 @@ func (p *Perceptron) TrainEpoch(samples [][]float64, labels []bool, lr, margin f
 		if score*want < margin {
 			updates++
 			for i, v := range x {
-				if v != 0 {
+				if v != 0 { //evaxlint:ignore floateq binarized inputs are exactly 0 or 1
 					p.W[i] += lr * want * v
 				}
 			}
@@ -126,7 +130,7 @@ func (p *Perceptron) Quantize() *Quantized {
 	if a := math.Abs(p.Bias); a > maxAbs {
 		maxAbs = a
 	}
-	if maxAbs == 0 {
+	if fmath.Zero(maxAbs) {
 		maxAbs = 1
 	}
 	scale := 2 / maxAbs
@@ -152,7 +156,7 @@ func (p *Perceptron) Quantize() *Quantized {
 func (q *Quantized) Score(x []float64) int {
 	s := int(q.Bias)
 	for i, v := range x {
-		if v != 0 {
+		if v != 0 { //evaxlint:ignore floateq binarized inputs are exactly 0 or 1
 			s += int(q.W[i])
 		}
 	}
