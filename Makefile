@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench check fmt
+.PHONY: build test race lint bench bench-json check fmt
 
 build: ## compile every package
 	$(GO) build ./...
@@ -24,6 +24,10 @@ lint: ## gofmt (fail on diff), go vet, and the evaxlint suite
 
 bench: ## run the microbenchmarks
 	$(GO) test -bench=. -benchmem -run=^$$ .
+
+bench-json: ## runner speedup + equivalence report (BENCH_runner.json), then the equivalence tests under -race
+	$(GO) run ./cmd/evaxbench -benchjson BENCH_runner.json -quick
+	$(GO) test -race -count=1 -run ParallelEquivalence ./internal/dataset ./internal/experiments
 
 fmt: ## rewrite sources with gofmt
 	gofmt -w .

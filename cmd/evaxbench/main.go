@@ -8,18 +8,25 @@
 //	evaxbench                # run everything at the default scale
 //	evaxbench -exp fig16     # one experiment
 //	evaxbench -quick         # reduced scale (the test configuration)
+//	evaxbench -jobs 8        # fan simulation campaigns out over 8 workers
+//	evaxbench -benchjson BENCH_runner.json   # runner speedup + equivalence report
 //	evaxbench -list
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"strings"
 	"time"
 
+	"evax/internal/dataset"
 	"evax/internal/experiments"
 	"evax/internal/isa"
+	"evax/internal/runner"
 )
 
 var experimentIDs = []string{
@@ -29,9 +36,11 @@ var experimentIDs = []string{
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment id or \"all\" (see -list)")
-		quick = flag.Bool("quick", false, "reduced scale (the test configuration)")
-		list  = flag.Bool("list", false, "list experiment ids and exit")
+		exp       = flag.String("exp", "all", "experiment id or \"all\" (see -list)")
+		quick     = flag.Bool("quick", false, "reduced scale (the test configuration)")
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		jobs      = flag.Int("jobs", 0, "worker count for simulation campaigns (0 = GOMAXPROCS, 1 = sequential)")
+		benchJSON = flag.String("benchjson", "", "measure parallel corpus generation against -jobs 1, write a JSON report to this file, and exit")
 	)
 	flag.Parse()
 
@@ -42,10 +51,19 @@ func main() {
 		return
 	}
 
+	if *benchJSON != "" {
+		if err := writeBenchJSON(*benchJSON, *jobs, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	opts := experiments.DefaultLabOptions()
 	if *quick {
 		opts = experiments.QuickLabOptions()
 	}
+	opts.Jobs = *jobs
 
 	ids := experimentIDs
 	if *exp != "all" {
@@ -61,22 +79,107 @@ func main() {
 
 	var lab *experiments.Lab
 	if needLab {
-		fmt.Println("building lab (corpus + AM-GAN + detectors)...")
-		t0 := time.Now()
+		workers := opts.Jobs
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		fmt.Printf("building lab (corpus + AM-GAN + detectors) with %d worker(s)...\n", workers)
+		t0, s0 := time.Now(), runner.Snapshot()
 		lab = experiments.NewLab(opts)
-		fmt.Printf("lab ready in %v: %s\n\n", time.Since(t0).Round(time.Millisecond), lab.DS.Stats())
+		reportThroughput("lab", time.Since(t0), runner.Snapshot().JobsRun-s0.JobsRun)
+		fmt.Printf("lab ready: %s\n\n", lab.DS.Stats())
 	}
 
 	for _, id := range ids {
-		t0 := time.Now()
+		t0, s0 := time.Now(), runner.Snapshot()
 		out, err := run(id, lab)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Println(out)
-		fmt.Printf("[%s completed in %v]\n\n", id, time.Since(t0).Round(time.Millisecond))
+		reportThroughput(id, time.Since(t0), runner.Snapshot().JobsRun-s0.JobsRun)
+		fmt.Println()
 	}
+}
+
+// reportThroughput prints one stage's wall-clock and per-job throughput.
+func reportThroughput(stage string, wall time.Duration, jobs uint64) {
+	if jobs == 0 {
+		fmt.Printf("[%s completed in %v]\n", stage, wall.Round(time.Millisecond))
+		return
+	}
+	fmt.Printf("[%s completed in %v: %d jobs, %.1f jobs/sec]\n",
+		stage, wall.Round(time.Millisecond), jobs, float64(jobs)/wall.Seconds())
+}
+
+// benchReport is the BENCH_runner.json schema: wall-clock and throughput of
+// corpus generation sequentially and fanned out, plus the equivalence bit
+// (parallel output must be byte-identical to -jobs 1).
+type benchReport struct {
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+	Jobs          int     `json:"jobs"`
+	CorpusSamples int     `json:"corpus_samples"`
+	JobsRun       uint64  `json:"jobs_run"`
+	SeqMillis     float64 `json:"seq_wall_ms"`
+	ParMillis     float64 `json:"par_wall_ms"`
+	SeqJobsPerSec float64 `json:"seq_jobs_per_sec"`
+	ParJobsPerSec float64 `json:"par_jobs_per_sec"`
+	Speedup       float64 `json:"speedup"`
+	Identical     bool    `json:"identical"`
+}
+
+// writeBenchJSON times corpus generation at -jobs 1 versus the requested
+// worker count, checks bit-for-bit equivalence, and writes the report.
+func writeBenchJSON(path string, jobs int, quick bool) error {
+	if jobs <= 1 {
+		jobs = runtime.GOMAXPROCS(0)
+		if jobs < 4 {
+			jobs = 4 // measure real fan-out even on small hosts
+		}
+	}
+	o := dataset.DefaultCorpusOptions()
+	if quick {
+		o.Seeds = 2
+		o.MaxInstr = 40_000
+	}
+
+	o.Jobs = 1
+	t0, s0 := time.Now(), runner.Snapshot()
+	seq := dataset.CollectAll(o)
+	seqWall := time.Since(t0)
+	perRun := runner.Snapshot().JobsRun - s0.JobsRun
+
+	o.Jobs = jobs
+	t1 := time.Now()
+	par := dataset.CollectAll(o)
+	parWall := time.Since(t1)
+
+	r := benchReport{
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Jobs:          jobs,
+		CorpusSamples: len(seq),
+		JobsRun:       perRun,
+		SeqMillis:     float64(seqWall.Microseconds()) / 1000,
+		ParMillis:     float64(parWall.Microseconds()) / 1000,
+		SeqJobsPerSec: float64(perRun) / seqWall.Seconds(),
+		ParJobsPerSec: float64(perRun) / parWall.Seconds(),
+		Speedup:       seqWall.Seconds() / parWall.Seconds(),
+		Identical:     reflect.DeepEqual(seq, par),
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("runner bench: %d jobs  seq=%v  par(%d)=%v  speedup=%.2fx  identical=%v -> %s\n",
+		r.JobsRun, seqWall.Round(time.Millisecond), jobs, parWall.Round(time.Millisecond), r.Speedup, r.Identical, path)
+	if !r.Identical {
+		return fmt.Errorf("evaxbench: parallel corpus diverged from sequential reference")
+	}
+	return nil
 }
 
 func run(id string, lab *experiments.Lab) (fmt.Stringer, error) {

@@ -9,6 +9,7 @@
 //
 //	evaxtrain -seeds 3 -interval 2000 -epochs 25
 //	evaxtrain -quick -weights weights.json
+//	evaxtrain -jobs 8    # fan the corpus simulations out over 8 workers
 package main
 
 import (
@@ -16,9 +17,11 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"evax/internal/defense"
 	"evax/internal/experiments"
+	"evax/internal/runner"
 )
 
 // weightsFile is the exported detector description.
@@ -41,6 +44,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "use the reduced test-scale configuration")
 		weights  = flag.String("weights", "", "write the trained EVAX detector to this JSON file")
 		bundleTo = flag.String("bundle", "", "write a deployable detection bundle (detector + normalizer) usable by evaxsim -bundle")
+		jobs     = flag.Int("jobs", 0, "worker count for corpus simulations (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -53,9 +57,14 @@ func main() {
 		opts.Corpus.MaxInstr = *maxInstr
 		opts.GANEpochs = *epochs
 	}
+	opts.Jobs = *jobs
 
 	fmt.Println("building corpus and training (this runs the simulator on every workload and attack)...")
+	t0, s0 := time.Now(), runner.Snapshot()
 	lab := experiments.NewLab(opts)
+	wall, ran := time.Since(t0), runner.Snapshot().JobsRun-s0.JobsRun
+	fmt.Printf("trained in %v (%d simulation jobs, %.1f jobs/sec)\n",
+		wall.Round(time.Millisecond), ran, float64(ran)/wall.Seconds())
 	fmt.Println(lab.DS.Stats())
 	fmt.Println()
 	fmt.Print(experiments.TableI(lab))

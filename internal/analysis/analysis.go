@@ -110,6 +110,7 @@ func Analyzers() []*Analyzer {
 		FloatEqAnalyzer(),
 		DroppedErrAnalyzer(),
 		CtrNameAnalyzer(),
+		GoroutineAnalyzer(),
 	}
 }
 

@@ -166,6 +166,27 @@ func TestCtrName(t *testing.T) {
 		fixturePkg{path: "evax/internal/detect", files: fixture("ctrname", "clean.go")})
 }
 
+func TestGoroutine(t *testing.T) {
+	runRule(t, GoroutineAnalyzer(),
+		filepath.Join("testdata", "src", "goroutine", "bad.golden"),
+		fixturePkg{path: "evax/internal/experiments", files: fixture("goroutine", "bad.go")})
+	runRule(t, GoroutineAnalyzer(),
+		filepath.Join("testdata", "src", "goroutine", "clean.golden"),
+		fixturePkg{path: "evax/internal/experiments", files: fixture("goroutine", "clean.go")})
+}
+
+func TestGoroutineExemptInRunner(t *testing.T) {
+	// The same raw worker pool inside the engine package is the one place
+	// it is allowed: runner owns goroutine lifecycle for the whole module.
+	prog := loadFixtureProg(t, fixturePkg{
+		path:  "evax/internal/runner",
+		files: fixture("goroutine", "bad.go"),
+	})
+	if diags := Analyze(prog, []*Analyzer{GoroutineAnalyzer()}); len(diags) != 0 {
+		t.Errorf("goroutine fired inside internal/runner: %v", diags)
+	}
+}
+
 func TestSuppression(t *testing.T) {
 	// suppressed.go carries the same violations as the floateq bad fixture
 	// but every site is annotated with //evaxlint:ignore.

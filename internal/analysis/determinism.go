@@ -15,6 +15,7 @@ var determinismScope = []string{
 	"internal/gan",
 	"internal/perceptron",
 	"internal/ml",
+	"internal/runner", // the fan-out engine: seeds derive from job identity, never from time/global RNG
 }
 
 // approvedRandFuncs are the only top-level math/rand functions allowed in

@@ -1,0 +1,64 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// goroutineExemptScope lists the package-path suffixes allowed to use raw
+// concurrency primitives. internal/runner is the deterministic fan-out
+// engine every campaign must flow through: it alone owns goroutines and
+// WaitGroups, so index-addressed merging and per-job seed derivation cannot
+// be bypassed by ad-hoc parallel loops.
+var goroutineExemptScope = []string{
+	"internal/runner",
+}
+
+// GoroutineAnalyzer flags raw go statements and sync.WaitGroup references
+// outside internal/runner. Ad-hoc goroutines reintroduce exactly the
+// nondeterminism PR 2 removed: completion-order-dependent merges and shared
+// RNG state across workers. The approved idiom is runner.Map/FlatMap/MapErr
+// with a per-job seed from runner.DeriveSeed.
+func GoroutineAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "goroutine",
+		Doc:  "forbid raw go statements and sync.WaitGroup outside internal/runner",
+		Run:  runGoroutine,
+	}
+}
+
+func runGoroutine(pass *Pass) []Diagnostic {
+	for _, s := range goroutineExemptScope {
+		if pass.Pkg.HasSuffix(s) {
+			return nil
+		}
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.GoStmt:
+				diags = append(diags, Diagnostic{
+					Pos:  pass.Position(node.Pos()),
+					Rule: "goroutine",
+					Message: "raw go statement outside internal/runner; fan work out with " +
+						"runner.Map/FlatMap (index-addressed, deterministic merge) instead",
+				})
+			case *ast.SelectorExpr:
+				// A sync.WaitGroup type reference: declarations, fields,
+				// parameters. Method calls on a WaitGroup require one of
+				// these, so flagging the reference covers every use.
+				if ident, ok := node.X.(*ast.Ident); ok &&
+					pkgNameOf(pass.Pkg.Info, ident) == "sync" && node.Sel.Name == "WaitGroup" {
+					diags = append(diags, Diagnostic{
+						Pos:  pass.Position(node.Pos()),
+						Rule: "goroutine",
+						Message: "sync.WaitGroup outside internal/runner; the runner engine owns " +
+							"worker lifecycle — submit jobs through runner.Map instead",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags
+}

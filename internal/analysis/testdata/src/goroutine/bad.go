@@ -1,0 +1,25 @@
+package experiments
+
+import "sync"
+
+// FanOut hand-rolls a worker pool: completion order decides nothing here,
+// but the pattern invites append-on-completion merges and shared RNGs, so
+// the rule bans the primitives outright outside internal/runner.
+func FanOut(n int) []int {
+	out := make([]int, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = i * i
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Wait takes the group by pointer — still a reference to the banned type.
+func Wait(wg *sync.WaitGroup) {
+	wg.Wait()
+}

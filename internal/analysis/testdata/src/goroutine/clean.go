@@ -1,0 +1,37 @@
+package experiments
+
+import "sync"
+
+// Clean uses the allowed sync primitives: Once/Mutex guard lazy
+// initialization without spawning workers, and the fan-out itself is
+// delegated to the runner engine (not reproduced in this fixture).
+type Clean struct {
+	once sync.Once
+	mu   sync.Mutex
+	val  int
+}
+
+// Value lazily initializes under the lock.
+func (c *Clean) Value() int {
+	c.once.Do(func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.val = 42
+	})
+	return c.val
+}
+
+// Suppressed is the escape hatch for vetted one-off concurrency.
+func Suppressed(n int) []int {
+	out := make([]int, n)
+	done := make(chan struct{})
+	//evaxlint:ignore goroutine vetted: single goroutine, joined via channel before return
+	go func() {
+		for i := range out {
+			out[i] = i
+		}
+		close(done)
+	}()
+	<-done
+	return out
+}

@@ -3,6 +3,7 @@ package dataset
 import (
 	"evax/internal/attacks"
 	"evax/internal/isa"
+	"evax/internal/runner"
 	"evax/internal/sim"
 	"evax/internal/workload"
 )
@@ -33,6 +34,11 @@ type CorpusOptions struct {
 	// include. BenignOnly skips attacks entirely.
 	AttackFilter func(isa.Class) bool
 	BenignOnly   bool
+	// Jobs is the worker count for corpus generation (see runner.Options):
+	// 0 uses GOMAXPROCS, 1 is the sequential reference ordering. Samples
+	// are merged in job-enumeration order, so the corpus is byte-identical
+	// for every worker count.
+	Jobs int
 }
 
 // DefaultCorpusOptions returns a configuration that builds a corpus of a
@@ -58,32 +64,70 @@ func (o CorpusOptions) config() sim.Config {
 // the options, returning the dataset normalized by its own maxima.
 func BuildCorpus(o CorpusOptions) *Dataset { return New(CollectAll(o)) }
 
-// CollectAll gathers raw (unnormalized) samples for the options — callers
-// evaluating against an existing training corpus normalize these with the
-// training dataset's maxima instead of fitting new ones.
-func CollectAll(o CorpusOptions) []Sample {
-	var samples []Sample
-	cfg := o.config()
+// seedDomain versions the corpus seed derivation. It is part of the corpus
+// identity: bumping it regenerates every program instance (train AND eval,
+// which stay disjoint via SeedOffset), so recorded experiment numbers only
+// compare within one domain version.
+const seedDomain = "corpus/v1/"
+
+// collectJob is one (program, seed) unit of corpus generation. The seed is
+// derived from the program's registry name, the seed index, and the corpus
+// offset via a stable hash, so jobs are self-contained: no job's identity
+// depends on enumeration position or on any other job.
+type collectJob struct {
+	name  string
+	build func(seed int64, scale int) *isa.Program
+	seed  int64
+	scale int
+}
+
+// enumerateJobs lists the corpus's (program, seed) jobs in the canonical
+// order: every benign workload, then every selected attack, seeds in
+// ascending index order. CollectAll merges samples in exactly this order.
+func enumerateJobs(o CorpusOptions) []collectJob {
+	var jobs []collectJob
 	for _, w := range workload.All() {
 		for s := 0; s < o.Seeds; s++ {
-			p := w.Build(int64(s)*37+1+o.SeedOffset, o.Scale)
-			samples = append(samples, Collect(cfg, p, o.Interval, o.MaxInstr)...)
+			jobs = append(jobs, collectJob{
+				name:  w.Name,
+				build: w.Build,
+				seed:  runner.DeriveSeed(seedDomain+"workload/"+w.Name, s, o.SeedOffset),
+				scale: o.Scale,
+			})
 		}
 	}
 	if !o.BenignOnly {
+		ascale := o.AttackScale
+		if ascale < 1 {
+			ascale = 1
+		}
 		for _, a := range attacks.All() {
 			if o.AttackFilter != nil && !o.AttackFilter(a.Class) {
 				continue
 			}
-			ascale := o.AttackScale
-			if ascale < 1 {
-				ascale = 1
-			}
 			for s := 0; s < o.Seeds; s++ {
-				p := a.Build(int64(s)*41+11+o.SeedOffset, ascale)
-				samples = append(samples, Collect(cfg, p, o.Interval, o.MaxInstr)...)
+				jobs = append(jobs, collectJob{
+					name:  a.Name,
+					build: a.Build,
+					seed:  runner.DeriveSeed(seedDomain+"attack/"+a.Name, s, o.SeedOffset),
+					scale: ascale,
+				})
 			}
 		}
 	}
-	return samples
+	return jobs
+}
+
+// CollectAll gathers raw (unnormalized) samples for the options — callers
+// evaluating against an existing training corpus normalize these with the
+// training dataset's maxima instead of fitting new ones. Jobs fan out
+// across o.Jobs workers; samples merge in enumeration order, so the result
+// is identical to a sequential run for any worker count.
+func CollectAll(o CorpusOptions) []Sample {
+	cfg := o.config()
+	jobs := enumerateJobs(o)
+	return runner.FlatMap(runner.Options{Jobs: o.Jobs}, len(jobs), func(i int) []Sample {
+		j := jobs[i]
+		return Collect(cfg, j.build(j.seed, j.scale), o.Interval, o.MaxInstr)
+	})
 }

@@ -68,6 +68,89 @@ func TestNewNormalizes(t *testing.T) {
 	}
 }
 
+func TestHasPhase(t *testing.T) {
+	s := Sample{Phases: 1<<uint(isa.PhaseSetup) | 1<<uint(isa.PhaseLeak)}
+	for _, tc := range []struct {
+		p    isa.Phase
+		want bool
+	}{
+		{isa.PhaseNone, false},
+		{isa.PhaseSetup, true},
+		{isa.PhaseMistrain, false},
+		{isa.PhaseLeak, true},
+		{isa.PhaseTransmit, false},
+		{isa.PhaseRecover, false},
+	} {
+		if got := s.HasPhase(tc.p); got != tc.want {
+			t.Errorf("HasPhase(%v) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if (&Sample{}).HasPhase(isa.PhaseNone) {
+		t.Error("empty mask claims PhaseNone")
+	}
+}
+
+// TestCollectPhaseDeltaMask drives Collect over a program with three
+// well-separated phase sections and checks the per-window delta masking: a
+// window's mask flags exactly the phases whose dispatch counters advanced
+// during that window, so early windows must not carry late-phase bits and
+// a finished phase must never reappear.
+func TestCollectPhaseDeltaMask(t *testing.T) {
+	b := isa.NewBuilder("phasemask", isa.ClassMeltdown)
+	section := func(p isa.Phase, label string, trips int64) {
+		// Phase counters tick at dispatch, which includes wrong-path ops:
+		// a mispredicted loop exit fetches straight-line into the next
+		// section. Pad past the ROB depth with untagged nops so speculation
+		// cannot carry one section's bits into another's windows.
+		b.SetPhase(isa.PhaseNone)
+		for i := 0; i < 256; i++ {
+			b.Nop()
+		}
+		b.SetPhase(p)
+		b.Li(isa.R1, 0)
+		b.Li(isa.R2, trips)
+		b.Label(label)
+		b.Addi(isa.R1, isa.R1, 1)
+		b.Br(isa.CondLT, isa.R1, isa.R2, label)
+	}
+	section(isa.PhaseSetup, "setup", 3000)
+	section(isa.PhaseLeak, "leak", 3000)
+	section(isa.PhaseTransmit, "tx", 3000)
+	samples := Collect(sim.DefaultConfig(), b.MustBuild(), 1000, 100_000)
+	if len(samples) < 9 {
+		t.Fatalf("only %d windows", len(samples))
+	}
+	var union uint8
+	for _, s := range samples {
+		union |= s.Phases
+	}
+	for _, p := range []isa.Phase{isa.PhaseSetup, isa.PhaseLeak, isa.PhaseTransmit} {
+		if union&(1<<uint(p)) == 0 {
+			t.Fatalf("phase %v never flagged across %d windows", p, len(samples))
+		}
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	if !first.HasPhase(isa.PhaseSetup) || first.HasPhase(isa.PhaseTransmit) {
+		t.Fatalf("first window mask %06b: want setup without transmit", first.Phases)
+	}
+	if !last.HasPhase(isa.PhaseTransmit) || last.HasPhase(isa.PhaseSetup) {
+		t.Fatalf("last window mask %06b: want transmit without setup", last.Phases)
+	}
+	lastSetup, firstTx := -1, -1
+	for i, s := range samples {
+		if s.HasPhase(isa.PhaseSetup) {
+			lastSetup = i
+		}
+		if firstTx < 0 && s.HasPhase(isa.PhaseTransmit) {
+			firstTx = i
+		}
+	}
+	if lastSetup >= firstTx {
+		t.Fatalf("setup flagged through window %d but transmit starts at %d: delta masking broken",
+			lastSetup, firstTx)
+	}
+}
+
 func TestTransmitOnly(t *testing.T) {
 	s := Sample{Phases: 1<<uint(isa.PhaseTransmit) | 1<<uint(isa.PhaseNone)}
 	if !s.TransmitOnly() {
@@ -79,6 +162,12 @@ func TestTransmitOnly(t *testing.T) {
 	}
 	if (&Sample{Phases: 1 << uint(isa.PhaseNone)}).TransmitOnly() {
 		t.Fatal("phase-free window misclassified")
+	}
+	if !(&Sample{Phases: 1<<uint(isa.PhaseTransmit) | 1<<uint(isa.PhaseRecover)}).TransmitOnly() {
+		t.Fatal("transmit+recover window not detected")
+	}
+	if (&Sample{}).TransmitOnly() {
+		t.Fatal("empty mask misclassified as transmit-only")
 	}
 }
 

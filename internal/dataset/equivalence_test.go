@@ -1,0 +1,90 @@
+package dataset
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"evax/internal/isa"
+)
+
+// quickCorpusOptions is a reduced configuration shared by the equivalence
+// tests: two attack classes, two seeds, short runs — enough jobs to exercise
+// real fan-out without dominating the suite's wall-clock.
+func quickCorpusOptions() CorpusOptions {
+	return CorpusOptions{
+		Seeds:       2,
+		Interval:    2000,
+		MaxInstr:    20_000,
+		Scale:       1,
+		AttackScale: 20,
+		AttackFilter: func(c isa.Class) bool {
+			return c == isa.ClassMeltdown || c == isa.ClassSpectrePHT
+		},
+	}
+}
+
+// TestCollectAllParallelEquivalence is the runner determinism contract at
+// the corpus layer: the sample stream must be byte-identical to the
+// sequential reference (Jobs == 1) for every worker count, including worker
+// counts above the job count and above GOMAXPROCS.
+func TestCollectAllParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build")
+	}
+	o := quickCorpusOptions()
+	o.Jobs = 1
+	ref := CollectAll(o)
+	if len(ref) == 0 {
+		t.Fatal("empty reference corpus")
+	}
+	for _, jobs := range []int{2, 4, runtime.GOMAXPROCS(0), 1000} {
+		o.Jobs = jobs
+		if got := CollectAll(o); !reflect.DeepEqual(ref, got) {
+			t.Fatalf("corpus at %d workers diverged from the sequential reference", jobs)
+		}
+	}
+}
+
+// TestBuildCorpusParallelEquivalence extends the contract through
+// normalization: the fitted maxima and the normalized vectors must also be
+// independent of the worker count.
+func TestBuildCorpusParallelEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus build")
+	}
+	o := quickCorpusOptions()
+	o.Jobs = 1
+	ref := BuildCorpus(o)
+	o.Jobs = 4
+	got := BuildCorpus(o)
+	if !reflect.DeepEqual(ref.Maxima(), got.Maxima()) {
+		t.Fatal("normalizer maxima depend on worker count")
+	}
+	if !reflect.DeepEqual(ref.Samples, got.Samples) {
+		t.Fatal("normalized corpus depends on worker count")
+	}
+}
+
+// TestCorpusSeedsCollisionFree pins the fix for the old stride scheme
+// (seed*37+1 for workloads, seed*41+11 for attacks), whose arithmetic
+// progressions collide across SeedOffset shifts: with hash-derived seeds,
+// every (program, seed index, offset) combination must be distinct, so the
+// train and eval corpora share no program instance.
+func TestCorpusSeedsCollisionFree(t *testing.T) {
+	o := DefaultCorpusOptions()
+	o.Seeds = 8
+	seen := map[int64]string{}
+	for _, off := range []int64{0, 7000, 9000} {
+		o.SeedOffset = off
+		for _, j := range enumerateJobs(o) {
+			if j.seed < 0 {
+				t.Fatalf("negative seed %d for %s", j.seed, j.name)
+			}
+			if prev, dup := seen[j.seed]; dup {
+				t.Fatalf("seed %d collides: %s and %s (offset %d)", j.seed, prev, j.name, off)
+			}
+			seen[j.seed] = j.name
+		}
+	}
+}

@@ -176,6 +176,15 @@ type Detector struct {
 	Threshold float64
 }
 
+// Clone returns a detector with the same weights and threshold but its own
+// forward-pass scratch. Network.Forward writes per-layer activations in
+// place, so a detector must never be scored from two runner jobs at once —
+// parallel campaigns clone the shared detector per job instead. FS is
+// shared (read-only after construction).
+func (d *Detector) Clone() *Detector {
+	return &Detector{FS: d.FS, Net: d.Net.Clone(), Threshold: d.Threshold}
+}
+
 // NewPerceptron builds the HW-friendly single-layer detector (the
 // PerSpectron/EVAX architecture).
 func NewPerceptron(seed int64, fs *FeatureSet) *Detector {

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"evax/internal/isa"
+)
+
+// TestExperimentsParallelEquivalence checks the runner determinism contract
+// at the experiment layer: a figure driver re-run with a different worker
+// count must return a bit-identical result. Figure 17 covers the fuzz-sweep
+// shape (per-tool jobs with cloned detectors); ZeroDayTPR covers the
+// retrain-per-fold shape. Both share the quick lab, so only the fan-out
+// width changes between runs.
+func TestExperimentsParallelEquivalence(t *testing.T) {
+	lab := quickLab(t)
+	restore := lab.Opts.Jobs
+	defer func() { lab.Opts.Jobs = restore }()
+
+	classes := []isa.Class{isa.ClassRDRANDCovert, isa.ClassDRAMA}
+
+	lab.Opts.Jobs = 1
+	seqFig := Figure17(lab, 2)
+	seqZD := ZeroDayTPR(lab, classes)
+
+	for _, jobs := range []int{4, 0} { // 0 = GOMAXPROCS
+		lab.Opts.Jobs = jobs
+		if got := Figure17(lab, 2); !reflect.DeepEqual(seqFig, got) {
+			t.Fatalf("Figure17 at jobs=%d diverged from the sequential reference", jobs)
+		}
+		if got := ZeroDayTPR(lab, classes); !reflect.DeepEqual(seqZD, got) {
+			t.Fatalf("ZeroDayTPR at jobs=%d diverged from the sequential reference", jobs)
+		}
+	}
+}

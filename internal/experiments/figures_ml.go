@@ -11,6 +11,7 @@ import (
 	"evax/internal/gram"
 	"evax/internal/isa"
 	"evax/internal/metrics"
+	"evax/internal/runner"
 	"evax/internal/sim"
 )
 
@@ -163,16 +164,17 @@ func (lab *Lab) evasiveSamples(tool string, seeds int) []dataset.Sample {
 			}))
 		}
 	}
-	var out []dataset.Sample
-	for pi, p := range progs {
+	// Each program's simulation is independent; windows merge in program
+	// order, identical to the sequential loop for any worker count.
+	out := runner.FlatMap(lab.runnerOpts(), len(progs), func(pi int) []dataset.Sample {
 		// Every tool output is additionally diluted with benign noise
 		// (bandwidth evasion): the signature is spread thin across
 		// windows while the attack keeps running.
-		mp := evasion.Mutate(p, evasion.MutateOptions{
+		mp := evasion.Mutate(progs[pi], evasion.MutateOptions{
 			Strength: 1.8, CacheNoise: true, Seed: int64(pi) + 97,
 		})
-		out = append(out, dataset.Collect(cfg, mp, o.Interval, o.MaxInstr)...)
-	}
+		return dataset.Collect(cfg, mp, o.Interval, o.MaxInstr)
+	})
 	for i := range out {
 		lab.DS.NormalizeInPlace(out[i].Derived)
 	}
@@ -183,16 +185,21 @@ func (lab *Lab) evasiveSamples(tool string, seeds int) []dataset.Sample {
 // benign traffic and reports per-tool AUC.
 func Figure17(lab *Lab, seedsPerTool int) Figure17Result {
 	benign := lab.benignEval(4500)
-	var res Figure17Result
-	var sumPS, sumEV float64
 	tools := []string{"transynther", "trrespass", "osiris", "mutation"}
-	for _, tool := range tools {
-		evasive := lab.evasiveSamples(tool, seedsPerTool)
+	type toolResult struct {
+		aucPS, aucEV float64
+		evasive      int
+	}
+	// One job per tool family; each scores through private detector clones
+	// (scoring mutates forward-pass scratch).
+	perTool := runner.Map(lab.runnerOpts(), len(tools), func(k int) toolResult {
+		ps, ev := lab.PerSpec.Clone(), lab.EVAX.Clone()
+		evasive := lab.evasiveSamples(tools[k], seedsPerTool)
 		var scoresPS, scoresEV []float64
 		var labels []bool
 		add := func(s *dataset.Sample, label bool) {
-			scoresPS = append(scoresPS, lab.PerSpec.Score(s.Derived))
-			scoresEV = append(scoresEV, lab.EVAX.Score(s.Derived))
+			scoresPS = append(scoresPS, ps.Score(s.Derived))
+			scoresEV = append(scoresEV, ev.Score(s.Derived))
 			labels = append(labels, label)
 		}
 		for i := range evasive {
@@ -201,14 +208,21 @@ func Figure17(lab *Lab, seedsPerTool int) Figure17Result {
 		for i := range benign {
 			add(&benign[i], false)
 		}
-		aucPS := metrics.AUCFromScores(scoresPS, labels)
-		aucEV := metrics.AUCFromScores(scoresEV, labels)
+		return toolResult{
+			aucPS:   metrics.AUCFromScores(scoresPS, labels),
+			aucEV:   metrics.AUCFromScores(scoresEV, labels),
+			evasive: len(evasive),
+		}
+	})
+	var res Figure17Result
+	var sumPS, sumEV float64
+	for k, tr := range perTool {
 		res.Rows = append(res.Rows,
-			Figure17Row{tool, "PerSpectron", aucPS, len(evasive)},
-			Figure17Row{tool, "EVAX", aucEV, len(evasive)},
+			Figure17Row{tools[k], "PerSpectron", tr.aucPS, tr.evasive},
+			Figure17Row{tools[k], "EVAX", tr.aucEV, tr.evasive},
 		)
-		sumPS += aucPS
-		sumEV += aucEV
+		sumPS += tr.aucPS
+		sumEV += tr.aucEV
 	}
 	res.MeanAUCPerSpectron = sumPS / float64(len(tools))
 	res.MeanAUCEVAX = sumEV / float64(len(tools))
@@ -430,12 +444,18 @@ func Figure19(lab *Lab, only []isa.Class) Figure19Result {
 	fuzz = append(fuzz, lab.evasiveSamples("trrespass", 2)...)
 	psFS := detect.PerSpectron()
 
-	var res Figure19Result
-	var n float64
+	var selected []dataset.Split
 	for _, fold := range folds {
 		if len(only) > 0 && !filter[fold.HeldOut] {
 			continue
 		}
+		selected = append(selected, fold)
+	}
+	// Each fold retrains three detectors from scratch — the dominant cost
+	// of the figure. Folds are independent, so they fan out over the
+	// engine; rows land in fold order regardless of worker count.
+	rows := runner.Map(lab.runnerOpts(), len(selected), func(k int) Figure19Row {
+		fold := selected[k]
 		var fuzzVec [][]float64
 		var fuzzLab []bool
 		for i := range fuzz {
@@ -453,13 +473,17 @@ func Figure19(lab *Lab, only []isa.Class) Figure19Result {
 		cps := ps.Evaluate(lab.DS, fold.Test)
 		cpf := pf.Evaluate(lab.DS, fold.Test)
 		cev := ev.Evaluate(lab.DS, fold.Test)
-		row := Figure19Row{
+		return Figure19Row{
 			HeldOut:     fold.HeldOut,
 			ErrPerSpec:  cps.GeneralizationError(),
 			ErrPFuzzer:  cpf.GeneralizationError(),
 			ErrEVAX:     cev.GeneralizationError(),
 			TestSamples: len(fold.Test),
 		}
+	})
+	var res Figure19Result
+	var n float64
+	for _, row := range rows {
 		res.Rows = append(res.Rows, row)
 		res.MeanPerSpec += row.ErrPerSpec
 		res.MeanPFuzzer += row.ErrPFuzzer

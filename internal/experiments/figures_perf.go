@@ -10,6 +10,7 @@ import (
 	"evax/internal/fmath"
 	"evax/internal/isa"
 	"evax/internal/metrics"
+	"evax/internal/runner"
 	"evax/internal/sim"
 	"evax/internal/workload"
 )
@@ -131,47 +132,55 @@ type Figure14Result struct {
 // Figure14 runs the benign suite (unseen seeds) under each configuration
 // and records IPC.
 func Figure14(lab *Lab) Figure14Result {
-	evax := defense.NewDetectorFlagger(lab.EVAX, lab.DS)
-	perspec := defense.NewDetectorFlagger(lab.PerSpec, lab.DS)
+	// detector selects the per-job gating detector: flaggers score through
+	// the sampling window, which mutates forward-pass scratch, so each
+	// (config, workload) job builds a flagger around a private clone.
 	configs := []struct {
-		name   string
-		fl     defense.Flagger
-		policy sim.Policy
+		name     string
+		detector func() *detect.Detector // nil: always-on gating
+		policy   sim.Policy
 	}{
-		{"InvisiSpec (always on)", defense.AlwaysOn, sim.PolicyInvisiSpecSpectre},
-		{"PerSpectron-SpectreSafe", perspec, sim.PolicyFenceAfterBranch},
-		{"EVAX-SpectreSafe", evax, sim.PolicyFenceAfterBranch},
-		{"EVAX-SafeSpec (InvisiSpec)", evax, sim.PolicyInvisiSpecSpectre},
-		{"EVAX-FuturisticSafeFence", evax, sim.PolicyFenceBeforeLoad},
+		{"InvisiSpec (always on)", nil, sim.PolicyInvisiSpecSpectre},
+		{"PerSpectron-SpectreSafe", lab.PerSpec.Clone, sim.PolicyFenceAfterBranch},
+		{"EVAX-SpectreSafe", lab.EVAX.Clone, sim.PolicyFenceAfterBranch},
+		{"EVAX-SafeSpec (InvisiSpec)", lab.EVAX.Clone, sim.PolicyInvisiSpecSpectre},
+		{"EVAX-FuturisticSafeFence", lab.EVAX.Clone, sim.PolicyFenceBeforeLoad},
 	}
 	res := Figure14Result{}
 	const maxInstr = 200_000
-	var baseIPC []float64
-	for wi, w := range workload.All() {
-		p := w.Build(int64(wi)*37+901, lab.Opts.Corpus.Scale)
+	suite := workload.All()
+	baseIPC := runner.Map(lab.runnerOpts(), len(suite), func(wi int) float64 {
+		p := suite[wi].Build(int64(wi)*37+901, lab.Opts.Corpus.Scale)
 		m := sim.New(sim.DefaultConfig(), p)
 		m.Run(maxInstr)
-		baseIPC = append(baseIPC, m.IPC())
-	}
+		return m.IPC()
+	})
 	res.Baseline = metrics.Mean(baseIPC)
 	for _, cfg := range configs {
 		dcfg := defense.DefaultConfig(cfg.policy)
 		dcfg.SampleInterval = lab.Opts.Corpus.Interval
 		dcfg.SecureWindow = 20_000
-		var ipcs []float64
-		var timeline []defense.IPCPoint
-		for wi, w := range workload.All() {
-			p := w.Build(int64(wi)*37+901, lab.Opts.Corpus.Scale)
-			r := defense.RunProgram(sim.DefaultConfig(), p, cfg.fl, dcfg, maxInstr)
-			ipcs = append(ipcs, r.IPC)
-			if wi == 0 {
-				timeline = r.Timeline
+		type workloadRun struct {
+			ipc      float64
+			timeline []defense.IPCPoint
+		}
+		runs := runner.Map(lab.runnerOpts(), len(suite), func(wi int) workloadRun {
+			fl := defense.Flagger(defense.AlwaysOn)
+			if cfg.detector != nil {
+				fl = defense.NewDetectorFlagger(cfg.detector(), lab.DS)
 			}
+			p := suite[wi].Build(int64(wi)*37+901, lab.Opts.Corpus.Scale)
+			r := defense.RunProgram(sim.DefaultConfig(), p, fl, dcfg, maxInstr)
+			return workloadRun{ipc: r.IPC, timeline: r.Timeline}
+		})
+		ipcs := make([]float64, len(runs))
+		for wi, r := range runs {
+			ipcs[wi] = r.ipc
 		}
 		res.Series = append(res.Series, Figure14Series{
 			Name:     cfg.name,
 			MeanIPC:  metrics.Mean(ipcs),
-			Timeline: timeline,
+			Timeline: runs[0].timeline, // representative workload
 		})
 	}
 	return res
@@ -321,8 +330,6 @@ type Figure16Result struct {
 // by the EVAX and PerSpectron detectors, over the benign suite with unseen
 // seeds (performance of malicious programs is not a concern, per the paper).
 func Figure16(lab *Lab) Figure16Result {
-	evax := defense.NewDetectorFlagger(lab.EVAX, lab.DS)
-	perspec := defense.NewDetectorFlagger(lab.PerSpec, lab.DS)
 	const maxInstr = 150_000
 	policies := []struct {
 		name   string
@@ -334,25 +341,34 @@ func Figure16(lab *Lab) Figure16Result {
 		{"InvisiSpec-Futuristic", sim.PolicyInvisiSpecFuturistic},
 	}
 
-	run := func(fl defense.Flagger, policy sim.Policy) float64 {
+	// run fans the benign suite out over the engine; detector is nil for
+	// always-on gating, otherwise each (workload) job wraps a private
+	// detector clone (scoring mutates forward-pass scratch). Per-workload
+	// overheads merge in suite order before the mean, so the row is
+	// byte-identical to the sequential sweep.
+	run := func(detector func() *detect.Detector, policy sim.Policy) float64 {
 		dcfg := defense.DefaultConfig(policy)
 		dcfg.SampleInterval = lab.Opts.Corpus.Interval
 		dcfg.SecureWindow = 20_000
-		var ovs []float64
-		for wi, w := range workload.All() {
-			p := w.Build(int64(wi)*37+901, lab.Opts.Corpus.Scale)
-			base := defense.RunProgram(sim.DefaultConfig(), w.Build(int64(wi)*37+901, lab.Opts.Corpus.Scale), defense.NeverOn, dcfg, maxInstr)
+		suite := workload.All()
+		ovs := runner.Map(lab.runnerOpts(), len(suite), func(wi int) float64 {
+			fl := defense.Flagger(defense.AlwaysOn)
+			if detector != nil {
+				fl = defense.NewDetectorFlagger(detector(), lab.DS)
+			}
+			p := suite[wi].Build(int64(wi)*37+901, lab.Opts.Corpus.Scale)
+			base := defense.RunProgram(sim.DefaultConfig(), suite[wi].Build(int64(wi)*37+901, lab.Opts.Corpus.Scale), defense.NeverOn, dcfg, maxInstr)
 			prot := defense.RunProgram(sim.DefaultConfig(), p, fl, dcfg, maxInstr)
-			ovs = append(ovs, defense.Overhead(prot, base))
-		}
+			return defense.Overhead(prot, base)
+		})
 		return metrics.Mean(ovs)
 	}
 
 	var res Figure16Result
 	for _, pol := range policies {
-		always := run(defense.AlwaysOn, pol.policy)
-		ev := run(evax, pol.policy)
-		ps := run(perspec, pol.policy)
+		always := run(nil, pol.policy)
+		ev := run(lab.EVAX.Clone, pol.policy)
+		ps := run(lab.PerSpec.Clone, pol.policy)
 		res.Rows = append(res.Rows,
 			Figure16Row{pol.name, pol.policy, "always-on", always, 0},
 			Figure16Row{"PerSpectron-" + pol.name, pol.policy, "perspectron", ps, 1 - safeDiv(ps, always)},

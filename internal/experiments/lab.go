@@ -13,6 +13,7 @@ import (
 	"evax/internal/featureng"
 	"evax/internal/gan"
 	"evax/internal/isa"
+	"evax/internal/runner"
 )
 
 // LabOptions sizes the shared experimental setup. Scale knobs trade
@@ -29,6 +30,12 @@ type LabOptions struct {
 	// TargetFPR tunes detector thresholds on benign training scores.
 	TargetFPR float64
 	Seed      int64
+	// Jobs is the worker count for every simulator-backed campaign the lab
+	// runs (corpus builds, k-fold retraining, fuzz and overhead sweeps):
+	// 0 uses GOMAXPROCS, 1 is the sequential reference. Results are
+	// index-addressed (see internal/runner), so every figure and table is
+	// byte-identical across worker counts.
+	Jobs int
 }
 
 // DefaultLabOptions returns the standard experimental setup.
@@ -82,9 +89,15 @@ type Lab struct {
 	classIdx  map[isa.Class]int
 }
 
+// runnerOpts is the fan-out configuration shared by every lab campaign.
+func (lab *Lab) runnerOpts() runner.Options {
+	return runner.Options{Jobs: lab.Opts.Jobs}
+}
+
 // NewLab builds the full pipeline: corpus → AM-GAN → feature engineering →
 // vaccinated detector training → threshold tuning.
 func NewLab(o LabOptions) *Lab {
+	o.Corpus.Jobs = o.Jobs // one knob: the lab's worker count drives corpus fan-out too
 	lab := &Lab{Opts: o, DS: dataset.BuildCorpus(o.Corpus)}
 	lab.indexClasses()
 	lab.trainGAN()

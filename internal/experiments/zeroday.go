@@ -6,6 +6,7 @@ import (
 
 	"evax/internal/isa"
 	"evax/internal/metrics"
+	"evax/internal/runner"
 )
 
 // ZeroDayRow reports one held-out attack's detection.
@@ -36,16 +37,23 @@ func ZeroDayTPR(lab *Lab, classes []isa.Class) ZeroDayResult {
 	for i, f := range folds {
 		byClass[f.HeldOut] = i
 	}
-	var res ZeroDayResult
-	for _, c := range classes {
+	// One fold retrain per class: each job retrains both detectors with
+	// the class held out — independent work, fanned out over the engine.
+	// Slots are index-addressed by class position, so the table's row
+	// order matches the sequential loop for any worker count.
+	rows := runner.Map(lab.runnerOpts(), len(classes), func(k int) *ZeroDayRow {
+		c := classes[k]
 		fi, ok := byClass[c]
 		if !ok {
-			continue
+			return nil
 		}
 		fold := folds[fi]
 		ps := lab.TrainDetectorLike("perspectron", fold.Train, nil, nil)
 		ev := lab.TrainDetectorLike("evax", fold.Train, nil, nil)
-		row := ZeroDayRow{Class: c}
+		// Clone the shared retrained detector: scoring mutates forward-pass
+		// scratch, so concurrent jobs each flag through a private copy.
+		retrained := lab.EVAX.Clone()
+		row := &ZeroDayRow{Class: c}
 		var psC, evC, rtC metrics.Confusion
 		for _, i := range fold.Test {
 			s := &lab.DS.Samples[i]
@@ -55,12 +63,18 @@ func ZeroDayTPR(lab *Lab, classes []isa.Class) ZeroDayResult {
 			row.TestWindows++
 			psC.Add(ps.Flag(s.Derived), true)
 			evC.Add(ev.Flag(s.Derived), true)
-			rtC.Add(lab.EVAX.Flag(s.Derived), true)
+			rtC.Add(retrained.Flag(s.Derived), true)
 		}
 		row.TPRPerSpec = psC.TPR()
 		row.TPREVAX = evC.TPR()
 		row.TPRRetrain = rtC.TPR()
-		res.Rows = append(res.Rows, row)
+		return row
+	})
+	var res ZeroDayResult
+	for _, row := range rows {
+		if row != nil {
+			res.Rows = append(res.Rows, *row)
+		}
 	}
 	return res
 }

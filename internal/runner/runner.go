@@ -1,0 +1,182 @@
+// Package runner is evax's deterministic fan-out engine. Every simulation
+// campaign in the repository — corpus generation, k-fold retraining, fuzz
+// sweeps, defense-overhead sweeps — is a set of independent jobs whose
+// results must merge into exactly the order a sequential loop would have
+// produced. The engine guarantees that:
+//
+//   - results are index-addressed: job i writes slot i, so the merged output
+//     is identical for any worker count and any scheduling interleaving;
+//   - jobs never share mutable state: each job derives its own seed via
+//     DeriveSeed (a stable hash), never a shared *rand.Rand;
+//   - panics are captured per job and re-raised (or returned) with job
+//     attribution, and the job chosen is the lowest index — deterministic
+//     even when several workers panic in the same run.
+//
+// The evaxlint rule "goroutine" forbids raw go statements and
+// sync.WaitGroup outside this package, so all future concurrency inherits
+// the contract. See DESIGN.md §9 for the determinism argument.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Options configures one fan-out.
+type Options struct {
+	// Jobs is the worker count. Zero or negative means GOMAXPROCS(0).
+	// Jobs == 1 executes inline on the calling goroutine (no pool), which
+	// is the reference ordering every other worker count must reproduce.
+	Jobs int
+	// CapturePanics converts job panics into *JobPanic errors returned
+	// from MapErr instead of re-panicking on the caller's goroutine.
+	CapturePanics bool
+}
+
+// Workers resolves the effective worker count for n jobs.
+func (o Options) Workers(n int) int {
+	w := o.Jobs
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// JobPanic is a panic captured inside a worker, attributed to its job.
+type JobPanic struct {
+	// Index is the job that panicked (the lowest-indexed one when several
+	// jobs panic in one fan-out).
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker goroutine's stack at recovery time.
+	Stack []byte
+}
+
+// Error renders the attribution and the original panic value.
+func (p *JobPanic) Error() string {
+	return fmt.Sprintf("runner: job %d panicked: %v", p.Index, p.Value)
+}
+
+// Stats is a process-wide snapshot of engine activity, for throughput
+// reporting in cmd/evaxbench and cmd/evaxtrain.
+type Stats struct {
+	// JobsRun counts jobs executed since process start.
+	JobsRun uint64
+	// FanOuts counts Map/MapErr invocations.
+	FanOuts uint64
+}
+
+var (
+	statJobs    atomic.Uint64
+	statFanOuts atomic.Uint64
+)
+
+// Snapshot returns the cumulative engine statistics. Callers measuring one
+// campaign take a snapshot before and after and subtract.
+func Snapshot() Stats {
+	return Stats{JobsRun: statJobs.Load(), FanOuts: statFanOuts.Load()}
+}
+
+// Map runs fn(0..n-1) across the worker pool and returns the results in
+// index order — byte-identical to a sequential loop regardless of worker
+// count. A job panic is re-raised on the caller's goroutine as *JobPanic.
+func Map[T any](o Options, n int, fn func(i int) T) []T {
+	o.CapturePanics = false
+	//evaxlint:ignore droppederr error-free by construction: fn returns nil errors and panics re-raise
+	out, _ := MapErr(o, n, func(i int) (T, error) { return fn(i), nil })
+	return out
+}
+
+// MapErr runs fn(0..n-1) across the pool. Results are index-addressed; the
+// returned error is the lowest-indexed job error (deterministic across
+// scheduling), wrapped with its job index. With Options.CapturePanics, a
+// job panic surfaces as a *JobPanic error under the same lowest-index rule;
+// otherwise it re-panics on the caller's goroutine.
+func MapErr[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	statFanOuts.Add(1)
+	results := make([]T, n)
+	errs := make([]error, n)
+	panics := make([]*JobPanic, n)
+
+	runJob := func(i int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = &JobPanic{Index: i, Value: r, Stack: stack()}
+			}
+		}()
+		statJobs.Add(1)
+		results[i], errs[i] = fn(i)
+	}
+
+	if w := o.Workers(n); w == 1 {
+		// Reference ordering: inline, no goroutines.
+		for i := 0; i < n; i++ {
+			runJob(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(w)
+		for k := 0; k < w; k++ {
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					runJob(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	for i := 0; i < n; i++ { // lowest index wins: deterministic attribution
+		if panics[i] != nil {
+			if o.CapturePanics {
+				return results, panics[i]
+			}
+			panic(panics[i])
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("runner: job %d: %w", i, err)
+		}
+	}
+	return results, nil
+}
+
+// FlatMap runs fn(0..n-1) and concatenates the per-job slices in job order
+// — the shape of every corpus merge (each job yields a batch of samples).
+func FlatMap[T any](o Options, n int, fn func(i int) []T) []T {
+	batches := Map(o, n, fn)
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	out := make([]T, 0, total)
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// stack captures the recovering goroutine's stack for JobPanic.
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}

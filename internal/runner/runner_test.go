@@ -1,0 +1,183 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// sequential is the reference every worker count must reproduce.
+func sequential(n int, fn func(i int) int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = fn(i)
+	}
+	return out
+}
+
+func TestMapOrderIndependentOfWorkers(t *testing.T) {
+	fn := func(i int) int {
+		// Per-job derived seed: no shared RNG across jobs.
+		rng := rand.New(rand.NewSource(DeriveSeed("job", i, 0)))
+		return i*1000 + rng.Intn(1000)
+	}
+	want := sequential(512, fn)
+	for _, jobs := range []int{1, 2, 3, 4, 7, 16, 1000} {
+		got := Map(Options{Jobs: jobs}, 512, fn)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("jobs=%d: result order diverged from sequential", jobs)
+		}
+	}
+}
+
+func TestMapDefaultsToGOMAXPROCS(t *testing.T) {
+	got := Map(Options{}, 8, func(i int) int { return i * i })
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+}
+
+func TestFlatMapMergesInEnumerationOrder(t *testing.T) {
+	fn := func(i int) []string {
+		batch := make([]string, i%3)
+		for k := range batch {
+			batch[k] = fmt.Sprintf("job%d-%d", i, k)
+		}
+		return batch
+	}
+	want := FlatMap(Options{Jobs: 1}, 50, fn)
+	for _, jobs := range []int{2, 4, 9} {
+		got := FlatMap(Options{Jobs: jobs}, 50, fn)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("jobs=%d: merged order diverged", jobs)
+		}
+	}
+}
+
+func TestMapErrLowestIndexWins(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		_, err := MapErr(Options{Jobs: jobs}, 64, func(i int) (int, error) {
+			if i%2 == 1 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || !strings.Contains(err.Error(), "job 1:") {
+			t.Fatalf("jobs=%d: want lowest-indexed job error, got %v", jobs, err)
+		}
+	}
+}
+
+func TestPanicCaptureAttribution(t *testing.T) {
+	for _, jobs := range []int{1, 4} {
+		_, err := MapErr(Options{Jobs: jobs, CapturePanics: true}, 32, func(i int) (int, error) {
+			if i >= 5 {
+				panic(fmt.Sprintf("job %d exploded", i))
+			}
+			return i, nil
+		})
+		var jp *JobPanic
+		if !errors.As(err, &jp) {
+			t.Fatalf("jobs=%d: want *JobPanic, got %v", jobs, err)
+		}
+		if jp.Index != 5 {
+			t.Fatalf("jobs=%d: attributed to job %d, want 5 (lowest index)", jobs, jp.Index)
+		}
+		if len(jp.Stack) == 0 {
+			t.Fatal("no stack captured")
+		}
+	}
+}
+
+func TestMapRepanicsWithAttribution(t *testing.T) {
+	defer func() {
+		r := recover()
+		jp, ok := r.(*JobPanic)
+		if !ok {
+			t.Fatalf("recovered %T, want *JobPanic", r)
+		}
+		if jp.Index != 3 || jp.Value != "dead" {
+			t.Fatalf("bad attribution: %+v", jp)
+		}
+	}()
+	Map(Options{Jobs: 2}, 8, func(i int) int {
+		if i == 3 {
+			panic("dead")
+		}
+		return i
+	})
+	t.Fatal("did not panic")
+}
+
+func TestMapEmpty(t *testing.T) {
+	if got := Map(Options{Jobs: 4}, 0, func(i int) int { return i }); got != nil {
+		t.Fatalf("empty fan-out returned %v", got)
+	}
+}
+
+func TestWorkersClamp(t *testing.T) {
+	cases := []struct {
+		opts Options
+		n    int
+		min  int
+	}{
+		{Options{Jobs: 8}, 3, 3},  // never more workers than jobs
+		{Options{Jobs: -1}, 4, 1}, // GOMAXPROCS default, at least 1
+		{Options{Jobs: 1}, 10, 1},
+	}
+	for _, c := range cases {
+		w := c.opts.Workers(c.n)
+		if w < 1 || w > c.n {
+			t.Fatalf("Workers(%d) with %+v = %d", c.n, c.opts, w)
+		}
+		if c.opts.Jobs > 0 && w > c.opts.Jobs {
+			t.Fatalf("worker count %d exceeds requested %d", w, c.opts.Jobs)
+		}
+	}
+}
+
+func TestDeriveSeedStableAndCollisionFree(t *testing.T) {
+	// Regression for the linear-stride hazard: benign s*37+1 and attack
+	// s*41+11 strides collide across offsets (4*37+1 == 3*41+11+15).
+	if DeriveSeed("compress", 4, 0) == DeriveSeed("meltdown", 3, 15) {
+		t.Fatal("hash seeds reproduce the stride collision")
+	}
+	// Stability: the derivation is part of the corpus identity; changing
+	// it silently invalidates every recorded experiment.
+	if got := DeriveSeed("compress", 0, 0); got != DeriveSeed("compress", 0, 0) {
+		t.Fatalf("DeriveSeed not stable: %d", got)
+	}
+	seen := map[int64]string{}
+	for _, name := range []string{"compress", "scheduler", "meltdown", "spectre-pht"} {
+		for idx := 0; idx < 64; idx++ {
+			for _, off := range []int64{0, 15, 4500, 7000} {
+				s := DeriveSeed(name, idx, off)
+				if s < 0 {
+					t.Fatalf("negative seed %d", s)
+				}
+				key := fmt.Sprintf("%s/%d/%d", name, idx, off)
+				if prev, dup := seen[s]; dup {
+					t.Fatalf("seed collision: %s and %s -> %d", prev, key, s)
+				}
+				seen[s] = key
+			}
+		}
+	}
+}
+
+func TestSnapshotCounts(t *testing.T) {
+	before := Snapshot()
+	Map(Options{Jobs: 2}, 10, func(i int) int { return i })
+	after := Snapshot()
+	if after.JobsRun-before.JobsRun != 10 {
+		t.Fatalf("jobs counted: %d", after.JobsRun-before.JobsRun)
+	}
+	if after.FanOuts-before.FanOuts != 1 {
+		t.Fatalf("fan-outs counted: %d", after.FanOuts-before.FanOuts)
+	}
+}

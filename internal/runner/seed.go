@@ -1,0 +1,33 @@
+package runner
+
+// DeriveSeed maps a (name, index, offset) job identity to a stable 63-bit
+// seed via FNV-1a. The previous linear strides (benign s*37+1+offset vs
+// attack s*41+11+offset) could collide across SeedOffset values — e.g.
+// benign seed 4*37+1 = 149 equals attack seed 3*41+11+15 at offset 15 — so
+// two corpora meant to be disjoint could share program instances. Hashing
+// the program name into the seed makes collisions across (name, index,
+// offset) triples as unlikely as a 63-bit hash collision, and keeps the
+// derivation independent of enumeration order and worker count.
+func DeriveSeed(name string, index int, offset int64) int64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	step := func(b byte) {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	for i := 0; i < len(name); i++ {
+		step(name[i])
+	}
+	step(0xff) // domain separator: name | index | offset
+	for s := 0; s < 64; s += 8 {
+		step(byte(uint64(index) >> s))
+	}
+	step(0xff)
+	for s := 0; s < 64; s += 8 {
+		step(byte(uint64(offset) >> s))
+	}
+	return int64(h &^ (1 << 63)) // non-negative: callers treat seeds as int64
+}
