@@ -12,7 +12,7 @@ test: ## run the tier-1 test suite
 	$(GO) test ./...
 
 race: ## run the test suite under the race detector
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 lint: ## gofmt (fail on diff), go vet, and the evaxlint suite
 	@unformatted=$$(gofmt -l .); \

@@ -346,13 +346,13 @@ func BenchmarkAblationFeatureSets(b *testing.B) {
 	eval := l.EvalCorpus(8800)
 	sets := []struct {
 		name string
-		fs   *detect.FeatureSet
+		fs   *detect.FeaturePlan
 	}{
 		{"feat106", detect.PerSpectron()},
 		{"feat133", detect.EVAXBase()},
-		{"feat145", func() *detect.FeatureSet {
+		{"feat145", func() *detect.FeaturePlan {
 			fs := detect.EVAXBase()
-			fs.Engineered = detect.DefaultEngineered(fs)
+			fs.SetEngineered(detect.DefaultEngineered(fs))
 			return fs
 		}()},
 	}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"reflect"
 	"runtime"
@@ -24,7 +25,9 @@ import (
 	"time"
 
 	"evax/internal/dataset"
+	"evax/internal/detect"
 	"evax/internal/experiments"
+	"evax/internal/hpc"
 	"evax/internal/isa"
 	"evax/internal/runner"
 )
@@ -115,18 +118,109 @@ func reportThroughput(stage string, wall time.Duration, jobs uint64) {
 
 // benchReport is the BENCH_runner.json schema: wall-clock and throughput of
 // corpus generation sequentially and fanned out, plus the equivalence bit
-// (parallel output must be byte-identical to -jobs 1).
+// (parallel output must be byte-identical to -jobs 1) and the columnar
+// feature-path comparison.
 type benchReport struct {
-	GOMAXPROCS    int     `json:"gomaxprocs"`
-	Jobs          int     `json:"jobs"`
-	CorpusSamples int     `json:"corpus_samples"`
-	JobsRun       uint64  `json:"jobs_run"`
-	SeqMillis     float64 `json:"seq_wall_ms"`
-	ParMillis     float64 `json:"par_wall_ms"`
-	SeqJobsPerSec float64 `json:"seq_jobs_per_sec"`
-	ParJobsPerSec float64 `json:"par_jobs_per_sec"`
-	Speedup       float64 `json:"speedup"`
-	Identical     bool    `json:"identical"`
+	GOMAXPROCS    int               `json:"gomaxprocs"`
+	Jobs          int               `json:"jobs"`
+	CorpusSamples int               `json:"corpus_samples"`
+	JobsRun       uint64            `json:"jobs_run"`
+	SeqMillis     float64           `json:"seq_wall_ms"`
+	ParMillis     float64           `json:"par_wall_ms"`
+	SeqJobsPerSec float64           `json:"seq_jobs_per_sec"`
+	ParJobsPerSec float64           `json:"par_jobs_per_sec"`
+	Speedup       float64           `json:"speedup"`
+	Identical     bool              `json:"identical"`
+	FeaturePath   featurePathReport `json:"featurepath"`
+}
+
+// featurePathReport compares the per-window scoring path before and after
+// the columnar refactor: "old" allocates the derived vector and the feature
+// vector per sample (ExpandDerived + Vector), "new" runs the compiled
+// Expander and the detector's gather scratch with zero steady-state
+// allocations. Scores must agree bit-for-bit.
+type featurePathReport struct {
+	Samples           int     `json:"samples"`
+	OldSamplesPerSec  float64 `json:"old_samples_per_sec"`
+	NewSamplesPerSec  float64 `json:"new_samples_per_sec"`
+	OldBytesPerSample float64 `json:"old_bytes_per_sample"`
+	NewBytesPerSample float64 `json:"new_bytes_per_sample"`
+	Speedup           float64 `json:"speedup"`
+	Identical         bool    `json:"identical"`
+}
+
+// benchFeaturePath scores every corpus window through both per-window
+// paths, measuring throughput and allocation per sample.
+func benchFeaturePath(samples []dataset.Sample) (featurePathReport, error) {
+	ds := dataset.New(samples)
+	fs := detect.EVAXBase()
+	fs.SetEngineered(detect.DefaultEngineered(fs))
+	det := detect.NewPerceptron(1, fs)
+
+	// Rebuild the hpc windows the samples came from.
+	windows := make([]hpc.Sample, len(ds.Samples))
+	for i := range ds.Samples {
+		windows[i] = hpc.Sample{
+			Values:       ds.Samples[i].Raw,
+			Instructions: ds.Samples[i].Instructions,
+			Cycles:       ds.Samples[i].Cycles,
+		}
+	}
+	// Iterate enough rounds for stable wall-clock on quick corpora.
+	rounds := 1 + 20_000/len(windows)
+
+	measure := func(score func(hpc.Sample) float64) (scores []float64, perSec, bytesPer float64) {
+		scores = make([]float64, len(windows))
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		t0 := time.Now()
+		for r := 0; r < rounds; r++ {
+			for i := range windows {
+				scores[i] = score(windows[i])
+			}
+		}
+		wall := time.Since(t0)
+		runtime.ReadMemStats(&ms1)
+		n := float64(rounds * len(windows))
+		return scores, n / wall.Seconds(), float64(ms1.TotalAlloc-ms0.TotalAlloc) / n
+	}
+
+	derivedDim := hpc.DerivedSpaceSize(len(windows[0].Values))
+	oldScores, oldPerSec, oldBytes := measure(func(s hpc.Sample) float64 {
+		derived := hpc.ExpandDerived(s) // allocates per sample
+		ds.NormalizeInPlace(derived)
+		return det.ScoreVector(det.Plan.Vector(derived)) // allocates again
+	})
+
+	exp := hpc.NewExpander(len(windows[0].Values))
+	scratch := make([]float64, derivedDim)
+	newScores, newPerSec, newBytes := measure(func(s hpc.Sample) float64 {
+		exp.ExpandInto(scratch, s)
+		ds.NormalizeInPlace(scratch)
+		return det.Score(scratch)
+	})
+
+	identical := true
+	for i := range oldScores {
+		if math.Float64bits(oldScores[i]) != math.Float64bits(newScores[i]) {
+			identical = false
+			break
+		}
+	}
+	r := featurePathReport{
+		Samples:           len(windows),
+		OldSamplesPerSec:  oldPerSec,
+		NewSamplesPerSec:  newPerSec,
+		OldBytesPerSample: oldBytes,
+		NewBytesPerSample: newBytes,
+		Speedup:           newPerSec / oldPerSec,
+		Identical:         identical,
+	}
+	if !identical {
+		return r, fmt.Errorf("evaxbench: columnar feature path diverged from the allocating reference")
+	}
+	return r, nil
 }
 
 // writeBenchJSON times corpus generation at -jobs 1 versus the requested
@@ -155,6 +249,10 @@ func writeBenchJSON(path string, jobs int, quick bool) error {
 	par := dataset.CollectAll(o)
 	parWall := time.Since(t1)
 
+	// Equivalence first: benchFeaturePath normalizes par in place.
+	identical := reflect.DeepEqual(seq, par)
+	fp, fpErr := benchFeaturePath(par)
+
 	r := benchReport{
 		GOMAXPROCS:    runtime.GOMAXPROCS(0),
 		Jobs:          jobs,
@@ -165,7 +263,8 @@ func writeBenchJSON(path string, jobs int, quick bool) error {
 		SeqJobsPerSec: float64(perRun) / seqWall.Seconds(),
 		ParJobsPerSec: float64(perRun) / parWall.Seconds(),
 		Speedup:       seqWall.Seconds() / parWall.Seconds(),
-		Identical:     reflect.DeepEqual(seq, par),
+		Identical:     identical,
+		FeaturePath:   fp,
 	}
 	data, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {
@@ -176,10 +275,12 @@ func writeBenchJSON(path string, jobs int, quick bool) error {
 	}
 	fmt.Printf("runner bench: %d jobs  seq=%v  par(%d)=%v  speedup=%.2fx  identical=%v -> %s\n",
 		r.JobsRun, seqWall.Round(time.Millisecond), jobs, parWall.Round(time.Millisecond), r.Speedup, r.Identical, path)
+	fmt.Printf("feature path: %d windows  old=%.0f/s (%.0f B/sample)  new=%.0f/s (%.0f B/sample)  speedup=%.2fx  identical=%v\n",
+		fp.Samples, fp.OldSamplesPerSec, fp.OldBytesPerSample, fp.NewSamplesPerSec, fp.NewBytesPerSample, fp.Speedup, fp.Identical)
 	if !r.Identical {
 		return fmt.Errorf("evaxbench: parallel corpus diverged from sequential reference")
 	}
-	return nil
+	return fpErr
 }
 
 func run(id string, lab *experiments.Lab) (fmt.Stringer, error) {

@@ -80,9 +80,9 @@ func main() {
 	fmt.Printf("instructions %d\n", m.Instructions())
 	fmt.Printf("cycles       %d\n", m.Cycles())
 	fmt.Printf("IPC          %.3f\n", m.IPC())
-	fmt.Printf("mispredicts  %d\n", m.C.BranchMispredicts)
-	fmt.Printf("squashed     %d micro-ops\n", m.C.CommitSquashed)
-	fmt.Printf("faults       %d (commit-time)\n", m.C.CommitFaults)
+	fmt.Printf("mispredicts  %d\n", m.Ctr(sim.CtrIEWBranchMispredicts))
+	fmt.Printf("squashed     %d micro-ops\n", m.Ctr(sim.CtrCommitSquashedInsts))
+	fmt.Printf("faults       %d (commit-time)\n", m.Ctr(sim.CtrCommitFaults))
 	fmt.Printf("transient cache leaks: %d squashed loads touched the cache\n", m.C.LeakedTransientLoads)
 	if prog.Class.Malicious() {
 		if m.C.LeakedTransientLoads > 0 {

@@ -73,9 +73,9 @@ func main() {
 	fmt.Printf("AM-GAN style loss: %.5f (untrained) -> %.5f (final)\n",
 		tr.InitialStyleLoss, tr.StyleLoss[len(tr.StyleLoss)-1])
 	fmt.Printf("EVAX detector: %d features, threshold %.4f\n",
-		lab.EVAX.FS.Dim(), lab.EVAX.Threshold)
+		lab.EVAX.Plan.Dim(), lab.EVAX.Threshold)
 	fmt.Printf("PerSpectron baseline: %d features, threshold %.4f\n",
-		lab.PerSpec.FS.Dim(), lab.PerSpec.Threshold)
+		lab.PerSpec.Plan.Dim(), lab.PerSpec.Threshold)
 
 	if *weights != "" {
 		if err := writeWeights(*weights, lab); err != nil {
@@ -96,12 +96,12 @@ func main() {
 func writeWeights(path string, lab *experiments.Lab) error {
 	layer := lab.EVAX.Net.Layers[0]
 	var engineered []string
-	for _, f := range lab.EVAX.FS.Engineered {
+	for _, f := range lab.EVAX.Plan.Engineered() {
 		engineered = append(engineered, f.Name)
 	}
 	tr := experiments.Figure7(lab)
 	wf := weightsFile{
-		FeatureNames: lab.EVAX.FS.Names,
+		FeatureNames: lab.EVAX.Plan.Names(),
 		Engineered:   engineered,
 		Weights:      layer.W[0],
 		Bias:         layer.B[0],

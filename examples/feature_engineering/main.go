@@ -24,7 +24,7 @@ func main() {
 
 	// Show each engineered feature's activation on attacks vs benign.
 	fs := detect.EVAXBase()
-	fs.Engineered = lab.Mined
+	fs.SetEngineered(lab.Mined)
 	fmt.Println("\nmean engineered-feature activation (benign vs attacks):")
 	var benignSum, attackSum []float64
 	benignN, attackN := 0, 0

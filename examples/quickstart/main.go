@@ -44,7 +44,7 @@ func main() {
 	fmt.Printf("\ncorpus: %s\n", ds.Stats())
 
 	fs := detect.EVAXBase()
-	fs.Engineered = detect.DefaultEngineered(fs)
+	fs.SetEngineered(detect.DefaultEngineered(fs))
 	det := detect.NewPerceptron(1, fs)
 	split := ds.RandomSplit(1, 0.7)
 	det.Train(ds, split.Train, detect.DefaultTrainOptions())

@@ -31,18 +31,25 @@ var derivedSuffixes = map[string]bool{
 	"presence": true, "log": true, "share": true,
 }
 
-// counterRegistry is the name set extracted from internal/sim/counters.go.
+// counterRegistry is the registry extracted from internal/sim/counters.go:
+// the CtrID constant block plus the counterNames array it indexes.
 type counterRegistry struct {
 	names  map[string]token.Pos
 	groups map[string]bool
-	dups   []Diagnostic
-	found  bool
+	// diags holds registry-shape violations (duplicates, positional
+	// entries, orphan constants, misplaced NumCounters), reported when
+	// linting internal/sim itself.
+	diags []Diagnostic
+	found bool
 }
 
-// CtrNameAnalyzer cross-checks counter references against the registry:
-// every counter-name string literal in internal/detect, internal/featureng
-// and internal/hpc must name a counter registered in the counterDefs table
-// of internal/sim/counters.go, and registry names must be unique.
+// CtrNameAnalyzer cross-checks counter references against the registry and
+// enforces the registry contract itself: the CtrID constant block and the
+// counterNames array in internal/sim/counters.go must stay dense and 1:1
+// (every constant below NumCounters keys exactly one unique, non-empty name;
+// no positional entries; NumCounters terminates the block), and every
+// counter-name string literal in internal/detect, internal/featureng and
+// internal/hpc must name a registered counter.
 func CtrNameAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "ctrname",
@@ -55,8 +62,8 @@ func runCtrName(pass *Pass) []Diagnostic {
 	reg := pass.Prog.registry()
 	var diags []Diagnostic
 	if pass.Pkg.HasSuffix("internal/sim") {
-		// Report duplicate registry entries at their definition sites.
-		diags = append(diags, reg.dups...)
+		// Report registry-shape violations at their definition sites.
+		diags = append(diags, reg.diags...)
 	}
 	inScope := false
 	for _, s := range ctrNameScope {
@@ -123,8 +130,8 @@ func (r *counterRegistry) valid(name string) bool {
 }
 
 // registry lazily extracts the counter registry from the module's
-// internal/sim package: the string literal in the first field of each
-// element of the top-level `counterDefs` composite literal.
+// internal/sim package: the CtrID constant block and the keyed entries of
+// the top-level `counterNames` array literal, cross-checked for density.
 func (prog *Program) registry() *counterRegistry {
 	if prog.ctrRegistry != nil {
 		return prog.ctrRegistry
@@ -135,50 +142,114 @@ func (prog *Program) registry() *counterRegistry {
 	if sim == nil {
 		return reg
 	}
+	var ctrConsts []*ast.Ident // CtrID constant block, in declaration order
+	keyed := map[string]bool{} // constants that key a counterNames entry
+	diag := func(pos token.Pos, format string, args ...interface{}) {
+		reg.diags = append(reg.diags, Diagnostic{
+			Pos:     prog.Fset.Position(pos),
+			Rule:    "ctrname",
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
 	for _, f := range sim.Files {
 		for _, decl := range f.Decls {
 			gd, ok := decl.(*ast.GenDecl)
-			if !ok || gd.Tok != token.VAR {
+			if !ok {
 				continue
 			}
-			for _, spec := range gd.Specs {
-				vs, ok := spec.(*ast.ValueSpec)
-				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "counterDefs" || len(vs.Values) != 1 {
-					continue
+			switch gd.Tok {
+			case token.CONST:
+				// The CtrID block declares its type on the first spec
+				// (`CtrFetchCycles CtrID = iota`); later specs inherit it.
+				isCtr := false
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					if id, ok := vs.Type.(*ast.Ident); ok {
+						isCtr = id.Name == "CtrID"
+					}
+					if !isCtr {
+						break
+					}
+					ctrConsts = append(ctrConsts, vs.Names...)
 				}
-				cl, ok := vs.Values[0].(*ast.CompositeLit)
-				if !ok {
-					continue
-				}
-				reg.found = true
-				for _, elt := range cl.Elts {
-					entry, ok := elt.(*ast.CompositeLit)
-					if !ok || len(entry.Elts) == 0 {
+			case token.VAR:
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "counterNames" || len(vs.Values) != 1 {
 						continue
 					}
-					lit, ok := entry.Elts[0].(*ast.BasicLit)
-					if !ok || lit.Kind != token.STRING {
+					cl, ok := vs.Values[0].(*ast.CompositeLit)
+					if !ok {
 						continue
 					}
-					name, err := strconv.Unquote(lit.Value)
-					if err != nil {
-						continue
-					}
-					if prev, dup := reg.names[name]; dup {
-						reg.dups = append(reg.dups, Diagnostic{
-							Pos:  prog.Fset.Position(lit.Pos()),
-							Rule: "ctrname",
-							Message: fmt.Sprintf("duplicate counter name %q in registry (first registered at %s)",
-								name, prog.Fset.Position(prev)),
-						})
-						continue
-					}
-					reg.names[name] = lit.Pos()
-					if i := strings.IndexByte(name, '.'); i > 0 {
-						reg.groups[name[:i]] = true
+					reg.found = true
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							diag(elt.Pos(), "positional entry in counterNames; key every entry by its CtrID constant")
+							continue
+						}
+						key, ok := kv.Key.(*ast.Ident)
+						if !ok {
+							diag(kv.Key.Pos(), "counterNames key must be a CtrID constant")
+							continue
+						}
+						keyed[key.Name] = true
+						lit, ok := kv.Value.(*ast.BasicLit)
+						if !ok || lit.Kind != token.STRING {
+							continue
+						}
+						name, err := strconv.Unquote(lit.Value)
+						if err != nil {
+							continue
+						}
+						if name == "" {
+							diag(lit.Pos(), "empty counter name for %s", key.Name)
+							continue
+						}
+						if prev, dup := reg.names[name]; dup {
+							diag(lit.Pos(), "duplicate counter name %q in registry (first registered at %s)",
+								name, prog.Fset.Position(prev))
+							continue
+						}
+						reg.names[name] = lit.Pos()
+						if i := strings.IndexByte(name, '.'); i > 0 {
+							reg.groups[name[:i]] = true
+						}
 					}
 				}
 			}
+		}
+	}
+	if !reg.found || len(ctrConsts) == 0 {
+		return reg
+	}
+	// Density: every CtrID constant below NumCounters keys a name entry,
+	// and NumCounters terminates the block (orphan constants after it
+	// would silently widen the counter array).
+	end := -1
+	for i, id := range ctrConsts {
+		if id.Name == "NumCounters" {
+			end = i
+			break
+		}
+	}
+	if end < 0 {
+		diag(ctrConsts[0].Pos(), "CtrID constant block has no terminating NumCounters")
+		end = len(ctrConsts)
+	} else if end != len(ctrConsts)-1 {
+		diag(ctrConsts[end].Pos(), "NumCounters must be the final CtrID constant (found %d constants after it)",
+			len(ctrConsts)-1-end)
+	}
+	for _, id := range ctrConsts[:end] {
+		if id.Name == "_" {
+			continue
+		}
+		if !keyed[id.Name] {
+			diag(id.Pos(), "CtrID constant %s has no counterNames entry (registry must stay dense and 1:1)", id.Name)
 		}
 	}
 	return reg

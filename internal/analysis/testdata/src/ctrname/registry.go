@@ -1,15 +1,22 @@
 package sim
 
-// counterDef mirrors the shape of internal/sim/counters.go: the first
-// field of each entry is the registered counter name.
-type counterDef struct {
-	name string
-	get  func() uint64
-}
+// Mirrors the shape of internal/sim/counters.go: a typed CtrID constant
+// block backing a dense counterNames registry array.
+type CtrID int
 
-var counterDefs = []counterDef{
-	{"fetch.Cycles", nil},
-	{"lsq.forwLoads", nil},
-	{"dcache.ReadReq_misses", nil},
-	{"fetch.Cycles", nil}, // duplicate registration
+const (
+	CtrFetchCycles CtrID = iota
+	CtrLSQForwLoads
+	CtrDcacheReadReqMisses
+	CtrDcacheWriteReqMisses
+	CtrOrphan // no counterNames entry: registry no longer dense
+	NumCounters
+	CtrAfterEnd // constant after NumCounters widens the array silently
+)
+
+var counterNames = [NumCounters]string{
+	CtrFetchCycles:          "fetch.Cycles",
+	CtrLSQForwLoads:         "lsq.forwLoads",
+	"dcache.ReadReq_misses", // positional entry: must be keyed by its CtrID
+	CtrDcacheWriteReqMisses: "fetch.Cycles", // duplicate registration
 }

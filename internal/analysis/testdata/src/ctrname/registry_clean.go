@@ -1,12 +1,16 @@
 package sim
 
-type counterDef struct {
-	name string
-	get  func() uint64
-}
+type CtrID int
 
-var counterDefs = []counterDef{
-	{"fetch.Cycles", nil},
-	{"lsq.forwLoads", nil},
-	{"dcache.ReadReq_misses", nil},
+const (
+	CtrFetchCycles CtrID = iota
+	CtrLSQForwLoads
+	CtrDcacheReadReqMisses
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	CtrFetchCycles:         "fetch.Cycles",
+	CtrLSQForwLoads:        "lsq.forwLoads",
+	CtrDcacheReadReqMisses: "dcache.ReadReq_misses",
 }

@@ -171,7 +171,7 @@ func TestAttackCounterSignaturesDiffer(t *testing.T) {
 	melt := run(Meltdown)
 	ham := run(Rowhammer)
 	ff := run(FlushFlush)
-	if melt.C.CommitFaults == 0 {
+	if melt.Ctr(sim.CtrCommitFaults) == 0 {
 		t.Error("meltdown: no commit faults")
 	}
 	if ham.DRAM().Stats.Activates < 4*melt.DRAM().Stats.Activates {
@@ -187,10 +187,10 @@ func TestRDRANDContentionSignature(t *testing.T) {
 	p := RDRANDCovert(5, 1)
 	m := sim.New(sim.DefaultConfig(), p)
 	m.Run(3_000_000)
-	if m.C.RdRandReads < 40 {
-		t.Fatalf("rdrand reads = %d", m.C.RdRandReads)
+	if m.Ctr(sim.CtrRNGReads) < 40 {
+		t.Fatalf("rdrand reads = %d", m.Ctr(sim.CtrRNGReads))
 	}
-	if m.C.RdRandContention == 0 {
+	if m.Ctr(sim.CtrRNGContentionCycles) == 0 {
 		t.Fatal("no RNG contention recorded")
 	}
 }
@@ -208,7 +208,7 @@ func TestMicroScopeReplayStorm(t *testing.T) {
 	p := MicroScope(5, 1)
 	m := sim.New(sim.DefaultConfig(), p)
 	m.Run(3_000_000)
-	if m.C.LSQIgnoredResponses < 50 {
-		t.Fatalf("replay count = %d, want a storm", m.C.LSQIgnoredResponses)
+	if m.Ctr(sim.CtrLSQIgnoredResponses) < 50 {
+		t.Fatalf("replay count = %d, want a storm", m.Ctr(sim.CtrLSQIgnoredResponses))
 	}
 }

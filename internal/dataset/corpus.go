@@ -126,8 +126,12 @@ func enumerateJobs(o CorpusOptions) []collectJob {
 func CollectAll(o CorpusOptions) []Sample {
 	cfg := o.config()
 	jobs := enumerateJobs(o)
-	return runner.FlatMap(runner.Options{Jobs: o.Jobs}, len(jobs), func(i int) []Sample {
+	out := runner.FlatMap(runner.Options{Jobs: o.Jobs}, len(jobs), func(i int) []Sample {
 		j := jobs[i]
 		return Collect(cfg, j.build(j.seed, j.scale), o.Interval, o.MaxInstr)
 	})
+	// Merge the per-job blocks into one contiguous corpus block (job order
+	// is preserved, so this stays byte-identical for any worker count).
+	Repack(out)
+	return out
 }

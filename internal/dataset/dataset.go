@@ -52,11 +52,14 @@ func Collect(cfg sim.Config, prog *isa.Program, interval, maxInstr uint64) []Sam
 	m := sim.New(cfg, prog)
 	cat := sim.CounterCatalog()
 	sampler := hpc.NewSampler(cat, m, interval)
+	exp := hpc.NewExpander(cat.Len())
 	sampler.Take() // baseline
 	prevPhases := m.PhaseDispatched()
+	block := NewSampleBlock(cat.Len(), exp.Dim())
+	scratch := make([]float64, cat.Len())
 	var out []Sample
 	take := func() {
-		sm, ok := sampler.Take()
+		sm, ok := sampler.TakeInto(scratch)
 		if !ok || sm.Instructions == 0 {
 			return
 		}
@@ -68,9 +71,10 @@ func Collect(cfg sim.Config, prog *isa.Program, interval, maxInstr uint64) []Sam
 			}
 		}
 		prevPhases = cur
+		i := block.Extend()
+		copy(block.RawRow(i), sm.Values)
+		exp.ExpandInto(block.DerivedRow(i), sm)
 		out = append(out, Sample{
-			Raw:          sm.Values,
-			Derived:      hpc.ExpandDerived(sm),
 			Class:        prog.Class,
 			Malicious:    prog.Class.Malicious(),
 			Program:      prog.Name,
@@ -86,6 +90,9 @@ func Collect(cfg sim.Config, prog *isa.Program, interval, maxInstr uint64) []Sam
 		}
 	}
 	take()
+	// Bind after the final Extend: block growth may have moved the
+	// backing arrays, so row views are only taken now.
+	block.Bind(out)
 	return out
 }
 
@@ -96,29 +103,38 @@ type Dataset struct {
 	// DerivedDim is the dimensionality of the derived feature space.
 	DerivedDim int
 	max        []float64
+	block      *SampleBlock
 }
 
 // New builds a dataset from samples, fitting max-normalization over the
-// derived vectors and normalizing them in place.
+// derived vectors and normalizing them in place. The samples are repacked
+// into one contiguous block (their Raw/Derived views are rebound), so the
+// fit and the normalization are two sweeps over a flat array.
 func New(samples []Sample) *Dataset {
 	d := &Dataset{Samples: samples}
 	if len(samples) == 0 {
 		return d
 	}
-	d.DerivedDim = len(samples[0].Derived)
+	d.block = Repack(samples)
+	d.DerivedDim = d.block.DerivedDim()
 	d.max = make([]float64, d.DerivedDim)
-	for i := range samples {
-		for j, v := range samples[i].Derived {
+	data := d.block.DerivedData()
+	for base := 0; base < len(data); base += d.DerivedDim {
+		row := data[base : base+d.DerivedDim]
+		for j, v := range row {
 			if v > d.max[j] {
 				d.max[j] = v
 			}
 		}
 	}
-	for i := range samples {
-		d.NormalizeInPlace(samples[i].Derived)
+	for base := 0; base < len(data); base += d.DerivedDim {
+		d.NormalizeInPlace(data[base : base+d.DerivedDim])
 	}
 	return d
 }
+
+// Block exposes the contiguous backing storage (nil for an empty corpus).
+func (d *Dataset) Block() *SampleBlock { return d.block }
 
 // Maxima returns a copy of the per-dimension maxima the dataset normalizes
 // with (the deployable half of the detection pipeline).

@@ -8,10 +8,15 @@ import (
 
 // DetectorFlagger bridges a trained detector into the controller: each
 // sampling window is expanded into the derived feature space, normalized
-// with the training corpus's maxima, and scored.
+// with the training corpus's maxima, and scored. The expansion plan and the
+// derived-row scratch are compiled lazily on the first window, so the
+// steady-state FlagWindow path performs no heap allocations.
 type DetectorFlagger struct {
 	Det *detect.Detector
 	DS  *dataset.Dataset
+
+	exp     *hpc.Expander
+	derived []float64
 }
 
 // NewDetectorFlagger wires det (trained on ds) into the controller.
@@ -21,7 +26,11 @@ func NewDetectorFlagger(det *detect.Detector, ds *dataset.Dataset) *DetectorFlag
 
 // FlagWindow implements Flagger.
 func (f *DetectorFlagger) FlagWindow(s hpc.Sample) bool {
-	derived := hpc.ExpandDerived(s)
-	f.DS.NormalizeInPlace(derived)
-	return f.Det.Flag(derived)
+	if f.exp == nil || f.exp.Dim() != hpc.DerivedSpaceSize(len(s.Values)) {
+		f.exp = hpc.NewExpander(len(s.Values))
+		f.derived = make([]float64, f.exp.Dim())
+	}
+	f.exp.ExpandInto(f.derived, s)
+	f.DS.NormalizeInPlace(f.derived)
+	return f.Det.Flag(f.derived)
 }

@@ -24,7 +24,7 @@ func trainFlagger(t *testing.T) *DetectorFlagger {
 	}
 	ds := dataset.New(samples)
 	fs := detect.EVAXBase()
-	fs.Engineered = detect.DefaultEngineered(fs)
+	fs.SetEngineered(detect.DefaultEngineered(fs))
 	d := detect.NewPerceptron(1, fs)
 	idx := make([]int, len(ds.Samples))
 	for i := range idx {

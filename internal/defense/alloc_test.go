@@ -1,0 +1,33 @@
+package defense
+
+import (
+	"testing"
+
+	"evax/internal/dataset"
+	"evax/internal/detect"
+	"evax/internal/hpc"
+	"evax/internal/sim"
+)
+
+// FlagWindow runs once per sampling window inside the defense controller;
+// after the first window compiles the expansion plan it must not allocate.
+func TestFlagWindowZeroAlloc(t *testing.T) {
+	cat := sim.CounterCatalog()
+	derivedDim := hpc.DerivedSpaceSize(cat.Len())
+	fs := detect.EVAXBase()
+	fs.SetEngineered(detect.DefaultEngineered(fs))
+	d := detect.NewPerceptron(1, fs)
+	max := make([]float64, derivedDim)
+	for i := range max {
+		max[i] = float64(i%9) + 1
+	}
+	fl := NewDetectorFlagger(d, dataset.FromMaxima(max))
+	s := hpc.Sample{Values: make([]float64, cat.Len()), Instructions: 2000, Cycles: 4000}
+	for i := range s.Values {
+		s.Values[i] = float64(i % 13)
+	}
+	fl.FlagWindow(s) // first window compiles the expander + scratch
+	if n := testing.AllocsPerRun(100, func() { fl.FlagWindow(s) }); n != 0 {
+		t.Errorf("FlagWindow allocates %v times per window, want 0", n)
+	}
+}

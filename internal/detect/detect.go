@@ -8,6 +8,7 @@
 package detect
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 
@@ -19,47 +20,161 @@ import (
 	"evax/internal/sim"
 )
 
-// FeatureSet selects base features from the derived counter space and
-// carries the engineered AND-features appended to them.
-type FeatureSet struct {
-	Name       string
-	Indices    []int    // indices into the derived counter space
-	Names      []string // aligned with Indices
-	Engineered []featureng.ANDFeature
+// FeaturePlan is the compiled feature selection a detector executes: base
+// features resolved from names to derived-space indices once at assembly,
+// a name→position index compiled alongside them, and the engineered
+// AND-features appended to the base gather. The plan is immutable after
+// detector assembly and shared across detector clones — only per-detector
+// scratch is cloned.
+type FeaturePlan struct {
+	name       string
+	indices    []int    // indices into the derived counter space
+	names      []string // aligned with indices
+	index      map[string]int
+	engineered []featureng.ANDFeature
 }
 
+// NewPlan compiles a feature plan from aligned index/name lists. The
+// name→position index is built here, once — nothing downstream ever
+// rebuilds a name map per call.
+func NewPlan(name string, indices []int, names []string) *FeaturePlan {
+	if len(indices) != len(names) {
+		panic(fmt.Sprintf("detect: plan %q: %d indices vs %d names", name, len(indices), len(names)))
+	}
+	p := &FeaturePlan{
+		name:    name,
+		indices: append([]int(nil), indices...),
+		names:   append([]string(nil), names...),
+		index:   make(map[string]int, len(names)),
+	}
+	for i, n := range p.names {
+		p.index[n] = i
+	}
+	return p
+}
+
+// Name returns the plan's name.
+func (p *FeaturePlan) Name() string { return p.name }
+
 // BaseDim is the number of selected base features.
-func (fs *FeatureSet) BaseDim() int { return len(fs.Indices) }
+func (p *FeaturePlan) BaseDim() int { return len(p.indices) }
 
 // Dim is the full detector input dimensionality (base + engineered).
-func (fs *FeatureSet) Dim() int { return len(fs.Indices) + len(fs.Engineered) }
+func (p *FeaturePlan) Dim() int { return len(p.indices) + len(p.engineered) }
 
-// Base extracts the selected base features from a derived vector.
-func (fs *FeatureSet) Base(derived []float64) []float64 {
-	out := make([]float64, len(fs.Indices))
-	for i, idx := range fs.Indices {
-		out[i] = derived[idx]
+// Indices returns a copy of the derived-space indices.
+func (p *FeaturePlan) Indices() []int { return append([]int(nil), p.indices...) }
+
+// Names returns a copy of the base feature names.
+func (p *FeaturePlan) Names() []string { return append([]string(nil), p.names...) }
+
+// Engineered returns the engineered features. The slice is owned by the
+// plan; callers must not modify it.
+func (p *FeaturePlan) Engineered() []featureng.ANDFeature { return p.engineered }
+
+// SetEngineered attaches engineered features (validated against the base
+// dimensionality). Call before building detectors on the plan: detectors
+// size their networks and scratch from Dim().
+func (p *FeaturePlan) SetEngineered(feats []featureng.ANDFeature) {
+	for _, f := range feats {
+		if f.A < 0 || f.A >= p.BaseDim() || f.B < 0 || f.B >= p.BaseDim() {
+			panic(fmt.Sprintf("detect: plan %q: engineered feature %q out of base space [0,%d)",
+				p.name, f.Name, p.BaseDim()))
+		}
 	}
+	p.engineered = append([]featureng.ANDFeature(nil), feats...)
+}
+
+// Index returns the base-feature position of name, or -1 if the plan does
+// not select it. This is the compiled lookup that replaced the per-call
+// map rebuilds.
+func (p *FeaturePlan) Index(name string) int {
+	if i, ok := p.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Gather writes the selected base features of a derived vector into dst
+// (len == BaseDim). Zero allocations.
+func (p *FeaturePlan) Gather(dst, derived []float64) {
+	for i, idx := range p.indices {
+		dst[i] = derived[idx]
+	}
+}
+
+// Base extracts the selected base features from a derived vector into a
+// fresh slice (allocating convenience form of Gather).
+func (p *FeaturePlan) Base(derived []float64) []float64 {
+	out := make([]float64, len(p.indices))
+	p.Gather(out, derived)
 	return out
 }
 
+// ExtendInto evaluates the engineered features over dst's base prefix and
+// writes them into dst's tail; dst has length Dim() with the first
+// BaseDim() entries already holding base features. Zero allocations.
+func (p *FeaturePlan) ExtendInto(dst []float64) {
+	base := dst[:len(p.indices)]
+	for i, f := range p.engineered {
+		dst[len(p.indices)+i] = f.Eval(base)
+	}
+}
+
 // Extend appends engineered feature values to a base vector.
-func (fs *FeatureSet) Extend(base []float64) []float64 {
-	return featureng.Append(base, fs.Engineered)
+func (p *FeaturePlan) Extend(base []float64) []float64 {
+	return featureng.Append(base, p.engineered)
+}
+
+// GatherVector executes the whole plan into dst (len == Dim()): base
+// gather followed by engineered evaluation. Zero allocations.
+func (p *FeaturePlan) GatherVector(dst, derived []float64) {
+	p.Gather(dst[:len(p.indices)], derived)
+	p.ExtendInto(dst)
 }
 
 // Vector is Base followed by Extend.
-func (fs *FeatureSet) Vector(derived []float64) []float64 {
-	return fs.Extend(fs.Base(derived))
+func (p *FeaturePlan) Vector(derived []float64) []float64 {
+	out := make([]float64, p.Dim())
+	p.GatherVector(out, derived)
+	return out
+}
+
+// GatherBatch gathers base features for every listed sample into one
+// contiguous block, returning row views (the batch form detector training
+// and the GAN corpus builders use).
+func (p *FeaturePlan) GatherBatch(ds *dataset.Dataset, idx []int) [][]float64 {
+	dim := p.BaseDim()
+	backing := make([]float64, len(idx)*dim)
+	rows := make([][]float64, len(idx))
+	for k, i := range idx {
+		row := backing[k*dim : (k+1)*dim : (k+1)*dim]
+		p.Gather(row, ds.Samples[i].Derived)
+		rows[k] = row
+	}
+	return rows
 }
 
 // FeatureOf maps a base-feature index to itself with its name — the adapter
-// featureng.Mine uses when mining over this feature set's space.
-func (fs *FeatureSet) FeatureOf(i int) (int, string) {
-	if i < 0 || i >= len(fs.Names) {
+// featureng.Mine uses when mining over this plan's space.
+func (p *FeaturePlan) FeatureOf(i int) (int, string) {
+	if i < 0 || i >= len(p.names) {
 		return -1, ""
 	}
-	return i, fs.Names[i]
+	return i, p.names[i]
+}
+
+// validate checks the plan against the catalog it was assembled from:
+// every index inside the derived space, every name resolvable.
+func (p *FeaturePlan) validate(cat *hpc.Catalog) *FeaturePlan {
+	space := hpc.DerivedSpaceSize(cat.Len())
+	for i, idx := range p.indices {
+		if idx < 0 || idx >= space {
+			panic(fmt.Sprintf("detect: plan %q: feature %q index %d outside derived space [0,%d)",
+				p.name, p.names[i], idx, space))
+		}
+	}
+	return p
 }
 
 // derivedIndex resolves "counter.view" to a derived-space index.
@@ -81,23 +196,24 @@ var keyRateCounters = []string{
 	"dcache.ReadReq_misses", "dcache.Flushes", "commit.Faults",
 }
 
-// PerSpectron builds the 106-feature baseline set (no engineered features).
-func PerSpectron() *FeatureSet {
+// PerSpectron builds the 106-feature baseline plan (no engineered features).
+func PerSpectron() *FeaturePlan {
 	cat := sim.CounterCatalog()
-	fs := &FeatureSet{Name: "perspectron-106"}
+	var indices []int
+	var names []string
 	for i := 0; i < cat.Len(); i++ {
 		name := cat.Name(i)
 		if perSpectronExclusions[name] || len(name) > 5 && name[:5] == "dram." {
 			continue
 		}
-		fs.Indices = append(fs.Indices, i*int(hpc.NumDerivedKinds)+int(hpc.DerivedTotal))
-		fs.Names = append(fs.Names, name)
+		indices = append(indices, i*int(hpc.NumDerivedKinds)+int(hpc.DerivedTotal))
+		names = append(names, name)
 	}
 	for _, c := range keyRateCounters {
-		fs.Indices = append(fs.Indices, derivedIndex(cat, c, hpc.DerivedRate))
-		fs.Names = append(fs.Names, c+".rate")
+		indices = append(indices, derivedIndex(cat, c, hpc.DerivedRate))
+		names = append(names, c+".rate")
 	}
-	return fs
+	return NewPlan("perspectron-106", indices, names).validate(cat)
 }
 
 // evaxExtraRates get rate views in the EVAX base set beyond PerSpectron's.
@@ -108,22 +224,23 @@ var evaxExtraRates = []string{
 	"spec.LoadsExecuted", "dtlb.rdMisses", "branchPred.RASUnderflows",
 }
 
-// EVAXBase builds the 133-counter EVAX base set: everything PerSpectron
+// EVAXBase builds the 133-counter EVAX base plan: everything PerSpectron
 // monitors plus the DRAM and speculation counters and additional rate
 // views. Engineered features are attached separately (DefaultEngineered or
 // featureng.Mine output).
-func EVAXBase() *FeatureSet {
+func EVAXBase() *FeaturePlan {
 	cat := sim.CounterCatalog()
-	fs := &FeatureSet{Name: "evax-133"}
+	var indices []int
+	var names []string
 	for i := 0; i < cat.Len(); i++ {
-		fs.Indices = append(fs.Indices, i*int(hpc.NumDerivedKinds)+int(hpc.DerivedTotal))
-		fs.Names = append(fs.Names, cat.Name(i))
+		indices = append(indices, i*int(hpc.NumDerivedKinds)+int(hpc.DerivedTotal))
+		names = append(names, cat.Name(i))
 	}
 	for _, c := range append(append([]string(nil), keyRateCounters...), evaxExtraRates...) {
-		fs.Indices = append(fs.Indices, derivedIndex(cat, c, hpc.DerivedRate))
-		fs.Names = append(fs.Names, c+".rate")
+		indices = append(indices, derivedIndex(cat, c, hpc.DerivedRate))
+		names = append(names, c+".rate")
 	}
-	return fs
+	return NewPlan("evax-133", indices, names).validate(cat)
 }
 
 // defaultEngineeredPairs names the 12 security HPCs of the paper's Table I
@@ -145,18 +262,15 @@ var defaultEngineeredPairs = [12][2]string{
 }
 
 // DefaultEngineered returns the paper's Table I feature list resolved
-// against fs (the static fallback; the Table I experiment regenerates the
-// list by mining a trained AM-GAN generator).
-func DefaultEngineered(fs *FeatureSet) []featureng.ANDFeature {
-	pos := map[string]int{}
-	for i, n := range fs.Names {
-		pos[n] = i
-	}
+// against p (the static fallback; the Table I experiment regenerates the
+// list by mining a trained AM-GAN generator). Resolution goes through the
+// plan's compiled name index — no per-call map rebuild.
+func DefaultEngineered(p *FeaturePlan) []featureng.ANDFeature {
 	var out []featureng.ANDFeature
 	for _, pair := range defaultEngineeredPairs {
-		a, okA := pos[pair[0]]
-		b, okB := pos[pair[1]]
-		if !okA || !okB {
+		a := p.Index(pair[0])
+		b := p.Index(pair[1])
+		if a < 0 || b < 0 {
 			continue
 		}
 		if a > b {
@@ -167,44 +281,56 @@ func DefaultEngineered(fs *FeatureSet) []featureng.ANDFeature {
 	return out
 }
 
-// Detector is a trained classifier over a feature set. Threshold is the
+// Detector is a trained classifier over a feature plan. Threshold is the
 // malicious decision boundary on the model's sigmoid output (the paper
 // tunes it for sensitivity/ROC operating points).
 type Detector struct {
-	FS        *FeatureSet
+	Plan      *FeaturePlan
 	Net       *ml.Network
 	Threshold float64
+
+	// scratch holds the gathered input vector for scoring — reused across
+	// calls so the steady-state score path allocates nothing.
+	scratch []float64
+}
+
+// buf returns the detector's input scratch, sized to the plan.
+func (d *Detector) buf() []float64 {
+	if len(d.scratch) != d.Plan.Dim() {
+		d.scratch = make([]float64, d.Plan.Dim())
+	}
+	return d.scratch
 }
 
 // Clone returns a detector with the same weights and threshold but its own
 // forward-pass scratch. Network.Forward writes per-layer activations in
 // place, so a detector must never be scored from two runner jobs at once —
-// parallel campaigns clone the shared detector per job instead. FS is
-// shared (read-only after construction).
+// parallel campaigns clone the shared detector per job instead. The plan is
+// shared (immutable after assembly); only scratch is per-clone.
 func (d *Detector) Clone() *Detector {
-	return &Detector{FS: d.FS, Net: d.Net.Clone(), Threshold: d.Threshold}
+	return &Detector{Plan: d.Plan, Net: d.Net.Clone(), Threshold: d.Threshold}
 }
 
 // NewPerceptron builds the HW-friendly single-layer detector (the
 // PerSpectron/EVAX architecture).
-func NewPerceptron(seed int64, fs *FeatureSet) *Detector {
+func NewPerceptron(seed int64, p *FeaturePlan) *Detector {
 	return &Detector{
-		FS:        fs,
-		Net:       ml.New(seed, []int{fs.Dim(), 1}, ml.Linear, ml.Sigmoid),
+		Plan:      p,
+		Net:       ml.New(seed, []int{p.Dim(), 1}, ml.Linear, ml.Sigmoid),
 		Threshold: 0.5,
 	}
 }
 
 // NewDeep builds an N-hidden-layer detector of the given width (Figure 20's
 // 16- and 32-layer networks).
-func NewDeep(seed int64, fs *FeatureSet, hiddenLayers, width int) *Detector {
-	sizes := []int{fs.Dim()}
+func NewDeep(seed int64, p *FeaturePlan, hiddenLayers, width int) *Detector {
+	sizes := []int{p.Dim()}
 	for i := 0; i < hiddenLayers; i++ {
 		sizes = append(sizes, width)
 	}
 	sizes = append(sizes, 1)
 	return &Detector{
-		FS:        fs,
+		Plan:      p,
 		Net:       ml.New(seed, sizes, ml.LeakyReLU, ml.Sigmoid),
 		Threshold: 0.5,
 	}
@@ -214,13 +340,20 @@ func NewDeep(seed int64, fs *FeatureSet, hiddenLayers, width int) *Detector {
 func (d *Detector) ScoreVector(x []float64) float64 { return d.Net.Forward(x)[0] }
 
 // ScoreBase scores a base-feature vector (engineered features computed).
+// Zero allocations in steady state.
 func (d *Detector) ScoreBase(base []float64) float64 {
-	return d.ScoreVector(d.FS.Extend(base))
+	x := d.buf()
+	copy(x, base)
+	d.Plan.ExtendInto(x)
+	return d.ScoreVector(x)
 }
 
-// Score scores a derived-space sample vector.
+// Score scores a derived-space sample vector: one plan execution into the
+// detector's scratch, one forward pass. Zero allocations in steady state.
 func (d *Detector) Score(derived []float64) float64 {
-	return d.ScoreVector(d.FS.Vector(derived))
+	x := d.buf()
+	d.Plan.GatherVector(x, derived)
+	return d.ScoreVector(x)
 }
 
 // Flag reports malicious for a derived-space vector.
@@ -250,8 +383,9 @@ func DefaultTrainOptions() TrainOptions {
 }
 
 // TrainVectors trains on detector-BASE-space vectors with boolean labels;
-// engineered features are computed on the fly. Classes are balanced by
-// inverse-frequency example weighting.
+// engineered features are computed on the fly (into the detector's scratch
+// — the epoch loop performs no per-example allocation). Classes are
+// balanced by inverse-frequency example weighting.
 func (d *Detector) TrainVectors(base [][]float64, labels []bool, o TrainOptions) {
 	if len(base) == 0 {
 		return
@@ -274,17 +408,21 @@ func (d *Detector) TrainVectors(base [][]float64, labels []bool, o TrainOptions)
 	}
 	rng := rand.New(rand.NewSource(o.Seed))
 	grad := make([]float64, 1)
+	target := make([]float64, 1)
+	x := d.buf()
 	for e := 0; e < o.Epochs; e++ {
 		perm := rng.Perm(len(base))
 		inBatch := 0
 		for _, i := range perm {
-			x := d.FS.Extend(base[i])
-			target, w := 0.0, wNeg
+			copy(x, base[i])
+			d.Plan.ExtendInto(x)
+			target[0] = 0
+			w := wNeg
 			if labels[i] {
-				target, w = 1.0, wPos
+				target[0], w = 1.0, wPos
 			}
 			pred := d.Net.Forward(x)
-			ml.BCE(pred, []float64{target}, grad)
+			ml.BCE(pred, target, grad)
 			grad[0] *= w
 			d.Net.Backward(grad)
 			inBatch++
@@ -305,12 +443,12 @@ func (d *Detector) TrainVectors(base [][]float64, labels []bool, o TrainOptions)
 	}
 }
 
-// Train trains on dataset samples selected by idx.
+// Train trains on dataset samples selected by idx (base vectors gathered
+// into one contiguous batch block).
 func (d *Detector) Train(ds *dataset.Dataset, idx []int, o TrainOptions) {
-	base := make([][]float64, len(idx))
+	base := d.Plan.GatherBatch(ds, idx)
 	labels := make([]bool, len(idx))
 	for k, i := range idx {
-		base[k] = d.FS.Base(ds.Samples[i].Derived)
 		labels[k] = ds.Samples[i].Malicious
 	}
 	d.TrainVectors(base, labels, o)

@@ -19,9 +19,9 @@ func TestFeatureSetSizes(t *testing.T) {
 	if ev.BaseDim() != 133 {
 		t.Fatalf("EVAX base dim = %d, want 133", ev.BaseDim())
 	}
-	ev.Engineered = DefaultEngineered(ev)
-	if len(ev.Engineered) != 12 {
-		t.Fatalf("engineered features = %d, want 12", len(ev.Engineered))
+	ev.SetEngineered(DefaultEngineered(ev))
+	if len(ev.Engineered()) != 12 {
+		t.Fatalf("engineered features = %d, want 12", len(ev.Engineered()))
 	}
 	if ev.Dim() != 145 {
 		t.Fatalf("EVAX dim = %d, want 145", ev.Dim())
@@ -30,7 +30,7 @@ func TestFeatureSetSizes(t *testing.T) {
 
 func TestPerSpectronExcludesDRAMAndSpecBuf(t *testing.T) {
 	ps := PerSpectron()
-	for _, n := range ps.Names {
+	for _, n := range ps.Names() {
 		if len(n) > 5 && n[:5] == "dram." {
 			t.Fatalf("PerSpectron monitors %s", n)
 		}
@@ -42,17 +42,17 @@ func TestPerSpectronExcludesDRAMAndSpecBuf(t *testing.T) {
 
 func TestFeatureIndicesValid(t *testing.T) {
 	derivedDim := hpc.DerivedSpaceSize(sim.CounterCatalog().Len())
-	for _, fs := range []*FeatureSet{PerSpectron(), EVAXBase()} {
-		if len(fs.Indices) != len(fs.Names) {
-			t.Fatalf("%s: indices/names mismatch", fs.Name)
+	for _, fs := range []*FeaturePlan{PerSpectron(), EVAXBase()} {
+		if len(fs.Indices()) != len(fs.Names()) {
+			t.Fatalf("%s: indices/names mismatch", fs.Name())
 		}
 		seen := map[int]bool{}
-		for _, idx := range fs.Indices {
+		for _, idx := range fs.Indices() {
 			if idx < 0 || idx >= derivedDim {
-				t.Fatalf("%s: index %d out of derived space", fs.Name, idx)
+				t.Fatalf("%s: index %d out of derived space", fs.Name(), idx)
 			}
 			if seen[idx] {
-				t.Fatalf("%s: duplicate index %d", fs.Name, idx)
+				t.Fatalf("%s: duplicate index %d", fs.Name(), idx)
 			}
 			seen[idx] = true
 		}
@@ -60,14 +60,14 @@ func TestFeatureIndicesValid(t *testing.T) {
 }
 
 func TestVectorSelection(t *testing.T) {
-	fs := &FeatureSet{Name: "t", Indices: []int{2, 0}, Names: []string{"a", "b"}}
+	fs := NewPlan("t", []int{2, 0}, []string{"a", "b"})
 	derived := []float64{10, 20, 30}
 	base := fs.Base(derived)
 	if base[0] != 30 || base[1] != 10 {
 		t.Fatalf("base = %v", base)
 	}
-	fs.Engineered = DefaultEngineered(fs) // none resolve: names don't match
-	if len(fs.Engineered) != 0 {
+	fs.SetEngineered(DefaultEngineered(fs)) // none resolve: names don't match
+	if len(fs.Engineered()) != 0 {
 		t.Fatal("engineered resolved against bogus names")
 	}
 	v := fs.Vector(derived)
@@ -79,7 +79,7 @@ func TestVectorSelection(t *testing.T) {
 func TestFeatureOf(t *testing.T) {
 	fs := EVAXBase()
 	i, n := fs.FeatureOf(0)
-	if i != 0 || n != fs.Names[0] {
+	if i != 0 || n != fs.Names()[0] {
 		t.Fatal("FeatureOf broken")
 	}
 	if i, _ := fs.FeatureOf(-1); i != -1 {
@@ -130,7 +130,7 @@ func TestPerceptronLearnsSyntheticCorpus(t *testing.T) {
 	ds := synthDataset(300)
 	split := ds.RandomSplit(1, 0.7)
 	fs := EVAXBase()
-	fs.Engineered = DefaultEngineered(fs)
+	fs.SetEngineered(DefaultEngineered(fs))
 	d := NewPerceptron(1, fs)
 	d.Train(ds, split.Train, DefaultTrainOptions())
 	c := d.Evaluate(ds, split.Test)
@@ -174,7 +174,7 @@ func TestThresholdTuning(t *testing.T) {
 func TestTrainVectorsBalancesClasses(t *testing.T) {
 	// 10:1 imbalance: an unweighted model would collapse to the majority
 	// class; the balanced trainer must still catch positives.
-	fs := &FeatureSet{Name: "tiny", Indices: []int{0, 1}, Names: []string{"a", "b"}}
+	fs := NewPlan("tiny", []int{0, 1}, []string{"a", "b"})
 	rng := rand.New(rand.NewSource(3))
 	var base [][]float64
 	var labels []bool
@@ -225,7 +225,7 @@ func TestTrainEmptySafe(t *testing.T) {
 }
 
 func TestMonotoneTraining(t *testing.T) {
-	fs := &FeatureSet{Name: "m", Indices: []int{0, 1, 2}, Names: []string{"a", "b", "c"}}
+	fs := NewPlan("m", []int{0, 1, 2}, []string{"a", "b", "c"})
 	rng := rand.New(rand.NewSource(6))
 	var base [][]float64
 	var labels []bool
@@ -265,7 +265,7 @@ func TestMonotoneTraining(t *testing.T) {
 
 func TestScoreBaseAndVectorAgree(t *testing.T) {
 	fs := EVAXBase()
-	fs.Engineered = DefaultEngineered(fs)
+	fs.SetEngineered(DefaultEngineered(fs))
 	d := NewPerceptron(9, fs)
 	rng := rand.New(rand.NewSource(8))
 	derived := make([]float64, hpc.DerivedSpaceSize(sim.CounterCatalog().Len()))

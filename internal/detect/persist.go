@@ -38,12 +38,12 @@ type savedLayer struct {
 // Marshal encodes the detector as JSON.
 func (d *Detector) Marshal() ([]byte, error) {
 	sd := savedDetector{
-		FeatureSetName: d.FS.Name,
-		Indices:        d.FS.Indices,
-		Names:          d.FS.Names,
+		FeatureSetName: d.Plan.Name(),
+		Indices:        d.Plan.Indices(),
+		Names:          d.Plan.Names(),
 		Threshold:      d.Threshold,
 	}
-	for _, f := range d.FS.Engineered {
+	for _, f := range d.Plan.Engineered() {
 		sd.Engineered = append(sd.Engineered, savedANDFeature{A: f.A, B: f.B, Name: f.Name})
 	}
 	for _, l := range d.Net.Layers {
@@ -75,10 +75,12 @@ func Unmarshal(data []byte) (*Detector, error) {
 	if len(sd.Layers) == 0 {
 		return nil, fmt.Errorf("detect: detector holds no layers")
 	}
-	fs := &FeatureSet{Name: sd.FeatureSetName, Indices: sd.Indices, Names: sd.Names}
+	plan := NewPlan(sd.FeatureSetName, sd.Indices, sd.Names)
+	var eng []featureng.ANDFeature
 	for _, f := range sd.Engineered {
-		fs.Engineered = append(fs.Engineered, featureng.ANDFeature{A: f.A, B: f.B, Name: f.Name})
+		eng = append(eng, featureng.ANDFeature{A: f.A, B: f.B, Name: f.Name})
 	}
+	plan.SetEngineered(eng)
 	sizes := []int{sd.Layers[0].In}
 	for _, l := range sd.Layers {
 		sizes = append(sizes, l.Out)
@@ -100,7 +102,7 @@ func Unmarshal(data []byte) (*Detector, error) {
 		}
 		copy(nl.B, l.B)
 	}
-	return &Detector{FS: fs, Net: net, Threshold: sd.Threshold}, nil
+	return &Detector{Plan: plan, Net: net, Threshold: sd.Threshold}, nil
 }
 
 // Load reads a detector saved by Save.

@@ -9,7 +9,7 @@ import (
 
 func TestSaveLoadRoundTrip(t *testing.T) {
 	fs := EVAXBase()
-	fs.Engineered = DefaultEngineered(fs)
+	fs.SetEngineered(DefaultEngineered(fs))
 	d := NewPerceptron(4, fs)
 	// Give it distinctive weights and threshold.
 	rng := rand.New(rand.NewSource(5))
@@ -31,7 +31,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if got.Threshold != d.Threshold {
 		t.Fatalf("threshold %v != %v", got.Threshold, d.Threshold)
 	}
-	if got.FS.Dim() != d.FS.Dim() || len(got.FS.Engineered) != len(d.FS.Engineered) {
+	if got.Plan.Dim() != d.Plan.Dim() || len(got.Plan.Engineered()) != len(d.Plan.Engineered()) {
 		t.Fatal("feature set not preserved")
 	}
 	// Scores must agree exactly on random inputs.

@@ -65,7 +65,7 @@ func (a *AML) perturb(det *detect.Detector, base []float64, respectFloors, stopA
 		}
 		// Gradient of the score w.r.t. the detector input, pulled back
 		// through the engineered-feature extension.
-		x := det.FS.Extend(adv)
+		x := det.Plan.Extend(adv)
 		det.Net.Forward(x)
 		gradOut := []float64{1}
 		gIn := det.Net.Backward(gradOut)
@@ -73,7 +73,7 @@ func (a *AML) perturb(det *detect.Detector, base []float64, respectFloors, stopA
 		// Engineered features j = A*B contribute dJ/dA = grad_j * B.
 		g := make([]float64, len(adv))
 		copy(g, gIn[:len(adv)])
-		for k, f := range det.FS.Engineered {
+		for k, f := range det.Plan.Engineered() {
 			ge := gIn[len(adv)+k]
 			g[f.A] += ge * adv[f.B]
 			g[f.B] += ge * adv[f.A]

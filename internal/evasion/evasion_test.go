@@ -31,7 +31,7 @@ func TestMutatePreservesSemantics(t *testing.T) {
 	if m.C.LeakedTransientLoads == 0 {
 		t.Fatal("mutation killed the attack")
 	}
-	if m.C.CommitFaults == 0 {
+	if m.Ctr(sim.CtrCommitFaults) == 0 {
 		t.Fatal("meltdown fault path lost")
 	}
 }
@@ -83,7 +83,7 @@ func TestTransyntherVariants(t *testing.T) {
 			t.Fatalf("seed %d did not finish", seed)
 		}
 		// Meltdown-style variants must exercise a replay channel.
-		if m.C.CommitFaults == 0 && m.C.LSQIgnoredResponses == 0 {
+		if m.Ctr(sim.CtrCommitFaults) == 0 && m.Ctr(sim.CtrLSQIgnoredResponses) == 0 {
 			t.Fatalf("seed %d produced no fault/assist activity", seed)
 		}
 	}
@@ -138,7 +138,7 @@ func TestOsirisTriples(t *testing.T) {
 // "leak-critical" one.
 func tinyDetector(t *testing.T) *detect.Detector {
 	t.Helper()
-	fs := &detect.FeatureSet{Name: "tiny", Indices: []int{0, 1, 2}, Names: []string{"a", "b", "c"}}
+	fs := detect.NewPlan("tiny", []int{0, 1, 2}, []string{"a", "b", "c"})
 	d := detect.NewPerceptron(1, fs)
 	rng := rand.New(rand.NewSource(4))
 	var base [][]float64
@@ -246,7 +246,7 @@ func TestDescendReachesFloorMinimum(t *testing.T) {
 func TestMonotoneDetectorBlocksAML(t *testing.T) {
 	// Against a monotone detector, a floor-respecting attacker cannot
 	// push the score below the floor point's score.
-	fs := &detect.FeatureSet{Name: "m", Indices: []int{0, 1, 2}, Names: []string{"a", "b", "c"}}
+	fs := detect.NewPlan("m", []int{0, 1, 2}, []string{"a", "b", "c"})
 	d := detect.NewPerceptron(5, fs)
 	rng := rand.New(rand.NewSource(7))
 	var base [][]float64

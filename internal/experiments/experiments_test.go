@@ -35,11 +35,11 @@ func TestLabPipelineArtifacts(t *testing.T) {
 	if len(lab.Mined) != 12 {
 		t.Fatalf("mined %d engineered HPCs, want 12", len(lab.Mined))
 	}
-	if lab.PerSpec.FS.Dim() != 106 {
-		t.Fatalf("PerSpectron dim = %d", lab.PerSpec.FS.Dim())
+	if lab.PerSpec.Plan.Dim() != 106 {
+		t.Fatalf("PerSpectron dim = %d", lab.PerSpec.Plan.Dim())
 	}
-	if lab.EVAX.FS.Dim() != 145 {
-		t.Fatalf("EVAX dim = %d", lab.EVAX.FS.Dim())
+	if lab.EVAX.Plan.Dim() != 145 {
+		t.Fatalf("EVAX dim = %d", lab.EVAX.Plan.Dim())
 	}
 }
 

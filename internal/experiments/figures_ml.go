@@ -36,7 +36,7 @@ func Figure6(lab *Lab) Figure6Result {
 	featNames := []string{"commit.Faults", "branchPred.RASUnderflows", "lsq.squashedLoads"}
 	var featPos []int
 	for _, n := range featNames {
-		for i, fn := range fs.Names {
+		for i, fn := range fs.Names() {
 			if fn == n {
 				featPos = append(featPos, i)
 			}
@@ -273,7 +273,7 @@ type Figure18Result struct {
 // malicious. This realizes the paper's core defense: once the boundary lies
 // beyond the leakage window, any evasion that crosses it kills the attack.
 func (lab *Lab) HardenAdversarial(base *detect.Detector, rounds int) *detect.Detector {
-	fs := base.FS
+	fs := base.Plan
 	d := detect.NewPerceptron(lab.Opts.Seed+31, fs)
 
 	var benign [][]float64
@@ -356,7 +356,7 @@ func Figure18(lab *Lab) Figure18Result {
 
 	// Floors per class from the corpus (leak-critical medians).
 	run := func(d *detect.Detector) (detected, attempts, disabled int) {
-		fs := d.FS
+		fs := d.Plan
 		var benign [][]float64
 		for i := range lab.DS.Samples {
 			if !lab.DS.Samples[i].Malicious {
@@ -533,7 +533,7 @@ func Figure20(lab *Lab, depths []int) Figure20Result {
 		depths = []int{1, 16, 32}
 	}
 	fs := detect.EVAXBase()
-	fs.Engineered = lab.Mined
+	fs.SetEngineered(lab.Mined)
 
 	trainVecs, trainLabels, _ := lab.baseVectors(fs, lab.allIdx())
 	gen, genLabels := lab.GeneratedAugmentation(lab.Opts.GenPerClass)

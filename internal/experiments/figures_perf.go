@@ -47,7 +47,7 @@ type Figure9to11Result struct {
 // classes from benign execution on the training corpus.
 func Figure9to11(lab *Lab) Figure9to11Result {
 	fs := detect.EVAXBase()
-	fs.Engineered = lab.Mined
+	fs.SetEngineered(lab.Mined)
 	specs := []struct {
 		feature string
 		classes []isa.Class
@@ -62,14 +62,10 @@ func Figure9to11(lab *Lab) Figure9to11Result {
 		// MDS-type and LVI attacks.
 		{"lsq.ignoredResponses", []isa.Class{isa.ClassLVI, isa.ClassMedusaCacheIndex, isa.ClassFallout}},
 	}
-	nameToPos := map[string]int{}
-	for i, n := range fs.Names {
-		nameToPos[n] = i
-	}
 	var rows []FeatureSeparationRow
 	for _, sp := range specs {
-		pos, ok := nameToPos[sp.feature]
-		if !ok {
+		pos := fs.Index(sp.feature)
+		if pos < 0 {
 			continue
 		}
 		row := FeatureSeparationRow{Feature: sp.feature, Attacks: map[isa.Class]float64{}}
@@ -237,7 +233,7 @@ func Figure15(lab *Lab) Figure15Result {
 			ps = detect.NewPerceptron(lab.Opts.Seed, psFS)
 			ps.Train(train, idx, detect.DefaultTrainOptions())
 			evFS := detect.EVAXBase()
-			evFS.Engineered = lab.Mined
+			evFS.SetEngineered(lab.Mined)
 			ev = detect.NewPerceptron(lab.Opts.Seed, evFS)
 			ev.Train(train, idx, detect.DefaultTrainOptions())
 			var benignPS, benignEV []float64

@@ -122,15 +122,14 @@ func (lab *Lab) ClassIndex(c isa.Class) int {
 	return -1
 }
 
-// baseVectors projects dataset samples (by index) into the EVAX base
-// feature space.
-func (lab *Lab) baseVectors(fs *detect.FeatureSet, idx []int) ([][]float64, []bool, []int) {
-	vecs := make([][]float64, len(idx))
+// baseVectors projects dataset samples (by index) into the plan's base
+// feature space — one batch gather into a contiguous block.
+func (lab *Lab) baseVectors(fs *detect.FeaturePlan, idx []int) ([][]float64, []bool, []int) {
+	vecs := fs.GatherBatch(lab.DS, idx)
 	labels := make([]bool, len(idx))
 	classes := make([]int, len(idx))
 	for k, i := range idx {
 		s := &lab.DS.Samples[i]
-		vecs[k] = fs.Base(s.Derived)
 		labels[k] = s.Malicious
 		classes[k] = lab.classIdx[s.Class]
 	}
@@ -223,7 +222,7 @@ func (lab *Lab) trainDetectors() {
 
 	// EVAX: 133 base + 12 engineered, vaccinated with generated samples.
 	evFS := detect.EVAXBase()
-	evFS.Engineered = lab.Mined
+	evFS.SetEngineered(lab.Mined)
 	lab.EVAX = detect.NewPerceptron(lab.Opts.Seed, evFS)
 	real, labels, _ := lab.baseVectors(evFS, idx)
 	gen, genLabels := lab.GeneratedAugmentation(lab.Opts.GenPerClass)
@@ -289,7 +288,7 @@ func (lab *Lab) TrainDetectorLike(kind string, trainIdx []int, extraVecs [][]flo
 		capSamples, capClasses := stratifiedCap(vecs, classes, lab.Opts.GANPerClass, lab.Opts.Seed)
 		g.Train(capSamples, capClasses, lab.Opts.GANEpochs)
 		mined := featureng.Mine(g.Generator(), 12, fs.FeatureOf)
-		fs.Engineered = mined
+		fs.SetEngineered(mined)
 		d := detect.NewPerceptron(lab.Opts.Seed, fs)
 		// Generate augmentation only for classes present in training.
 		var gen [][]float64

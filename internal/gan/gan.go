@@ -143,11 +143,17 @@ func (a *AMGAN) Generate(class int) []float64 {
 	return append([]float64(nil), out...)
 }
 
-// GenerateBatch emits n samples of a class.
+// GenerateBatch emits n samples of a class. The rows share one contiguous
+// backing array (cap-clamped views, so appending through a row copies).
 func (a *AMGAN) GenerateBatch(class, n int) [][]float64 {
+	dim := a.G.OutputSize()
+	backing := make([]float64, n*dim)
 	out := make([][]float64, n)
 	for i := range out {
-		out[i] = a.Generate(class)
+		a.sampleNoise()
+		row := backing[i*dim : (i+1)*dim : (i+1)*dim]
+		copy(row, a.G.Forward(a.genInput(class)))
+		out[i] = row
 	}
 	return out
 }

@@ -133,6 +133,14 @@ func (s *Sampler) Due() bool {
 // Take snapshots the current window. The first call establishes the
 // baseline and returns (Sample{}, false).
 func (s *Sampler) Take() (Sample, bool) {
+	return s.TakeInto(nil)
+}
+
+// TakeInto is Take writing the window deltas into vals (len == cat.Len())
+// instead of allocating; the returned Sample.Values aliases vals. A nil
+// vals allocates a fresh row. This is the steady-state online path: with a
+// caller-owned row it performs zero heap allocations per sample.
+func (s *Sampler) TakeInto(vals []float64) (Sample, bool) {
 	instr := s.src.Instructions()
 	cycles := s.src.Cycles()
 	s.src.ReadCounters(s.cur)
@@ -142,7 +150,9 @@ func (s *Sampler) Take() (Sample, bool) {
 		s.prevInstr, s.prevCycle = instr, cycles
 		return Sample{}, false
 	}
-	vals := make([]float64, s.cat.Len())
+	if vals == nil {
+		vals = make([]float64, s.cat.Len())
+	}
 	for i := range vals {
 		vals[i] = float64(s.cur[i] - s.prev[i])
 	}
@@ -189,6 +199,16 @@ func (n *Normalizer) Normalize(values []float64) {
 		} else {
 			values[i] = 0
 		}
+	}
+}
+
+// Denormalize is the inverse of Normalize: it scales values in place back
+// to raw deltas by the running maxima. Exact recovery holds for deltas that
+// were inside the observed range (Normalize clamps above the maximum and
+// zeroes never-observed counters).
+func (n *Normalizer) Denormalize(values []float64) {
+	for i, v := range values {
+		values[i] = v * n.max[i]
 	}
 }
 
@@ -246,9 +266,51 @@ func DerivedName(cat *Catalog, j int) string {
 }
 
 // ExpandDerived computes the derived feature vector for a sample. The
-// result has DerivedSpaceSize(len(s.Values)) entries.
+// result has DerivedSpaceSize(len(s.Values)) entries. It allocates a fresh
+// row per call and serves as the reference implementation the compiled
+// Expander must match bit-for-bit; hot paths use Expander.ExpandInto.
 func ExpandDerived(s Sample) []float64 {
 	out := make([]float64, DerivedSpaceSize(len(s.Values)))
+	NewExpander(len(s.Values)).ExpandInto(out, s)
+	return out
+}
+
+// Expander is the derived-view expansion compiled into an executable plan:
+// one (source index, op) pair per output slot, fixed at construction. Apply
+// is a single slot loop into a caller-provided row — no name lookups, no
+// per-sample allocation. The float formulas are identical to the historical
+// per-counter expansion, so outputs are bit-identical to ExpandDerived.
+type Expander struct {
+	n   int
+	src []int32       // per output slot: base counter index
+	op  []DerivedKind // per output slot: derived view to compute
+}
+
+// NewExpander compiles the expansion plan for a base space of n counters.
+func NewExpander(n int) *Expander {
+	e := &Expander{
+		n:   n,
+		src: make([]int32, DerivedSpaceSize(n)),
+		op:  make([]DerivedKind, DerivedSpaceSize(n)),
+	}
+	for j := range e.src {
+		e.src[j] = int32(j / int(NumDerivedKinds))
+		e.op[j] = DerivedKind(j % int(NumDerivedKinds))
+	}
+	return e
+}
+
+// Dim returns the expanded dimensionality of the plan.
+func (e *Expander) Dim() int { return len(e.src) }
+
+// ExpandInto applies the compiled plan to s, writing the derived row into
+// dst (len == Dim()). Every slot is written, so dst may be dirty. Zero heap
+// allocations.
+func (e *Expander) ExpandInto(dst []float64, s Sample) {
+	if len(s.Values) != e.n || len(dst) != len(e.src) {
+		panic(fmt.Sprintf("hpc: ExpandInto dims: sample %d (plan %d), dst %d (plan %d)",
+			len(s.Values), e.n, len(dst), len(e.src)))
+	}
 	var total float64
 	for _, v := range s.Values {
 		total += v
@@ -261,21 +323,33 @@ func ExpandDerived(s Sample) []float64 {
 	if fmath.Zero(cyc) {
 		cyc = 1
 	}
-	for i, v := range s.Values {
-		o := i * int(NumDerivedKinds)
-		out[o+int(DerivedTotal)] = v
-		out[o+int(DerivedRate)] = v / instrK
-		out[o+int(DerivedPerCycle)] = v / cyc
-		out[o+int(DerivedBurst)] = v * v / cyc
-		if v > 0 {
-			out[o+int(DerivedPresence)] = 1
-		}
-		out[o+int(DerivedLog)] = log2p1(v)
-		if total > 0 {
-			out[o+int(DerivedShare)] = v / total
+	for j, si := range e.src {
+		v := s.Values[si]
+		switch e.op[j] {
+		case DerivedTotal:
+			dst[j] = v
+		case DerivedRate:
+			dst[j] = v / instrK
+		case DerivedPerCycle:
+			dst[j] = v / cyc
+		case DerivedBurst:
+			dst[j] = v * v / cyc
+		case DerivedPresence:
+			if v > 0 {
+				dst[j] = 1
+			} else {
+				dst[j] = 0
+			}
+		case DerivedLog:
+			dst[j] = log2p1(v)
+		default: // DerivedShare
+			if total > 0 {
+				dst[j] = v / total
+			} else {
+				dst[j] = 0
+			}
 		}
 	}
-	return out
 }
 
 func log2p1(v float64) float64 {

@@ -4,6 +4,8 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+
+	"evax/internal/fmath"
 )
 
 type fakeSource struct {
@@ -245,5 +247,134 @@ func TestLog2p1Monotonic(t *testing.T) {
 			t.Fatalf("log2p1 not monotonic at %v", v)
 		}
 		prev = got
+	}
+}
+
+// randomSample builds a deterministic pseudo-random sample via an xorshift
+// walk (no math/rand: seeds must be explicit everywhere).
+func randomSample(n int, seed uint64) Sample {
+	vals := make([]float64, n)
+	x := seed | 1
+	for i := range vals {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		vals[i] = float64(x % 10_000)
+		if x%7 == 0 {
+			vals[i] = 0 // exercise presence/share zero branches
+		}
+	}
+	return Sample{Values: vals, Instructions: 1000 + seed%5000, Cycles: 2000 + seed%9000}
+}
+
+func TestExpanderMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 115} {
+		e := NewExpander(n)
+		if e.Dim() != DerivedSpaceSize(n) {
+			t.Fatalf("n=%d: Dim = %d, want %d", n, e.Dim(), DerivedSpaceSize(n))
+		}
+		for seed := uint64(1); seed <= 5; seed++ {
+			s := randomSample(n, seed*2654435761)
+			want := ExpandDerived(s)
+			got := make([]float64, e.Dim())
+			for i := range got {
+				got[i] = math.NaN() // dirty row: every slot must be written
+			}
+			e.ExpandInto(got, s)
+			for i := range got {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("n=%d seed=%d slot %d: plan %v != reference %v (bitwise)",
+						n, seed, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestExpanderDimensionality(t *testing.T) {
+	// Every base counter must contribute exactly NumDerivedKinds slots, and
+	// slot j's name must resolve back to base j/NumDerivedKinds.
+	const n = 9
+	e := NewExpander(n)
+	if e.Dim() != n*int(NumDerivedKinds) {
+		t.Fatalf("Dim = %d, want %d", e.Dim(), n*int(NumDerivedKinds))
+	}
+	s := randomSample(n, 42)
+	out := make([]float64, e.Dim())
+	e.ExpandInto(out, s)
+	for base := 0; base < n; base++ {
+		if got := out[base*int(NumDerivedKinds)+int(DerivedTotal)]; got != s.Values[base] {
+			t.Fatalf("base %d total slot = %v, want %v", base, got, s.Values[base])
+		}
+	}
+}
+
+func TestExpanderRejectsWrongDims(t *testing.T) {
+	e := NewExpander(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for mismatched dims")
+		}
+	}()
+	e.ExpandInto(make([]float64, e.Dim()), randomSample(4, 1))
+}
+
+func TestTakeIntoZeroAlloc(t *testing.T) {
+	cat := MustCatalog([]string{"x", "y", "z"})
+	src := &fakeSource{counters: []uint64{1, 2, 3}}
+	s := NewSampler(cat, src, 100)
+	s.Take()
+	row := make([]float64, cat.Len())
+	allocs := testing.AllocsPerRun(100, func() {
+		src.instr += 100
+		src.cycles += 250
+		src.counters[0] += 7
+		if _, ok := s.TakeInto(row); !ok {
+			t.Fatal("TakeInto produced nothing after baseline")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("TakeInto allocates %v per sample, want 0", allocs)
+	}
+}
+
+func TestExpandIntoZeroAlloc(t *testing.T) {
+	const n = 115
+	e := NewExpander(n)
+	s := randomSample(n, 7)
+	dst := make([]float64, e.Dim())
+	allocs := testing.AllocsPerRun(100, func() { e.ExpandInto(dst, s) })
+	if allocs != 0 {
+		t.Fatalf("ExpandInto allocates %v per sample, want 0", allocs)
+	}
+}
+
+func TestNormalizerRoundTrip(t *testing.T) {
+	// expand -> normalize -> denormalize must recover the raw derived
+	// deltas within fmath.Eps for every value inside the observed range.
+	const n = 23
+	e := NewExpander(n)
+	var rows [][]float64
+	norm := NewNormalizer(e.Dim())
+	for seed := uint64(1); seed <= 8; seed++ {
+		row := make([]float64, e.Dim())
+		e.ExpandInto(row, randomSample(n, seed*888888877))
+		norm.Observe(row)
+		rows = append(rows, row)
+	}
+	for ri, row := range rows {
+		raw := append([]float64(nil), row...)
+		norm.Normalize(row)
+		for _, v := range row {
+			if v < 0 || v > 1 {
+				t.Fatalf("row %d: normalized value %v outside [0,1]", ri, v)
+			}
+		}
+		norm.Denormalize(row)
+		for i := range row {
+			if !fmath.Eq(row[i], raw[i]) {
+				t.Fatalf("row %d slot %d: round-trip %v != raw %v", ri, i, row[i], raw[i])
+			}
+		}
 	}
 }

@@ -2,178 +2,415 @@ package sim
 
 import "evax/internal/hpc"
 
-// counterDef binds a gem5-style counter name to its source in the machine.
-type counterDef struct {
-	name string
-	get  func(*Machine) uint64
-}
+// CtrID is a typed index into the machine's flat counter array. Every
+// catalog-exposed event counter has exactly one CtrID; the gem5-style name
+// registry in counterNames is metadata only — the hot path (pipeline
+// increments and ReadCounters) never touches a name or a closure.
+//
+// The evaxlint "ctrname" rule enforces the registry contract: the CtrID
+// constants and counterNames stay dense and 1:1 (every ID below NumCounters
+// has a unique, non-empty name and no orphan constants exist).
+type CtrID int
 
-// counterDefs is the base event space exposed to the HPC fabric. Names
-// follow gem5 conventions (the paper's Table I references several of them
-// verbatim: lsq.forwLoads, iq.SquashedNonSpecLD, rename.serializingInsts,
-// dcache.ReadReq_mshr_miss_latency, membus.trans_dist::ReadSharedReq, …).
-// With the derived expansion in internal/hpc (7 views per event) this
-// ~115-event base grows to an ~800-dimensional derived space, standing in
-// for the ~1160 counters the paper collects.
-var counterDefs = []counterDef{
+// The base event space exposed to the HPC fabric, as typed counter IDs.
+// Names follow gem5 conventions (the paper's Table I references several of
+// them verbatim: lsq.forwLoads, iq.SquashedNonSpecLD,
+// rename.serializingInsts, dcache.ReadReq_mshr_miss_latency,
+// membus.trans_dist::ReadSharedReq, …). With the derived expansion in
+// internal/hpc (7 views per event) this ~115-event base grows to an
+// ~800-dimensional derived space, standing in for the ~1160 counters the
+// paper collects.
+const (
 	// Fetch.
-	{"fetch.Cycles", func(m *Machine) uint64 { return m.C.FetchCycles }},
-	{"fetch.Insts", func(m *Machine) uint64 { return m.C.FetchInsts }},
-	{"fetch.StallCycles", func(m *Machine) uint64 { return m.C.FetchStallCycles }},
-	{"fetch.IcacheStallCycles", func(m *Machine) uint64 { return m.C.FetchICacheStalls }},
-	{"fetch.SquashCycles", func(m *Machine) uint64 { return m.C.FetchSquashCycles }},
-	{"fetch.PendingQuiesceStallCycles", func(m *Machine) uint64 { return m.C.PendingQuiesceStalls }},
+	CtrFetchCycles CtrID = iota
+	CtrFetchInsts
+	CtrFetchStallCycles
+	CtrFetchIcacheStallCycles
+	CtrFetchSquashCycles
+	CtrFetchPendingQuiesceStallCycles
 
 	// Decode / rename.
-	{"decode.Insts", func(m *Machine) uint64 { return m.C.DecodeInsts }},
-	{"decode.BlockedCycles", func(m *Machine) uint64 { return m.C.DecodeBlocked }},
-	{"rename.RenamedInsts", func(m *Machine) uint64 { return m.C.RenameInsts }},
-	{"rename.Undone", func(m *Machine) uint64 { return m.C.RenameUndone }},
-	{"rename.serializingInsts", func(m *Machine) uint64 { return m.C.RenameSerializing }},
-	{"rename.FullRegStalls", func(m *Machine) uint64 { return m.C.RenameFullRegs }},
-	{"rename.CommittedMaps", func(m *Machine) uint64 { return m.C.CommittedMaps }},
+	CtrDecodeInsts
+	CtrDecodeBlockedCycles
+	CtrRenameRenamedInsts
+	CtrRenameUndone
+	CtrRenameSerializingInsts
+	CtrRenameFullRegStalls
+	CtrRenameCommittedMaps
 
 	// Issue queue / execute.
-	{"iq.InstsAdded", func(m *Machine) uint64 { return m.C.IQAdded }},
-	{"iq.InstsIssued", func(m *Machine) uint64 { return m.C.IQIssued }},
-	{"iq.FullStalls", func(m *Machine) uint64 { return m.C.IQFullStalls }},
-	{"iq.SquashedInstsExamined", func(m *Machine) uint64 { return m.C.IQSquashedExamined }},
-	{"iq.SquashedNonSpecLD", func(m *Machine) uint64 { return m.C.IQSquashedNonSpecLD }},
-	{"iq.Conflicts", func(m *Machine) uint64 { return m.C.IQConflicts }},
-	{"iew.ExecutedInsts", func(m *Machine) uint64 { return m.C.ExecutedInsts }},
-	{"iew.ExecSquashedInsts", func(m *Machine) uint64 { return m.C.ExecSquashedInsts }},
-	{"iew.MemOrderViolation", func(m *Machine) uint64 { return m.C.MemOrderViolation }},
-	{"iew.BranchMispredicts", func(m *Machine) uint64 { return m.C.BranchMispredicts }},
+	CtrIQInstsAdded
+	CtrIQInstsIssued
+	CtrIQFullStalls
+	CtrIQSquashedInstsExamined
+	CtrIQSquashedNonSpecLD
+	CtrIQConflicts
+	CtrIEWExecutedInsts
+	CtrIEWExecSquashedInsts
+	CtrIEWMemOrderViolation
+	CtrIEWBranchMispredicts
 
 	// Load/store queue.
-	{"lsq.forwLoads", func(m *Machine) uint64 { return m.C.LSQForwLoads }},
-	{"lsq.squashedLoads", func(m *Machine) uint64 { return m.C.LSQSquashedLoads }},
-	{"lsq.squashedStores", func(m *Machine) uint64 { return m.C.LSQSquashedStores }},
-	{"lsq.ignoredResponses", func(m *Machine) uint64 { return m.C.LSQIgnoredResponses }},
-	{"lsq.rescheduledLoads", func(m *Machine) uint64 { return m.C.LSQRescheduled }},
-	{"lsq.blockedLoads", func(m *Machine) uint64 { return m.C.LSQBlockedLoads }},
-	{"lsq.SpecLoadsHitWrQueue", func(m *Machine) uint64 { return m.C.SpecLoadsHitWrQ }},
+	CtrLSQForwLoads
+	CtrLSQSquashedLoads
+	CtrLSQSquashedStores
+	CtrLSQIgnoredResponses
+	CtrLSQRescheduledLoads
+	CtrLSQBlockedLoads
+	CtrLSQSpecLoadsHitWrQueue
 
 	// ROB / commit.
-	{"rob.FullStalls", func(m *Machine) uint64 { return m.C.ROBFullStalls }},
-	{"rob.Reads", func(m *Machine) uint64 { return m.C.ROBReads }},
-	{"commit.CommittedInsts", func(m *Machine) uint64 { return m.C.CommitInsts }},
-	{"commit.Branches", func(m *Machine) uint64 { return m.C.CommitBranches }},
-	{"commit.Loads", func(m *Machine) uint64 { return m.C.CommitLoads }},
-	{"commit.Stores", func(m *Machine) uint64 { return m.C.CommitStores }},
-	{"commit.Faults", func(m *Machine) uint64 { return m.C.CommitFaults }},
-	{"commit.SquashedInsts", func(m *Machine) uint64 { return m.C.CommitSquashed }},
+	CtrROBFullStalls
+	CtrROBReads
+	CtrCommitCommittedInsts
+	CtrCommitBranches
+	CtrCommitLoads
+	CtrCommitStores
+	CtrCommitFaults
+	CtrCommitSquashedInsts
 
 	// Speculation.
-	{"spec.InstsAdded", func(m *Machine) uint64 { return m.C.SpecInstsAdded }},
-	{"spec.LoadsExecuted", func(m *Machine) uint64 { return m.C.SpecLoadsExecuted }},
+	CtrSpecInstsAdded
+	CtrSpecLoadsExecuted
 
 	// Fences / serialization / special units.
-	{"fence.StallCycles", func(m *Machine) uint64 { return m.C.FenceStallCycles }},
-	{"serialize.Drains", func(m *Machine) uint64 { return m.C.SerializeDrains }},
-	{"rng.Reads", func(m *Machine) uint64 { return m.C.RdRandReads }},
-	{"rng.ContentionCycles", func(m *Machine) uint64 { return m.C.RdRandContention }},
-	{"kernel.Syscalls", func(m *Machine) uint64 { return m.C.SyscallCount }},
-	{"fetch.QuiesceCycles", func(m *Machine) uint64 { return m.C.QuiesceCycles }},
+	CtrFenceStallCycles
+	CtrSerializeDrains
+	CtrRNGReads
+	CtrRNGContentionCycles
+	CtrKernelSyscalls
+	CtrFetchQuiesceCycles
 
 	// Branch predictor.
-	{"branchPred.lookups", func(m *Machine) uint64 { return m.bp.Stats.Lookups }},
-	{"branchPred.condPredicted", func(m *Machine) uint64 { return m.bp.Stats.CondPredicted }},
-	{"branchPred.condIncorrect", func(m *Machine) uint64 { return m.bp.Stats.CondIncorrect }},
-	{"branchPred.BTBLookups", func(m *Machine) uint64 { return m.bp.Stats.BTBLookups }},
-	{"branchPred.BTBHits", func(m *Machine) uint64 { return m.bp.Stats.BTBHits }},
-	{"branchPred.BTBMispredicts", func(m *Machine) uint64 { return m.bp.Stats.BTBMispredicts }},
-	{"branchPred.RASUsed", func(m *Machine) uint64 { return m.bp.Stats.RASUsed }},
-	{"branchPred.RASIncorrect", func(m *Machine) uint64 { return m.bp.Stats.RASIncorrect }},
-	{"branchPred.RASOverflows", func(m *Machine) uint64 { return m.bp.Stats.RASOverflows }},
-	{"branchPred.RASUnderflows", func(m *Machine) uint64 { return m.bp.Stats.RASUnderflows }},
-	{"branchPred.usedLocal", func(m *Machine) uint64 { return m.bp.Stats.LocalUsed }},
-	{"branchPred.usedGlobal", func(m *Machine) uint64 { return m.bp.Stats.GlobalUsed }},
-	{"branchPred.choiceFlips", func(m *Machine) uint64 { return m.bp.Stats.ChoiceFlips }},
-	{"branchPred.mistrainAliasing", func(m *Machine) uint64 { return m.bp.Stats.MistrainAliasing }},
+	CtrBranchPredLookups
+	CtrBranchPredCondPredicted
+	CtrBranchPredCondIncorrect
+	CtrBranchPredBTBLookups
+	CtrBranchPredBTBHits
+	CtrBranchPredBTBMispredicts
+	CtrBranchPredRASUsed
+	CtrBranchPredRASIncorrect
+	CtrBranchPredRASOverflows
+	CtrBranchPredRASUnderflows
+	CtrBranchPredUsedLocal
+	CtrBranchPredUsedGlobal
+	CtrBranchPredChoiceFlips
+	CtrBranchPredMistrainAliasing
 
 	// L1 data cache.
-	{"dcache.ReadReq_hits", func(m *Machine) uint64 { return m.l1d.Stats.ReadHits }},
-	{"dcache.ReadReq_misses", func(m *Machine) uint64 { return m.l1d.Stats.ReadMisses }},
-	{"dcache.WriteReq_hits", func(m *Machine) uint64 { return m.l1d.Stats.WriteHits }},
-	{"dcache.WriteReq_misses", func(m *Machine) uint64 { return m.l1d.Stats.WriteMisses }},
-	{"dcache.ReadReq_mshr_hits", func(m *Machine) uint64 { return m.l1d.Stats.MSHRHits }},
-	{"dcache.ReadReq_mshr_miss_latency", func(m *Machine) uint64 { return m.l1d.Stats.MSHRMissLatency }},
-	{"dcache.mshr_full_stalls", func(m *Machine) uint64 { return m.l1d.Stats.MSHRFullStalls }},
-	{"dcache.CleanEvicts", func(m *Machine) uint64 { return m.l1d.Stats.CleanEvicts }},
-	{"dcache.DirtyEvicts", func(m *Machine) uint64 { return m.l1d.Stats.DirtyEvicts }},
-	{"dcache.Flushes", func(m *Machine) uint64 { return m.l1d.Stats.Flushes }},
-	{"dcache.FlushMisses", func(m *Machine) uint64 { return m.l1d.Stats.FlushMisses }},
-	{"dcache.Prefetches", func(m *Machine) uint64 { return m.l1d.Stats.Prefetches }},
-	{"dcache.PrefetchFills", func(m *Machine) uint64 { return m.l1d.Stats.PrefetchFills }},
-	{"dcache.WriteBufFull", func(m *Machine) uint64 { return m.l1d.Stats.WriteBufFull }},
-	{"dcache.SpecFills", func(m *Machine) uint64 { return m.l1d.Stats.SpecFills }},
-	{"dcache.SpecExposes", func(m *Machine) uint64 { return m.l1d.Stats.SpecExposes }},
-	{"dcache.SpecSquashed", func(m *Machine) uint64 { return m.l1d.Stats.SpecSquashed }},
-	{"dcache.SpecBufHits", func(m *Machine) uint64 { return m.l1d.Stats.SpecBufHits }},
-	{"dcache.WritebackReqs", func(m *Machine) uint64 { return m.l1d.Stats.WritebackReqs }},
-	{"dcache.InvalidatesRecvd", func(m *Machine) uint64 { return m.l1d.Stats.InvalidatesRecvd }},
+	CtrDcacheReadReqHits
+	CtrDcacheReadReqMisses
+	CtrDcacheWriteReqHits
+	CtrDcacheWriteReqMisses
+	CtrDcacheReadReqMshrHits
+	CtrDcacheReadReqMshrMissLatency
+	CtrDcacheMshrFullStalls
+	CtrDcacheCleanEvicts
+	CtrDcacheDirtyEvicts
+	CtrDcacheFlushes
+	CtrDcacheFlushMisses
+	CtrDcachePrefetches
+	CtrDcachePrefetchFills
+	CtrDcacheWriteBufFull
+	CtrDcacheSpecFills
+	CtrDcacheSpecExposes
+	CtrDcacheSpecSquashed
+	CtrDcacheSpecBufHits
+	CtrDcacheWritebackReqs
+	CtrDcacheInvalidatesRecvd
 
 	// L1 instruction cache.
-	{"icache.ReadReq_hits", func(m *Machine) uint64 { return m.l1i.Stats.ReadHits }},
-	{"icache.ReadReq_misses", func(m *Machine) uint64 { return m.l1i.Stats.ReadMisses }},
-	{"icache.ReadReq_mshr_hits", func(m *Machine) uint64 { return m.l1i.Stats.MSHRHits }},
-	{"icache.CleanEvicts", func(m *Machine) uint64 { return m.l1i.Stats.CleanEvicts }},
-	{"icache.mshr_miss_latency", func(m *Machine) uint64 { return m.l1i.Stats.MSHRMissLatency }},
+	CtrIcacheReadReqHits
+	CtrIcacheReadReqMisses
+	CtrIcacheReadReqMshrHits
+	CtrIcacheCleanEvicts
+	CtrIcacheMshrMissLatency
 
-	// Shared L2.
-	{"l2.ReadReq_hits", func(m *Machine) uint64 { return m.l2.Stats.ReadHits }},
-	{"l2.ReadReq_misses", func(m *Machine) uint64 { return m.l2.Stats.ReadMisses }},
-	{"l2.WriteReq_hits", func(m *Machine) uint64 { return m.l2.Stats.WriteHits }},
-	{"l2.WriteReq_misses", func(m *Machine) uint64 { return m.l2.Stats.WriteMisses }},
-	{"l2.ReadReq_mshr_hits", func(m *Machine) uint64 { return m.l2.Stats.MSHRHits }},
-	{"l2.mshr_miss_latency", func(m *Machine) uint64 { return m.l2.Stats.MSHRMissLatency }},
-	{"l2.CleanEvicts", func(m *Machine) uint64 { return m.l2.Stats.CleanEvicts }},
-	{"l2.DirtyEvicts", func(m *Machine) uint64 { return m.l2.Stats.DirtyEvicts }},
-	{"l2.Flushes", func(m *Machine) uint64 { return m.l2.Stats.Flushes }},
-	{"l2.WriteBufFull", func(m *Machine) uint64 { return m.l2.Stats.WriteBufFull }},
-	{"membus.trans_dist::ReadSharedReq", func(m *Machine) uint64 { return m.l1d.Stats.ReadSharedReqs + m.l1i.Stats.ReadSharedReqs }},
-	{"membus.trans_dist::WritebackDirty", func(m *Machine) uint64 { return m.l1d.Stats.WritebackReqs + m.l2.Stats.WritebackReqs }},
+	// Shared L2 / memory bus.
+	CtrL2ReadReqHits
+	CtrL2ReadReqMisses
+	CtrL2WriteReqHits
+	CtrL2WriteReqMisses
+	CtrL2ReadReqMshrHits
+	CtrL2MshrMissLatency
+	CtrL2CleanEvicts
+	CtrL2DirtyEvicts
+	CtrL2Flushes
+	CtrL2WriteBufFull
+	CtrMembusTransDistReadSharedReq
+	CtrMembusTransDistWritebackDirty
 
 	// TLBs.
-	{"dtlb.rdHits", func(m *Machine) uint64 { return m.dtlb.Stats.RdHits }},
-	{"dtlb.rdMisses", func(m *Machine) uint64 { return m.dtlb.Stats.RdMisses }},
-	{"dtlb.wrMisses", func(m *Machine) uint64 { return m.dtlb.Stats.WrMisses }},
-	{"dtlb.walks", func(m *Machine) uint64 { return m.dtlb.Stats.Walks }},
-	{"dtlb.permFaults", func(m *Machine) uint64 { return m.dtlb.Stats.PermFault }},
-	{"itlb.rdMisses", func(m *Machine) uint64 { return m.itlb.Stats.RdMisses }},
-	{"itlb.flushes", func(m *Machine) uint64 { return m.itlb.Stats.Flushes }},
+	CtrDTLBRdHits
+	CtrDTLBRdMisses
+	CtrDTLBWrMisses
+	CtrDTLBWalks
+	CtrDTLBPermFaults
+	CtrITLBRdMisses
+	CtrITLBFlushes
 
 	// DRAM.
-	{"dram.Reads", func(m *Machine) uint64 { return m.mem.Stats.Reads }},
-	{"dram.Writes", func(m *Machine) uint64 { return m.mem.Stats.Writes }},
-	{"dram.Activates", func(m *Machine) uint64 { return m.mem.Stats.Activates }},
-	{"dram.RowHits", func(m *Machine) uint64 { return m.mem.Stats.RowHits }},
-	{"dram.RowConflicts", func(m *Machine) uint64 { return m.mem.Stats.RowConflicts }},
-	{"dram.Refreshes", func(m *Machine) uint64 { return m.mem.Stats.Refreshes }},
-	{"dram.TRRRefreshes", func(m *Machine) uint64 { return m.mem.Stats.TRRRefreshes }},
-	{"dram.bytesRead", func(m *Machine) uint64 { return m.mem.Stats.BytesRead }},
-	{"dram.bytesWritten", func(m *Machine) uint64 { return m.mem.Stats.BytesWritten }},
-	{"dram.bytesReadWrQ", func(m *Machine) uint64 { return m.mem.Stats.BytesReadWrQ }},
-	{"dram.selfRefreshEnergy", func(m *Machine) uint64 { return m.mem.Stats.SelfRefreshTicks }},
+	CtrDRAMReads
+	CtrDRAMWrites
+	CtrDRAMActivates
+	CtrDRAMRowHits
+	CtrDRAMRowConflicts
+	CtrDRAMRefreshes
+	CtrDRAMTRRRefreshes
+	CtrDRAMBytesRead
+	CtrDRAMBytesWritten
+	CtrDRAMBytesReadWrQ
+	CtrDRAMSelfRefreshEnergy
+
+	// NumCounters is the size of the flat counter array (and of the
+	// catalog); it must be the last constant in this block.
+	NumCounters
+)
+
+// counterNames is the name registry: pure metadata binding each CtrID to
+// its gem5-style catalog name. The keys must cover every CtrID exactly once
+// (evaxlint "ctrname" checks density and uniqueness).
+var counterNames = [NumCounters]string{
+	CtrFetchCycles:                    "fetch.Cycles",
+	CtrFetchInsts:                     "fetch.Insts",
+	CtrFetchStallCycles:               "fetch.StallCycles",
+	CtrFetchIcacheStallCycles:         "fetch.IcacheStallCycles",
+	CtrFetchSquashCycles:              "fetch.SquashCycles",
+	CtrFetchPendingQuiesceStallCycles: "fetch.PendingQuiesceStallCycles",
+	CtrDecodeInsts:                    "decode.Insts",
+	CtrDecodeBlockedCycles:            "decode.BlockedCycles",
+	CtrRenameRenamedInsts:             "rename.RenamedInsts",
+	CtrRenameUndone:                   "rename.Undone",
+	CtrRenameSerializingInsts:         "rename.serializingInsts",
+	CtrRenameFullRegStalls:            "rename.FullRegStalls",
+	CtrRenameCommittedMaps:            "rename.CommittedMaps",
+	CtrIQInstsAdded:                   "iq.InstsAdded",
+	CtrIQInstsIssued:                  "iq.InstsIssued",
+	CtrIQFullStalls:                   "iq.FullStalls",
+	CtrIQSquashedInstsExamined:        "iq.SquashedInstsExamined",
+	CtrIQSquashedNonSpecLD:            "iq.SquashedNonSpecLD",
+	CtrIQConflicts:                    "iq.Conflicts",
+	CtrIEWExecutedInsts:               "iew.ExecutedInsts",
+	CtrIEWExecSquashedInsts:           "iew.ExecSquashedInsts",
+	CtrIEWMemOrderViolation:           "iew.MemOrderViolation",
+	CtrIEWBranchMispredicts:           "iew.BranchMispredicts",
+	CtrLSQForwLoads:                   "lsq.forwLoads",
+	CtrLSQSquashedLoads:               "lsq.squashedLoads",
+	CtrLSQSquashedStores:              "lsq.squashedStores",
+	CtrLSQIgnoredResponses:            "lsq.ignoredResponses",
+	CtrLSQRescheduledLoads:            "lsq.rescheduledLoads",
+	CtrLSQBlockedLoads:                "lsq.blockedLoads",
+	CtrLSQSpecLoadsHitWrQueue:         "lsq.SpecLoadsHitWrQueue",
+	CtrROBFullStalls:                  "rob.FullStalls",
+	CtrROBReads:                       "rob.Reads",
+	CtrCommitCommittedInsts:           "commit.CommittedInsts",
+	CtrCommitBranches:                 "commit.Branches",
+	CtrCommitLoads:                    "commit.Loads",
+	CtrCommitStores:                   "commit.Stores",
+	CtrCommitFaults:                   "commit.Faults",
+	CtrCommitSquashedInsts:            "commit.SquashedInsts",
+	CtrSpecInstsAdded:                 "spec.InstsAdded",
+	CtrSpecLoadsExecuted:              "spec.LoadsExecuted",
+	CtrFenceStallCycles:               "fence.StallCycles",
+	CtrSerializeDrains:                "serialize.Drains",
+	CtrRNGReads:                       "rng.Reads",
+	CtrRNGContentionCycles:            "rng.ContentionCycles",
+	CtrKernelSyscalls:                 "kernel.Syscalls",
+	CtrFetchQuiesceCycles:             "fetch.QuiesceCycles",
+	CtrBranchPredLookups:              "branchPred.lookups",
+	CtrBranchPredCondPredicted:        "branchPred.condPredicted",
+	CtrBranchPredCondIncorrect:        "branchPred.condIncorrect",
+	CtrBranchPredBTBLookups:           "branchPred.BTBLookups",
+	CtrBranchPredBTBHits:              "branchPred.BTBHits",
+	CtrBranchPredBTBMispredicts:       "branchPred.BTBMispredicts",
+	CtrBranchPredRASUsed:              "branchPred.RASUsed",
+	CtrBranchPredRASIncorrect:         "branchPred.RASIncorrect",
+	CtrBranchPredRASOverflows:         "branchPred.RASOverflows",
+	CtrBranchPredRASUnderflows:        "branchPred.RASUnderflows",
+	CtrBranchPredUsedLocal:            "branchPred.usedLocal",
+	CtrBranchPredUsedGlobal:           "branchPred.usedGlobal",
+	CtrBranchPredChoiceFlips:          "branchPred.choiceFlips",
+	CtrBranchPredMistrainAliasing:     "branchPred.mistrainAliasing",
+	CtrDcacheReadReqHits:              "dcache.ReadReq_hits",
+	CtrDcacheReadReqMisses:            "dcache.ReadReq_misses",
+	CtrDcacheWriteReqHits:             "dcache.WriteReq_hits",
+	CtrDcacheWriteReqMisses:           "dcache.WriteReq_misses",
+	CtrDcacheReadReqMshrHits:          "dcache.ReadReq_mshr_hits",
+	CtrDcacheReadReqMshrMissLatency:   "dcache.ReadReq_mshr_miss_latency",
+	CtrDcacheMshrFullStalls:           "dcache.mshr_full_stalls",
+	CtrDcacheCleanEvicts:              "dcache.CleanEvicts",
+	CtrDcacheDirtyEvicts:              "dcache.DirtyEvicts",
+	CtrDcacheFlushes:                  "dcache.Flushes",
+	CtrDcacheFlushMisses:              "dcache.FlushMisses",
+	CtrDcachePrefetches:               "dcache.Prefetches",
+	CtrDcachePrefetchFills:            "dcache.PrefetchFills",
+	CtrDcacheWriteBufFull:             "dcache.WriteBufFull",
+	CtrDcacheSpecFills:                "dcache.SpecFills",
+	CtrDcacheSpecExposes:              "dcache.SpecExposes",
+	CtrDcacheSpecSquashed:             "dcache.SpecSquashed",
+	CtrDcacheSpecBufHits:              "dcache.SpecBufHits",
+	CtrDcacheWritebackReqs:            "dcache.WritebackReqs",
+	CtrDcacheInvalidatesRecvd:         "dcache.InvalidatesRecvd",
+	CtrIcacheReadReqHits:              "icache.ReadReq_hits",
+	CtrIcacheReadReqMisses:            "icache.ReadReq_misses",
+	CtrIcacheReadReqMshrHits:          "icache.ReadReq_mshr_hits",
+	CtrIcacheCleanEvicts:              "icache.CleanEvicts",
+	CtrIcacheMshrMissLatency:          "icache.mshr_miss_latency",
+	CtrL2ReadReqHits:                  "l2.ReadReq_hits",
+	CtrL2ReadReqMisses:                "l2.ReadReq_misses",
+	CtrL2WriteReqHits:                 "l2.WriteReq_hits",
+	CtrL2WriteReqMisses:               "l2.WriteReq_misses",
+	CtrL2ReadReqMshrHits:              "l2.ReadReq_mshr_hits",
+	CtrL2MshrMissLatency:              "l2.mshr_miss_latency",
+	CtrL2CleanEvicts:                  "l2.CleanEvicts",
+	CtrL2DirtyEvicts:                  "l2.DirtyEvicts",
+	CtrL2Flushes:                      "l2.Flushes",
+	CtrL2WriteBufFull:                 "l2.WriteBufFull",
+	CtrMembusTransDistReadSharedReq:   "membus.trans_dist::ReadSharedReq",
+	CtrMembusTransDistWritebackDirty:  "membus.trans_dist::WritebackDirty",
+	CtrDTLBRdHits:                     "dtlb.rdHits",
+	CtrDTLBRdMisses:                   "dtlb.rdMisses",
+	CtrDTLBWrMisses:                   "dtlb.wrMisses",
+	CtrDTLBWalks:                      "dtlb.walks",
+	CtrDTLBPermFaults:                 "dtlb.permFaults",
+	CtrITLBRdMisses:                   "itlb.rdMisses",
+	CtrITLBFlushes:                    "itlb.flushes",
+	CtrDRAMReads:                      "dram.Reads",
+	CtrDRAMWrites:                     "dram.Writes",
+	CtrDRAMActivates:                  "dram.Activates",
+	CtrDRAMRowHits:                    "dram.RowHits",
+	CtrDRAMRowConflicts:               "dram.RowConflicts",
+	CtrDRAMRefreshes:                  "dram.Refreshes",
+	CtrDRAMTRRRefreshes:               "dram.TRRRefreshes",
+	CtrDRAMBytesRead:                  "dram.bytesRead",
+	CtrDRAMBytesWritten:               "dram.bytesWritten",
+	CtrDRAMBytesReadWrQ:               "dram.bytesReadWrQ",
+	CtrDRAMSelfRefreshEnergy:          "dram.selfRefreshEnergy",
 }
 
-// catalog is built once from counterDefs.
-var catalog = func() *hpc.Catalog {
-	names := make([]string, len(counterDefs))
-	for i, d := range counterDefs {
-		names[i] = d.name
-	}
-	return hpc.MustCatalog(names)
-}()
+// Name returns the counter's gem5-style catalog name.
+func (id CtrID) Name() string { return counterNames[id] }
+
+// catalog is built once from the name registry.
+var catalog = hpc.MustCatalog(counterNames[:])
 
 // CounterCatalog returns the machine's base event catalog (shared by every
 // Machine instance; the catalog is static).
 func CounterCatalog() *hpc.Catalog { return catalog }
 
-// ReadCounters implements hpc.Source.
-func (m *Machine) ReadCounters(out []uint64) {
-	for i := range counterDefs {
-		out[i] = counterDefs[i].get(m)
+// ctrLink wires one component-backed counter slot to its source field(s).
+// Links are resolved once at machine construction — component stats keep
+// living in their components (cache, branch, tlb, dram own their Stats for
+// their own tests), and syncCounters folds them into the flat array with
+// one pointer dereference per counter, no closures and no name lookups.
+// src[1] is non-nil only for composite counters (the membus distributions,
+// which sum two component sources).
+type ctrLink struct {
+	id  CtrID
+	src [2]*uint64
+}
+
+// counterLinks resolves the component-backed slots against m's components.
+// Machine-level counters are absent: the pipeline increments m.ctr directly.
+func (m *Machine) counterLinks() []ctrLink {
+	l := func(id CtrID, a *uint64) ctrLink { return ctrLink{id, [2]*uint64{a, nil}} }
+	l2 := func(id CtrID, a, b *uint64) ctrLink { return ctrLink{id, [2]*uint64{a, b}} }
+	return []ctrLink{
+		l(CtrBranchPredLookups, &m.bp.Stats.Lookups),
+		l(CtrBranchPredCondPredicted, &m.bp.Stats.CondPredicted),
+		l(CtrBranchPredCondIncorrect, &m.bp.Stats.CondIncorrect),
+		l(CtrBranchPredBTBLookups, &m.bp.Stats.BTBLookups),
+		l(CtrBranchPredBTBHits, &m.bp.Stats.BTBHits),
+		l(CtrBranchPredBTBMispredicts, &m.bp.Stats.BTBMispredicts),
+		l(CtrBranchPredRASUsed, &m.bp.Stats.RASUsed),
+		l(CtrBranchPredRASIncorrect, &m.bp.Stats.RASIncorrect),
+		l(CtrBranchPredRASOverflows, &m.bp.Stats.RASOverflows),
+		l(CtrBranchPredRASUnderflows, &m.bp.Stats.RASUnderflows),
+		l(CtrBranchPredUsedLocal, &m.bp.Stats.LocalUsed),
+		l(CtrBranchPredUsedGlobal, &m.bp.Stats.GlobalUsed),
+		l(CtrBranchPredChoiceFlips, &m.bp.Stats.ChoiceFlips),
+		l(CtrBranchPredMistrainAliasing, &m.bp.Stats.MistrainAliasing),
+		l(CtrDcacheReadReqHits, &m.l1d.Stats.ReadHits),
+		l(CtrDcacheReadReqMisses, &m.l1d.Stats.ReadMisses),
+		l(CtrDcacheWriteReqHits, &m.l1d.Stats.WriteHits),
+		l(CtrDcacheWriteReqMisses, &m.l1d.Stats.WriteMisses),
+		l(CtrDcacheReadReqMshrHits, &m.l1d.Stats.MSHRHits),
+		l(CtrDcacheReadReqMshrMissLatency, &m.l1d.Stats.MSHRMissLatency),
+		l(CtrDcacheMshrFullStalls, &m.l1d.Stats.MSHRFullStalls),
+		l(CtrDcacheCleanEvicts, &m.l1d.Stats.CleanEvicts),
+		l(CtrDcacheDirtyEvicts, &m.l1d.Stats.DirtyEvicts),
+		l(CtrDcacheFlushes, &m.l1d.Stats.Flushes),
+		l(CtrDcacheFlushMisses, &m.l1d.Stats.FlushMisses),
+		l(CtrDcachePrefetches, &m.l1d.Stats.Prefetches),
+		l(CtrDcachePrefetchFills, &m.l1d.Stats.PrefetchFills),
+		l(CtrDcacheWriteBufFull, &m.l1d.Stats.WriteBufFull),
+		l(CtrDcacheSpecFills, &m.l1d.Stats.SpecFills),
+		l(CtrDcacheSpecExposes, &m.l1d.Stats.SpecExposes),
+		l(CtrDcacheSpecSquashed, &m.l1d.Stats.SpecSquashed),
+		l(CtrDcacheSpecBufHits, &m.l1d.Stats.SpecBufHits),
+		l(CtrDcacheWritebackReqs, &m.l1d.Stats.WritebackReqs),
+		l(CtrDcacheInvalidatesRecvd, &m.l1d.Stats.InvalidatesRecvd),
+		l(CtrIcacheReadReqHits, &m.l1i.Stats.ReadHits),
+		l(CtrIcacheReadReqMisses, &m.l1i.Stats.ReadMisses),
+		l(CtrIcacheReadReqMshrHits, &m.l1i.Stats.MSHRHits),
+		l(CtrIcacheCleanEvicts, &m.l1i.Stats.CleanEvicts),
+		l(CtrIcacheMshrMissLatency, &m.l1i.Stats.MSHRMissLatency),
+		l(CtrL2ReadReqHits, &m.l2.Stats.ReadHits),
+		l(CtrL2ReadReqMisses, &m.l2.Stats.ReadMisses),
+		l(CtrL2WriteReqHits, &m.l2.Stats.WriteHits),
+		l(CtrL2WriteReqMisses, &m.l2.Stats.WriteMisses),
+		l(CtrL2ReadReqMshrHits, &m.l2.Stats.MSHRHits),
+		l(CtrL2MshrMissLatency, &m.l2.Stats.MSHRMissLatency),
+		l(CtrL2CleanEvicts, &m.l2.Stats.CleanEvicts),
+		l(CtrL2DirtyEvicts, &m.l2.Stats.DirtyEvicts),
+		l(CtrL2Flushes, &m.l2.Stats.Flushes),
+		l(CtrL2WriteBufFull, &m.l2.Stats.WriteBufFull),
+		l2(CtrMembusTransDistReadSharedReq, &m.l1d.Stats.ReadSharedReqs, &m.l1i.Stats.ReadSharedReqs),
+		l2(CtrMembusTransDistWritebackDirty, &m.l1d.Stats.WritebackReqs, &m.l2.Stats.WritebackReqs),
+		l(CtrDTLBRdHits, &m.dtlb.Stats.RdHits),
+		l(CtrDTLBRdMisses, &m.dtlb.Stats.RdMisses),
+		l(CtrDTLBWrMisses, &m.dtlb.Stats.WrMisses),
+		l(CtrDTLBWalks, &m.dtlb.Stats.Walks),
+		l(CtrDTLBPermFaults, &m.dtlb.Stats.PermFault),
+		l(CtrITLBRdMisses, &m.itlb.Stats.RdMisses),
+		l(CtrITLBFlushes, &m.itlb.Stats.Flushes),
+		l(CtrDRAMReads, &m.mem.Stats.Reads),
+		l(CtrDRAMWrites, &m.mem.Stats.Writes),
+		l(CtrDRAMActivates, &m.mem.Stats.Activates),
+		l(CtrDRAMRowHits, &m.mem.Stats.RowHits),
+		l(CtrDRAMRowConflicts, &m.mem.Stats.RowConflicts),
+		l(CtrDRAMRefreshes, &m.mem.Stats.Refreshes),
+		l(CtrDRAMTRRRefreshes, &m.mem.Stats.TRRRefreshes),
+		l(CtrDRAMBytesRead, &m.mem.Stats.BytesRead),
+		l(CtrDRAMBytesWritten, &m.mem.Stats.BytesWritten),
+		l(CtrDRAMBytesReadWrQ, &m.mem.Stats.BytesReadWrQ),
+		l(CtrDRAMSelfRefreshEnergy, &m.mem.Stats.SelfRefreshTicks),
 	}
+}
+
+// syncCounters folds the component-backed sources into the flat array.
+func (m *Machine) syncCounters() {
+	for i := range m.links {
+		ln := &m.links[i]
+		v := *ln.src[0]
+		if ln.src[1] != nil {
+			v += *ln.src[1]
+		}
+		m.ctr[ln.id] = v
+	}
+}
+
+// ReadCounters implements hpc.Source: one fixed sync of the
+// component-backed slots, then a single copy of the flat array. No
+// closures, no per-counter dispatch, no allocation.
+func (m *Machine) ReadCounters(out []uint64) {
+	m.syncCounters()
+	copy(out, m.ctr[:])
+}
+
+// Ctr returns the current value of one counter (component-backed slots are
+// synced first; tests and tooling read through this).
+func (m *Machine) Ctr(id CtrID) uint64 {
+	m.syncCounters()
+	return m.ctr[id]
 }

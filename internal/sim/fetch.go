@@ -11,8 +11,8 @@ import (
 // computing their timing.
 func (m *Machine) fetchStage() bool {
 	if m.quiescing {
-		m.C.QuiesceCycles++
-		m.C.PendingQuiesceStalls++
+		m.ctr[CtrFetchQuiesceCycles]++
+		m.ctr[CtrFetchPendingQuiesceStallCycles]++
 		if m.ROBOccupancy() == 0 {
 			m.quiescing = false
 			m.fetchReadyAt = m.cycle + 1
@@ -20,36 +20,36 @@ func (m *Machine) fetchStage() bool {
 		return false
 	}
 	if m.cycle < m.fetchReadyAt {
-		m.C.FetchStallCycles++
+		m.ctr[CtrFetchStallCycles]++
 		return false
 	}
 	progress := false
-	m.C.FetchCycles++
+	m.ctr[CtrFetchCycles]++
 	for slot := 0; slot < m.cfg.FetchWidth; slot++ {
 		if m.fetchIdx < 0 || m.fetchIdx >= len(m.prog.Code) {
 			break // end of path; resolve/replay/done logic redirects
 		}
 		if m.ROBOccupancy() >= m.cfg.ROBEntries {
-			m.C.ROBFullStalls++
+			m.ctr[CtrROBFullStalls]++
 			break
 		}
 		m.drainIQ()
 		if len(m.iqHeap) >= m.cfg.IQEntries {
-			m.C.IQFullStalls++
-			m.C.DecodeBlocked++
+			m.ctr[CtrIQFullStalls]++
+			m.ctr[CtrDecodeBlockedCycles]++
 			break
 		}
 		in := &m.prog.Code[m.fetchIdx]
 		if in.Kind == isa.Load && m.lqCount >= m.cfg.LQEntries {
-			m.C.LSQBlockedLoads++
+			m.ctr[CtrLSQBlockedLoads]++
 			break
 		}
 		if in.Kind == isa.Store && len(m.sq) >= m.cfg.SQEntries {
-			m.C.LSQBlockedLoads++
+			m.ctr[CtrLSQBlockedLoads]++
 			break
 		}
 		if instHasDest(in) && m.inFlightDests >= m.cfg.PhysIntRegs-isa.NumRegs {
-			m.C.RenameFullRegs++
+			m.ctr[CtrRenameFullRegStalls]++
 			break
 		}
 		if !m.fetchLineReady() {
@@ -69,7 +69,7 @@ func (m *Machine) fetchStage() bool {
 func (m *Machine) drainIQ() {
 	for len(m.iqHeap) > 0 && m.iqHeap[0] <= m.cycle {
 		heap.Pop(&m.iqHeap)
-		m.C.IQIssued++
+		m.ctr[CtrIQInstsIssued]++
 	}
 }
 
@@ -86,7 +86,7 @@ func (m *Machine) fetchLineReady() bool {
 	lat := tr.Latency + m.l1i.Access(m.cycle, pc, false)
 	if lat > 2 {
 		m.fetchReadyAt = m.cycle + lat - 2
-		m.C.FetchICacheStalls += lat - 2
+		m.ctr[CtrFetchIcacheStallCycles] += lat - 2
 		return false
 	}
 	return true
@@ -130,7 +130,7 @@ func (m *Machine) acquire(free []uint64, start, busy uint64) uint64 {
 		}
 	}
 	if free[best] > start {
-		m.C.IQConflicts++
+		m.ctr[CtrIQConflicts]++
 		start = free[best]
 	}
 	free[best] = start + busy
@@ -152,22 +152,22 @@ func (m *Machine) dispatch(in *isa.Inst, idx int) (int, bool) {
 		dest:      in.Dest,
 	}
 	m.phaseDispatched[in.Phase]++
-	m.C.FetchInsts++
-	m.C.DecodeInsts++
-	m.C.RenameInsts++
-	m.C.IQAdded++
+	m.ctr[CtrFetchInsts]++
+	m.ctr[CtrDecodeInsts]++
+	m.ctr[CtrRenameRenamedInsts]++
+	m.ctr[CtrIQInstsAdded]++
 	if wrongPath || m.pendingReplays > 0 {
-		m.C.SpecInstsAdded++
+		m.ctr[CtrSpecInstsAdded]++
 	}
 
 	// Base issue time: front-end depth plus serialization barriers.
 	start := m.cycle + m.cfg.FetchToDispatch
 	if m.serializeBarrier > start {
-		m.C.FenceStallCycles += m.serializeBarrier - start
+		m.ctr[CtrFenceStallCycles] += m.serializeBarrier - start
 		start = m.serializeBarrier
 	}
 	if m.policy == PolicyFenceAfterBranch && m.branchFence > start {
-		m.C.FenceStallCycles += m.branchFence - start
+		m.ctr[CtrFenceStallCycles] += m.branchFence - start
 		start = m.branchFence
 	}
 
@@ -207,7 +207,7 @@ func (m *Machine) dispatch(in *isa.Inst, idx int) (int, bool) {
 		ea := in.EA(m.specRead)
 		start = maxu(start, m.srcReady(in.Base, in.Index))
 		if m.memBarrier > start {
-			m.C.FenceStallCycles += m.memBarrier - start
+			m.ctr[CtrFenceStallCycles] += m.memBarrier - start
 			start = m.memBarrier
 		}
 		start = m.acquire(m.storeFree, start, 1)
@@ -254,12 +254,12 @@ func (m *Machine) dispatch(in *isa.Inst, idx int) (int, bool) {
 		orig := start
 		start = maxu(start, m.rngFree)
 		if start > orig {
-			m.C.RdRandContention += start - orig
+			m.ctr[CtrRNGContentionCycles] += start - orig
 		}
 		m.rngFree = start + m.cfg.RdRandLat
 		e.execStart = start
 		e.doneAt = start + m.cfg.RdRandLat
-		m.C.RdRandReads++
+		m.ctr[CtrRNGReads]++
 		m.rng ^= m.rng << 13
 		m.rng ^= m.rng >> 7
 		m.rng ^= m.rng << 17
@@ -286,12 +286,12 @@ func (m *Machine) dispatch(in *isa.Inst, idx int) (int, bool) {
 		lat := uint64(10)
 		if in.Kind == isa.Syscall {
 			lat = m.cfg.SyscallLat
-			m.C.SyscallCount++
+			m.ctr[CtrKernelSyscalls]++
 		}
 		e.doneAt = start + lat
 		m.serializeBarrier = maxu(m.serializeBarrier, e.doneAt)
-		m.C.SerializeDrains++
-		m.C.RenameSerializing++
+		m.ctr[CtrSerializeDrains]++
+		m.ctr[CtrRenameSerializingInsts]++
 		serial = true
 
 	case isa.Quiesce:
@@ -316,7 +316,7 @@ func (m *Machine) dispatch(in *isa.Inst, idx int) (int, bool) {
 			m.branchFence = maxu(m.branchFence, maxu(m.maxDoneAll, e.doneAt))
 		}
 	}
-	m.C.ExecutedInsts++
+	m.ctr[CtrIEWExecutedInsts]++
 	if e.execStart > m.cycle {
 		heap.Push(&m.iqHeap, e.execStart)
 	}

@@ -10,11 +10,11 @@ func (m *Machine) dispatchLoad(in *isa.Inst, idx int, e *robEntry, start uint64)
 	ea := in.EA(m.specRead)
 	start = maxu(start, m.srcReady(in.Base, in.Index))
 	if m.memBarrier > start {
-		m.C.FenceStallCycles += m.memBarrier - start
+		m.ctr[CtrFenceStallCycles] += m.memBarrier - start
 		start = m.memBarrier
 	}
 	if m.policy == PolicyFenceBeforeLoad && m.maxDoneAll+1 > start {
-		m.C.FenceStallCycles += m.maxDoneAll + 1 - start
+		m.ctr[CtrFenceStallCycles] += m.maxDoneAll + 1 - start
 		start = m.maxDoneAll + 1
 	}
 	start = m.acquire(m.loadFree, start, 1)
@@ -37,7 +37,7 @@ func (m *Machine) dispatchLoad(in *isa.Inst, idx int, e *robEntry, start uint64)
 	}
 	speculative := m.maxDoneCtrl > start
 	if speculative {
-		m.C.SpecLoadsExecuted++
+		m.ctr[CtrSpecLoadsExecuted]++
 	}
 
 	needsCache := true
@@ -71,9 +71,9 @@ func (m *Machine) dispatchLoad(in *isa.Inst, idx int, e *robEntry, start uint64)
 	case match != nil && match.addrAt <= start:
 		// The store's address is resolved: forward, waiting for the
 		// data if it is still in flight.
-		m.C.LSQForwLoads++
+		m.ctr[CtrLSQForwLoads]++
 		if speculative {
-			m.C.SpecLoadsHitWrQ++
+			m.ctr[CtrLSQSpecLoadsHitWrQueue]++
 		}
 		if match.dataAt > start {
 			lat += match.dataAt - start

@@ -108,65 +108,11 @@ func (h *uint64Heap) Pop() interface{} {
 	return x
 }
 
-// Counters is the machine-level event block; component stats live in the
-// components themselves and are merged by ReadCounters.
+// Counters holds the machine-level bookkeeping that is NOT part of the HPC
+// catalog: defense telemetry and security ground truth. Every
+// catalog-exposed event lives in the flat Machine.ctr array, addressed by
+// CtrID (see counters.go).
 type Counters struct {
-	FetchCycles          uint64
-	FetchInsts           uint64
-	FetchStallCycles     uint64
-	FetchICacheStalls    uint64
-	FetchSquashCycles    uint64
-	PendingQuiesceStalls uint64
-
-	DecodeInsts   uint64
-	DecodeBlocked uint64
-
-	RenameInsts       uint64
-	RenameUndone      uint64 // renames squashed
-	RenameSerializing uint64
-	RenameFullRegs    uint64
-	CommittedMaps     uint64
-
-	IQAdded             uint64
-	IQIssued            uint64
-	IQFullStalls        uint64
-	IQSquashedExamined  uint64
-	IQSquashedNonSpecLD uint64
-	IQConflicts         uint64 // execution-port contention events
-
-	ExecutedInsts     uint64
-	ExecSquashedInsts uint64
-	MemOrderViolation uint64
-	BranchMispredicts uint64 // resolved right-path mispredictions
-
-	LSQForwLoads        uint64
-	LSQSquashedLoads    uint64
-	LSQSquashedStores   uint64
-	LSQIgnoredResponses uint64
-	LSQRescheduled      uint64
-	LSQBlockedLoads     uint64
-	SpecLoadsHitWrQ     uint64
-
-	ROBFullStalls uint64
-	ROBReads      uint64
-
-	CommitInsts    uint64
-	CommitBranches uint64
-	CommitLoads    uint64
-	CommitStores   uint64
-	CommitFaults   uint64
-	CommitSquashed uint64 // total squashed micro-ops
-
-	SpecInstsAdded    uint64 // dispatched while speculation pending
-	SpecLoadsExecuted uint64
-
-	FenceStallCycles uint64
-	SerializeDrains  uint64
-	RdRandReads      uint64
-	RdRandContention uint64
-	SyscallCount     uint64
-	QuiesceCycles    uint64
-
 	MemCorruptions   uint64 // Rowhammer bit flips applied to memory
 	DefenseSwitches  uint64
 	DefenseActiveCyc uint64
@@ -260,6 +206,13 @@ type Machine struct {
 	// ground truth needs).
 	phaseDispatched [6]uint64
 
+	// ctr is the flat catalog-counter array, indexed by CtrID. The
+	// pipeline increments machine-level slots directly; component-backed
+	// slots are folded in by syncCounters through links (resolved once in
+	// New). ReadCounters is then a sync plus one copy.
+	ctr   [NumCounters]uint64
+	links []ctrLink
+
 	C Counters
 
 	rng uint64 // architectural RDRAND state (matches isa.Interp)
@@ -301,6 +254,7 @@ func New(cfg Config, prog *isa.Program) *Machine {
 	m.storeFree = make([]uint64, cfg.StorePort)
 	m.rob = make([]robEntry, 0, cfg.ROBEntries)
 	heap.Init(&m.iqHeap)
+	m.links = m.counterLinks()
 	return m
 }
 

@@ -17,7 +17,7 @@ func (m *Machine) Step() bool {
 	if m.policy != PolicyNone {
 		m.C.DefenseActiveCyc++
 	}
-	m.C.ROBReads += uint64(m.ROBOccupancy())
+	m.ctr[CtrROBReads] += uint64(m.ROBOccupancy())
 	progress := false
 	if m.resolveStage() {
 		progress = true
@@ -77,14 +77,14 @@ func (m *Machine) skipAhead() {
 	}
 	delta := next - m.cycle - 1
 	m.cycle += delta
-	m.C.FetchStallCycles += delta
-	m.C.ROBReads += delta * uint64(m.ROBOccupancy())
+	m.ctr[CtrFetchStallCycles] += delta
+	m.ctr[CtrROBReads] += delta * uint64(m.ROBOccupancy())
 	if m.policy != PolicyNone {
 		m.C.DefenseActiveCyc += delta
 	}
 	if m.quiescing {
-		m.C.PendingQuiesceStalls += delta
-		m.C.QuiesceCycles += delta
+		m.ctr[CtrFetchPendingQuiesceStallCycles] += delta
+		m.ctr[CtrFetchQuiesceCycles] += delta
 	}
 }
 
@@ -94,7 +94,7 @@ func (m *Machine) resolveStage() bool {
 	if r == nil || m.cycle < r.doneAt {
 		return false
 	}
-	m.C.BranchMispredicts++
+	m.ctr[CtrIEWBranchMispredicts]++
 	// Find the owner's position in the ROB.
 	pos := m.findROB(r.seq)
 	m.squashYoungerThan(pos)
@@ -102,7 +102,7 @@ func (m *Machine) resolveStage() bool {
 	m.pendingRedirect = nil
 	m.fetchIdx = r.actualNext
 	m.fetchReadyAt = m.cycle + m.cfg.SquashPenalty
-	m.C.FetchSquashCycles += m.cfg.SquashPenalty
+	m.ctr[CtrFetchSquashCycles] += m.cfg.SquashPenalty
 	m.forceLineRefetch()
 	return true
 }
@@ -122,16 +122,16 @@ func (m *Machine) squashYoungerThan(pos int) {
 	ownerSeq := m.rob[pos].seq
 	for i := len(m.rob) - 1; i > pos; i-- {
 		e := &m.rob[i]
-		m.C.CommitSquashed++
-		m.C.IQSquashedExamined++
+		m.ctr[CtrCommitSquashedInsts]++
+		m.ctr[CtrIQSquashedInstsExamined]++
 		if e.execStart <= m.cycle {
-			m.C.ExecSquashedInsts++
+			m.ctr[CtrIEWExecSquashedInsts]++
 		}
 		if e.isLoad {
 			m.lqCount--
-			m.C.LSQSquashedLoads++
+			m.ctr[CtrLSQSquashedLoads]++
 			if e.fault || e.assistReplay {
-				m.C.IQSquashedNonSpecLD++
+				m.ctr[CtrIQSquashedNonSpecLD]++
 			}
 			if e.fault || e.assistReplay || e.stlViolation {
 				m.pendingReplays--
@@ -144,14 +144,14 @@ func (m *Machine) squashYoungerThan(pos int) {
 			}
 		}
 		if e.isStore {
-			m.C.LSQSquashedStores++
+			m.ctr[CtrLSQSquashedStores]++
 		}
 		if e.isCtrl {
 			m.inFlightCtrl--
 		}
 		if e.hasDest {
 			m.inFlightDests--
-			m.C.RenameUndone++
+			m.ctr[CtrRenameUndone]++
 		}
 	}
 	// Drop squashed stores from the SQ (they are the entries with seq
@@ -211,17 +211,17 @@ func (m *Machine) commitStage() bool {
 		}
 		progress = true
 		m.committed++
-		m.C.CommitInsts++
+		m.ctr[CtrCommitCommittedInsts]++
 		replay := e.fault || e.assistReplay || e.stlViolation
 
 		if e.hasDest {
 			m.archRegs[e.dest] = e.destValue
-			m.C.CommittedMaps++
+			m.ctr[CtrRenameCommittedMaps]++
 			m.inFlightDests--
 		}
 		if e.isLoad {
 			m.lqCount--
-			m.C.CommitLoads++
+			m.ctr[CtrCommitLoads]++
 			if e.specLoad {
 				// Exposure validates the load at its visibility
 				// point. Validations are serialized on a single
@@ -239,7 +239,7 @@ func (m *Machine) commitStage() bool {
 			}
 		}
 		if e.isStore {
-			m.C.CommitStores++
+			m.ctr[CtrCommitStores]++
 			if len(m.sq) > 0 && m.sq[0].seq == e.seq {
 				st := m.sq[0]
 				m.sq = m.sq[1:]
@@ -248,7 +248,7 @@ func (m *Machine) commitStage() bool {
 			}
 		}
 		if e.isCtrl {
-			m.C.CommitBranches++
+			m.ctr[CtrCommitBranches]++
 			m.inFlightCtrl--
 			m.trainPredictor(e)
 		}
@@ -258,14 +258,14 @@ func (m *Machine) commitStage() bool {
 
 		if replay {
 			if e.fault {
-				m.C.CommitFaults++
+				m.ctr[CtrCommitFaults]++
 			}
 			if e.assistReplay {
-				m.C.LSQIgnoredResponses++
+				m.ctr[CtrLSQIgnoredResponses]++
 			}
 			if e.stlViolation {
-				m.C.MemOrderViolation++
-				m.C.LSQRescheduled++
+				m.ctr[CtrIEWMemOrderViolation]++
+				m.ctr[CtrLSQRescheduledLoads]++
 			}
 			m.replaySquash(e)
 			m.robHead++
@@ -305,7 +305,7 @@ func (m *Machine) replaySquash(e *robEntry) {
 		m.kernelNoise()
 	}
 	m.fetchReadyAt = m.cycle + penalty
-	m.C.FetchSquashCycles += penalty
+	m.ctr[CtrFetchSquashCycles] += penalty
 	m.forceLineRefetch()
 }
 

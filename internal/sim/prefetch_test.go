@@ -104,9 +104,9 @@ func TestPrefetcherIgnoresIrregularPattern(t *testing.T) {
 		t.Fatal("did not finish")
 	}
 	// Far fewer prefetches than loads.
-	if m.PrefetchesIssued() > m.C.CommitLoads/2 {
+	if m.PrefetchesIssued() > m.Ctr(CtrCommitLoads)/2 {
 		t.Fatalf("prefetcher issued %d on %d irregular loads",
-			m.PrefetchesIssued(), m.C.CommitLoads)
+			m.PrefetchesIssued(), m.Ctr(CtrCommitLoads))
 	}
 }
 

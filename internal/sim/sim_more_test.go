@@ -95,7 +95,7 @@ func TestLQFullStalls(t *testing.T) {
 	if !m.Done() {
 		t.Fatal("did not finish")
 	}
-	if m.C.LSQBlockedLoads == 0 {
+	if m.Ctr(CtrLSQBlockedLoads) == 0 {
 		t.Fatal("tiny LQ never blocked dispatch")
 	}
 }
@@ -116,7 +116,7 @@ func TestPhysRegExhaustion(t *testing.T) {
 	if !m.Done() {
 		t.Fatal("did not finish")
 	}
-	if m.C.RenameFullRegs == 0 {
+	if m.Ctr(CtrRenameFullRegStalls) == 0 {
 		t.Fatal("rename never stalled on free physical registers")
 	}
 }
@@ -137,7 +137,7 @@ func TestIQFullStalls(t *testing.T) {
 	if !m.Done() {
 		t.Fatal("did not finish")
 	}
-	if m.C.IQFullStalls == 0 {
+	if m.Ctr(CtrIQFullStalls) == 0 {
 		t.Fatal("tiny IQ never filled")
 	}
 }
@@ -155,7 +155,7 @@ func TestROBFullStalls(t *testing.T) {
 	p := b.MustBuild()
 	m := New(cfg, p)
 	m.Run(10000)
-	if m.C.ROBFullStalls == 0 {
+	if m.Ctr(CtrROBFullStalls) == 0 {
 		t.Fatal("tiny ROB never filled")
 	}
 }

@@ -119,7 +119,7 @@ func TestStoreForwarding(t *testing.T) {
 	p := b.MustBuild()
 	m, it := runBoth(t, p, 1000)
 	checkArchMatch(t, m, it)
-	if m.C.LSQForwLoads == 0 {
+	if m.Ctr(CtrLSQForwLoads) == 0 {
 		t.Fatal("no store-to-load forwarding recorded")
 	}
 }
@@ -206,8 +206,8 @@ func TestBranchPredictorLearnsLoop(t *testing.T) {
 		t.Fatal("loop did not finish")
 	}
 	// One mispredict at the final iteration plus a few at warmup.
-	if m.C.BranchMispredicts > 20 {
-		t.Fatalf("mispredicts = %d, want < 20 for a counted loop", m.C.BranchMispredicts)
+	if m.Ctr(CtrIEWBranchMispredicts) > 20 {
+		t.Fatalf("mispredicts = %d, want < 20 for a counted loop", m.Ctr(CtrIEWBranchMispredicts))
 	}
 }
 
@@ -342,8 +342,8 @@ func TestMeltdownTransientLeak(t *testing.T) {
 	if !m.L1D().Present(leakAddr) {
 		t.Fatal("Meltdown window not modelled: no transient cache footprint")
 	}
-	if m.C.CommitFaults != 1 {
-		t.Fatalf("commit faults = %d, want 1", m.C.CommitFaults)
+	if m.Ctr(CtrCommitFaults) != 1 {
+		t.Fatalf("commit faults = %d, want 1", m.Ctr(CtrCommitFaults))
 	}
 	if m.ArchReg(isa.R4) != 0 {
 		t.Fatalf("faulting load committed %d, want 0", m.ArchReg(isa.R4))
@@ -392,8 +392,8 @@ func TestSpectreSTLViolation(t *testing.T) {
 	p := b.MustBuild()
 	m, it := runBoth(t, p, 10000)
 	checkArchMatch(t, m, it)
-	if m.C.MemOrderViolation != 1 {
-		t.Fatalf("memory-order violations = %d, want 1", m.C.MemOrderViolation)
+	if m.Ctr(CtrIEWMemOrderViolation) != 1 {
+		t.Fatalf("memory-order violations = %d, want 1", m.Ctr(CtrIEWMemOrderViolation))
 	}
 	if m.ArchReg(isa.R5) != 222 {
 		t.Fatalf("replayed load committed %d, want 222", m.ArchReg(isa.R5))
@@ -427,8 +427,8 @@ func TestAssistLoadInjection(t *testing.T) {
 	if m.ArchReg(isa.R4) != 1 {
 		t.Fatalf("assist load committed %d, want 1 (true value)", m.ArchReg(isa.R4))
 	}
-	if m.C.LSQIgnoredResponses != 1 {
-		t.Fatalf("ignored responses = %d, want 1", m.C.LSQIgnoredResponses)
+	if m.Ctr(CtrLSQIgnoredResponses) != 1 {
+		t.Fatalf("ignored responses = %d, want 1", m.Ctr(CtrLSQIgnoredResponses))
 	}
 	if !m.L1D().Present(probeBase + 6*stride) {
 		t.Fatal("injected value left no transient footprint")
@@ -490,8 +490,13 @@ func TestDefenseOverheadOrdering(t *testing.T) {
 
 func TestCountersAlignWithCatalog(t *testing.T) {
 	cat := CounterCatalog()
-	if cat.Len() != len(counterDefs) {
-		t.Fatalf("catalog %d != defs %d", cat.Len(), len(counterDefs))
+	if cat.Len() != int(NumCounters) {
+		t.Fatalf("catalog %d != NumCounters %d", cat.Len(), NumCounters)
+	}
+	for id := CtrID(0); id < NumCounters; id++ {
+		if name := id.Name(); cat.MustIndex(name) != int(id) {
+			t.Fatalf("catalog index for %q = %d, want %d", name, cat.MustIndex(name), id)
+		}
 	}
 	p, _ := spectreGadget()
 	m := New(DefaultConfig(), p)
@@ -551,7 +556,7 @@ func TestSyscallSerializesAndAddsNoise(t *testing.T) {
 	if !m.Done() {
 		t.Fatal("did not finish")
 	}
-	if m.C.SyscallCount != 1 || m.C.SerializeDrains != 1 {
+	if m.Ctr(CtrKernelSyscalls) != 1 || m.Ctr(CtrSerializeDrains) != 1 {
 		t.Fatalf("syscall counters: %+v", m.C)
 	}
 	if m.itlb.Stats.Flushes == 0 {
@@ -572,7 +577,7 @@ func TestQuiesceDrains(t *testing.T) {
 	if !m.Done() {
 		t.Fatal("did not finish")
 	}
-	if m.C.PendingQuiesceStalls == 0 {
+	if m.Ctr(CtrFetchPendingQuiesceStallCycles) == 0 {
 		t.Fatal("quiesce produced no stall cycles")
 	}
 	if m.ArchReg(isa.R3) != 7 {
@@ -588,10 +593,10 @@ func TestRdRandContention(t *testing.T) {
 	p := b.MustBuild()
 	m := New(DefaultConfig(), p)
 	m.Run(10000)
-	if m.C.RdRandReads != 8 {
-		t.Fatalf("rdrand reads = %d, want 8", m.C.RdRandReads)
+	if m.Ctr(CtrRNGReads) != 8 {
+		t.Fatalf("rdrand reads = %d, want 8", m.Ctr(CtrRNGReads))
 	}
-	if m.C.RdRandContention == 0 {
+	if m.Ctr(CtrRNGContentionCycles) == 0 {
 		t.Fatal("back-to-back RDRAND showed no unit contention")
 	}
 }

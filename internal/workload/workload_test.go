@@ -123,9 +123,9 @@ func TestWorkloadsAreMicroarchitecturallyDiverse(t *testing.T) {
 		m.Run(2_000_000)
 		profs = append(profs, profile{
 			name:       spec.Name,
-			mispredict: float64(m.C.BranchMispredicts) / float64(m.Instructions()+1),
+			mispredict: float64(m.Ctr(sim.CtrIEWBranchMispredicts)) / float64(m.Instructions()+1),
 			dramReads:  m.DRAM().Stats.Reads,
-			syscalls:   m.C.SyscallCount,
+			syscalls:   m.Ctr(sim.CtrKernelSyscalls),
 		})
 	}
 	var anyBranchy, anyDRAM, anySyscall bool
