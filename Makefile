@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-json check fmt
+.PHONY: build test race lint bench bench-json faults check fmt
 
 build: ## compile every package
 	$(GO) build ./...
@@ -28,6 +28,10 @@ bench: ## run the microbenchmarks
 bench-json: ## runner speedup + equivalence report (BENCH_runner.json), then the equivalence tests under -race
 	$(GO) run ./cmd/evaxbench -benchjson BENCH_runner.json -quick
 	$(GO) test -race -count=1 -run ParallelEquivalence ./internal/dataset ./internal/experiments
+
+faults: ## fault-injection suite under -race: torn writes, injected errors/panics, kill-and-resume
+	$(GO) test -race -count=1 ./internal/safeio ./internal/checkpoint ./internal/faultinject
+	$(GO) test -race -count=1 -run 'Fallback|Torn|KillAndResume|Resume' ./internal/defense ./internal/dataset ./internal/experiments
 
 fmt: ## rewrite sources with gofmt
 	gofmt -w .

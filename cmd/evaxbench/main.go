@@ -10,26 +10,32 @@
 //	evaxbench -quick         # reduced scale (the test configuration)
 //	evaxbench -jobs 8        # fan simulation campaigns out over 8 workers
 //	evaxbench -benchjson BENCH_runner.json   # runner speedup + equivalence report
+//	evaxbench -resume ckpt/   # journal campaigns into ckpt/; rerun to resume a killed run
 //	evaxbench -list
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"reflect"
 	"runtime"
 	"strings"
 	"time"
 
+	"evax/internal/checkpoint"
 	"evax/internal/dataset"
 	"evax/internal/detect"
 	"evax/internal/experiments"
 	"evax/internal/hpc"
 	"evax/internal/isa"
 	"evax/internal/runner"
+	"evax/internal/safeio"
 )
 
 var experimentIDs = []string{
@@ -44,6 +50,7 @@ func main() {
 		list      = flag.Bool("list", false, "list experiment ids and exit")
 		jobs      = flag.Int("jobs", 0, "worker count for simulation campaigns (0 = GOMAXPROCS, 1 = sequential)")
 		benchJSON = flag.String("benchjson", "", "measure parallel corpus generation against -jobs 1, write a JSON report to this file, and exit")
+		resumeDir = flag.String("resume", "", "directory for checkpoint journals; a killed run restarted with the same flags resumes its campaigns bit-identically")
 	)
 	flag.Parse()
 
@@ -80,6 +87,13 @@ func main() {
 		}
 	}
 
+	if *resumeDir != "" {
+		if err := os.MkdirAll(*resumeDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
 	var lab *experiments.Lab
 	if needLab {
 		workers := opts.Jobs
@@ -88,14 +102,19 @@ func main() {
 		}
 		fmt.Printf("building lab (corpus + AM-GAN + detectors) with %d worker(s)...\n", workers)
 		t0, s0 := time.Now(), runner.Snapshot()
-		lab = experiments.NewLab(opts)
+		l, err := buildLab(opts, *resumeDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		lab = l
 		reportThroughput("lab", time.Since(t0), runner.Snapshot().JobsRun-s0.JobsRun)
 		fmt.Printf("lab ready: %s\n\n", lab.DS.Stats())
 	}
 
 	for _, id := range ids {
 		t0, s0 := time.Now(), runner.Snapshot()
-		out, err := run(id, lab)
+		out, err := run(id, lab, *resumeDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -104,6 +123,38 @@ func main() {
 		reportThroughput(id, time.Since(t0), runner.Snapshot().JobsRun-s0.JobsRun)
 		fmt.Println()
 	}
+}
+
+// buildLab constructs the lab, journaling the corpus campaign under
+// resumeDir when set so a killed run resumes instead of restarting.
+func buildLab(opts experiments.LabOptions, resumeDir string) (*experiments.Lab, error) {
+	if resumeDir == "" {
+		return experiments.NewLab(opts), nil
+	}
+	j, err := openJournal(resumeDir, "corpus", opts.Corpus.CampaignKey())
+	if err != nil {
+		return nil, err
+	}
+	//evaxlint:ignore droppederr every Append already fsynced; close failure after a finished campaign loses nothing
+	defer j.Close()
+	return experiments.NewLabCtx(context.Background(), opts, j)
+}
+
+// openJournal opens resumeDir/<name>.journal keyed to the campaign,
+// reporting how much of the campaign is already banked.
+func openJournal(resumeDir, name, key string) (*checkpoint.Journal, error) {
+	path := filepath.Join(resumeDir, name+".journal")
+	j, err := checkpoint.Open(path, key)
+	if errors.Is(err, checkpoint.ErrCampaignMismatch) {
+		return nil, fmt.Errorf("%w\n(the journal at %s was written by a run with different flags; rerun with matching flags or delete it)", err, path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if j.Len() > 0 {
+		fmt.Printf("resuming %s campaign from %s (%d jobs already journaled)\n", name, path, j.Len())
+	}
+	return j, nil
 }
 
 // reportThroughput prints one stage's wall-clock and per-job throughput.
@@ -270,8 +321,8 @@ func writeBenchJSON(path string, jobs int, quick bool) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
-		return err
+	if err := safeio.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("writing bench report: %w", err)
 	}
 	fmt.Printf("runner bench: %d jobs  seq=%v  par(%d)=%v  speedup=%.2fx  identical=%v -> %s\n",
 		r.JobsRun, seqWall.Round(time.Millisecond), jobs, parWall.Round(time.Millisecond), r.Speedup, r.Identical, path)
@@ -283,7 +334,7 @@ func writeBenchJSON(path string, jobs int, quick bool) error {
 	return fpErr
 }
 
-func run(id string, lab *experiments.Lab) (fmt.Stringer, error) {
+func run(id string, lab *experiments.Lab, resumeDir string) (fmt.Stringer, error) {
 	switch id {
 	case "table1":
 		return experiments.TableI(lab), nil
@@ -302,11 +353,38 @@ func run(id string, lab *experiments.Lab) (fmt.Stringer, error) {
 	case "fig16":
 		return experiments.Figure16(lab), nil
 	case "fig17":
-		return experiments.Figure17(lab, 6), nil
+		const seedsPerTool = 6
+		if resumeDir == "" {
+			return experiments.Figure17(lab, seedsPerTool), nil
+		}
+		j, err := openJournal(resumeDir, "fig17", lab.Figure17Key(seedsPerTool))
+		if err != nil {
+			return nil, err
+		}
+		//evaxlint:ignore droppederr every Append already fsynced; close failure after a finished campaign loses nothing
+		defer j.Close()
+		res, err := experiments.Figure17Ctx(context.Background(), lab, seedsPerTool, j)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	case "fig18":
 		return experiments.Figure18(lab), nil
 	case "fig19":
-		return experiments.Figure19(lab, nil), nil // all folds
+		if resumeDir == "" {
+			return experiments.Figure19(lab, nil), nil // all folds
+		}
+		j, err := openJournal(resumeDir, "fig19", lab.Figure19Key(nil))
+		if err != nil {
+			return nil, err
+		}
+		//evaxlint:ignore droppederr every Append already fsynced; close failure after a finished campaign loses nothing
+		defer j.Close()
+		res, err := experiments.Figure19Ctx(context.Background(), lab, nil, j)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
 	case "fig20":
 		return experiments.Figure20(lab, []int{1, 16, 32}), nil
 	case "zeroday":

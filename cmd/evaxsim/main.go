@@ -122,10 +122,9 @@ func main() {
 
 // runAdaptive gates the chosen policy with a trained detection bundle.
 func runAdaptive(mcfg sim.Config, prog *isa.Program, pol sim.Policy, bundlePath string, interval, window, maxInstr uint64) {
-	fl, err := defense.LoadBundle(bundlePath)
+	fl, err := defense.LoadBundleOrSecure(bundlePath)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(os.Stderr, "evaxsim: %v\nevaxsim: falling back to always-secure mode (every window mitigated)\n", err)
 	}
 	dcfg := defense.DefaultConfig(pol)
 	dcfg.SampleInterval = interval

@@ -10,18 +10,23 @@
 //	evaxtrain -seeds 3 -interval 2000 -epochs 25
 //	evaxtrain -quick -weights weights.json
 //	evaxtrain -jobs 8    # fan the corpus simulations out over 8 workers
+//	evaxtrain -resume corpus.journal   # checkpoint the corpus; rerun to resume a killed campaign
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"evax/internal/checkpoint"
 	"evax/internal/defense"
 	"evax/internal/experiments"
 	"evax/internal/runner"
+	"evax/internal/safeio"
 )
 
 // weightsFile is the exported detector description.
@@ -45,6 +50,7 @@ func main() {
 		weights  = flag.String("weights", "", "write the trained EVAX detector to this JSON file")
 		bundleTo = flag.String("bundle", "", "write a deployable detection bundle (detector + normalizer) usable by evaxsim -bundle")
 		jobs     = flag.Int("jobs", 0, "worker count for corpus simulations (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+		resume   = flag.String("resume", "", "checkpoint journal for the corpus campaign; a killed run restarted with the same flags resumes from here bit-identically")
 	)
 	flag.Parse()
 
@@ -61,7 +67,11 @@ func main() {
 
 	fmt.Println("building corpus and training (this runs the simulator on every workload and attack)...")
 	t0, s0 := time.Now(), runner.Snapshot()
-	lab := experiments.NewLab(opts)
+	lab, err := buildLab(opts, *resume)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 	wall, ran := time.Since(t0), runner.Snapshot().JobsRun-s0.JobsRun
 	fmt.Printf("trained in %v (%d simulation jobs, %.1f jobs/sec)\n",
 		wall.Round(time.Millisecond), ran, float64(ran)/wall.Seconds())
@@ -93,6 +103,30 @@ func main() {
 	}
 }
 
+// buildLab constructs the lab, journaling the corpus campaign when a
+// -resume path is given: each completed simulation job is checkpointed, so
+// a killed run restarted with the same flags replays journaled slots from
+// disk and re-runs only the remainder — the final corpus is bit-identical
+// to an uninterrupted run.
+func buildLab(opts experiments.LabOptions, resume string) (*experiments.Lab, error) {
+	if resume == "" {
+		return experiments.NewLab(opts), nil
+	}
+	j, err := checkpoint.Open(resume, opts.Corpus.CampaignKey())
+	if err != nil {
+		if errors.Is(err, checkpoint.ErrCampaignMismatch) {
+			return nil, fmt.Errorf("%w\n(the journal at %s was written by a run with different corpus flags; rerun with matching flags or delete it)", err, resume)
+		}
+		return nil, err
+	}
+	//evaxlint:ignore droppederr every Append already fsynced; close failure after a finished campaign loses nothing
+	defer j.Close()
+	if j.Len() > 0 {
+		fmt.Printf("resuming corpus campaign from %s (%d jobs already journaled)\n", resume, j.Len())
+	}
+	return experiments.NewLabCtx(context.Background(), opts, j)
+}
+
 func writeWeights(path string, lab *experiments.Lab) error {
 	layer := lab.EVAX.Net.Layers[0]
 	var engineered []string
@@ -117,5 +151,8 @@ func writeWeights(path string, lab *experiments.Lab) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, data, 0o644)
+	if err := safeio.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("writing model output: %w", err)
+	}
+	return nil
 }

@@ -1,11 +1,13 @@
 // Package analysis is evax's project-specific static-analysis suite. It
 // implements a small, stdlib-only (go/ast, go/parser, go/token, go/types)
-// multi-analyzer framework plus five EVAX-specific rules that enforce the
-// invariants the paper's reproducibility claims rest on: no wall-clock or
-// global RNG in simulation/training paths (determinism), no map-iteration-
-// order-dependent accumulation (maporder), no exact float comparison
-// (floateq), no silently dropped errors (droppederr), and counter-name
-// referential integrity against the internal/sim registry (ctrname).
+// multi-analyzer framework plus EVAX-specific rules that enforce the
+// invariants the paper's reproducibility and robustness claims rest on: no
+// wall-clock or global RNG in simulation/training paths (determinism), no
+// map-iteration-order-dependent accumulation (maporder), no exact float
+// comparison (floateq), no silently dropped errors (droppederr),
+// counter-name referential integrity against the internal/sim registry
+// (ctrname), no ad-hoc concurrency outside the runner engine (goroutine),
+// and no crash-unsafe file writes outside internal/safeio (rawwrite).
 //
 // The suite is wired into CI via cmd/evaxlint; see DESIGN.md ("Static
 // analysis & determinism guarantees") for the rule catalog, the approved
@@ -111,6 +113,7 @@ func Analyzers() []*Analyzer {
 		DroppedErrAnalyzer(),
 		CtrNameAnalyzer(),
 		GoroutineAnalyzer(),
+		RawWriteAnalyzer(),
 	}
 }
 

@@ -187,6 +187,27 @@ func TestGoroutineExemptInRunner(t *testing.T) {
 	}
 }
 
+func TestRawWrite(t *testing.T) {
+	runRule(t, RawWriteAnalyzer(),
+		filepath.Join("testdata", "src", "rawwrite", "bad.golden"),
+		fixturePkg{path: "evax/internal/detect", files: fixture("rawwrite", "bad.go")})
+	runRule(t, RawWriteAnalyzer(),
+		filepath.Join("testdata", "src", "rawwrite", "clean.golden"),
+		fixturePkg{path: "evax/internal/detect", files: fixture("rawwrite", "clean.go")})
+}
+
+func TestRawWriteExemptInSafeio(t *testing.T) {
+	// The same raw writes inside the persistence layer are the one place
+	// they are allowed: safeio owns the crash-safe write protocol.
+	prog := loadFixtureProg(t, fixturePkg{
+		path:  "evax/internal/safeio",
+		files: fixture("rawwrite", "bad.go"),
+	})
+	if diags := Analyze(prog, []*Analyzer{RawWriteAnalyzer()}); len(diags) != 0 {
+		t.Errorf("rawwrite fired inside internal/safeio: %v", diags)
+	}
+}
+
 func TestSuppression(t *testing.T) {
 	// suppressed.go carries the same violations as the floateq bad fixture
 	// but every site is annotated with //evaxlint:ignore.

@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// rawWriteExemptScope lists the package-path suffixes allowed to call the
+// raw file-creation APIs. internal/safeio is the crash-safe persistence
+// layer: it alone owns the temp-file/fsync/rename protocol and the
+// checksummed read-back, so a write that bypasses it can tear under a crash
+// and silently corrupt a detector bundle, model output, or bench report.
+var rawWriteExemptScope = []string{
+	"internal/safeio",
+}
+
+// rawWriteBanned maps the banned os functions to the approved replacement
+// named in each diagnostic.
+var rawWriteBanned = map[string]string{
+	"WriteFile": "os.WriteFile is not crash-safe (a kill mid-write leaves a torn file); " +
+		"persist through safeio.WriteFile (temp + fsync + atomic rename)",
+	"Create": "os.Create truncates the destination before any byte is written; " +
+		"persist through safeio.WriteFile, or os.OpenFile for append-only journals",
+}
+
+// RawWriteAnalyzer flags os.WriteFile and os.Create outside
+// internal/safeio. Test files are exempt by construction: the loader skips
+// _test.go files, so fixtures and golden helpers may write directly.
+func RawWriteAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "rawwrite",
+		Doc:  "forbid os.WriteFile/os.Create outside internal/safeio",
+		Run:  runRawWrite,
+	}
+}
+
+func runRawWrite(pass *Pass) []Diagnostic {
+	for _, s := range rawWriteExemptScope {
+		if pass.Pkg.HasSuffix(s) {
+			return nil
+		}
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			msg, banned := rawWriteBanned[sel.Sel.Name]
+			if !banned {
+				return true
+			}
+			// Flag the function reference itself (not just calls) so
+			// passing os.Create as a value is caught too.
+			if ident, ok := sel.X.(*ast.Ident); ok && pkgNameOf(pass.Pkg.Info, ident) == "os" {
+				diags = append(diags, Diagnostic{
+					Pos:     pass.Position(sel.Pos()),
+					Rule:    "rawwrite",
+					Message: msg,
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

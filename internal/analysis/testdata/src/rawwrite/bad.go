@@ -1,0 +1,19 @@
+package detect
+
+import "os"
+
+// SavePatch persists with os.WriteFile: a crash between the truncate and
+// the final byte leaves a torn patch that the loader must then reject.
+func SavePatch(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// OpenReport truncates the previous report before writing the new one —
+// the worst-case window for a crash.
+func OpenReport(path string) (*os.File, error) {
+	return os.Create(path)
+}
+
+// creator smuggles the banned function as a value; the reference itself is
+// flagged, not just direct calls.
+var creator = os.Create

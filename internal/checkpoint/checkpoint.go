@@ -1,0 +1,320 @@
+// Package checkpoint makes campaigns resumable: an append-only journal on
+// disk records each completed job slot (gob payload + FNV-1a checksum), so
+// a campaign killed mid-run — crash, OOM, operator Ctrl-C — restarts from
+// where it stopped instead of from zero. Resume preserves the repository's
+// determinism contract: gob round-trips float64 bit patterns exactly, so a
+// resumed campaign's merged output is bit-identical to an uninterrupted
+// run (the dataset golden-hash tests pin this).
+//
+// Crash tolerance is asymmetric by design. A torn tail — the final record
+// cut short because the process died mid-append — is the expected crash
+// signature: Open accepts the valid prefix and truncates the tail. A
+// checksum mismatch on a *complete* record means silent corruption (bit
+// rot, a concurrent writer) and is a hard error: resuming from corrupt
+// state would poison the campaign. The strict ParseJournal rejects both,
+// and a fuzz test holds it to "error, never panic" on arbitrary input.
+package checkpoint
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"sync"
+
+	"evax/internal/runner"
+)
+
+// magic identifies a journal file and its format version.
+var magic = []byte("EVAXCKPT1\n")
+
+// ErrCampaignMismatch means the journal on disk belongs to a different
+// campaign (different options, corpus shape, or fold set) than the one
+// resuming — resuming from it would merge slots computed under other
+// parameters.
+var ErrCampaignMismatch = errors.New("checkpoint: journal belongs to a different campaign")
+
+// ErrCorrupt means a complete journal record failed its checksum or could
+// not be parsed — the journal cannot be trusted for resume.
+var ErrCorrupt = errors.New("checkpoint: journal corrupt")
+
+// Journal is an append-only, checksummed record of completed job slots.
+// Appends are safe for concurrent use by runner workers.
+type Journal struct {
+	mu    sync.Mutex
+	f     *os.File
+	key   string
+	slots map[int][]byte
+}
+
+// Open opens (or creates) the journal at path for the campaign identified
+// by key. An existing journal must carry the same key (ErrCampaignMismatch
+// otherwise); a torn final record — the normal crash signature — is
+// discarded by truncation, while corruption of complete records is a hard
+// error wrapping ErrCorrupt.
+func Open(path, key string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: open %s: %w", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		//evaxlint:ignore droppederr best-effort close on an already-failed open
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: read %s: %w", path, err)
+	}
+	gotKey, slots, validLen, err := recoverRecords(data)
+	if err != nil {
+		//evaxlint:ignore droppederr best-effort close on an already-failed open
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %s: %w", path, err)
+	}
+	j := &Journal{f: f, key: key, slots: slots}
+	if validLen == 0 {
+		// New (or unusable torn-header) journal: start fresh.
+		if err := j.reset(); err != nil {
+			//evaxlint:ignore droppederr best-effort close on an already-failed open
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: init %s: %w", path, err)
+		}
+		return j, nil
+	}
+	if gotKey != key {
+		//evaxlint:ignore droppederr best-effort close on an already-failed open
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: %s holds key %q, campaign has %q: %w",
+			path, gotKey, key, ErrCampaignMismatch)
+	}
+	if validLen < len(data) {
+		// Torn tail from a crash mid-append: drop it.
+		if err := f.Truncate(int64(validLen)); err != nil {
+			//evaxlint:ignore droppederr best-effort close on an already-failed open
+			f.Close()
+			return nil, fmt.Errorf("checkpoint: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		//evaxlint:ignore droppederr best-effort close on an already-failed open
+		f.Close()
+		return nil, fmt.Errorf("checkpoint: seek %s: %w", path, err)
+	}
+	return j, nil
+}
+
+// reset rewrites the journal as empty: magic plus the header record.
+func (j *Journal) reset() error {
+	if err := j.f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := j.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	buf := append([]byte{}, magic...)
+	buf = appendRecord(buf, []byte(j.key))
+	if _, err := j.f.Write(buf); err != nil {
+		return err
+	}
+	j.slots = map[int][]byte{}
+	return j.f.Sync()
+}
+
+// Slot returns the journaled payload for job i, if present.
+func (j *Journal) Slot(i int) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p, ok := j.slots[i]
+	return p, ok
+}
+
+// Len returns how many slots the journal holds.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.slots)
+}
+
+// Append durably records payload as the result of job slot i: the record is
+// written and fsynced before Append returns, so a crash immediately after a
+// job completes never loses it. Safe for concurrent use.
+func (j *Journal) Append(i int, payload []byte) error {
+	if i < 0 {
+		return fmt.Errorf("checkpoint: negative slot %d", i)
+	}
+	body := binary.AppendUvarint(nil, uint64(i))
+	body = append(body, payload...)
+	rec := appendRecord(nil, body)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.slots[i]; ok {
+		return nil // already journaled (resume re-ran a cached slot)
+	}
+	if _, err := j.f.Write(rec); err != nil {
+		return fmt.Errorf("checkpoint: append slot %d: %w", i, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: sync slot %d: %w", i, err)
+	}
+	j.slots[i] = append([]byte(nil), payload...)
+	return nil
+}
+
+// Close releases the journal file. The journal itself stays on disk; the
+// caller removes it once the campaign output is fully persisted.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// appendRecord frames body as uvarint(len) | body | fnv64a(body).
+func appendRecord(buf, body []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(body)))
+	buf = append(buf, body...)
+	h := fnv.New64a()
+	//evaxlint:ignore droppederr hash.Hash.Write never returns an error
+	h.Write(body)
+	return binary.LittleEndian.AppendUint64(buf, h.Sum64())
+}
+
+// recoverRecords parses data leniently: complete records must be intact
+// (checksum + shape) or the journal is ErrCorrupt, but an incomplete final
+// record — a torn append — merely bounds validLen, the length of the good
+// prefix. A journal torn before its header record yields validLen 0.
+func recoverRecords(data []byte) (key string, slots map[int][]byte, validLen int, err error) {
+	slots = map[int][]byte{}
+	if len(data) < len(magic) {
+		if bytes.HasPrefix(magic, data) {
+			return "", slots, 0, nil // torn before the magic completed
+		}
+		return "", nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	if !bytes.Equal(data[:len(magic)], magic) {
+		return "", nil, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	off := len(magic)
+	header, n, err := readRecord(data[off:])
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if n == 0 {
+		return "", slots, 0, nil // torn header: journal never got started
+	}
+	key = string(header)
+	off += n
+	for off < len(data) {
+		body, n, err := readRecord(data[off:])
+		if err != nil {
+			return "", nil, 0, err
+		}
+		if n == 0 {
+			return key, slots, off, nil // torn tail
+		}
+		slot, m := binary.Uvarint(body)
+		if m <= 0 || slot > 1<<31 {
+			return "", nil, 0, fmt.Errorf("%w: record at offset %d has no slot index", ErrCorrupt, off)
+		}
+		slots[int(slot)] = append([]byte(nil), body[m:]...)
+		off += n
+	}
+	return key, slots, off, nil
+}
+
+// readRecord parses one framed record from the front of data. It returns
+// (nil, 0, nil) when data holds only an incomplete record (torn tail), and
+// an ErrCorrupt error when a complete record fails its checksum.
+func readRecord(data []byte) (body []byte, consumed int, err error) {
+	if len(data) == 0 {
+		return nil, 0, nil
+	}
+	blen, m := binary.Uvarint(data)
+	if m == 0 {
+		return nil, 0, nil // length prefix itself torn
+	}
+	if m < 0 || blen > 1<<30 {
+		return nil, 0, fmt.Errorf("%w: implausible record length %d", ErrCorrupt, blen)
+	}
+	total := m + int(blen) + 8
+	if len(data) < total {
+		return nil, 0, nil // body or checksum torn
+	}
+	body = data[m : m+int(blen)]
+	h := fnv.New64a()
+	//evaxlint:ignore droppederr hash.Hash.Write never returns an error
+	h.Write(body)
+	if got := binary.LittleEndian.Uint64(data[m+int(blen) : total]); got != h.Sum64() {
+		return nil, 0, fmt.Errorf("%w: record checksum mismatch", ErrCorrupt)
+	}
+	return body, total, nil
+}
+
+// ParseJournal is the strict parser: it accepts only a complete,
+// uncorrupted journal — torn tails, bad magic, and checksum mismatches all
+// error (and arbitrary input never panics; a fuzz test pins this). Open
+// uses the lenient recovery path instead; this entry point serves
+// validation and the fuzz harness.
+func ParseJournal(data []byte) (key string, slots map[int][]byte, err error) {
+	key, slots, validLen, err := recoverRecords(data)
+	if err != nil {
+		return "", nil, err
+	}
+	if validLen != len(data) {
+		return "", nil, fmt.Errorf("%w: truncated journal (%d of %d bytes valid)",
+			ErrCorrupt, validLen, len(data))
+	}
+	return key, slots, nil
+}
+
+// Encode gob-encodes a job result for journaling. Gob preserves float64
+// bit patterns exactly, which is what makes resumed campaigns bit-identical.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode reverses Encode.
+func Decode(data []byte, v any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(v); err != nil {
+		return fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return nil
+}
+
+// Run executes a resumable fan-out: jobs whose slots the journal already
+// holds are decoded instead of re-executed, fresh completions are journaled
+// (durably, before the campaign proceeds), and the merged result is
+// bit-identical to an uninterrupted runner.MapErrCtx for any worker count.
+// A nil journal degrades to plain MapErrCtx with no persistence.
+func Run[T any](ctx context.Context, j *Journal, o runner.Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, *runner.Report, error) {
+	if j == nil {
+		return runner.MapErrCtx(ctx, o, n, fn)
+	}
+	return runner.MapErrCtx(ctx, o, n, func(ctx context.Context, i int) (T, error) {
+		if payload, ok := j.Slot(i); ok {
+			var v T
+			if err := Decode(payload, &v); err != nil {
+				return v, fmt.Errorf("slot %d: %w", i, err)
+			}
+			return v, nil
+		}
+		v, err := fn(ctx, i)
+		if err != nil {
+			return v, err
+		}
+		payload, err := Encode(v)
+		if err != nil {
+			return v, fmt.Errorf("slot %d: %w", i, err)
+		}
+		if err := j.Append(i, payload); err != nil {
+			return v, err
+		}
+		return v, nil
+	})
+}

@@ -1,0 +1,281 @@
+package checkpoint
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"evax/internal/runner"
+)
+
+type result struct {
+	Values []float64
+	Label  string
+}
+
+func jobFn(_ context.Context, i int) (result, error) {
+	return result{
+		Values: []float64{float64(i) * 1.25, 1.0 / float64(i+3)},
+		Label:  fmt.Sprintf("job-%d", i),
+	}, nil
+}
+
+func TestJournalAppendReopen(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := Open(path, "campaign-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		p, err := Encode(result{Values: []float64{float64(i)}, Label: "x"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Append(i*2, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := Open(path, "campaign-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 5 {
+		t.Fatalf("reopened journal holds %d slots, want 5", j2.Len())
+	}
+	payload, ok := j2.Slot(6)
+	if !ok {
+		t.Fatal("slot 6 lost on reopen")
+	}
+	var r result
+	if err := Decode(payload, &r); err != nil {
+		t.Fatal(err)
+	}
+	if r.Values[0] != 3 {
+		t.Fatalf("slot 6 decoded to %v", r)
+	}
+}
+
+func TestJournalCampaignMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := Open(path, "campaign-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := Open(path, "campaign-B"); !errors.Is(err, ErrCampaignMismatch) {
+		t.Fatalf("err = %v, want ErrCampaignMismatch", err)
+	}
+}
+
+// TestJournalTornTail: a crash mid-append leaves a torn final record; Open
+// recovers the valid prefix and the journal keeps working.
+func TestJournalTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := Open(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(i, []byte{byte(i), 0xAA}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 12; cut++ { // tear off up to a full record
+		torn := filepath.Join(t.TempDir(), "torn.journal")
+		if err := os.WriteFile(torn, data[:len(data)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		jt, err := Open(torn, "k")
+		if err != nil {
+			t.Fatalf("cut=%d: torn tail rejected: %v", cut, err)
+		}
+		if n := jt.Len(); n != 2 && n != 3 {
+			t.Fatalf("cut=%d: %d slots recovered, want 2 or 3", cut, n)
+		}
+		// The journal is append-ready after truncation.
+		if err := jt.Append(9, []byte("post-crash")); err != nil {
+			t.Fatalf("cut=%d: append after recovery: %v", cut, err)
+		}
+		jt.Close()
+		jr, err := Open(torn, "k")
+		if err != nil {
+			t.Fatalf("cut=%d: reopen after recovery: %v", cut, err)
+		}
+		if _, ok := jr.Slot(9); !ok {
+			t.Fatalf("cut=%d: post-recovery append lost", cut)
+		}
+		jr.Close()
+	}
+}
+
+// TestJournalBitFlipRejected: corruption inside a complete record is a hard
+// error — resume must not trust silently corrupted state.
+func TestJournalBitFlipRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := Open(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := j.Append(i, []byte("payload payload payload")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := append([]byte(nil), data...)
+	flip[len(magic)+len("k")+12] ^= 0x40 // inside the first slot record
+	bad := filepath.Join(t.TempDir(), "bad.journal")
+	if err := os.WriteFile(bad, flip, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad, "k"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestParseJournalStrict(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.journal")
+	j, err := Open(path, "strict-key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(4, []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key, slots, err := ParseJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "strict-key" || string(slots[4]) != "abc" {
+		t.Fatalf("parsed key=%q slots=%v", key, slots)
+	}
+	if _, _, err := ParseJournal(data[:len(data)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated journal: err = %v, want ErrCorrupt", err)
+	}
+	if _, _, err := ParseJournal([]byte("NOTAJOURNAL")); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("bad magic: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestRunResumeBitIdentical is the package-level kill-and-resume property:
+// a run cancelled mid-campaign, resumed from its journal, merges to exactly
+// the bytes of an uninterrupted run — for multiple worker counts.
+func TestRunResumeBitIdentical(t *testing.T) {
+	const n = 40
+	ref, _, err := runner.MapErrCtx(context.Background(), runner.Options{Jobs: 1}, n, jobFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 4} {
+		path := filepath.Join(t.TempDir(), "c.journal")
+		j, err := Open(path, "resume-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		o := runner.Options{Jobs: jobs}
+		o.OnJobDone = func(done int) {
+			if done >= 7 {
+				cancel() // the injected kill
+			}
+		}
+		_, rep, err := Run(ctx, j, o, n, jobFn)
+		cancel()
+		j.Close()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: interrupted run: err = %v", jobs, err)
+		}
+		if rep.CompletedCount() == 0 || rep.CompletedCount() >= n {
+			t.Fatalf("jobs=%d: %d completed, want a partial run", jobs, rep.CompletedCount())
+		}
+
+		j2, err := Open(path, "resume-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		journaled := j2.Len()
+		if journaled != rep.CompletedCount() {
+			t.Fatalf("jobs=%d: journal holds %d slots, report says %d",
+				jobs, journaled, rep.CompletedCount())
+		}
+		var fresh atomic.Int32
+		resumed, rep2, err := Run(context.Background(), j2, runner.Options{Jobs: jobs}, n,
+			func(ctx context.Context, i int) (result, error) {
+				fresh.Add(1)
+				return jobFn(ctx, i)
+			})
+		j2.Close()
+		if err != nil {
+			t.Fatalf("jobs=%d: resume: %v", jobs, err)
+		}
+		if rep2.CompletedCount() != n {
+			t.Fatalf("jobs=%d: resume completed %d of %d", jobs, rep2.CompletedCount(), n)
+		}
+		if int(fresh.Load()) != n-journaled {
+			t.Fatalf("jobs=%d: resume re-ran %d jobs, want %d", jobs, fresh.Load(), n-journaled)
+		}
+		if !reflect.DeepEqual(ref, resumed) {
+			t.Fatalf("jobs=%d: resumed output diverged from uninterrupted run", jobs)
+		}
+	}
+}
+
+func TestRunNilJournalPassthrough(t *testing.T) {
+	out, rep, err := Run(context.Background(), nil, runner.Options{Jobs: 2}, 10, jobFn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 10 || rep.CompletedCount() != 10 {
+		t.Fatalf("passthrough run: %d results, %d completed", len(out), rep.CompletedCount())
+	}
+}
+
+func TestEncodeDecodeFloatBits(t *testing.T) {
+	neg0 := math.Copysign(0, -1)
+	in := result{Values: []float64{0.1 + 0.2, 1e-308, neg0, math.Nextafter(1, 2)}, Label: "bits"}
+	p, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out result
+	if err := Decode(p, &out); err != nil {
+		t.Fatal(err)
+	}
+	if in.Label != out.Label || len(in.Values) != len(out.Values) {
+		t.Fatalf("gob round trip changed the shape: %v vs %v", in, out)
+	}
+	for i := range in.Values {
+		if math.Float64bits(in.Values[i]) != math.Float64bits(out.Values[i]) {
+			t.Fatalf("value %d changed bits: %x vs %x",
+				i, math.Float64bits(in.Values[i]), math.Float64bits(out.Values[i]))
+		}
+	}
+}

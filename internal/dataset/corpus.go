@@ -1,6 +1,8 @@
 package dataset
 
 import (
+	"context"
+
 	"evax/internal/attacks"
 	"evax/internal/isa"
 	"evax/internal/runner"
@@ -39,6 +41,11 @@ type CorpusOptions struct {
 	// are merged in job-enumeration order, so the corpus is byte-identical
 	// for every worker count.
 	Jobs int
+	// Progress, when non-nil, is called after each completed generation job
+	// with (completed, total). It runs on worker goroutines, so it must be
+	// safe for concurrent use; the cmds use it for progress lines, and the
+	// fault-injection tests use it to kill a campaign at an exact point.
+	Progress func(done, total int)
 }
 
 // DefaultCorpusOptions returns a configuration that builds a corpus of a
@@ -124,14 +131,11 @@ func enumerateJobs(o CorpusOptions) []collectJob {
 // across o.Jobs workers; samples merge in enumeration order, so the result
 // is identical to a sequential run for any worker count.
 func CollectAll(o CorpusOptions) []Sample {
-	cfg := o.config()
-	jobs := enumerateJobs(o)
-	out := runner.FlatMap(runner.Options{Jobs: o.Jobs}, len(jobs), func(i int) []Sample {
-		j := jobs[i]
-		return Collect(cfg, j.build(j.seed, j.scale), o.Interval, o.MaxInstr)
-	})
-	// Merge the per-job blocks into one contiguous corpus block (job order
-	// is preserved, so this stays byte-identical for any worker count).
-	Repack(out)
+	out, _, err := CollectAllCtx(context.Background(), o, nil)
+	if err != nil {
+		// Unreachable: with a background context, no journal, and jobs that
+		// never return errors, CollectAllCtx cannot fail (panics re-raise).
+		panic(err)
+	}
 	return out
 }

@@ -1,0 +1,73 @@
+package dataset
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+
+	"evax/internal/checkpoint"
+	"evax/internal/runner"
+)
+
+// CampaignKey identifies this corpus campaign for checkpoint resume: two
+// option sets share a key exactly when they enumerate the same jobs under
+// the same simulation parameters, so a journal can never be resumed into a
+// campaign it was not recorded for. The key is derived from the enumerated
+// job list (names, seeds, scales) rather than from the options struct —
+// AttackFilter is a function and has no stable textual form, but its
+// effect on the job list does.
+func (o CorpusOptions) CampaignKey() string {
+	h := fnv.New64a()
+	jobs := enumerateJobs(o)
+	for _, j := range jobs {
+		fmt.Fprintf(h, "%s/%d/%d;", j.name, j.seed, j.scale)
+	}
+	fmt.Fprintf(h, "|cfg=%+v", o.config())
+	return fmt.Sprintf("%sinterval=%d,max=%d,jobs=%d,id=%016x",
+		seedDomain, o.Interval, o.MaxInstr, len(jobs), h.Sum64())
+}
+
+// CollectAllCtx is CollectAll with cooperative cancellation and optional
+// checkpoint/resume. Jobs whose slots jrn already holds are decoded instead
+// of re-simulated; fresh completions are journaled before the campaign
+// proceeds. The merged corpus is bit-identical to CollectAll for any worker
+// count and any interrupt/resume history (gob round-trips float64 bits
+// exactly). On cancellation the report says which job slots completed — all
+// of them already journaled, so a re-run resumes from there.
+func CollectAllCtx(ctx context.Context, o CorpusOptions, jrn *checkpoint.Journal) ([]Sample, *runner.Report, error) {
+	cfg := o.config()
+	jobs := enumerateJobs(o)
+	ropts := runner.Options{Jobs: o.Jobs}
+	if o.Progress != nil {
+		total := len(jobs)
+		progress := o.Progress
+		ropts.OnJobDone = func(done int) { progress(done, total) }
+	}
+	batches, rep, err := checkpoint.Run(ctx, jrn, ropts, len(jobs),
+		func(_ context.Context, i int) ([]Sample, error) {
+			j := jobs[i]
+			return Collect(cfg, j.build(j.seed, j.scale), o.Interval, o.MaxInstr), nil
+		})
+	if err != nil {
+		return nil, rep, err
+	}
+	total := 0
+	for _, b := range batches {
+		total += len(b)
+	}
+	out := make([]Sample, 0, total)
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	Repack(out)
+	return out, rep, nil
+}
+
+// BuildCorpusCtx is BuildCorpus with cancellation and checkpoint/resume.
+func BuildCorpusCtx(ctx context.Context, o CorpusOptions, jrn *checkpoint.Journal) (*Dataset, error) {
+	samples, _, err := CollectAllCtx(ctx, o, jrn)
+	if err != nil {
+		return nil, err
+	}
+	return New(samples), nil
+}

@@ -1,0 +1,152 @@
+package dataset
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"evax/internal/checkpoint"
+)
+
+// TestCorpusKillAndResumeGolden is the repository's kill-and-resume
+// acceptance test: a corpus campaign killed mid-run by injected
+// cancellation, then resumed from its checkpoint journal, must produce a
+// corpus whose FNV-1a fingerprint is bit-identical to an uninterrupted
+// run — for multiple worker counts.
+func TestCorpusKillAndResumeGolden(t *testing.T) {
+	o := quickCorpusOptions()
+	ref := CollectAll(o)
+	refHash := corpusHash(ref)
+	key := o.CampaignKey()
+
+	for _, jobs := range []int{2, 4} {
+		path := filepath.Join(t.TempDir(), "corpus.journal")
+		ko := o
+		ko.Jobs = jobs
+		ctx, cancel := context.WithCancel(context.Background())
+		ko.Progress = func(done, total int) {
+			if done >= 3 && done < total {
+				cancel() // the injected kill, mid-campaign
+			}
+		}
+		j, err := checkpoint.Open(path, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, rep, err := CollectAllCtx(ctx, ko, j)
+		cancel()
+		j.Close()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: interrupted campaign: err = %v, want Canceled", jobs, err)
+		}
+		if rep.CompletedCount() == 0 {
+			t.Fatalf("jobs=%d: kill landed before any job completed", jobs)
+		}
+
+		// Resume: journal slots are decoded, the rest re-simulated.
+		ro := o
+		ro.Jobs = jobs
+		j2, err := checkpoint.Open(path, key)
+		if err != nil {
+			t.Fatalf("jobs=%d: reopen journal: %v", jobs, err)
+		}
+		if j2.Len() != rep.CompletedCount() {
+			t.Fatalf("jobs=%d: journal holds %d slots, interrupted report says %d",
+				jobs, j2.Len(), rep.CompletedCount())
+		}
+		resumed, rep2, err := CollectAllCtx(context.Background(), ro, j2)
+		j2.Close()
+		if err != nil {
+			t.Fatalf("jobs=%d: resume: %v", jobs, err)
+		}
+		if rep2.CompletedCount() != len(rep2.Completed) {
+			t.Fatalf("jobs=%d: resume left %d slots incomplete",
+				jobs, len(rep2.Completed)-rep2.CompletedCount())
+		}
+		if got := corpusHash(resumed); got != refHash {
+			t.Fatalf("jobs=%d: resumed corpus hash %#x != uninterrupted %#x — resume is not bit-identical",
+				jobs, got, refHash)
+		}
+	}
+}
+
+// TestCampaignKeySeparatesCampaigns: option changes that alter the job list
+// or simulation parameters must change the key (wrong-journal resume is
+// refused by checkpoint.Open), while worker count must not.
+func TestCampaignKeySeparatesCampaigns(t *testing.T) {
+	base := quickCorpusOptions()
+	key := base.CampaignKey()
+
+	jobsOnly := base
+	jobsOnly.Jobs = 7
+	if jobsOnly.CampaignKey() != key {
+		t.Fatal("worker count changed the campaign key; resume across -jobs would break")
+	}
+
+	mutations := map[string]CorpusOptions{}
+	m := base
+	m.Seeds++
+	mutations["seeds"] = m
+	m = base
+	m.Interval *= 2
+	mutations["interval"] = m
+	m = base
+	m.MaxInstr += 1000
+	mutations["maxinstr"] = m
+	m = base
+	m.SeedOffset += 11
+	mutations["seedoffset"] = m
+	m = base
+	m.BenignOnly = true
+	mutations["benignonly"] = m
+	for name, mo := range mutations {
+		if mo.CampaignKey() == key {
+			t.Fatalf("changing %s kept the campaign key; a stale journal would be resumed", name)
+		}
+	}
+}
+
+// TestCorpusResumeAcrossWorkerCounts: a journal written under one worker
+// count resumes under another — the campaign key is worker-independent and
+// slots are index-addressed.
+func TestCorpusResumeAcrossWorkerCounts(t *testing.T) {
+	o := quickCorpusOptions()
+	refHash := corpusHash(CollectAll(o))
+	path := filepath.Join(t.TempDir(), "corpus.journal")
+	key := o.CampaignKey()
+
+	ko := o
+	ko.Jobs = 4
+	ctx, cancel := context.WithCancel(context.Background())
+	ko.Progress = func(done, total int) {
+		if done >= 2 && done < total {
+			cancel()
+		}
+	}
+	j, err := checkpoint.Open(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = CollectAllCtx(ctx, ko, j)
+	cancel()
+	j.Close()
+	if err == nil {
+		t.Fatal("campaign was not interrupted")
+	}
+
+	ro := o
+	ro.Jobs = 2 // resume under a different worker count
+	j2, err := checkpoint.Open(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, _, err := CollectAllCtx(context.Background(), ro, j2)
+	j2.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpusHash(resumed) != refHash {
+		t.Fatal("resume under a different worker count diverged")
+	}
+}

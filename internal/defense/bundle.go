@@ -3,10 +3,14 @@ package defense
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 
 	"evax/internal/dataset"
 	"evax/internal/detect"
+	"evax/internal/hpc"
+	"evax/internal/safeio"
+	"evax/internal/sim"
 )
 
 // bundle is the deployable detection pipeline: the trained detector plus
@@ -28,10 +32,14 @@ func SaveBundle(path string, det *detect.Detector, ds *dataset.Dataset) error {
 	if err != nil {
 		return fmt.Errorf("defense: encoding bundle: %w", err)
 	}
-	return os.WriteFile(path, data, 0o644)
+	return safeio.WriteFile(path, data, 0o644)
 }
 
-// LoadBundle reads a bundle and returns a ready-to-run Flagger.
+// LoadBundle reads a bundle and returns a ready-to-run Flagger. The bundle
+// is untrusted input: the detector patch runs through detect's validation,
+// and the normalization maxima are checked against the derived feature space
+// the flagger will expand windows into — a length mismatch would otherwise
+// panic inside NormalizeInPlace on the first sampled window.
 func LoadBundle(path string) (*DetectorFlagger, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -43,10 +51,37 @@ func LoadBundle(path string) (*DetectorFlagger, error) {
 	}
 	det, err := detect.Unmarshal(b.Detector)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("defense: bundle %s: %w", path, err)
 	}
 	if len(b.Maxima) == 0 {
 		return nil, fmt.Errorf("defense: bundle %s has no normalization maxima", path)
 	}
+	if space := hpc.DerivedSpaceSize(sim.CounterCatalog().Len()); len(b.Maxima) != space {
+		return nil, fmt.Errorf("defense: bundle %s carries %d maxima for a %d-dim derived space",
+			path, len(b.Maxima), space)
+	}
+	for i, m := range b.Maxima {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return nil, fmt.Errorf("defense: bundle %s maximum %d is non-finite", path, i)
+		}
+		if m < 0 {
+			return nil, fmt.Errorf("defense: bundle %s maximum %d is negative (%g)", path, i, m)
+		}
+	}
 	return NewDetectorFlagger(det, dataset.FromMaxima(b.Maxima)), nil
+}
+
+// LoadBundleOrSecure loads a detection bundle, degrading gracefully when the
+// bundle is missing, torn, or fails validation: instead of refusing to run,
+// it returns the AlwaysOn flagger — the paper's safe default, which keeps
+// every window inside the secure policy (full protection, no performance
+// recovery) until a valid detector update arrives. The validation error is
+// returned alongside so callers can report why the fallback engaged; the
+// returned Flagger is usable either way.
+func LoadBundleOrSecure(path string) (Flagger, error) {
+	fl, err := LoadBundle(path)
+	if err != nil {
+		return AlwaysOn, err
+	}
+	return fl, nil
 }

@@ -1,0 +1,153 @@
+package detect
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"evax/internal/hpc"
+	"evax/internal/sim"
+)
+
+// goodPatch produces a valid savedDetector for mutation tests.
+func goodPatch(t *testing.T) savedDetector {
+	t.Helper()
+	fs := EVAXBase()
+	fs.SetEngineered(DefaultEngineered(fs))
+	d := NewPerceptron(3, fs)
+	data, err := d.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sd savedDetector
+	if err := json.Unmarshal(data, &sd); err != nil {
+		t.Fatal(err)
+	}
+	return sd
+}
+
+// TestUnmarshalRejectsMalformedPatches drives every validation rule with a
+// targeted mutation of an otherwise-valid patch; each must fail with its
+// own distinct message, and a pristine patch must pass.
+func TestUnmarshalRejectsMalformedPatches(t *testing.T) {
+	space := hpc.DerivedSpaceSize(sim.CounterCatalog().Len())
+	cases := []struct {
+		name   string
+		mutate func(sd *savedDetector)
+		want   string // distinct error fragment
+	}{
+		{
+			name:   "no layers",
+			mutate: func(sd *savedDetector) { sd.Layers = nil },
+			want:   "holds no layers",
+		},
+		{
+			name:   "index/name count mismatch",
+			mutate: func(sd *savedDetector) { sd.Names = sd.Names[:len(sd.Names)-1] },
+			want:   "indices vs",
+		},
+		{
+			name:   "feature index out of catalog range",
+			mutate: func(sd *savedDetector) { sd.Indices[4] = space },
+			want:   "outside derived space",
+		},
+		{
+			name:   "negative feature index",
+			mutate: func(sd *savedDetector) { sd.Indices[0] = -1 },
+			want:   "outside derived space",
+		},
+		{
+			name:   "engineered pair out of base range",
+			mutate: func(sd *savedDetector) { sd.Engineered[0].B = len(sd.Indices) },
+			want:   "outside [0,",
+		},
+		{
+			name:   "layer input dim mismatch",
+			mutate: func(sd *savedDetector) { sd.Layers[0].In++ },
+			want:   "dimension mismatch between layers",
+		},
+		{
+			name:   "weight row count mismatch",
+			mutate: func(sd *savedDetector) { sd.Layers[0].Out = 2 },
+			want:   "weight rows for",
+		},
+		{
+			name:   "weight row width mismatch",
+			mutate: func(sd *savedDetector) { sd.Layers[0].W[0] = sd.Layers[0].W[0][:3] },
+			want:   "columns for",
+		},
+		{
+			name:   "bias count mismatch",
+			mutate: func(sd *savedDetector) { sd.Layers[0].B = append(sd.Layers[0].B, 0) },
+			want:   "biases for",
+		},
+		{
+			name:   "NaN weight",
+			mutate: func(sd *savedDetector) { sd.Layers[0].W[0][7] = math.NaN() },
+			want:   "non-finite weight",
+		},
+		{
+			name:   "infinite weight",
+			mutate: func(sd *savedDetector) { sd.Layers[0].W[0][2] = math.Inf(1) },
+			want:   "non-finite weight",
+		},
+		{
+			name:   "NaN bias",
+			mutate: func(sd *savedDetector) { sd.Layers[0].B[0] = math.NaN() },
+			want:   "non-finite bias",
+		},
+		{
+			name:   "negative threshold",
+			mutate: func(sd *savedDetector) { sd.Threshold = -0.25 },
+			want:   "negative threshold",
+		},
+		{
+			name:   "non-finite threshold",
+			mutate: func(sd *savedDetector) { sd.Threshold = math.Inf(-1) },
+			want:   "non-finite threshold",
+		},
+		{
+			name:   "activation out of range",
+			mutate: func(sd *savedDetector) { sd.Layers[0].Act = 99 },
+			want:   "activation 99 outside",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sd := goodPatch(t)
+			tc.mutate(&sd)
+			if err := sd.validate(); err == nil {
+				t.Fatal("malformed patch accepted")
+			} else if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want message containing %q", err, tc.want)
+			}
+		})
+	}
+	sd := goodPatch(t)
+	if err := sd.validate(); err != nil {
+		t.Fatalf("pristine patch rejected: %v", err)
+	}
+}
+
+// TestUnmarshalRejectsViaJSON: the validation holds through the public
+// entry point on real serialized bytes, not only on the in-memory struct.
+// NaN/Inf cannot ride through JSON numbers, so the JSON-level cases are the
+// structural ones.
+func TestUnmarshalRejectsViaJSON(t *testing.T) {
+	sd := goodPatch(t)
+	sd.Indices[0] = 1 << 30
+	data, err := json.Marshal(sd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Unmarshal(data); err == nil || !strings.Contains(err.Error(), "outside derived space") {
+		t.Fatalf("err = %v, want derived-space rejection", err)
+	}
+	if _, err := Unmarshal([]byte(`{"feature_set": 42}`)); err == nil {
+		t.Fatal("type-mismatched JSON accepted")
+	}
+	if _, err := Unmarshal([]byte(`not json at all`)); err == nil {
+		t.Fatal("non-JSON accepted")
+	}
+}

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"evax/internal/attacks"
+	"evax/internal/checkpoint"
 	"evax/internal/dataset"
 	"evax/internal/detect"
 	"evax/internal/evasion"
@@ -181,52 +183,73 @@ func (lab *Lab) evasiveSamples(tool string, seeds int) []dataset.Sample {
 	return out
 }
 
+// toolResult is one fig17 job's output. Fields are exported for the
+// checkpoint journal's gob codec.
+type toolResult struct {
+	AUCPS, AUCEV float64
+	Evasive      int
+}
+
 // Figure17 scores both detectors on evasive-tool samples mixed with unseen
 // benign traffic and reports per-tool AUC.
 func Figure17(lab *Lab, seedsPerTool int) Figure17Result {
+	r, err := Figure17Ctx(context.Background(), lab, seedsPerTool, nil)
+	if err != nil {
+		// Unreachable without a context or journal (panics re-raise).
+		panic(err)
+	}
+	return r
+}
+
+// Figure17Ctx is the fig17 fuzz sweep with cooperative cancellation and
+// optional checkpoint/resume: each tool family is one journaled job, so a
+// killed sweep resumes with only the missing tools re-simulated and the
+// result is bit-identical to an uninterrupted run. Open the journal with
+// lab.Figure17Key(seedsPerTool).
+func Figure17Ctx(ctx context.Context, lab *Lab, seedsPerTool int, jrn *checkpoint.Journal) (Figure17Result, error) {
 	benign := lab.benignEval(4500)
 	tools := []string{"transynther", "trrespass", "osiris", "mutation"}
-	type toolResult struct {
-		aucPS, aucEV float64
-		evasive      int
-	}
 	// One job per tool family; each scores through private detector clones
 	// (scoring mutates forward-pass scratch).
-	perTool := runner.Map(lab.runnerOpts(), len(tools), func(k int) toolResult {
-		ps, ev := lab.PerSpec.Clone(), lab.EVAX.Clone()
-		evasive := lab.evasiveSamples(tools[k], seedsPerTool)
-		var scoresPS, scoresEV []float64
-		var labels []bool
-		add := func(s *dataset.Sample, label bool) {
-			scoresPS = append(scoresPS, ps.Score(s.Derived))
-			scoresEV = append(scoresEV, ev.Score(s.Derived))
-			labels = append(labels, label)
-		}
-		for i := range evasive {
-			add(&evasive[i], true)
-		}
-		for i := range benign {
-			add(&benign[i], false)
-		}
-		return toolResult{
-			aucPS:   metrics.AUCFromScores(scoresPS, labels),
-			aucEV:   metrics.AUCFromScores(scoresEV, labels),
-			evasive: len(evasive),
-		}
-	})
+	perTool, _, err := checkpoint.Run(ctx, jrn, lab.campaignOpts(), len(tools),
+		func(_ context.Context, k int) (toolResult, error) {
+			ps, ev := lab.PerSpec.Clone(), lab.EVAX.Clone()
+			evasive := lab.evasiveSamples(tools[k], seedsPerTool)
+			var scoresPS, scoresEV []float64
+			var labels []bool
+			add := func(s *dataset.Sample, label bool) {
+				scoresPS = append(scoresPS, ps.Score(s.Derived))
+				scoresEV = append(scoresEV, ev.Score(s.Derived))
+				labels = append(labels, label)
+			}
+			for i := range evasive {
+				add(&evasive[i], true)
+			}
+			for i := range benign {
+				add(&benign[i], false)
+			}
+			return toolResult{
+				AUCPS:   metrics.AUCFromScores(scoresPS, labels),
+				AUCEV:   metrics.AUCFromScores(scoresEV, labels),
+				Evasive: len(evasive),
+			}, nil
+		})
+	if err != nil {
+		return Figure17Result{}, err
+	}
 	var res Figure17Result
 	var sumPS, sumEV float64
 	for k, tr := range perTool {
 		res.Rows = append(res.Rows,
-			Figure17Row{tools[k], "PerSpectron", tr.aucPS, tr.evasive},
-			Figure17Row{tools[k], "EVAX", tr.aucEV, tr.evasive},
+			Figure17Row{tools[k], "PerSpectron", tr.AUCPS, tr.Evasive},
+			Figure17Row{tools[k], "EVAX", tr.AUCEV, tr.Evasive},
 		)
-		sumPS += tr.aucPS
-		sumEV += tr.aucEV
+		sumPS += tr.AUCPS
+		sumEV += tr.AUCEV
 	}
 	res.MeanAUCPerSpectron = sumPS / float64(len(tools))
 	res.MeanAUCEVAX = sumEV / float64(len(tools))
-	return res
+	return res, nil
 }
 
 // benignEval collects unseen benign windows normalized by the training set.
@@ -434,6 +457,20 @@ type Figure19Result struct {
 // folds are restricted to those classes (tests use a subset; the benchmark
 // runs all).
 func Figure19(lab *Lab, only []isa.Class) Figure19Result {
+	r, err := Figure19Ctx(context.Background(), lab, only, nil)
+	if err != nil {
+		// Unreachable without a context or journal (panics re-raise).
+		panic(err)
+	}
+	return r
+}
+
+// Figure19Ctx is the fig19 k-fold driver with cooperative cancellation and
+// optional checkpoint/resume: each fold's three-detector retrain is one
+// journaled job, so a killed cross-validation resumes with only the missing
+// folds retrained and the rows are bit-identical to an uninterrupted run.
+// Open the journal with lab.Figure19Key(only).
+func Figure19Ctx(ctx context.Context, lab *Lab, only []isa.Class, jrn *checkpoint.Journal) (Figure19Result, error) {
 	folds := lab.DS.KFoldByAttack(lab.Opts.Seed)
 	filter := map[isa.Class]bool{}
 	for _, c := range only {
@@ -454,33 +491,37 @@ func Figure19(lab *Lab, only []isa.Class) Figure19Result {
 	// Each fold retrains three detectors from scratch — the dominant cost
 	// of the figure. Folds are independent, so they fan out over the
 	// engine; rows land in fold order regardless of worker count.
-	rows := runner.Map(lab.runnerOpts(), len(selected), func(k int) Figure19Row {
-		fold := selected[k]
-		var fuzzVec [][]float64
-		var fuzzLab []bool
-		for i := range fuzz {
-			// Exclude fuzzer samples of the held-out class from the
-			// P.Fuzzer training augmentation.
-			if fuzz[i].Class == fold.HeldOut {
-				continue
+	rows, _, err := checkpoint.Run(ctx, jrn, lab.campaignOpts(), len(selected),
+		func(_ context.Context, k int) (Figure19Row, error) {
+			fold := selected[k]
+			var fuzzVec [][]float64
+			var fuzzLab []bool
+			for i := range fuzz {
+				// Exclude fuzzer samples of the held-out class from the
+				// P.Fuzzer training augmentation.
+				if fuzz[i].Class == fold.HeldOut {
+					continue
+				}
+				fuzzVec = append(fuzzVec, psFS.Base(fuzz[i].Derived))
+				fuzzLab = append(fuzzLab, true)
 			}
-			fuzzVec = append(fuzzVec, psFS.Base(fuzz[i].Derived))
-			fuzzLab = append(fuzzLab, true)
-		}
-		ps := lab.TrainDetectorLike("perspectron", fold.Train, nil, nil)
-		pf := lab.TrainDetectorLike("pfuzzer", fold.Train, fuzzVec, fuzzLab)
-		ev := lab.TrainDetectorLike("evax", fold.Train, nil, nil)
-		cps := ps.Evaluate(lab.DS, fold.Test)
-		cpf := pf.Evaluate(lab.DS, fold.Test)
-		cev := ev.Evaluate(lab.DS, fold.Test)
-		return Figure19Row{
-			HeldOut:     fold.HeldOut,
-			ErrPerSpec:  cps.GeneralizationError(),
-			ErrPFuzzer:  cpf.GeneralizationError(),
-			ErrEVAX:     cev.GeneralizationError(),
-			TestSamples: len(fold.Test),
-		}
-	})
+			ps := lab.TrainDetectorLike("perspectron", fold.Train, nil, nil)
+			pf := lab.TrainDetectorLike("pfuzzer", fold.Train, fuzzVec, fuzzLab)
+			ev := lab.TrainDetectorLike("evax", fold.Train, nil, nil)
+			cps := ps.Evaluate(lab.DS, fold.Test)
+			cpf := pf.Evaluate(lab.DS, fold.Test)
+			cev := ev.Evaluate(lab.DS, fold.Test)
+			return Figure19Row{
+				HeldOut:     fold.HeldOut,
+				ErrPerSpec:  cps.GeneralizationError(),
+				ErrPFuzzer:  cpf.GeneralizationError(),
+				ErrEVAX:     cev.GeneralizationError(),
+				TestSamples: len(fold.Test),
+			}, nil
+		})
+	if err != nil {
+		return Figure19Result{}, err
+	}
 	var res Figure19Result
 	var n float64
 	for _, row := range rows {
@@ -495,7 +536,7 @@ func Figure19(lab *Lab, only []isa.Class) Figure19Result {
 		res.MeanPFuzzer /= n
 		res.MeanEVAX /= n
 	}
-	return res
+	return res, nil
 }
 
 // String renders the cross-validation table.

@@ -5,9 +5,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"strings"
 
+	"evax/internal/checkpoint"
 	"evax/internal/dataset"
 	"evax/internal/detect"
 	"evax/internal/featureng"
@@ -36,6 +39,11 @@ type LabOptions struct {
 	// index-addressed (see internal/runner), so every figure and table is
 	// byte-identical across worker counts.
 	Jobs int
+	// Progress, when non-nil, receives each lab campaign's running
+	// completion count (1-based). It is called from worker goroutines, so
+	// it must be safe for concurrent use; the fault-injection tests use it
+	// to kill a campaign at an exact point.
+	Progress func(done int)
 }
 
 // DefaultLabOptions returns the standard experimental setup.
@@ -94,16 +102,68 @@ func (lab *Lab) runnerOpts() runner.Options {
 	return runner.Options{Jobs: lab.Opts.Jobs}
 }
 
+// campaignOpts is runnerOpts plus progress reporting. Only the journaled
+// top-level campaigns (the fig17 sweep, the fig19 folds) use it, so
+// LabOptions.Progress counts campaign units — nested helper fan-outs inside
+// a job do not inflate the count.
+func (lab *Lab) campaignOpts() runner.Options {
+	o := lab.runnerOpts()
+	o.OnJobDone = lab.Opts.Progress
+	return o
+}
+
 // NewLab builds the full pipeline: corpus → AM-GAN → feature engineering →
 // vaccinated detector training → threshold tuning.
 func NewLab(o LabOptions) *Lab {
+	lab, err := NewLabCtx(context.Background(), o, nil)
+	if err != nil {
+		// Unreachable: with a background context and no journal the corpus
+		// build cannot fail (simulation panics re-raise).
+		panic(err)
+	}
+	return lab
+}
+
+// NewLabCtx is NewLab with cooperative cancellation and optional
+// checkpoint/resume of the corpus build — the lab's dominant cost. A killed
+// build resumes from corpusJournal and trains on a bit-identical corpus.
+// Training itself (GAN, detectors) is in-memory and fast; it restarts from
+// the corpus on resume.
+func NewLabCtx(ctx context.Context, o LabOptions, corpusJournal *checkpoint.Journal) (*Lab, error) {
 	o.Corpus.Jobs = o.Jobs // one knob: the lab's worker count drives corpus fan-out too
-	lab := &Lab{Opts: o, DS: dataset.BuildCorpus(o.Corpus)}
+	samples, _, err := dataset.CollectAllCtx(ctx, o.Corpus, corpusJournal)
+	if err != nil {
+		return nil, err
+	}
+	lab := &Lab{Opts: o, DS: dataset.New(samples)}
 	lab.indexClasses()
 	lab.trainGAN()
 	lab.mineFeatures()
 	lab.trainDetectors()
-	return lab
+	return lab, nil
+}
+
+// campaignKey identifies the lab's training configuration for figure-level
+// checkpoint journals: a journal recorded under one lab setup must not be
+// resumed into another.
+func (lab *Lab) campaignKey() string {
+	o := lab.Opts
+	return fmt.Sprintf("lab|seed=%d,gan=%d/%d,gen=%d,fpr=%g|%s",
+		o.Seed, o.GANEpochs, o.GANPerClass, o.GenPerClass, o.TargetFPR, o.Corpus.CampaignKey())
+}
+
+// Figure17Key is the checkpoint campaign key for the fig17 fuzz sweep.
+func (lab *Lab) Figure17Key(seedsPerTool int) string {
+	return fmt.Sprintf("fig17|seeds=%d|%s", seedsPerTool, lab.campaignKey())
+}
+
+// Figure19Key is the checkpoint campaign key for the fig19 k-fold driver.
+func (lab *Lab) Figure19Key(only []isa.Class) string {
+	names := make([]string, len(only))
+	for i, c := range only {
+		names[i] = c.String()
+	}
+	return fmt.Sprintf("fig19|folds=%s|%s", strings.Join(names, "+"), lab.campaignKey())
 }
 
 func (lab *Lab) indexClasses() {

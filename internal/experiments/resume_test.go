@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"evax/internal/checkpoint"
+	"evax/internal/isa"
+)
+
+// TestFigure19KillAndResume: the k-fold driver killed after its first fold
+// resumes from the journal and reproduces the uninterrupted rows exactly.
+func TestFigure19KillAndResume(t *testing.T) {
+	lab := quickLab(t)
+	only := []isa.Class{isa.ClassMeltdown, isa.ClassDRAMA}
+	ref := Figure19(lab, only)
+
+	path := filepath.Join(t.TempDir(), "fig19.journal")
+	key := lab.Figure19Key(only)
+	j, err := checkpoint.Open(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the campaign after the first fold completes, on a copy of the
+	// shared lab. One worker keeps the kill sharp: with a pool, in-flight
+	// folds would legitimately run to completion after the cancel.
+	ctx, cancel := context.WithCancel(context.Background())
+	killed := *lab
+	killed.Opts.Jobs = 1
+	killed.Opts.Progress = func(done int) {
+		if done >= 1 {
+			cancel()
+		}
+	}
+	_, err = Figure19Ctx(ctx, &killed, only, j)
+	cancel()
+	j.Close()
+	if err == nil {
+		t.Fatal("interrupted fig19 campaign reported success")
+	}
+
+	j2, err := checkpoint.Open(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() == 0 || j2.Len() >= len(only) {
+		t.Fatalf("journal holds %d folds, want a partial campaign", j2.Len())
+	}
+	resumed, err := Figure19Ctx(context.Background(), lab, only, j2)
+	j2.Close()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(ref, resumed) {
+		t.Fatalf("resumed fig19 diverged from uninterrupted run:\nref:     %+v\nresumed: %+v", ref, resumed)
+	}
+}
+
+// TestFigure19JournalKeyMismatch: a journal from a different fold selection
+// refuses to resume.
+func TestFigure19JournalKeyMismatch(t *testing.T) {
+	lab := quickLab(t)
+	path := filepath.Join(t.TempDir(), "fig19.journal")
+	j, err := checkpoint.Open(path, lab.Figure19Key([]isa.Class{isa.ClassMeltdown}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(0, []byte("row")); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := checkpoint.Open(path, lab.Figure19Key([]isa.Class{isa.ClassDRAMA})); err == nil {
+		t.Fatal("journal for a different fold set was accepted")
+	}
+}
+
+// TestFigure17KillAndResume: the fuzz sweep killed after its first tool
+// family resumes to a bit-identical result.
+func TestFigure17KillAndResume(t *testing.T) {
+	lab := quickLab(t)
+	const seedsPerTool = 2
+	ref := Figure17(lab, seedsPerTool)
+
+	path := filepath.Join(t.TempDir(), "fig17.journal")
+	key := lab.Figure17Key(seedsPerTool)
+	j, err := checkpoint.Open(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	killed := *lab
+	killed.Opts.Jobs = 1 // sharp kill: no in-flight tools finish after cancel
+	killed.Opts.Progress = func(done int) {
+		if done >= 1 {
+			cancel()
+		}
+	}
+	_, err = Figure17Ctx(ctx, &killed, seedsPerTool, j)
+	cancel()
+	j.Close()
+	if err == nil {
+		t.Fatal("interrupted fig17 sweep reported success")
+	}
+
+	j2, err := checkpoint.Open(path, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() == 0 || j2.Len() >= 4 {
+		t.Fatalf("journal holds %d tools, want a partial sweep", j2.Len())
+	}
+	resumed, err := Figure17Ctx(context.Background(), lab, seedsPerTool, j2)
+	j2.Close()
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !reflect.DeepEqual(ref, resumed) {
+		t.Fatalf("resumed fig17 diverged from uninterrupted run:\nref:     %+v\nresumed: %+v", ref, resumed)
+	}
+}

@@ -1,0 +1,260 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"evax/internal/checkpoint"
+	"evax/internal/runner"
+	"evax/internal/safeio"
+)
+
+func job(_ context.Context, i int) (float64, error) {
+	return float64(i)*1.5 + 0.25, nil
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	p := Plan{Domain: "det", Seed: 7, Rate: 0.3}
+	q := Plan{Domain: "det", Seed: 7, Rate: 0.3}
+	for i := 0; i < 500; i++ {
+		if p.Faulty(i) != q.Faulty(i) {
+			t.Fatalf("schedule not a pure function at job %d", i)
+		}
+	}
+	n := p.FaultCount(500)
+	if n == 0 || n == 500 {
+		t.Fatalf("rate 0.3 faulted %d of 500 jobs", n)
+	}
+	if (Plan{Rate: 0}).FaultCount(100) != 0 {
+		t.Fatal("zero rate must fault nothing")
+	}
+	if (Plan{Rate: 1}).FaultCount(100) != 100 {
+		t.Fatal("rate 1 must fault everything")
+	}
+	other := Plan{Domain: "det", Seed: 8, Rate: 0.3}
+	same := true
+	for i := 0; i < 500 && same; i++ {
+		same = p.Faulty(i) == other.Faulty(i)
+	}
+	if same {
+		t.Fatal("different seeds produced the same schedule")
+	}
+}
+
+// TestTransientErrorsAbsorbedByRetry: injected transient errors plus retry
+// budget produce output bit-identical to a fault-free run, for several
+// worker counts.
+func TestTransientErrorsAbsorbedByRetry(t *testing.T) {
+	const n = 64
+	ref, _, err := runner.MapErrCtx(context.Background(), runner.Options{Jobs: 1}, n, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Plan{Domain: "transient", Seed: 3, Rate: 0.4, Fails: 2}
+	for _, jobs := range []int{1, 4} {
+		o := runner.Options{Jobs: jobs, Retry: runner.Retry{Attempts: 3, Backoff: time.Microsecond}}
+		got, rep, err := runner.MapErrCtx(context.Background(), o, n, WithErrors(p, n, job))
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("jobs=%d: faulted campaign diverged from fault-free run", jobs)
+		}
+		for i := 0; i < n; i++ {
+			want := 1
+			if p.Faulty(i) {
+				want = 3 // two injected failures, then success
+			}
+			if rep.Attempts[i] != want {
+				t.Fatalf("jobs=%d: job %d took %d attempts, want %d", jobs, i, rep.Attempts[i], want)
+			}
+		}
+	}
+}
+
+// TestPermanentFaultSurfaces: a fault outlasting the retry budget fails the
+// campaign with lowest-index attribution, and the report still identifies
+// every slot that completed.
+func TestPermanentFaultSurfaces(t *testing.T) {
+	const n = 32
+	p := Plan{Domain: "permanent", Seed: 5, Rate: 0.2, Fails: 99}
+	o := runner.Options{Jobs: 4, Retry: runner.Retry{Attempts: 2, Backoff: time.Microsecond}}
+	_, rep, err := runner.MapErrCtx(context.Background(), o, n, WithErrors(p, n, job))
+	if err == nil {
+		t.Fatal("permanent faults did not surface")
+	}
+	lowest := -1
+	for i := 0; i < n; i++ {
+		if p.Faulty(i) {
+			lowest = i
+			break
+		}
+	}
+	if lowest < 0 {
+		t.Fatal("schedule faulted no jobs; pick another seed")
+	}
+	if !strings.Contains(err.Error(), "job "+strconv.Itoa(lowest)+":") {
+		t.Fatalf("err = %v, want attribution to job %d", err, lowest)
+	}
+	if rep.CompletedCount() != n-p.FaultCount(n) {
+		t.Fatalf("%d slots completed, want %d", rep.CompletedCount(), n-p.FaultCount(n))
+	}
+	for i := 0; i < n; i++ {
+		if rep.Completed[i] == p.Faulty(i) {
+			t.Fatalf("slot %d completion %v contradicts the schedule", i, rep.Completed[i])
+		}
+	}
+}
+
+// TestInjectedPanicsAttributed: panics on the schedule surface as *JobPanic
+// at the lowest faulted index.
+func TestInjectedPanicsAttributed(t *testing.T) {
+	const n = 24
+	p := Plan{Domain: "panic", Seed: 11, Rate: 0.25, Fails: 99}
+	if p.FaultCount(n) == 0 {
+		t.Fatal("schedule faulted no jobs; pick another seed")
+	}
+	o := runner.Options{Jobs: 4, CapturePanics: true}
+	_, _, err := runner.MapErrCtx(context.Background(), o, n, WithPanics(p, n, job))
+	var jp *runner.JobPanic
+	if !errors.As(err, &jp) {
+		t.Fatalf("err = %v, want *JobPanic", err)
+	}
+	for i := 0; i < n; i++ {
+		if p.Faulty(i) {
+			if jp.Index != i {
+				t.Fatalf("panic attributed to job %d, lowest faulted is %d", jp.Index, i)
+			}
+			break
+		}
+	}
+}
+
+// TestSlowJobsCutByDeadline: scheduled stalls exceed the per-job deadline
+// and surface as deadline errors; clean jobs complete.
+func TestSlowJobsCutByDeadline(t *testing.T) {
+	const n = 16
+	p := Plan{Domain: "slow", Seed: 2, Rate: 0.3, Fails: 99}
+	if p.FaultCount(n) == 0 {
+		t.Fatal("schedule faulted no jobs; pick another seed")
+	}
+	o := runner.Options{Jobs: 4, JobTimeout: 2 * time.Millisecond}
+	_, rep, err := runner.MapErrCtx(context.Background(), o, n,
+		WithSlowdown(p, n, time.Second, job))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if rep.CompletedCount() != n-p.FaultCount(n) {
+		t.Fatalf("%d slots completed, want %d", rep.CompletedCount(), n-p.FaultCount(n))
+	}
+}
+
+// TestCrashResumeUnderFaults is the end-to-end graceful-degradation story:
+// a checkpointed campaign is killed mid-run by injected cancellation, the
+// journal survives, and the resumed run — still under transient faults —
+// produces output bit-identical to a fault-free uninterrupted campaign.
+func TestCrashResumeUnderFaults(t *testing.T) {
+	const n = 48
+	ref, _, err := runner.MapErrCtx(context.Background(), runner.Options{Jobs: 1}, n, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{2, 4} {
+		path := filepath.Join(t.TempDir(), "campaign.journal")
+		j, err := checkpoint.Open(path, "faulted-campaign")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		p := Plan{Domain: "crash", Seed: int64(jobs), Rate: 0.3, Fails: 1}
+		o := runner.Options{Jobs: jobs, Retry: runner.Retry{Attempts: 2, Backoff: time.Microsecond}}
+		o.OnJobDone = func(done int) {
+			if done >= 9 {
+				cancel() // the injected kill
+			}
+		}
+		_, _, err = checkpoint.Run(ctx, j, o, n, WithErrors(p, n, job))
+		cancel()
+		j.Close()
+		// The kill surfaces either as context.Canceled or as a transient
+		// job error whose retry the cancellation cut short — both are an
+		// interrupted campaign.
+		if err == nil {
+			t.Fatalf("jobs=%d: interrupted run reported success", jobs)
+		}
+
+		j2, err := checkpoint.Open(path, "faulted-campaign")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j2.Len() == 0 || j2.Len() >= n {
+			t.Fatalf("jobs=%d: journal holds %d slots, want a partial campaign", jobs, j2.Len())
+		}
+		p2 := Plan{Domain: "crash-resume", Seed: int64(jobs), Rate: 0.3, Fails: 1}
+		resumed, rep, err := checkpoint.Run(context.Background(), j2, o, n, WithErrors(p2, n, job))
+		j2.Close()
+		if err != nil {
+			t.Fatalf("jobs=%d: resume: %v", jobs, err)
+		}
+		if rep.CompletedCount() != n {
+			t.Fatalf("jobs=%d: resume completed %d of %d", jobs, rep.CompletedCount(), n)
+		}
+		if !reflect.DeepEqual(ref, resumed) {
+			t.Fatalf("jobs=%d: resumed output diverged from fault-free run", jobs)
+		}
+	}
+}
+
+// TestTornWriteHookDeterministic: the k-th write tears, earlier and later
+// ones land — and the destination of the torn write keeps its old bytes.
+func TestTornWriteHookDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.json")
+	b := filepath.Join(dir, "b.json")
+	if err := safeio.WriteFile(b, []byte("b-v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	restore := safeio.SetHook(TornWriteHook(1)) // second write tears
+	errA := safeio.WriteFile(a, []byte("a-v2"), 0o644)
+	errB := safeio.WriteFile(b, []byte("b-v2"), 0o644)
+	restore()
+	if errA != nil {
+		t.Fatalf("first write should land: %v", errA)
+	}
+	if !errors.Is(errB, safeio.ErrTorn) {
+		t.Fatalf("second write should tear: %v", errB)
+	}
+	assertFile(t, a, "a-v2")
+	assertFile(t, b, "b-v1") // old bytes survive the torn update
+}
+
+func TestFailOpHookSkips(t *testing.T) {
+	hook := FailOpHook(safeio.OpSync, 1)
+	if err := hook(safeio.OpSync, "x"); err != nil {
+		t.Fatalf("first sync should pass: %v", err)
+	}
+	if err := hook(safeio.OpSync, "x"); err == nil {
+		t.Fatal("second sync should fail")
+	}
+	if err := hook(safeio.OpRename, "x"); err != nil {
+		t.Fatalf("other ops unaffected: %v", err)
+	}
+}
+
+func assertFile(t *testing.T, path, want string) {
+	t.Helper()
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != want {
+		t.Fatalf("%s holds %q, want %q", path, got, want)
+	}
+}

@@ -1,0 +1,218 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Retry bounds re-execution of jobs that fail with retryable errors (see
+// Retryable). Retries preserve the determinism contract because a job's
+// result depends only on its index and its derived seed, never on how many
+// attempts it took: a campaign that eventually succeeds is bit-identical to
+// one that never faulted.
+type Retry struct {
+	// Attempts is the maximum number of executions per job, including the
+	// first. Zero or one disables retry.
+	Attempts int
+	// Backoff is the base delay before retry k (1-based): the wait grows
+	// as Backoff << (k-1) plus a deterministic FNV-derived jitter, so
+	// colliding jobs spread out identically on every run.
+	Backoff time.Duration
+	// MaxBackoff caps the per-retry delay. Zero means 64 × Backoff.
+	MaxBackoff time.Duration
+}
+
+// backoffFor returns the deterministic delay before retry attempt k
+// (1-based) of job i — a pure function of (i, k), so fault-injection tests
+// can predict the schedule exactly.
+func (r Retry) backoffFor(i, k int) time.Duration {
+	if r.Backoff <= 0 {
+		return 0
+	}
+	shift := k - 1
+	if shift > 16 {
+		shift = 16
+	}
+	d := r.Backoff << shift
+	// Deterministic jitter in [0, d/4]: derived from job identity, not
+	// from the global RNG, to keep the engine clock-free.
+	if q := int64(d / 4); q > 0 {
+		d += time.Duration(DeriveSeed("runner/backoff", i, int64(k)) % (q + 1))
+	}
+	max := r.MaxBackoff
+	if max <= 0 {
+		max = 64 * r.Backoff
+	}
+	if d > max {
+		d = max
+	}
+	return d
+}
+
+// retryableError marks an error as safe to re-execute.
+type retryableError struct{ err error }
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// Retryable marks err as transient: MapErrCtx re-runs the job (up to
+// Options.Retry.Attempts) instead of failing the campaign. Wrapping nil
+// returns nil.
+func Retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryableError{err: err}
+}
+
+// IsRetryable reports whether err (or anything it wraps) was marked with
+// Retryable.
+func IsRetryable(err error) bool {
+	var r *retryableError
+	return errors.As(err, &r)
+}
+
+// Report records the outcome of a context-aware fan-out: which index slots
+// ran to completion and how many attempts each consumed. A cancelled
+// campaign is not an all-or-nothing loss — the caller knows exactly which
+// slots hold valid results (the checkpoint journal persists those), and a
+// resumed run re-executes only the rest.
+type Report struct {
+	// Completed[i] is true when job i finished without error or panic, so
+	// results[i] is valid.
+	Completed []bool
+	// Attempts[i] counts executions of job i (retries included); zero
+	// means the job was never started (cancelled before being claimed).
+	Attempts []int
+}
+
+// CompletedCount returns how many slots completed.
+func (r *Report) CompletedCount() int {
+	n := 0
+	for _, c := range r.Completed {
+		if c {
+			n++
+		}
+	}
+	return n
+}
+
+// CompletedSlots returns the completed indices in ascending order.
+func (r *Report) CompletedSlots() []int {
+	var out []int
+	for i, c := range r.Completed {
+		if c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// MapCtx is Map with cooperative cancellation: workers stop claiming jobs
+// once ctx is done (in-flight jobs run to completion), and the report says
+// exactly which slots hold valid results. The returned error is non-nil
+// only for cancellation. Panics re-raise as *JobPanic unless
+// Options.CapturePanics is set.
+func MapCtx[T any](ctx context.Context, o Options, n int, fn func(ctx context.Context, i int) T) ([]T, *Report, error) {
+	return MapErrCtx(ctx, o, n, func(ctx context.Context, i int) (T, error) {
+		return fn(ctx, i), nil
+	})
+}
+
+// MapErrCtx runs fn(0..n-1) across the pool with cooperative cancellation,
+// optional per-job deadlines (Options.JobTimeout) and bounded retry of
+// retryable errors (Options.Retry). Results stay index-addressed: for a run
+// that completes without cancellation the output is bit-identical to
+// MapErr for every worker count. Error precedence is deterministic: the
+// lowest-indexed captured panic (with Options.CapturePanics), then the
+// lowest-indexed job error, then ctx's error.
+func MapErrCtx[T any](ctx context.Context, o Options, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, *Report, error) {
+	if n <= 0 {
+		return nil, &Report{}, ctx.Err()
+	}
+	statFanOuts.Add(1)
+	results := make([]T, n)
+	errs := make([]error, n)
+	panics := make([]*JobPanic, n)
+	rep := &Report{Completed: make([]bool, n), Attempts: make([]int, n)}
+
+	runJob := makeJobRunner(ctx, o, results, errs, panics, rep, fn)
+	forEachIndex(ctx, o, n, runJob)
+
+	for i := 0; i < n; i++ { // lowest index wins: deterministic attribution
+		if panics[i] != nil {
+			if o.CapturePanics {
+				return results, rep, panics[i]
+			}
+			panic(panics[i])
+		}
+	}
+	for i, err := range errs {
+		if err != nil {
+			return results, rep, fmt.Errorf("runner: job %d: %w", i, err)
+		}
+	}
+	return results, rep, ctx.Err()
+}
+
+// makeJobRunner builds the per-job execution closure: panic capture, the
+// attempt/retry loop, per-job deadline, and report bookkeeping.
+func makeJobRunner[T any](ctx context.Context, o Options, results []T, errs []error, panics []*JobPanic, rep *Report, fn func(ctx context.Context, i int) (T, error)) func(i int, done func() int) {
+	return func(i int, done func() int) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = &JobPanic{Index: i, Value: r, Stack: stack()}
+			}
+		}()
+		for {
+			rep.Attempts[i]++
+			statJobs.Add(1)
+			jctx, cancel := jobContext(ctx, o.JobTimeout)
+			v, err := fn(jctx, i)
+			cancel()
+			results[i], errs[i] = v, err
+			if err == nil {
+				rep.Completed[i] = true
+				if o.OnJobDone != nil {
+					o.OnJobDone(done())
+				}
+				return
+			}
+			if !IsRetryable(err) || rep.Attempts[i] >= o.Retry.Attempts {
+				return
+			}
+			if !sleepCtx(ctx, o.Retry.backoffFor(i, rep.Attempts[i])) {
+				return // cancelled while backing off; the last error stands
+			}
+		}
+	}
+}
+
+// jobContext derives the per-job context: a deadline when Options.JobTimeout
+// is set, otherwise the campaign context unchanged.
+func jobContext(ctx context.Context, timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout > 0 {
+		return context.WithTimeout(ctx, timeout)
+	}
+	return ctx, func() {}
+}
+
+// sleepCtx waits d, returning false if ctx is done first (or already).
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if ctx.Err() != nil {
+		return false
+	}
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,221 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestMapErrCtxEquivalentToMapErr pins the compatibility contract: without
+// cancellation, retry, or timeout, the Ctx variant is bit-identical to
+// MapErr for every worker count.
+func TestMapErrCtxEquivalentToMapErr(t *testing.T) {
+	fn := func(i int) (int, error) { return i*i + 7, nil }
+	ref, err := MapErr(Options{Jobs: 1}, 50, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 2, 4, 100} {
+		got, rep, err := MapErrCtx(context.Background(), Options{Jobs: jobs}, 50,
+			func(_ context.Context, i int) (int, error) { return fn(i) })
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("jobs=%d diverged from MapErr", jobs)
+		}
+		if rep.CompletedCount() != 50 {
+			t.Fatalf("jobs=%d: %d slots completed, want 50", jobs, rep.CompletedCount())
+		}
+	}
+}
+
+// TestMapErrCtxCancellation cancels mid-run and checks the report: every
+// slot marked completed holds the correct value, and no new jobs start
+// after cancellation.
+func TestMapErrCtxCancellation(t *testing.T) {
+	for _, jobs := range []int{2, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		o := Options{Jobs: jobs}
+		const cancelAfter = 5
+		o.OnJobDone = func(done int) {
+			if done >= cancelAfter {
+				cancel()
+			}
+		}
+		results, rep, err := MapErrCtx(ctx, o, 200, func(_ context.Context, i int) (int, error) {
+			return 3 * i, nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("jobs=%d: err = %v, want context.Canceled", jobs, err)
+		}
+		n := rep.CompletedCount()
+		if n < cancelAfter || n >= 200 {
+			t.Fatalf("jobs=%d: %d slots completed, want in [%d,200)", jobs, n, cancelAfter)
+		}
+		for _, i := range rep.CompletedSlots() {
+			if results[i] != 3*i {
+				t.Fatalf("jobs=%d: completed slot %d holds %d, want %d", jobs, i, results[i], 3*i)
+			}
+		}
+		// Uncompleted slots were either never started or are attributable:
+		// attempts for never-started slots must be zero.
+		for i, c := range rep.Completed {
+			if !c && rep.Attempts[i] != 0 {
+				t.Fatalf("jobs=%d: slot %d not completed but has %d attempts and nil error",
+					jobs, i, rep.Attempts[i])
+			}
+		}
+	}
+}
+
+// TestRetryDeterministic injects failures on the first k attempts of
+// selected jobs; with enough retry budget the output must be bit-identical
+// to a fault-free run, and the attempt counts must match the schedule.
+func TestRetryDeterministic(t *testing.T) {
+	failsFor := func(i int) int { return i % 3 } // jobs 0,3,6.. never fail; 2,5,.. fail twice
+	mk := func() func(context.Context, int) (int, error) {
+		var tries [30]atomic.Int32
+		return func(_ context.Context, i int) (int, error) {
+			if int(tries[i].Add(1)) <= failsFor(i) {
+				return 0, Retryable(fmt.Errorf("transient fault on job %d", i))
+			}
+			return i + 100, nil
+		}
+	}
+	ref, _, err := MapErrCtx(context.Background(), Options{Jobs: 1}, 30,
+		func(_ context.Context, i int) (int, error) { return i + 100, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, jobs := range []int{1, 4} {
+		o := Options{Jobs: jobs, Retry: Retry{Attempts: 3, Backoff: time.Microsecond}}
+		got, rep, err := MapErrCtx(context.Background(), o, 30, mk())
+		if err != nil {
+			t.Fatalf("jobs=%d: %v", jobs, err)
+		}
+		if !reflect.DeepEqual(ref, got) {
+			t.Fatalf("jobs=%d: retried run diverged from fault-free reference", jobs)
+		}
+		for i := 0; i < 30; i++ {
+			if want := failsFor(i) + 1; rep.Attempts[i] != want {
+				t.Fatalf("jobs=%d: job %d took %d attempts, want %d", jobs, i, rep.Attempts[i], want)
+			}
+		}
+	}
+}
+
+// TestRetryBudgetExhausted: a job that keeps failing surfaces its last
+// error with lowest-index attribution, and non-retryable errors never
+// retry.
+func TestRetryBudgetExhausted(t *testing.T) {
+	o := Options{Jobs: 2, Retry: Retry{Attempts: 3, Backoff: time.Microsecond}}
+	_, rep, err := MapErrCtx(context.Background(), o, 8, func(_ context.Context, i int) (int, error) {
+		if i == 5 {
+			return 0, Retryable(errors.New("always failing"))
+		}
+		if i == 6 {
+			return 0, errors.New("fatal: not retryable")
+		}
+		return i, nil
+	})
+	if err == nil || !contains(err.Error(), "job 5") {
+		t.Fatalf("err = %v, want lowest-index attribution to job 5", err)
+	}
+	if rep.Attempts[5] != 3 {
+		t.Fatalf("retryable job took %d attempts, want 3", rep.Attempts[5])
+	}
+	if rep.Attempts[6] != 1 {
+		t.Fatalf("non-retryable job took %d attempts, want 1", rep.Attempts[6])
+	}
+	if rep.Completed[5] || rep.Completed[6] {
+		t.Fatal("failed jobs marked completed")
+	}
+	if rep.CompletedCount() != 6 {
+		t.Fatalf("%d slots completed, want 6", rep.CompletedCount())
+	}
+}
+
+// TestJobTimeout: a job that honors its context is cut off by the per-job
+// deadline while the campaign context stays live, and other jobs complete.
+func TestJobTimeout(t *testing.T) {
+	o := Options{Jobs: 2, JobTimeout: 5 * time.Millisecond}
+	_, rep, err := MapErrCtx(context.Background(), o, 4, func(ctx context.Context, i int) (int, error) {
+		if i == 2 {
+			<-ctx.Done() // cooperative: the job observes its deadline
+			return 0, ctx.Err()
+		}
+		return i, nil
+	})
+	if err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded from job 2", err)
+	}
+	if rep.Completed[2] {
+		t.Fatal("timed-out job marked completed")
+	}
+	if rep.CompletedCount() != 3 {
+		t.Fatalf("%d slots completed, want 3", rep.CompletedCount())
+	}
+}
+
+// TestBackoffDeterministic: the backoff schedule is a pure function of
+// (job, attempt) — identical across calls — grows with the attempt number,
+// and respects the cap.
+func TestBackoffDeterministic(t *testing.T) {
+	r := Retry{Attempts: 5, Backoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond}
+	for i := 0; i < 10; i++ {
+		for k := 1; k <= 6; k++ {
+			d1, d2 := r.backoffFor(i, k), r.backoffFor(i, k)
+			if d1 != d2 {
+				t.Fatalf("backoff(%d,%d) not deterministic: %v vs %v", i, k, d1, d2)
+			}
+			if d1 < 0 || d1 > r.MaxBackoff {
+				t.Fatalf("backoff(%d,%d) = %v outside (0, %v]", i, k, d1, r.MaxBackoff)
+			}
+		}
+		if base, later := r.backoffFor(i, 1), r.backoffFor(i, 4); later <= base {
+			t.Fatalf("backoff not growing for job %d: attempt1=%v attempt4=%v", i, base, later)
+		}
+	}
+	if (Retry{}).backoffFor(3, 2) != 0 {
+		t.Fatal("zero Retry must not wait")
+	}
+}
+
+// TestMapCtxPanicAttribution: panics still attribute to the lowest index
+// through the Ctx path.
+func TestMapCtxPanicAttribution(t *testing.T) {
+	o := Options{Jobs: 4, CapturePanics: true}
+	_, _, err := MapErrCtx(context.Background(), o, 16, func(_ context.Context, i int) (int, error) {
+		if i%5 == 2 { // jobs 2, 7, 12 panic; 2 must win
+			panic(fmt.Sprintf("boom %d", i))
+		}
+		return i, nil
+	})
+	var jp *JobPanic
+	if !errors.As(err, &jp) || jp.Index != 2 {
+		t.Fatalf("err = %v, want *JobPanic at index 2", err)
+	}
+}
+
+// TestMapCtxCancelledBeforeStart: an already-cancelled context runs
+// nothing.
+func TestMapCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, rep, err := MapCtx(ctx, Options{Jobs: 4}, 10, func(_ context.Context, i int) int { return i })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if rep.CompletedCount() != 0 {
+		t.Fatalf("%d jobs ran under a dead context", rep.CompletedCount())
+	}
+}
+
+func contains(s, sub string) bool { return strings.Contains(s, sub) }

@@ -18,10 +18,12 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Options configures one fan-out.
@@ -33,6 +35,22 @@ type Options struct {
 	// CapturePanics converts job panics into *JobPanic errors returned
 	// from MapErr instead of re-panicking on the caller's goroutine.
 	CapturePanics bool
+	// JobTimeout, when positive, bounds each job's context in the Ctx
+	// variants: the job's ctx is cancelled after this duration. Jobs that
+	// ignore their context are not interrupted (cancellation is
+	// cooperative), but well-behaved jobs return a deadline error, which
+	// can be marked Retryable by the job for the retry loop.
+	JobTimeout time.Duration
+	// Retry re-runs jobs whose error is marked Retryable, with a
+	// deterministic backoff schedule. Only the Ctx variants retry.
+	Retry Retry
+	// OnJobDone, when non-nil, is called after each successful job
+	// completion with the total number completed so far (1-based). It is
+	// invoked from worker goroutines, so it must be safe for concurrent
+	// use; campaigns use it for progress reporting, and the
+	// fault-injection tests use it to trigger mid-run cancellation at an
+	// exact completion count.
+	OnJobDone func(done int)
 }
 
 // Workers resolves the effective worker count for n jobs.
@@ -102,62 +120,50 @@ func Map[T any](o Options, n int, fn func(i int) T) []T {
 // job panic surfaces as a *JobPanic error under the same lowest-index rule;
 // otherwise it re-panics on the caller's goroutine.
 func MapErr[T any](o Options, n int, fn func(i int) (T, error)) ([]T, error) {
-	if n <= 0 {
-		return nil, nil
-	}
-	statFanOuts.Add(1)
-	results := make([]T, n)
-	errs := make([]error, n)
-	panics := make([]*JobPanic, n)
+	out, _, err := MapErrCtx(context.Background(), o, n, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+	return out, err
+}
 
-	runJob := func(i int) {
-		defer func() {
-			if r := recover(); r != nil {
-				panics[i] = &JobPanic{Index: i, Value: r, Stack: stack()}
-			}
-		}()
-		statJobs.Add(1)
-		results[i], errs[i] = fn(i)
-	}
-
+// forEachIndex drives the claim loop shared by every fan-out: workers
+// atomically claim ascending indices until the range is exhausted or ctx is
+// done. A cancelled campaign stops claiming new jobs; in-flight jobs run to
+// completion (cancellation is cooperative — jobs see ctx through their own
+// argument).
+func forEachIndex(ctx context.Context, o Options, n int, runJob func(i int, done func() int)) {
+	var doneCount atomic.Int64
+	done := func() int { return int(doneCount.Add(1)) }
 	if w := o.Workers(n); w == 1 {
 		// Reference ordering: inline, no goroutines.
 		for i := 0; i < n; i++ {
-			runJob(i)
-		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		wg.Add(w)
-		for k := 0; k < w; k++ {
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n {
-						return
-					}
-					runJob(i)
-				}
-			}()
-		}
-		wg.Wait()
-	}
-
-	for i := 0; i < n; i++ { // lowest index wins: deterministic attribution
-		if panics[i] != nil {
-			if o.CapturePanics {
-				return results, panics[i]
+			if ctx.Err() != nil {
+				return
 			}
-			panic(panics[i])
+			runJob(i, done)
 		}
+		return
 	}
-	for i, err := range errs {
-		if err != nil {
-			return results, fmt.Errorf("runner: job %d: %w", i, err)
-		}
+	w := o.Workers(n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				runJob(i, done)
+			}
+		}()
 	}
-	return results, nil
+	wg.Wait()
 }
 
 // FlatMap runs fn(0..n-1) and concatenates the per-job slices in job order

@@ -1,0 +1,200 @@
+// Package safeio provides crash-safe file persistence for every artifact
+// the campaigns write: detector patches, deployable bundles, exported
+// weights, and benchmark reports. WriteFile runs the full durability
+// protocol — write to a temporary file in the destination directory, fsync
+// it, atomically rename over the target, fsync the directory, then read the
+// destination back and compare FNV-1a checksums — so a torn write (power
+// loss, injected fault, full disk) can never corrupt a previously-good
+// file: the destination either keeps its old bytes or holds the complete
+// new ones.
+//
+// The evaxlint rule "rawwrite" forbids os.WriteFile/os.Create outside this
+// package, so new persistence paths inherit the guarantee by construction.
+// Fault-injection tests drive the protocol through SetHook (see
+// internal/faultinject).
+package safeio
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Op identifies one step of the write protocol, for fault-injection hooks.
+type Op uint8
+
+const (
+	// OpCreate is the creation of the temporary file.
+	OpCreate Op = iota
+	// OpWrite is the payload write into the temporary file.
+	OpWrite
+	// OpSync is the fsync of the temporary file.
+	OpSync
+	// OpRename is the atomic rename over the destination.
+	OpRename
+	// OpRead is the checksummed read-back of the destination.
+	OpRead
+)
+
+// String names the protocol step.
+func (op Op) String() string {
+	switch op {
+	case OpCreate:
+		return "create"
+	case OpWrite:
+		return "write"
+	case OpSync:
+		return "sync"
+	case OpRename:
+		return "rename"
+	case OpRead:
+		return "read-back"
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// ErrTorn is the sentinel for an injected torn write: the hook that returns
+// an error wrapping it makes WriteFile leave a half-written temporary file
+// behind, simulating a crash mid-write. The destination must stay intact.
+var ErrTorn = errors.New("torn write injected")
+
+// Hook intercepts protocol steps for deterministic fault injection. A
+// non-nil return fails that step; wrapping ErrTorn at OpWrite additionally
+// half-writes the payload first (the simulated crash).
+type Hook func(op Op, path string) error
+
+var (
+	hookMu sync.Mutex
+	hook   Hook
+)
+
+// SetHook installs h for fault-injection tests and returns a restore
+// function. Production code never installs a hook.
+func SetHook(h Hook) (restore func()) {
+	hookMu.Lock()
+	defer hookMu.Unlock()
+	prev := hook
+	hook = h
+	return func() {
+		hookMu.Lock()
+		defer hookMu.Unlock()
+		hook = prev
+	}
+}
+
+// fire consults the installed hook, if any.
+func fire(op Op, path string) error {
+	hookMu.Lock()
+	h := hook
+	hookMu.Unlock()
+	if h == nil {
+		return nil
+	}
+	return h(op, path)
+}
+
+// Checksum returns the FNV-1a fingerprint WriteFile verifies on read-back.
+func Checksum(data []byte) uint64 {
+	h := fnv.New64a()
+	//evaxlint:ignore droppederr hash.Hash.Write never returns an error
+	h.Write(data)
+	return h.Sum64()
+}
+
+// WriteFile persists data at path crash-safely: temp file, fsync, rename,
+// directory fsync, checksummed read-back. On any error the destination is
+// untouched (it either has its previous contents or the complete new
+// ones — never a prefix).
+func WriteFile(path string, data []byte, perm fs.FileMode) error {
+	dir := filepath.Dir(path)
+	if err := fire(OpCreate, path); err != nil {
+		return fmt.Errorf("safeio: create temp for %s: %w", path, err)
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("safeio: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	fail := func(step Op, err error) error {
+		//evaxlint:ignore droppederr best-effort cleanup of the temp file on an already-failed write
+		tmp.Close()
+		//evaxlint:ignore droppederr best-effort cleanup of the temp file on an already-failed write
+		os.Remove(tmpName)
+		return fmt.Errorf("safeio: %s %s: %w", step, path, err)
+	}
+
+	if herr := fire(OpWrite, path); herr != nil {
+		if errors.Is(herr, ErrTorn) {
+			// Simulated crash: half the payload lands in the temp file,
+			// which is deliberately left behind, and the destination is
+			// never touched — exactly the on-disk state after power loss.
+			//evaxlint:ignore droppederr simulated crash: the injected fault is the only error that matters
+			tmp.Write(data[:len(data)/2])
+			//evaxlint:ignore droppederr simulated crash leaves the torn temp file behind
+			tmp.Close()
+			return fmt.Errorf("safeio: write %s: %w", path, herr)
+		}
+		return fail(OpWrite, herr)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return fail(OpWrite, err)
+	}
+	if herr := fire(OpSync, path); herr != nil {
+		return fail(OpSync, herr)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(OpSync, err)
+	}
+	if err := tmp.Close(); err != nil {
+		//evaxlint:ignore droppederr best-effort cleanup of the temp file on an already-failed write
+		os.Remove(tmpName)
+		return fmt.Errorf("safeio: close temp for %s: %w", path, err)
+	}
+	if err := os.Chmod(tmpName, perm); err != nil {
+		//evaxlint:ignore droppederr best-effort cleanup of the temp file on an already-failed write
+		os.Remove(tmpName)
+		return fmt.Errorf("safeio: chmod temp for %s: %w", path, err)
+	}
+	if herr := fire(OpRename, path); herr != nil {
+		//evaxlint:ignore droppederr best-effort cleanup of the temp file on an already-failed write
+		os.Remove(tmpName)
+		return fmt.Errorf("safeio: rename %s: %w", path, herr)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		//evaxlint:ignore droppederr best-effort cleanup of the temp file on an already-failed write
+		os.Remove(tmpName)
+		return fmt.Errorf("safeio: rename %s: %w", path, err)
+	}
+	syncDir(dir)
+
+	if herr := fire(OpRead, path); herr != nil {
+		return fmt.Errorf("safeio: %s %s: %w", OpRead, path, herr)
+	}
+	back, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("safeio: %s %s: %w", OpRead, path, err)
+	}
+	if Checksum(back) != Checksum(data) {
+		return fmt.Errorf("safeio: %s %s: checksum mismatch (%d bytes on disk, %d written)",
+			OpRead, path, len(back), len(data))
+	}
+	return nil
+}
+
+// syncDir makes the rename durable by fsyncing the directory. Best effort:
+// some filesystems refuse directory fsync, and the rename itself already
+// guarantees atomicity (only durability of the *new name* is at stake).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	//evaxlint:ignore droppederr directory fsync is best-effort durability, not correctness
+	d.Sync()
+	//evaxlint:ignore droppederr read-only directory handle
+	d.Close()
+}

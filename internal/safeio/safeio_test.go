@@ -1,0 +1,185 @@
+package safeio
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "artifact.json")
+	data := []byte(`{"k":1}`)
+	if err := WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(data) {
+		t.Fatalf("read back %q, want %q", got, data)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Mode().Perm() != 0o644 {
+		t.Fatalf("mode = %v, want 0644", info.Mode().Perm())
+	}
+}
+
+// TestWriteFileAtomicReplace: overwriting an existing file either succeeds
+// completely or leaves the old contents untouched — for a fault injected at
+// every step of the protocol.
+func TestWriteFileAtomicReplace(t *testing.T) {
+	old := []byte("old contents that must survive any fault")
+	next := []byte("new contents after a clean replace")
+	for _, op := range []Op{OpCreate, OpWrite, OpSync, OpRename} {
+		t.Run(op.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "bundle.json")
+			if err := WriteFile(path, old, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			restore := SetHook(func(got Op, _ string) error {
+				if got == op {
+					return fmt.Errorf("injected fault at %s", got)
+				}
+				return nil
+			})
+			err := WriteFile(path, next, 0o644)
+			restore()
+			if err == nil {
+				t.Fatalf("fault at %s not surfaced", op)
+			}
+			if !strings.Contains(err.Error(), "injected fault") {
+				t.Fatalf("err = %v, want the injected fault", err)
+			}
+			back, rerr := os.ReadFile(path)
+			if rerr != nil {
+				t.Fatal(rerr)
+			}
+			if string(back) != string(old) {
+				t.Fatalf("destination corrupted by fault at %s: %q", op, back)
+			}
+		})
+	}
+	// After the hook is restored the same write succeeds.
+	path := filepath.Join(t.TempDir(), "bundle.json")
+	if err := WriteFile(path, next, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWriteFileTornWrite: an ErrTorn fault simulates a crash mid-write — a
+// half-written temp file is left behind, the destination keeps its old
+// bytes, and the error wraps ErrTorn so tests can assert on the fault kind.
+func TestWriteFileTornWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "weights.json")
+	old := []byte("good weights v1 good weights v1!")
+	if err := WriteFile(path, old, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	restore := SetHook(func(op Op, _ string) error {
+		if op == OpWrite {
+			return fmt.Errorf("disk yanked: %w", ErrTorn)
+		}
+		return nil
+	})
+	err := WriteFile(path, []byte("corrupted candidate payload!!!!!"), 0o600)
+	restore()
+	if !errors.Is(err, ErrTorn) {
+		t.Fatalf("err = %v, want ErrTorn", err)
+	}
+	back, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(back) != string(old) {
+		t.Fatalf("torn write corrupted the destination: %q", back)
+	}
+	// The simulated crash leaves the torn temp file on disk, like a real one.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := 0
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			torn++
+		}
+	}
+	if torn != 1 {
+		t.Fatalf("%d torn temp files left behind, want 1", torn)
+	}
+}
+
+// TestWriteFileCleanFaultLeavesNoTemp: non-torn faults clean up their temp
+// file — repeated failed campaigns must not litter the artifact directory.
+func TestWriteFileCleanFaultLeavesNoTemp(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	restore := SetHook(func(op Op, _ string) error {
+		if op == OpSync {
+			return errors.New("enospc")
+		}
+		return nil
+	})
+	err := WriteFile(path, []byte("payload"), 0o644)
+	restore()
+	if err == nil {
+		t.Fatal("sync fault not surfaced")
+	}
+	entries, rerr := os.ReadDir(dir)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("failed write left %d files behind", len(entries))
+	}
+}
+
+func TestWriteFileMissingDir(t *testing.T) {
+	err := WriteFile(filepath.Join(t.TempDir(), "no-such-dir", "x.json"), []byte("x"), 0o644)
+	if err == nil {
+		t.Fatal("write into a missing directory must fail")
+	}
+	if !strings.Contains(err.Error(), "safeio:") {
+		t.Fatalf("err = %v, want safeio-annotated error", err)
+	}
+}
+
+func TestChecksumStable(t *testing.T) {
+	// FNV-1a offset basis — pins the algorithm so journal records written by
+	// one binary stay readable by the next.
+	if got := Checksum(nil); got != 0xcbf29ce484222325 {
+		t.Fatalf("Checksum(nil) = %#x, want the FNV-1a offset basis", got)
+	}
+	a, b := Checksum([]byte("abc")), Checksum([]byte("abd"))
+	if a == b {
+		t.Fatal("checksum does not distinguish near-identical payloads")
+	}
+	if Checksum(nil) != Checksum([]byte{}) {
+		t.Fatal("nil and empty payloads must hash identically")
+	}
+}
+
+func TestSetHookRestores(t *testing.T) {
+	restore := SetHook(func(Op, string) error { return errors.New("always fail") })
+	inner := SetHook(nil) // nested override: no faults
+	path := filepath.Join(t.TempDir(), "nested.json")
+	if err := WriteFile(path, []byte("ok"), 0o644); err != nil {
+		t.Fatalf("nested nil hook still faulting: %v", err)
+	}
+	inner() // back to always-fail
+	if err := WriteFile(path, []byte("ok"), 0o644); err == nil {
+		t.Fatal("restore did not reinstate the outer hook")
+	}
+	restore()
+	if err := WriteFile(path, []byte("ok"), 0o644); err != nil {
+		t.Fatalf("hook not fully restored: %v", err)
+	}
+}
