@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-json faults check fmt
+.PHONY: build test race lint bench bench-json faults serve-test check fmt
 
 build: ## compile every package
 	$(GO) build ./...
@@ -32,6 +32,10 @@ bench-json: ## runner speedup + equivalence report (BENCH_runner.json), then the
 faults: ## fault-injection suite under -race: torn writes, injected errors/panics, kill-and-resume
 	$(GO) test -race -count=1 ./internal/safeio ./internal/checkpoint ./internal/faultinject
 	$(GO) test -race -count=1 -run 'Fallback|Torn|KillAndResume|Resume' ./internal/defense ./internal/dataset ./internal/experiments
+
+serve-test: ## online serving suite under -race: e2e bit-equivalence, kill-and-drain, admission control, load harness, plus a frame-decoder fuzz smoke
+	$(GO) test -race -count=1 -timeout 15m ./internal/serve ./internal/benchjson
+	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/serve
 
 fmt: ## rewrite sources with gofmt
 	gofmt -w .

@@ -16,7 +16,6 @@ package main
 
 import (
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -28,6 +27,7 @@ import (
 	"strings"
 	"time"
 
+	"evax/internal/benchjson"
 	"evax/internal/checkpoint"
 	"evax/internal/dataset"
 	"evax/internal/detect"
@@ -35,7 +35,6 @@ import (
 	"evax/internal/hpc"
 	"evax/internal/isa"
 	"evax/internal/runner"
-	"evax/internal/safeio"
 )
 
 var experimentIDs = []string{
@@ -317,11 +316,9 @@ func writeBenchJSON(path string, jobs int, quick bool) error {
 		Identical:     identical,
 		FeaturePath:   fp,
 	}
-	data, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return err
-	}
-	if err := safeio.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	// Merge rather than overwrite: other tools (evaxload's `serving`
+	// section) contribute their own keys to the same report file.
+	if err := benchjson.Merge(path, r); err != nil {
 		return fmt.Errorf("writing bench report: %w", err)
 	}
 	fmt.Printf("runner bench: %d jobs  seq=%v  par(%d)=%v  speedup=%.2fx  identical=%v -> %s\n",

@@ -1,0 +1,118 @@
+// Command evaxd is the online detection daemon: it loads a deployed
+// detection bundle (the vendor-distributed detector patch) and serves the
+// streaming scoring protocol — micro-batched, backpressured, observable —
+// answering each raw counter window with a verdict frame. A localhost HTTP
+// listener exposes /metrics, /score, /healthz and /debug/pprof. SIGINT or
+// SIGTERM drains gracefully: accept stops, every accepted sample still
+// receives its verdict, and the final metrics snapshot is persisted
+// crash-safely.
+//
+// Usage:
+//
+//	evaxtrain -quick -bundle patch.json     # train and export a bundle
+//	evaxd -bundle patch.json -addr 127.0.0.1:9317 -http 127.0.0.1:9318
+//	evaxd -bundle patch.json -replay corpus.bin -seed 7   # deterministic replay
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"evax/internal/dataset"
+	"evax/internal/defense"
+	"evax/internal/serve"
+	"evax/internal/sim"
+)
+
+func main() {
+	var (
+		bundle    = flag.String("bundle", "", "detection bundle (detector + normalizer) from evaxtrain -bundle")
+		addr      = flag.String("addr", "127.0.0.1:9317", "framing-protocol listen address")
+		httpAddr  = flag.String("http", "", "HTTP fallback listen address (/metrics, /score, /healthz, /debug/pprof); empty disables")
+		batch     = flag.Int("batch", 32, "max samples per scoring micro-batch")
+		linger    = flag.Duration("linger", 2*time.Millisecond, "max wait for a batch to fill after its first sample")
+		queue     = flag.Int("queue", 1024, "per-shard ingest queue bound; samples beyond it are rejected, not buffered")
+		shards    = flag.Int("shards", 1, "scoring lanes (connections are pinned round-robin)")
+		window    = flag.Uint64("window", 1_000_000, "post-flag secure window in committed instructions")
+		statsPath = flag.String("stats", "", "write the final metrics snapshot here on drain (crash-safe)")
+		replay    = flag.String("replay", "", "replay a recorded corpus (dataset corpus file) instead of serving")
+		seed      = flag.Int64("seed", 1, "replay scoring-order seed; the verdict digest is identical for every seed")
+		jobs      = flag.Int("jobs", 0, "replay worker count (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	if *bundle == "" {
+		fatalf("evaxd: -bundle is required (train one with: evaxtrain -quick -bundle patch.json)")
+	}
+	fl, err := defense.LoadBundle(*bundle)
+	if err != nil {
+		fatalf("evaxd: %v", err)
+	}
+	rawDim := sim.CounterCatalog().Len()
+
+	if *replay != "" {
+		samples, err := dataset.ReadCorpusFile(*replay)
+		if err != nil {
+			fatalf("evaxd: %v", err)
+		}
+		start := time.Now()
+		res, err := serve.Replay(fl.Det, fl.DS, samples, *seed, *jobs)
+		if err != nil {
+			fatalf("evaxd: %v", err)
+		}
+		if d := time.Since(start).Seconds(); d > 0 {
+			res.MeanRate = float64(res.Rows) / d
+		}
+		fmt.Printf("replay: rows=%d flagged=%d seed=%d hash=%016x (%.0f rows/sec)\n",
+			res.Rows, res.Flagged, res.Seed, res.Hash, res.MeanRate)
+		return
+	}
+
+	cfg := serve.DefaultConfig()
+	cfg.Addr = *addr
+	cfg.HTTPAddr = *httpAddr
+	cfg.MaxBatch = *batch
+	cfg.Linger = *linger
+	cfg.QueueBound = *queue
+	cfg.Shards = *shards
+	cfg.SecureWindow = *window
+	cfg.StatsPath = *statsPath
+
+	srv, err := serve.New(fl.Det, fl.DS, rawDim, cfg)
+	if err != nil {
+		fatalf("evaxd: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		fatalf("evaxd: %v", err)
+	}
+	fmt.Printf("evaxd: serving %d-counter windows on %s", rawDim, srv.Addr())
+	if h := srv.HTTPAddr(); h != "" {
+		fmt.Printf(" (http %s)", h)
+	}
+	fmt.Println()
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Println("evaxd: draining...")
+	snap, err := srv.Drain()
+	if err != nil {
+		fatalf("evaxd: drain: %v", err)
+	}
+	out, jerr := json.MarshalIndent(snap, "", "  ")
+	if jerr == nil {
+		fmt.Printf("evaxd: drained: %s\n", out)
+	}
+}
+
+// fatalf reports a fatal error and exits nonzero.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command evaxload is the load-generation harness for evaxd: it drives N
+// concurrent synthetic clients replaying a benign/attack corpus against a
+// running server at a target rate, then reports throughput and round-trip
+// latency percentiles. With -benchjson the measurements are merged into
+// BENCH_runner.json as the `serving` section, alongside evaxbench's scoring
+// sections.
+//
+// Usage:
+//
+//	evaxload -record corpus.bin                  # record a replayable corpus
+//	evaxload -addr 127.0.0.1:9317 -clients 8 -n 500 -rate 20000
+//	evaxload -addr 127.0.0.1:9317 -corpus corpus.bin -benchjson BENCH_runner.json
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"evax/internal/benchjson"
+	"evax/internal/dataset"
+	"evax/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:9317", "evaxd framing-protocol address")
+		clients = flag.Int("clients", 4, "concurrent client connections")
+		perConn = flag.Int("n", 250, "samples each client streams")
+		rate    = flag.Float64("rate", 0, "target aggregate samples/sec (0 = full speed)")
+		corpus  = flag.String("corpus", "", "replay this recorded corpus (default: generate a quick synthetic one)")
+		record  = flag.String("record", "", "generate the synthetic corpus, write it here, and exit")
+		seeds   = flag.Int("seeds", 2, "seeded instances per program when generating the synthetic corpus")
+		jsonOut = flag.String("benchjson", "", "merge the `serving` section into this report file")
+	)
+	flag.Parse()
+
+	var (
+		samples []dataset.Sample
+		err     error
+	)
+	if *corpus != "" {
+		samples, err = dataset.ReadCorpusFile(*corpus)
+	} else {
+		samples = syntheticCorpus(*seeds)
+	}
+	if err != nil {
+		fatalf("evaxload: %v", err)
+	}
+	if len(samples) == 0 {
+		fatalf("evaxload: corpus is empty")
+	}
+	if *record != "" {
+		if err := dataset.WriteCorpusFile(*record, samples); err != nil {
+			fatalf("evaxload: %v", err)
+		}
+		fmt.Printf("evaxload: recorded %d samples to %s\n", len(samples), *record)
+		return
+	}
+
+	rep, err := serve.RunLoad(context.Background(), serve.LoadOptions{
+		Addr:      *addr,
+		Clients:   *clients,
+		PerClient: *perConn,
+		Rate:      *rate,
+		Samples:   samples,
+	})
+	if err != nil {
+		fatalf("evaxload: %v", err)
+	}
+
+	out, jerr := json.MarshalIndent(rep, "", "  ")
+	if jerr != nil {
+		fatalf("evaxload: %v", jerr)
+	}
+	fmt.Printf("serving: %s\n", out)
+	if *jsonOut != "" {
+		if err := benchjson.Merge(*jsonOut, map[string]any{"serving": rep}); err != nil {
+			fatalf("evaxload: %v", err)
+		}
+		fmt.Printf("evaxload: merged serving section into %s\n", *jsonOut)
+	}
+}
+
+// syntheticCorpus builds a small benign+attack corpus from simulator runs,
+// sized to exercise the server without minutes of generation.
+func syntheticCorpus(seeds int) []dataset.Sample {
+	opts := dataset.DefaultCorpusOptions()
+	opts.Seeds = seeds
+	opts.MaxInstr = 30_000
+	return dataset.CollectAll(opts)
+}
+
+// fatalf reports a fatal error and exits nonzero.
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(1)
+}

@@ -114,6 +114,7 @@ func Analyzers() []*Analyzer {
 		CtrNameAnalyzer(),
 		GoroutineAnalyzer(),
 		RawWriteAnalyzer(),
+		WallClockAnalyzer(),
 	}
 }
 

@@ -208,6 +208,45 @@ func TestRawWriteExemptInSafeio(t *testing.T) {
 	}
 }
 
+func TestWallClock(t *testing.T) {
+	runRule(t, WallClockAnalyzer(),
+		filepath.Join("testdata", "src", "wallclock", "bad.golden"),
+		fixturePkg{path: "evax/internal/dataset", files: fixture("wallclock", "bad.go")})
+	runRule(t, WallClockAnalyzer(),
+		filepath.Join("testdata", "src", "wallclock", "clean.golden"),
+		fixturePkg{path: "evax/internal/dataset", files: fixture("wallclock", "clean.go")})
+}
+
+func TestWallClockExemptScopes(t *testing.T) {
+	// The same wall-clock reads are legitimate in the serving layer
+	// (latency measurement), the run engine (backoff), and command mains.
+	for _, path := range []string{
+		"evax/internal/serve",
+		"evax/internal/runner",
+		"evax/cmd/evaxd",
+	} {
+		prog := loadFixtureProg(t, fixturePkg{
+			path:  path,
+			files: fixture("wallclock", "bad.go"),
+		})
+		if diags := Analyze(prog, []*Analyzer{WallClockAnalyzer()}); len(diags) != 0 {
+			t.Errorf("wallclock fired inside exempt scope %s: %v", path, diags)
+		}
+	}
+}
+
+func TestGoroutineExemptInServe(t *testing.T) {
+	// The serving layer owns its connection readers/writers and shard
+	// batchers; raw concurrency there is part of its contract.
+	prog := loadFixtureProg(t, fixturePkg{
+		path:  "evax/internal/serve",
+		files: fixture("goroutine", "bad.go"),
+	})
+	if diags := Analyze(prog, []*Analyzer{GoroutineAnalyzer()}); len(diags) != 0 {
+		t.Errorf("goroutine fired inside internal/serve: %v", diags)
+	}
+}
+
 func TestSuppression(t *testing.T) {
 	// suppressed.go carries the same violations as the floateq bad fixture
 	// but every site is annotated with //evaxlint:ignore.

@@ -8,9 +8,14 @@ import (
 // concurrency primitives. internal/runner is the deterministic fan-out
 // engine every campaign must flow through: it alone owns goroutines and
 // WaitGroups, so index-addressed merging and per-job seed derivation cannot
-// be bypassed by ad-hoc parallel loops.
+// be bypassed by ad-hoc parallel loops. internal/serve is the online
+// service: connection readers/writers and shard batchers are long-lived
+// event loops, not fan-out jobs — scheduling there never reaches a score
+// (verdicts depend only on their row), so raw concurrency is part of its
+// contract rather than a determinism leak.
 var goroutineExemptScope = []string{
 	"internal/runner",
+	"internal/serve",
 }
 
 // GoroutineAnalyzer flags raw go statements and sync.WaitGroup references

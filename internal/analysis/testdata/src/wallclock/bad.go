@@ -1,0 +1,11 @@
+package dataset
+
+import "time"
+
+// Bad exercises every banned wall-clock read in a library package.
+func Bad(deadline time.Time) time.Duration {
+	start := time.Now()
+	left := time.Until(deadline)
+	_ = left
+	return time.Since(start)
+}

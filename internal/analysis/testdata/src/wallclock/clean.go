@@ -1,0 +1,13 @@
+package dataset
+
+import "time"
+
+// Clean keeps to the approved idioms: duration arithmetic, constants, and
+// timestamps threaded in by the caller — never sampled locally.
+func Clean(start time.Time, budget time.Duration) bool {
+	if budget <= 0 {
+		budget = 5 * time.Millisecond
+	}
+	deadline := start.Add(budget)
+	return deadline.After(start)
+}

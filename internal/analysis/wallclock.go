@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// wallclockExemptScope lists the package-path suffixes where sampling the
+// wall clock is part of the job: the online serving layer (batch linger,
+// latency histograms, I/O deadlines) and the run engine (retry backoff,
+// job timeouts). Command mains (any package under a cmd/ segment) are also
+// exempt — progress lines and wall-clock reports are their interface.
+var wallclockExemptScope = []string{
+	"internal/serve",
+	"internal/runner",
+}
+
+// wallclockFuncs are the real-time reads the rule bans. time.Duration
+// arithmetic, constants and timers fed by explicit durations remain fine
+// everywhere; only sampling the actual clock leaks real time into results.
+var wallclockFuncs = map[string]bool{
+	"Now":   true,
+	"Since": true,
+	"Until": true,
+}
+
+// WallClockAnalyzer flags time.Now/Since/Until outside the serving layer,
+// the run engine, and command mains. The determinism rule already bans
+// wall-clock reads inside the simulator and training packages; this rule
+// closes the rest of the library: a time.Now in, say, dataset or checkpoint
+// is either dead weight or a nondeterminism seed waiting to flow into a
+// result, and measurement belongs in the cmds or the exempt engines.
+func WallClockAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wallclock",
+		Doc:  "forbid time.Now/Since/Until outside internal/serve, internal/runner, and cmd/",
+		Run:  runWallClock,
+	}
+}
+
+func runWallClock(pass *Pass) []Diagnostic {
+	for _, s := range wallclockExemptScope {
+		if pass.Pkg.HasSuffix(s) {
+			return nil
+		}
+	}
+	if isCommandPath(pass.Pkg.Path) {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if pkgNameOf(pass.Pkg.Info, ident) == "time" && wallclockFuncs[sel.Sel.Name] {
+				diags = append(diags, Diagnostic{
+					Pos:  pass.Position(call.Pos()),
+					Rule: "wallclock",
+					Message: fmt.Sprintf("time.%s outside internal/serve, internal/runner and cmd/; library code must not read the wall clock — measure in a cmd or thread a timestamp in",
+						sel.Sel.Name),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isCommandPath reports whether the import path names a main package under a
+// cmd/ tree ("evax/cmd/evaxd", "cmd/evaxd", ...).
+func isCommandPath(path string) bool {
+	return strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/")
+}

@@ -1,0 +1,77 @@
+// Package benchjson maintains BENCH_runner.json-style report files that
+// several tools contribute sections to. Merge overlays a writer's top-level
+// keys onto whatever the file already holds, so evaxbench's scoring sections
+// and evaxload's serving section can coexist in one report instead of each
+// tool clobbering the other's output.
+package benchjson
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"evax/internal/safeio"
+)
+
+// Merge updates path with v's top-level JSON keys, preserving every key the
+// file already has that v does not set. A missing file starts from an empty
+// object; a file that exists but does not hold a JSON object is an error
+// (merging into it would silently discard someone's data). The write is
+// crash-safe (temp + fsync + rename).
+func Merge(path string, v any) error {
+	update, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("benchjson: encoding update: %w", err)
+	}
+	var updateKeys map[string]json.RawMessage
+	if err := json.Unmarshal(update, &updateKeys); err != nil {
+		return fmt.Errorf("benchjson: update must be a JSON object: %w", err)
+	}
+
+	merged := make(map[string]json.RawMessage)
+	existing, err := os.ReadFile(path)
+	switch {
+	case errors.Is(err, fs.ErrNotExist):
+		// Fresh report.
+	case err != nil:
+		return fmt.Errorf("benchjson: reading %s: %w", path, err)
+	default:
+		if err := json.Unmarshal(existing, &merged); err != nil {
+			return fmt.Errorf("benchjson: %s is not a JSON object; refusing to overwrite: %w", path, err)
+		}
+	}
+	for k, raw := range updateKeys {
+		merged[k] = raw
+	}
+
+	data, err := json.MarshalIndent(merged, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchjson: encoding %s: %w", path, err)
+	}
+	data = append(data, '\n')
+	return safeio.WriteFile(path, data, 0o644)
+}
+
+// Read unmarshals one section of a report file into out. It reports
+// fs.ErrNotExist when the file is missing and a wrapped error when the
+// section is absent.
+func Read(path, section string, out any) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sections map[string]json.RawMessage
+	if err := json.Unmarshal(data, &sections); err != nil {
+		return fmt.Errorf("benchjson: decoding %s: %w", path, err)
+	}
+	raw, ok := sections[section]
+	if !ok {
+		return fmt.Errorf("benchjson: %s has no %q section", path, section)
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("benchjson: decoding %s section %q: %w", path, section, err)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func readAll(t *testing.T, path string) map[string]json.RawMessage {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]json.RawMessage
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatalf("report is not a JSON object: %v", err)
+	}
+	return m
+}
+
+func TestMergeCreatesFreshReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := Merge(path, map[string]any{"serving": map[string]int{"clients": 4}}); err != nil {
+		t.Fatal(err)
+	}
+	m := readAll(t, path)
+	if _, ok := m["serving"]; !ok {
+		t.Fatalf("fresh report missing written section: %v", m)
+	}
+}
+
+func TestMergePreservesUnrelatedSections(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+
+	// Tool A writes its flat keys (the evaxbench shape).
+	type benchShape struct {
+		Jobs    int     `json:"jobs"`
+		Speedup float64 `json:"speedup"`
+	}
+	if err := Merge(path, benchShape{Jobs: 8, Speedup: 3.5}); err != nil {
+		t.Fatal(err)
+	}
+	// Tool B adds its own section (the evaxload shape).
+	if err := Merge(path, map[string]any{"serving": map[string]any{"clients": 4}}); err != nil {
+		t.Fatal(err)
+	}
+	// Tool A runs again with new numbers: must update its keys, keep B's.
+	if err := Merge(path, benchShape{Jobs: 16, Speedup: 5.0}); err != nil {
+		t.Fatal(err)
+	}
+
+	m := readAll(t, path)
+	for _, key := range []string{"jobs", "speedup", "serving"} {
+		if _, ok := m[key]; !ok {
+			t.Fatalf("merged report lost %q: %v", key, m)
+		}
+	}
+	var jobs int
+	if err := json.Unmarshal(m["jobs"], &jobs); err != nil || jobs != 16 {
+		t.Fatalf("jobs = %s, want 16", m["jobs"])
+	}
+	var serving struct {
+		Clients int `json:"clients"`
+	}
+	if err := Read(path, "serving", &serving); err != nil {
+		t.Fatal(err)
+	}
+	if serving.Clients != 4 {
+		t.Fatalf("serving.clients = %d, want 4", serving.Clients)
+	}
+}
+
+func TestMergeRefusesNonObjectFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := os.WriteFile(path, []byte(`[1,2,3]`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := Merge(path, map[string]any{"serving": 1}); err == nil {
+		t.Fatal("merged into a non-object file")
+	}
+	// The original content must be untouched after the refusal.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != `[1,2,3]` {
+		t.Fatalf("refused merge still modified the file: %s", data)
+	}
+}
+
+func TestMergeRejectsNonObjectUpdate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := Merge(path, []int{1, 2}); err == nil {
+		t.Fatal("accepted a non-object update")
+	}
+}
+
+func TestReadMissingSection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+	if err := Merge(path, map[string]any{"a": 1}); err != nil {
+		t.Fatal(err)
+	}
+	var v int
+	if err := Read(path, "missing", &v); err == nil {
+		t.Fatal("read of a missing section succeeded")
+	}
+	if err := Read(filepath.Join(t.TempDir(), "nope.json"), "a", &v); err == nil {
+		t.Fatal("read of a missing file succeeded")
+	}
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+)
+
+func TestRowWireRoundTrip(t *testing.T) {
+	raw := []float64{0, 1.5, math.Pi, -3, 1e308, math.SmallestNonzeroFloat64}
+	b := AppendRow(nil, 12345, 67890, raw)
+	if len(b) != RowWireSize(len(raw)) {
+		t.Fatalf("encoded %d bytes, RowWireSize says %d", len(b), RowWireSize(len(raw)))
+	}
+	got := make([]float64, len(raw))
+	instr, cycles, rest, err := DecodeRowInto(b, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if instr != 12345 || cycles != 67890 {
+		t.Fatalf("decoded instr=%d cycles=%d", instr, cycles)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("decoder left %d bytes", len(rest))
+	}
+	for i := range raw {
+		if math.Float64bits(raw[i]) != math.Float64bits(got[i]) {
+			t.Fatalf("counter %d: %v != %v (bit-level)", i, got[i], raw[i])
+		}
+	}
+}
+
+func TestDecodeRowIntoTruncated(t *testing.T) {
+	raw := []float64{1, 2, 3}
+	b := AppendRow(nil, 1, 2, raw)
+	got := make([]float64, len(raw))
+	for cut := 0; cut < len(b); cut++ {
+		if _, _, _, err := DecodeRowInto(b[:cut], got); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+// wireTestSamples builds a tiny two-class corpus without a simulator run.
+func wireTestSamples(rows, rawDim int) []Sample {
+	out := make([]Sample, rows)
+	for i := range out {
+		raw := make([]float64, rawDim)
+		for j := range raw {
+			raw[j] = float64(i*rawDim+j) * 1.25
+		}
+		out[i] = Sample{
+			Raw:          raw,
+			Malicious:    i%3 == 0,
+			Instructions: uint64(1000 + i),
+			Cycles:       uint64(2000 + i),
+		}
+	}
+	return out
+}
+
+func TestCorpusRoundTrip(t *testing.T) {
+	samples := wireTestSamples(17, 5)
+	data, err := MarshalCorpus(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := UnmarshalCorpus(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(samples))
+	}
+	for i := range samples {
+		if got[i].Malicious != samples[i].Malicious ||
+			got[i].Instructions != samples[i].Instructions ||
+			got[i].Cycles != samples[i].Cycles {
+			t.Fatalf("sample %d metadata diverged: %+v", i, got[i])
+		}
+		for j := range samples[i].Raw {
+			if math.Float64bits(got[i].Raw[j]) != math.Float64bits(samples[i].Raw[j]) {
+				t.Fatalf("sample %d counter %d diverged", i, j)
+			}
+		}
+	}
+	// Re-encoding the decoded corpus must be byte-identical.
+	again, err := MarshalCorpus(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("re-encoded corpus differs from the original encoding")
+	}
+}
+
+func TestCorpusFileRoundTrip(t *testing.T) {
+	samples := wireTestSamples(9, 4)
+	path := filepath.Join(t.TempDir(), "corpus.bin")
+	if err := WriteCorpusFile(path, samples); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCorpusFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("read %d samples, want %d", len(got), len(samples))
+	}
+}
+
+func TestUnmarshalCorpusRejectsGarbage(t *testing.T) {
+	samples := wireTestSamples(4, 3)
+	data, err := MarshalCorpus(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":       {},
+		"short-magic": data[:4],
+		"bad-magic":   append([]byte("NOTEVAX1"), data[8:]...),
+		"truncated":   data[:len(data)-3],
+		"trailing":    append(append([]byte{}, data...), 0xAB),
+	}
+	for name, b := range cases {
+		if _, err := UnmarshalCorpus(b); err == nil {
+			t.Errorf("%s: corrupt corpus accepted", name)
+		}
+	}
+}

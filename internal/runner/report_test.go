@@ -1,0 +1,200 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// jobScript describes one job's behavior in a mixed-outcome campaign and the
+// slot accounting it must produce in the Report.
+type jobScript struct {
+	// behavior is one of: ok, retry-ok (fails retryably until the last
+	// allowed attempt), retry-exhaust (fails retryably forever), fatal
+	// (fails non-retryably), timeout (waits out its per-job deadline),
+	// timeout-retry (same, but marks the deadline error retryable), cancel
+	// (succeeds, then cancels the campaign).
+	behavior string
+
+	wantCompleted bool
+	wantAttempts  int
+}
+
+// scriptErr is the sentinel failure scripts return.
+var scriptErr = errors.New("scripted failure")
+
+func TestReportMixedOutcomes(t *testing.T) {
+	cases := []struct {
+		name    string
+		opts    Options
+		scripts []jobScript
+		wantErr error // nil, scriptErr, or a context error
+	}{
+		{
+			name: "all-success",
+			scripts: []jobScript{
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+			},
+		},
+		{
+			name: "fatal-error-still-runs-other-slots",
+			scripts: []jobScript{
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+				{behavior: "fatal", wantCompleted: false, wantAttempts: 1},
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+			},
+			wantErr: scriptErr,
+		},
+		{
+			name: "retry-exhaustion-counts-every-attempt",
+			opts: Options{Retry: Retry{Attempts: 3}},
+			scripts: []jobScript{
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+				{behavior: "retry-exhaust", wantCompleted: false, wantAttempts: 3},
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+			},
+			wantErr: scriptErr,
+		},
+		{
+			name: "retry-until-success",
+			opts: Options{Retry: Retry{Attempts: 4}},
+			scripts: []jobScript{
+				{behavior: "retry-ok", wantCompleted: true, wantAttempts: 3},
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+			},
+		},
+		{
+			name: "timeout-is-one-attempt",
+			opts: Options{JobTimeout: 5 * time.Millisecond},
+			scripts: []jobScript{
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+				{behavior: "timeout", wantCompleted: false, wantAttempts: 1},
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+			},
+			wantErr: context.DeadlineExceeded,
+		},
+		{
+			name: "retryable-timeout-retries-then-fails",
+			opts: Options{JobTimeout: 2 * time.Millisecond, Retry: Retry{Attempts: 2}},
+			scripts: []jobScript{
+				{behavior: "timeout-retry", wantCompleted: false, wantAttempts: 2},
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+			},
+			wantErr: context.DeadlineExceeded,
+		},
+		{
+			name: "cancel-leaves-unclaimed-slots-at-zero-attempts",
+			scripts: []jobScript{
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+				{behavior: "cancel", wantCompleted: true, wantAttempts: 1},
+				{behavior: "ok", wantCompleted: false, wantAttempts: 0},
+				{behavior: "ok", wantCompleted: false, wantAttempts: 0},
+			},
+			wantErr: context.Canceled,
+		},
+		{
+			name: "cancel-after-mixed-outcomes",
+			opts: Options{Retry: Retry{Attempts: 2}},
+			scripts: []jobScript{
+				{behavior: "retry-exhaust", wantCompleted: false, wantAttempts: 2},
+				{behavior: "ok", wantCompleted: true, wantAttempts: 1},
+				{behavior: "cancel", wantCompleted: true, wantAttempts: 1},
+				{behavior: "retry-exhaust", wantCompleted: false, wantAttempts: 0},
+			},
+			wantErr: scriptErr, // job errors take precedence over cancellation
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := runReportCase(t, tc.opts, tc.scripts)
+			if tc.wantErr == nil && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("error = %v, want %v", err, tc.wantErr)
+			}
+			if len(rep.Completed) != len(tc.scripts) || len(rep.Attempts) != len(tc.scripts) {
+				t.Fatalf("report sized %d/%d for %d jobs",
+					len(rep.Completed), len(rep.Attempts), len(tc.scripts))
+			}
+			wantDone := 0
+			for i, s := range tc.scripts {
+				if rep.Completed[i] != s.wantCompleted {
+					t.Errorf("job %d (%s): Completed = %v, want %v",
+						i, s.behavior, rep.Completed[i], s.wantCompleted)
+				}
+				if rep.Attempts[i] != s.wantAttempts {
+					t.Errorf("job %d (%s): Attempts = %d, want %d",
+						i, s.behavior, rep.Attempts[i], s.wantAttempts)
+				}
+				if s.wantCompleted {
+					wantDone++
+				}
+			}
+			if got := rep.CompletedCount(); got != wantDone {
+				t.Errorf("CompletedCount = %d, want %d", got, wantDone)
+			}
+			slots := rep.CompletedSlots()
+			if len(slots) != wantDone {
+				t.Errorf("CompletedSlots has %d entries, want %d", len(slots), wantDone)
+			}
+			for _, s := range slots {
+				if !rep.Completed[s] {
+					t.Errorf("CompletedSlots reports slot %d, but Completed[%d] is false", s, s)
+				}
+			}
+		})
+	}
+}
+
+// runReportCase executes one campaign sequentially (Jobs: 1, the reference
+// ordering) so the claim order — and therefore which jobs a mid-campaign
+// cancel prevents from starting — is exact. attempts tracks per-job
+// executions so retry-ok can succeed on its final allowed attempt.
+func runReportCase(t *testing.T, o Options, scripts []jobScript) (*Report, error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	o.Jobs = 1
+	attempts := make([]int, len(scripts))
+	_, rep, err := MapErrCtx(ctx, o, len(scripts), func(jctx context.Context, i int) (int, error) {
+		attempts[i]++
+		switch scripts[i].behavior {
+		case "ok":
+			return i, nil
+		case "retry-ok":
+			if attempts[i] < scripts[i].wantAttempts {
+				return 0, Retryable(fmt.Errorf("attempt %d: %w", attempts[i], scriptErr))
+			}
+			return i, nil
+		case "retry-exhaust":
+			return 0, Retryable(fmt.Errorf("attempt %d: %w", attempts[i], scriptErr))
+		case "fatal":
+			return 0, scriptErr
+		case "timeout":
+			<-jctx.Done()
+			return 0, jctx.Err()
+		case "timeout-retry":
+			<-jctx.Done()
+			return 0, Retryable(jctx.Err())
+		case "cancel":
+			cancel()
+			return i, nil
+		default:
+			t.Errorf("unknown behavior %q", scripts[i].behavior)
+			return 0, scriptErr
+		}
+	})
+	for i := range attempts {
+		if attempts[i] != rep.Attempts[i] {
+			t.Errorf("job %d: engine reports %d attempts, job observed %d",
+				i, rep.Attempts[i], attempts[i])
+		}
+	}
+	return rep, err
+}

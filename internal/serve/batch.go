@@ -1,0 +1,151 @@
+package serve
+
+import (
+	"time"
+)
+
+// request is one unit of shard work: an accepted sample awaiting scoring, or
+// (when flush is non-nil) a control message asking the shard to flush its
+// current batch and then close the channel — the barrier connection teardown
+// and server drain use to guarantee every previously accepted sample has its
+// verdict delivered.
+type request struct {
+	c            *conn
+	seq          uint64
+	instrStart   uint64
+	instructions uint64
+	cycles       uint64
+	raw          []float64
+	enq          time.Time
+
+	flush chan struct{}
+}
+
+// shard is one scoring lane. A connection is pinned to exactly one shard for
+// its lifetime, so per-connection ordering and flag-window state never need
+// cross-shard coordination: the shard's batcher goroutine is the only writer
+// of every pinned connection's secureUntil.
+//
+// The ingest channel is the bounded queue of the admission-control contract:
+// readers enqueue with a non-blocking send and reject on overflow, so memory
+// per shard is bounded by QueueBound + MaxBatch rows no matter the offered
+// load.
+type shard struct {
+	srv *Server
+	ch  chan request
+	sc  *scorer
+}
+
+// run is the batcher loop: collect up to MaxBatch requests or until Linger
+// expires after the first, then flush the batch through the zero-alloc score
+// path. Control messages flush immediately.
+func (sh *shard) run() {
+	defer sh.srv.shardWg.Done()
+	cfg := sh.srv.cfg
+	batch := make([]request, 0, cfg.MaxBatch)
+	lats := make([]time.Duration, 0, cfg.MaxBatch)
+	for {
+		r, ok := <-sh.ch
+		if !ok {
+			sh.flush(&batch, &lats)
+			return
+		}
+		if r.flush != nil {
+			sh.flush(&batch, &lats)
+			close(r.flush)
+			continue
+		}
+		batch = append(batch, r)
+		if !sh.collect(&batch, &lats) {
+			sh.flush(&batch, &lats)
+			return
+		}
+		sh.flush(&batch, &lats)
+	}
+}
+
+// collect tops the batch up to MaxBatch, waiting at most Linger after the
+// first sample. Returns false when the ingest channel closed.
+func (sh *shard) collect(batch *[]request, lats *[]time.Duration) bool {
+	cfg := sh.srv.cfg
+	if cfg.Linger <= 0 {
+		// No linger: absorb whatever is already queued, never wait.
+		for len(*batch) < cfg.MaxBatch {
+			select {
+			case r, ok := <-sh.ch:
+				if !ok {
+					return false
+				}
+				if r.flush != nil {
+					sh.flush(batch, lats)
+					close(r.flush)
+					continue
+				}
+				*batch = append(*batch, r)
+			default:
+				return true
+			}
+		}
+		return true
+	}
+	timer := time.NewTimer(cfg.Linger)
+	defer timer.Stop()
+	for len(*batch) < cfg.MaxBatch {
+		select {
+		case r, ok := <-sh.ch:
+			if !ok {
+				return false
+			}
+			if r.flush != nil {
+				sh.flush(batch, lats)
+				close(r.flush)
+				continue
+			}
+			*batch = append(*batch, r)
+		case <-timer.C:
+			return true
+		}
+	}
+	return true
+}
+
+// flush scores every request in the batch, applies per-connection flag-window
+// state, and delivers verdict frames to the connections' writers. The score
+// of a row depends only on the row (the scorer's scratch is fully overwritten
+// per sample), so batching and shard assignment never change a verdict.
+func (sh *shard) flush(batch *[]request, lats *[]time.Duration) {
+	if len(*batch) == 0 {
+		return
+	}
+	if hook := sh.srv.cfg.flushPause; hook != nil {
+		hook()
+	}
+	for i := range *batch {
+		r := &(*batch)[i]
+		score := sh.sc.score(r.raw, r.instructions, r.cycles)
+		windowEnd := r.instrStart + r.instructions
+		var flags uint8
+		if score >= sh.sc.threshold() {
+			flags |= VerdictFlagged
+			// Engage (or extend) the mitigation window, exactly the
+			// defense controller's gating rule.
+			r.c.secureUntil = windowEnd + sh.srv.cfg.SecureWindow
+		}
+		if flags&VerdictFlagged != 0 || windowEnd < r.c.secureUntil {
+			flags |= VerdictSecure
+		}
+		r.c.scored++
+		if flags&VerdictFlagged != 0 {
+			r.c.flagged++
+			sh.srv.met.flagged.Add(1)
+		}
+		sh.srv.met.scored.Add(1)
+		r.c.deliver(AppendVerdict(nil, Verdict{Seq: r.seq, Score: score, Flags: flags}))
+		*lats = append(*lats, time.Since(r.enq))
+		sh.srv.putRow(r.raw)
+		r.raw = nil
+	}
+	sh.srv.met.observeBatch(len(*batch), *lats)
+	*batch = (*batch)[:0]
+	*lats = (*lats)[:0]
+}

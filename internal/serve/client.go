@@ -1,0 +1,125 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+)
+
+// Client speaks the framing protocol from the client side. It is used by the
+// evaxload harness and the integration tests; it is not safe for concurrent
+// use of the same side (one goroutine may send while another receives).
+type Client struct {
+	nc  net.Conn
+	br  *bufio.Reader
+	bw  *bufio.Writer
+	buf []byte
+}
+
+// Dial connects to a server and completes the hello exchange for a
+// rawDim-counter stream.
+func Dial(addr string, rawDim int) (*Client, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+	if err := c.writeFrame(AppendHello(c.buf[:0], Hello{Version: ProtocolVersion, RawDim: uint32(rawDim)})); err != nil {
+		//evaxlint:ignore droppederr the dial already failed; the close error would mask the handshake error
+		nc.Close()
+		return nil, fmt.Errorf("serve: sending hello: %w", err)
+	}
+	fr, err := c.Recv()
+	if err != nil {
+		//evaxlint:ignore droppederr the dial already failed; the close error would mask the handshake error
+		nc.Close()
+		return nil, fmt.Errorf("serve: reading hello echo: %w", err)
+	}
+	if fr.Type == FrameError {
+		//evaxlint:ignore droppederr the server refused the handshake; its error frame is the failure to report
+		nc.Close()
+		return nil, fmt.Errorf("serve: server refused hello: %s", fr.Payload)
+	}
+	if fr.Type != FrameHello {
+		//evaxlint:ignore droppederr the handshake already failed; the close error would mask the protocol error
+		nc.Close()
+		return nil, fmt.Errorf("serve: expected hello echo, got frame type 0x%02x", fr.Type)
+	}
+	return c, nil
+}
+
+// writeFrame writes one pre-encoded frame and flushes, keeping the buffer for
+// reuse.
+func (c *Client) writeFrame(frame []byte) error {
+	c.buf = frame[:0]
+	if _, err := c.bw.Write(frame); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Send streams one sample frame.
+func (c *Client) Send(h SampleHeader, instructions, cycles uint64, raw []float64) error {
+	return c.writeFrame(AppendSample(c.buf[:0], h, instructions, cycles, raw))
+}
+
+// Bye announces the client is done sending; the server will flush, answer
+// everything in flight, send stats and close.
+func (c *Client) Bye() error {
+	return c.writeFrame(AppendFrame(c.buf[:0], FrameBye, nil))
+}
+
+// Recv reads the next server frame.
+func (c *Client) Recv() (Frame, error) {
+	return ReadFrame(c.br)
+}
+
+// DrainStats receives frames until the connection's FrameStats arrives,
+// returning it along with every verdict and reject seen on the way.
+func (c *Client) DrainStats() (ConnStats, []Verdict, []Reject, error) {
+	var (
+		verdicts []Verdict
+		rejects  []Reject
+	)
+	for {
+		fr, err := c.Recv()
+		if err != nil {
+			return ConnStats{}, verdicts, rejects, err
+		}
+		switch fr.Type {
+		case FrameVerdict:
+			v, err := DecodeVerdict(fr.Payload)
+			if err != nil {
+				return ConnStats{}, verdicts, rejects, err
+			}
+			verdicts = append(verdicts, v)
+		case FrameReject:
+			r, err := DecodeReject(fr.Payload)
+			if err != nil {
+				return ConnStats{}, verdicts, rejects, err
+			}
+			rejects = append(rejects, r)
+		case FrameStats:
+			var st ConnStats
+			if err := json.Unmarshal(fr.Payload, &st); err != nil {
+				return ConnStats{}, verdicts, rejects, err
+			}
+			return st, verdicts, rejects, nil
+		case FrameDrain:
+			// Informational: the server is draining; stats still follow.
+		case FrameError:
+			return ConnStats{}, verdicts, rejects, fmt.Errorf("serve: server error: %s", fr.Payload)
+		default:
+			return ConnStats{}, verdicts, rejects, fmt.Errorf("serve: unexpected frame type 0x%02x", fr.Type)
+		}
+	}
+}
+
+// Close tears the connection down without the bye handshake.
+func (c *Client) Close() error { return c.nc.Close() }

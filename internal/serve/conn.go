@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"time"
+)
+
+// conn is one client connection. The reader goroutine owns the inbound
+// framing and admission control; the writer goroutine owns every byte
+// written back (verdicts from the shard, rejects and errors from the reader)
+// so the socket never sees interleaved writes. Teardown is serialized in the
+// reader: flush the shard (barrier), emit the stats frame, close the
+// outbound queue — the writer drains it and closes the socket.
+type conn struct {
+	id    uint64
+	srv   *Server
+	nc    net.Conn
+	shard *shard
+
+	// out carries encoded frames to the writer; closed by the reader at
+	// teardown, after the shard flush barrier, so the shard never delivers
+	// to a closed channel.
+	out chan []byte
+
+	// accepted/rejected are owned by the reader; scored/flagged and
+	// secureUntil by the shard batcher. The flush barrier orders the
+	// batcher's final writes before the reader composes the stats frame.
+	accepted, rejected uint64
+	scored, flagged    uint64
+	secureUntil        uint64
+}
+
+// deliver hands an encoded frame to the writer. It blocks only when the
+// outbound queue is full, and the writer always drains the queue (write
+// failures switch it to discard mode), so delivery always completes.
+func (c *conn) deliver(frame []byte) { c.out <- frame }
+
+// reject answers seq with a reject frame and counts it.
+func (c *conn) reject(seq uint64, code uint8, msg string) {
+	c.rejected++
+	c.srv.met.rejected.Add(1)
+	if code == RejectOverload {
+		c.srv.met.rejectedLoad.Add(1)
+	}
+	c.deliver(AppendReject(nil, Reject{Seq: seq, Code: code, Msg: msg}))
+}
+
+// readLoop is the connection's reader goroutine (it also runs teardown).
+func (c *conn) readLoop() {
+	defer c.srv.readerWg.Done()
+	defer c.teardown()
+	br := bufio.NewReaderSize(c.nc, 64<<10)
+	if err := c.handshake(br); err != nil {
+		c.deliver(AppendError(nil, err.Error()))
+		return
+	}
+	for {
+		fr, err := ReadFrame(br)
+		if err != nil {
+			// EOF, client reset, or the drain deadline: either way the
+			// connection stops reading and tears down gracefully.
+			return
+		}
+		switch fr.Type {
+		case FrameSample:
+			c.handleSample(fr.Payload)
+		case FrameBye:
+			return
+		default:
+			c.deliver(AppendError(nil, fmt.Sprintf("serve: unexpected frame type 0x%02x", fr.Type)))
+			return
+		}
+	}
+}
+
+// handshake enforces the hello exchange: version and counter-space agreement
+// before any sample is admitted.
+func (c *conn) handshake(br *bufio.Reader) error {
+	//evaxlint:ignore droppederr a failed deadline set surfaces as the subsequent read error
+	c.nc.SetReadDeadline(time.Now().Add(helloTimeout))
+	fr, err := ReadFrame(br)
+	if err != nil {
+		return fmt.Errorf("serve: reading hello: %w", err)
+	}
+	//evaxlint:ignore droppederr a failed deadline clear surfaces as a read error on the next frame
+	c.nc.SetReadDeadline(time.Time{})
+	if c.srv.isDraining() {
+		// A conn registered in the drain race window: refuse politely.
+		return errors.New("serve: server is draining")
+	}
+	if fr.Type != FrameHello {
+		return fmt.Errorf("serve: first frame must be hello, got type 0x%02x", fr.Type)
+	}
+	h, err := DecodeHello(fr.Payload)
+	if err != nil {
+		return err
+	}
+	if h.Version != ProtocolVersion {
+		return fmt.Errorf("serve: protocol version %d not supported (want %d)", h.Version, ProtocolVersion)
+	}
+	if int(h.RawDim) != c.srv.rawDim {
+		return fmt.Errorf("serve: client streams %d counters, server catalog has %d", h.RawDim, c.srv.rawDim)
+	}
+	// Echo the hello so the client knows the dimensionality was agreed.
+	c.deliver(AppendHello(nil, Hello{Version: ProtocolVersion, RawDim: uint32(c.srv.rawDim)}))
+	return nil
+}
+
+// handleSample decodes and admits one sample frame: non-blocking enqueue to
+// the pinned shard's bounded queue, reject on overflow or drain. Admission
+// control never buffers beyond the queue bound.
+func (c *conn) handleSample(payload []byte) {
+	if c.srv.isDraining() {
+		c.reject(bestEffortSeq(payload), RejectDraining, "server draining")
+		return
+	}
+	row := c.srv.getRow()
+	h, instructions, cycles, err := DecodeSampleInto(payload, row)
+	if err != nil {
+		c.srv.putRow(row)
+		c.reject(bestEffortSeq(payload), RejectMalformed, err.Error())
+		return
+	}
+	select {
+	case c.shard.ch <- request{
+		c:            c,
+		seq:          h.Seq,
+		instrStart:   h.InstrStart,
+		instructions: instructions,
+		cycles:       cycles,
+		raw:          row,
+		enq:          time.Now(),
+	}:
+		c.accepted++
+		c.srv.met.accepted.Add(1)
+	default:
+		c.srv.putRow(row)
+		c.reject(h.Seq, RejectOverload,
+			fmt.Sprintf("shard queue full (%d)", c.srv.cfg.QueueBound))
+	}
+}
+
+// bestEffortSeq extracts the sequence number from a possibly-malformed sample
+// payload so the reject can still be correlated.
+func bestEffortSeq(payload []byte) uint64 {
+	if len(payload) >= 8 {
+		return binary.LittleEndian.Uint64(payload)
+	}
+	return 0
+}
+
+// teardown is the graceful close, shared by every exit path (bye, client
+// error, drain): flush the shard so every accepted sample's verdict is
+// already in the outbound queue, announce drain if one is in progress, emit
+// the connection stats frame, and close the queue.
+func (c *conn) teardown() {
+	ack := make(chan struct{})
+	c.shard.ch <- request{flush: ack}
+	<-ack
+	// The barrier ordered every batcher write (scored/flagged) before this
+	// point; stats are now consistent.
+	if c.srv.isDraining() {
+		c.deliver(AppendFrame(nil, FrameDrain, nil))
+	}
+	stats, err := json.Marshal(ConnStats{
+		Accepted: c.accepted,
+		Rejected: c.rejected,
+		Scored:   c.scored,
+		Flagged:  c.flagged,
+	})
+	if err == nil {
+		c.deliver(AppendFrame(nil, FrameStats, stats))
+	}
+	close(c.out)
+	c.srv.unregister(c)
+}
+
+// writeLoop is the connection's writer goroutine: the single owner of the
+// socket's write side. On a write error it stops writing but keeps draining
+// the queue, so shard deliveries never block on a dead client.
+func (c *conn) writeLoop() {
+	defer c.srv.connWg.Done()
+	bw := bufio.NewWriterSize(c.nc, 64<<10)
+	dead := false
+	for frame := range c.out {
+		if dead {
+			continue
+		}
+		//evaxlint:ignore droppederr a failed deadline set surfaces as the subsequent write error
+		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
+		if _, err := bw.Write(frame); err != nil {
+			dead = true
+			c.srv.met.writeErrors.Add(1)
+			continue
+		}
+		if len(c.out) == 0 {
+			if err := bw.Flush(); err != nil {
+				dead = true
+				c.srv.met.writeErrors.Add(1)
+			}
+		}
+	}
+	if !dead {
+		//evaxlint:ignore droppederr the connection is closing; a final flush failure has no receiver to report to
+		bw.Flush()
+	}
+	//evaxlint:ignore droppederr close failure on an already-drained connection loses nothing
+	c.nc.Close()
+}

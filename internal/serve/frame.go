@@ -1,0 +1,274 @@
+// Package serve is the online detection service: it exposes the columnar
+// detect.FeaturePlan scoring path as a long-running, observable, backpressured
+// server. Clients stream raw counter-sample frames over a length-prefixed
+// binary protocol; the server micro-batches them into the zero-alloc
+// expand/normalize/score path, tracks per-connection flag-window state (the
+// defense controller's secure-window gating), and streams verdict frames
+// back. Ingest queues are bounded with explicit admission control — overload
+// is rejected with an error frame, never buffered without bound — and SIGTERM
+// drains gracefully: accept stops, in-flight batches flush, every accepted
+// frame still receives its verdict, and a final stats report is persisted
+// crash-safely. See DESIGN.md §12 for the protocol and backpressure contract.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"evax/internal/dataset"
+)
+
+// Frame types. Every frame on the wire is TYPE(1) LEN(4, little-endian)
+// PAYLOAD(LEN). Unknown types are a protocol error.
+const (
+	// FrameHello opens a connection (client→server): protocol version and
+	// the client's raw counter dimensionality, which must match the
+	// server's catalog.
+	FrameHello byte = 0x01
+	// FrameSample streams one counter window (client→server): sequence
+	// number, window start instruction, then a dataset.AppendRow row.
+	FrameSample byte = 0x02
+	// FrameVerdict answers one accepted sample (server→client): sequence
+	// number, score bits, and flag bits.
+	FrameVerdict byte = 0x03
+	// FrameReject answers one refused sample (server→client): sequence
+	// number, reject code, message. A rejected sample was never queued.
+	FrameReject byte = 0x04
+	// FrameBye announces the client is done sending (client→server); the
+	// server flushes the connection's in-flight samples, answers every one,
+	// sends FrameStats and closes.
+	FrameBye byte = 0x05
+	// FrameStats carries the connection's JSON stats summary
+	// (server→client), sent exactly once before close.
+	FrameStats byte = 0x06
+	// FrameDrain announces the server is draining (server→client): samples
+	// sent after it are rejected with RejectDraining.
+	FrameDrain byte = 0x07
+	// FrameError reports a fatal protocol error (server→client) before the
+	// connection closes.
+	FrameError byte = 0x08
+)
+
+// Reject codes carried by FrameReject.
+const (
+	// RejectOverload: the shard's ingest queue was full (admission control).
+	RejectOverload uint8 = 1
+	// RejectDraining: the server is shutting down and no longer accepts.
+	RejectDraining uint8 = 2
+	// RejectMalformed: the sample payload failed to decode.
+	RejectMalformed uint8 = 3
+)
+
+// ProtocolVersion is the framing version exchanged in FrameHello.
+const ProtocolVersion uint32 = 1
+
+// MaxPayload bounds a frame payload: a corrupt or hostile length prefix can
+// never demand an unbounded allocation. 4 MiB fits a ~500k-counter row, far
+// beyond any catalog this machine models.
+const MaxPayload = 4 << 20
+
+// headerSize is the fixed frame header: type byte plus payload length.
+const headerSize = 5
+
+// Frame is one decoded wire frame: a type and its raw payload.
+type Frame struct {
+	Type    byte
+	Payload []byte
+}
+
+// AppendFrame appends the wire form of a frame to dst.
+func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
+	dst = append(dst, typ)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
+	return append(dst, payload...)
+}
+
+// DecodeFrame parses one frame from the front of b, returning the frame and
+// the unconsumed tail. It is the pure-slice form of ReadFrame, shared with
+// the fuzz harness: malformed input returns an error, never a panic, and the
+// returned payload aliases b.
+func DecodeFrame(b []byte) (Frame, []byte, error) {
+	if len(b) < headerSize {
+		return Frame{}, nil, fmt.Errorf("serve: frame header truncated (%d bytes)", len(b))
+	}
+	typ := b[0]
+	n := binary.LittleEndian.Uint32(b[1:])
+	if n > MaxPayload {
+		return Frame{}, nil, fmt.Errorf("serve: frame payload length %d exceeds limit %d", n, MaxPayload)
+	}
+	if len(b) < headerSize+int(n) {
+		return Frame{}, nil, fmt.Errorf("serve: frame payload truncated: %d of %d bytes", len(b)-headerSize, n)
+	}
+	return Frame{Type: typ, Payload: b[headerSize : headerSize+int(n)]}, b[headerSize+int(n):], nil
+}
+
+// ReadFrame reads one frame from r. The payload is freshly allocated.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:])
+	if n > MaxPayload {
+		return Frame{}, fmt.Errorf("serve: frame payload length %d exceeds limit %d", n, MaxPayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("serve: frame payload truncated: %w", err)
+	}
+	return Frame{Type: hdr[0], Payload: payload}, nil
+}
+
+// Hello is the decoded FrameHello payload.
+type Hello struct {
+	Version uint32
+	RawDim  uint32
+}
+
+// AppendHello appends an encoded FrameHello to dst.
+func AppendHello(dst []byte, h Hello) []byte {
+	var p [8]byte
+	binary.LittleEndian.PutUint32(p[0:], h.Version)
+	binary.LittleEndian.PutUint32(p[4:], h.RawDim)
+	return AppendFrame(dst, FrameHello, p[:])
+}
+
+// DecodeHello parses a FrameHello payload.
+func DecodeHello(payload []byte) (Hello, error) {
+	if len(payload) != 8 {
+		return Hello{}, fmt.Errorf("serve: hello payload is %d bytes, want 8", len(payload))
+	}
+	return Hello{
+		Version: binary.LittleEndian.Uint32(payload[0:]),
+		RawDim:  binary.LittleEndian.Uint32(payload[4:]),
+	}, nil
+}
+
+// SampleHeader is the fixed prefix of a FrameSample payload; the counter row
+// (dataset.AppendRow) follows it.
+type SampleHeader struct {
+	// Seq is the client-assigned sequence number echoed in the verdict or
+	// reject answering this sample.
+	Seq uint64
+	// InstrStart is the committed-instruction count at window start, which
+	// positions the window on the connection's instruction timeline for
+	// flag-window (secure mode) accounting.
+	InstrStart uint64
+}
+
+// sampleHeaderSize is Seq + InstrStart.
+const sampleHeaderSize = 16
+
+// SampleWireSize returns the FrameSample payload size for a rawDim-counter row.
+func SampleWireSize(rawDim int) int { return sampleHeaderSize + dataset.RowWireSize(rawDim) }
+
+// AppendSample appends an encoded FrameSample to dst.
+func AppendSample(dst []byte, h SampleHeader, instructions, cycles uint64, raw []float64) []byte {
+	dst = append(dst, FrameSample)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(SampleWireSize(len(raw))))
+	dst = binary.LittleEndian.AppendUint64(dst, h.Seq)
+	dst = binary.LittleEndian.AppendUint64(dst, h.InstrStart)
+	return dataset.AppendRow(dst, instructions, cycles, raw)
+}
+
+// DecodeSampleInto parses a FrameSample payload, writing the counter row into
+// raw (len == the connection's rawDim). Zero allocations.
+func DecodeSampleInto(payload []byte, raw []float64) (h SampleHeader, instructions, cycles uint64, err error) {
+	if len(payload) != SampleWireSize(len(raw)) {
+		return SampleHeader{}, 0, 0, fmt.Errorf("serve: sample payload is %d bytes, want %d for a %d-counter row",
+			len(payload), SampleWireSize(len(raw)), len(raw))
+	}
+	h.Seq = binary.LittleEndian.Uint64(payload[0:])
+	h.InstrStart = binary.LittleEndian.Uint64(payload[8:])
+	instructions, cycles, _, err = dataset.DecodeRowInto(payload[sampleHeaderSize:], raw)
+	return h, instructions, cycles, err
+}
+
+// Verdict flag bits.
+const (
+	// VerdictFlagged: the detector scored the window at or above threshold.
+	VerdictFlagged uint8 = 1 << 0
+	// VerdictSecure: the connection's flag window keeps mitigation engaged
+	// after this sample (flagged now, or within SecureWindow instructions
+	// of an earlier flag).
+	VerdictSecure uint8 = 1 << 1
+)
+
+// Verdict is the decoded FrameVerdict payload.
+type Verdict struct {
+	Seq   uint64
+	Score float64
+	Flags uint8
+}
+
+// Flagged reports whether the detector flagged the window.
+func (v Verdict) Flagged() bool { return v.Flags&VerdictFlagged != 0 }
+
+// Secure reports whether mitigation stays engaged after this window.
+func (v Verdict) Secure() bool { return v.Flags&VerdictSecure != 0 }
+
+// AppendVerdict appends an encoded FrameVerdict to dst.
+func AppendVerdict(dst []byte, v Verdict) []byte {
+	var p [17]byte
+	binary.LittleEndian.PutUint64(p[0:], v.Seq)
+	binary.LittleEndian.PutUint64(p[8:], math.Float64bits(v.Score))
+	p[16] = v.Flags
+	return AppendFrame(dst, FrameVerdict, p[:])
+}
+
+// DecodeVerdict parses a FrameVerdict payload.
+func DecodeVerdict(payload []byte) (Verdict, error) {
+	if len(payload) != 17 {
+		return Verdict{}, fmt.Errorf("serve: verdict payload is %d bytes, want 17", len(payload))
+	}
+	return Verdict{
+		Seq:   binary.LittleEndian.Uint64(payload[0:]),
+		Score: math.Float64frombits(binary.LittleEndian.Uint64(payload[8:])),
+		Flags: payload[16],
+	}, nil
+}
+
+// Reject is the decoded FrameReject payload.
+type Reject struct {
+	Seq  uint64
+	Code uint8
+	Msg  string
+}
+
+// maxRejectMsg bounds the reject message so a frame stays small.
+const maxRejectMsg = 512
+
+// AppendReject appends an encoded FrameReject to dst.
+func AppendReject(dst []byte, r Reject) []byte {
+	msg := r.Msg
+	if len(msg) > maxRejectMsg {
+		msg = msg[:maxRejectMsg]
+	}
+	dst = append(dst, FrameReject)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(9+len(msg)))
+	dst = binary.LittleEndian.AppendUint64(dst, r.Seq)
+	dst = append(dst, r.Code)
+	return append(dst, msg...)
+}
+
+// DecodeReject parses a FrameReject payload.
+func DecodeReject(payload []byte) (Reject, error) {
+	if len(payload) < 9 {
+		return Reject{}, fmt.Errorf("serve: reject payload is %d bytes, want >= 9", len(payload))
+	}
+	return Reject{
+		Seq:  binary.LittleEndian.Uint64(payload[0:]),
+		Code: payload[8],
+		Msg:  string(payload[9:]),
+	}, nil
+}
+
+// AppendError appends an encoded FrameError (fatal protocol error) to dst.
+func AppendError(dst []byte, msg string) []byte {
+	if len(msg) > maxRejectMsg {
+		msg = msg[:maxRejectMsg]
+	}
+	return AppendFrame(dst, FrameError, []byte(msg))
+}

@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	payload := []byte("hello world")
+	b := AppendFrame(nil, FrameStats, payload)
+	fr, rest, err := DecodeFrame(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Type != FrameStats || !bytes.Equal(fr.Payload, payload) || len(rest) != 0 {
+		t.Fatalf("round trip: %+v rest=%d", fr, len(rest))
+	}
+	// Streamed form must agree with the slice form.
+	fr2, err := ReadFrame(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr2.Type != fr.Type || !bytes.Equal(fr2.Payload, fr.Payload) {
+		t.Fatal("ReadFrame disagrees with DecodeFrame")
+	}
+}
+
+func TestDecodeFrameTruncated(t *testing.T) {
+	b := AppendFrame(nil, FrameVerdict, []byte{1, 2, 3, 4})
+	for cut := 0; cut < len(b); cut++ {
+		if _, _, err := DecodeFrame(b[:cut]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", cut)
+		}
+	}
+}
+
+func TestDecodeFrameOversizedLength(t *testing.T) {
+	var b []byte
+	b = append(b, FrameSample)
+	b = append(b, 0xFF, 0xFF, 0xFF, 0xFF) // 4 GiB payload claim
+	if _, _, err := DecodeFrame(b); err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversized length accepted: %v", err)
+	}
+	if _, err := ReadFrame(bytes.NewReader(b)); err == nil {
+		t.Fatal("ReadFrame accepted oversized length")
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	b := AppendHello(nil, Hello{Version: 7, RawDim: 42})
+	fr, _, err := DecodeFrame(b)
+	if err != nil || fr.Type != FrameHello {
+		t.Fatalf("decode: %v %+v", err, fr)
+	}
+	h, err := DecodeHello(fr.Payload)
+	if err != nil || h.Version != 7 || h.RawDim != 42 {
+		t.Fatalf("hello: %v %+v", err, h)
+	}
+	if _, err := DecodeHello(fr.Payload[:5]); err == nil {
+		t.Fatal("short hello accepted")
+	}
+}
+
+func TestSampleRoundTrip(t *testing.T) {
+	raw := []float64{1.5, -2.25, math.Inf(1), math.NaN()}
+	b := AppendSample(nil, SampleHeader{Seq: 9, InstrStart: 1000}, 2000, 3000, raw)
+	fr, rest, err := DecodeFrame(b)
+	if err != nil || fr.Type != FrameSample || len(rest) != 0 {
+		t.Fatalf("decode: %v %+v", err, fr)
+	}
+	got := make([]float64, len(raw))
+	h, instr, cycles, err := DecodeSampleInto(fr.Payload, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Seq != 9 || h.InstrStart != 1000 || instr != 2000 || cycles != 3000 {
+		t.Fatalf("header: %+v instr=%d cycles=%d", h, instr, cycles)
+	}
+	for i := range raw {
+		if math.Float64bits(got[i]) != math.Float64bits(raw[i]) {
+			t.Fatalf("counter %d diverged", i)
+		}
+	}
+	// Dimension mismatch is an error, not a panic.
+	if _, _, _, err := DecodeSampleInto(fr.Payload, make([]float64, len(raw)+1)); err == nil {
+		t.Fatal("wrong-width decode accepted")
+	}
+}
+
+func TestVerdictRoundTrip(t *testing.T) {
+	v := Verdict{Seq: 77, Score: -0.125, Flags: VerdictFlagged | VerdictSecure}
+	b := AppendVerdict(nil, v)
+	fr, _, err := DecodeFrame(b)
+	if err != nil || fr.Type != FrameVerdict {
+		t.Fatalf("decode: %v %+v", err, fr)
+	}
+	got, err := DecodeVerdict(fr.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != v {
+		t.Fatalf("verdict = %+v, want %+v", got, v)
+	}
+	if !got.Flagged() || !got.Secure() {
+		t.Fatal("flag accessors disagree with bits")
+	}
+	if _, err := DecodeVerdict(fr.Payload[:16]); err == nil {
+		t.Fatal("short verdict accepted")
+	}
+}
+
+func TestRejectRoundTrip(t *testing.T) {
+	r := Reject{Seq: 12, Code: RejectOverload, Msg: "queue full"}
+	b := AppendReject(nil, r)
+	fr, _, err := DecodeFrame(b)
+	if err != nil || fr.Type != FrameReject {
+		t.Fatalf("decode: %v %+v", err, fr)
+	}
+	got, err := DecodeReject(fr.Payload)
+	if err != nil || got != r {
+		t.Fatalf("reject = %+v (%v), want %+v", got, err, r)
+	}
+	// Oversized messages are truncated, not rejected.
+	long := AppendReject(nil, Reject{Seq: 1, Code: RejectMalformed, Msg: strings.Repeat("x", 2*maxRejectMsg)})
+	fr, _, err = DecodeFrame(long)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err = DecodeReject(fr.Payload)
+	if err != nil || len(got.Msg) != maxRejectMsg {
+		t.Fatalf("long reject: %v len=%d", err, len(got.Msg))
+	}
+}
+
+func TestFrameChaining(t *testing.T) {
+	// Several frames back-to-back decode in sequence — the wire stream shape.
+	var b []byte
+	b = AppendHello(b, Hello{Version: 1, RawDim: 3})
+	b = AppendVerdict(b, Verdict{Seq: 1, Score: 0.5})
+	b = AppendFrame(b, FrameBye, nil)
+	types := []byte{FrameHello, FrameVerdict, FrameBye}
+	for i, want := range types {
+		fr, rest, err := DecodeFrame(b)
+		if err != nil || fr.Type != want {
+			t.Fatalf("frame %d: %v type=0x%02x want 0x%02x", i, err, fr.Type, want)
+		}
+		b = rest
+	}
+	if len(b) != 0 {
+		t.Fatalf("%d bytes left after chain", len(b))
+	}
+}

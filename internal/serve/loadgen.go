@@ -1,0 +1,198 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"evax/internal/dataset"
+	"evax/internal/runner"
+)
+
+// atomicInt64 aliases the atomic so the sendAt slice reads naturally.
+type atomicInt64 = atomic.Int64
+
+// LoadOptions parameterizes the synthetic load harness.
+type LoadOptions struct {
+	// Addr is the server's framing-protocol address.
+	Addr string
+	// Clients is the number of concurrent connections.
+	Clients int
+	// PerClient is how many samples each client streams.
+	PerClient int
+	// Rate is the target aggregate send rate in samples/sec across all
+	// clients; <= 0 streams at full speed.
+	Rate float64
+	// Samples is the corpus each client replays (round-robin by send index,
+	// offset by client so connections don't stream identical sequences).
+	Samples []dataset.Sample
+}
+
+// LoadReport is the harness result — the `serving` section evaxload merges
+// into BENCH_runner.json.
+type LoadReport struct {
+	Clients      int     `json:"clients"`
+	PerClient    int     `json:"per_client"`
+	TargetRate   float64 `json:"target_rate,omitempty"`
+	Sent         uint64  `json:"sent"`
+	Accepted     uint64  `json:"accepted"`
+	Rejected     uint64  `json:"rejected"`
+	Flagged      uint64  `json:"flagged"`
+	DurationSec  float64 `json:"duration_sec"`
+	VerdictsSec  float64 `json:"verdicts_per_sec"`
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+}
+
+// clientResult is one connection's contribution to the report.
+type clientResult struct {
+	sent, accepted, rejected, flagged uint64
+	hist                              [latencyBuckets]uint64
+}
+
+// RunLoad drives Clients concurrent connections replaying the corpus against
+// a running server, measuring round-trip verdict latency (send→verdict) per
+// sample. Connections fan out through the deterministic run engine; each
+// one's receive side runs on its own goroutine so sends never stall behind
+// verdict reads.
+func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
+	if opts.Clients <= 0 || opts.PerClient <= 0 {
+		return LoadReport{}, fmt.Errorf("serve: load needs positive Clients and PerClient, got %d and %d",
+			opts.Clients, opts.PerClient)
+	}
+	if len(opts.Samples) == 0 {
+		return LoadReport{}, errors.New("serve: load needs a non-empty corpus")
+	}
+	rawDim := len(opts.Samples[0].Raw)
+
+	start := time.Now()
+	results, rep, err := runner.MapErrCtx(ctx, runner.Options{Jobs: opts.Clients}, opts.Clients,
+		func(ctx context.Context, ci int) (clientResult, error) {
+			return runClient(ctx, opts, ci, rawDim)
+		})
+	dur := time.Since(start).Seconds()
+	if err != nil {
+		return LoadReport{}, err
+	}
+
+	out := LoadReport{
+		Clients:     opts.Clients,
+		PerClient:   opts.PerClient,
+		DurationSec: dur,
+	}
+	if opts.Rate > 0 {
+		out.TargetRate = opts.Rate
+	}
+	var hist [latencyBuckets]uint64
+	for i, r := range results {
+		if !rep.Completed[i] {
+			continue
+		}
+		out.Sent += r.sent
+		out.Accepted += r.accepted
+		out.Rejected += r.rejected
+		out.Flagged += r.flagged
+		for b, c := range r.hist {
+			hist[b] += c
+		}
+	}
+	if dur > 0 {
+		out.VerdictsSec = float64(out.Accepted) / dur
+	}
+	out.LatencyP50Ms = percentileMs(hist, 0.50)
+	out.LatencyP95Ms = percentileMs(hist, 0.95)
+	out.LatencyP99Ms = percentileMs(hist, 0.99)
+	return out, nil
+}
+
+// runClient is one synthetic client: stream PerClient samples at the paced
+// rate, then bye and collect everything in flight.
+func runClient(ctx context.Context, opts LoadOptions, ci, rawDim int) (clientResult, error) {
+	cl, err := Dial(opts.Addr, rawDim)
+	if err != nil {
+		return clientResult{}, err
+	}
+	//evaxlint:ignore droppederr bye already flushed the stream; the deferred close is teardown only
+	defer cl.Close()
+
+	// sendAt[seq] timestamps each send (nanoseconds since base) so the
+	// receiver can compute round-trip latency. Atomics, not a plain slice:
+	// the socket round-trip orders the send before the verdict in real time,
+	// but that ordering passes through the kernel, which the race detector
+	// cannot see.
+	base := time.Now()
+	sendAt := make([]atomicInt64, opts.PerClient)
+	var res clientResult
+
+	type recvOut struct {
+		res clientResult
+		err error
+	}
+	recvDone := make(chan recvOut, 1)
+	go func() {
+		var r clientResult
+		stats, verdicts, rejects, err := cl.DrainStats()
+		for _, v := range verdicts {
+			r.accepted++
+			if v.Flagged() {
+				r.flagged++
+			}
+			if v.Seq < uint64(len(sendAt)) {
+				lat := time.Duration(time.Since(base).Nanoseconds() - sendAt[v.Seq].Load())
+				r.hist[latencyBucket(lat)]++
+			}
+		}
+		r.rejected += uint64(len(rejects))
+		if err == nil {
+			// Trust our own tallies but sanity-check against the server's.
+			if stats.Scored != r.accepted {
+				err = fmt.Errorf("serve: client %d: server scored %d, client saw %d verdicts",
+					ci, stats.Scored, r.accepted)
+			}
+		}
+		recvDone <- recvOut{res: r, err: err}
+	}()
+
+	var interval time.Duration
+	if opts.Rate > 0 {
+		interval = time.Duration(float64(time.Second) * float64(opts.Clients) / opts.Rate)
+	}
+	instrStart := uint64(0)
+	next := time.Now()
+	for i := 0; i < opts.PerClient; i++ {
+		if interval > 0 {
+			if d := time.Until(next); d > 0 {
+				select {
+				case <-time.After(d):
+				case <-ctx.Done():
+					return clientResult{}, ctx.Err()
+				}
+			}
+			next = next.Add(interval)
+		} else if ctx.Err() != nil {
+			return clientResult{}, ctx.Err()
+		}
+		s := &opts.Samples[(ci+i*opts.Clients)%len(opts.Samples)]
+		sendAt[i].Store(time.Since(base).Nanoseconds())
+		if err := cl.Send(SampleHeader{Seq: uint64(i), InstrStart: instrStart}, s.Instructions, s.Cycles, s.Raw); err != nil {
+			return clientResult{}, fmt.Errorf("serve: client %d send %d: %w", ci, i, err)
+		}
+		res.sent++
+		instrStart += s.Instructions
+	}
+	if err := cl.Bye(); err != nil {
+		return clientResult{}, fmt.Errorf("serve: client %d bye: %w", ci, err)
+	}
+	out := <-recvDone
+	if out.err != nil {
+		return clientResult{}, out.err
+	}
+	res.accepted = out.res.accepted
+	res.rejected = out.res.rejected
+	res.flagged = out.res.flagged
+	res.hist = out.res.hist
+	return res, nil
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"evax/internal/benchjson"
+)
+
+// TestRunLoadAgainstServer drives the load harness at an in-process server
+// and checks the accounting: every sent sample is either accepted or
+// rejected, every accepted one is scored, and latency percentiles are sane.
+func TestRunLoadAgainstServer(t *testing.T) {
+	_, _, samples := lab(t)
+	cfg := DefaultConfig()
+	cfg.Shards = 2
+	srv := startServer(t, cfg)
+
+	opts := LoadOptions{
+		Addr:      srv.Addr(),
+		Clients:   4,
+		PerClient: 200,
+		Rate:      0, // unpaced: as fast as the connection admits
+		Samples:   samples,
+	}
+	rep, err := RunLoad(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSent := uint64(opts.Clients * opts.PerClient)
+	if rep.Sent != wantSent {
+		t.Fatalf("sent %d, want %d", rep.Sent, wantSent)
+	}
+	if rep.Accepted+rep.Rejected != rep.Sent {
+		t.Fatalf("accepted %d + rejected %d != sent %d", rep.Accepted, rep.Rejected, rep.Sent)
+	}
+	// An unloaded local server should accept essentially everything; a fully
+	// rejected run means the harness or server is broken.
+	if rep.Accepted == 0 {
+		t.Fatal("no samples accepted")
+	}
+	if rep.DurationSec <= 0 || rep.VerdictsSec <= 0 {
+		t.Fatalf("throughput accounting broken: %+v", rep)
+	}
+	if rep.LatencyP50Ms < 0 || rep.LatencyP95Ms < rep.LatencyP50Ms || rep.LatencyP99Ms < rep.LatencyP95Ms {
+		t.Fatalf("latency percentiles out of order: p50=%v p95=%v p99=%v",
+			rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms)
+	}
+	snap := srv.Metrics().Snapshot()
+	if snap.Scored != uint64(rep.Accepted) {
+		t.Fatalf("server scored %d, harness counted %d accepted", snap.Scored, rep.Accepted)
+	}
+}
+
+// TestRunLoadPaced: with a target rate the run takes at least the paced
+// duration and still answers everything.
+func TestRunLoadPaced(t *testing.T) {
+	_, _, samples := lab(t)
+	srv := startServer(t, DefaultConfig())
+	opts := LoadOptions{
+		Addr:      srv.Addr(),
+		Clients:   2,
+		PerClient: 50,
+		Rate:      2000, // aggregate target: 100 samples ≈ 50ms minimum
+		Samples:   samples[:128],
+	}
+	start := time.Now()
+	rep, err := RunLoad(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted != rep.Sent {
+		t.Fatalf("paced run rejected %d of %d", rep.Rejected, rep.Sent)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Fatalf("paced run finished in %v; pacing is not applied", elapsed)
+	}
+	if rep.TargetRate != 2000 {
+		t.Fatalf("report target_rate = %v", rep.TargetRate)
+	}
+}
+
+// TestRunLoadCancellation: a cancelled context stops the harness promptly
+// with an error rather than hanging.
+func TestRunLoadCancellation(t *testing.T) {
+	_, _, samples := lab(t)
+	srv := startServer(t, DefaultConfig())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunLoad(ctx, LoadOptions{
+		Addr: srv.Addr(), Clients: 2, PerClient: 1000, Rate: 10, Samples: samples[:64],
+	}); err == nil {
+		t.Fatal("cancelled load run reported success")
+	}
+}
+
+// TestServingSectionLandsInBenchReport: the report merges into
+// BENCH_runner.json as a "serving" section without clobbering other tools'
+// keys — the contract between evaxload and evaxbench.
+func TestServingSectionLandsInBenchReport(t *testing.T) {
+	_, _, samples := lab(t)
+	srv := startServer(t, DefaultConfig())
+	rep, err := RunLoad(context.Background(), LoadOptions{
+		Addr: srv.Addr(), Clients: 2, PerClient: 20, Samples: samples[:64],
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_runner.json")
+	// Another tool's keys are already present.
+	if err := benchjson.Merge(path, map[string]any{"jobs": 8, "speedup": 3.0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := benchjson.Merge(path, map[string]any{"serving": rep}); err != nil {
+		t.Fatal(err)
+	}
+	var got LoadReport
+	if err := benchjson.Read(path, "serving", &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Sent != rep.Sent || got.Clients != rep.Clients {
+		t.Fatalf("serving section round-trip diverged: %+v vs %+v", got, rep)
+	}
+	var speedup float64
+	if err := benchjson.Read(path, "speedup", &speedup); err != nil || speedup != 3.0 {
+		t.Fatalf("merge clobbered the bench section: %v %v", speedup, err)
+	}
+	// The section is proper JSON with the documented keys.
+	var rawSection map[string]json.RawMessage
+	if err := benchjson.Read(path, "serving", &rawSection); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"clients", "sent", "accepted", "verdicts_per_sec", "latency_p95_ms"} {
+		if _, ok := rawSection[key]; !ok {
+			t.Fatalf("serving section missing %q: %v", key, rawSection)
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBuckets is the number of power-of-two latency buckets: bucket i
+// counts verdicts whose enqueue→scored latency fell in [2^i, 2^(i+1)) ns,
+// spanning 1 ns to ~18 s.
+const latencyBuckets = 35
+
+// Metrics aggregates the server's observability counters. Counter fields are
+// atomics updated from connection readers and shard batchers; the histograms
+// are mutex-guarded (one short critical section per scored batch).
+type Metrics struct {
+	start time.Time
+
+	connsTotal   atomic.Uint64
+	connsActive  atomic.Int64
+	accepted     atomic.Uint64
+	rejected     atomic.Uint64
+	rejectedLoad atomic.Uint64 // RejectOverload subset of rejected
+	scored       atomic.Uint64
+	flagged      atomic.Uint64
+	batches      atomic.Uint64
+	writeErrors  atomic.Uint64
+
+	mu        sync.Mutex
+	latency   [latencyBuckets]uint64
+	occupancy []uint64 // index = batch size; [0] unused
+}
+
+// newMetrics sizes the occupancy histogram for batches up to maxBatch.
+func newMetrics(maxBatch int) *Metrics {
+	return &Metrics{start: time.Now(), occupancy: make([]uint64, maxBatch+1)}
+}
+
+// observeBatch records one flushed batch: its occupancy and the
+// enqueue→scored latency of each sample in it.
+func (m *Metrics) observeBatch(size int, lats []time.Duration) {
+	m.batches.Add(1)
+	m.mu.Lock()
+	if size < len(m.occupancy) {
+		m.occupancy[size]++
+	} else {
+		m.occupancy[len(m.occupancy)-1]++
+	}
+	for _, d := range lats {
+		m.latency[latencyBucket(d)]++
+	}
+	m.mu.Unlock()
+}
+
+// latencyBucket maps a duration to its power-of-two bucket index.
+func latencyBucket(d time.Duration) int {
+	ns := d.Nanoseconds()
+	b := 0
+	for ns > 1 && b < latencyBuckets-1 {
+		ns >>= 1
+		b++
+	}
+	return b
+}
+
+// bucketUpperNs returns the exclusive upper bound of latency bucket i in
+// nanoseconds — the value percentile estimation reports.
+func bucketUpperNs(i int) float64 { return float64(uint64(1) << uint(i+1)) }
+
+// Snapshot is the JSON shape of the /metrics endpoint and of the final drain
+// report.
+type Snapshot struct {
+	UptimeSec    float64 `json:"uptime_sec"`
+	Conns        uint64  `json:"conns_total"`
+	ConnsActive  int64   `json:"conns_active"`
+	Accepted     uint64  `json:"frames_accepted"`
+	Rejected     uint64  `json:"frames_rejected"`
+	RejectedLoad uint64  `json:"frames_rejected_overload"`
+	Scored       uint64  `json:"frames_scored"`
+	Flagged      uint64  `json:"frames_flagged"`
+	Batches      uint64  `json:"batches"`
+	WriteErrors  uint64  `json:"write_errors"`
+	ScoresPerSec float64 `json:"scores_per_sec"`
+	// BatchOccupancy[i] counts flushed batches of exactly i samples (the
+	// last entry also absorbs any larger batches).
+	BatchOccupancy []uint64 `json:"batch_occupancy"`
+	LatencyP50Ms   float64  `json:"latency_p50_ms"`
+	LatencyP95Ms   float64  `json:"latency_p95_ms"`
+	LatencyP99Ms   float64  `json:"latency_p99_ms"`
+}
+
+// Snapshot captures the current metrics.
+func (m *Metrics) Snapshot() Snapshot {
+	up := time.Since(m.start).Seconds()
+	s := Snapshot{
+		UptimeSec:    up,
+		Conns:        m.connsTotal.Load(),
+		ConnsActive:  m.connsActive.Load(),
+		Accepted:     m.accepted.Load(),
+		Rejected:     m.rejected.Load(),
+		RejectedLoad: m.rejectedLoad.Load(),
+		Scored:       m.scored.Load(),
+		Flagged:      m.flagged.Load(),
+		Batches:      m.batches.Load(),
+		WriteErrors:  m.writeErrors.Load(),
+	}
+	if up > 0 {
+		s.ScoresPerSec = float64(s.Scored) / up
+	}
+	m.mu.Lock()
+	s.BatchOccupancy = append([]uint64(nil), m.occupancy...)
+	var hist [latencyBuckets]uint64
+	copy(hist[:], m.latency[:])
+	m.mu.Unlock()
+	s.LatencyP50Ms = percentileMs(hist, 0.50)
+	s.LatencyP95Ms = percentileMs(hist, 0.95)
+	s.LatencyP99Ms = percentileMs(hist, 0.99)
+	return s
+}
+
+// percentileMs estimates the p-quantile from the bucketed latency histogram,
+// reporting each bucket at its upper bound (a conservative estimate).
+func percentileMs(hist [latencyBuckets]uint64, p float64) float64 {
+	var total uint64
+	for _, c := range hist {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(p * float64(total))
+	if rank >= total {
+		rank = total - 1
+	}
+	var seen uint64
+	for i, c := range hist {
+		seen += c
+		if seen > rank {
+			return bucketUpperNs(i) / 1e6
+		}
+	}
+	return bucketUpperNs(latencyBuckets-1) / 1e6
+}
+
+// ConnStats is the per-connection summary carried by FrameStats at close.
+type ConnStats struct {
+	Accepted uint64 `json:"accepted"`
+	Rejected uint64 `json:"rejected"`
+	Scored   uint64 `json:"scored"`
+	Flagged  uint64 `json:"flagged"`
+}

@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"evax/internal/dataset"
+	"evax/internal/detect"
+	"evax/internal/runner"
+)
+
+// ReplayResult summarizes a deterministic corpus replay. Hash commits to
+// every score bit and flag decision in corpus order, so two replays agree iff
+// their verdicts are bit-identical.
+type ReplayResult struct {
+	Rows     int     `json:"rows"`
+	Flagged  int     `json:"flagged"`
+	Seed     int64   `json:"seed"`
+	Hash     uint64  `json:"hash"`
+	MeanRate float64 `json:"-"` // rows/sec, filled by callers that time the run
+}
+
+// Replay scores every sample of a recorded corpus through the online scoring
+// path and returns a verdict digest. The seed shuffles the scoring order and
+// jobs sets the parallel fan-out — yet the result is bit-identical for every
+// (seed, jobs) pair, because each score depends only on its row and the
+// digest is computed in corpus order. That invariant is the service's
+// determinism contract: batching, shard assignment, and scheduling can never
+// change a verdict.
+func Replay(det *detect.Detector, ds *dataset.Dataset, samples []dataset.Sample, seed int64, jobs int) (ReplayResult, error) {
+	if len(samples) == 0 {
+		return ReplayResult{Seed: seed}, nil
+	}
+	rawDim := len(samples[0].Raw)
+	for i, s := range samples {
+		if len(s.Raw) != rawDim {
+			return ReplayResult{}, fmt.Errorf("serve: replay row %d has %d counters, row 0 has %d", i, len(s.Raw), rawDim)
+		}
+	}
+
+	// The seed permutes scoring order — deliberately decoupling "order the
+	// engine works in" from "order the digest reads in".
+	order := rand.New(rand.NewSource(seed)).Perm(len(samples))
+
+	var pool sync.Pool
+	pool.New = func() any {
+		sc, err := newScorer(det, ds, rawDim)
+		if err != nil {
+			panic(err) // dimensions were validated below before any job ran
+		}
+		return sc
+	}
+	// Surface a dimension mismatch as an error, not a job panic.
+	probe, err := newScorer(det, ds, rawDim)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	pool.Put(probe)
+
+	scores := make([]float64, len(samples))
+	runner.Map(runner.Options{Jobs: jobs}, len(samples), func(i int) struct{} {
+		s := &samples[order[i]]
+		sc := pool.Get().(*scorer)
+		scores[order[i]] = sc.score(s.Raw, s.Instructions, s.Cycles)
+		pool.Put(sc)
+		return struct{}{}
+	})
+
+	res := ReplayResult{Rows: len(samples), Seed: seed}
+	thr := probe.threshold()
+	h := fnvOffset
+	for _, score := range scores {
+		h = fnvU64(h, math.Float64bits(score))
+		if score >= thr {
+			res.Flagged++
+			h = fnvByte(h, 1)
+		} else {
+			h = fnvByte(h, 0)
+		}
+	}
+	res.Hash = h
+	return res, nil
+}
+
+// FNV-1a over verdict bits: the replay digest.
+const (
+	fnvOffset uint64 = 14695981039346656037
+	fnvPrime  uint64 = 1099511628211
+)
+
+func fnvByte(h uint64, b byte) uint64 {
+	h ^= uint64(b)
+	h *= fnvPrime
+	return h
+}
+
+func fnvU64(h uint64, v uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = fnvByte(h, byte(v>>s))
+	}
+	return h
+}

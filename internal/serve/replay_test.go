@@ -1,0 +1,90 @@
+package serve
+
+import (
+	"testing"
+
+	"evax/internal/dataset"
+)
+
+// TestReplayDeterministic: the replay digest is a function of the corpus and
+// bundle only — scoring order (seed) and worker count (jobs) must not move a
+// single bit.
+func TestReplayDeterministic(t *testing.T) {
+	det, ds, samples := lab(t)
+	corpus := samples[:min(400, len(samples))]
+
+	ref, err := Replay(det, ds, corpus, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Rows != len(corpus) {
+		t.Fatalf("replayed %d rows, want %d", ref.Rows, len(corpus))
+	}
+	if ref.Flagged == 0 || ref.Flagged == ref.Rows {
+		t.Fatalf("degenerate replay: %d/%d flagged", ref.Flagged, ref.Rows)
+	}
+	for _, seed := range []int64{1, 42, 9999} {
+		for _, jobs := range []int{1, 4, 8} {
+			got, err := Replay(det, ds, corpus, seed, jobs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Hash != ref.Hash {
+				t.Errorf("seed=%d jobs=%d: hash %016x != reference %016x", seed, jobs, got.Hash, ref.Hash)
+			}
+			if got.Flagged != ref.Flagged || got.Rows != ref.Rows {
+				t.Errorf("seed=%d jobs=%d: rows=%d flagged=%d, reference rows=%d flagged=%d",
+					seed, jobs, got.Rows, got.Flagged, ref.Rows, ref.Flagged)
+			}
+		}
+	}
+
+	// And the digest is sensitive to the corpus: dropping a row changes it.
+	short, err := Replay(det, ds, corpus[:len(corpus)-1], 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if short.Hash == ref.Hash {
+		t.Fatal("digest ignored a dropped row")
+	}
+}
+
+// TestReplayMatchesOnlineScores: replay and the serving path agree bit-for-bit
+// on the raw scores (replay has no flag-window state; it scores rows
+// independently, so only the score and threshold comparison are shared).
+func TestReplayMatchesOnlineScores(t *testing.T) {
+	det, ds, samples := lab(t)
+	corpus := samples[:64]
+	rep, err := Replay(det, ds, corpus, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := newScorer(det, ds, len(corpus[0].Raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flagged := 0
+	for i := range corpus {
+		s := &corpus[i]
+		if sc.score(s.Raw, s.Instructions, s.Cycles) >= sc.threshold() {
+			flagged++
+		}
+	}
+	if rep.Flagged != flagged {
+		t.Fatalf("replay flagged %d, offline pipeline flagged %d", rep.Flagged, flagged)
+	}
+}
+
+func TestReplayRejectsRaggedCorpus(t *testing.T) {
+	det, ds, samples := lab(t)
+	ragged := append([]dataset.Sample{}, samples[:8]...)
+	ragged[5].Raw = ragged[5].Raw[:len(ragged[5].Raw)-1]
+	if _, err := Replay(det, ds, ragged, 1, 2); err == nil {
+		t.Fatal("ragged corpus accepted")
+	}
+	empty, err := Replay(det, ds, nil, 1, 2)
+	if err != nil || empty.Rows != 0 || empty.Flagged != 0 {
+		t.Fatalf("empty corpus: %+v (%v)", empty, err)
+	}
+}

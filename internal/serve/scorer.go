@@ -1,0 +1,56 @@
+package serve
+
+import (
+	"fmt"
+
+	"evax/internal/dataset"
+	"evax/internal/detect"
+	"evax/internal/hpc"
+)
+
+// scorer executes the deployed detection pipeline for one raw counter window:
+// compiled derived-space expansion, normalization by the training corpus's
+// maxima, and the detector's gather-and-forward pass. It owns a detector
+// clone and an expansion scratch row, so after construction the score path
+// performs zero heap allocations — and because every step is the exact
+// float-op sequence of the offline path, online scores are bit-identical to
+// detect.Detector.Score over the same rows.
+type scorer struct {
+	det     *detect.Detector
+	ds      *dataset.Dataset
+	exp     *hpc.Expander
+	derived []float64
+	rawDim  int
+}
+
+// newScorer compiles a scorer over det (cloned: forward-pass scratch is
+// per-scorer) and the normalizer ds. rawDim is the base counter-space width
+// clients must stream.
+func newScorer(det *detect.Detector, ds *dataset.Dataset, rawDim int) (*scorer, error) {
+	exp := hpc.NewExpander(rawDim)
+	if ds.DerivedDim != exp.Dim() {
+		return nil, fmt.Errorf("serve: normalizer covers %d derived features, expansion of %d counters needs %d",
+			ds.DerivedDim, rawDim, exp.Dim())
+	}
+	return &scorer{
+		det:     det.Clone(),
+		ds:      ds,
+		exp:     exp,
+		derived: make([]float64, exp.Dim()),
+		rawDim:  rawDim,
+	}, nil
+}
+
+// score runs the pipeline on one raw window. Zero allocations.
+func (sc *scorer) score(raw []float64, instructions, cycles uint64) float64 {
+	sc.exp.ExpandInto(sc.derived, hpc.Sample{
+		Values:       raw,
+		Instructions: instructions,
+		Cycles:       cycles,
+	})
+	sc.ds.NormalizeInPlace(sc.derived)
+	return sc.det.Score(sc.derived)
+}
+
+// threshold exposes the detector's decision boundary.
+func (sc *scorer) threshold() float64 { return sc.det.Threshold }
