@@ -1,64 +1,139 @@
 // Command evaxlint runs evax's project-specific static-analysis suite
 // (internal/analysis) over the module: determinism, maporder, floateq,
-// droppederr and ctrname. It exits nonzero when any unsuppressed
-// diagnostic is found, so CI can gate on it.
+// droppederr, ctrname, goroutine, rawwrite, wallclock and hotpath — the
+// last four interprocedural over the whole-program call graph. It exits
+// nonzero when any unsuppressed diagnostic is found, so CI can gate on it.
 //
 // Usage:
 //
-//	evaxlint [packages]   # defaults to ./...
+//	evaxlint [-rules] [-json] [packages]   # packages default to ./...
+//
+// Exit codes (the contract CI and tooling rely on):
+//
+//	0  the matched packages are clean (no unsuppressed findings)
+//	1  at least one unsuppressed finding
+//	2  the module failed to load (parse/type error, bad pattern, no go.mod)
+//
+// With -json, findings are written to stdout as a single JSON array of
+// {file, line, col, rule, message, suppressed} objects — including findings
+// covered by //evaxlint:ignore directives, marked "suppressed": true, so
+// audit tooling can review every directive in force. Suppressed findings do
+// not affect the exit code.
 //
 // Suppress a finding with a trailing or preceding comment:
 //
 //	//evaxlint:ignore <rule>[,<rule>...] <justification>
+//
+// For the interprocedural rules, an ignore on a call-site line prunes the
+// call edge itself: transitive findings attributed through that edge are
+// suppressed along with the direct one.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"evax/internal/analysis"
 )
 
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Rule       string `json:"rule"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
 func main() {
-	list := flag.Bool("rules", false, "list the analyzer rules and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: evaxlint [-rules] [packages]\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, moduleRoot))
+}
+
+// run is main with its dependencies injected, so the exit-code contract is
+// table-testable. findRoot locates the module to lint.
+func run(args []string, stdout, stderr io.Writer, findRoot func() (string, error)) int {
+	fs := flag.NewFlagSet("evaxlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("rules", false, "list the analyzer rules and exit")
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (including suppressed ones) instead of text")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: evaxlint [-rules] [-json] [packages]\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.Analyzers() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
 
-	root, err := moduleRoot()
+	root, err := findRoot()
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "evaxlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "evaxlint: %v\n", err)
+		return 2
+	}
+
+	if *jsonOut {
+		diags, err := analysis.LintModuleAll(root, patterns)
+		if err != nil {
+			fmt.Fprintf(stderr, "evaxlint: %v\n", err)
+			return 2
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		unsuppressed := 0
+		for _, d := range diags {
+			if !d.Suppressed {
+				unsuppressed++
+			}
+			out = append(out, jsonDiag{
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Rule:       d.Rule,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "evaxlint: encoding findings: %v\n", err)
+			return 2
+		}
+		if unsuppressed > 0 {
+			fmt.Fprintf(stderr, "evaxlint: %d finding(s)\n", unsuppressed)
+			return 1
+		}
+		return 0
 	}
 
 	diags, err := analysis.LintModule(root, patterns)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "evaxlint: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "evaxlint: %v\n", err)
+		return 2
 	}
 	for _, d := range diags {
-		fmt.Println(d.String())
+		fmt.Fprintln(stdout, d.String())
 	}
 	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "evaxlint: %d finding(s)\n", len(diags))
-		os.Exit(1)
+		fmt.Fprintf(stderr, "evaxlint: %d finding(s)\n", len(diags))
+		return 1
 	}
+	return 0
 }
 
 // moduleRoot walks upward from the working directory to the nearest go.mod.

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"os"
 	"path/filepath"
 	"testing"
 
@@ -22,6 +25,131 @@ func TestRepoIsLintClean(t *testing.T) {
 	}
 	for _, d := range diags {
 		t.Errorf("unexpected finding: %s", d.String())
+	}
+}
+
+// writeModule materializes a throwaway module under a temp dir.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestRunExitContract pins the documented exit-code contract (0 clean /
+// 1 findings / 2 load error) and the -json wire format, including the
+// suppressed flag.
+func TestRunExitContract(t *testing.T) {
+	gomod := "module example.com/m\n\ngo 1.21\n"
+	clean := map[string]string{
+		"go.mod": gomod,
+		"internal/lib/lib.go": `package lib
+
+// Add is allocation- and violation-free.
+func Add(a, b int) int { return a + b }
+`,
+	}
+	// A direct finding (time.Now in a library package) plus a suppressed one.
+	dirty := map[string]string{
+		"go.mod": gomod,
+		"internal/lib/lib.go": `package lib
+
+import "time"
+
+// Stamp reads the wall clock in a library package: one unsuppressed finding.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Quiet carries a suppressed finding, visible only to -json.
+func Quiet() int64 {
+	//evaxlint:ignore wallclock test fixture
+	return time.Now().UnixNano()
+}
+`,
+	}
+	broken := map[string]string{
+		"go.mod":              gomod,
+		"internal/lib/lib.go": "package lib\n\nfunc Broken() int { return undefined }\n",
+	}
+
+	cases := []struct {
+		name  string
+		files map[string]string
+		args  []string
+		want  int
+	}{
+		{"clean", clean, nil, 0},
+		{"clean json", clean, []string{"-json"}, 0},
+		{"findings", dirty, nil, 1},
+		{"findings json", dirty, []string{"-json"}, 1},
+		{"load error", broken, nil, 2},
+		{"load error json", broken, []string{"-json"}, 2},
+		{"bad pattern", clean, []string{"./no/such/pkg"}, 2},
+		{"rules listing", clean, []string{"-rules"}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			root := writeModule(t, c.files)
+			var stdout, stderr bytes.Buffer
+			got := run(c.args, &stdout, &stderr, func() (string, error) { return root, nil })
+			if got != c.want {
+				t.Fatalf("run(%v) = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					c.args, got, c.want, stdout.String(), stderr.String())
+			}
+		})
+	}
+}
+
+// TestRunJSONOutput decodes the -json stream and checks both the field
+// shape and that suppressed findings are present but marked.
+func TestRunJSONOutput(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module example.com/m\n\ngo 1.21\n",
+		"internal/lib/lib.go": `package lib
+
+import "time"
+
+// Stamp is an unsuppressed wallclock finding.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Quiet is a suppressed one.
+func Quiet() int64 {
+	//evaxlint:ignore wallclock test fixture
+	return time.Now().UnixNano()
+}
+`,
+	})
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-json"}, &stdout, &stderr, func() (string, error) { return root, nil }); got != 1 {
+		t.Fatalf("run = %d, want 1; stderr:\n%s", got, stderr.String())
+	}
+	var diags []jsonDiag
+	if err := json.Unmarshal(stdout.Bytes(), &diags); err != nil {
+		t.Fatalf("decoding -json output: %v\n%s", err, stdout.String())
+	}
+	if len(diags) != 2 {
+		t.Fatalf("got %d findings, want 2 (one suppressed): %+v", len(diags), diags)
+	}
+	bySuppressed := map[bool]jsonDiag{}
+	for _, d := range diags {
+		bySuppressed[d.Suppressed] = d
+	}
+	open, ok := bySuppressed[false]
+	if !ok {
+		t.Fatal("no unsuppressed finding in -json output")
+	}
+	if _, ok := bySuppressed[true]; !ok {
+		t.Fatal("suppressed finding missing from -json output")
+	}
+	if open.Rule != "wallclock" || open.File != filepath.Join("internal", "lib", "lib.go") || open.Line == 0 || open.Message == "" {
+		t.Errorf("unexpected finding shape: %+v", open)
 	}
 }
 

@@ -29,6 +29,10 @@ type Diagnostic struct {
 	Pos     token.Position
 	Rule    string
 	Message string
+	// Suppressed records that an //evaxlint:ignore directive covers the
+	// finding. Analyze drops suppressed findings; AnalyzeAll keeps them
+	// flagged (cmd/evaxlint -json reports them for audit tooling).
+	Suppressed bool
 }
 
 // String formats the diagnostic as file:line:col: rule: message.
@@ -64,6 +68,23 @@ type Program struct {
 	// ctrRegistry caches the counter registry extracted from internal/sim
 	// (see ctrname.go).
 	ctrRegistry *counterRegistry
+	// callGraph caches the whole-program call graph (see callgraph.go).
+	callGraph *CallGraph
+	// sup caches parsed //evaxlint:ignore directives; the interprocedural
+	// rules consult them during traversal (a suppressed call site prunes
+	// the edge), not just when filtering finished diagnostics.
+	sup *suppressions
+	// reachCache memoizes per-rule transitive reachability results
+	// (see confine.go).
+	reachCache map[string][]Diagnostic
+}
+
+// suppressions returns the program's parsed ignore directives, cached.
+func (prog *Program) suppressions() *suppressions {
+	if prog.sup == nil {
+		prog.sup = collectSuppressions(prog)
+	}
+	return prog.sup
 }
 
 // PackageBySuffix returns the first package whose import path ends with
@@ -115,6 +136,7 @@ func Analyzers() []*Analyzer {
 		GoroutineAnalyzer(),
 		RawWriteAnalyzer(),
 		WallClockAnalyzer(),
+		HotPathAnalyzer(),
 	}
 }
 
@@ -122,15 +144,26 @@ func Analyzers() []*Analyzer {
 // suppressed findings (//evaxlint:ignore), and returns the remainder
 // sorted by position.
 func Analyze(prog *Program, analyzers []*Analyzer) []Diagnostic {
-	sup := collectSuppressions(prog)
+	all := AnalyzeAll(prog, analyzers)
+	out := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AnalyzeAll is Analyze keeping suppressed findings, with Suppressed set on
+// each directive-covered diagnostic. The result is sorted by position.
+func AnalyzeAll(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	sup := prog.suppressions()
 	var out []Diagnostic
 	for _, pkg := range prog.Packages {
 		pass := &Pass{Prog: prog, Pkg: pkg}
 		for _, a := range analyzers {
 			for _, d := range a.Run(pass) {
-				if sup.suppressed(d) {
-					continue
-				}
+				d.Suppressed = sup.suppressed(d)
 				out = append(out, d)
 			}
 		}

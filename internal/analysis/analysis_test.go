@@ -24,11 +24,17 @@ type fixturePkg struct {
 }
 
 // loadFixtureProg parses and type-checks fixture packages into a Program.
+// Packages are checked in argument order and registered with the importer as
+// they complete, so later fixtures may import earlier ones by their fixture
+// path (the cross-package call-graph tests rely on this).
 func loadFixtureProg(t *testing.T, pkgs ...fixturePkg) *Program {
 	t.Helper()
 	fset := token.NewFileSet()
 	prog := &Program{Fset: fset}
-	imp := importer.ForCompiler(fset, "source", nil)
+	imp := &progImporter{
+		std:   importer.ForCompiler(fset, "source", nil),
+		local: map[string]*types.Package{},
+	}
 	for _, fp := range pkgs {
 		var files []*ast.File
 		for _, fn := range fp.files {
@@ -49,6 +55,7 @@ func loadFixtureProg(t *testing.T, pkgs ...fixturePkg) *Program {
 		if err != nil {
 			t.Fatalf("type-checking fixture %s: %v", fp.path, err)
 		}
+		imp.local[fp.path] = tpkg
 		prog.Packages = append(prog.Packages, &Package{
 			Path:      fp.path,
 			Files:     files,

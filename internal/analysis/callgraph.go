@@ -1,0 +1,320 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// This file implements the whole-program call graph the interprocedural
+// rules (hotpath, and the transitive wallclock/goroutine/rawwrite
+// confinement rules) are built on. The graph covers every function and
+// method declared in the module; edges are resolved with the go/types
+// results the loader already computes:
+//
+//   - static calls (pkg-level functions, same- and cross-package) resolve
+//     to their declaration;
+//   - method calls resolve through types.Selections to the declared
+//     method (embedding-promoted methods resolve to the embedded
+//     declaration);
+//   - interface method calls resolve conservatively to *every* module
+//     type that implements the interface (value and pointer method sets);
+//   - a function referenced as a value (stored, passed, returned) gets a
+//     conservative "may call" edge from the referencing function, since
+//     the graph cannot see where the value is eventually invoked;
+//   - function literals are attributed to their enclosing declaration:
+//     calls inside a closure become edges of the function that created it.
+//
+// Calls into packages outside the module (stdlib) have no callee body and
+// produce no edge; rules that care about specific stdlib primitives
+// (time.Now, os.WriteFile, fmt.*) detect those at the call site instead.
+
+// EdgeKind classifies how a call edge was resolved.
+type EdgeKind int
+
+const (
+	// EdgeCall is a direct static call: pkg-level function or a method
+	// resolved through a concrete receiver.
+	EdgeCall EdgeKind = iota
+	// EdgeInterface is a conservative edge from an interface method call
+	// to one concrete implementation in the module.
+	EdgeInterface
+	// EdgeRef is a conservative edge for a function referenced as a value
+	// (assigned, passed, or returned) rather than called directly.
+	EdgeRef
+)
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeCall:
+		return "call"
+	case EdgeInterface:
+		return "iface"
+	default:
+		return "ref"
+	}
+}
+
+// CallEdge is one resolved caller→callee relationship.
+type CallEdge struct {
+	Callee *FuncNode
+	// Pos is the call site (or value reference) in the caller's body.
+	Pos  token.Pos
+	Kind EdgeKind
+}
+
+// FuncNode is one declared function or method in the module.
+type FuncNode struct {
+	Fn   *types.Func
+	Pkg  *Package
+	Decl *ast.FuncDecl
+	// Out lists resolved outgoing edges in source order.
+	Out []CallEdge
+	// HotRoot records a //evaxlint:hotpath annotation in the declaration's
+	// doc comment: the function and everything reachable from it must stay
+	// allocation-free (see hotpath.go).
+	HotRoot bool
+}
+
+// Name renders the node as pkg.Func or (pkg.Recv).Method / (*pkg.Recv).Method
+// — the form diagnostics and goldens use.
+func (n *FuncNode) Name() string { return funcDisplayName(n.Fn) }
+
+// funcDisplayName formats fn with its package's last path segment as the
+// qualifier, e.g. "detect.(*Detector).Score" or "hpc.NewExpander".
+func funcDisplayName(fn *types.Func) string {
+	qual := func(p *types.Package) string {
+		path := p.Path()
+		if i := strings.LastIndex(path, "/"); i >= 0 {
+			return path[i+1:]
+		}
+		return path
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		// The package segment already qualifies the name; keep the receiver
+		// type bare ("detect.(*Detector).Score", not "detect.(*detect.Detector).Score").
+		bare := func(*types.Package) string { return "" }
+		return fmt.Sprintf("%s.(%s).%s", qual(fn.Pkg()), types.TypeString(sig.Recv().Type(), bare), fn.Name())
+	}
+	return fmt.Sprintf("%s.%s", qual(fn.Pkg()), fn.Name())
+}
+
+// CallGraph is the resolved whole-program graph.
+type CallGraph struct {
+	prog  *Program
+	nodes map[*types.Func]*FuncNode
+	// order holds nodes in deterministic (package, file, position) order.
+	order []*FuncNode
+}
+
+// Nodes returns every declared function in deterministic order.
+func (g *CallGraph) Nodes() []*FuncNode { return g.order }
+
+// NodeOf returns the node for a declared function, or nil for functions
+// outside the module (or without bodies).
+func (g *CallGraph) NodeOf(fn *types.Func) *FuncNode { return g.nodes[fn] }
+
+// Lookup finds a node by display name (tests and tooling).
+func (g *CallGraph) Lookup(name string) *FuncNode {
+	for _, n := range g.order {
+		if n.Name() == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (prog *Program) CallGraph() *CallGraph {
+	if prog.callGraph == nil {
+		prog.callGraph = buildCallGraph(prog)
+	}
+	return prog.callGraph
+}
+
+const hotpathDirective = "evaxlint:hotpath"
+
+// hasHotpathDirective reports whether a doc comment carries the
+// //evaxlint:hotpath annotation.
+func hasHotpathDirective(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == hotpathDirective || strings.HasPrefix(text, hotpathDirective+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func buildCallGraph(prog *Program) *CallGraph {
+	g := &CallGraph{prog: prog, nodes: map[*types.Func]*FuncNode{}}
+
+	// Pass 1: one node per function declaration with a body.
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &FuncNode{Fn: fn, Pkg: pkg, Decl: fd, HotRoot: hasHotpathDirective(fd.Doc)}
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+
+	impls := newImplIndex(prog)
+
+	// Pass 2: resolve edges from every body.
+	for _, n := range g.order {
+		g.resolveEdges(n, impls)
+	}
+	return g
+}
+
+// implIndex resolves interface methods to the module's concrete
+// implementations.
+type implIndex struct {
+	// named lists every module-declared non-interface named type.
+	named []*types.Named
+	// cache memoizes interface-method → implementations lookups.
+	cache map[*types.Func][]*types.Func
+}
+
+func newImplIndex(prog *Program) *implIndex {
+	idx := &implIndex{cache: map[*types.Func][]*types.Func{}}
+	for _, pkg := range prog.Packages {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			named, ok := tn.Type().(*types.Named)
+			if !ok || types.IsInterface(named) {
+				continue
+			}
+			idx.named = append(idx.named, named)
+		}
+	}
+	return idx
+}
+
+// implementations returns the declared methods named like m on every module
+// type whose pointer method set satisfies m's interface.
+func (idx *implIndex) implementations(m *types.Func) []*types.Func {
+	if out, ok := idx.cache[m]; ok {
+		return out
+	}
+	var out []*types.Func
+	sig, _ := m.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		idx.cache[m] = nil
+		return nil
+	}
+	iface, _ := sig.Recv().Type().Underlying().(*types.Interface)
+	if iface == nil {
+		idx.cache[m] = nil
+		return nil
+	}
+	for _, named := range idx.named {
+		ptr := types.NewPointer(named)
+		if !types.Implements(named, iface) && !types.Implements(ptr, iface) {
+			continue
+		}
+		obj, _, _ := types.LookupFieldOrMethod(ptr, true, m.Pkg(), m.Name())
+		if fn, ok := obj.(*types.Func); ok {
+			out = append(out, fn)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return funcDisplayName(out[i]) < funcDisplayName(out[j]) })
+	idx.cache[m] = out
+	return out
+}
+
+// resolveEdges walks one declaration body (closures included) and records
+// outgoing edges.
+func (g *CallGraph) resolveEdges(n *FuncNode, impls *implIndex) {
+	info := n.Pkg.Info
+
+	// calleeExprs marks expressions in call position, so identifiers used
+	// as plain values (function references) can be told apart.
+	calleeExprs := map[ast.Expr]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if call, ok := node.(*ast.CallExpr); ok {
+			calleeExprs[ast.Unparen(call.Fun)] = true
+		}
+		return true
+	})
+
+	addEdge := func(fn *types.Func, pos token.Pos, kind EdgeKind) {
+		callee := g.nodes[fn]
+		if callee == nil {
+			return // stdlib or bodiless declaration
+		}
+		n.Out = append(n.Out, CallEdge{Callee: callee, Pos: pos, Kind: kind})
+	}
+
+	// handled marks selector Sel identifiers already resolved through their
+	// parent SelectorExpr, so the Ident case below does not double-count
+	// them (descent must still continue: the receiver expression may itself
+	// contain calls).
+	handled := map[*ast.Ident]bool{}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch e := node.(type) {
+		case *ast.Ident:
+			if handled[e] {
+				return true
+			}
+			fn, ok := info.Uses[e].(*types.Func)
+			if !ok {
+				return true
+			}
+			if calleeExprs[ast.Expr(e)] {
+				addEdge(fn, e.Pos(), EdgeCall)
+			} else {
+				addEdge(fn, e.Pos(), EdgeRef)
+			}
+		case *ast.SelectorExpr:
+			kind := EdgeCall
+			if !calleeExprs[ast.Expr(e)] {
+				kind = EdgeRef
+			}
+			if sel, ok := info.Selections[e]; ok {
+				// Method value/expression or concrete method call.
+				fn, ok := sel.Obj().(*types.Func)
+				if !ok {
+					return true
+				}
+				handled[e.Sel] = true
+				if recv := sel.Recv(); recv != nil && types.IsInterface(recv) {
+					for _, impl := range impls.implementations(fn) {
+						addEdge(impl, e.Pos(), EdgeInterface)
+					}
+					return true
+				}
+				addEdge(fn, e.Pos(), kind)
+				return true
+			}
+			// Package-qualified reference: pkg.Func.
+			if fn, ok := info.Uses[e.Sel].(*types.Func); ok {
+				handled[e.Sel] = true
+				addEdge(fn, e.Pos(), kind)
+			}
+		}
+		return true
+	})
+}

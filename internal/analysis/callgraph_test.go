@@ -1,0 +1,156 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCallGraphEdges(t *testing.T) {
+	// util is checked first so graph.go can import it: the loader test
+	// below covers the same property for real on-disk modules.
+	prog := loadFixtureProg(t,
+		fixturePkg{path: "evax/internal/util", files: fixture("callgraph", "util.go")},
+		fixturePkg{path: "evax/internal/cg", files: fixture("callgraph", "graph.go")},
+	)
+	g := prog.CallGraph()
+	var b strings.Builder
+	for _, n := range g.Nodes() {
+		for _, e := range n.Out {
+			pos := prog.Fset.Position(e.Pos)
+			fmt.Fprintf(&b, "%s -> %s [%s] %s:%d\n",
+				n.Name(), e.Callee.Name(), e.Kind, filepath.Base(pos.Filename), pos.Line)
+		}
+	}
+	checkGolden(t, filepath.Join("testdata", "src", "callgraph", "edges.golden"), b.String())
+}
+
+func TestCallGraphLookupAndRoots(t *testing.T) {
+	prog := loadFixtureProg(t,
+		fixturePkg{path: "evax/internal/hot", files: fixture("hotpath", "bad.go")})
+	g := prog.CallGraph()
+	root := g.Lookup("hot.Score")
+	if root == nil {
+		t.Fatal("Lookup(hot.Score) = nil")
+	}
+	if !root.HotRoot {
+		t.Error("hot.Score not marked HotRoot despite //evaxlint:hotpath")
+	}
+	if helper := g.Lookup("hot.helper"); helper == nil || helper.HotRoot {
+		t.Errorf("hot.helper: node %v, want non-root node", helper)
+	}
+}
+
+func TestHotPath(t *testing.T) {
+	runRule(t, HotPathAnalyzer(),
+		filepath.Join("testdata", "src", "hotpath", "bad.golden"),
+		fixturePkg{path: "evax/internal/hot", files: fixture("hotpath", "bad.go")})
+	runRule(t, HotPathAnalyzer(),
+		filepath.Join("testdata", "src", "hotpath", "clean.golden"),
+		fixturePkg{path: "evax/internal/hot", files: fixture("hotpath", "clean.go")})
+}
+
+func TestHotPathCallSiteSuppression(t *testing.T) {
+	// The ignore on Serve's coldInit call prunes the edge: coldInit's
+	// allocations must not be attributed into the hot set at all.
+	prog := loadFixtureProg(t, fixturePkg{
+		path:  "evax/internal/hot",
+		files: fixture("hotpath", "callsite.go"),
+	})
+	if diags := Analyze(prog, []*Analyzer{HotPathAnalyzer()}); len(diags) != 0 {
+		t.Errorf("expected the suppressed call edge to keep coldInit out of the hot set, got: %v", diags)
+	}
+}
+
+func TestWallClockLaunder(t *testing.T) {
+	runRule(t, WallClockAnalyzer(),
+		filepath.Join("testdata", "src", "wallclock", "launder.golden"),
+		fixturePkg{path: "evax/internal/dataset", files: fixture("wallclock", "launder.go")})
+}
+
+func TestGoroutineLaunder(t *testing.T) {
+	runRule(t, GoroutineAnalyzer(),
+		filepath.Join("testdata", "src", "goroutine", "launder.golden"),
+		fixturePkg{path: "evax/internal/experiments", files: fixture("goroutine", "launder.go")})
+}
+
+func TestRawWriteLaunder(t *testing.T) {
+	runRule(t, RawWriteAnalyzer(),
+		filepath.Join("testdata", "src", "rawwrite", "launder.golden"),
+		fixturePkg{path: "evax/internal/detect", files: fixture("rawwrite", "launder.go")})
+}
+
+func TestConfineExemptBarrier(t *testing.T) {
+	// The laundering wrapper inside an exempt package is trusted: neither
+	// its own use nor calls into it propagate.
+	prog := loadFixtureProg(t, fixturePkg{
+		path:  "evax/internal/runner",
+		files: fixture("wallclock", "launder.go"),
+	})
+	if diags := Analyze(prog, []*Analyzer{WallClockAnalyzer()}); len(diags) != 0 {
+		t.Errorf("wallclock propagated out of an exempt package: %v", diags)
+	}
+}
+
+// TestLoadModuleMultiPackage builds a real two-package module on disk and
+// checks the loader resolves the cross-package import, orders dependencies
+// first, and feeds the call graph cross-package edges.
+func TestLoadModuleMultiPackage(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		p := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/m\n\ngo 1.21\n")
+	write("internal/lib/lib.go", `package lib
+
+// Add is called cross-package.
+func Add(a, b int) int { return a + b }
+`)
+	write("internal/app/app.go", `package app
+
+import "example.com/m/internal/lib"
+
+// Total calls into lib.
+func Total(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t = lib.Add(t, x)
+	}
+	return t
+}
+`)
+	prog, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("LoadModule: %v", err)
+	}
+	if len(prog.Packages) != 2 {
+		t.Fatalf("loaded %d packages, want 2", len(prog.Packages))
+	}
+	if prog.Packages[0].Path != "example.com/m/internal/lib" {
+		t.Errorf("dependency not loaded first: order %q, %q",
+			prog.Packages[0].Path, prog.Packages[1].Path)
+	}
+	g := prog.CallGraph()
+	total := g.Lookup("app.Total")
+	if total == nil {
+		t.Fatal("Lookup(app.Total) = nil")
+	}
+	found := false
+	for _, e := range total.Out {
+		if e.Callee.Name() == "lib.Add" && e.Kind == EdgeCall {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no cross-package call edge app.Total -> lib.Add; edges: %v", total.Out)
+	}
+}

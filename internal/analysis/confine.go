@@ -1,0 +1,188 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+)
+
+// This file implements the transitive layer shared by the confinement rules
+// (wallclock, goroutine, rawwrite). Each rule names a set of banned
+// primitives and a set of exempt packages; the direct layer flags primitive
+// uses in non-exempt packages at the use site, exactly as the pre-call-graph
+// analyzers did. The transitive layer closes the laundering hole: a helper
+// whose direct finding was silenced with //evaxlint:ignore (or that hides
+// behind more wrappers) no longer smuggles the primitive into banned
+// packages, because every call site that can reach it is flagged too.
+//
+// Semantics, precisely:
+//
+//   - Exempt packages are trusted barriers. Their own primitive uses are
+//     legitimate, and calling INTO them is legitimate (dataset calling
+//     runner.Map must not inherit runner's goroutines), so reachability
+//     never propagates through them.
+//   - A non-exempt function with an unsuppressed direct use is "reported":
+//     the root cause is already visible at the use site, so its callers are
+//     not flagged again.
+//   - A non-exempt function is "silent" if its only direct uses are
+//     suppressed, or if it has an unsuppressed call edge to another silent
+//     function: it reaches the primitive with no diagnostic revealing that.
+//   - Every call edge from a non-exempt function into a silent function is
+//     flagged at the call site, with the reaching chain as witness.
+//
+// An //evaxlint:ignore <rule> on a call-site line prunes that edge from the
+// traversal, so a deliberate suppression stops the transitive findings
+// attributed through it instead of merely hiding one layer.
+
+// useSite is one occurrence of a rule's banned primitive.
+type useSite struct {
+	Pos token.Pos
+	// What names the primitive for chain rendering, e.g. "time.Now",
+	// "go statement".
+	What string
+	// DirectMsg is the message attached when the use is flagged directly.
+	DirectMsg string
+}
+
+// confineSpec parameterizes the transitive engine for one rule.
+type confineSpec struct {
+	rule string
+	// exempt reports whether pkg may use the primitive (and acts as a
+	// propagation barrier).
+	exempt func(*Package) bool
+	// uses scans one package for primitive uses.
+	uses func(*Package) []useSite
+	// verb completes "call to <fn> <verb>", e.g. "reaches the wall clock".
+	verb string
+	// remedy completes the diagnostic with the approved idiom.
+	remedy string
+}
+
+// nodeAt returns the function whose declaration spans pos, or nil for
+// positions outside any declared body (package-level initializers).
+func (g *CallGraph) nodeAt(pos token.Pos) *FuncNode {
+	for _, n := range g.order {
+		if n.Decl.Pos() <= pos && pos <= n.Decl.End() {
+			return n
+		}
+	}
+	return nil
+}
+
+// transitiveConfineDiags computes (once per Program per rule) the call-site
+// findings for silent reachers of the rule's primitive.
+func transitiveConfineDiags(prog *Program, spec confineSpec) []Diagnostic {
+	if prog.reachCache == nil {
+		prog.reachCache = map[string][]Diagnostic{}
+	}
+	if d, ok := prog.reachCache[spec.rule]; ok {
+		return d
+	}
+	g := prog.CallGraph()
+	sup := prog.suppressions()
+
+	edgeOK := func(e CallEdge) bool {
+		p := prog.Fset.Position(e.Pos)
+		return !sup.lineSuppressed(p.Filename, p.Line, spec.rule)
+	}
+
+	// Attribute primitive uses to their enclosing declarations.
+	type nodeUses struct {
+		unsuppressed bool
+		first        useSite
+	}
+	usesOf := map[*FuncNode]*nodeUses{}
+	for _, pkg := range prog.Packages {
+		for _, u := range spec.uses(pkg) {
+			n := g.nodeAt(u.Pos)
+			if n == nil {
+				continue
+			}
+			nu := usesOf[n]
+			if nu == nil {
+				nu = &nodeUses{first: u}
+				usesOf[n] = nu
+			}
+			p := prog.Fset.Position(u.Pos)
+			if !sup.lineSuppressed(p.Filename, p.Line, spec.rule) {
+				nu.unsuppressed = true
+			}
+		}
+	}
+
+	// Seed: reported nodes stop propagation; suppressed-only users start
+	// silent. Exempt packages are neither.
+	silent := map[*FuncNode]bool{}
+	reported := map[*FuncNode]bool{}
+	for n, nu := range usesOf {
+		if spec.exempt(n.Pkg) {
+			continue
+		}
+		if nu.unsuppressed {
+			reported[n] = true
+		} else {
+			silent[n] = true
+		}
+	}
+
+	// Fixpoint: silence spreads backwards over unsuppressed edges through
+	// non-exempt, non-reported callers.
+	for changed := true; changed; {
+		changed = false
+		for _, n := range g.Nodes() {
+			if silent[n] || reported[n] || spec.exempt(n.Pkg) {
+				continue
+			}
+			for _, e := range n.Out {
+				if e.Callee != n && silent[e.Callee] && edgeOK(e) {
+					silent[n] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// witness renders "n → ... → primitive" for diagnostics; the visiting
+	// set breaks recursion cycles among mutually silent functions.
+	var witness func(n *FuncNode, visiting map[*FuncNode]bool) string
+	witness = func(n *FuncNode, visiting map[*FuncNode]bool) string {
+		visiting[n] = true
+		defer delete(visiting, n)
+		if nu := usesOf[n]; nu != nil && !nu.unsuppressed {
+			return n.Name() + " → " + nu.first.What
+		}
+		for _, e := range n.Out {
+			if e.Callee != n && silent[e.Callee] && !visiting[e.Callee] && edgeOK(e) {
+				return n.Name() + " → " + witness(e.Callee, visiting)
+			}
+		}
+		return n.Name()
+	}
+
+	var diags []Diagnostic
+	seen := map[string]bool{}
+	for _, f := range g.Nodes() {
+		if spec.exempt(f.Pkg) {
+			continue
+		}
+		for _, e := range f.Out {
+			if e.Callee == f || !silent[e.Callee] || !edgeOK(e) {
+				continue
+			}
+			pos := prog.Fset.Position(e.Pos)
+			key := fmt.Sprintf("%s:%d:%d:%s", pos.Filename, pos.Line, pos.Column, e.Callee.Name())
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			diags = append(diags, Diagnostic{
+				Pos:  pos,
+				Rule: spec.rule,
+				Message: fmt.Sprintf("call to %s %s (%s); the %s rule is transitive — %s",
+					e.Callee.Name(), spec.verb, witness(e.Callee, map[*FuncNode]bool{}), spec.rule, spec.remedy),
+			})
+		}
+	}
+	prog.reachCache[spec.rule] = diags
+	return diags
+}

@@ -1,0 +1,334 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPathAnalyzer statically verifies the zero-allocation contract of the
+// scoring path. Functions annotated //evaxlint:hotpath in their doc comment
+// are roots; the analyzer walks everything transitively reachable from them
+// through the call graph (methods, conservative interface dispatch,
+// function values, closures) and flags every allocating construct on the
+// way:
+//
+//   - make / new
+//   - composite literals that escape: &T{...}, slice and map literals
+//     (plain value struct literals stay on the stack and are allowed)
+//   - append (may grow its backing array; preallocate and index, or reuse
+//     capacity through an owned scratch/freelist)
+//   - string concatenation and string<->[]byte/[]rune conversions
+//   - interface boxing at call sites (a non-pointer concrete argument
+//     passed to an interface parameter heap-allocates its value)
+//   - closure creation (func literals)
+//   - any call into fmt or reflect
+//
+// Constructs inside panic(...) arguments are exempt: the crash path is not
+// the steady-state path AllocsPerRun pins. An //evaxlint:ignore hotpath on
+// a call site prunes the whole call edge, so one-time lazy-compile calls
+// (e.g. a first-window expander build) do not drag their callee's
+// constructors into the hot set; an ignore on a construct suppresses just
+// that finding.
+//
+// This turns PR 3's dynamic AllocsPerRun spot checks into a statically
+// verified property of the entire reachable scoring path.
+func HotPathAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "hotpath",
+		Doc:  "forbid allocating constructs in functions reachable from //evaxlint:hotpath roots",
+		Run:  runHotPath,
+	}
+}
+
+func runHotPath(pass *Pass) []Diagnostic {
+	return diagsInPackage(pass, hotPathProgramDiags(pass.Prog))
+}
+
+// diagsInPackage filters whole-program diagnostics down to the ones whose
+// file belongs to the pass's package (the per-package Run contract).
+func diagsInPackage(pass *Pass, all []Diagnostic) []Diagnostic {
+	files := make(map[string]bool, len(pass.Pkg.Filenames))
+	for _, f := range pass.Pkg.Filenames {
+		files[f] = true
+	}
+	var out []Diagnostic
+	for _, d := range all {
+		if files[d.Pos.Filename] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// hotPathProgramDiags computes (once per Program) the full hot-path finding
+// set.
+func hotPathProgramDiags(prog *Program) []Diagnostic {
+	if prog.reachCache == nil {
+		prog.reachCache = map[string][]Diagnostic{}
+	}
+	if d, ok := prog.reachCache["hotpath"]; ok {
+		return d
+	}
+	g := prog.CallGraph()
+	sup := prog.suppressions()
+
+	// BFS from every root; parent links reconstruct the reaching chain for
+	// attribution.
+	parent := map[*FuncNode]*FuncNode{}
+	rootOf := map[*FuncNode]*FuncNode{}
+	var queue []*FuncNode
+	for _, n := range g.Nodes() {
+		if n.HotRoot {
+			parent[n] = nil
+			rootOf[n] = n
+			queue = append(queue, n)
+		}
+	}
+
+	var diags []Diagnostic
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		diags = append(diags, hotConstructDiags(prog, n, chainString(parent, n))...)
+		for _, e := range n.Out {
+			pos := prog.Fset.Position(e.Pos)
+			if sup.lineSuppressed(pos.Filename, pos.Line, "hotpath") {
+				continue // the ignore directive blesses this edge
+			}
+			if _, seen := rootOf[e.Callee]; seen {
+				continue
+			}
+			parent[e.Callee] = n
+			rootOf[e.Callee] = rootOf[n]
+			queue = append(queue, e.Callee)
+		}
+	}
+	prog.reachCache["hotpath"] = diags
+	return diags
+}
+
+// chainString renders "root → ... → n" for attribution ("hotpath root" for
+// a root itself).
+func chainString(parent map[*FuncNode]*FuncNode, n *FuncNode) string {
+	if parent[n] == nil {
+		return "hotpath root"
+	}
+	var names []string
+	for m := n; m != nil; m = parent[m] {
+		names = append(names, m.Name())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return "reachable from hotpath root via " + strings.Join(names, " → ")
+}
+
+// hotConstructDiags scans one function body for allocating constructs.
+func hotConstructDiags(prog *Program, n *FuncNode, chain string) []Diagnostic {
+	info := n.Pkg.Info
+	var diags []Diagnostic
+	flag := func(pos token.Pos, what string) {
+		diags = append(diags, Diagnostic{
+			Pos:  prog.Fset.Position(pos),
+			Rule: "hotpath",
+			Message: fmt.Sprintf("%s in %s (%s); the hot path must not allocate — "+
+				"hoist into setup, reuse owned scratch, or annotate the cold call site with //evaxlint:ignore hotpath",
+				what, n.Name(), chain),
+		})
+	}
+
+	// panicArgs marks argument subtrees of panic(...) calls: the crash path
+	// is exempt from the allocation contract.
+	panicArgs := map[ast.Node]bool{}
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				for _, a := range call.Args {
+					panicArgs[a] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// flaggedLits marks composite literals already reported through their
+	// enclosing &-expression.
+	flaggedLits := map[ast.Node]bool{}
+
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if panicArgs[node] {
+			return false
+		}
+		switch e := node.(type) {
+		case *ast.FuncLit:
+			flag(e.Pos(), "closure creation allocates")
+			return false // the creation is the finding; don't pile on its body
+		case *ast.UnaryExpr:
+			if lit, ok := e.X.(*ast.CompositeLit); ok && e.Op == token.AND {
+				flaggedLits[lit] = true
+				flag(e.Pos(), "&composite literal escapes to the heap")
+			}
+		case *ast.CompositeLit:
+			if flaggedLits[e] {
+				return true
+			}
+			switch info.TypeOf(e).Underlying().(type) {
+			case *types.Slice:
+				flag(e.Pos(), "slice literal allocates its backing array")
+			case *types.Map:
+				flag(e.Pos(), "map literal allocates")
+			}
+		case *ast.BinaryExpr:
+			if e.Op == token.ADD && isString(info.TypeOf(e.X)) {
+				flag(e.Pos(), "string concatenation allocates")
+			}
+		case *ast.CallExpr:
+			diagnoseHotCall(info, e, flag)
+		}
+		return true
+	})
+	return diags
+}
+
+// diagnoseHotCall classifies one call expression: builtin allocators,
+// allocating conversions, fmt/reflect calls, and interface boxing of
+// arguments.
+func diagnoseHotCall(info *types.Info, call *ast.CallExpr, flag func(token.Pos, string)) {
+	fun := ast.Unparen(call.Fun)
+
+	// Builtins: make / new / append.
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				flag(call.Pos(), "make allocates")
+			case "new":
+				flag(call.Pos(), "new allocates")
+			case "append":
+				flag(call.Pos(), "append may grow its backing array")
+			}
+			return
+		}
+	}
+
+	tv, ok := info.Types[fun]
+	if !ok {
+		return
+	}
+
+	// Conversions: string <-> []byte/[]rune copy their payload; conversion
+	// to an interface type boxes.
+	if tv.IsType() {
+		if len(call.Args) != 1 {
+			return
+		}
+		target := tv.Type
+		src := info.TypeOf(call.Args[0])
+		switch {
+		case isString(target) && isByteOrRuneSlice(src):
+			flag(call.Pos(), "string conversion copies the slice")
+		case isByteOrRuneSlice(target) && isString(src):
+			flag(call.Pos(), "byte/rune-slice conversion copies the string")
+		case types.IsInterface(target) && src != nil && !types.IsInterface(src) && boxingAllocates(src):
+			flag(call.Pos(), "conversion to interface boxes the value")
+		}
+		return
+	}
+
+	// fmt / reflect are wholesale banned on the hot path.
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		if x, ok := sel.X.(*ast.Ident); ok {
+			switch pkgNameOf(info, x) {
+			case "fmt":
+				flag(call.Pos(), "fmt call allocates (formatting state and boxed operands)")
+				return
+			case "reflect":
+				flag(call.Pos(), "reflect call allocates")
+				return
+			}
+		}
+	}
+
+	// Interface boxing at the call site: a concrete, non-pointer-shaped
+	// argument passed to an interface parameter heap-allocates.
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	if params == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // slice passed through, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || !types.IsInterface(pt) || types.IsInterface(at) {
+			continue
+		}
+		if isUntypedNil(info, arg) || !boxingAllocates(at) {
+			continue
+		}
+		flag(arg.Pos(), fmt.Sprintf("argument boxed into interface parameter (%s)", at.String()))
+	}
+}
+
+// boxingAllocates reports whether converting a value of concrete type t to
+// an interface heap-allocates. Pointer-shaped types (pointers, channels,
+// maps, funcs, unsafe pointers) fit the interface data word directly.
+func boxingAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer && u.Kind() != types.UntypedNil
+	}
+	return true
+}
+
+func isString(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isUntypedNil reports whether e is the nil literal.
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}

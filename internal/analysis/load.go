@@ -254,6 +254,16 @@ func (p *Package) Match(modPath string, patterns []string) bool {
 // over packages matching patterns, returning unsuppressed diagnostics with
 // file paths made relative to root.
 func LintModule(root string, patterns []string) ([]Diagnostic, error) {
+	return lintModule(root, patterns, false)
+}
+
+// LintModuleAll is LintModule keeping suppressed findings (Suppressed set on
+// each); cmd/evaxlint -json uses it so audit tooling sees every directive.
+func LintModuleAll(root string, patterns []string) ([]Diagnostic, error) {
+	return lintModule(root, patterns, true)
+}
+
+func lintModule(root string, patterns []string, includeSuppressed bool) ([]Diagnostic, error) {
 	prog, err := LoadModule(root)
 	if err != nil {
 		return nil, err
@@ -271,7 +281,12 @@ func LintModule(root string, patterns []string) ([]Diagnostic, error) {
 	if matched == 0 {
 		return nil, fmt.Errorf("no packages match %v — a typo here would silently disable the gate", patterns)
 	}
-	diags := Analyze(prog, Analyzers())
+	var diags []Diagnostic
+	if includeSuppressed {
+		diags = AnalyzeAll(prog, Analyzers())
+	} else {
+		diags = Analyze(prog, Analyzers())
+	}
 	var out []Diagnostic
 	for _, d := range diags {
 		pkg := prog.packageOfFile(d.Pos.Filename)

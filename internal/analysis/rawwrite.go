@@ -25,22 +25,34 @@ var rawWriteBanned = map[string]string{
 // RawWriteAnalyzer flags os.WriteFile and os.Create outside
 // internal/safeio. Test files are exempt by construction: the loader skips
 // _test.go files, so fixtures and golden helpers may write directly.
+//
+// The rule is transitive over the call graph (see confine.go): a wrapper
+// that launders os.WriteFile behind an //evaxlint:ignore is a silent
+// reacher, and every call site that can reach it is flagged. Calling
+// safeio itself is the approved idiom and never propagates.
 func RawWriteAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "rawwrite",
-		Doc:  "forbid os.WriteFile/os.Create outside internal/safeio",
+		Doc:  "forbid os.WriteFile/os.Create, even through helpers, outside internal/safeio",
 		Run:  runRawWrite,
 	}
 }
 
-func runRawWrite(pass *Pass) []Diagnostic {
+func rawWriteExempt(pkg *Package) bool {
 	for _, s := range rawWriteExemptScope {
-		if pass.Pkg.HasSuffix(s) {
-			return nil
+		if pkg.HasSuffix(s) {
+			return true
 		}
 	}
-	var diags []Diagnostic
-	for _, f := range pass.Pkg.Files {
+	return false
+}
+
+// rawWriteUses scans one package for raw file-creation references. The
+// function reference itself (not just a call) counts, so passing os.Create
+// as a value is caught too.
+func rawWriteUses(pkg *Package) []useSite {
+	var uses []useSite
+	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			sel, ok := n.(*ast.SelectorExpr)
 			if !ok {
@@ -50,16 +62,39 @@ func runRawWrite(pass *Pass) []Diagnostic {
 			if !banned {
 				return true
 			}
-			// Flag the function reference itself (not just calls) so
-			// passing os.Create as a value is caught too.
-			if ident, ok := sel.X.(*ast.Ident); ok && pkgNameOf(pass.Pkg.Info, ident) == "os" {
-				diags = append(diags, Diagnostic{
-					Pos:     pass.Position(sel.Pos()),
-					Rule:    "rawwrite",
-					Message: msg,
+			if ident, ok := sel.X.(*ast.Ident); ok && pkgNameOf(pkg.Info, ident) == "os" {
+				uses = append(uses, useSite{
+					Pos:       sel.Pos(),
+					What:      "os." + sel.Sel.Name,
+					DirectMsg: msg,
 				})
 			}
 			return true
+		})
+	}
+	return uses
+}
+
+func rawWriteSpec() confineSpec {
+	return confineSpec{
+		rule:   "rawwrite",
+		exempt: rawWriteExempt,
+		uses:   rawWriteUses,
+		verb:   "reaches a raw file write",
+		remedy: "persist through safeio.WriteFile even when the os call sits behind a helper",
+	}
+}
+
+func runRawWrite(pass *Pass) []Diagnostic {
+	diags := diagsInPackage(pass, transitiveConfineDiags(pass.Prog, rawWriteSpec()))
+	if rawWriteExempt(pass.Pkg) {
+		return diags
+	}
+	for _, u := range rawWriteUses(pass.Pkg) {
+		diags = append(diags, Diagnostic{
+			Pos:     pass.Position(u.Pos),
+			Rule:    "rawwrite",
+			Message: u.DirectMsg,
 		})
 	}
 	return diags

@@ -65,13 +65,22 @@ func collectSuppressions(prog *Program) *suppressions {
 
 // suppressed reports whether d is covered by an ignore directive.
 func (s *suppressions) suppressed(d Diagnostic) bool {
-	lines, ok := s.byFile[d.Pos.Filename]
+	return s.lineSuppressed(d.Pos.Filename, d.Pos.Line, d.Rule)
+}
+
+// lineSuppressed reports whether rule is ignored at filename:line. The
+// interprocedural rules use this during traversal: an ignore directive on a
+// call site prunes that call edge, so findings attributed through it (a
+// transitively reached allocation, a laundered primitive) are suppressed
+// along with the direct one.
+func (s *suppressions) lineSuppressed(filename string, line int, rule string) bool {
+	lines, ok := s.byFile[filename]
 	if !ok {
 		return false
 	}
-	set, ok := lines[d.Pos.Line]
+	set, ok := lines[line]
 	if !ok {
 		return false
 	}
-	return set[d.Rule] || set["all"]
+	return set[rule] || set["all"]
 }

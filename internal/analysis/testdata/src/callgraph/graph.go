@@ -1,0 +1,35 @@
+package cg
+
+import "evax/internal/util"
+
+// Doer has two module implementations; interface calls resolve to both.
+type Doer interface{ Do() int }
+
+// A implements Doer with a value receiver.
+type A struct{}
+
+// Do is a method-call target (and calls onward, cross-package).
+func (A) Do() int { return value() }
+
+// B implements Doer with a pointer receiver.
+type B struct{ n int }
+
+func (b *B) Do() int { return b.n }
+
+// value crosses packages with a static call.
+func value() int { return util.Helper() }
+
+// Run exercises every edge kind: interface dispatch, static same- and
+// cross-package calls, concrete method calls, function-value references,
+// and closure attribution to the enclosing declaration.
+func Run(d Doer) int {
+	total := d.Do()
+	total += value()
+	a := A{}
+	total += a.Do()
+	f := value
+	total += util.Apply(f)
+	c := func() int { return util.Helper() }
+	total += c()
+	return total
+}

@@ -1,0 +1,8 @@
+package util
+
+// Helper is a cross-package static call target.
+func Helper() int { return 1 }
+
+// Apply invokes a function value; callers that pass a named function get a
+// conservative ref edge to it.
+func Apply(f func() int) int { return f() }

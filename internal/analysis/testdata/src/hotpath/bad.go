@@ -1,0 +1,46 @@
+package hot
+
+import "fmt"
+
+// Sink is an interface target for the call-site boxing check.
+type Sink interface{ Put(v any) }
+
+type point struct{ x, y float64 }
+
+// Score exercises every banned construct, both directly in the root and
+// through helper/deep (an allocation two call-hops below the root).
+//
+//evaxlint:hotpath
+func Score(vals []float64, name string, s Sink) float64 {
+	buf := make([]float64, len(vals))
+	copy(buf, vals)
+	buf = append(buf, 1)
+	p := &point{x: 1}
+	pair := []float64{1, 2}
+	idx := map[string]int{"a": 1}
+	np := new(point)
+	label := name + "!"
+	bs := []byte(name)
+	back := string(bs)
+	f := func() float64 { return 0 }
+	fmt.Println(label, back)
+	s.Put(p.x)
+	_ = pair
+	_ = idx
+	_ = np
+	_ = f
+	return helper(vals) + buf[0]
+}
+
+// helper is one hop below the root and clean itself.
+func helper(vals []float64) float64 {
+	return deep(vals)
+}
+
+// deep is two call hops below the root: its allocation must be attributed
+// through Score → helper → deep.
+func deep(vals []float64) float64 {
+	tmp := make([]float64, len(vals))
+	copy(tmp, vals)
+	return tmp[0]
+}

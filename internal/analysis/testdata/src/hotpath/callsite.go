@@ -1,0 +1,24 @@
+package hot
+
+// coldState is compiled lazily, outside the steady state.
+type coldState struct{ buf []float64 }
+
+// Serve's one-time lazy compile is suppressed at the call site: the ignore
+// prunes the whole call edge, so coldInit's allocations never join the hot
+// set even though coldInit itself carries no directive.
+//
+//evaxlint:hotpath
+func Serve(vals []float64) float64 {
+	st := coldInit(len(vals)) //evaxlint:ignore hotpath one-time lazy compile; not the steady-state path
+	var total float64
+	for i, v := range vals {
+		st.buf[i] = v
+		total += v
+	}
+	return total
+}
+
+// coldInit allocates freely; only the suppressed edge keeps it cold.
+func coldInit(n int) *coldState {
+	return &coldState{buf: make([]float64, n)}
+}

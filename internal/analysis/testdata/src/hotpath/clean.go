@@ -1,0 +1,39 @@
+package hot
+
+import "fmt"
+
+type sample struct {
+	values []float64
+	total  float64
+}
+
+type scorer struct {
+	scratch []float64
+}
+
+// ScoreInto writes into caller-owned memory only: index writes, a plain
+// struct value literal (stack), and a panic whose formatting is exempt (the
+// crash path is not the steady-state path).
+//
+//evaxlint:hotpath
+func (s *scorer) ScoreInto(dst, vals []float64) float64 {
+	if len(dst) != len(vals) {
+		panic(fmt.Sprintf("hot: dst %d != vals %d", len(dst), len(vals)))
+	}
+	var total float64
+	for i, v := range vals {
+		dst[i] = v * 2
+		total += v
+	}
+	sm := sample{values: dst, total: total}
+	return tally(sm)
+}
+
+// tally is reachable and clean: loops and arithmetic only.
+func tally(sm sample) float64 {
+	var t float64
+	for _, v := range sm.values {
+		t += v
+	}
+	return t + sm.total
+}

@@ -1,0 +1,15 @@
+package detect
+
+import "os"
+
+// dump launders os.WriteFile behind a suppressed helper.
+func dump(path string, b []byte) error {
+	//evaxlint:ignore rawwrite scratch output, rewritten whole on the next run
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Save reaches the raw write through dump: flagged at the call site with
+// the chain as witness.
+func Save(path string, b []byte) error {
+	return dump(path, b)
+}

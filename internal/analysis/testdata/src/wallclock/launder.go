@@ -1,0 +1,22 @@
+package dataset
+
+import "time"
+
+// stamp launders the wall clock: the direct finding is suppressed, so only
+// the transitive layer can reveal callers pulling real time in.
+func stamp() int64 {
+	//evaxlint:ignore wallclock cached coarse clock, refreshed out of band
+	return time.Now().UnixNano()
+}
+
+// Tag reaches the wall clock through stamp: flagged at the call site with
+// the chain as witness.
+func Tag() int64 {
+	return stamp()
+}
+
+// TagQuiet suppresses the call edge itself, which prunes the transitive
+// finding attributed through it.
+func TagQuiet() int64 {
+	return stamp() //evaxlint:ignore wallclock deliberate: coarse timestamps only label cache entries
+}

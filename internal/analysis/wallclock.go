@@ -31,25 +31,34 @@ var wallclockFuncs = map[string]bool{
 // closes the rest of the library: a time.Now in, say, dataset or checkpoint
 // is either dead weight or a nondeterminism seed waiting to flow into a
 // result, and measurement belongs in the cmds or the exempt engines.
+//
+// The rule is transitive over the call graph (see confine.go): a helper
+// whose own time.Now was suppressed with //evaxlint:ignore — or that hides
+// it behind further wrappers — is a "silent reacher", and every call site
+// that can reach it from a non-exempt package is flagged with the chain as
+// witness. Calls into the exempt engines themselves are trusted and never
+// propagate.
 func WallClockAnalyzer() *Analyzer {
 	return &Analyzer{
 		Name: "wallclock",
-		Doc:  "forbid time.Now/Since/Until outside internal/serve, internal/runner, and cmd/",
+		Doc:  "forbid reaching time.Now/Since/Until, even through helpers, outside internal/serve, internal/runner, and cmd/",
 		Run:  runWallClock,
 	}
 }
 
-func runWallClock(pass *Pass) []Diagnostic {
+func wallclockExempt(pkg *Package) bool {
 	for _, s := range wallclockExemptScope {
-		if pass.Pkg.HasSuffix(s) {
-			return nil
+		if pkg.HasSuffix(s) {
+			return true
 		}
 	}
-	if isCommandPath(pass.Pkg.Path) {
-		return nil
-	}
-	var diags []Diagnostic
-	for _, f := range pass.Pkg.Files {
+	return isCommandPath(pkg.Path)
+}
+
+// wallclockUses scans one package for direct clock reads.
+func wallclockUses(pkg *Package) []useSite {
+	var uses []useSite
+	for _, f := range pkg.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -63,15 +72,40 @@ func runWallClock(pass *Pass) []Diagnostic {
 			if !ok {
 				return true
 			}
-			if pkgNameOf(pass.Pkg.Info, ident) == "time" && wallclockFuncs[sel.Sel.Name] {
-				diags = append(diags, Diagnostic{
-					Pos:  pass.Position(call.Pos()),
-					Rule: "wallclock",
-					Message: fmt.Sprintf("time.%s outside internal/serve, internal/runner and cmd/; library code must not read the wall clock — measure in a cmd or thread a timestamp in",
+			if pkgNameOf(pkg.Info, ident) == "time" && wallclockFuncs[sel.Sel.Name] {
+				uses = append(uses, useSite{
+					Pos:  call.Pos(),
+					What: "time." + sel.Sel.Name,
+					DirectMsg: fmt.Sprintf("time.%s outside internal/serve, internal/runner and cmd/; library code must not read the wall clock — measure in a cmd or thread a timestamp in",
 						sel.Sel.Name),
 				})
 			}
 			return true
+		})
+	}
+	return uses
+}
+
+func wallclockSpec() confineSpec {
+	return confineSpec{
+		rule:   "wallclock",
+		exempt: wallclockExempt,
+		uses:   wallclockUses,
+		verb:   "reaches the wall clock",
+		remedy: "library code must not read the wall clock even through helpers; measure in a cmd or thread a timestamp in",
+	}
+}
+
+func runWallClock(pass *Pass) []Diagnostic {
+	diags := diagsInPackage(pass, transitiveConfineDiags(pass.Prog, wallclockSpec()))
+	if wallclockExempt(pass.Pkg) {
+		return diags
+	}
+	for _, u := range wallclockUses(pass.Pkg) {
+		diags = append(diags, Diagnostic{
+			Pos:     pass.Position(u.Pos),
+			Rule:    "wallclock",
+			Message: u.DirectMsg,
 		})
 	}
 	return diags

@@ -148,6 +148,9 @@ func FromMaxima(max []float64) *Dataset {
 
 // NormalizeInPlace scales a derived vector by the corpus maxima (clamped to
 // [0,1]); vectors from generators or evasion tooling use the same scaling.
+// Zero allocations — this sits between expand and score on the online path.
+//
+//evaxlint:hotpath
 func (d *Dataset) NormalizeInPlace(v []float64) {
 	for j := range v {
 		if d.max[j] > 0 {

@@ -24,11 +24,15 @@ func NewDetectorFlagger(det *detect.Detector, ds *dataset.Dataset) *DetectorFlag
 	return &DetectorFlagger{Det: det, DS: ds}
 }
 
-// FlagWindow implements Flagger.
+// FlagWindow implements Flagger. Steady state allocates nothing; the
+// expansion plan and scratch row compile lazily on the first window (or on
+// a counter-set change), which is the only allocating path.
+//
+//evaxlint:hotpath
 func (f *DetectorFlagger) FlagWindow(s hpc.Sample) bool {
 	if f.exp == nil || f.exp.Dim() != hpc.DerivedSpaceSize(len(s.Values)) {
-		f.exp = hpc.NewExpander(len(s.Values))
-		f.derived = make([]float64, f.exp.Dim())
+		f.exp = hpc.NewExpander(len(s.Values))   //evaxlint:ignore hotpath one-time lazy plan compile on the first window
+		f.derived = make([]float64, f.exp.Dim()) //evaxlint:ignore hotpath scratch row allocated once with the plan
 	}
 	f.exp.ExpandInto(f.derived, s)
 	f.DS.NormalizeInPlace(f.derived)

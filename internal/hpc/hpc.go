@@ -140,6 +140,8 @@ func (s *Sampler) Take() (Sample, bool) {
 // instead of allocating; the returned Sample.Values aliases vals. A nil
 // vals allocates a fresh row. This is the steady-state online path: with a
 // caller-owned row it performs zero heap allocations per sample.
+//
+//evaxlint:hotpath
 func (s *Sampler) TakeInto(vals []float64) (Sample, bool) {
 	instr := s.src.Instructions()
 	cycles := s.src.Cycles()
@@ -151,7 +153,7 @@ func (s *Sampler) TakeInto(vals []float64) (Sample, bool) {
 		return Sample{}, false
 	}
 	if vals == nil {
-		vals = make([]float64, s.cat.Len())
+		vals = make([]float64, s.cat.Len()) //evaxlint:ignore hotpath nil-vals convenience path; online callers pass an owned row
 	}
 	for i := range vals {
 		vals[i] = float64(s.cur[i] - s.prev[i])
@@ -305,7 +307,10 @@ func (e *Expander) Dim() int { return len(e.src) }
 
 // ExpandInto applies the compiled plan to s, writing the derived row into
 // dst (len == Dim()). Every slot is written, so dst may be dirty. Zero heap
-// allocations.
+// allocations (the dimension-mismatch panic may format, but the crash path
+// is exempt from the contract).
+//
+//evaxlint:hotpath
 func (e *Expander) ExpandInto(dst []float64, s Sample) {
 	if len(s.Values) != e.n || len(dst) != len(e.src) {
 		panic(fmt.Sprintf("hpc: ExpandInto dims: sample %d (plan %d), dst %d (plan %d)",

@@ -113,6 +113,12 @@ func (sh *shard) collect(batch *[]request, lats *[]time.Duration) bool {
 // state, and delivers verdict frames to the connections' writers. The score
 // of a row depends only on the row (the scorer's scratch is fully overwritten
 // per sample), so batching and shard assignment never change a verdict.
+//
+// This is the serve hot path: rows and verdict frames recycle through the
+// server freelists and latencies are written into the preallocated lats
+// slice, so steady-state flushing performs zero heap allocations per sample.
+//
+//evaxlint:hotpath
 func (sh *shard) flush(batch *[]request, lats *[]time.Duration) {
 	if len(*batch) == 0 {
 		return
@@ -120,6 +126,9 @@ func (sh *shard) flush(batch *[]request, lats *[]time.Duration) {
 	if hook := sh.srv.cfg.flushPause; hook != nil {
 		hook()
 	}
+	// run sized lats with cap MaxBatch and the batch never exceeds MaxBatch,
+	// so this reslice stays within capacity.
+	ls := (*lats)[:len(*batch)]
 	for i := range *batch {
 		r := &(*batch)[i]
 		score := sh.sc.score(r.raw, r.instructions, r.cycles)
@@ -140,12 +149,12 @@ func (sh *shard) flush(batch *[]request, lats *[]time.Duration) {
 			sh.srv.met.flagged.Add(1)
 		}
 		sh.srv.met.scored.Add(1)
-		r.c.deliver(AppendVerdict(nil, Verdict{Seq: r.seq, Score: score, Flags: flags}))
-		*lats = append(*lats, time.Since(r.enq))
+		r.c.deliver(AppendVerdict(sh.srv.getFrame(), Verdict{Seq: r.seq, Score: score, Flags: flags}))
+		ls[i] = time.Since(r.enq)
 		sh.srv.putRow(r.raw)
 		r.raw = nil
 	}
-	sh.srv.met.observeBatch(len(*batch), *lats)
+	sh.srv.met.observeBatch(len(*batch), ls)
 	*batch = (*batch)[:0]
 	*lats = (*lats)[:0]
 }

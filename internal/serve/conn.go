@@ -189,11 +189,18 @@ func (c *conn) writeLoop() {
 	dead := false
 	for frame := range c.out {
 		if dead {
+			// Still recycle: a discarded frame's buffer is as reusable as a
+			// written one.
+			c.srv.putFrame(frame)
 			continue
 		}
 		//evaxlint:ignore droppederr a failed deadline set surfaces as the subsequent write error
 		c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout))
-		if _, err := bw.Write(frame); err != nil {
+		_, err := bw.Write(frame)
+		// bufio copied the frame (or failed); either way the buffer is free
+		// to recycle into the verdict freelist.
+		c.srv.putFrame(frame)
+		if err != nil {
 			dead = true
 			c.srv.met.writeErrors.Add(1)
 			continue

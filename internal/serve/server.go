@@ -85,7 +85,13 @@ type Server struct {
 	met    *Metrics
 
 	shards []*shard
-	rows   sync.Pool
+	// rowFree and frameFree are typed freelists (bounded channels) for
+	// counter rows and verdict frame buffers. sync.Pool would box every
+	// []float64/[]byte into an interface on Put — one heap allocation per
+	// scored sample — so the hot path recycles through channels instead:
+	// non-blocking get-else-make, put-else-drop.
+	rowFree   chan []float64
+	frameFree chan []byte
 
 	ln      net.Listener
 	httpLn  net.Listener
@@ -132,7 +138,10 @@ func New(det *detect.Detector, ds *dataset.Dataset, rawDim int, cfg Config) (*Se
 		conns:   make(map[uint64]*conn),
 		drained: make(chan struct{}),
 	}
-	srv.rows.New = func() any { return make([]float64, rawDim) }
+	// Capacity covers every row that can be in flight at once (each shard's
+	// queue plus its draining batch); beyond that, puts drop to the GC.
+	srv.rowFree = make(chan []float64, cfg.Shards*(cfg.QueueBound+cfg.MaxBatch))
+	srv.frameFree = make(chan []byte, frameFreeDepth)
 	for i := 0; i < cfg.Shards; i++ {
 		sc, err := newScorer(det, ds, rawDim)
 		if err != nil {
@@ -152,14 +161,51 @@ func New(det *detect.Detector, ds *dataset.Dataset, rawDim int, cfg Config) (*Se
 	return srv, nil
 }
 
-// getRow leases a rawDim-wide row from the pool.
-func (s *Server) getRow() []float64 { return s.rows.Get().([]float64) }
+// getRow leases a rawDim-wide row from the freelist. Rows are fully
+// overwritten before use, so reuse order never reaches a score.
+func (s *Server) getRow() []float64 {
+	select {
+	case row := <-s.rowFree:
+		return row
+	default:
+		return make([]float64, s.rawDim)
+	}
+}
 
-// putRow returns a leased row.
+// putRow returns a leased row. Called from the shard batcher after scoring;
+// a full freelist drops the row to the GC, so the send never blocks.
 func (s *Server) putRow(row []float64) {
-	if row != nil {
-		//evaxlint:ignore determinism sync.Pool reuse order never reaches a score: rows are fully overwritten before use
-		s.rows.Put(row)
+	if row == nil {
+		return
+	}
+	select {
+	case s.rowFree <- row:
+	default:
+	}
+}
+
+// getFrame leases a verdict-sized frame buffer (length 0). The batcher
+// encodes into it and the connection writer recycles it after the socket
+// write, so steady-state verdict delivery allocates nothing.
+func (s *Server) getFrame() []byte {
+	select {
+	case b := <-s.frameFree:
+		return b[:0]
+	default:
+		//evaxlint:ignore hotpath cold-start frame buffer; steady state recycles through the freelist
+		return make([]byte, 0, verdictFrameLen)
+	}
+}
+
+// putFrame recycles a written frame buffer. Undersized buffers (none today)
+// and overflow beyond the freelist bound drop to the GC.
+func (s *Server) putFrame(b []byte) {
+	if cap(b) < verdictFrameLen {
+		return
+	}
+	select {
+	case s.frameFree <- b:
+	default:
 	}
 }
 
