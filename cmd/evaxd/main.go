@@ -44,6 +44,7 @@ func main() {
 		replay    = flag.String("replay", "", "replay a recorded corpus (dataset corpus file) instead of serving")
 		seed      = flag.Int64("seed", 1, "replay scoring-order seed; the verdict digest is identical for every seed")
 		jobs      = flag.Int("jobs", 0, "replay worker count (0 = GOMAXPROCS)")
+		backend   = flag.String("backend", serve.BackendFloat, "scoring kernel: \"float\" (bit-identical to offline scoring) or \"quantized\" (int8 fixed-point, fastest)")
 	)
 	flag.Parse()
 
@@ -62,7 +63,7 @@ func main() {
 			fatalf("evaxd: %v", err)
 		}
 		start := time.Now()
-		res, err := serve.Replay(fl.Det, fl.DS, samples, *seed, *jobs)
+		res, err := serve.Replay(fl.Det, fl.DS, samples, *seed, *jobs, *backend)
 		if err != nil {
 			fatalf("evaxd: %v", err)
 		}
@@ -83,6 +84,7 @@ func main() {
 	cfg.Shards = *shards
 	cfg.SecureWindow = *window
 	cfg.StatsPath = *statsPath
+	cfg.Backend = *backend
 
 	srv, err := serve.New(fl.Det, fl.DS, rawDim, cfg)
 	if err != nil {

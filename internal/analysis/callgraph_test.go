@@ -50,6 +50,11 @@ func TestHotPath(t *testing.T) {
 	runRule(t, HotPathAnalyzer(),
 		filepath.Join("testdata", "src", "hotpath", "clean.golden"),
 		fixturePkg{path: "evax/internal/hot", files: fixture("hotpath", "clean.go")})
+	// The fused-kernel-shaped fixture: an injected allocation two call hops
+	// below a batch scoring root must be attributed through the chain.
+	runRule(t, HotPathAnalyzer(),
+		filepath.Join("testdata", "src", "hotpath", "kernelroot.golden"),
+		fixturePkg{path: "evax/internal/hot", files: fixture("hotpath", "kernelroot.go")})
 }
 
 func TestHotPathCallSiteSuppression(t *testing.T) {

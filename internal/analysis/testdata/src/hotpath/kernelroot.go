@@ -1,0 +1,44 @@
+package hot
+
+// This fixture mirrors the fused scoring kernel's shape (internal/kernel):
+// a compiled scorer with owned scratch, a batch root that blocks over rows,
+// a per-block helper, and an expansion helper two call hops below the root.
+// The injected allocation lives in the deepest hop — the analyzer must
+// attribute it up through ScoreRows → scoreBlock → expandRow.
+
+type fused struct {
+	w       []float64
+	scratch []float64
+}
+
+// ScoreRows is the batch entry point: rows of raw counters scored through
+// the per-block helper, no allocation of its own.
+//
+//evaxlint:hotpath
+func (k *fused) ScoreRows(raw []float64, dim int, out []float64) {
+	for i := range out {
+		out[i] = k.scoreBlock(raw[i*dim : (i+1)*dim])
+	}
+}
+
+// scoreBlock is one hop below the root: expand, then dot product over the
+// owned scratch. Clean itself.
+func (k *fused) scoreBlock(row []float64) float64 {
+	expanded := k.expandRow(row)
+	var z float64
+	for i, v := range expanded {
+		z += k.w[i] * v
+	}
+	return z
+}
+
+// expandRow is two hops below the root; the make is the injected allocation
+// the fixture exists to catch (the real kernel writes into k.scratch).
+func (k *fused) expandRow(row []float64) []float64 {
+	tmp := make([]float64, len(row)*2)
+	for i, v := range row {
+		tmp[2*i] = v
+		tmp[2*i+1] = v * v
+	}
+	return tmp
+}

@@ -60,6 +60,10 @@ func (b *SampleBlock) DerivedRow(i int) []float64 {
 // and one for scaling, instead of chasing per-sample slices.
 func (b *SampleBlock) DerivedData() []float64 { return b.derived[: b.rows*b.derDim : b.rows*b.derDim] }
 
+// RawData returns the whole raw backing array (rows*RawDim, row-major) —
+// the fused kernel's batch entry points sweep raw rows contiguously.
+func (b *SampleBlock) RawData() []float64 { return b.raw[: b.rows*b.rawDim : b.rows*b.rawDim] }
+
 // Bind points each sample's Raw/Derived at its row view. Call once the
 // block is fully grown; samples[i] must correspond to row i.
 func (b *SampleBlock) Bind(samples []Sample) {

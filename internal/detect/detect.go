@@ -15,6 +15,7 @@ import (
 	"evax/internal/dataset"
 	"evax/internal/featureng"
 	"evax/internal/hpc"
+	"evax/internal/kernel"
 	"evax/internal/metrics"
 	"evax/internal/ml"
 	"evax/internal/sim"
@@ -62,11 +63,20 @@ func (p *FeaturePlan) BaseDim() int { return len(p.indices) }
 // Dim is the full detector input dimensionality (base + engineered).
 func (p *FeaturePlan) Dim() int { return len(p.indices) + len(p.engineered) }
 
-// Indices returns a copy of the derived-space indices.
+// Indices returns a copy of the derived-space indices. Hot callers iterating
+// per sample should use IndexAt, which does not allocate.
 func (p *FeaturePlan) Indices() []int { return append([]int(nil), p.indices...) }
 
-// Names returns a copy of the base feature names.
+// Names returns a copy of the base feature names. Hot callers iterating per
+// sample should use NameAt, which does not allocate.
 func (p *FeaturePlan) Names() []string { return append([]string(nil), p.names...) }
+
+// IndexAt returns the derived-space index of base feature i without copying
+// the index table.
+func (p *FeaturePlan) IndexAt(i int) int { return p.indices[i] }
+
+// NameAt returns the name of base feature i without copying the name table.
+func (p *FeaturePlan) NameAt(i int) string { return p.names[i] }
 
 // Engineered returns the engineered features. The slice is owned by the
 // plan; callers must not modify it.
@@ -298,6 +308,14 @@ type Detector struct {
 	// scratch holds the gathered input vector for scoring — reused across
 	// calls so the steady-state score path allocates nothing.
 	scratch []float64
+
+	// kern caches the fused derived-space kernel (kernel.Scorer) compiled
+	// from the plan and weights on first score; deep detectors leave it nil
+	// and keep the network path. The kernel snapshots weights, so
+	// TrainVectors invalidates it. Clones share it: the derived-space
+	// kernel entry points are stateless.
+	kern      *kernel.Scorer
+	kernTried bool
 }
 
 // buf returns the detector's input scratch, sized to the plan.
@@ -315,7 +333,8 @@ func (d *Detector) buf() []float64 {
 // parallel campaigns clone the shared detector per job instead. The plan is
 // shared (immutable after assembly); only scratch is per-clone.
 func (d *Detector) Clone() *Detector {
-	return &Detector{Plan: d.Plan, Net: d.Net.Clone(), Threshold: d.Threshold}
+	return &Detector{Plan: d.Plan, Net: d.Net.Clone(), Threshold: d.Threshold,
+		kern: d.kern, kernTried: d.kernTried}
 }
 
 // NewPerceptron builds the HW-friendly single-layer detector (the
@@ -347,20 +366,30 @@ func NewDeep(seed int64, p *FeaturePlan, hiddenLayers, width int) *Detector {
 func (d *Detector) ScoreVector(x []float64) float64 { return d.Net.Forward(x)[0] }
 
 // ScoreBase scores a base-feature vector (engineered features computed).
-// Zero allocations in steady state.
+// Zero allocations in steady state. Single-layer detectors score through
+// the fused kernel (bit-identical to the gather+forward path); deep ones
+// through the network.
 func (d *Detector) ScoreBase(base []float64) float64 {
+	if k := d.derivedKernel(); k != nil {
+		return k.ScoreBase(base)
+	}
 	x := d.buf()
 	copy(x, base)
 	d.Plan.ExtendInto(x)
 	return d.ScoreVector(x)
 }
 
-// Score scores a derived-space sample vector: one plan execution into the
-// detector's scratch, one forward pass. Zero allocations in steady state —
+// Score scores a derived-space sample vector through the fused kernel
+// (gather + engineered features + dot product in one loop, bit-identical to
+// the historical plan-execution + forward pass), falling back to the
+// network for deep detectors. Zero allocations in steady state —
 // statically enforced by the hotpath analyzer.
 //
 //evaxlint:hotpath
 func (d *Detector) Score(derived []float64) float64 {
+	if k := d.derivedKernel(); k != nil {
+		return k.ScoreDerived(derived)
+	}
 	x := d.buf()
 	d.Plan.GatherVector(x, derived)
 	return d.ScoreVector(x)
@@ -400,6 +429,8 @@ func (d *Detector) TrainVectors(base [][]float64, labels []bool, o TrainOptions)
 	if len(base) == 0 {
 		return
 	}
+	// Training mutates the network; the cached kernel snapshot is stale.
+	d.invalidateKernel()
 	pos, neg := 0, 0
 	for _, l := range labels {
 		if l {
@@ -464,21 +495,26 @@ func (d *Detector) Train(ds *dataset.Dataset, idx []int, o TrainOptions) {
 	d.TrainVectors(base, labels, o)
 }
 
-// Evaluate scores the dataset samples at idx and returns the confusion
-// matrix at the current threshold.
+// Evaluate scores the dataset samples at idx through the fused batch path
+// and returns the confusion matrix at the current threshold.
 func (d *Detector) Evaluate(ds *dataset.Dataset, idx []int) metrics.Confusion {
+	scores := make([]float64, len(idx))
+	d.ScoreBatch(ds, idx, scores)
 	var c metrics.Confusion
-	for _, i := range idx {
-		c.Add(d.Flag(ds.Samples[i].Derived), ds.Samples[i].Malicious)
+	for k, i := range idx {
+		c.Add(scores[k] >= d.Threshold, ds.Samples[i].Malicious)
 	}
 	return c
 }
 
-// Scores returns raw scores and labels over idx (ROC input).
+// Scores returns raw scores and labels over idx (ROC input), scored through
+// the fused batch path.
 func (d *Detector) Scores(ds *dataset.Dataset, idx []int) (scores []float64, labels []bool) {
-	for _, i := range idx {
-		scores = append(scores, d.Score(ds.Samples[i].Derived))
-		labels = append(labels, ds.Samples[i].Malicious)
+	scores = make([]float64, len(idx))
+	d.ScoreBatch(ds, idx, scores)
+	labels = make([]bool, len(idx))
+	for k, i := range idx {
+		labels[k] = ds.Samples[i].Malicious
 	}
 	return
 }
@@ -491,6 +527,14 @@ func (d *Detector) TuneThresholdForFPR(benignScores []float64, target float64) {
 	if len(benignScores) == 0 {
 		return
 	}
+	d.Threshold = ThresholdForFPR(benignScores, target)
+}
+
+// ThresholdForFPR computes the smallest threshold whose false-positive rate
+// on the given benign scores does not exceed target — the package-level form
+// so the quantized backend can re-tune its operating point on quantized
+// benign scores without a Detector in hand.
+func ThresholdForFPR(benignScores []float64, target float64) float64 {
 	s := append([]float64(nil), benignScores...)
 	sort.Float64s(s)
 	// Allow at most target fraction of benign scores >= threshold.
@@ -501,5 +545,5 @@ func (d *Detector) TuneThresholdForFPR(benignScores []float64, target float64) {
 	if k < 0 {
 		k = 0
 	}
-	d.Threshold = s[k] + 1e-9
+	return s[k] + 1e-9
 }

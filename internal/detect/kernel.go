@@ -1,0 +1,110 @@
+// Fused-kernel integration: detect compiles its FeaturePlan + model into a
+// kernel.Scorer (the package boundary runs this direction — kernel must not
+// import detect), caches a derived-space kernel per detector, and exposes
+// the batch scoring entry points the experiment drivers use.
+package detect
+
+import (
+	"fmt"
+
+	"evax/internal/dataset"
+	"evax/internal/hpc"
+	"evax/internal/kernel"
+	"evax/internal/ml"
+)
+
+// CompileScorer compiles the detector into a fused float kernel. maxima is
+// the full derived-space normalization vector (dataset.Maxima()) for a
+// raw-capable scorer, or nil for a derived-only scorer. Only the
+// single-layer sigmoid architecture (the PerSpectron/EVAX hardware model)
+// compiles; deep detectors score through ml.Network.
+func CompileScorer(d *Detector, maxima []float64) (*kernel.Scorer, error) {
+	if len(d.Net.Layers) != 1 {
+		return nil, fmt.Errorf("detect: kernel needs a single-layer detector, have %d layers", len(d.Net.Layers))
+	}
+	l := d.Net.Layers[0]
+	if l.Out != 1 || l.Act != ml.Sigmoid {
+		return nil, fmt.Errorf("detect: kernel needs a 1-output sigmoid layer")
+	}
+	p := d.Plan
+	if l.In != p.Dim() {
+		return nil, fmt.Errorf("detect: layer input %d vs plan dimension %d", l.In, p.Dim())
+	}
+	cfg := kernel.Config{
+		Indices:   p.indices,
+		EngA:      make([]int, len(p.engineered)),
+		EngB:      make([]int, len(p.engineered)),
+		W:         l.W[0],
+		Bias:      l.B[0],
+		Threshold: d.Threshold,
+	}
+	for j, f := range p.engineered {
+		cfg.EngA[j] = f.A
+		cfg.EngB[j] = f.B
+	}
+	// The raw dimension is implied by the derived space the plan indexes
+	// into; with maxima present the dataset's derived dimension pins it,
+	// otherwise size the space to cover the plan's largest index.
+	if maxima != nil {
+		if len(maxima)%int(hpc.NumDerivedKinds) != 0 {
+			return nil, fmt.Errorf("detect: maxima length %d is not a whole derived space", len(maxima))
+		}
+		cfg.RawDim = len(maxima) / int(hpc.NumDerivedKinds)
+		cfg.Norm = make([]float64, len(p.indices))
+		for i, ix := range p.indices {
+			if ix >= len(maxima) {
+				return nil, fmt.Errorf("detect: feature %q slot %d outside maxima space %d", p.names[i], ix, len(maxima))
+			}
+			cfg.Norm[i] = maxima[ix]
+		}
+	} else {
+		maxIdx := 0
+		for _, ix := range p.indices {
+			if ix > maxIdx {
+				maxIdx = ix
+			}
+		}
+		cfg.RawDim = maxIdx/int(hpc.NumDerivedKinds) + 1
+	}
+	return kernel.Compile(cfg)
+}
+
+// derivedKernel returns the detector's cached derived-space kernel, compiling
+// it on first use. Deep detectors return nil and score through ml.Network.
+// TrainVectors invalidates the cache (the kernel snapshots weights).
+func (d *Detector) derivedKernel() *kernel.Scorer {
+	if d.kernTried {
+		return d.kern
+	}
+	d.kernTried = true
+	if s, err := CompileScorer(d, nil); err == nil { //evaxlint:ignore hotpath one-time lazy compile; steady-state scoring reuses the kernel
+		d.kern = s
+	}
+	return d.kern
+}
+
+// invalidateKernel drops the cached kernel after a weight mutation.
+func (d *Detector) invalidateKernel() {
+	d.kern = nil
+	d.kernTried = false
+}
+
+// ScoreBatch scores the dataset samples at idx into out (len(out) ==
+// len(idx)) through the fused kernel, falling back to the network for deep
+// detectors. Zero allocations in steady state for kernel-capable detectors.
+//
+//evaxlint:hotpath
+func (d *Detector) ScoreBatch(ds *dataset.Dataset, idx []int, out []float64) {
+	if len(out) != len(idx) {
+		panic(fmt.Sprintf("detect: ScoreBatch out %d vs idx %d", len(out), len(idx)))
+	}
+	if k := d.derivedKernel(); k != nil {
+		for j, i := range idx {
+			out[j] = k.ScoreDerived(ds.Samples[i].Derived)
+		}
+		return
+	}
+	for j, i := range idx {
+		out[j] = d.Score(ds.Samples[i].Derived)
+	}
+}

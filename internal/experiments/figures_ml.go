@@ -38,8 +38,8 @@ func Figure6(lab *Lab) Figure6Result {
 	featNames := []string{"commit.Faults", "branchPred.RASUnderflows", "lsq.squashedLoads"}
 	var featPos []int
 	for _, n := range featNames {
-		for i, fn := range fs.Names() {
-			if fn == n {
+		for i := 0; i < fs.BaseDim(); i++ {
+			if fs.NameAt(i) == n {
 				featPos = append(featPos, i)
 			}
 		}

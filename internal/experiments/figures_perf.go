@@ -236,13 +236,16 @@ func Figure15(lab *Lab) Figure15Result {
 			evFS.SetEngineered(lab.Mined)
 			ev = detect.NewPerceptron(lab.Opts.Seed, evFS)
 			ev.Train(train, idx, detect.DefaultTrainOptions())
-			var benignPS, benignEV []float64
+			var benignIdx []int
 			for i := range train.Samples {
 				if !train.Samples[i].Malicious {
-					benignPS = append(benignPS, ps.Score(train.Samples[i].Derived))
-					benignEV = append(benignEV, ev.Score(train.Samples[i].Derived))
+					benignIdx = append(benignIdx, i)
 				}
 			}
+			benignPS := make([]float64, len(benignIdx))
+			benignEV := make([]float64, len(benignIdx))
+			ps.ScoreBatch(train, benignIdx, benignPS)
+			ev.ScoreBatch(train, benignIdx, benignEV)
 			ps.TuneThresholdForFPR(benignPS, lab.Opts.TargetFPR)
 			ev.TuneThresholdForFPR(benignEV, lab.Opts.TargetFPR)
 		}

@@ -292,28 +292,30 @@ func (lab *Lab) trainDetectors() {
 	lab.tuneThreshold(lab.EVAX)
 }
 
+// benignTrainScores scores the benign slice of the training corpus through
+// the detector's fused batch path.
+func (lab *Lab) benignTrainScores(d *detect.Detector) []float64 {
+	var idx []int
+	for i := range lab.DS.Samples {
+		if !lab.DS.Samples[i].Malicious {
+			idx = append(idx, i)
+		}
+	}
+	scores := make([]float64, len(idx))
+	d.ScoreBatch(lab.DS, idx, scores)
+	return scores
+}
+
 // tuneThresholdAt sets a detector's operating point from benign training
 // scores at an explicit target FPR.
 func (lab *Lab) tuneThresholdAt(d *detect.Detector, fpr float64) {
-	var benign []float64
-	for i := range lab.DS.Samples {
-		if !lab.DS.Samples[i].Malicious {
-			benign = append(benign, d.Score(lab.DS.Samples[i].Derived))
-		}
-	}
-	d.TuneThresholdForFPR(benign, fpr)
+	d.TuneThresholdForFPR(lab.benignTrainScores(d), fpr)
 }
 
 // tuneThreshold sets a detector's operating point from benign training
 // scores at the lab's target FPR.
 func (lab *Lab) tuneThreshold(d *detect.Detector) {
-	var benign []float64
-	for i := range lab.DS.Samples {
-		if !lab.DS.Samples[i].Malicious {
-			benign = append(benign, d.Score(lab.DS.Samples[i].Derived))
-		}
-	}
-	d.TuneThresholdForFPR(benign, lab.Opts.TargetFPR)
+	d.TuneThresholdForFPR(lab.benignTrainScores(d), lab.Opts.TargetFPR)
 }
 
 // TrainDetectorLike builds and trains a fresh detector with the same recipe

@@ -316,50 +316,66 @@ func (e *Expander) ExpandInto(dst []float64, s Sample) {
 		panic(fmt.Sprintf("hpc: ExpandInto dims: sample %d (plan %d), dst %d (plan %d)",
 			len(s.Values), e.n, len(dst), len(e.src)))
 	}
-	var total float64
-	for _, v := range s.Values {
-		total += v
-	}
-	instrK := float64(s.Instructions) / 1000
-	if fmath.Zero(instrK) {
-		instrK = 1
-	}
-	cyc := float64(s.Cycles)
-	if fmath.Zero(cyc) {
-		cyc = 1
-	}
+	total, instrK, cyc := WindowTerms(s.Values, s.Instructions, s.Cycles)
 	for j, si := range e.src {
-		v := s.Values[si]
-		switch e.op[j] {
-		case DerivedTotal:
-			dst[j] = v
-		case DerivedRate:
-			dst[j] = v / instrK
-		case DerivedPerCycle:
-			dst[j] = v / cyc
-		case DerivedBurst:
-			dst[j] = v * v / cyc
-		case DerivedPresence:
-			if v > 0 {
-				dst[j] = 1
-			} else {
-				dst[j] = 0
-			}
-		case DerivedLog:
-			dst[j] = log2p1(v)
-		default: // DerivedShare
-			if total > 0 {
-				dst[j] = v / total
-			} else {
-				dst[j] = 0
-			}
-		}
+		dst[j] = EvalDerived(e.op[j], s.Values[si], total, instrK, cyc)
 	}
 }
 
-func log2p1(v float64) float64 {
-	// Cheap log2(1+v) via frexp-free iteration; v is a counter delta so
-	// precision demands are low. Use a small series around powers of two.
+// WindowTerms computes the per-window denominators every derived view
+// shares: the summed event count (DerivedShare), instructions in thousands
+// and elapsed cycles, both guarded to 1 for empty windows. Factored out of
+// ExpandInto so the fused scoring kernel (internal/kernel) evaluates exactly
+// the float-op sequence of the reference expansion — bit-identity between
+// the two paths holds by construction, not by parallel maintenance.
+func WindowTerms(values []float64, instructions, cycles uint64) (total, instrK, cyc float64) {
+	for _, v := range values {
+		total += v
+	}
+	instrK = float64(instructions) / 1000
+	if fmath.Zero(instrK) {
+		instrK = 1
+	}
+	cyc = float64(cycles)
+	if fmath.Zero(cyc) {
+		cyc = 1
+	}
+	return total, instrK, cyc
+}
+
+// EvalDerived computes one derived view of raw counter delta v given the
+// window terms from WindowTerms. This is the single source of truth for the
+// derived-statistic formulas: the Expander and the fused kernel both call
+// it, so their outputs are bit-identical per slot.
+func EvalDerived(op DerivedKind, v, total, instrK, cyc float64) float64 {
+	switch op {
+	case DerivedTotal:
+		return v
+	case DerivedRate:
+		return v / instrK
+	case DerivedPerCycle:
+		return v / cyc
+	case DerivedBurst:
+		return v * v / cyc
+	case DerivedPresence:
+		if v > 0 {
+			return 1
+		}
+		return 0
+	case DerivedLog:
+		return Log2p1(v)
+	default: // DerivedShare
+		if total > 0 {
+			return v / total
+		}
+		return 0
+	}
+}
+
+// Log2p1 is a cheap log2(1+v) via frexp-free iteration; v is a counter
+// delta so precision demands are low: linear interpolation of log2 on
+// [1,2) after halving down (log2(x) ~ x-1).
+func Log2p1(v float64) float64 {
 	if v <= 0 {
 		return 0
 	}
@@ -369,7 +385,6 @@ func log2p1(v float64) float64 {
 		x /= 2
 		n++
 	}
-	// linear interpolation of log2 on [1,2): log2(x) ~ x-1
 	return n + (x - 1)
 }
 

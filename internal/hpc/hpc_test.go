@@ -242,9 +242,9 @@ func TestTopK(t *testing.T) {
 func TestLog2p1Monotonic(t *testing.T) {
 	prev := -1.0
 	for v := 0.0; v < 1e6; v = v*1.7 + 1 {
-		got := log2p1(v)
+		got := Log2p1(v)
 		if got < prev {
-			t.Fatalf("log2p1 not monotonic at %v", v)
+			t.Fatalf("Log2p1 not monotonic at %v", v)
 		}
 		prev = got
 	}

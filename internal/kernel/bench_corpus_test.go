@@ -1,0 +1,61 @@
+package kernel_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"evax/internal/kernel"
+)
+
+// corpusRows stages the fixture corpus contiguously — the shard-flush shape
+// both backends serve.
+func corpusRows(b *testing.B) (*kernel.Scorer, *kernel.QuantScorer, []float64, []uint64, []uint64, []float64) {
+	b.Helper()
+	t := &testing.T{}
+	f := buildFixture(t)
+	if t.Failed() {
+		b.Fatal("fixture build failed")
+	}
+	q, err := kernel.Quantize(f.kern)
+	if err != nil {
+		b.Fatalf("Quantize: %v", err)
+	}
+	n := len(f.ds.Samples)
+	d := len(f.ds.Samples[0].Raw)
+	raw := make([]float64, n*d)
+	instr := make([]uint64, n)
+	cycles := make([]uint64, n)
+	for i := range f.ds.Samples {
+		s := &f.ds.Samples[i]
+		copy(raw[i*d:(i+1)*d], s.Raw)
+		instr[i] = s.Instructions
+		cycles[i] = s.Cycles
+	}
+	// Shuffle rows deterministically so branch predictors see serving-like
+	// arrival order rather than campaign order.
+	rng := rand.New(rand.NewSource(3))
+	rng.Shuffle(n, func(i, j int) {
+		copy(raw[i*d:(i+1)*d], raw[j*d:(j+1)*d])
+		instr[i], instr[j] = instr[j], instr[i]
+		cycles[i], cycles[j] = cycles[j], cycles[i]
+	})
+	return f.kern, q, raw, instr, cycles, make([]float64, n)
+}
+
+func BenchmarkCorpusRowsFloat(b *testing.B) {
+	k, _, raw, instr, cycles, out := corpusRows(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.ScoreRawRows(raw, instr, cycles, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(out)), "ns/sample")
+}
+
+func BenchmarkCorpusRowsQuant(b *testing.B) {
+	_, q, raw, instr, cycles, out := corpusRows(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ScoreRawRows(raw, instr, cycles, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(out)), "ns/sample")
+}

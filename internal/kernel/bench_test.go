@@ -1,0 +1,52 @@
+package kernel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// benchRows builds a realistic-shape scorer (EVAX: 115 counters, 133 base +
+// 12 engineered) and a block of raw rows.
+func benchRows(b *testing.B) (*Scorer, *QuantScorer, []float64, []uint64, []uint64, []float64) {
+	b.Helper()
+	s, err := randomScorerFrom(rand.New(rand.NewSource(1)), 115, 133, 12)
+	if err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	q, err := Quantize(s)
+	if err != nil {
+		b.Fatalf("Quantize: %v", err)
+	}
+	const rows = 64
+	rng := rand.New(rand.NewSource(2))
+	raw := make([]float64, rows*s.rawDim)
+	for i := range raw {
+		raw[i] = float64(rng.Intn(300))
+	}
+	instr := make([]uint64, rows)
+	cycles := make([]uint64, rows)
+	for i := range instr {
+		instr[i] = uint64(2000 + rng.Intn(2000))
+		cycles[i] = uint64(3000 + rng.Intn(4000))
+	}
+	out := make([]float64, rows)
+	return s, q, raw, instr, cycles, out
+}
+
+func BenchmarkScoreRawRowsFloat(b *testing.B) {
+	s, _, raw, instr, cycles, out := benchRows(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ScoreRawRows(raw, instr, cycles, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(out)), "ns/sample")
+}
+
+func BenchmarkScoreRawRowsQuant(b *testing.B) {
+	_, q, raw, instr, cycles, out := benchRows(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.ScoreRawRows(raw, instr, cycles, out)
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*len(out)), "ns/sample")
+}

@@ -1,0 +1,396 @@
+// Quantized backend of the fused kernel: int8 weights on a power-of-two
+// scale ladder, Q8 fixed-point inputs, integer accumulation — the paper's
+// hardware perceptron arithmetic (perceptron.QuantizedLinear) executed over
+// the real feature space. The speed win over the float backend is divide
+// elimination: where the float path must keep the per-feature divides (v/max
+// normalization, per-instruction and per-cycle views) for bit-identity, the
+// quantized path folds normalize+quantize into one multiply, qx = round(v *
+// XOne/max), and replaces the window-term divides with per-row reciprocals —
+// its accuracy contract is the verdict-agreement gate, not bit-identity.
+package kernel
+
+import (
+	"fmt"
+	"math"
+
+	"evax/internal/hpc"
+	"evax/internal/perceptron"
+)
+
+// QuantScorer is the compiled quantized backend. Compiled state is immutable;
+// qx/qx4 are scratch, so concurrent consumers Clone.
+type QuantScorer struct {
+	rawDim  int
+	baseDim int
+
+	src []int32
+	idx []int32
+
+	engA []int32
+	engB []int32
+
+	// qscale folds normalization and fixed-point encoding per base feature:
+	// XOne/max, or 0 for never-observed slots (feature pinned to 0).
+	qscale []float64
+	// qpres is the precomputed fixed-point image of a fired presence view
+	// (quantFold(1, qscale)): presence features reduce to a compare and a
+	// constant in the hot loop.
+	qpres []int32
+
+	// ord lists feature positions grouped by derived view, with grpEnd[g]
+	// the end offset of group g (op grpOp[g]) in ord. The raw hot loops walk
+	// groups so each body is branch-free and fully inlined; regrouping the
+	// integer accumulation is exact because AccBits bounds every partial sum
+	// (no saturation before the final clamp), so the sum is
+	// order-independent.
+	ord    []int32
+	grpOp  []hpc.DerivedKind
+	grpEnd []int32
+
+	lin *perceptron.QuantizedLinear
+	// threshold is the float decision boundary; accThresh is its image in
+	// accumulator units (acc >= accThresh ⟺ sigmoid(Dequant(acc)) >=
+	// threshold, by monotonicity of sigmoid∘Dequant).
+	threshold float64
+	accThresh int32
+
+	qx  []int32 // raw-path scratch: fixed-point base features
+	qx4 []int32 // block-path scratch
+}
+
+// Quantize compiles the quantized backend from a float scorer, quantizing
+// its weights through the perceptron scale ladder. The scorer must have been
+// compiled with normalization maxima (the quantized backend exists for the
+// raw serving path). The decision threshold carries over; retune it against
+// quantized benign scores (TuneThresholdForFPR upstream) for a calibrated
+// operating point.
+func Quantize(s *Scorer) (*QuantScorer, error) {
+	if s.norm == nil {
+		return nil, fmt.Errorf("kernel: quantized backend needs normalization maxima")
+	}
+	lin := perceptron.QuantizeLinear(s.w, s.bias)
+	// The hot loop accumulates in plain int32 and saturates once at the
+	// end. That is exactly the hardware's per-add saturation as long as
+	// every partial sum fits the accumulator: inputs are bounded by XOne,
+	// so every partial sum is bounded by the worst-case span AccBits was
+	// sized for. A model whose span hits the int32 cap would break the
+	// equivalence, so refuse it.
+	if lin.AccBits >= 31 {
+		return nil, fmt.Errorf("kernel: quantized span needs %d accumulator bits", lin.AccBits)
+	}
+	q := &QuantScorer{
+		rawDim:  s.rawDim,
+		baseDim: s.baseDim,
+		src:     s.src,
+		idx:     s.idx,
+		engA:    s.engA,
+		engB:    s.engB,
+		qscale:  make([]float64, s.baseDim),
+		qpres:   make([]int32, s.baseDim),
+		lin:     lin,
+		qx:      make([]int32, s.baseDim),
+		qx4:     make([]int32, blockRows*s.baseDim),
+	}
+	for i, m := range s.norm {
+		if m > 0 {
+			q.qscale[i] = perceptron.XOne / m
+		}
+		q.qpres[i] = quantFold(1, q.qscale[i])
+	}
+	for kind := hpc.DerivedKind(0); kind < hpc.NumDerivedKinds; kind++ {
+		before := len(q.ord)
+		for i, op := range s.op {
+			if op == kind {
+				q.ord = append(q.ord, int32(i))
+			}
+		}
+		if len(q.ord) > before {
+			q.grpOp = append(q.grpOp, kind)
+			q.grpEnd = append(q.grpEnd, int32(len(q.ord)))
+		}
+	}
+	q.SetThreshold(s.threshold)
+	return q, nil
+}
+
+// Clone returns a quantized scorer sharing compiled state with private
+// scratch.
+func (q *QuantScorer) Clone() *QuantScorer {
+	c := *q
+	c.qx = make([]int32, q.baseDim)
+	c.qx4 = make([]int32, blockRows*q.baseDim)
+	return &c
+}
+
+// CloneBackend implements Backend.
+func (q *QuantScorer) CloneBackend() Backend { return q.Clone() }
+
+// RawDim returns the base counter space size.
+func (q *QuantScorer) RawDim() int { return q.rawDim }
+
+// Lin exposes the quantized model (weights, scale, accumulator width).
+func (q *QuantScorer) Lin() *perceptron.QuantizedLinear { return q.lin }
+
+// Threshold returns the float decision boundary.
+func (q *QuantScorer) Threshold() float64 { return q.threshold }
+
+// SetThreshold installs a (typically re-tuned) float decision boundary and
+// maps it into accumulator units: accThresh is the smallest accumulator
+// value whose dequantized sigmoid clears t, via the logit inverse
+// acc >= Scale()·ln(t/(1-t)).
+func (q *QuantScorer) SetThreshold(t float64) {
+	q.threshold = t
+	switch {
+	case t <= 0:
+		q.accThresh = math.MinInt32
+	case t >= 1:
+		q.accThresh = math.MaxInt32
+	default:
+		q.accThresh = int32(math.Ceil(q.lin.Scale() * math.Log(t/(1-t))))
+	}
+}
+
+// quantFold applies the folded normalize+quantize: round(v·qscale) clamped
+// to [0, XOne]. Derived values are non-negative (counter deltas and their
+// views), so the low clamp only guards the qscale==0 pinned-feature case.
+func quantFold(v, qscale float64) int32 {
+	f := v * qscale
+	if f <= 0 {
+		return 0
+	}
+	if f >= perceptron.XOne {
+		return perceptron.XOne
+	}
+	return int32(f + 0.5)
+}
+
+// rowInverses precomputes the reciprocals of one row's window terms so the
+// per-feature loop is multiply-only: the quantized path's latitude over the
+// float kernel, which must keep every divide for bit-identity. x·(1/y)
+// differs from x/y by at most one ulp — inside the ±1 quantization step the
+// agreement gate already absorbs.
+func rowInverses(values []float64, instructions, cycles uint64) (invTotal, invInstrK, invCyc float64) {
+	total, instrK, cyc := hpc.WindowTerms(values, instructions, cycles)
+	if total > 0 {
+		invTotal = 1 / total
+	}
+	return invTotal, 1 / instrK, 1 / cyc
+}
+
+// quantRow fills qx with the fixed-point image of one raw row, walking the
+// compiled per-view groups so every group body is a branch-free multiply
+// loop with quantFold inlined. The view formulas match hpc.EvalDerived with
+// divides replaced by the reciprocals (one ulp of latitude the agreement
+// gate absorbs).
+func (q *QuantScorer) quantRow(qx []int32, row []float64, invTotal, invInstrK, invCyc float64) {
+	pos := int32(0)
+	for g, end := range q.grpEnd {
+		seg := q.ord[pos:end]
+		switch q.grpOp[g] {
+		case hpc.DerivedTotal:
+			for _, i := range seg {
+				qx[i] = quantFold(row[q.src[i]], q.qscale[i])
+			}
+		case hpc.DerivedRate:
+			for _, i := range seg {
+				qx[i] = quantFold(row[q.src[i]]*invInstrK, q.qscale[i])
+			}
+		case hpc.DerivedPerCycle:
+			for _, i := range seg {
+				qx[i] = quantFold(row[q.src[i]]*invCyc, q.qscale[i])
+			}
+		case hpc.DerivedBurst:
+			for _, i := range seg {
+				v := row[q.src[i]]
+				qx[i] = quantFold(v*v*invCyc, q.qscale[i])
+			}
+		case hpc.DerivedPresence:
+			for _, i := range seg {
+				if row[q.src[i]] > 0 {
+					qx[i] = q.qpres[i]
+				} else {
+					qx[i] = 0
+				}
+			}
+		case hpc.DerivedLog:
+			for _, i := range seg {
+				qx[i] = quantFold(hpc.Log2p1(row[q.src[i]]), q.qscale[i])
+			}
+		default: // DerivedShare
+			for _, i := range seg {
+				qx[i] = quantFold(row[q.src[i]]*invTotal, q.qscale[i])
+			}
+		}
+		pos = end
+	}
+}
+
+// accumulate runs the integer dot product over fixed-point base features:
+// bias seed, int8×Q8 multiply-adds for base then engineered features
+// ((qa·qb)>>XShift keeps products in Q8), one saturation at the end —
+// equivalent to per-add saturation because AccBits covers the span (checked
+// at Quantize time).
+func (q *QuantScorer) accumulate(qx []int32) int32 {
+	acc := q.lin.Bias
+	w := q.lin.W
+	for i, v := range qx {
+		acc += int32(w[i]) * v
+	}
+	wEng := w[q.baseDim:]
+	for j, a := range q.engA {
+		e := (qx[a] * qx[q.engB[j]]) >> perceptron.XShift
+		acc += int32(wEng[j]) * e
+	}
+	return q.lin.SatAdd(acc, 0)
+}
+
+// score maps an accumulator value to the sigmoid score domain.
+func (q *QuantScorer) score(acc int32) float64 { return sigmoid(q.lin.Dequant(acc)) }
+
+// AccRaw computes the saturating accumulator value for one raw window — the
+// integer the hardware comparator sees. Zero heap allocations.
+//
+//evaxlint:hotpath
+func (q *QuantScorer) AccRaw(values []float64, instructions, cycles uint64) int32 {
+	if len(values) != q.rawDim {
+		panic(fmt.Sprintf("kernel: AccRaw row has %d counters, plan has %d", len(values), q.rawDim))
+	}
+	invT, invK, invC := rowInverses(values, instructions, cycles)
+	q.quantRow(q.qx, values, invT, invK, invC)
+	return q.accumulate(q.qx)
+}
+
+// ScoreRaw scores one raw window on the quantized path, mapping the
+// accumulator back to the sigmoid score domain. Zero heap allocations.
+//
+//evaxlint:hotpath
+func (q *QuantScorer) ScoreRaw(values []float64, instructions, cycles uint64) float64 {
+	return q.score(q.AccRaw(values, instructions, cycles))
+}
+
+// FlagRaw reports malicious for one raw window with a pure integer compare
+// against the threshold's accumulator image — the hardware decision.
+//
+//evaxlint:hotpath
+func (q *QuantScorer) FlagRaw(values []float64, instructions, cycles uint64) bool {
+	return q.AccRaw(values, instructions, cycles) >= q.accThresh
+}
+
+// ScoreRawRows scores rows of contiguous raw counter data, blockRows rows
+// per sweep over the compiled constants. Zero heap allocations.
+//
+//evaxlint:hotpath
+func (q *QuantScorer) ScoreRawRows(raw []float64, instr, cycles []uint64, out []float64) {
+	rows := len(out)
+	if len(raw) != rows*q.rawDim || len(instr) != rows || len(cycles) != rows {
+		panic(fmt.Sprintf("kernel: ScoreRawRows dims: raw %d (want %d), instr %d, cycles %d, out %d",
+			len(raw), rows*q.rawDim, len(instr), len(cycles), rows))
+	}
+	r := 0
+	for ; r+blockRows <= rows; r += blockRows {
+		q.quantScore4(raw[r*q.rawDim:(r+blockRows)*q.rawDim], instr[r:], cycles[r:], out[r:r+blockRows])
+	}
+	for ; r < rows; r++ {
+		out[r] = q.ScoreRaw(raw[r*q.rawDim:(r+1)*q.rawDim], instr[r], cycles[r])
+	}
+}
+
+// quantScore4 is the unrolled quantized block body: four rows expanded
+// through the grouped per-view loops, then one four-lane integer dot product
+// over the fixed-point scratch; arithmetic per row is identical to AccRaw up
+// to accumulation order, which AccBits makes exact.
+func (q *QuantScorer) quantScore4(raw []float64, instr, cycles []uint64, out []float64) {
+	d := q.rawDim
+	r0 := raw[0*d : 1*d]
+	r1 := raw[1*d : 2*d]
+	r2 := raw[2*d : 3*d]
+	r3 := raw[3*d : 4*d]
+	t0, k0, c0 := rowInverses(r0, instr[0], cycles[0])
+	t1, k1, c1 := rowInverses(r1, instr[1], cycles[1])
+	t2, k2, c2 := rowInverses(r2, instr[2], cycles[2])
+	t3, k3, c3 := rowInverses(r3, instr[3], cycles[3])
+	b := q.baseDim
+	q0 := q.qx4[0*b : 1*b]
+	q1 := q.qx4[1*b : 2*b]
+	q2 := q.qx4[2*b : 3*b]
+	q3 := q.qx4[3*b : 4*b]
+	q.quantRow(q0, r0, t0, k0, c0)
+	q.quantRow(q1, r1, t1, k1, c1)
+	q.quantRow(q2, r2, t2, k2, c2)
+	q.quantRow(q3, r3, t3, k3, c3)
+	a0, a1, a2, a3 := q.lin.Bias, q.lin.Bias, q.lin.Bias, q.lin.Bias
+	w := q.lin.W
+	for i := 0; i < b; i++ {
+		wi := int32(w[i])
+		a0 += wi * q0[i]
+		a1 += wi * q1[i]
+		a2 += wi * q2[i]
+		a3 += wi * q3[i]
+	}
+	wEng := w[b:]
+	for j, a := range q.engA {
+		bb := q.engB[j]
+		wj := int32(wEng[j])
+		a0 += wj * ((q0[a] * q0[bb]) >> perceptron.XShift)
+		a1 += wj * ((q1[a] * q1[bb]) >> perceptron.XShift)
+		a2 += wj * ((q2[a] * q2[bb]) >> perceptron.XShift)
+		a3 += wj * ((q3[a] * q3[bb]) >> perceptron.XShift)
+	}
+	out[0] = q.score(q.lin.SatAdd(a0, 0))
+	out[1] = q.score(q.lin.SatAdd(a1, 0))
+	out[2] = q.score(q.lin.SatAdd(a2, 0))
+	out[3] = q.score(q.lin.SatAdd(a3, 0))
+}
+
+// ScoreDerived scores an already normalized derived-space row on the
+// quantized path. Inputs are fixed-point encoded from the normalized values
+// directly (perceptron.QuantizeInput); no scratch, safe to share.
+//
+//evaxlint:hotpath
+func (q *QuantScorer) ScoreDerived(derived []float64) float64 {
+	acc := q.lin.Bias
+	w := q.lin.W
+	for i, ix := range q.idx {
+		acc += int32(w[i]) * perceptron.QuantizeInput(derived[ix])
+	}
+	wEng := w[q.baseDim:]
+	for j, a := range q.engA {
+		qa := perceptron.QuantizeInput(derived[q.idx[a]])
+		qb := perceptron.QuantizeInput(derived[q.idx[q.engB[j]]])
+		acc += int32(wEng[j]) * ((qa * qb) >> perceptron.XShift)
+	}
+	return q.score(q.lin.SatAdd(acc, 0))
+}
+
+// ScoreBase scores a gathered normalized base-feature vector on the
+// quantized path (the evasion tooling's vector form). Stateless.
+//
+//evaxlint:hotpath
+func (q *QuantScorer) ScoreBase(base []float64) float64 {
+	acc := q.lin.Bias
+	w := q.lin.W
+	for i := 0; i < q.baseDim; i++ {
+		acc += int32(w[i]) * perceptron.QuantizeInput(base[i])
+	}
+	wEng := w[q.baseDim:]
+	for j, a := range q.engA {
+		qa := perceptron.QuantizeInput(base[a])
+		qb := perceptron.QuantizeInput(base[q.engB[j]])
+		acc += int32(wEng[j]) * ((qa * qb) >> perceptron.XShift)
+	}
+	return q.score(q.lin.SatAdd(acc, 0))
+}
+
+// ScoreDerivedRows scores rows of contiguous derived-space data on the
+// quantized path. Zero heap allocations.
+//
+//evaxlint:hotpath
+func (q *QuantScorer) ScoreDerivedRows(data []float64, stride int, out []float64) {
+	rows := len(out)
+	if len(data) != rows*stride {
+		panic(fmt.Sprintf("kernel: ScoreDerivedRows dims: data %d, want %d rows of %d", len(data), rows, stride))
+	}
+	for r := 0; r < rows; r++ {
+		out[r] = q.ScoreDerived(data[r*stride : (r+1)*stride])
+	}
+}

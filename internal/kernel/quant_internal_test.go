@@ -1,0 +1,138 @@
+package kernel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"evax/internal/hpc"
+	"evax/internal/perceptron"
+)
+
+// randomScorer compiles a raw-capable scorer over a synthetic plan: nFeat
+// features drawn across all derived views, nEng engineered pairs, random
+// weights and maxima (a fraction of slots never observed → max 0).
+func randomScorer(t *testing.T, seed int64, rawDim, nFeat, nEng int) *Scorer {
+	t.Helper()
+	s, err := randomScorerFrom(rand.New(rand.NewSource(seed)), rawDim, nFeat, nEng)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	return s
+}
+
+func randomScorerFrom(rng *rand.Rand, rawDim, nFeat, nEng int) (*Scorer, error) {
+	space := hpc.DerivedSpaceSize(rawDim)
+	perm := rng.Perm(space)
+	cfg := Config{
+		RawDim:  rawDim,
+		Indices: perm[:nFeat],
+		Norm:    make([]float64, nFeat),
+		W:       make([]float64, nFeat+nEng),
+		Bias:    rng.NormFloat64(),
+	}
+	for i := range cfg.Norm {
+		if rng.Intn(8) != 0 {
+			cfg.Norm[i] = rng.Float64()*100 + 0.5
+		}
+	}
+	for j := 0; j < nEng; j++ {
+		cfg.EngA = append(cfg.EngA, rng.Intn(nFeat))
+		cfg.EngB = append(cfg.EngB, rng.Intn(nFeat))
+	}
+	for i := range cfg.W {
+		cfg.W[i] = rng.NormFloat64() * 0.4
+	}
+	return Compile(cfg)
+}
+
+// The kernel's fused integer accumulation (plain adds, one final clamp)
+// must equal the perceptron reference model's per-add saturating Accumulate
+// over the same fixed-point inputs — the hardware-equivalence contract.
+func TestQuantAccumulateMatchesPerceptron(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		s := randomScorer(t, seed, 24, 40, 6)
+		q, err := Quantize(s)
+		if err != nil {
+			t.Fatalf("Quantize: %v", err)
+		}
+		rng := rand.New(rand.NewSource(seed * 97))
+		values := make([]float64, s.rawDim)
+		for trial := 0; trial < 50; trial++ {
+			for i := range values {
+				values[i] = math.Floor(rng.Float64() * 200)
+			}
+			instr := uint64(rng.Intn(10_000))
+			cycles := uint64(rng.Intn(20_000))
+			acc := q.AccRaw(values, instr, cycles)
+			// After AccRaw the scratch holds the fixed-point base
+			// features; extend with the engineered Q8 products to form
+			// the reference model's full input vector.
+			qfull := append([]int32(nil), q.qx...)
+			for j, a := range q.engA {
+				qfull = append(qfull, (q.qx[a]*q.qx[q.engB[j]])>>perceptron.XShift)
+			}
+			if want := q.lin.Accumulate(qfull); acc != want {
+				t.Fatalf("seed %d trial %d: fused acc %d != perceptron reference %d", seed, trial, acc, want)
+			}
+			// Score/Flag must be consistent views of the same accumulator.
+			score := q.ScoreRaw(values, instr, cycles)
+			if math.Float64bits(score) != math.Float64bits(sigmoid(q.lin.Dequant(acc))) {
+				t.Fatalf("ScoreRaw inconsistent with AccRaw")
+			}
+		}
+	}
+}
+
+// quantFold must agree with the unfused reference — normalize (divide +
+// clamp) then fixed-point encode — within one quantization step, and agree
+// exactly on the clamp boundaries.
+func TestQuantFoldMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		max := rng.Float64()*50 + 0.01
+		v := rng.Float64() * max * 1.5 // past the clamp some of the time
+		folded := quantFold(v, perceptron.XOne/max)
+		unfused := perceptron.QuantizeInput(normClamp(v, max))
+		if d := folded - unfused; d < -1 || d > 1 {
+			t.Fatalf("v=%v max=%v: folded %d vs unfused %d", v, max, folded, unfused)
+		}
+		if v >= max && folded != perceptron.XOne {
+			t.Fatalf("v=%v max=%v: clamp missed, folded %d", v, max, folded)
+		}
+	}
+	if quantFold(5, 0) != 0 {
+		t.Fatal("never-observed slot must quantize to 0")
+	}
+	if quantFold(-1, 100) != 0 {
+		t.Fatal("negative value must clamp to 0")
+	}
+}
+
+// The threshold's accumulator image must implement the same decision as the
+// sigmoid-domain comparison: acc >= accThresh ⟺ sigmoid(Dequant(acc)) >= t.
+func TestAccThresholdMatchesSigmoidDecision(t *testing.T) {
+	s := randomScorer(t, 3, 24, 40, 6)
+	q, err := Quantize(s)
+	if err != nil {
+		t.Fatalf("Quantize: %v", err)
+	}
+	for _, thr := range []float64{0.2, 0.5, 0.6, 0.9} {
+		q.SetThreshold(thr)
+		for acc := int32(-40_000); acc <= 40_000; acc += 7 {
+			intFlag := acc >= q.accThresh
+			floatFlag := sigmoid(q.lin.Dequant(acc)) >= thr
+			if intFlag != floatFlag {
+				t.Fatalf("t=%v acc=%d: integer decision %v, sigmoid decision %v", thr, acc, intFlag, floatFlag)
+			}
+		}
+	}
+	q.SetThreshold(0)
+	if !q.FlagRaw(make([]float64, s.rawDim), 1, 1) {
+		t.Fatal("threshold 0 must flag everything")
+	}
+	q.SetThreshold(1)
+	if q.FlagRaw(make([]float64, s.rawDim), 1, 1) {
+		t.Fatal("threshold 1 must flag nothing")
+	}
+}

@@ -1,0 +1,253 @@
+package perceptron
+
+import (
+	"math"
+	"testing"
+)
+
+// Table-driven edge cases for the binarized hardware quantizer (Quantize):
+// degenerate weight vectors must still produce a usable hardware config.
+func TestQuantizeEdgeCases(t *testing.T) {
+	cases := []struct {
+		name  string
+		w     []float64
+		bias  float64
+		wantW []int8
+		wantB int8
+	}{
+		{
+			// All-zero model: scale falls back to 2/1, every weight maps
+			// to 0, and prediction degenerates to the bias sign.
+			name:  "all zero weights",
+			w:     []float64{0, 0, 0, 0},
+			bias:  0,
+			wantW: []int8{0, 0, 0, 0},
+			wantB: 0,
+		},
+		{
+			// One dominant weight: it pins the scale, so it maps exactly
+			// to the clamp edge and the small weights vanish to 0.
+			name:  "dominant weight clamps",
+			w:     []float64{100, 0.01, -0.01},
+			bias:  0.02,
+			wantW: []int8{1, 0, 0},
+			wantB: 0,
+		},
+		{
+			// Dominant negative weight maps to the -2 edge of the paper's
+			// [-2, 1] range.
+			name:  "dominant negative weight",
+			w:     []float64{-100, 0.01},
+			bias:  0,
+			wantW: []int8{-2, 0},
+			wantB: 0,
+		},
+		{
+			// Bias larger than every weight sets the scale.
+			name:  "bias dominates",
+			w:     []float64{0.5, -0.5},
+			bias:  -4,
+			wantW: []int8{0, 0},
+			wantB: -2,
+		},
+		{
+			// Uniform magnitudes: everything lands on the clamp edges.
+			name:  "uniform magnitudes",
+			w:     []float64{1, -1, 1},
+			bias:  1,
+			wantW: []int8{1, -2, 1},
+			wantB: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := New(len(tc.w))
+			copy(p.W, tc.w)
+			p.Bias = tc.bias
+			q := p.Quantize()
+			for i, w := range q.W {
+				if w < -2 || w > 1 {
+					t.Fatalf("weight %d = %d outside the paper's [-2, 1] range", i, w)
+				}
+				if w != tc.wantW[i] {
+					t.Errorf("W[%d] = %d, want %d", i, w, tc.wantW[i])
+				}
+			}
+			if q.Bias != tc.wantB {
+				t.Errorf("Bias = %d, want %d", q.Bias, tc.wantB)
+			}
+			if q.Scale <= 0 || math.IsInf(q.Scale, 0) || math.IsNaN(q.Scale) {
+				t.Errorf("Scale = %v, want finite positive", q.Scale)
+			}
+		})
+	}
+}
+
+// AccumulatorBits must cover the worst-case accumulator span for any weight
+// count: with weights in [-2, 1] over n features the range is [-2n, n].
+func TestQuantizeAccumulatorBitsBounds(t *testing.T) {
+	for _, n := range []int{1, 2, 9, 145, 805} {
+		p := New(n)
+		for i := range p.W {
+			if i%2 == 0 {
+				p.W[i] = 1
+			} else {
+				p.W[i] = -1
+			}
+		}
+		q := p.Quantize()
+		bits := q.AccumulatorBits()
+		span := 3*n + 1 // -2n .. +n inclusive
+		if 1<<bits < span {
+			t.Errorf("n=%d: %d bits hold %d values, span is %d", n, bits, 1<<bits, span)
+		}
+		if bits > 1 && 1<<(bits-1) >= span {
+			t.Errorf("n=%d: %d bits is not minimal for span %d", n, bits, span)
+		}
+	}
+	// The paper's 145-feature configuration needs exactly 9 bits.
+	q := &Quantized{W: make([]int8, 145)}
+	if got := q.AccumulatorBits(); got != 9 {
+		t.Errorf("145 features: AccumulatorBits = %d, want 9", got)
+	}
+}
+
+// Table-driven edge cases for the real-feature quantizer (QuantizeLinear):
+// the scale ladder, the int8 clamp, and the accumulator width.
+func TestQuantizeLinearEdgeCases(t *testing.T) {
+	cases := []struct {
+		name      string
+		w         []float64
+		bias      float64
+		wantShift uint
+		check     func(t *testing.T, q *QuantizedLinear)
+	}{
+		{
+			// All-zero model: the ladder climbs to its cap instead of
+			// dividing by zero, weights and bias stay zero.
+			name:      "all zero weights",
+			w:         []float64{0, 0, 0},
+			bias:      0,
+			wantShift: maxWeightShift,
+			check: func(t *testing.T, q *QuantizedLinear) {
+				for i, w := range q.W {
+					if w != 0 {
+						t.Errorf("W[%d] = %d, want 0", i, w)
+					}
+				}
+				if q.Bias != 0 {
+					t.Errorf("Bias = %d, want 0", q.Bias)
+				}
+			},
+		},
+		{
+			// A weight too large for even scale 1 saturates at the int8
+			// clamp rather than failing.
+			name:      "dominant weight clamps to int8",
+			w:         []float64{1000, -1000, 0.5},
+			bias:      0,
+			wantShift: 0,
+			check: func(t *testing.T, q *QuantizedLinear) {
+				if q.W[0] != 127 || q.W[1] != -128 {
+					t.Errorf("W = %v, want clamp edges 127/-128", q.W[:2])
+				}
+			},
+		},
+		{
+			// Weights near 1 take scale 64: round(1.0 * 128) = 128 > 127
+			// stops the ladder one rung below.
+			name:      "unit weights take scale 64",
+			w:         []float64{1, -1},
+			bias:      0,
+			wantShift: 6,
+			check: func(t *testing.T, q *QuantizedLinear) {
+				if q.W[0] != 64 || q.W[1] != -64 {
+					t.Errorf("W = %v, want ±64", q.W)
+				}
+			},
+		},
+		{
+			// Tiny weights stop at the ladder cap instead of blowing tiny
+			// float noise up to full int8 range.
+			name:      "tiny weights capped at ladder top",
+			w:         []float64{1e-9, -1e-9},
+			bias:      0,
+			wantShift: maxWeightShift,
+			check:     func(t *testing.T, q *QuantizedLinear) {},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q := QuantizeLinear(tc.w, tc.bias)
+			if q.Shift != tc.wantShift {
+				t.Errorf("Shift = %d, want %d", q.Shift, tc.wantShift)
+			}
+			if q.AccBits < 1 || q.AccBits > 31 {
+				t.Errorf("AccBits = %d outside [1, 31]", q.AccBits)
+			}
+			tc.check(t, q)
+		})
+	}
+}
+
+// The dequantization scale must round-trip representable weights: for a
+// weight grid exactly on the chosen scale, Dequant(Accumulate(one-hot XOne))
+// recovers w + bias exactly.
+func TestQuantizeLinearScaleRoundTrip(t *testing.T) {
+	w := []float64{0.25, -0.5, 0.75, -1.0, 0.125}
+	bias := 0.5
+	q := QuantizeLinear(w, bias)
+	scale := q.Scale()
+	if want := float64(int64(1)<<q.Shift) * XOne; scale != want { //evaxlint:ignore floateq exact power-of-two identity
+		t.Fatalf("Scale = %v, want %v", scale, want)
+	}
+	for i, wi := range w {
+		qx := make([]int32, len(w))
+		qx[i] = XOne
+		got := q.Dequant(q.Accumulate(qx))
+		if got != wi+bias { //evaxlint:ignore floateq grid weights are exact in fixed point
+			t.Errorf("w[%d]: round-trip %v, want %v", i, got, wi+bias)
+		}
+	}
+}
+
+// AccBits must cover the true worst-case span so that plain int32 adds can
+// never overflow before the final clamp, and a span beyond int32 pins to 31.
+func TestQuantizeLinearAccBitsBounds(t *testing.T) {
+	// Worst-case accumulation at the computed width never exceeds the
+	// signed range: drive every input to XOne with all-positive weights.
+	q := QuantizeLinear([]float64{1, 1, 1, 1}, 1)
+	qx := []int32{XOne, XOne, XOne, XOne}
+	acc := q.Accumulate(qx)
+	if hi := int32(1)<<(q.AccBits-1) - 1; acc > hi {
+		t.Errorf("acc %d exceeds %d-bit range %d", acc, q.AccBits, hi)
+	}
+	want := int64(q.Bias)
+	for _, wi := range q.W {
+		want += int64(wi) * XOne
+	}
+	if int64(acc) != want && acc != int32(1)<<(q.AccBits-1)-1 {
+		t.Errorf("acc = %d, want exact sum %d or saturation", acc, want)
+	}
+
+	// A model whose span exceeds int32 pins AccBits to 31 — the kernel
+	// refuses those (plain-add equivalence needs headroom), but the width
+	// itself must stay a valid int32 clamp.
+	big := make([]float64, 1<<16)
+	for i := range big {
+		big[i] = 1000
+	}
+	qb := QuantizeLinear(big, 0)
+	if qb.AccBits != 31 {
+		t.Errorf("oversized span: AccBits = %d, want 31", qb.AccBits)
+	}
+	// Saturating adds at the 31-bit width clamp to ±2^30 instead of
+	// wrapping.
+	hi, lo := int32(1)<<30-1, -(int32(1) << 30)
+	if got := qb.SatAdd(hi-1, 100); got != hi {
+		t.Errorf("SatAdd(%d, 100) = %d, want clamp at %d", hi-1, got, hi)
+	}
+	if got := qb.SatAdd(lo+1, -100); got != lo {
+		t.Errorf("SatAdd(%d, -100) = %d, want clamp at %d", lo+1, got, lo)
+	}
+}

@@ -1,0 +1,156 @@
+package perceptron
+
+import "math"
+
+// This file extends the paper's binarized hardware perceptron (Quantized)
+// to the real feature space the software detectors score: instead of 0/1
+// inputs, features are max-normalized reals in [0,1], fixed-point encoded
+// at Q(XShift) precision, and multiplied against int8 weights on a
+// power-of-two scale ladder into a saturating integer accumulator. This is
+// the arithmetic model behind the fused kernel's quantized backend
+// (internal/kernel): quantized inference is fidelity to the paper's
+// HW-style detector *and* the fastest serving path.
+
+// XShift is the input fixed-point precision: a normalized feature x in
+// [0,1] encodes as qx = round(x * 2^XShift), so qx spans [0, XOne]. One
+// sign-free byte plus one bit — inputs fit int16 lanes with headroom for
+// the engineered-feature product shift.
+const XShift = 8
+
+// XOne is the fixed-point encoding of feature value 1.0.
+const XOne = 1 << XShift
+
+// maxWeightShift caps the weight scale ladder: tiny-weight models stop
+// climbing here instead of amplifying float noise into full int8 range.
+const maxWeightShift = 12
+
+// QuantizedLinear is a quantized single-layer model over real-valued
+// features: int8 weights at scale 2^Shift, bias pre-scaled into accumulator
+// units, and a saturating accumulator of AccBits bits. The dequantized
+// pre-activation is acc / (2^Shift * 2^XShift).
+type QuantizedLinear struct {
+	W []int8
+	// Bias is the model bias in accumulator units (weight scale × input
+	// scale), so Accumulate seeds with it directly.
+	Bias int32
+	// Shift is the weight scale exponent chosen from the power-of-two
+	// ladder: wq = round(w * 2^Shift), clamped to the int8 range.
+	Shift uint
+	// AccBits is the saturating accumulator width: the smallest signed
+	// width holding the worst-case span Σ|W|·XOne + |Bias|. Partial sums
+	// are monotone in that span (inputs are non-negative), so clamping at
+	// AccBits is exactly the hardware's per-add saturation.
+	AccBits int
+}
+
+// QuantizeLinear builds the quantized model for float weights and bias.
+// The scale ladder picks the largest power-of-two weight scale whose
+// largest scaled magnitude still fits int8; an all-zero model takes the
+// ladder top. A single weight too large for even scale 1 saturates to the
+// int8 clamp — the same behavior as the binarized model's [-2,1] clamp,
+// just at 8-bit resolution.
+func QuantizeLinear(w []float64, bias float64) *QuantizedLinear {
+	maxAbs := math.Abs(bias)
+	for _, wi := range w {
+		if a := math.Abs(wi); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	shift := uint(0)
+	for shift < maxWeightShift {
+		if math.Round(maxAbs*float64(int64(1)<<(shift+1))) > 127 {
+			break
+		}
+		shift++
+	}
+	scale := float64(int64(1) << shift)
+	q := &QuantizedLinear{W: make([]int8, len(w)), Shift: shift}
+	for i, wi := range w {
+		q.W[i] = clampInt8(math.Round(wi * scale))
+	}
+	q.Bias = int32(clampToBits(int64(math.Round(bias*scale*XOne)), 31))
+	span := int64(q.Bias)
+	if span < 0 {
+		span = -span
+	}
+	for _, wi := range q.W {
+		a := int64(wi)
+		if a < 0 {
+			a = -a
+		}
+		span += a * XOne
+	}
+	bits := 1 // sign bit
+	for v := int64(1); v <= span; v <<= 1 {
+		bits++
+	}
+	if bits > 31 {
+		bits = 31
+	}
+	q.AccBits = bits
+	return q
+}
+
+// Scale returns the combined dequantization divisor: weight scale × input
+// scale. Dequant(acc) = acc / Scale() recovers the float pre-activation.
+func (q *QuantizedLinear) Scale() float64 {
+	return float64(int64(1)<<q.Shift) * XOne
+}
+
+// Dequant maps an accumulator value back to the float pre-activation.
+func (q *QuantizedLinear) Dequant(acc int32) float64 {
+	return float64(acc) / q.Scale()
+}
+
+// QuantizeInput fixed-point encodes one normalized feature value, clamping
+// to [0, XOne] (the max-normalization clamp in integer form).
+func QuantizeInput(x float64) int32 {
+	if x <= 0 {
+		return 0
+	}
+	v := int32(x*XOne + 0.5)
+	if v > XOne {
+		return XOne
+	}
+	return v
+}
+
+// SatAdd adds delta into acc saturating at the model's accumulator width —
+// the serial adder's overflow behavior.
+func (q *QuantizedLinear) SatAdd(acc, delta int32) int32 {
+	return int32(clampToBits(int64(acc)+int64(delta), q.AccBits))
+}
+
+// Accumulate runs the quantized dot product over fixed-point inputs
+// (len == len(W)), seeding with the bias and saturating every add.
+func (q *QuantizedLinear) Accumulate(qx []int32) int32 {
+	acc := q.Bias
+	for i, v := range qx {
+		acc = q.SatAdd(acc, int32(q.W[i])*v)
+	}
+	return acc
+}
+
+// clampInt8 rounds-and-clamps a scaled weight into int8.
+func clampInt8(v float64) int8 {
+	if v > 127 {
+		return 127
+	}
+	if v < -128 {
+		return -128
+	}
+	return int8(v)
+}
+
+// clampToBits clamps v to the signed range of the given bit width.
+func clampToBits(v int64, bits int) int64 {
+	hi := int64(1)<<(bits-1) - 1
+	lo := -(int64(1) << (bits - 1))
+	if v > hi {
+		return hi
+	}
+	if v < lo {
+		return lo
+	}
+	return v
+}

@@ -34,6 +34,14 @@ type shard struct {
 	srv *Server
 	ch  chan request
 	sc  *scorer
+
+	// Batch staging scratch, sized to MaxBatch at construction: flush copies
+	// the batch's freelist rows into the contiguous rawBuf and scores the
+	// whole batch in one fused-kernel sweep.
+	rawBuf   []float64
+	instrBuf []uint64
+	cycBuf   []uint64
+	scoreBuf []float64
 }
 
 // run is the batcher loop: collect up to MaxBatch requests or until Linger
@@ -128,13 +136,30 @@ func (sh *shard) flush(batch *[]request, lats *[]time.Duration) {
 	}
 	// run sized lats with cap MaxBatch and the batch never exceeds MaxBatch,
 	// so this reslice stays within capacity.
-	ls := (*lats)[:len(*batch)]
+	n := len(*batch)
+	ls := (*lats)[:n]
+	// Stage the batch contiguously and score it in one kernel sweep: the
+	// fused backends process several rows per pass over the compiled
+	// per-feature constants.
+	d := sh.srv.rawDim
+	raw := sh.rawBuf[: n*d : n*d]
+	instr := sh.instrBuf[:n]
+	cycles := sh.cycBuf[:n]
+	scores := sh.scoreBuf[:n]
 	for i := range *batch {
 		r := &(*batch)[i]
-		score := sh.sc.score(r.raw, r.instructions, r.cycles)
+		copy(raw[i*d:(i+1)*d], r.raw)
+		instr[i] = r.instructions
+		cycles[i] = r.cycles
+	}
+	sh.sc.scoreBatch(raw, instr, cycles, scores)
+	thr := sh.sc.threshold()
+	for i := range *batch {
+		r := &(*batch)[i]
+		score := scores[i]
 		windowEnd := r.instrStart + r.instructions
 		var flags uint8
-		if score >= sh.sc.threshold() {
+		if score >= thr {
 			flags |= VerdictFlagged
 			// Engage (or extend) the mitigation window, exactly the
 			// defense controller's gating rule.

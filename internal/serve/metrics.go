@@ -1,15 +1,27 @@
 package serve
 
 import (
+	"math/bits"
 	"sync"
 	"sync/atomic"
 	"time"
 )
 
-// latencyBuckets is the number of power-of-two latency buckets: bucket i
-// counts verdicts whose enqueue→scored latency fell in [2^i, 2^(i+1)) ns,
-// spanning 1 ns to ~18 s.
-const latencyBuckets = 35
+// The latency histogram is log-linear (HDR-style): each power-of-two octave
+// splits into 2^latencySubBits equal-width sub-buckets, bounding the relative
+// quantization error at ~1/2^latencySubBits (≈6%) everywhere on the scale.
+// Pure power-of-two buckets were too coarse in the serving band — every
+// sub-16ms latency collapsed into a handful of buckets, so p50, p95 and p99
+// all reported the same upper bound. With 16 sub-buckets per octave the
+// resolution at ~8 ms is ~0.5 ms.
+const (
+	latencySubBits    = 4
+	latencySubBuckets = 1 << latencySubBits
+
+	// latencyBuckets spans 1 ns to 2^35 ns (~34 s): buckets 0..15 count
+	// single nanoseconds, then 31 octave groups of 16 sub-buckets each.
+	latencyBuckets = 512
+)
 
 // Metrics aggregates the server's observability counters. Counter fields are
 // atomics updated from connection readers and shard batchers; the histograms
@@ -53,20 +65,38 @@ func (m *Metrics) observeBatch(size int, lats []time.Duration) {
 	m.mu.Unlock()
 }
 
-// latencyBucket maps a duration to its power-of-two bucket index.
+// latencyBucket maps a duration to its log-linear bucket index: values below
+// 2^latencySubBits land in exact single-nanosecond buckets, larger values in
+// bucket group (exp - latencySubBits + 1) sub-bucket (top latencySubBits bits
+// below the leading bit).
 func latencyBucket(d time.Duration) int {
 	ns := d.Nanoseconds()
-	b := 0
-	for ns > 1 && b < latencyBuckets-1 {
-		ns >>= 1
-		b++
+	if ns < 0 {
+		ns = 0
+	}
+	v := uint64(ns)
+	if v < latencySubBuckets {
+		return int(v)
+	}
+	exp := bits.Len64(v) - 1 // position of the leading bit, ≥ latencySubBits
+	sub := int(v>>(uint(exp)-latencySubBits)) - latencySubBuckets
+	b := (exp-latencySubBits+1)*latencySubBuckets + sub
+	if b >= latencyBuckets {
+		return latencyBuckets - 1
 	}
 	return b
 }
 
 // bucketUpperNs returns the exclusive upper bound of latency bucket i in
 // nanoseconds — the value percentile estimation reports.
-func bucketUpperNs(i int) float64 { return float64(uint64(1) << uint(i+1)) }
+func bucketUpperNs(i int) float64 {
+	if i < latencySubBuckets {
+		return float64(i + 1)
+	}
+	group := i / latencySubBuckets // ≥ 1
+	sub := i % latencySubBuckets
+	return float64(uint64(latencySubBuckets+sub+1) << uint(group-1))
+}
 
 // Snapshot is the JSON shape of the /metrics endpoint and of the final drain
 // report.

@@ -1,0 +1,77 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// Every nanosecond value must land in exactly one bucket whose bounds
+// contain it, and bucket indices must be monotone in the value.
+func TestLatencyBucketInvariants(t *testing.T) {
+	prev := -1
+	for _, ns := range []int64{0, 1, 2, 15, 16, 17, 31, 32, 100, 999,
+		1_000, 8_191, 8_192, 1_000_000, 8_390_000, 8_500_000, 9_000_000,
+		1_000_000_000, 30_000_000_000, 1 << 40} {
+		b := latencyBucket(time.Duration(ns))
+		if b < 0 || b >= latencyBuckets {
+			t.Fatalf("%d ns: bucket %d out of range", ns, b)
+		}
+		if b < prev {
+			t.Fatalf("%d ns: bucket %d below previous %d — not monotone", ns, b, prev)
+		}
+		prev = b
+		if up := bucketUpperNs(b); b < latencyBuckets-1 && float64(ns) >= up {
+			t.Fatalf("%d ns: above its bucket %d upper bound %v", ns, b, up)
+		}
+		if b > 0 {
+			if low := bucketUpperNs(b - 1); float64(ns) < low && b < latencyBuckets-1 {
+				t.Fatalf("%d ns: below bucket %d lower bound %v", ns, b, low)
+			}
+		}
+	}
+	// Upper bounds must be strictly increasing — percentile estimation
+	// walks them in order.
+	for i := 1; i < latencyBuckets; i++ {
+		if bucketUpperNs(i) <= bucketUpperNs(i-1) {
+			t.Fatalf("bucket %d upper %v <= bucket %d upper %v",
+				i, bucketUpperNs(i), i-1, bucketUpperNs(i-1))
+		}
+	}
+}
+
+// The log-linear buckets bound relative quantization error at one sub-bucket
+// width (~6%): values near 8.4 ms must not report an upper bound a power of
+// two away.
+func TestLatencyBucketResolution(t *testing.T) {
+	for _, ns := range []int64{100_000, 1_000_000, 8_390_000, 100_000_000} {
+		up := bucketUpperNs(latencyBucket(time.Duration(ns)))
+		if rel := (up - float64(ns)) / float64(ns); rel > 0.07 {
+			t.Errorf("%d ns reports %v ns — %.1f%% over, want ≤ 7%%", ns, up, rel*100)
+		}
+	}
+}
+
+// A latency population spread within one power-of-two octave must yield
+// distinct p50/p95 — the regression the log-linear histogram fixes (the old
+// power-of-two buckets reported p50 == p95 == p99 for any sub-16ms service).
+func TestPercentilesSeparateWithinOctave(t *testing.T) {
+	var hist [latencyBuckets]uint64
+	// 95 samples at ~8.1 ms, 5 at ~15.8 ms: same 2^23 octave.
+	for i := 0; i < 95; i++ {
+		hist[latencyBucket(8_100_000*time.Nanosecond)]++
+	}
+	for i := 0; i < 5; i++ {
+		hist[latencyBucket(15_800_000*time.Nanosecond)]++
+	}
+	p50 := percentileMs(hist, 0.50)
+	p99 := percentileMs(hist, 0.99)
+	if p50 >= p99 {
+		t.Fatalf("p50 %v >= p99 %v: octave-internal spread collapsed", p50, p99)
+	}
+	if p50 > 9 || p50 < 8 {
+		t.Errorf("p50 = %v ms, want ≈ 8.1 ms at sub-ms resolution", p50)
+	}
+	if p99 > 17 || p99 < 15 {
+		t.Errorf("p99 = %v ms, want ≈ 15.8 ms at sub-ms resolution", p99)
+	}
+}

@@ -28,8 +28,9 @@ type ReplayResult struct {
 // (seed, jobs) pair, because each score depends only on its row and the
 // digest is computed in corpus order. That invariant is the service's
 // determinism contract: batching, shard assignment, and scheduling can never
-// change a verdict.
-func Replay(det *detect.Detector, ds *dataset.Dataset, samples []dataset.Sample, seed int64, jobs int) (ReplayResult, error) {
+// change a verdict. backend selects the scoring kernel exactly as
+// Config.Backend does ("" means the float kernel).
+func Replay(det *detect.Detector, ds *dataset.Dataset, samples []dataset.Sample, seed int64, jobs int, backend string) (ReplayResult, error) {
 	if len(samples) == 0 {
 		return ReplayResult{Seed: seed}, nil
 	}
@@ -46,14 +47,14 @@ func Replay(det *detect.Detector, ds *dataset.Dataset, samples []dataset.Sample,
 
 	var pool sync.Pool
 	pool.New = func() any {
-		sc, err := newScorer(det, ds, rawDim)
+		sc, err := newScorer(det, ds, rawDim, backend)
 		if err != nil {
 			panic(err) // dimensions were validated below before any job ran
 		}
 		return sc
 	}
 	// Surface a dimension mismatch as an error, not a job panic.
-	probe, err := newScorer(det, ds, rawDim)
+	probe, err := newScorer(det, ds, rawDim, backend)
 	if err != nil {
 		return ReplayResult{}, err
 	}

@@ -13,7 +13,7 @@ func TestReplayDeterministic(t *testing.T) {
 	det, ds, samples := lab(t)
 	corpus := samples[:min(400, len(samples))]
 
-	ref, err := Replay(det, ds, corpus, 1, 1)
+	ref, err := Replay(det, ds, corpus, 1, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -25,7 +25,7 @@ func TestReplayDeterministic(t *testing.T) {
 	}
 	for _, seed := range []int64{1, 42, 9999} {
 		for _, jobs := range []int{1, 4, 8} {
-			got, err := Replay(det, ds, corpus, seed, jobs)
+			got, err := Replay(det, ds, corpus, seed, jobs, "")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -40,7 +40,7 @@ func TestReplayDeterministic(t *testing.T) {
 	}
 
 	// And the digest is sensitive to the corpus: dropping a row changes it.
-	short, err := Replay(det, ds, corpus[:len(corpus)-1], 1, 1)
+	short, err := Replay(det, ds, corpus[:len(corpus)-1], 1, 1, "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,12 +55,12 @@ func TestReplayDeterministic(t *testing.T) {
 func TestReplayMatchesOnlineScores(t *testing.T) {
 	det, ds, samples := lab(t)
 	corpus := samples[:64]
-	rep, err := Replay(det, ds, corpus, 7, 4)
+	rep, err := Replay(det, ds, corpus, 7, 4, "")
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	sc, err := newScorer(det, ds, len(corpus[0].Raw))
+	sc, err := newScorer(det, ds, len(corpus[0].Raw), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,10 +80,10 @@ func TestReplayRejectsRaggedCorpus(t *testing.T) {
 	det, ds, samples := lab(t)
 	ragged := append([]dataset.Sample{}, samples[:8]...)
 	ragged[5].Raw = ragged[5].Raw[:len(ragged[5].Raw)-1]
-	if _, err := Replay(det, ds, ragged, 1, 2); err == nil {
+	if _, err := Replay(det, ds, ragged, 1, 2, ""); err == nil {
 		t.Fatal("ragged corpus accepted")
 	}
-	empty, err := Replay(det, ds, nil, 1, 2)
+	empty, err := Replay(det, ds, nil, 1, 2, "")
 	if err != nil || empty.Rows != 0 || empty.Flagged != 0 {
 		t.Fatalf("empty corpus: %+v (%v)", empty, err)
 	}

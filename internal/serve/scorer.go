@@ -6,43 +6,79 @@ import (
 	"evax/internal/dataset"
 	"evax/internal/detect"
 	"evax/internal/hpc"
+	"evax/internal/kernel"
 )
 
-// scorer executes the deployed detection pipeline for one raw counter window:
-// compiled derived-space expansion, normalization by the training corpus's
-// maxima, and the detector's gather-and-forward pass. It owns a detector
-// clone and an expansion scratch row, so after construction the score path
-// performs zero heap allocations — and because every step is the exact
-// float-op sequence of the offline path, online scores are bit-identical to
+// Backend selectors for Config.Backend: the fused float kernel (bit-identical
+// to offline scoring) and the quantized int8 kernel (the paper's hardware
+// arithmetic; fastest, gated by verdict agreement).
+const (
+	BackendFloat     = "float"
+	BackendQuantized = "quantized"
+)
+
+// scorer executes the deployed detection pipeline for one raw counter window
+// or one contiguous batch of windows. The production path is the fused
+// kernel (internal/kernel): expansion, normalization, feature gather,
+// engineered features and the dot product in a single pass over only the
+// gathered slots, float or quantized per Config.Backend. Deep detectors —
+// outside the kernel's single-layer model — fall back to the legacy
+// three-pass pipeline. Either way the score path performs zero heap
+// allocations after construction, and the float path is bit-identical to
 // detect.Detector.Score over the same rows.
 type scorer struct {
+	be     kernel.Backend
+	rawDim int
+
+	// Legacy fallback (deep detectors): detector clone + expansion scratch.
 	det     *detect.Detector
 	ds      *dataset.Dataset
 	exp     *hpc.Expander
 	derived []float64
-	rawDim  int
 }
 
-// newScorer compiles a scorer over det (cloned: forward-pass scratch is
-// per-scorer) and the normalizer ds. rawDim is the base counter-space width
-// clients must stream.
-func newScorer(det *detect.Detector, ds *dataset.Dataset, rawDim int) (*scorer, error) {
-	exp := hpc.NewExpander(rawDim)
-	if ds.DerivedDim != exp.Dim() {
+// newScorer compiles a scorer over det and the normalizer ds. rawDim is the
+// base counter-space width clients must stream; backend selects the kernel
+// ("" means float).
+func newScorer(det *detect.Detector, ds *dataset.Dataset, rawDim int, backend string) (*scorer, error) {
+	if ds.DerivedDim != hpc.DerivedSpaceSize(rawDim) {
 		return nil, fmt.Errorf("serve: normalizer covers %d derived features, expansion of %d counters needs %d",
-			ds.DerivedDim, rawDim, exp.Dim())
+			ds.DerivedDim, rawDim, hpc.DerivedSpaceSize(rawDim))
 	}
-	return &scorer{
-		det:     det.Clone(),
-		ds:      ds,
-		exp:     exp,
-		derived: make([]float64, exp.Dim()),
-		rawDim:  rawDim,
-	}, nil
+	sc := &scorer{rawDim: rawDim}
+	k, err := detect.CompileScorer(det, ds.Maxima())
+	switch backend {
+	case BackendQuantized:
+		if err != nil {
+			return nil, fmt.Errorf("serve: quantized backend: %w", err)
+		}
+		q, qerr := kernel.Quantize(k)
+		if qerr != nil {
+			return nil, fmt.Errorf("serve: quantized backend: %w", qerr)
+		}
+		sc.be = q
+	case BackendFloat, "":
+		if err == nil {
+			sc.be = k
+		} else {
+			// Deep detector: keep the legacy expand→normalize→score path.
+			exp := hpc.NewExpander(rawDim)
+			sc.det = det.Clone()
+			sc.ds = ds
+			sc.exp = exp
+			sc.derived = make([]float64, exp.Dim())
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown backend %q (want %q or %q)", backend, BackendFloat, BackendQuantized)
+	}
+	return sc, nil
 }
 
 // score runs the pipeline on one raw window. Zero allocations.
 func (sc *scorer) score(raw []float64, instructions, cycles uint64) float64 {
+	if sc.be != nil {
+		return sc.be.ScoreRaw(raw, instructions, cycles)
+	}
 	sc.exp.ExpandInto(sc.derived, hpc.Sample{
 		Values:       raw,
 		Instructions: instructions,
@@ -52,5 +88,25 @@ func (sc *scorer) score(raw []float64, instructions, cycles uint64) float64 {
 	return sc.det.Score(sc.derived)
 }
 
-// threshold exposes the detector's decision boundary.
-func (sc *scorer) threshold() float64 { return sc.det.Threshold }
+// scoreBatch scores rows of contiguous raw windows (len(out) rows of rawDim
+// values) — the shard flush form, one fused-kernel sweep over the whole
+// batch. Zero allocations.
+//
+//evaxlint:hotpath
+func (sc *scorer) scoreBatch(raw []float64, instr, cycles []uint64, out []float64) {
+	if sc.be != nil {
+		sc.be.ScoreRawRows(raw, instr, cycles, out)
+		return
+	}
+	for i := range out {
+		out[i] = sc.score(raw[i*sc.rawDim:(i+1)*sc.rawDim], instr[i], cycles[i])
+	}
+}
+
+// threshold exposes the decision boundary of the compiled backend.
+func (sc *scorer) threshold() float64 {
+	if sc.be != nil {
+		return sc.be.Threshold()
+	}
+	return sc.det.Threshold
+}

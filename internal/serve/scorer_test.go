@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// The serving scorer is a thin dispatch over the kernel backends; these
+// tests pin the dispatch itself — selector strings, batch/single agreement,
+// and the quantized backend's verdict-agreement contract against float.
+
+func TestScorerBackendSelection(t *testing.T) {
+	det, ds, samples := lab(t)
+	rawDim := len(samples[0].Raw)
+
+	for _, backend := range []string{"", BackendFloat, BackendQuantized} {
+		if _, err := newScorer(det, ds, rawDim, backend); err != nil {
+			t.Fatalf("backend %q: %v", backend, err)
+		}
+	}
+	if _, err := newScorer(det, ds, rawDim, "int4"); err == nil {
+		t.Fatal("unknown backend must be rejected")
+	}
+}
+
+func TestScorerBatchMatchesSingle(t *testing.T) {
+	det, ds, samples := lab(t)
+	rawDim := len(samples[0].Raw)
+	n := len(samples)
+	raw := make([]float64, n*rawDim)
+	instr := make([]uint64, n)
+	cycles := make([]uint64, n)
+	for i, s := range samples {
+		copy(raw[i*rawDim:(i+1)*rawDim], s.Raw)
+		instr[i] = s.Instructions
+		cycles[i] = s.Cycles
+	}
+
+	for _, backend := range []string{BackendFloat, BackendQuantized} {
+		sc, err := newScorer(det, ds, rawDim, backend)
+		if err != nil {
+			t.Fatalf("backend %q: %v", backend, err)
+		}
+		out := make([]float64, n)
+		sc.scoreBatch(raw, instr, cycles, out)
+		for i, s := range samples {
+			single := sc.score(s.Raw, s.Instructions, s.Cycles)
+			if math.Float64bits(single) != math.Float64bits(out[i]) {
+				t.Fatalf("backend %q row %d: batch %v != single %v", backend, i, out[i], single)
+			}
+		}
+	}
+}
+
+// The quantized backend serves the same verdicts as the float kernel on the
+// lab corpus — the serving-side image of the evaxbench agreement gate.
+func TestScorerBackendQuantizedAgreement(t *testing.T) {
+	det, ds, samples := lab(t)
+	rawDim := len(samples[0].Raw)
+	fsc, err := newScorer(det, ds, rawDim, BackendFloat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qsc, err := newScorer(det, ds, rawDim, BackendQuantized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agree := 0
+	for _, s := range samples {
+		ff := fsc.score(s.Raw, s.Instructions, s.Cycles) >= fsc.threshold()
+		qf := qsc.score(s.Raw, s.Instructions, s.Cycles) >= qsc.threshold()
+		if ff == qf {
+			agree++
+		}
+	}
+	if rate := float64(agree) / float64(len(samples)); rate < 0.995 {
+		t.Fatalf("quantized/float verdict agreement %.4f < 0.995 (%d/%d)", rate, agree, len(samples))
+	}
+}

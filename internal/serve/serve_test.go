@@ -87,7 +87,7 @@ func startServer(t *testing.T, cfg Config) *Server {
 func offlineVerdicts(t *testing.T, samples []dataset.Sample, secureWindow uint64) []Verdict {
 	t.Helper()
 	det, ds, _ := lab(t)
-	sc, err := newScorer(det, ds, len(samples[0].Raw))
+	sc, err := newScorer(det, ds, len(samples[0].Raw), "")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -503,7 +503,7 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 
 	// Score one sample over HTTP and compare to the offline path.
-	sc, err := newScorer(det, ds, len(samples[0].Raw))
+	sc, err := newScorer(det, ds, len(samples[0].Raw), "")
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,6 +54,10 @@ type Config struct {
 	// StatsPath, when non-empty, receives the final metrics snapshot
 	// (crash-safe JSON) when the server drains.
 	StatsPath string
+	// Backend selects the scoring kernel: BackendFloat (default,
+	// bit-identical to offline scoring) or BackendQuantized (int8 hardware
+	// arithmetic, fastest, verdict-agreement gated).
+	Backend string
 
 	// flushPause, when non-nil, runs at the top of every shard flush. Test
 	// hook: lets a test hold the batcher still while it floods the ingest
@@ -143,17 +147,21 @@ func New(det *detect.Detector, ds *dataset.Dataset, rawDim int, cfg Config) (*Se
 	srv.rowFree = make(chan []float64, cfg.Shards*(cfg.QueueBound+cfg.MaxBatch))
 	srv.frameFree = make(chan []byte, frameFreeDepth)
 	for i := 0; i < cfg.Shards; i++ {
-		sc, err := newScorer(det, ds, rawDim)
+		sc, err := newScorer(det, ds, rawDim, cfg.Backend)
 		if err != nil {
 			return nil, err
 		}
 		srv.shards = append(srv.shards, &shard{
-			srv: srv,
-			ch:  make(chan request, cfg.QueueBound),
-			sc:  sc,
+			srv:      srv,
+			ch:       make(chan request, cfg.QueueBound),
+			sc:       sc,
+			rawBuf:   make([]float64, cfg.MaxBatch*rawDim),
+			instrBuf: make([]uint64, cfg.MaxBatch),
+			cycBuf:   make([]uint64, cfg.MaxBatch),
+			scoreBuf: make([]float64, cfg.MaxBatch),
 		})
 	}
-	httpSc, err := newScorer(det, ds, rawDim)
+	httpSc, err := newScorer(det, ds, rawDim, cfg.Backend)
 	if err != nil {
 		return nil, err
 	}
