@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-json faults serve-test kernel-test check fmt
+.PHONY: build test race lint bench bench-json faults serve-test swap-test kernel-test check fmt
 
 build: ## compile every package
 	$(GO) build ./...
@@ -36,6 +36,10 @@ faults: ## fault-injection suite under -race: torn writes, injected errors/panic
 serve-test: ## online serving suite under -race: e2e bit-equivalence, kill-and-drain, admission control, load harness, plus a frame-decoder fuzz smoke
 	$(GO) test -race -count=1 -timeout 15m ./internal/serve ./internal/benchjson
 	$(GO) test -run '^$$' -fuzz FuzzDecodeFrame -fuzztime 10s ./internal/serve
+
+swap-test: ## live-vaccination gate under -race: generation lifecycle, canary gating, crash-safe staging, zero-downtime hot swap
+	$(GO) test -race -count=1 ./internal/engine
+	$(GO) test -race -count=1 -run 'Swap|Admin|Manager|Generation|Watch|Rescan' ./internal/serve ./internal/defense
 
 kernel-test: ## fused-kernel gate: bit-identity, quantized agreement, zero-alloc checks, under -race
 	$(GO) test -race -count=1 ./internal/kernel ./internal/perceptron

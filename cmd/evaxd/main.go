@@ -1,17 +1,27 @@
 // Command evaxd is the online detection daemon: it loads a deployed
-// detection bundle (the vendor-distributed detector patch) and serves the
-// streaming scoring protocol — micro-batched, backpressured, observable —
-// answering each raw counter window with a verdict frame. A localhost HTTP
-// listener exposes /metrics, /score, /healthz and /debug/pprof. SIGINT or
-// SIGTERM drains gracefully: accept stops, every accepted sample still
-// receives its verdict, and the final metrics snapshot is persisted
-// crash-safely.
+// detection bundle (the vendor-distributed detector patch) into a versioned
+// engine generation and serves the streaming scoring protocol —
+// micro-batched, backpressured, observable — answering each raw counter
+// window with a verdict frame. A localhost HTTP listener exposes /metrics,
+// /score, /healthz and /debug/pprof. SIGINT or SIGTERM drains gracefully:
+// accept stops, every accepted sample still receives its verdict, and the
+// final metrics snapshot is persisted crash-safely.
+//
+// Live vaccination: with -watch, the daemon rescans a candidate intake
+// directory and hot-swaps validated bundles with zero downtime — each
+// candidate is canary-scored against the -canary golden corpus, gated on
+// verdict agreement with the active generation, staged crash-safely under
+// -state, atomically swapped, health-probed, and rolled back automatically
+// if the probe fails. Connected clients never drop a frame: in-flight
+// batches finish on the generation they started on. Operators can also
+// drive swaps remotely via the protocol's admin frame (see serve.Admin).
 //
 // Usage:
 //
 //	evaxtrain -quick -bundle patch.json     # train and export a bundle
 //	evaxd -bundle patch.json -addr 127.0.0.1:9317 -http 127.0.0.1:9318
 //	evaxd -bundle patch.json -replay corpus.bin -seed 7   # deterministic replay
+//	evaxd -bundle patch.json -watch updates/ -state gen-state/ -canary corpus.bin
 package main
 
 import (
@@ -25,9 +35,8 @@ import (
 	"time"
 
 	"evax/internal/dataset"
-	"evax/internal/defense"
+	"evax/internal/engine"
 	"evax/internal/serve"
-	"evax/internal/sim"
 )
 
 func main() {
@@ -45,17 +54,66 @@ func main() {
 		seed      = flag.Int64("seed", 1, "replay scoring-order seed; the verdict digest is identical for every seed")
 		jobs      = flag.Int("jobs", 0, "replay worker count (0 = GOMAXPROCS)")
 		backend   = flag.String("backend", serve.BackendFloat, "scoring kernel: \"float\" (bit-identical to offline scoring) or \"quantized\" (int8 fixed-point, fastest)")
+		watch     = flag.String("watch", "", "rescan this directory for candidate bundles and hot-swap validated ones (live vaccination)")
+		watchTick = flag.Duration("watch-every", 2*time.Second, "candidate rescan interval for -watch")
+		stateDir  = flag.String("state", "", "generation state directory: crash-safe staging of the active/fallback bundle pair")
+		canary    = flag.String("canary", "", "golden replay corpus candidates are canary-scored against before going live")
+		agreement = flag.Float64("agreement", engine.DefaultAgreementGate, "minimum canary verdict agreement a candidate must reach against the active generation")
 	)
 	flag.Parse()
 
-	if *bundle == "" {
+	// Validate the backend selector here, where a typo gets a usage message,
+	// not a compile error from deep inside generation construction.
+	if !engine.ValidBackend(*backend) {
+		fatalf("evaxd: unknown -backend %q (want %q or %q)", *backend, serve.BackendFloat, serve.BackendQuantized)
+	}
+	if *bundle == "" && !engine.HasState(*stateDir) {
 		fatalf("evaxd: -bundle is required (train one with: evaxtrain -quick -bundle patch.json)")
 	}
-	fl, err := defense.LoadBundle(*bundle)
-	if err != nil {
-		fatalf("evaxd: %v", err)
+	if *agreement <= 0 || *agreement > 1 {
+		fatalf("evaxd: -agreement must be in (0, 1], got %g", *agreement)
 	}
-	rawDim := sim.CounterCatalog().Len()
+
+	mcfg := engine.ManagerConfig{
+		Dir:           *stateDir,
+		Backend:       *backend,
+		AgreementGate: *agreement,
+	}
+	if *canary != "" {
+		corpus, err := dataset.ReadCorpusFile(*canary)
+		if err != nil {
+			fatalf("evaxd: canary corpus: %v", err)
+		}
+		mcfg.Corpus = corpus
+	}
+
+	// Recovery order: a generation ledger under -state wins (it is what was
+	// actually serving when the last process died — possibly a later
+	// generation than -bundle); otherwise adopt -bundle as generation one.
+	var mgr *engine.Manager
+	if engine.HasState(*stateDir) {
+		var err error
+		mgr, err = engine.Open(mcfg)
+		if err != nil {
+			if *bundle == "" {
+				fatalf("evaxd: recovering generation state: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "evaxd: generation state unrecoverable (%v); falling back to -bundle\n", err)
+		}
+	}
+	if mgr == nil {
+		gen, err := engine.Load(*bundle, *backend)
+		if err != nil {
+			fatalf("evaxd: %v", err)
+		}
+		mgr, err = engine.NewManager(gen, mcfg)
+		if err != nil {
+			fatalf("evaxd: %v", err)
+		}
+	}
+	active := mgr.Active()
+	fmt.Printf("evaxd: bundle %s hash=%s backend=%s rawDim=%d\n",
+		displayPath(active.Path(), *bundle), active.HashHex(), active.Backend(), active.RawDim())
 
 	if *replay != "" {
 		samples, err := dataset.ReadCorpusFile(*replay)
@@ -63,15 +121,15 @@ func main() {
 			fatalf("evaxd: %v", err)
 		}
 		start := time.Now()
-		res, err := serve.Replay(fl.Det, fl.DS, samples, *seed, *jobs, *backend)
+		res, err := serve.ReplayGeneration(active, samples, *seed, *jobs)
 		if err != nil {
 			fatalf("evaxd: %v", err)
 		}
 		if d := time.Since(start).Seconds(); d > 0 {
 			res.MeanRate = float64(res.Rows) / d
 		}
-		fmt.Printf("replay: rows=%d flagged=%d seed=%d hash=%016x (%.0f rows/sec)\n",
-			res.Rows, res.Flagged, res.Seed, res.Hash, res.MeanRate)
+		fmt.Printf("replay: rows=%d flagged=%d seed=%d hash=%s (%.0f rows/sec)\n",
+			res.Rows, res.Flagged, res.Seed, res.HashHex(), res.MeanRate)
 		return
 	}
 
@@ -86,14 +144,14 @@ func main() {
 	cfg.StatsPath = *statsPath
 	cfg.Backend = *backend
 
-	srv, err := serve.New(fl.Det, fl.DS, rawDim, cfg)
+	srv, err := serve.NewFromManager(mgr, cfg)
 	if err != nil {
 		fatalf("evaxd: %v", err)
 	}
 	if err := srv.Start(); err != nil {
 		fatalf("evaxd: %v", err)
 	}
-	fmt.Printf("evaxd: serving %d-counter windows on %s", rawDim, srv.Addr())
+	fmt.Printf("evaxd: serving %d-counter windows on %s", active.RawDim(), srv.Addr())
 	if h := srv.HTTPAddr(); h != "" {
 		fmt.Printf(" (http %s)", h)
 	}
@@ -101,7 +159,15 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
-	<-ctx.Done()
+
+	if *watch != "" {
+		fmt.Printf("evaxd: watching %s for candidate bundles (every %s, gate %.4f)\n",
+			*watch, *watchTick, *agreement)
+		watchLoop(ctx, mgr, *watch, *watchTick)
+	} else {
+		<-ctx.Done()
+	}
+
 	fmt.Println("evaxd: draining...")
 	snap, err := srv.Drain()
 	if err != nil {
@@ -111,6 +177,42 @@ func main() {
 	if jerr == nil {
 		fmt.Printf("evaxd: drained: %s\n", out)
 	}
+}
+
+// watchLoop rescans the candidate intake directory until the context ends,
+// reporting every promotion decision. Deterministic: candidates are taken in
+// sorted filename order and each content hash is decided exactly once.
+func watchLoop(ctx context.Context, mgr *engine.Manager, dir string, every time.Duration) {
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+		}
+		reports, err := mgr.Rescan(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "evaxd: rescan: %v\n", err)
+			continue
+		}
+		for _, rep := range reports {
+			out, err := json.Marshal(rep)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("evaxd: candidate: %s\n", out)
+		}
+	}
+}
+
+// displayPath prefers the generation's recorded source path, falling back to
+// the -bundle flag (recovered generations keep their staged path).
+func displayPath(genPath, flagPath string) string {
+	if genPath != "" {
+		return genPath
+	}
+	return flagPath
 }
 
 // fatalf reports a fatal error and exits nonzero.

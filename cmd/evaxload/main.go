@@ -34,6 +34,9 @@ func main() {
 		record  = flag.String("record", "", "generate the synthetic corpus, write it here, and exit")
 		seeds   = flag.Int("seeds", 2, "seeded instances per program when generating the synthetic corpus")
 		jsonOut = flag.String("benchjson", "", "merge the `serving` section into this report file")
+
+		swapBundle = flag.String("swap-bundle", "", "hot-swap this server-local candidate bundle mid-run and measure swap latency (live vaccination)")
+		swapAfter  = flag.Float64("swap-after", 0.5, "fraction of total samples sent before the mid-run swap triggers")
 	)
 	flag.Parse()
 
@@ -61,11 +64,13 @@ func main() {
 	}
 
 	rep, err := serve.RunLoad(context.Background(), serve.LoadOptions{
-		Addr:      *addr,
-		Clients:   *clients,
-		PerClient: *perConn,
-		Rate:      *rate,
-		Samples:   samples,
+		Addr:       *addr,
+		Clients:    *clients,
+		PerClient:  *perConn,
+		Rate:       *rate,
+		Samples:    samples,
+		SwapBundle: *swapBundle,
+		SwapAfter:  *swapAfter,
 	})
 	if err != nil {
 		fatalf("evaxload: %v", err)
@@ -77,7 +82,13 @@ func main() {
 	}
 	fmt.Printf("serving: %s\n", out)
 	if *jsonOut != "" {
-		if err := benchjson.Merge(*jsonOut, map[string]any{"serving": rep}); err != nil {
+		sections := map[string]any{"serving": rep}
+		if rep.Swap != nil {
+			// The swap measurement is its own top-level section: swap latency
+			// and during-swap tail latency are the zero-downtime numbers.
+			sections["swap"] = rep.Swap
+		}
+		if err := benchjson.Merge(*jsonOut, sections); err != nil {
 			fatalf("evaxload: %v", err)
 		}
 		fmt.Printf("evaxload: merged serving section into %s\n", *jsonOut)

@@ -18,6 +18,7 @@ import (
 
 	"evax/internal/attacks"
 	"evax/internal/defense"
+	"evax/internal/engine"
 	"evax/internal/isa"
 	"evax/internal/sim"
 	"evax/internal/workload"
@@ -122,7 +123,7 @@ func main() {
 
 // runAdaptive gates the chosen policy with a trained detection bundle.
 func runAdaptive(mcfg sim.Config, prog *isa.Program, pol sim.Policy, bundlePath string, interval, window, maxInstr uint64) {
-	fl, err := defense.LoadBundleOrSecure(bundlePath)
+	fl, err := engine.LoadFlaggerOrSecure(bundlePath)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "evaxsim: %v\nevaxsim: falling back to always-secure mode (every window mitigated)\n", err)
 	}

@@ -135,6 +135,7 @@ func Analyzers() []*Analyzer {
 		CtrNameAnalyzer(),
 		GoroutineAnalyzer(),
 		RawWriteAnalyzer(),
+		BundleLoadAnalyzer(),
 		WallClockAnalyzer(),
 		HotPathAnalyzer(),
 	}

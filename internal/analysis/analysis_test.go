@@ -215,6 +215,43 @@ func TestRawWriteExemptInSafeio(t *testing.T) {
 	}
 }
 
+// bundleFixtureDeps returns the fake defense and detect fixture packages the
+// bundleload fixtures import; they must be registered (type-checked) first.
+func bundleFixtureDeps() []fixturePkg {
+	return []fixturePkg{
+		{path: "evax/internal/defense", files: fixture("bundleload", "defense.go")},
+		{path: "evax/internal/detect", files: fixture("bundleload", "detect.go")},
+	}
+}
+
+func TestBundleLoad(t *testing.T) {
+	runRule(t, BundleLoadAnalyzer(),
+		filepath.Join("testdata", "src", "bundleload", "bad.golden"),
+		append(bundleFixtureDeps(),
+			fixturePkg{path: "evax/internal/serve", files: fixture("bundleload", "bad.go")})...)
+	runRule(t, BundleLoadAnalyzer(),
+		filepath.Join("testdata", "src", "bundleload", "clean.golden"),
+		append(bundleFixtureDeps(),
+			fixturePkg{path: "evax/internal/engine", files: fixture("bundleload", "clean.go")})...)
+}
+
+func TestBundleLoadLaunder(t *testing.T) {
+	runRule(t, BundleLoadAnalyzer(),
+		filepath.Join("testdata", "src", "bundleload", "launder.golden"),
+		append(bundleFixtureDeps(),
+			fixturePkg{path: "evax/internal/serve", files: fixture("bundleload", "launder.go")})...)
+}
+
+func TestBundleLoadExemptInEngine(t *testing.T) {
+	// The same raw loads inside the engine are the one place they are
+	// allowed: engine owns the generation lifecycle the rule protects.
+	prog := loadFixtureProg(t, append(bundleFixtureDeps(),
+		fixturePkg{path: "evax/internal/engine", files: fixture("bundleload", "bad.go")})...)
+	if diags := Analyze(prog, []*Analyzer{BundleLoadAnalyzer()}); len(diags) != 0 {
+		t.Errorf("bundleload fired inside internal/engine: %v", diags)
+	}
+}
+
 func TestWallClock(t *testing.T) {
 	runRule(t, WallClockAnalyzer(),
 		filepath.Join("testdata", "src", "wallclock", "bad.golden"),

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// bundleLoadExemptScope lists the package-path suffixes allowed to read
+// detection bundles and detector files from disk. internal/engine owns the
+// generation lifecycle: every deployed bundle must enter the process as a
+// hash-stamped, swappable Generation so live vaccination (canary gating,
+// crash-safe staging, rollback) sees it. internal/defense and
+// internal/detect define the decoding primitives the engine builds on.
+var bundleLoadExemptScope = []string{
+	"internal/engine",
+	"internal/defense",
+	"internal/detect",
+}
+
+// bundleLoadBanned enumerates the raw disk-load APIs: the selector name, the
+// import-path suffix that identifies the owning package, and the replacement
+// named in each diagnostic.
+var bundleLoadBanned = []struct {
+	pkgSuffix string
+	name      string
+	what      string
+	msg       string
+}{
+	{
+		pkgSuffix: "internal/defense",
+		name:      "LoadBundle",
+		what:      "defense.LoadBundle",
+		msg: "defense.LoadBundle reads a bundle from disk outside the generation lifecycle; " +
+			"load through engine.Load so the bundle becomes a hash-stamped, swappable generation",
+	},
+	{
+		pkgSuffix: "internal/defense",
+		name:      "LoadBundleOrSecure",
+		what:      "defense.LoadBundleOrSecure",
+		msg: "defense.LoadBundleOrSecure reads a bundle from disk outside the generation lifecycle; " +
+			"use engine.LoadFlaggerOrSecure (same always-secure fallback, generation-tracked load)",
+	},
+	{
+		pkgSuffix: "internal/detect",
+		name:      "Load",
+		what:      "detect.Load",
+		msg: "detect.Load reads a detector file outside the generation lifecycle; " +
+			"load through engine.Load so the detector becomes a hash-stamped, swappable generation",
+	},
+}
+
+// BundleLoadAnalyzer confines disk bundle/detector loading to
+// internal/engine (plus defense and detect, which own the decoders). A
+// bundle loaded anywhere else bypasses the generation ledger: it has no
+// content hash in /metrics, no canary gate, and no crash-safe staging, so a
+// hot swap cannot see or roll it back. Test files are exempt by
+// construction: the loader skips _test.go files.
+//
+// The rule is transitive over the call graph (see confine.go): a helper
+// that launders defense.LoadBundle behind an //evaxlint:ignore is a silent
+// reacher, and every call site that can reach it is flagged. Calling
+// engine.Load itself is the approved idiom and never propagates.
+func BundleLoadAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "bundleload",
+		Doc:  "confine disk bundle loading, even through helpers, to internal/engine",
+		Run:  runBundleLoad,
+	}
+}
+
+func bundleLoadExempt(pkg *Package) bool {
+	for _, s := range bundleLoadExemptScope {
+		if pkg.HasSuffix(s) {
+			return true
+		}
+	}
+	return false
+}
+
+// importPathHasSuffix matches suffix at a path-segment boundary, so
+// "internal/detect" does not match "internal/detectx".
+func importPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// bundleLoadUses scans one package for raw bundle-load references. The
+// function reference itself (not just a call) counts, so passing
+// defense.LoadBundle as a value is caught too.
+func bundleLoadUses(pkg *Package) []useSite {
+	var uses []useSite
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			path := pkgNameOf(pkg.Info, ident)
+			if path == "" {
+				return true
+			}
+			for _, b := range bundleLoadBanned {
+				if sel.Sel.Name == b.name && importPathHasSuffix(path, b.pkgSuffix) {
+					uses = append(uses, useSite{
+						Pos:       sel.Pos(),
+						What:      b.what,
+						DirectMsg: b.msg,
+					})
+					break
+				}
+			}
+			return true
+		})
+	}
+	return uses
+}
+
+func bundleLoadSpec() confineSpec {
+	return confineSpec{
+		rule:   "bundleload",
+		exempt: bundleLoadExempt,
+		uses:   bundleLoadUses,
+		verb:   "reaches a raw bundle load",
+		remedy: "load bundles through engine.Load / engine.LoadFlaggerOrSecure so swaps stay generation-tracked",
+	}
+}
+
+func runBundleLoad(pass *Pass) []Diagnostic {
+	diags := diagsInPackage(pass, transitiveConfineDiags(pass.Prog, bundleLoadSpec()))
+	if bundleLoadExempt(pass.Pkg) {
+		return diags
+	}
+	for _, u := range bundleLoadUses(pass.Pkg) {
+		diags = append(diags, Diagnostic{
+			Pos:     pass.Position(u.Pos),
+			Rule:    "bundleload",
+			Message: u.DirectMsg,
+		})
+	}
+	return diags
+}

@@ -1,0 +1,15 @@
+package engine
+
+import (
+	"evax/internal/defense"
+	"evax/internal/detect"
+)
+
+// Load is the approved owner: inside internal/engine the raw decoders are
+// the implementation of the generation lifecycle, not a bypass of it.
+func Load(path string) (defense.Flagger, error) {
+	if _, err := detect.Load(path); err != nil {
+		return nil, err
+	}
+	return defense.LoadBundleOrSecure(path)
+}

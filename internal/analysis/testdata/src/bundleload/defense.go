@@ -1,0 +1,14 @@
+package defense
+
+// Fixture stand-in for evax/internal/defense: the rule matches the import
+// path suffix and the selector names, not the real signatures.
+
+type Flagger interface{ FlagWindow() bool }
+
+type DetectorFlagger struct{}
+
+func (*DetectorFlagger) FlagWindow() bool { return false }
+
+func LoadBundle(path string) (*DetectorFlagger, error) { return &DetectorFlagger{}, nil }
+
+func LoadBundleOrSecure(path string) (Flagger, error) { return &DetectorFlagger{}, nil }

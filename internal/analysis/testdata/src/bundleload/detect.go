@@ -1,0 +1,7 @@
+package detect
+
+// Fixture stand-in for evax/internal/detect.
+
+type Detector struct{}
+
+func Load(path string) (*Detector, error) { return &Detector{}, nil }

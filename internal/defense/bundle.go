@@ -22,53 +22,77 @@ type bundle struct {
 	Maxima   []float64       `json:"maxima"`
 }
 
-// SaveBundle writes a detector and its training normalizer to one file.
-func SaveBundle(path string, det *detect.Detector, ds *dataset.Dataset) error {
+// EncodeBundle serializes a detector and its training normalizer into the
+// bundle wire form SaveBundle persists and DecodeBundle parses.
+func EncodeBundle(det *detect.Detector, ds *dataset.Dataset) ([]byte, error) {
 	dd, err := det.Marshal()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	data, err := json.Marshal(bundle{Detector: dd, Maxima: ds.Maxima()})
 	if err != nil {
-		return fmt.Errorf("defense: encoding bundle: %w", err)
+		return nil, fmt.Errorf("defense: encoding bundle: %w", err)
+	}
+	return data, nil
+}
+
+// SaveBundle writes a detector and its training normalizer to one file.
+func SaveBundle(path string, det *detect.Detector, ds *dataset.Dataset) error {
+	data, err := EncodeBundle(det, ds)
+	if err != nil {
+		return err
 	}
 	return safeio.WriteFile(path, data, 0o644)
 }
 
-// LoadBundle reads a bundle and returns a ready-to-run Flagger. The bundle
-// is untrusted input: the detector patch runs through detect's validation,
-// and the normalization maxima are checked against the derived feature space
-// the flagger will expand windows into — a length mismatch would otherwise
-// panic inside NormalizeInPlace on the first sampled window.
+// DecodeBundle parses and validates bundle bytes. The bundle is untrusted
+// input: the detector patch runs through detect's validation, and the
+// normalization maxima are checked against the derived feature space windows
+// will be expanded into — a length mismatch would otherwise panic inside
+// NormalizeInPlace on the first sampled window. Taking bytes rather than a
+// path keeps disk access confined: internal/engine owns bundle loading (the
+// evaxlint bundleload rule), everything else consumes decoded generations.
+func DecodeBundle(data []byte) (*detect.Detector, *dataset.Dataset, error) {
+	var b bundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, nil, fmt.Errorf("defense: decoding bundle: %w", err)
+	}
+	det, err := detect.Unmarshal(b.Detector)
+	if err != nil {
+		return nil, nil, fmt.Errorf("defense: bundle: %w", err)
+	}
+	if len(b.Maxima) == 0 {
+		return nil, nil, fmt.Errorf("defense: bundle has no normalization maxima")
+	}
+	if space := hpc.DerivedSpaceSize(sim.CounterCatalog().Len()); len(b.Maxima) != space {
+		return nil, nil, fmt.Errorf("defense: bundle carries %d maxima for a %d-dim derived space",
+			len(b.Maxima), space)
+	}
+	for i, m := range b.Maxima {
+		if math.IsNaN(m) || math.IsInf(m, 0) {
+			return nil, nil, fmt.Errorf("defense: bundle maximum %d is non-finite", i)
+		}
+		if m < 0 {
+			return nil, nil, fmt.Errorf("defense: bundle maximum %d is negative (%g)", i, m)
+		}
+	}
+	return det, dataset.FromMaxima(b.Maxima), nil
+}
+
+// LoadBundle reads a bundle and returns a ready-to-run Flagger. Outside
+// internal/engine prefer engine.Load: it wraps the same validation in a
+// versioned, hashed Generation that can be hot-swapped (the evaxlint
+// bundleload rule confines this loader accordingly).
 func LoadBundle(path string) (*DetectorFlagger, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	var b bundle
-	if err := json.Unmarshal(data, &b); err != nil {
-		return nil, fmt.Errorf("defense: decoding %s: %w", path, err)
-	}
-	det, err := detect.Unmarshal(b.Detector)
+	det, ds, err := DecodeBundle(data)
 	if err != nil {
 		return nil, fmt.Errorf("defense: bundle %s: %w", path, err)
 	}
-	if len(b.Maxima) == 0 {
-		return nil, fmt.Errorf("defense: bundle %s has no normalization maxima", path)
-	}
-	if space := hpc.DerivedSpaceSize(sim.CounterCatalog().Len()); len(b.Maxima) != space {
-		return nil, fmt.Errorf("defense: bundle %s carries %d maxima for a %d-dim derived space",
-			path, len(b.Maxima), space)
-	}
-	for i, m := range b.Maxima {
-		if math.IsNaN(m) || math.IsInf(m, 0) {
-			return nil, fmt.Errorf("defense: bundle %s maximum %d is non-finite", path, i)
-		}
-		if m < 0 {
-			return nil, fmt.Errorf("defense: bundle %s maximum %d is negative (%g)", path, i, m)
-		}
-	}
-	return NewDetectorFlagger(det, dataset.FromMaxima(b.Maxima)), nil
+	return NewDetectorFlagger(det, ds), nil
 }
 
 // LoadBundleOrSecure loads a detection bundle, degrading gracefully when the

@@ -1,0 +1,49 @@
+package engine
+
+import "math"
+
+// The verdict digest commits to every score bit and flag decision in corpus
+// order: two scoring runs agree iff their verdicts are bit-identical. It is
+// the determinism contract shared by serve's replay, the canary gate, and
+// the post-swap health probe — "post-swap replay digest equals the
+// candidate's canary digest" is an equality of these sums.
+const (
+	digestOffset uint64 = 14695981039346656037
+	digestPrime  uint64 = 1099511628211
+)
+
+// Digest accumulates an FNV-1a verdict digest.
+type Digest struct {
+	h       uint64
+	rows    int
+	flagged int
+}
+
+// NewDigest starts an empty digest.
+func NewDigest() Digest { return Digest{h: digestOffset} }
+
+// Add folds one verdict in: the raw score bits, then the flag decision.
+func (d *Digest) Add(score float64, flagged bool) {
+	v := math.Float64bits(score)
+	for s := 0; s < 64; s += 8 {
+		d.h ^= uint64(byte(v >> s))
+		d.h *= digestPrime
+	}
+	var fb uint64
+	if flagged {
+		fb = 1
+		d.flagged++
+	}
+	d.h ^= fb
+	d.h *= digestPrime
+	d.rows++
+}
+
+// Sum returns the digest over everything added so far.
+func (d *Digest) Sum() uint64 { return d.h }
+
+// Rows returns how many verdicts were folded in.
+func (d *Digest) Rows() int { return d.rows }
+
+// Flagged returns how many folded verdicts were flagged.
+func (d *Digest) Flagged() int { return d.flagged }

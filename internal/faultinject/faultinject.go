@@ -21,6 +21,7 @@ package faultinject
 import (
 	"context"
 	"fmt"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -147,6 +148,24 @@ func TornWriteHook(k int) safeio.Hook {
 	var writes atomic.Int32
 	return func(op safeio.Op, _ string) error {
 		if op != safeio.OpWrite {
+			return nil
+		}
+		if int(writes.Add(1))-1 == k {
+			return fmt.Errorf("faultinject: %w", safeio.ErrTorn)
+		}
+		return nil
+	}
+}
+
+// TornPathHook builds a safeio.Hook that tears the k-th write (0-based)
+// whose destination path contains substr, leaving every other write intact.
+// Multi-file protocols (e.g. the engine's generation staging: candidate
+// file, then ledger) use it to crash exactly one named step and assert the
+// others recover.
+func TornPathHook(substr string, k int) safeio.Hook {
+	var writes atomic.Int32
+	return func(op safeio.Op, path string) error {
+		if op != safeio.OpWrite || !strings.Contains(path, substr) {
 			return nil
 		}
 		if int(writes.Add(1))-1 == k {

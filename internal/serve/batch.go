@@ -2,6 +2,8 @@ package serve
 
 import (
 	"time"
+
+	"evax/internal/engine"
 )
 
 // request is one unit of shard work: an accepted sample awaiting scoring, or
@@ -33,7 +35,14 @@ type request struct {
 type shard struct {
 	srv *Server
 	ch  chan request
-	sc  *scorer
+
+	// gen/sc cache the shard's resolution of the swapper's active
+	// generation. Each flush compares gen against Swapper.Active (one atomic
+	// load) and rebuilds sc only when a swap landed — so a batch always
+	// scores entirely on the generation it started on, and the steady state
+	// allocates nothing.
+	gen *engine.Generation
+	sc  *engine.Scorer
 
 	// Batch staging scratch, sized to MaxBatch at construction: flush copies
 	// the batch's freelist rows into the contiguous rawBuf and scores the
@@ -134,6 +143,12 @@ func (sh *shard) flush(batch *[]request, lats *[]time.Duration) {
 	if hook := sh.srv.cfg.flushPause; hook != nil {
 		hook()
 	}
+	// Resolve the generation for this whole batch: a swap landing mid-flush
+	// waits for the next batch, so no sample scores on a mix of generations.
+	if g := sh.srv.sw.Active(); g != sh.gen {
+		sh.sc = g.NewScorer() //evaxlint:ignore hotpath per-swap scorer rebuild; steady state reuses the cached scorer
+		sh.gen = g
+	}
 	// run sized lats with cap MaxBatch and the batch never exceeds MaxBatch,
 	// so this reslice stays within capacity.
 	n := len(*batch)
@@ -152,8 +167,8 @@ func (sh *shard) flush(batch *[]request, lats *[]time.Duration) {
 		instr[i] = r.instructions
 		cycles[i] = r.cycles
 	}
-	sh.sc.scoreBatch(raw, instr, cycles, scores)
-	thr := sh.sc.threshold()
+	sh.sc.ScoreBatch(raw, instr, cycles, scores)
+	thr := sh.sc.Threshold()
 	for i := range *batch {
 		r := &(*batch)[i]
 		score := scores[i]

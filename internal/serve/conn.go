@@ -69,6 +69,8 @@ func (c *conn) readLoop() {
 		switch fr.Type {
 		case FrameSample:
 			c.handleSample(fr.Payload)
+		case FrameAdmin:
+			c.handleAdmin(fr.Payload)
 		case FrameBye:
 			return
 		default:
@@ -168,10 +170,11 @@ func (c *conn) teardown() {
 		c.deliver(AppendFrame(nil, FrameDrain, nil))
 	}
 	stats, err := json.Marshal(ConnStats{
-		Accepted: c.accepted,
-		Rejected: c.rejected,
-		Scored:   c.scored,
-		Flagged:  c.flagged,
+		Accepted:   c.accepted,
+		Rejected:   c.rejected,
+		Scored:     c.scored,
+		Flagged:    c.flagged,
+		BundleHash: c.srv.sw.Active().HashHex(),
 	})
 	if err == nil {
 		c.deliver(AppendFrame(nil, FrameStats, stats))

@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"evax/internal/dataset"
+	"evax/internal/engine"
 )
 
 // Frame types. Every frame on the wire is TYPE(1) LEN(4, little-endian)
@@ -49,6 +50,10 @@ const (
 	// FrameError reports a fatal protocol error (server→client) before the
 	// connection closes.
 	FrameError byte = 0x08
+	// FrameAdmin carries a live-vaccination operation (client→server: op
+	// byte plus operand path) and its JSON AdminResult (server→client). See
+	// DESIGN.md §14.
+	FrameAdmin byte = 0x09
 )
 
 // Reject codes carried by FrameReject.
@@ -273,6 +278,80 @@ func DecodeReject(payload []byte) (Reject, error) {
 		Code: payload[8],
 		Msg:  string(payload[9:]),
 	}, nil
+}
+
+// Admin operations carried by FrameAdmin.
+const (
+	// AdminSwap promotes the bundle at Path through the full
+	// live-vaccination sequence (canary gate, staging, swap, health probe).
+	AdminSwap uint8 = 1
+	// AdminRollback re-activates the fallback generation.
+	AdminRollback uint8 = 2
+	// AdminStatus reports the active/fallback generation pair.
+	AdminStatus uint8 = 3
+)
+
+// Admin is the decoded client→server FrameAdmin payload.
+type Admin struct {
+	// Op selects the operation (AdminSwap, AdminRollback, AdminStatus).
+	Op uint8
+	// Path is the server-local candidate bundle for AdminSwap ("" otherwise).
+	Path string
+}
+
+// maxAdminPath bounds the operand so an admin frame stays small.
+const maxAdminPath = 4096
+
+// AppendAdmin appends an encoded client→server FrameAdmin to dst.
+func AppendAdmin(dst []byte, a Admin) []byte {
+	path := a.Path
+	if len(path) > maxAdminPath {
+		path = path[:maxAdminPath]
+	}
+	dst = append(dst, FrameAdmin)
+	dst = binary.LittleEndian.AppendUint32(dst, uint32(1+len(path)))
+	dst = append(dst, a.Op)
+	return append(dst, path...)
+}
+
+// DecodeAdmin parses a client→server FrameAdmin payload.
+func DecodeAdmin(payload []byte) (Admin, error) {
+	if len(payload) < 1 {
+		return Admin{}, fmt.Errorf("serve: admin payload is empty, want >= 1 byte")
+	}
+	if len(payload) > 1+maxAdminPath {
+		return Admin{}, fmt.Errorf("serve: admin path is %d bytes, limit %d", len(payload)-1, maxAdminPath)
+	}
+	return Admin{Op: payload[0], Path: string(payload[1:])}, nil
+}
+
+// GenStatus describes the swapper's generation pair inside an AdminResult.
+type GenStatus struct {
+	// ActiveHash is the serving generation's bundle content hash (hex).
+	ActiveHash string `json:"active_hash"`
+	// FallbackHash is the rollback target's content hash ("" before the
+	// first swap).
+	FallbackHash string `json:"fallback_hash,omitempty"`
+	// Epoch is the activation sequence number.
+	Epoch uint64 `json:"epoch"`
+	// Backend is the serving generation's compiled kernel selector.
+	Backend string `json:"backend"`
+	// RawDim is the counter dimensionality clients stream.
+	RawDim int `json:"raw_dim"`
+}
+
+// AdminResult is the JSON server→client FrameAdmin payload.
+type AdminResult struct {
+	// Ok reports whether the operation succeeded (for AdminSwap: the
+	// candidate is live and healthy).
+	Ok bool `json:"ok"`
+	// Error explains a failed operation.
+	Error string `json:"error,omitempty"`
+	// Report carries the full promotion/rollback report for swap and
+	// rollback operations.
+	Report *engine.SwapReport `json:"report,omitempty"`
+	// Status is the generation pair after the operation.
+	Status GenStatus `json:"status"`
 }
 
 // AppendError appends an encoded FrameError (fatal protocol error) to dst.

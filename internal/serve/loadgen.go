@@ -2,8 +2,10 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,36 +30,120 @@ type LoadOptions struct {
 	// Samples is the corpus each client replays (round-robin by send index,
 	// offset by client so connections don't stream identical sequences).
 	Samples []dataset.Sample
+
+	// SwapBundle, when non-empty, arms the swap-mid-run mode: once SwapAfter
+	// of the total samples have been sent, a dedicated admin connection
+	// promotes this server-local candidate bundle while the load keeps
+	// streaming — measuring swap latency and during-swap verdict latency.
+	SwapBundle string
+	// SwapAfter is the fraction of total samples sent before the swap
+	// triggers, in (0, 1); 0 means 0.5.
+	SwapAfter float64
+}
+
+// SwapStats is the swap-mid-run measurement — the `swap` section evaxload
+// merges into BENCH_runner.json.
+type SwapStats struct {
+	// Bundle is the candidate bundle the harness promoted.
+	Bundle string `json:"bundle"`
+	// TriggeredAfterSent is how many samples had been sent when the swap was
+	// issued.
+	TriggeredAfterSent uint64 `json:"triggered_after_sent"`
+	// LatencyMs is the admin round-trip of the swap: candidate load, canary
+	// scoring, staging, atomic swap and health probe, as observed by the
+	// operator connection.
+	LatencyMs float64 `json:"swap_latency_ms"`
+	// DuringRows counts verdicts received inside the swap window.
+	DuringRows uint64 `json:"during_rows"`
+	// DuringP50Ms/DuringP99Ms are verdict round-trip percentiles over only
+	// the verdicts received while the swap was in flight — the
+	// zero-downtime claim, quantified.
+	DuringP50Ms float64 `json:"during_p50_ms"`
+	DuringP99Ms float64 `json:"during_p99_ms"`
+	// Result is the server's full admin answer, promotion report included.
+	Result AdminResult `json:"result"`
 }
 
 // LoadReport is the harness result — the `serving` section evaxload merges
 // into BENCH_runner.json.
 type LoadReport struct {
-	Clients      int     `json:"clients"`
-	PerClient    int     `json:"per_client"`
-	TargetRate   float64 `json:"target_rate,omitempty"`
-	Sent         uint64  `json:"sent"`
-	Accepted     uint64  `json:"accepted"`
-	Rejected     uint64  `json:"rejected"`
-	Flagged      uint64  `json:"flagged"`
-	DurationSec  float64 `json:"duration_sec"`
-	VerdictsSec  float64 `json:"verdicts_per_sec"`
-	LatencyP50Ms float64 `json:"latency_p50_ms"`
-	LatencyP95Ms float64 `json:"latency_p95_ms"`
-	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	Clients      int        `json:"clients"`
+	PerClient    int        `json:"per_client"`
+	TargetRate   float64    `json:"target_rate,omitempty"`
+	Sent         uint64     `json:"sent"`
+	Accepted     uint64     `json:"accepted"`
+	Rejected     uint64     `json:"rejected"`
+	Flagged      uint64     `json:"flagged"`
+	DurationSec  float64    `json:"duration_sec"`
+	VerdictsSec  float64    `json:"verdicts_per_sec"`
+	LatencyP50Ms float64    `json:"latency_p50_ms"`
+	LatencyP95Ms float64    `json:"latency_p95_ms"`
+	LatencyP99Ms float64    `json:"latency_p99_ms"`
+	Swap         *SwapStats `json:"swap,omitempty"`
 }
 
 // clientResult is one connection's contribution to the report.
 type clientResult struct {
 	sent, accepted, rejected, flagged uint64
 	hist                              [latencyBuckets]uint64
+
+	// swapHist/swapRows bucket only the verdicts received inside the swap
+	// window (swap mode).
+	swapHist [latencyBuckets]uint64
+	swapRows uint64
+}
+
+// swapShared is the cross-client state of the swap-mid-run mode: the shared
+// send counter that arms the trigger, and the swap window endpoints
+// (nanoseconds since the run base) the receive loops classify verdicts by.
+type swapShared struct {
+	threshold uint64
+	sent      atomic.Uint64
+	once      sync.Once
+	trigger   chan struct{}
+
+	startNs atomic.Int64
+	endNs   atomic.Int64
+}
+
+// noteSent counts one sent sample and arms the trigger at the threshold.
+func (sh *swapShared) noteSent() {
+	if sh == nil {
+		return
+	}
+	if sh.sent.Add(1) >= sh.threshold {
+		sh.once.Do(func() { close(sh.trigger) })
+	}
+}
+
+// inWindow reports whether a verdict received at ns (since base) landed
+// inside the swap window.
+func (sh *swapShared) inWindow(ns int64) bool {
+	if sh == nil {
+		return false
+	}
+	start := sh.startNs.Load()
+	if start == 0 || ns < start {
+		return false
+	}
+	end := sh.endNs.Load()
+	return end == 0 || ns <= end
+}
+
+// swapOutcome is what the trigger goroutine reports back.
+type swapOutcome struct {
+	res       AdminResult
+	latency   time.Duration
+	triggered uint64
+	err       error
 }
 
 // RunLoad drives Clients concurrent connections replaying the corpus against
 // a running server, measuring round-trip verdict latency (send→verdict) per
 // sample. Connections fan out through the deterministic run engine; each
 // one's receive side runs on its own goroutine so sends never stall behind
-// verdict reads.
+// verdict reads. With SwapBundle set, a generation hot-swap is injected
+// mid-run and its latency and blast radius measured.
 func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	if opts.Clients <= 0 || opts.PerClient <= 0 {
 		return LoadReport{}, fmt.Errorf("serve: load needs positive Clients and PerClient, got %d and %d",
@@ -68,10 +154,38 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	}
 	rawDim := len(opts.Samples[0].Raw)
 
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// base is the shared clock origin: send stamps, receive stamps and the
+	// swap window all measure nanoseconds since it, so "during the swap" is
+	// the same interval on every connection.
+	base := time.Now()
+
+	var shared *swapShared
+	var swapDone chan swapOutcome
+	if opts.SwapBundle != "" {
+		frac := opts.SwapAfter
+		if frac <= 0 {
+			frac = 0.5
+		}
+		if frac >= 1 {
+			return LoadReport{}, fmt.Errorf("serve: SwapAfter must be in (0, 1), got %g", opts.SwapAfter)
+		}
+		total := uint64(opts.Clients) * uint64(opts.PerClient)
+		threshold := uint64(frac * float64(total))
+		if threshold == 0 {
+			threshold = 1
+		}
+		shared = &swapShared{threshold: threshold, trigger: make(chan struct{})}
+		swapDone = make(chan swapOutcome, 1)
+		go runSwapTrigger(ctx, opts, rawDim, base, shared, swapDone)
+	}
+
 	start := time.Now()
 	results, rep, err := runner.MapErrCtx(ctx, runner.Options{Jobs: opts.Clients}, opts.Clients,
 		func(ctx context.Context, ci int) (clientResult, error) {
-			return runClient(ctx, opts, ci, rawDim)
+			return runClient(ctx, opts, ci, rawDim, base, shared)
 		})
 	dur := time.Since(start).Seconds()
 	if err != nil {
@@ -86,7 +200,8 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	if opts.Rate > 0 {
 		out.TargetRate = opts.Rate
 	}
-	var hist [latencyBuckets]uint64
+	var hist, swapHist [latencyBuckets]uint64
+	var swapRows uint64
 	for i, r := range results {
 		if !rep.Completed[i] {
 			continue
@@ -98,6 +213,10 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 		for b, c := range r.hist {
 			hist[b] += c
 		}
+		for b, c := range r.swapHist {
+			swapHist[b] += c
+		}
+		swapRows += r.swapRows
 	}
 	if dur > 0 {
 		out.VerdictsSec = float64(out.Accepted) / dur
@@ -105,12 +224,60 @@ func RunLoad(ctx context.Context, opts LoadOptions) (LoadReport, error) {
 	out.LatencyP50Ms = percentileMs(hist, 0.50)
 	out.LatencyP95Ms = percentileMs(hist, 0.95)
 	out.LatencyP99Ms = percentileMs(hist, 0.99)
+
+	if shared != nil {
+		// Every client finished sending, so the trigger fired; the admin
+		// round-trip is bounded by the canary, not the load.
+		oc := <-swapDone
+		if oc.err != nil {
+			return out, fmt.Errorf("serve: swap-mid-run: %w", oc.err)
+		}
+		out.Swap = &SwapStats{
+			Bundle:             opts.SwapBundle,
+			TriggeredAfterSent: oc.triggered,
+			LatencyMs:          float64(oc.latency.Nanoseconds()) / 1e6,
+			DuringRows:         swapRows,
+			DuringP50Ms:        percentileMs(swapHist, 0.50),
+			DuringP99Ms:        percentileMs(swapHist, 0.99),
+			Result:             oc.res,
+		}
+		if !oc.res.Ok {
+			return out, fmt.Errorf("serve: swap-mid-run: server refused candidate: %s", oc.res.Error)
+		}
+	}
 	return out, nil
+}
+
+// runSwapTrigger waits for the send counter to cross the threshold, then
+// promotes the candidate over a dedicated admin connection, recording the
+// swap window for the receive loops.
+func runSwapTrigger(ctx context.Context, opts LoadOptions, rawDim int, base time.Time, shared *swapShared, done chan<- swapOutcome) {
+	select {
+	case <-ctx.Done():
+		done <- swapOutcome{err: ctx.Err()}
+		return
+	case <-shared.trigger:
+	}
+	triggered := shared.sent.Load()
+	cl, err := Dial(opts.Addr, rawDim)
+	if err != nil {
+		done <- swapOutcome{triggered: triggered, err: err}
+		return
+	}
+	//evaxlint:ignore droppederr admin round-trip already completed; the close is teardown only
+	defer cl.Close()
+
+	shared.startNs.Store(time.Since(base).Nanoseconds())
+	t0 := time.Now()
+	res, err := cl.Swap(opts.SwapBundle)
+	lat := time.Since(t0)
+	shared.endNs.Store(time.Since(base).Nanoseconds())
+	done <- swapOutcome{res: res, latency: lat, triggered: triggered, err: err}
 }
 
 // runClient is one synthetic client: stream PerClient samples at the paced
 // rate, then bye and collect everything in flight.
-func runClient(ctx context.Context, opts LoadOptions, ci, rawDim int) (clientResult, error) {
+func runClient(ctx context.Context, opts LoadOptions, ci, rawDim int, base time.Time, shared *swapShared) (clientResult, error) {
 	cl, err := Dial(opts.Addr, rawDim)
 	if err != nil {
 		return clientResult{}, err
@@ -123,7 +290,6 @@ func runClient(ctx context.Context, opts LoadOptions, ci, rawDim int) (clientRes
 	// the socket round-trip orders the send before the verdict in real time,
 	// but that ordering passes through the kernel, which the race detector
 	// cannot see.
-	base := time.Now()
 	sendAt := make([]atomicInt64, opts.PerClient)
 	var res clientResult
 
@@ -133,26 +299,7 @@ func runClient(ctx context.Context, opts LoadOptions, ci, rawDim int) (clientRes
 	}
 	recvDone := make(chan recvOut, 1)
 	go func() {
-		var r clientResult
-		stats, verdicts, rejects, err := cl.DrainStats()
-		for _, v := range verdicts {
-			r.accepted++
-			if v.Flagged() {
-				r.flagged++
-			}
-			if v.Seq < uint64(len(sendAt)) {
-				lat := time.Duration(time.Since(base).Nanoseconds() - sendAt[v.Seq].Load())
-				r.hist[latencyBucket(lat)]++
-			}
-		}
-		r.rejected += uint64(len(rejects))
-		if err == nil {
-			// Trust our own tallies but sanity-check against the server's.
-			if stats.Scored != r.accepted {
-				err = fmt.Errorf("serve: client %d: server scored %d, client saw %d verdicts",
-					ci, stats.Scored, r.accepted)
-			}
-		}
+		r, err := recvVerdicts(cl, ci, base, sendAt, shared)
 		recvDone <- recvOut{res: r, err: err}
 	}()
 
@@ -181,6 +328,7 @@ func runClient(ctx context.Context, opts LoadOptions, ci, rawDim int) (clientRes
 			return clientResult{}, fmt.Errorf("serve: client %d send %d: %w", ci, i, err)
 		}
 		res.sent++
+		shared.noteSent()
 		instrStart += s.Instructions
 	}
 	if err := cl.Bye(); err != nil {
@@ -194,5 +342,61 @@ func runClient(ctx context.Context, opts LoadOptions, ci, rawDim int) (clientRes
 	res.rejected = out.res.rejected
 	res.flagged = out.res.flagged
 	res.hist = out.res.hist
+	res.swapHist = out.res.swapHist
+	res.swapRows = out.res.swapRows
 	return res, nil
+}
+
+// recvVerdicts is the client's receive loop: it timestamps each verdict as
+// it arrives (so swap-window classification and latency use the true receive
+// time, not drain time), tallies rejects, and stops at the stats frame —
+// sanity-checking the server's scored count against the verdicts seen, which
+// is the harness's zero-loss proof.
+func recvVerdicts(cl *Client, ci int, base time.Time, sendAt []atomicInt64, shared *swapShared) (clientResult, error) {
+	var r clientResult
+	for {
+		fr, err := cl.Recv()
+		if err != nil {
+			return r, err
+		}
+		now := time.Since(base).Nanoseconds()
+		switch fr.Type {
+		case FrameVerdict:
+			v, err := DecodeVerdict(fr.Payload)
+			if err != nil {
+				return r, err
+			}
+			r.accepted++
+			if v.Flagged() {
+				r.flagged++
+			}
+			if v.Seq < uint64(len(sendAt)) {
+				b := latencyBucket(time.Duration(now - sendAt[v.Seq].Load()))
+				r.hist[b]++
+				if shared.inWindow(now) {
+					r.swapHist[b]++
+					r.swapRows++
+				}
+			}
+		case FrameReject:
+			r.rejected++
+		case FrameDrain:
+			// Informational: the server is draining; stats still follow.
+		case FrameStats:
+			var st ConnStats
+			if err := json.Unmarshal(fr.Payload, &st); err != nil {
+				return r, err
+			}
+			// Trust our own tallies but sanity-check against the server's.
+			if st.Scored != r.accepted {
+				return r, fmt.Errorf("serve: client %d: server scored %d, client saw %d verdicts",
+					ci, st.Scored, r.accepted)
+			}
+			return r, nil
+		case FrameError:
+			return r, fmt.Errorf("serve: server error: %s", fr.Payload)
+		default:
+			return r, fmt.Errorf("serve: unexpected frame type 0x%02x", fr.Type)
+		}
+	}
 }

@@ -101,7 +101,14 @@ func bucketUpperNs(i int) float64 {
 // Snapshot is the JSON shape of the /metrics endpoint and of the final drain
 // report.
 type Snapshot struct {
-	UptimeSec    float64 `json:"uptime_sec"`
+	UptimeSec float64 `json:"uptime_sec"`
+	// BundleHash, Epoch and Backend are generation provenance, stamped by
+	// the server: the content hash of the bundle currently scoring (hex —
+	// uint64s lose precision through JSON number round-trips), its
+	// activation sequence number, and its compiled kernel.
+	BundleHash   string  `json:"bundle_hash,omitempty"`
+	Epoch        uint64  `json:"generation_epoch,omitempty"`
+	Backend      string  `json:"backend,omitempty"`
 	Conns        uint64  `json:"conns_total"`
 	ConnsActive  int64   `json:"conns_active"`
 	Accepted     uint64  `json:"frames_accepted"`
@@ -179,4 +186,7 @@ type ConnStats struct {
 	Rejected uint64 `json:"rejected"`
 	Scored   uint64 `json:"scored"`
 	Flagged  uint64 `json:"flagged"`
+	// BundleHash is the content hash (hex) of the generation active when the
+	// connection closed — provenance for the last verdicts it received.
+	BundleHash string `json:"bundle_hash,omitempty"`
 }

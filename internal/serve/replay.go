@@ -2,12 +2,12 @@ package serve
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"sync"
 
 	"evax/internal/dataset"
 	"evax/internal/detect"
+	"evax/internal/engine"
 	"evax/internal/runner"
 )
 
@@ -22,19 +22,43 @@ type ReplayResult struct {
 	MeanRate float64 `json:"-"` // rows/sec, filled by callers that time the run
 }
 
+// HashHex renders the verdict digest the way reports carry it (raw uint64s
+// lose precision through JSON number round-trips).
+func (r ReplayResult) HashHex() string { return fmt.Sprintf("%016x", r.Hash) }
+
 // Replay scores every sample of a recorded corpus through the online scoring
-// path and returns a verdict digest. The seed shuffles the scoring order and
-// jobs sets the parallel fan-out — yet the result is bit-identical for every
-// (seed, jobs) pair, because each score depends only on its row and the
-// digest is computed in corpus order. That invariant is the service's
-// determinism contract: batching, shard assignment, and scheduling can never
-// change a verdict. backend selects the scoring kernel exactly as
-// Config.Backend does ("" means the float kernel).
+// path and returns a verdict digest. backend selects the scoring kernel
+// exactly as Config.Backend does ("" means the float kernel). It is the
+// in-memory form of ReplayGeneration.
 func Replay(det *detect.Detector, ds *dataset.Dataset, samples []dataset.Sample, seed int64, jobs int, backend string) (ReplayResult, error) {
 	if len(samples) == 0 {
 		return ReplayResult{Seed: seed}, nil
 	}
+	g, err := engine.New(det, ds, backend)
+	if err != nil {
+		return ReplayResult{}, err
+	}
+	return ReplayGeneration(g, samples, seed, jobs)
+}
+
+// ReplayGeneration scores every sample of a recorded corpus through one
+// engine generation. The seed shuffles the scoring order and jobs sets the
+// parallel fan-out — yet the result is bit-identical for every (seed, jobs)
+// pair, because each score depends only on its row and the digest is
+// computed in corpus order. That invariant is the service's determinism
+// contract: batching, shard assignment, and scheduling can never change a
+// verdict. The digest is the same FNV-1a verdict fold the engine's canary
+// gate computes, so a post-swap replay must reproduce the promoted
+// candidate's canary digest exactly.
+func ReplayGeneration(g *engine.Generation, samples []dataset.Sample, seed int64, jobs int) (ReplayResult, error) {
+	if len(samples) == 0 {
+		return ReplayResult{Seed: seed}, nil
+	}
 	rawDim := len(samples[0].Raw)
+	if rawDim != g.RawDim() {
+		return ReplayResult{}, fmt.Errorf("serve: replay corpus streams %d counters, generation scores %d",
+			rawDim, g.RawDim())
+	}
 	for i, s := range samples {
 		if len(s.Raw) != rawDim {
 			return ReplayResult{}, fmt.Errorf("serve: replay row %d has %d counters, row 0 has %d", i, len(s.Raw), rawDim)
@@ -46,60 +70,24 @@ func Replay(det *detect.Detector, ds *dataset.Dataset, samples []dataset.Sample,
 	order := rand.New(rand.NewSource(seed)).Perm(len(samples))
 
 	var pool sync.Pool
-	pool.New = func() any {
-		sc, err := newScorer(det, ds, rawDim, backend)
-		if err != nil {
-			panic(err) // dimensions were validated below before any job ran
-		}
-		return sc
-	}
-	// Surface a dimension mismatch as an error, not a job panic.
-	probe, err := newScorer(det, ds, rawDim, backend)
-	if err != nil {
-		return ReplayResult{}, err
-	}
-	pool.Put(probe)
+	pool.New = func() any { return g.NewScorer() }
 
 	scores := make([]float64, len(samples))
 	runner.Map(runner.Options{Jobs: jobs}, len(samples), func(i int) struct{} {
 		s := &samples[order[i]]
-		sc := pool.Get().(*scorer)
-		scores[order[i]] = sc.score(s.Raw, s.Instructions, s.Cycles)
+		sc := pool.Get().(*engine.Scorer)
+		scores[order[i]] = sc.Score(s.Raw, s.Instructions, s.Cycles)
 		pool.Put(sc)
 		return struct{}{}
 	})
 
 	res := ReplayResult{Rows: len(samples), Seed: seed}
-	thr := probe.threshold()
-	h := fnvOffset
+	thr := g.Threshold()
+	d := engine.NewDigest()
 	for _, score := range scores {
-		h = fnvU64(h, math.Float64bits(score))
-		if score >= thr {
-			res.Flagged++
-			h = fnvByte(h, 1)
-		} else {
-			h = fnvByte(h, 0)
-		}
+		d.Add(score, score >= thr)
 	}
-	res.Hash = h
+	res.Flagged = d.Flagged()
+	res.Hash = d.Sum()
 	return res, nil
-}
-
-// FNV-1a over verdict bits: the replay digest.
-const (
-	fnvOffset uint64 = 14695981039346656037
-	fnvPrime  uint64 = 1099511628211
-)
-
-func fnvByte(h uint64, b byte) uint64 {
-	h ^= uint64(b)
-	h *= fnvPrime
-	return h
-}
-
-func fnvU64(h uint64, v uint64) uint64 {
-	for s := 0; s < 64; s += 8 {
-		h = fnvByte(h, byte(v>>s))
-	}
-	return h
 }

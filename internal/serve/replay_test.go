@@ -60,14 +60,11 @@ func TestReplayMatchesOnlineScores(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	sc, err := newScorer(det, ds, len(corpus[0].Raw), "")
-	if err != nil {
-		t.Fatal(err)
-	}
+	sc := testScorer(t, det, ds, len(corpus[0].Raw), "")
 	flagged := 0
 	for i := range corpus {
 		s := &corpus[i]
-		if sc.score(s.Raw, s.Instructions, s.Cycles) >= sc.threshold() {
+		if sc.Score(s.Raw, s.Instructions, s.Cycles) >= sc.Threshold() {
 			flagged++
 		}
 	}

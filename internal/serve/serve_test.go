@@ -14,9 +14,24 @@ import (
 	"evax/internal/attacks"
 	"evax/internal/dataset"
 	"evax/internal/detect"
+	"evax/internal/engine"
 	"evax/internal/sim"
 	"evax/internal/workload"
 )
+
+// testScorer resolves a private scoring handle the way the serving path does
+// since the generation refactor: through an engine generation.
+func testScorer(t *testing.T, det *detect.Detector, ds *dataset.Dataset, rawDim int, backend string) *engine.Scorer {
+	t.Helper()
+	g, err := engine.New(det, ds, backend)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.RawDim() != rawDim {
+		t.Fatalf("generation scores %d raw counters, corpus streams %d", g.RawDim(), rawDim)
+	}
+	return g.NewScorer()
+}
 
 // The test lab: one trained detector + normalizer + corpus, built once and
 // shared by every serving test (training dominates test wall-clock).
@@ -87,18 +102,15 @@ func startServer(t *testing.T, cfg Config) *Server {
 func offlineVerdicts(t *testing.T, samples []dataset.Sample, secureWindow uint64) []Verdict {
 	t.Helper()
 	det, ds, _ := lab(t)
-	sc, err := newScorer(det, ds, len(samples[0].Raw), "")
-	if err != nil {
-		t.Fatal(err)
-	}
+	sc := testScorer(t, det, ds, len(samples[0].Raw), "")
 	out := make([]Verdict, len(samples))
 	var instrStart, secureUntil uint64
 	for i := range samples {
 		s := &samples[i]
-		score := sc.score(s.Raw, s.Instructions, s.Cycles)
+		score := sc.Score(s.Raw, s.Instructions, s.Cycles)
 		windowEnd := instrStart + s.Instructions
 		var flags uint8
-		if score >= sc.threshold() {
+		if score >= sc.Threshold() {
 			flags |= VerdictFlagged
 			secureUntil = windowEnd + secureWindow
 		}
@@ -503,10 +515,7 @@ func TestHTTPEndpoints(t *testing.T) {
 	}
 
 	// Score one sample over HTTP and compare to the offline path.
-	sc, err := newScorer(det, ds, len(samples[0].Raw), "")
-	if err != nil {
-		t.Fatal(err)
-	}
+	sc := testScorer(t, det, ds, len(samples[0].Raw), "")
 	s := &samples[7]
 	body, _ := json.Marshal(map[string]any{
 		"raw": s.Raw, "instructions": s.Instructions, "cycles": s.Cycles,
@@ -524,11 +533,11 @@ func TestHTTPEndpoints(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	want := sc.score(s.Raw, s.Instructions, s.Cycles)
+	want := sc.Score(s.Raw, s.Instructions, s.Cycles)
 	if math.Float64bits(got.Score) != math.Float64bits(want) {
 		t.Fatalf("http score %x != offline %x", math.Float64bits(got.Score), math.Float64bits(want))
 	}
-	if got.Flagged != (want >= sc.threshold()) {
+	if got.Flagged != (want >= sc.Threshold()) {
 		t.Fatal("http flag disagrees with threshold")
 	}
 

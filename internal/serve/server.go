@@ -13,7 +13,15 @@ import (
 
 	"evax/internal/dataset"
 	"evax/internal/detect"
+	"evax/internal/engine"
 	"evax/internal/safeio"
+)
+
+// Backend selectors for Config.Backend, re-exported from the engine (which
+// owns backend compilation since the generation refactor).
+const (
+	BackendFloat     = engine.BackendFloat
+	BackendQuantized = engine.BackendQuantized
 )
 
 // helloTimeout bounds how long a fresh connection may sit silent before its
@@ -88,6 +96,12 @@ type Server struct {
 	rawDim int
 	met    *Metrics
 
+	// mgr drives the live-vaccination loop (canary gate, staging, rollback);
+	// sw is its swapper, the atomic active/fallback generation pair every
+	// scoring consumer resolves from per batch.
+	mgr *engine.Manager
+	sw  *engine.Swapper
+
 	shards []*shard
 	// rowFree and frameFree are typed freelists (bounded channels) for
 	// counter rows and verdict frame buffers. sync.Pool would box every
@@ -101,9 +115,11 @@ type Server struct {
 	httpLn  net.Listener
 	httpSrv *http.Server
 
-	// httpSc serializes the stateless HTTP /score fallback.
-	httpMu sync.Mutex
-	httpSc *scorer
+	// httpSc serializes the stateless HTTP /score fallback; like the shards
+	// it re-resolves from the swapper when a new generation goes live.
+	httpMu  sync.Mutex
+	httpGen *engine.Generation
+	httpSc  *engine.Scorer
 
 	mu       sync.Mutex
 	conns    map[uint64]*conn
@@ -120,9 +136,30 @@ type Server struct {
 }
 
 // New builds a Server scoring with det, normalizing with ds, over rawDim raw
-// counters. Each shard gets its own detector clone and expansion scratch; the
-// HTTP fallback gets one more.
+// counters: the in-memory form, wrapping the pair into a single generation
+// behind an ungated, persistence-less manager. Servers that hot-swap
+// construct the manager themselves and use NewFromManager.
 func New(det *detect.Detector, ds *dataset.Dataset, rawDim int, cfg Config) (*Server, error) {
+	g, err := engine.New(det, ds, cfg.Backend)
+	if err != nil {
+		return nil, err
+	}
+	if g.RawDim() != rawDim {
+		return nil, fmt.Errorf("serve: generation scores %d raw counters, server configured for %d",
+			g.RawDim(), rawDim)
+	}
+	mgr, err := engine.NewManager(g, engine.ManagerConfig{Backend: cfg.Backend})
+	if err != nil {
+		return nil, err
+	}
+	return NewFromManager(mgr, cfg)
+}
+
+// NewFromManager builds a Server serving the manager's active generation,
+// with the manager wired to the admin swap/rollback frames. Each shard and
+// the HTTP fallback resolve a private scorer from the swapper per batch, so
+// a promoted generation takes effect on the very next flush.
+func NewFromManager(mgr *engine.Manager, cfg Config) (*Server, error) {
 	if cfg.MaxBatch <= 0 {
 		return nil, fmt.Errorf("serve: MaxBatch must be positive, got %d", cfg.MaxBatch)
 	}
@@ -132,6 +169,7 @@ func New(det *detect.Detector, ds *dataset.Dataset, rawDim int, cfg Config) (*Se
 	if cfg.Shards <= 0 {
 		return nil, fmt.Errorf("serve: Shards must be positive, got %d", cfg.Shards)
 	}
+	rawDim := mgr.Active().RawDim()
 	if rawDim <= 0 {
 		return nil, fmt.Errorf("serve: rawDim must be positive, got %d", rawDim)
 	}
@@ -139,6 +177,8 @@ func New(det *detect.Detector, ds *dataset.Dataset, rawDim int, cfg Config) (*Se
 		cfg:     cfg,
 		rawDim:  rawDim,
 		met:     newMetrics(cfg.MaxBatch),
+		mgr:     mgr,
+		sw:      mgr.Swapper(),
 		conns:   make(map[uint64]*conn),
 		drained: make(chan struct{}),
 	}
@@ -147,27 +187,20 @@ func New(det *detect.Detector, ds *dataset.Dataset, rawDim int, cfg Config) (*Se
 	srv.rowFree = make(chan []float64, cfg.Shards*(cfg.QueueBound+cfg.MaxBatch))
 	srv.frameFree = make(chan []byte, frameFreeDepth)
 	for i := 0; i < cfg.Shards; i++ {
-		sc, err := newScorer(det, ds, rawDim, cfg.Backend)
-		if err != nil {
-			return nil, err
-		}
 		srv.shards = append(srv.shards, &shard{
 			srv:      srv,
 			ch:       make(chan request, cfg.QueueBound),
-			sc:       sc,
 			rawBuf:   make([]float64, cfg.MaxBatch*rawDim),
 			instrBuf: make([]uint64, cfg.MaxBatch),
 			cycBuf:   make([]uint64, cfg.MaxBatch),
 			scoreBuf: make([]float64, cfg.MaxBatch),
 		})
 	}
-	httpSc, err := newScorer(det, ds, rawDim, cfg.Backend)
-	if err != nil {
-		return nil, err
-	}
-	srv.httpSc = httpSc
 	return srv, nil
 }
+
+// Manager exposes the live-vaccination manager driving this server.
+func (s *Server) Manager() *engine.Manager { return s.mgr }
 
 // getRow leases a rawDim-wide row from the freelist. Rows are fully
 // overwritten before use, so reuse order never reaches a score.
@@ -262,6 +295,18 @@ func (s *Server) HTTPAddr() string {
 // Metrics exposes the server's live counters.
 func (s *Server) Metrics() *Metrics { return s.met }
 
+// snapshot captures the metrics and stamps generation provenance on top:
+// which bundle (content hash) is serving, under which activation epoch and
+// backend — so /metrics and the drain report always say what scored.
+func (s *Server) snapshot() Snapshot {
+	snap := s.met.Snapshot()
+	g := s.sw.Active()
+	snap.BundleHash = g.HashHex()
+	snap.Epoch = s.sw.Epoch()
+	snap.Backend = g.Backend()
+	return snap
+}
+
 // acceptLoop admits connections until the listener closes.
 func (s *Server) acceptLoop() {
 	defer s.readerWg.Done()
@@ -330,7 +375,7 @@ func (s *Server) Drain() (Snapshot, error) {
 	if s.draining {
 		s.mu.Unlock()
 		<-s.drained
-		return s.met.Snapshot(), nil
+		return s.snapshot(), nil
 	}
 	s.draining = true
 	//evaxlint:ignore droppederr closing the accept listener during drain; accept exits either way
@@ -359,7 +404,7 @@ func (s *Server) Drain() (Snapshot, error) {
 		s.httpSrv.Close()
 	}
 
-	snap := s.met.Snapshot()
+	snap := s.snapshot()
 	var err error
 	if s.cfg.StatsPath != "" {
 		var data []byte
@@ -407,7 +452,7 @@ func (s *Server) httpMux() *http.ServeMux {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		//evaxlint:ignore droppederr an interrupted metrics response has no server-side effect
-		enc.Encode(s.met.Snapshot())
+		enc.Encode(s.snapshot())
 	})
 	mux.HandleFunc("/score", s.handleScore)
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -455,8 +500,12 @@ func (s *Server) handleScore(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.httpMu.Lock()
-	score := s.httpSc.score(req.Raw, req.Instructions, req.Cycles)
-	thr := s.httpSc.threshold()
+	if g := s.sw.Active(); g != s.httpGen {
+		s.httpSc = g.NewScorer()
+		s.httpGen = g
+	}
+	score := s.httpSc.Score(req.Raw, req.Instructions, req.Cycles)
+	thr := s.httpSc.Threshold()
 	s.httpMu.Unlock()
 	s.met.scored.Add(1)
 	w.Header().Set("Content-Type", "application/json")
