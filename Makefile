@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-json faults serve-test swap-test kernel-test check fmt
+.PHONY: build test race lint bench bench-json faults serve-test swap-test kernel-test chaos-test check fmt
 
 build: ## compile every package
 	$(GO) build ./...
@@ -45,6 +45,10 @@ kernel-test: ## fused-kernel gate: bit-identity, quantized agreement, zero-alloc
 	$(GO) test -race -count=1 ./internal/kernel ./internal/perceptron
 	$(GO) test -race -count=1 -run 'Scorer|Backend' ./internal/serve
 	$(GO) test -race -count=1 -run 'FlagWindow|DetectorFlagger' ./internal/defense
+
+chaos-test: ## chaos gate under -race: deterministic fault injection, resilient-client recovery, exactly-once verdict accounting, session resume, leak checks
+	$(GO) test -race -count=1 ./internal/netfault ./internal/serve/client
+	$(GO) test -race -count=1 -run 'Session|Idle|HalfClose|Resume' ./internal/serve
 
 fmt: ## rewrite sources with gofmt
 	gofmt -w .

@@ -59,6 +59,10 @@ func main() {
 		stateDir  = flag.String("state", "", "generation state directory: crash-safe staging of the active/fallback bundle pair")
 		canary    = flag.String("canary", "", "golden replay corpus candidates are canary-scored against before going live")
 		agreement = flag.Float64("agreement", engine.DefaultAgreementGate, "minimum canary verdict agreement a candidate must reach against the active generation")
+
+		idle       = flag.Duration("idle", serve.DefaultConfig().IdleTimeout, "idle read deadline per frame; a conn silent this long is reaped (0 disables)")
+		sessWindow = flag.Int("session-window", serve.DefaultConfig().SessionWindow, "per-session dedup ring size: how many in-flight sequences reconnect replay can span")
+		sessIdle   = flag.Duration("session-idle", serve.DefaultConfig().SessionIdle, "how long a detached session awaits resume before being reaped")
 	)
 	flag.Parse()
 
@@ -143,6 +147,9 @@ func main() {
 	cfg.SecureWindow = *window
 	cfg.StatsPath = *statsPath
 	cfg.Backend = *backend
+	cfg.IdleTimeout = *idle
+	cfg.SessionWindow = *sessWindow
+	cfg.SessionIdle = *sessIdle
 
 	srv, err := serve.NewFromManager(mgr, cfg)
 	if err != nil {

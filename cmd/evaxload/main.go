@@ -10,6 +10,15 @@
 //	evaxload -record corpus.bin                  # record a replayable corpus
 //	evaxload -addr 127.0.0.1:9317 -clients 8 -n 500 -rate 20000
 //	evaxload -addr 127.0.0.1:9317 -corpus corpus.bin -benchjson BENCH_runner.json
+//	evaxload -addr 127.0.0.1:9317 -chaos 6       # chaos mode: deterministic fault injection
+//
+// Chaos mode (-chaos N) swaps the synthetic dial loop for the resilient
+// client (internal/serve/client): each client suffers N deterministic
+// injected connection faults (kills, torn writes, truncations, stalls, read
+// kills), survives them via session resume + replay, and the merged verdict
+// digest is compared against a fault-free run — it must match bit-for-bit.
+// The `chaos` section (reconnect/retry/breaker counters, recovery latency,
+// digest match) merges into BENCH_runner.json.
 package main
 
 import (
@@ -18,10 +27,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"evax/internal/benchjson"
 	"evax/internal/dataset"
 	"evax/internal/serve"
+	"evax/internal/serve/client"
 )
 
 func main() {
@@ -37,6 +48,10 @@ func main() {
 
 		swapBundle = flag.String("swap-bundle", "", "hot-swap this server-local candidate bundle mid-run and measure swap latency (live vaccination)")
 		swapAfter  = flag.Float64("swap-after", 0.5, "fraction of total samples sent before the mid-run swap triggers")
+
+		chaosFaults = flag.Int("chaos", 0, "chaos mode: inject this many deterministic connection faults per client via resilient clients, then compare the verdict digest against a fault-free run")
+		chaosName   = flag.String("chaos-name", "evaxload-chaos", "schedule name seeding the deterministic fault plan (same name, same faults)")
+		chaosStall  = flag.Duration("chaos-stall", 50*time.Millisecond, "pause stall-write faults hold before severing the connection")
 	)
 	flag.Parse()
 
@@ -60,6 +75,11 @@ func main() {
 			fatalf("evaxload: %v", err)
 		}
 		fmt.Printf("evaxload: recorded %d samples to %s\n", len(samples), *record)
+		return
+	}
+
+	if *chaosFaults > 0 {
+		runChaos(*addr, *clients, *perConn, *chaosFaults, *chaosName, *chaosStall, *jsonOut, samples)
 		return
 	}
 
@@ -92,6 +112,95 @@ func main() {
 			fatalf("evaxload: %v", err)
 		}
 		fmt.Printf("evaxload: merged serving section into %s\n", *jsonOut)
+	}
+}
+
+// chaosSection is the JSON shape of the chaos measurement: resilience
+// counters, recovery latency, and the exactly-once invariant (the faulted
+// run's merged verdict digest must equal the fault-free run's).
+type chaosSection struct {
+	Clients         int     `json:"clients"`
+	PerClient       int     `json:"per_client"`
+	FaultsPlanned   int     `json:"faults_planned"`
+	FaultsFired     int     `json:"faults_fired"`
+	Reconnects      uint64  `json:"reconnects"`
+	Retries         uint64  `json:"retries"`
+	BreakerOpens    uint64  `json:"breaker_opens"`
+	Pings           uint64  `json:"pings"`
+	Timeouts        uint64  `json:"timeouts"`
+	Digest          string  `json:"digest"`
+	BaselineDigest  string  `json:"baseline_digest"`
+	DigestMatch     bool    `json:"digest_match"`
+	LatencyP50Ms    float64 `json:"latency_p50_ms"`
+	LatencyP99Ms    float64 `json:"latency_p99_ms"`
+	BaselineP50Ms   float64 `json:"baseline_p50_ms"`
+	BaselineP99Ms   float64 `json:"baseline_p99_ms"`
+	DigestMatchNote string  `json:"note,omitempty"`
+}
+
+// runChaos streams the corpus through resilient clients twice — fault-free,
+// then through the deterministic fault plan — and reports whether chaos
+// changed a single verdict bit.
+func runChaos(addr string, clients, perConn, faults int, name string, stall time.Duration, jsonOut string, samples []dataset.Sample) {
+	work := make([][]client.Sample, clients)
+	for i := range work {
+		rows := make([]client.Sample, perConn)
+		for j := 0; j < perConn; j++ {
+			s := &samples[(i*perConn+j)%len(samples)]
+			rows[j] = client.Sample{Instructions: s.Instructions, Cycles: s.Cycles, Raw: s.Raw}
+		}
+		work[i] = rows
+	}
+	cfg := client.ChaosConfig{
+		Addr:   addr,
+		RawDim: len(samples[0].Raw),
+		Name:   name,
+		Stall:  stall,
+	}
+	base, err := client.RunChaos(cfg, work)
+	if err != nil {
+		fatalf("evaxload: fault-free baseline: %v", err)
+	}
+	cfg.FaultsPerClient = faults
+	rep, err := client.RunChaos(cfg, work)
+	if err != nil {
+		fatalf("evaxload: chaos run: %v", err)
+	}
+
+	sec := chaosSection{
+		Clients:        clients,
+		PerClient:      perConn,
+		FaultsPlanned:  clients * faults,
+		FaultsFired:    len(rep.Events),
+		Reconnects:     rep.Totals(func(s client.Stats) uint64 { return s.Reconnects }),
+		Retries:        rep.Totals(func(s client.Stats) uint64 { return s.Retries }),
+		BreakerOpens:   rep.Totals(func(s client.Stats) uint64 { return s.BreakerOpens }),
+		Pings:          rep.Totals(func(s client.Stats) uint64 { return s.Pings }),
+		Timeouts:       rep.Totals(func(s client.Stats) uint64 { return s.Timeouts }),
+		Digest:         fmt.Sprintf("%016x", rep.Digest),
+		BaselineDigest: fmt.Sprintf("%016x", base.Digest),
+		DigestMatch:    rep.Digest == base.Digest && rep.Rows == base.Rows,
+		LatencyP50Ms:   rep.LatencyP50Ms,
+		LatencyP99Ms:   rep.LatencyP99Ms,
+		BaselineP50Ms:  base.LatencyP50Ms,
+		BaselineP99Ms:  base.LatencyP99Ms,
+	}
+	if !sec.DigestMatch {
+		sec.DigestMatchNote = "verdicts diverged under faults: exactly-once accounting is broken"
+	}
+	out, jerr := json.MarshalIndent(sec, "", "  ")
+	if jerr != nil {
+		fatalf("evaxload: %v", jerr)
+	}
+	fmt.Printf("chaos: %s\n", out)
+	if jsonOut != "" {
+		if err := benchjson.Merge(jsonOut, map[string]any{"chaos": sec}); err != nil {
+			fatalf("evaxload: %v", err)
+		}
+		fmt.Printf("evaxload: merged chaos section into %s\n", jsonOut)
+	}
+	if !sec.DigestMatch {
+		os.Exit(1)
 	}
 }
 

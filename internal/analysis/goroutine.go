@@ -16,6 +16,7 @@ import (
 var goroutineExemptScope = []string{
 	"internal/runner",
 	"internal/serve",
+	"internal/serve/client",
 }
 
 // GoroutineAnalyzer flags raw go statements and sync.WaitGroup references

@@ -13,6 +13,7 @@ import (
 // exempt — progress lines and wall-clock reports are their interface.
 var wallclockExemptScope = []string{
 	"internal/serve",
+	"internal/serve/client",
 	"internal/runner",
 }
 

@@ -1,0 +1,232 @@
+package netfault
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// frame builds a TYPE|LEN32|PAYLOAD frame with n payload bytes.
+func frame(typ byte, n int) []byte {
+	b := make([]byte, 5+n)
+	b[0] = typ
+	binary.LittleEndian.PutUint32(b[1:5], uint32(n))
+	for i := 5; i < len(b); i++ {
+		b[i] = 0xAB
+	}
+	return b
+}
+
+// memConn is a net.Conn stub: reads serve from a fixed buffer, writes are
+// captured. Close flips every later op to io.ErrClosedPipe.
+type memConn struct {
+	rd     *bytes.Reader
+	wr     bytes.Buffer
+	closed bool
+}
+
+func (c *memConn) Read(p []byte) (int, error) {
+	if c.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if c.rd == nil {
+		return 0, io.EOF
+	}
+	return c.rd.Read(p)
+}
+
+func (c *memConn) Write(p []byte) (int, error) {
+	if c.closed {
+		return 0, io.ErrClosedPipe
+	}
+	return c.wr.Write(p)
+}
+
+func (c *memConn) Close() error                       { c.closed = true; return nil }
+func (c *memConn) LocalAddr() net.Addr                { return nil }
+func (c *memConn) RemoteAddr() net.Addr               { return nil }
+func (c *memConn) SetDeadline(t time.Time) error      { return nil }
+func (c *memConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *memConn) SetWriteDeadline(t time.Time) error { return nil }
+
+func wrapOne(nc net.Conn, f Fault) net.Conn {
+	s := &Schedule{Name: "test", faults: [][]Fault{{f}}}
+	return s.Client(0).Wrap(nc)
+}
+
+func TestPlanDeterministic(t *testing.T) {
+	a := Plan("chaos", 4, 6, 5*time.Millisecond)
+	b := Plan("chaos", 4, 6, 5*time.Millisecond)
+	if a.Total() != 24 || b.Total() != 24 {
+		t.Fatalf("total = %d/%d, want 24", a.Total(), b.Total())
+	}
+	for c := 0; c < 4; c++ {
+		if !reflect.DeepEqual(a.Faults(c), b.Faults(c)) {
+			t.Fatalf("client %d plans diverge: %v vs %v", c, a.Faults(c), b.Faults(c))
+		}
+	}
+	// A different name draws a different op sequence somewhere.
+	other := Plan("other", 4, 6, 5*time.Millisecond)
+	same := true
+	for c := 0; c < 4 && same; c++ {
+		same = reflect.DeepEqual(a.Faults(c), other.Faults(c))
+	}
+	if same {
+		t.Fatal("plans for different names are identical")
+	}
+}
+
+func TestKillWriteAtFrameBoundary(t *testing.T) {
+	mc := &memConn{}
+	fc := wrapOne(mc, Fault{Attempt: 1, Frame: 1, Op: OpKillWrite})
+	f0, f1 := frame(0x01, 16), frame(0x02, 64)
+	n, err := fc.Write(append(append([]byte{}, f0...), f1...))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if n != len(f0) {
+		t.Fatalf("wrote %d bytes, want %d (frame 0 only)", n, len(f0))
+	}
+	if !bytes.Equal(mc.wr.Bytes(), f0) {
+		t.Fatal("delivered bytes are not exactly frame 0")
+	}
+	if _, err := fc.Write([]byte{1}); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault write err = %v, want ErrInjected", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); !errors.Is(err, ErrInjected) {
+		t.Fatalf("post-fault read err = %v, want ErrInjected", err)
+	}
+}
+
+func TestTornWriteCutsMidPayload(t *testing.T) {
+	f0, f1 := frame(0x01, 16), frame(0x02, 64)
+	want := len(f0) + 5 + 64/2 // frame 0, frame 1 header, half its payload
+	// The cut must land at the same absolute offset no matter how the
+	// stream is chunked into Write calls.
+	for _, chunk := range []int{1, 3, len(f0) + len(f1)} {
+		mc := &memConn{}
+		fc := wrapOne(mc, Fault{Attempt: 1, Frame: 1, Op: OpTornWrite})
+		stream := append(append([]byte{}, f0...), f1...)
+		total, err := 0, error(nil)
+		for off := 0; off < len(stream) && err == nil; off += chunk {
+			end := off + chunk
+			if end > len(stream) {
+				end = len(stream)
+			}
+			var n int
+			n, err = fc.Write(stream[off:end])
+			total += n
+		}
+		if !errors.Is(err, ErrInjected) {
+			t.Fatalf("chunk=%d: err = %v, want ErrInjected", chunk, err)
+		}
+		if total != want || mc.wr.Len() != want {
+			t.Fatalf("chunk=%d: delivered %d/%d bytes, want %d", chunk, total, mc.wr.Len(), want)
+		}
+	}
+}
+
+func TestTruncWriteDropsFinalByte(t *testing.T) {
+	mc := &memConn{}
+	fc := wrapOne(mc, Fault{Attempt: 1, Frame: 1, Op: OpTruncWrite})
+	f0, f1 := frame(0x01, 8), frame(0x02, 32)
+	n, err := fc.Write(append(append([]byte{}, f0...), f1...))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	want := len(f0) + len(f1) - 1
+	if n != want {
+		t.Fatalf("wrote %d bytes, want %d (all but final byte)", n, want)
+	}
+}
+
+func TestStallWritePausesThenKills(t *testing.T) {
+	mc := &memConn{}
+	const stall = 30 * time.Millisecond
+	fc := wrapOne(mc, Fault{Attempt: 1, Frame: 1, Op: OpStallWrite, Stall: stall})
+	f0, f1 := frame(0x01, 8), frame(0x02, 8)
+	start := time.Now()
+	_, err := fc.Write(append(append([]byte{}, f0...), f1...))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if d := time.Since(start); d < stall {
+		t.Fatalf("stall lasted %v, want >= %v", d, stall)
+	}
+}
+
+func TestKillReadAfterTargetFrame(t *testing.T) {
+	f0, f1, f2 := frame(0x01, 16), frame(0x02, 32), frame(0x03, 8)
+	stream := append(append(append([]byte{}, f0...), f1...), f2...)
+	mc := &memConn{rd: bytes.NewReader(stream)}
+	fc := wrapOne(mc, Fault{Attempt: 1, Frame: 1, Op: OpKillRead})
+	got, err := io.ReadAll(io.Reader(fc))
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	if want := append(append([]byte{}, f0...), f1...); !bytes.Equal(got, want) {
+		t.Fatalf("read %d bytes, want exactly frames 0-1 (%d bytes)", len(got), len(want))
+	}
+	// Writes pass through untouched until the read-side fault fires.
+	mc2 := &memConn{rd: bytes.NewReader(stream)}
+	fc2 := wrapOne(mc2, Fault{Attempt: 1, Frame: 1, Op: OpKillRead})
+	if _, err := fc2.Write(f0); err != nil {
+		t.Fatalf("pre-fault write failed: %v", err)
+	}
+}
+
+func TestInjectorExhaustsPlan(t *testing.T) {
+	s := &Schedule{Name: "test", faults: [][]Fault{{{Attempt: 1, Frame: 1, Op: OpKillWrite}}}}
+	in := s.Client(0)
+	mc := &memConn{}
+	if _, ok := in.Wrap(mc).(*faultConn); !ok {
+		t.Fatal("attempt 1 not wrapped")
+	}
+	if _, ok := in.Wrap(mc).(*faultConn); ok {
+		t.Fatal("attempt 2 wrapped after plan exhausted")
+	}
+	if in.Attempts() != 2 {
+		t.Fatalf("attempts = %d, want 2", in.Attempts())
+	}
+}
+
+func TestEventLogCanonicalOrder(t *testing.T) {
+	run := func() []Event {
+		s := Plan("log-order", 2, 2, 0)
+		// Fire client 1's faults before client 0's: Sorted must not care.
+		for _, c := range []int{1, 0} {
+			in := s.Client(c)
+			for range s.Faults(c) {
+				stream := append(append([]byte{}, frame(0x01, 16)...), frame(0x02, 16)...)
+				// Give both directions two full frames so read- and
+				// write-side faults alike reach their frame-1 target.
+				fc := in.Wrap(&memConn{rd: bytes.NewReader(stream)})
+				_, _ = fc.Write(stream)
+				buf := make([]byte, 256)
+				for {
+					if _, err := fc.Read(buf); err != nil {
+						break
+					}
+				}
+			}
+		}
+		return s.Events.Sorted()
+	}
+	a, b := run(), run()
+	if len(a) != 4 {
+		t.Fatalf("fired %d events, want 4: %v", len(a), a)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs produced different logs:\n%v\n%v", a, b)
+	}
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Client > a[i].Client {
+			t.Fatalf("log not in canonical order: %v", a)
+		}
+	}
+}

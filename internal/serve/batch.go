@@ -13,6 +13,7 @@ import (
 // verdict delivered.
 type request struct {
 	c            *conn
+	sess         *session // non-nil for session-backed conns
 	seq          uint64
 	instrStart   uint64
 	instructions uint64
@@ -174,17 +175,60 @@ func (sh *shard) flush(batch *[]request, lats *[]time.Duration) {
 		score := scores[i]
 		windowEnd := r.instrStart + r.instructions
 		var flags uint8
-		if score >= thr {
+		flagged := score >= thr
+		if flagged {
 			flags |= VerdictFlagged
+		}
+		if sess := r.sess; sess != nil {
+			// Session conns keep the mitigation window on the session, so a
+			// reconnect cannot reset an engaged window, and store the verdict
+			// in the dedup ring so replays are re-answered, never re-scored.
+			// The delivery target is whichever conn is attached NOW — the
+			// original may be gone — and a full queue sheds (the ring keeps
+			// the verdict recoverable).
+			sess.mu.Lock()
+			if flagged {
+				sess.secureUntil = windowEnd + sh.srv.cfg.SecureWindow
+			}
+			if flagged || windowEnd < sess.secureUntil {
+				flags |= VerdictSecure
+			}
+			v := Verdict{Seq: r.seq, Score: score, Flags: flags}
+			resend := sess.store(v)
+			if resend {
+				sess.resent++
+			}
+			sess.scored++
+			if flagged {
+				sess.flagged++
+			}
+			target := sess.attached
+			sess.mu.Unlock()
+			if resend {
+				sh.srv.met.resent.Add(1)
+			}
+			if flagged {
+				sh.srv.met.flagged.Add(1)
+			}
+			sh.srv.met.scored.Add(1)
+			if target != nil {
+				target.deliverShed(AppendVerdict(sh.srv.getFrame(), v))
+			}
+			ls[i] = time.Since(r.enq)
+			sh.srv.putRow(r.raw)
+			r.raw = nil
+			continue
+		}
+		if flagged {
 			// Engage (or extend) the mitigation window, exactly the
 			// defense controller's gating rule.
 			r.c.secureUntil = windowEnd + sh.srv.cfg.SecureWindow
 		}
-		if flags&VerdictFlagged != 0 || windowEnd < r.c.secureUntil {
+		if flagged || windowEnd < r.c.secureUntil {
 			flags |= VerdictSecure
 		}
 		r.c.scored++
-		if flags&VerdictFlagged != 0 {
+		if flagged {
 			r.c.flagged++
 			sh.srv.met.flagged.Add(1)
 		}

@@ -54,6 +54,78 @@ func Dial(addr string, rawDim int) (*Client, error) {
 	return c, nil
 }
 
+// WrapConn builds a Client over an already-dialed conn without any handshake
+// — the hook chaos harnesses use to interpose a fault-injecting conn between
+// dial and handshake. The caller runs Hello or Resume itself.
+func WrapConn(nc net.Conn) *Client {
+	return &Client{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Resume runs the session handshake on a fresh conn: session 0 creates a new
+// session, a prior ack's session id re-attaches to it. Returns the server's
+// ack (session id, dedup window, highest admitted seq).
+func (c *Client) Resume(rawDim int, session uint64) (Ack, error) {
+	r := Resume{Version: ProtocolVersion, RawDim: uint32(rawDim), Session: session}
+	if err := c.writeFrame(AppendResume(c.buf[:0], r)); err != nil {
+		return Ack{}, fmt.Errorf("serve: sending resume: %w", err)
+	}
+	fr, err := c.Recv()
+	if err != nil {
+		return Ack{}, fmt.Errorf("serve: reading resume ack: %w", err)
+	}
+	switch fr.Type {
+	case FrameAck:
+		return DecodeAck(fr.Payload)
+	case FrameError:
+		return Ack{}, fmt.Errorf("serve: server refused resume: %s", fr.Payload)
+	default:
+		return Ack{}, fmt.Errorf("serve: expected ack, got frame type 0x%02x", fr.Type)
+	}
+}
+
+// DialResume connects and opens (session == 0) or resumes a session-backed
+// stream.
+func DialResume(addr string, rawDim int, session uint64) (*Client, Ack, error) {
+	nc, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, Ack{}, err
+	}
+	c := WrapConn(nc)
+	ack, err := c.Resume(rawDim, session)
+	if err != nil {
+		//evaxlint:ignore droppederr the handshake already failed; the close error would mask it
+		nc.Close()
+		return nil, Ack{}, err
+	}
+	return c, ack, nil
+}
+
+// Ping sends a liveness probe; the server answers with a pong carrying the
+// same token and resets its idle deadline for this conn.
+func (c *Client) Ping(token uint64) error {
+	return c.writeFrame(AppendPing(c.buf[:0], token))
+}
+
+// CloseWrite half-closes the connection (TCP FIN on the write side) while
+// keeping the read side open: the server sees EOF, flushes everything in
+// flight, and its verdicts/stats still flow back. Falls back to a full close
+// when the transport cannot half-close.
+func (c *Client) CloseWrite() error {
+	type closeWriter interface{ CloseWrite() error }
+	if cw, ok := c.nc.(closeWriter); ok {
+		return cw.CloseWrite()
+	}
+	return c.nc.Close()
+}
+
+// SetReadDeadline bounds the next Recv, for callers implementing their own
+// liveness detection.
+func (c *Client) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
 // writeFrame writes one pre-encoded frame and flushes, keeping the buffer for
 // reuse.
 func (c *Client) writeFrame(frame []byte) error {
@@ -113,6 +185,8 @@ func (c *Client) DrainStats() (ConnStats, []Verdict, []Reject, error) {
 			return st, verdicts, rejects, nil
 		case FrameDrain:
 			// Informational: the server is draining; stats still follow.
+		case FramePong:
+			// A late heartbeat answer; irrelevant once draining.
 		case FrameError:
 			return ConnStats{}, verdicts, rejects, fmt.Errorf("serve: server error: %s", fr.Payload)
 		default:

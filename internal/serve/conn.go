@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"time"
 )
@@ -21,6 +22,12 @@ type conn struct {
 	srv   *Server
 	nc    net.Conn
 	shard *shard
+
+	// sess is non-nil for connections that opened with a resume frame: the
+	// session carries the dedup window, secure-window state and lifetime
+	// counters across reconnects. Set once during the handshake (before any
+	// sample), read by the reader and — through request.sess — the shard.
+	sess *session
 
 	// out carries encoded frames to the writer; closed by the reader at
 	// teardown, after the shard flush barrier, so the shard never delivers
@@ -39,6 +46,23 @@ type conn struct {
 // outbound queue is full, and the writer always drains the queue (write
 // failures switch it to discard mode), so delivery always completes.
 func (c *conn) deliver(frame []byte) { c.out <- frame }
+
+// deliverShed is deliver for session connections: a full outbound queue sheds
+// the frame instead of blocking the shard on a slow client, reporting false.
+// Shedding is safe only because every session verdict is also stored in the
+// dedup ring — the client's request timeout triggers a replay and the stored
+// verdict is re-delivered. The policy is deterministic: a frame is shed if
+// and only if the queue is full at delivery.
+func (c *conn) deliverShed(frame []byte) bool {
+	select {
+	case c.out <- frame:
+		return true
+	default:
+		c.srv.putFrame(frame)
+		c.srv.met.shed.Add(1)
+		return false
+	}
+}
 
 // reject answers seq with a reject frame and counts it.
 func (c *conn) reject(seq uint64, code uint8, msg string) {
@@ -59,16 +83,46 @@ func (c *conn) readLoop() {
 		c.deliver(AppendError(nil, err.Error()))
 		return
 	}
+	idle := c.srv.cfg.IdleTimeout
 	for {
+		if idle > 0 {
+			// Every frame re-arms the idle deadline: a client that goes
+			// silent-dead mid-stream is reaped instead of pinning this
+			// reader (and its shard pin) until process exit. Live-but-idle
+			// clients stay connected by sending pings.
+			//evaxlint:ignore droppederr a failed deadline set surfaces as the subsequent read error
+			c.nc.SetReadDeadline(time.Now().Add(idle))
+			// Checked AFTER arming: Drain flips draining before kicking
+			// deadlines, so either we observe draining here and leave, or
+			// our re-arm strictly preceded Drain's kick and cannot erase
+			// it. Without this order a re-arm could overwrite the kick and
+			// pin Drain for a full idle period.
+			if c.srv.isDraining() {
+				return
+			}
+		}
 		fr, err := ReadFrame(br)
 		if err != nil {
-			// EOF, client reset, or the drain deadline: either way the
-			// connection stops reading and tears down gracefully.
+			// EOF, client reset, the drain deadline, or the idle deadline:
+			// either way the connection stops reading and tears down
+			// gracefully (teardown's flush barrier still answers every
+			// already-accepted sample).
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !c.srv.isDraining() {
+				c.srv.met.idleReaped.Add(1)
+			}
 			return
 		}
 		switch fr.Type {
 		case FrameSample:
 			c.handleSample(fr.Payload)
+		case FramePing:
+			token, err := DecodePing(fr.Payload)
+			if err != nil {
+				c.deliver(AppendError(nil, err.Error()))
+				return
+			}
+			c.deliver(AppendPong(nil, token))
 		case FrameAdmin:
 			c.handleAdmin(fr.Payload)
 		case FrameBye:
@@ -80,8 +134,10 @@ func (c *conn) readLoop() {
 	}
 }
 
-// handshake enforces the hello exchange: version and counter-space agreement
-// before any sample is admitted.
+// handshake enforces the opening exchange: version and counter-space
+// agreement before any sample is admitted. Two openings exist: a hello
+// (sessionless, answered with an echoed hello) and a resume (session-backed,
+// answered with an ack naming the session and its dedup window).
 func (c *conn) handshake(br *bufio.Reader) error {
 	//evaxlint:ignore droppederr a failed deadline set surfaces as the subsequent read error
 	c.nc.SetReadDeadline(time.Now().Add(helloTimeout))
@@ -95,18 +151,38 @@ func (c *conn) handshake(br *bufio.Reader) error {
 		// A conn registered in the drain race window: refuse politely.
 		return errors.New("serve: server is draining")
 	}
-	if fr.Type != FrameHello {
-		return fmt.Errorf("serve: first frame must be hello, got type 0x%02x", fr.Type)
+	var version, rawDim uint32
+	var session uint64
+	resume := false
+	switch fr.Type {
+	case FrameHello:
+		h, err := DecodeHello(fr.Payload)
+		if err != nil {
+			return err
+		}
+		version, rawDim = h.Version, h.RawDim
+	case FrameResume:
+		r, err := DecodeResume(fr.Payload)
+		if err != nil {
+			return err
+		}
+		version, rawDim, session, resume = r.Version, r.RawDim, r.Session, true
+	default:
+		return fmt.Errorf("serve: first frame must be hello or resume, got type 0x%02x", fr.Type)
 	}
-	h, err := DecodeHello(fr.Payload)
-	if err != nil {
-		return err
+	if version != ProtocolVersion {
+		return fmt.Errorf("serve: protocol version %d not supported (want %d)", version, ProtocolVersion)
 	}
-	if h.Version != ProtocolVersion {
-		return fmt.Errorf("serve: protocol version %d not supported (want %d)", h.Version, ProtocolVersion)
+	if int(rawDim) != c.srv.rawDim {
+		return fmt.Errorf("serve: client streams %d counters, server catalog has %d", rawDim, c.srv.rawDim)
 	}
-	if int(h.RawDim) != c.srv.rawDim {
-		return fmt.Errorf("serve: client streams %d counters, server catalog has %d", h.RawDim, c.srv.rawDim)
+	if resume {
+		ack, err := c.srv.attachSession(c, session)
+		if err != nil {
+			return err
+		}
+		c.deliver(AppendAck(nil, ack))
+		return nil
 	}
 	// Echo the hello so the client knows the dimensionality was agreed.
 	c.deliver(AppendHello(nil, Hello{Version: ProtocolVersion, RawDim: uint32(c.srv.rawDim)}))
@@ -115,7 +191,8 @@ func (c *conn) handshake(br *bufio.Reader) error {
 
 // handleSample decodes and admits one sample frame: non-blocking enqueue to
 // the pinned shard's bounded queue, reject on overflow or drain. Admission
-// control never buffers beyond the queue bound.
+// control never buffers beyond the queue bound. Session connections run the
+// dedup protocol first, so a replayed sample is never scored twice.
 func (c *conn) handleSample(payload []byte) {
 	if c.srv.isDraining() {
 		c.reject(bestEffortSeq(payload), RejectDraining, "server draining")
@@ -128,16 +205,64 @@ func (c *conn) handleSample(payload []byte) {
 		c.reject(bestEffortSeq(payload), RejectMalformed, err.Error())
 		return
 	}
-	select {
-	case c.shard.ch <- request{
+	req := request{
 		c:            c,
+		sess:         c.sess,
 		seq:          h.Seq,
 		instrStart:   h.InstrStart,
 		instructions: instructions,
 		cycles:       cycles,
 		raw:          row,
 		enq:          time.Now(),
-	}:
+	}
+	if sess := c.sess; sess != nil {
+		sess.mu.Lock()
+		verdict, stored := sess.admit(h.Seq)
+		switch verdict {
+		case admitDup:
+			sess.dupes++
+			sess.mu.Unlock()
+			c.srv.met.dupes.Add(1)
+			c.srv.putRow(row)
+			return // verdict is in flight; its flush will (re)deliver
+		case admitReplay:
+			sess.dupes++
+			sess.resent++
+			sess.mu.Unlock()
+			c.srv.met.dupes.Add(1)
+			c.srv.met.resent.Add(1)
+			c.srv.putRow(row)
+			c.deliver(AppendVerdict(c.srv.getFrame(), stored))
+			return
+		case admitStale:
+			sess.rejected++
+			sess.mu.Unlock()
+			c.srv.putRow(row)
+			c.reject(h.Seq, RejectStale,
+				fmt.Sprintf("seq outside dedup window (%d)", c.srv.cfg.SessionWindow))
+			return
+		}
+		// admitFresh: the slot is marked inflight; enqueue while still
+		// holding the lock so an overload reject can roll the slot back
+		// before any replay of the same seq can observe it.
+		select {
+		case c.shard.ch <- req:
+			sess.accepted++
+			sess.mu.Unlock()
+			c.accepted++
+			c.srv.met.accepted.Add(1)
+		default:
+			sess.ring[h.Seq%sess.window] = sessEntry{}
+			sess.rejected++
+			sess.mu.Unlock()
+			c.srv.putRow(row)
+			c.reject(h.Seq, RejectOverload,
+				fmt.Sprintf("shard queue full (%d)", c.srv.cfg.QueueBound))
+		}
+		return
+	}
+	select {
+	case c.shard.ch <- req:
 		c.accepted++
 		c.srv.met.accepted.Add(1)
 	default:
@@ -165,17 +290,32 @@ func (c *conn) teardown() {
 	c.shard.ch <- request{flush: ack}
 	<-ack
 	// The barrier ordered every batcher write (scored/flagged) before this
-	// point; stats are now consistent.
+	// point; stats are now consistent. For session conns it also means no
+	// shard flush still holds this conn as a delivery target, so detaching
+	// and closing the queue below cannot race a verdict delivery.
+	c.srv.detachSession(c)
 	if c.srv.isDraining() {
 		c.deliver(AppendFrame(nil, FrameDrain, nil))
 	}
-	stats, err := json.Marshal(ConnStats{
+	cs := ConnStats{
 		Accepted:   c.accepted,
 		Rejected:   c.rejected,
 		Scored:     c.scored,
 		Flagged:    c.flagged,
 		BundleHash: c.srv.sw.Active().HashHex(),
-	})
+	}
+	if sess := c.sess; sess != nil {
+		sess.mu.Lock()
+		cs.Session = sess.id
+		cs.SessionAccepted = sess.accepted
+		cs.SessionScored = sess.scored
+		cs.SessionFlagged = sess.flagged
+		cs.Dupes = sess.dupes
+		cs.Resent = sess.resent
+		cs.Shed = sess.shed
+		sess.mu.Unlock()
+	}
+	stats, err := json.Marshal(cs)
 	if err == nil {
 		c.deliver(AppendFrame(nil, FrameStats, stats))
 	}
@@ -217,8 +357,32 @@ func (c *conn) writeLoop() {
 	}
 	if !dead {
 		//evaxlint:ignore droppederr the connection is closing; a final flush failure has no receiver to report to
-		bw.Flush()
+		if err := bw.Flush(); err == nil {
+			c.lingerClose()
+		}
 	}
 	//evaxlint:ignore droppederr close failure on an already-drained connection loses nothing
 	c.nc.Close()
+}
+
+// lingerClose protects the final frames from a TCP reset. Closing a socket
+// whose kernel receive buffer still holds unread bytes — routine when drain
+// kicks the reader off a connection the client is still streaming into —
+// sends RST instead of FIN, and the reset discards the stats frame out of
+// the client's receive path. So: half-close the write side (FIN after the
+// flushed tail), then consume the client's in-flight bytes until its FIN or
+// a bounded deadline, and only then fully close. Runs on the writer
+// goroutine after the reader has exited, so it is the socket's sole reader.
+func (c *conn) lingerClose() {
+	cw, ok := c.nc.(interface{ CloseWrite() error })
+	if !ok {
+		return
+	}
+	if err := cw.CloseWrite(); err != nil {
+		return
+	}
+	//evaxlint:ignore droppederr a failed deadline set surfaces as the discard read erroring out
+	c.nc.SetReadDeadline(time.Now().Add(lingerTimeout))
+	//evaxlint:ignore droppederr discarding the client's in-flight tail; any error ends the linger
+	io.Copy(io.Discard, c.nc)
 }

@@ -54,6 +54,24 @@ const (
 	// byte plus operand path) and its JSON AdminResult (server→client). See
 	// DESIGN.md §14.
 	FrameAdmin byte = 0x09
+	// FramePing is a liveness probe (client→server): an opaque token the
+	// server echoes back in a FramePong. Pings also reset the server's idle
+	// read deadline, so a quiet-but-alive client is never reaped.
+	FramePing byte = 0x0A
+	// FramePong answers a ping (server→client) with the same token.
+	FramePong byte = 0x0B
+	// FrameResume opens a session-backed connection (client→server), sent
+	// instead of FrameHello as the first frame: protocol version, raw
+	// counter dimensionality, and a session ID (0 asks the server to create
+	// a fresh session; nonzero re-attaches to a live one after a connection
+	// loss, so the client can replay unacked samples through the session's
+	// dedup window). See DESIGN.md §15.
+	FrameResume byte = 0x0C
+	// FrameAck answers a FrameResume (server→client): the session ID, the
+	// server's dedup-window capacity (the client must keep at most this
+	// many samples unacknowledged), and the session's high watermark (the
+	// next sequence number the server has never seen).
+	FrameAck byte = 0x0D
 )
 
 // Reject codes carried by FrameReject.
@@ -64,6 +82,12 @@ const (
 	RejectDraining uint8 = 2
 	// RejectMalformed: the sample payload failed to decode.
 	RejectMalformed uint8 = 3
+	// RejectStale: the sample's sequence number fell outside the session's
+	// dedup window — either it was evicted (the client held more samples in
+	// flight than the window the FrameAck advertised) or an older sequence
+	// still occupies its window slot. A well-behaved client bounding its
+	// in-flight set to the advertised window never sees this code.
+	RejectStale uint8 = 4
 )
 
 // ProtocolVersion is the framing version exchanged in FrameHello.
@@ -159,6 +183,99 @@ func DecodeHello(payload []byte) (Hello, error) {
 		Version: binary.LittleEndian.Uint32(payload[0:]),
 		RawDim:  binary.LittleEndian.Uint32(payload[4:]),
 	}, nil
+}
+
+// Resume is the decoded FrameResume payload: the session-backed form of the
+// hello exchange. Session 0 requests a fresh session; a nonzero Session
+// re-attaches to one created earlier on this server.
+type Resume struct {
+	Version uint32
+	RawDim  uint32
+	Session uint64
+}
+
+// AppendResume appends an encoded FrameResume to dst.
+func AppendResume(dst []byte, r Resume) []byte {
+	var p [16]byte
+	binary.LittleEndian.PutUint32(p[0:], r.Version)
+	binary.LittleEndian.PutUint32(p[4:], r.RawDim)
+	binary.LittleEndian.PutUint64(p[8:], r.Session)
+	return AppendFrame(dst, FrameResume, p[:])
+}
+
+// DecodeResume parses a FrameResume payload.
+func DecodeResume(payload []byte) (Resume, error) {
+	if len(payload) != 16 {
+		return Resume{}, fmt.Errorf("serve: resume payload is %d bytes, want 16", len(payload))
+	}
+	return Resume{
+		Version: binary.LittleEndian.Uint32(payload[0:]),
+		RawDim:  binary.LittleEndian.Uint32(payload[4:]),
+		Session: binary.LittleEndian.Uint64(payload[8:]),
+	}, nil
+}
+
+// Ack is the decoded FrameAck payload: the server's answer to a resume.
+// Window is the session's dedup-window capacity — the client must bound its
+// unacknowledged in-flight samples to it, or risk RejectStale. High is the
+// next sequence number the server has never accepted: everything below it is
+// either scored (replays draw a stored verdict, not a second score) or still
+// in flight.
+type Ack struct {
+	Session uint64
+	Window  uint32
+	High    uint64
+}
+
+// AppendAck appends an encoded FrameAck to dst.
+func AppendAck(dst []byte, a Ack) []byte {
+	var p [20]byte
+	binary.LittleEndian.PutUint64(p[0:], a.Session)
+	binary.LittleEndian.PutUint32(p[8:], a.Window)
+	binary.LittleEndian.PutUint64(p[12:], a.High)
+	return AppendFrame(dst, FrameAck, p[:])
+}
+
+// DecodeAck parses a FrameAck payload.
+func DecodeAck(payload []byte) (Ack, error) {
+	if len(payload) != 20 {
+		return Ack{}, fmt.Errorf("serve: ack payload is %d bytes, want 20", len(payload))
+	}
+	return Ack{
+		Session: binary.LittleEndian.Uint64(payload[0:]),
+		Window:  binary.LittleEndian.Uint32(payload[8:]),
+		High:    binary.LittleEndian.Uint64(payload[12:]),
+	}, nil
+}
+
+// AppendPing appends an encoded FramePing carrying token to dst.
+func AppendPing(dst []byte, token uint64) []byte {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], token)
+	return AppendFrame(dst, FramePing, p[:])
+}
+
+// AppendPong appends an encoded FramePong echoing token to dst.
+func AppendPong(dst []byte, token uint64) []byte {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], token)
+	return AppendFrame(dst, FramePong, p[:])
+}
+
+// DecodePing parses a FramePing payload into its token.
+func DecodePing(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("serve: ping payload is %d bytes, want 8", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), nil
+}
+
+// DecodePong parses a FramePong payload into its token.
+func DecodePong(payload []byte) (uint64, error) {
+	if len(payload) != 8 {
+		return 0, fmt.Errorf("serve: pong payload is %d bytes, want 8", len(payload))
+	}
+	return binary.LittleEndian.Uint64(payload), nil
 }
 
 // SampleHeader is the fixed prefix of a FrameSample payload; the counter row

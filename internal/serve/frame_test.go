@@ -134,6 +134,63 @@ func TestRejectRoundTrip(t *testing.T) {
 	}
 }
 
+func TestResumeRoundTrip(t *testing.T) {
+	r := Resume{Version: ProtocolVersion, RawDim: 33, Session: 0xDEADBEEF01}
+	b := AppendResume(nil, r)
+	fr, rest, err := DecodeFrame(b)
+	if err != nil || fr.Type != FrameResume || len(rest) != 0 {
+		t.Fatalf("decode: %v %+v", err, fr)
+	}
+	got, err := DecodeResume(fr.Payload)
+	if err != nil || got != r {
+		t.Fatalf("resume = %+v (%v), want %+v", got, err, r)
+	}
+	if _, err := DecodeResume(fr.Payload[:8]); err == nil {
+		t.Fatal("short resume accepted")
+	}
+}
+
+func TestAckRoundTrip(t *testing.T) {
+	a := Ack{Session: 42, Window: 1024, High: 1 << 40}
+	b := AppendAck(nil, a)
+	fr, _, err := DecodeFrame(b)
+	if err != nil || fr.Type != FrameAck {
+		t.Fatalf("decode: %v %+v", err, fr)
+	}
+	got, err := DecodeAck(fr.Payload)
+	if err != nil || got != a {
+		t.Fatalf("ack = %+v (%v), want %+v", got, err, a)
+	}
+	if _, err := DecodeAck(fr.Payload[:19]); err == nil {
+		t.Fatal("short ack accepted")
+	}
+}
+
+func TestPingPongRoundTrip(t *testing.T) {
+	const token = uint64(0x0123456789ABCDEF)
+	for _, tc := range []struct {
+		b    []byte
+		typ  byte
+		dec  func([]byte) (uint64, error)
+		name string
+	}{
+		{AppendPing(nil, token), FramePing, DecodePing, "ping"},
+		{AppendPong(nil, token), FramePong, DecodePong, "pong"},
+	} {
+		fr, _, err := DecodeFrame(tc.b)
+		if err != nil || fr.Type != tc.typ {
+			t.Fatalf("%s decode: %v %+v", tc.name, err, fr)
+		}
+		got, err := tc.dec(fr.Payload)
+		if err != nil || got != token {
+			t.Fatalf("%s token = %x (%v), want %x", tc.name, got, err, token)
+		}
+		if _, err := tc.dec(fr.Payload[:7]); err == nil {
+			t.Fatalf("short %s accepted", tc.name)
+		}
+	}
+}
+
 func TestFrameChaining(t *testing.T) {
 	// Several frames back-to-back decode in sequence — the wire stream shape.
 	var b []byte

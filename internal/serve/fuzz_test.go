@@ -18,6 +18,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(AppendReject(nil, Reject{Seq: 3, Code: RejectOverload, Msg: "full"}))
 	f.Add(AppendFrame(nil, FrameBye, nil))
 	f.Add(AppendFrame(nil, FrameStats, []byte(`{"accepted":1}`)))
+	f.Add(AppendPing(nil, 0x1122334455667788))
+	f.Add(AppendPong(nil, 0x8877665544332211))
+	f.Add(AppendResume(nil, Resume{Version: ProtocolVersion, RawDim: 4, Session: 99}))
+	f.Add(AppendAck(nil, Ack{Session: 99, Window: 1024, High: 17}))
 	// Malformed seeds: truncations, length lies, garbage.
 	f.Add([]byte{})
 	f.Add([]byte{FrameSample})
@@ -48,6 +52,14 @@ func FuzzDecodeFrame(f *testing.F) {
 			_, _ = DecodeVerdict(fr.Payload)
 		case FrameReject:
 			_, _ = DecodeReject(fr.Payload)
+		case FramePing:
+			_, _ = DecodePing(fr.Payload)
+		case FramePong:
+			_, _ = DecodePong(fr.Payload)
+		case FrameResume:
+			_, _ = DecodeResume(fr.Payload)
+		case FrameAck:
+			_, _ = DecodeAck(fr.Payload)
 		}
 		// Streamed decoding must agree with slice decoding on accept.
 		fr2, err2 := ReadFrame(bytes.NewReader(data))

@@ -8,12 +8,14 @@ import (
 	"time"
 
 	"evax/internal/benchjson"
+	"evax/internal/testleak"
 )
 
 // TestRunLoadAgainstServer drives the load harness at an in-process server
 // and checks the accounting: every sent sample is either accepted or
 // rejected, every accepted one is scored, and latency percentiles are sane.
 func TestRunLoadAgainstServer(t *testing.T) {
+	testleak.Check(t)
 	_, _, samples := lab(t)
 	cfg := DefaultConfig()
 	cfg.Shards = 2

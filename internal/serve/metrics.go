@@ -39,6 +39,16 @@ type Metrics struct {
 	batches      atomic.Uint64
 	writeErrors  atomic.Uint64
 
+	// Resilience counters: session lifecycle, dedup-window hits, and the
+	// slow-client / silent-client reaping paths.
+	sessions       atomic.Uint64 // sessions created
+	resumed        atomic.Uint64 // successful re-attaches to an existing session
+	sessionsReaped atomic.Uint64 // orphaned sessions removed after SessionIdle
+	dupes          atomic.Uint64 // replayed samples absorbed by the dedup window
+	resent         atomic.Uint64 // stored verdicts re-delivered for replays
+	shed           atomic.Uint64 // verdict frames dropped on a full outbound queue
+	idleReaped     atomic.Uint64 // conns torn down by the idle read deadline
+
 	mu        sync.Mutex
 	latency   [latencyBuckets]uint64
 	occupancy []uint64 // index = batch size; [0] unused
@@ -118,6 +128,13 @@ type Snapshot struct {
 	Flagged      uint64  `json:"frames_flagged"`
 	Batches      uint64  `json:"batches"`
 	WriteErrors  uint64  `json:"write_errors"`
+	Sessions     uint64  `json:"sessions"`
+	Resumed      uint64  `json:"sessions_resumed"`
+	SessReaped   uint64  `json:"sessions_reaped"`
+	Dupes        uint64  `json:"frames_deduped"`
+	Resent       uint64  `json:"verdicts_resent"`
+	Shed         uint64  `json:"verdicts_shed"`
+	IdleReaped   uint64  `json:"conns_idle_reaped"`
 	ScoresPerSec float64 `json:"scores_per_sec"`
 	// BatchOccupancy[i] counts flushed batches of exactly i samples (the
 	// last entry also absorbs any larger batches).
@@ -141,6 +158,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		Flagged:      m.flagged.Load(),
 		Batches:      m.batches.Load(),
 		WriteErrors:  m.writeErrors.Load(),
+		Sessions:     m.sessions.Load(),
+		Resumed:      m.resumed.Load(),
+		SessReaped:   m.sessionsReaped.Load(),
+		Dupes:        m.dupes.Load(),
+		Resent:       m.resent.Load(),
+		Shed:         m.shed.Load(),
+		IdleReaped:   m.idleReaped.Load(),
 	}
 	if up > 0 {
 		s.ScoresPerSec = float64(s.Scored) / up
@@ -189,4 +213,14 @@ type ConnStats struct {
 	// BundleHash is the content hash (hex) of the generation active when the
 	// connection closed — provenance for the last verdicts it received.
 	BundleHash string `json:"bundle_hash,omitempty"`
+	// Session fields are present only for session-backed connections: the
+	// session id and its lifetime totals across every conn that carried it,
+	// plus the dedup/resend/shed traffic the resilience layer absorbed.
+	Session         uint64 `json:"session,omitempty"`
+	SessionAccepted uint64 `json:"session_accepted,omitempty"`
+	SessionScored   uint64 `json:"session_scored,omitempty"`
+	SessionFlagged  uint64 `json:"session_flagged,omitempty"`
+	Dupes           uint64 `json:"dupes,omitempty"`
+	Resent          uint64 `json:"resent,omitempty"`
+	Shed            uint64 `json:"shed,omitempty"`
 }

@@ -16,6 +16,7 @@ import (
 	"evax/internal/detect"
 	"evax/internal/engine"
 	"evax/internal/sim"
+	"evax/internal/testleak"
 	"evax/internal/workload"
 )
 
@@ -154,6 +155,7 @@ func streamAll(t *testing.T, addr string, samples []dataset.Sample) (ConnStats, 
 // connections stream distinct slices of the corpus, and every verdict —
 // score bits, flag bit, secure bit — must equal the offline pipeline's.
 func TestServeBitIdenticalToOffline(t *testing.T) {
+	testleak.Check(t)
 	_, _, samples := lab(t)
 	cfg := DefaultConfig()
 	cfg.Shards = 2
@@ -257,6 +259,7 @@ func TestServeBitIdenticalToOffline(t *testing.T) {
 // overload frames — never buffered — and every accepted sample still gets
 // its verdict once the batcher resumes.
 func TestAdmissionControlRejects(t *testing.T) {
+	testleak.Check(t)
 	_, _, samples := lab(t)
 	gate := make(chan struct{})
 	cfg := DefaultConfig()
@@ -335,6 +338,7 @@ func TestAdmissionControlRejects(t *testing.T) {
 // four connections are mid-stream, and every sample the server accepted must
 // still receive its verdict before the connection closes.
 func TestKillAndDrainLosesNothing(t *testing.T) {
+	testleak.Check(t)
 	_, _, samples := lab(t)
 	cfg := DefaultConfig()
 	cfg.Shards = 2
@@ -347,12 +351,14 @@ func TestKillAndDrainLosesNothing(t *testing.T) {
 		err      error
 	}
 	results := make([]result, conns)
+	dialed := make(chan struct{}, conns)
 	var wg sync.WaitGroup
 	for ci := 0; ci < conns; ci++ {
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
 			cl, err := Dial(srv.Addr(), len(samples[0].Raw))
+			dialed <- struct{}{}
 			if err != nil {
 				results[ci].err = err
 				return
@@ -381,6 +387,12 @@ func TestKillAndDrainLosesNothing(t *testing.T) {
 		}(ci)
 	}
 
+	// Every handshake must complete before the plug is pulled: a fast pair
+	// of connections can push Accepted past the gate while a slower dial is
+	// still mid-hello, and draining then refuses that handshake.
+	for i := 0; i < conns; i++ {
+		<-dialed
+	}
 	// Let real load accumulate, then pull the plug mid-stream.
 	for srv.Metrics().Snapshot().Accepted < 500 {
 		time.Sleep(time.Millisecond)
@@ -395,7 +407,7 @@ func TestKillAndDrainLosesNothing(t *testing.T) {
 	for ci := range results {
 		r := results[ci]
 		if r.err != nil {
-			t.Fatalf("client %d: %v", ci, r.err)
+			t.Fatalf("client %d: %v (after %d verdicts)", ci, r.err, len(r.verdicts))
 		}
 		// The drain contract, per connection: everything accepted was
 		// scored and its verdict delivered before the stats frame.

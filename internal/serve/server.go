@@ -28,6 +28,13 @@ const (
 // hello: a port scanner or wedged client can't pin a reader goroutine forever.
 const helloTimeout = 5 * time.Second
 
+// lingerTimeout bounds the post-FIN discard read that protects a closing
+// connection's final frames (stats, drain notice) from an RST clobbering
+// them: the writer half-closes, then consumes the client's in-flight tail
+// until its FIN or this deadline. A vanished client costs one timeout, not
+// a hang.
+const lingerTimeout = time.Second
+
 // outQueueDepth is the per-connection outbound frame queue. The writer drains
 // it continuously (discarding after a write error), so the depth only smooths
 // bursts; it never becomes unbounded buffering.
@@ -59,6 +66,20 @@ type Config struct {
 	SecureWindow uint64
 	// WriteTimeout bounds each frame write to a client.
 	WriteTimeout time.Duration
+	// IdleTimeout bounds the silence between any two frames from a client
+	// (not just before the hello): a silent-dead client is reaped instead of
+	// pinning a reader goroutine and shard slot forever. Clients that want
+	// long-lived idle connections keep them alive with ping frames. <= 0
+	// disables the idle deadline (the hello deadline always applies).
+	IdleTimeout time.Duration
+	// SessionWindow is the per-session dedup ring size in sequence numbers:
+	// how far behind the highest admitted seq a replayed sample can be and
+	// still be deduplicated / re-answered. Replays older than the window are
+	// rejected with RejectStale.
+	SessionWindow int
+	// SessionIdle is how long an orphaned session (no attached conn) is kept
+	// resumable before being reaped. <= 0 keeps orphans forever.
+	SessionIdle time.Duration
 	// StatsPath, when non-empty, receives the final metrics snapshot
 	// (crash-safe JSON) when the server drains.
 	StatsPath string
@@ -78,13 +99,16 @@ type Config struct {
 // admission queue per shard.
 func DefaultConfig() Config {
 	return Config{
-		Addr:         "127.0.0.1:0",
-		MaxBatch:     32,
-		Linger:       2 * time.Millisecond,
-		QueueBound:   1024,
-		Shards:       1,
-		SecureWindow: 1_000_000,
-		WriteTimeout: 10 * time.Second,
+		Addr:          "127.0.0.1:0",
+		MaxBatch:      32,
+		Linger:        2 * time.Millisecond,
+		QueueBound:    1024,
+		Shards:        1,
+		SecureWindow:  1_000_000,
+		WriteTimeout:  10 * time.Second,
+		IdleTimeout:   2 * time.Minute,
+		SessionWindow: 1024,
+		SessionIdle:   5 * time.Minute,
 	}
 }
 
@@ -124,6 +148,8 @@ type Server struct {
 	mu       sync.Mutex
 	conns    map[uint64]*conn
 	nextConn uint64
+	sessions map[uint64]*session
+	nextSess uint64 // session ids start at 1; 0 in a resume frame means "create"
 	draining bool
 	drained  chan struct{} // closed when Drain completes
 
@@ -169,18 +195,25 @@ func NewFromManager(mgr *engine.Manager, cfg Config) (*Server, error) {
 	if cfg.Shards <= 0 {
 		return nil, fmt.Errorf("serve: Shards must be positive, got %d", cfg.Shards)
 	}
+	if cfg.SessionWindow <= 0 {
+		// Configs predating sessions leave this zero; give them the default
+		// rather than failing, since the field only matters to resume users.
+		cfg.SessionWindow = DefaultConfig().SessionWindow
+	}
 	rawDim := mgr.Active().RawDim()
 	if rawDim <= 0 {
 		return nil, fmt.Errorf("serve: rawDim must be positive, got %d", rawDim)
 	}
 	srv := &Server{
-		cfg:     cfg,
-		rawDim:  rawDim,
-		met:     newMetrics(cfg.MaxBatch),
-		mgr:     mgr,
-		sw:      mgr.Swapper(),
-		conns:   make(map[uint64]*conn),
-		drained: make(chan struct{}),
+		cfg:      cfg,
+		rawDim:   rawDim,
+		met:      newMetrics(cfg.MaxBatch),
+		mgr:      mgr,
+		sw:       mgr.Swapper(),
+		conns:    make(map[uint64]*conn),
+		sessions: make(map[uint64]*session),
+		nextSess: 1,
+		drained:  make(chan struct{}),
 	}
 	// Capacity covers every row that can be in flight at once (each shard's
 	// queue plus its draining batch); beyond that, puts drop to the GC.

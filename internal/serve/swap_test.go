@@ -13,6 +13,7 @@ import (
 	"evax/internal/dataset"
 	"evax/internal/defense"
 	"evax/internal/engine"
+	"evax/internal/testleak"
 )
 
 // startSwapServer boots a server whose manager is wired for live vaccination:
@@ -227,6 +228,7 @@ func TestAdminStatusSwapRollback(t *testing.T) {
 // by construction), and the post-swap replay digest must reproduce the
 // promotion report's canary digest. Run under -race.
 func TestHotSwapZeroDroppedFrames(t *testing.T) {
+	testleak.Check(t)
 	_, _, samples := lab(t)
 	canary := samples[:300]
 	cfg := DefaultConfig()
@@ -370,6 +372,7 @@ func TestHotSwapZeroDroppedFrames(t *testing.T) {
 // incumbent beyond the gate is refused, and the old generation keeps serving
 // bit-identical verdicts as if nothing happened.
 func TestSwapGateRejectionKeepsServing(t *testing.T) {
+	testleak.Check(t)
 	_, _, samples := lab(t)
 	canary := samples[:300]
 	srv, stateDir := startSwapServer(t, DefaultConfig(), canary)
@@ -431,6 +434,7 @@ func TestSwapGateRejectionKeepsServing(t *testing.T) {
 // nothing, and fills the `swap` section evaxload merges into
 // BENCH_runner.json.
 func TestRunLoadSwapMidRun(t *testing.T) {
+	testleak.Check(t)
 	_, _, samples := lab(t)
 	canary := samples[:200]
 	cfg := DefaultConfig()

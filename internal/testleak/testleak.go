@@ -1,0 +1,62 @@
+// Package testleak asserts that a test leaves no project goroutines
+// behind. The serving stack owns long-lived goroutines (connection
+// readers, shard batchers, swap coordinators); every teardown path —
+// drain, idle reaping, injected faults, canary rollback — must join all
+// of them, or leaked readers accumulate across a process lifetime and
+// hold connections, buffers and file descriptors forever.
+package testleak
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Check arms a goroutine-leak assertion for the current test: at cleanup
+// time, no goroutine other than the test's own may still be running
+// project code. Register it BEFORE starting servers or clients — cleanups
+// run last-in-first-out, so checks registered first observe the world
+// after every later-registered teardown has finished.
+//
+// Teardown is allowed a grace period: goroutines unwinding from a just
+// closed listener are retried, not reported.
+func Check(t *testing.T) {
+	t.Helper()
+	t.Cleanup(func() {
+		var leaked []string
+		for i := 0; i < 100; i++ {
+			leaked = projectGoroutines()
+			if len(leaked) == 0 {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		t.Errorf("testleak: %d goroutine(s) still running project code after teardown:\n\n%s",
+			len(leaked), strings.Join(leaked, "\n\n"))
+	})
+}
+
+// projectGoroutines returns the stack of every goroutine — except the
+// caller's own — with a project function ("evax/...") anywhere in it.
+// Runtime, testing-harness and stdlib service goroutines never match, so
+// no fragile ignore-list is needed.
+func projectGoroutines() []string {
+	buf := make([]byte, 1<<20)
+	n := runtime.Stack(buf, true)
+	for n == len(buf) {
+		buf = make([]byte, 2*len(buf))
+		n = runtime.Stack(buf, true)
+	}
+	records := strings.Split(string(buf[:n]), "\n\n")
+	var out []string
+	for i, rec := range records {
+		if i == 0 {
+			continue // the calling goroutine: the test/cleanup itself
+		}
+		if strings.Contains(rec, "evax/") {
+			out = append(out, rec)
+		}
+	}
+	return out
+}
