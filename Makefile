@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench bench-json faults serve-test swap-test kernel-test chaos-test check fmt
+.PHONY: build test race lint bench bench-json faults serve-test swap-test kernel-test chaos-test fleet-test check fmt
 
 build: ## compile every package
 	$(GO) build ./...
@@ -49,6 +49,10 @@ kernel-test: ## fused-kernel gate: bit-identity, quantized agreement, zero-alloc
 chaos-test: ## chaos gate under -race: deterministic fault injection, resilient-client recovery, exactly-once verdict accounting, session resume, leak checks
 	$(GO) test -race -count=1 ./internal/netfault ./internal/serve/client
 	$(GO) test -race -count=1 -run 'Session|Idle|HalfClose|Resume' ./internal/serve
+
+fleet-test: ## sharded fleet gate under -race: ring routing, pub/sub bus, digest invariance across shard counts, mid-replay fleet swap, coordinator restart
+	$(GO) test -race -count=1 ./internal/fleet
+	$(GO) test -race -count=1 -run 'PromoteAllFile|ConnStatsFrame' ./internal/engine ./internal/serve
 
 fmt: ## rewrite sources with gofmt
 	gofmt -w .

@@ -48,6 +48,7 @@ func main() {
 		linger    = flag.Duration("linger", 2*time.Millisecond, "max wait for a batch to fill after its first sample")
 		queue     = flag.Int("queue", 1024, "per-shard ingest queue bound; samples beyond it are rejected, not buffered")
 		shards    = flag.Int("shards", 1, "scoring lanes (connections are pinned round-robin)")
+		shardID   = flag.Int("shard-id", 0, "fleet shard ID stamped on metrics snapshots and per-conn stats frames (0 for standalone)")
 		window    = flag.Uint64("window", 1_000_000, "post-flag secure window in committed instructions")
 		statsPath = flag.String("stats", "", "write the final metrics snapshot here on drain (crash-safe)")
 		replay    = flag.String("replay", "", "replay a recorded corpus (dataset corpus file) instead of serving")
@@ -144,6 +145,7 @@ func main() {
 	cfg.Linger = *linger
 	cfg.QueueBound = *queue
 	cfg.Shards = *shards
+	cfg.ShardID = *shardID
 	cfg.SecureWindow = *window
 	cfg.StatsPath = *statsPath
 	cfg.Backend = *backend

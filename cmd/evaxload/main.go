@@ -11,6 +11,7 @@
 //	evaxload -addr 127.0.0.1:9317 -clients 8 -n 500 -rate 20000
 //	evaxload -addr 127.0.0.1:9317 -corpus corpus.bin -benchjson BENCH_runner.json
 //	evaxload -addr 127.0.0.1:9317 -chaos 6       # chaos mode: deterministic fault injection
+//	evaxload -fleet 4 -bundle patch.json         # fleet mode: digest-identical at 1/2/4 shards
 //
 // Chaos mode (-chaos N) swaps the synthetic dial loop for the resilient
 // client (internal/serve/client): each client suffers N deterministic
@@ -31,6 +32,7 @@ import (
 
 	"evax/internal/benchjson"
 	"evax/internal/dataset"
+	"evax/internal/fleet"
 	"evax/internal/serve"
 	"evax/internal/serve/client"
 )
@@ -52,6 +54,10 @@ func main() {
 		chaosFaults = flag.Int("chaos", 0, "chaos mode: inject this many deterministic connection faults per client via resilient clients, then compare the verdict digest against a fault-free run")
 		chaosName   = flag.String("chaos-name", "evaxload-chaos", "schedule name seeding the deterministic fault plan (same name, same faults)")
 		chaosStall  = flag.Duration("chaos-stall", 50*time.Millisecond, "pause stall-write faults hold before severing the connection")
+
+		fleetMax    = flag.Int("fleet", 0, "fleet mode: self-host in-process fleets at shard counts 1,2,4,... up to this count, replay the corpus through each, and require a bit-identical merged digest at every shard count")
+		fleetBundle = flag.String("bundle", "", "detection bundle fleet mode serves (required with -fleet)")
+		fleetSeed   = flag.Int64("seed", 1, "fleet-mode tenant routing seed; the merged digest is identical for every seed")
 	)
 	flag.Parse()
 
@@ -80,6 +86,17 @@ func main() {
 
 	if *chaosFaults > 0 {
 		runChaos(*addr, *clients, *perConn, *chaosFaults, *chaosName, *chaosStall, *jsonOut, samples)
+		return
+	}
+
+	if *fleetMax > 0 {
+		if *fleetBundle == "" {
+			fatalf("evaxload: -fleet needs -bundle (train one with: evaxtrain -quick -bundle patch.json)")
+		}
+		// Tenants are the routing granularity: with too few, per-shard skew
+		// is dominated by small-sample noise rather than ring balance, so
+		// the sweep floors the tenant count well above the shard counts.
+		runFleet(*fleetBundle, *fleetMax, max(*clients, 4**fleetMax), *fleetSeed, *jsonOut, samples)
 		return
 	}
 
@@ -198,6 +215,97 @@ func runChaos(addr string, clients, perConn, faults int, name string, stall time
 			fatalf("evaxload: %v", err)
 		}
 		fmt.Printf("evaxload: merged chaos section into %s\n", jsonOut)
+	}
+	if !sec.DigestMatch {
+		os.Exit(1)
+	}
+}
+
+// fleetSection is the JSON shape of the fleet measurement: per-shard-count
+// replay runs and the golden invariant (one merged digest across every shard
+// count).
+type fleetSection struct {
+	ShardCounts []int      `json:"shard_counts"`
+	Tenants     int        `json:"tenants"`
+	Rows        int        `json:"rows"`
+	Seed        int64      `json:"seed"`
+	Digest      string     `json:"digest"`
+	DigestMatch bool       `json:"digest_match"`
+	Runs        []fleetRun `json:"runs"`
+	Note        string     `json:"note,omitempty"`
+}
+
+// fleetRun is one shard count's replay summary.
+type fleetRun struct {
+	Shards     int       `json:"shards"`
+	Digest     string    `json:"digest"`
+	Flagged    int       `json:"flagged"`
+	Skew       float64   `json:"skew"`
+	MeanRate   float64   `json:"mean_rate"`
+	ShardRows  []int     `json:"shard_rows"`
+	ShardRates []float64 `json:"shard_rates"`
+}
+
+// runFleet replays the corpus through self-hosted in-process fleets at shard
+// counts 1, 2, 4, ... up to maxShards and requires the merged verdict digest
+// to be bit-identical at every count — the fleet determinism gate. Nonzero
+// exit on any divergence.
+func runFleet(bundlePath string, maxShards, tenants int, seed int64, jsonOut string, samples []dataset.Sample) {
+	data, err := os.ReadFile(bundlePath)
+	if err != nil {
+		fatalf("evaxload: %v", err)
+	}
+	var counts []int
+	for n := 1; n <= maxShards; n *= 2 {
+		counts = append(counts, n)
+	}
+
+	sec := fleetSection{ShardCounts: counts, Rows: len(samples), Seed: seed, DigestMatch: true}
+	for _, n := range counts {
+		fl, err := fleet.New(data, fleet.Config{Shards: n, Serve: serve.DefaultConfig()})
+		if err != nil {
+			fatalf("evaxload: fleet %d shards: %v", n, err)
+		}
+		if err := fl.Start(); err != nil {
+			fatalf("evaxload: fleet %d shards: %v", n, err)
+		}
+		rep, rerr := fl.Replay(samples, fleet.ReplayOptions{Tenants: tenants, Seed: seed})
+		if _, derr := fl.Drain(); derr != nil {
+			fatalf("evaxload: fleet %d shards drain: %v", n, derr)
+		}
+		if rerr != nil {
+			fatalf("evaxload: fleet %d shards replay: %v", n, rerr)
+		}
+		sec.Tenants = rep.Tenants
+		sec.Runs = append(sec.Runs, fleetRun{
+			Shards:     n,
+			Digest:     rep.HashHex(),
+			Flagged:    rep.Flagged,
+			Skew:       rep.Skew,
+			MeanRate:   rep.MeanRate,
+			ShardRows:  rep.ShardRows,
+			ShardRates: rep.ShardRates,
+		})
+		if sec.Digest == "" {
+			sec.Digest = rep.HashHex()
+		} else if rep.HashHex() != sec.Digest {
+			sec.DigestMatch = false
+		}
+	}
+	if !sec.DigestMatch {
+		sec.Note = "merged digest diverged across shard counts: fleet routing perturbed a verdict"
+	}
+
+	out, jerr := json.MarshalIndent(sec, "", "  ")
+	if jerr != nil {
+		fatalf("evaxload: %v", jerr)
+	}
+	fmt.Printf("fleet: %s\n", out)
+	if jsonOut != "" {
+		if err := benchjson.Merge(jsonOut, map[string]any{"fleet": sec}); err != nil {
+			fatalf("evaxload: %v", err)
+		}
+		fmt.Printf("evaxload: merged fleet section into %s\n", jsonOut)
 	}
 	if !sec.DigestMatch {
 		os.Exit(1)

@@ -263,10 +263,12 @@ func TestWallClock(t *testing.T) {
 
 func TestWallClockExemptScopes(t *testing.T) {
 	// The same wall-clock reads are legitimate in the serving layer
-	// (latency measurement), the run engine (backoff), and command mains.
+	// (latency measurement), the run engine (backoff), the fleet layer
+	// (heartbeats, probe RTTs), and command mains.
 	for _, path := range []string{
 		"evax/internal/serve",
 		"evax/internal/runner",
+		"evax/internal/fleet",
 		"evax/cmd/evaxd",
 	} {
 		prog := loadFixtureProg(t, fixturePkg{

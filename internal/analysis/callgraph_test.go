@@ -87,6 +87,35 @@ func TestRawWriteLaunder(t *testing.T) {
 		fixturePkg{path: "evax/internal/detect", files: fixture("rawwrite", "launder.go")})
 }
 
+func TestFleetBarrier(t *testing.T) {
+	// internal/fleet is a trusted barrier for both confinement rules: its
+	// own clock reads (heartbeat pacing, probe RTTs) and goroutines
+	// (coordinator loop, tenant streams) are part of its contract.
+	prog := loadFixtureProg(t, fixturePkg{
+		path:  "evax/internal/fleet",
+		files: fixture("wallclock", "fleet.go"),
+	})
+	if diags := Analyze(prog, []*Analyzer{WallClockAnalyzer()}); len(diags) != 0 {
+		t.Errorf("wallclock fired inside internal/fleet: %v", diags)
+	}
+	prog = loadFixtureProg(t, fixturePkg{
+		path:  "evax/internal/fleet",
+		files: fixture("goroutine", "bad.go"),
+	})
+	if diags := Analyze(prog, []*Analyzer{GoroutineAnalyzer()}); len(diags) != 0 {
+		t.Errorf("goroutine fired inside internal/fleet: %v", diags)
+	}
+
+	// The barrier is precisely scoped: a non-exempt caller may call INTO
+	// the fleet helper (trusted, no finding), but laundering its own
+	// time.Now through a local fleet-looking helper is still flagged with
+	// the chain as witness.
+	runRule(t, WallClockAnalyzer(),
+		filepath.Join("testdata", "src", "wallclock", "fleetcaller.golden"),
+		fixturePkg{path: "evax/internal/fleet", files: fixture("wallclock", "fleet.go")},
+		fixturePkg{path: "evax/internal/dataset", files: fixture("wallclock", "fleetcaller.go")})
+}
+
 func TestConfineExemptBarrier(t *testing.T) {
 	// The laundering wrapper inside an exempt package is trusted: neither
 	// its own use nor calls into it propagate.

@@ -12,11 +12,15 @@ import (
 // service: connection readers/writers and shard batchers are long-lived
 // event loops, not fan-out jobs — scheduling there never reaches a score
 // (verdicts depend only on their row), so raw concurrency is part of its
-// contract rather than a determinism leak.
+// contract rather than a determinism leak. internal/fleet extends the same
+// argument one level up: coordinator heartbeats and tenant streams are
+// serve-style event loops, and the merged replay digest is folded in corpus
+// order, so fleet scheduling cannot perturb a verdict either.
 var goroutineExemptScope = []string{
 	"internal/runner",
 	"internal/serve",
 	"internal/serve/client",
+	"internal/fleet",
 }
 
 // GoroutineAnalyzer flags raw go statements and sync.WaitGroup references

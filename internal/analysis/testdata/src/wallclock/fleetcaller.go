@@ -1,0 +1,28 @@
+package dataset
+
+import (
+	"time"
+
+	"evax/internal/fleet"
+)
+
+// Route calls into the fleet barrier: trusted, never flagged — the barrier
+// absorbs the clock read the way internal/serve and internal/runner do.
+func Route() int64 {
+	return fleet.ProbeStart()
+}
+
+// stampLocal launders its own wall-clock read behind a suppression — a
+// fleet-looking helper that does NOT live inside internal/fleet gets no
+// barrier trust.
+func stampLocal() int64 {
+	//evaxlint:ignore wallclock cached coarse clock, refreshed out of band
+	return time.Now().UnixNano()
+}
+
+// Tag reaches the wall clock through the local launder: still flagged with
+// the chain as witness, proving the fleet exemption is scoped to the real
+// package, not to helpers that merely look like it.
+func Tag() int64 {
+	return Route() + stampLocal()
+}

@@ -8,13 +8,15 @@ import (
 
 // wallclockExemptScope lists the package-path suffixes where sampling the
 // wall clock is part of the job: the online serving layer (batch linger,
-// latency histograms, I/O deadlines) and the run engine (retry backoff,
-// job timeouts). Command mains (any package under a cmd/ segment) are also
-// exempt — progress lines and wall-clock reports are their interface.
+// latency histograms, I/O deadlines), the run engine (retry backoff, job
+// timeouts), and the fleet layer (heartbeat pacing, probe RTTs, replay
+// rates). Command mains (any package under a cmd/ segment) are also exempt
+// — progress lines and wall-clock reports are their interface.
 var wallclockExemptScope = []string{
 	"internal/serve",
 	"internal/serve/client",
 	"internal/runner",
+	"internal/fleet",
 }
 
 // wallclockFuncs are the real-time reads the rule bans. time.Duration

@@ -1,0 +1,120 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrFleetPartial means a fleet-wide promotion failed on some shard and the
+// shards that had already swapped were rolled back to the incumbent pair.
+var ErrFleetPartial = errors.New("engine: fleet promotion failed, swapped shards rolled back")
+
+// FleetSwapReport records one fleet-wide promotion attempt: the per-shard
+// reports in shard order, plus whether every shard ended the attempt on the
+// same active hash and epoch — the alignment invariant a coordinator-driven
+// swap must restore before it counts as done.
+type FleetSwapReport struct {
+	// Shards holds each manager's SwapReport, indexed by shard.
+	Shards []SwapReport `json:"shards"`
+	// Swapped reports whether any shard performed a live swap. False on a
+	// fleet-wide no-op: the candidate already matched every incumbent, so
+	// the fleet is on the target generation without an epoch bump.
+	Swapped bool `json:"swapped"`
+	// RolledBack reports whether a partial failure forced rollbacks.
+	RolledBack bool `json:"rolled_back"`
+	// Aligned reports whether all shards finished on the same active hash.
+	Aligned bool `json:"aligned"`
+	// EpochAligned reports whether all shards finished on the same epoch.
+	EpochAligned bool `json:"epoch_aligned"`
+	// ActiveHash is the common active hash when Aligned, else "".
+	ActiveHash string `json:"active_hash,omitempty"`
+	// Epoch is the common epoch when EpochAligned, else 0.
+	Epoch uint64 `json:"epoch,omitempty"`
+}
+
+// alignment fills the Aligned/EpochAligned summary from the per-shard
+// reports.
+func (r *FleetSwapReport) alignment(mgrs []*Manager) {
+	r.Aligned = true
+	r.EpochAligned = true
+	for i, m := range mgrs {
+		hash := m.Active().HashHex()
+		epoch := m.Swapper().Epoch()
+		if i == 0 {
+			r.ActiveHash = hash
+			r.Epoch = epoch
+			continue
+		}
+		if hash != r.ActiveHash {
+			r.Aligned = false
+		}
+		if epoch != r.Epoch {
+			r.EpochAligned = false
+		}
+	}
+	if !r.Aligned {
+		r.ActiveHash = ""
+	}
+	if !r.EpochAligned {
+		r.Epoch = 0
+	}
+}
+
+// PromoteAllFile fans one candidate bundle across every shard manager with
+// all-or-rollback semantics: shards are promoted sequentially in shard order
+// (each runs its own canary gate and post-swap probe), and the first failure
+// rolls back every shard that had already swapped, so the fleet never stays
+// split across two generations. A per-shard no-op promotion (candidate
+// identical to that shard's incumbent) counts as success — it leaves the
+// shard on the target generation already.
+//
+// Shards are expected to start epoch-aligned (same swap history); the report
+// says whether they ended that way.
+func PromoteAllFile(mgrs []*Manager, path string) (FleetSwapReport, error) {
+	rep := FleetSwapReport{Shards: make([]SwapReport, 0, len(mgrs))}
+	if len(mgrs) == 0 {
+		return rep, errors.New("engine: fleet promotion over zero shards")
+	}
+
+	var failed error
+	for i, m := range mgrs {
+		sr, err := m.PromoteFile(path)
+		rep.Shards = append(rep.Shards, sr)
+		if err != nil {
+			failed = fmt.Errorf("engine: shard %d: %w", i, err)
+			break
+		}
+	}
+
+	if failed == nil {
+		for _, sr := range rep.Shards {
+			if sr.Swapped {
+				rep.Swapped = true
+			}
+		}
+		rep.alignment(mgrs)
+		return rep, nil
+	}
+
+	// Unwind: roll back every shard whose attempt actually swapped. Shards
+	// that no-opped (identical candidate) or failed never left the incumbent,
+	// so rolling them back would push them BEHIND the fleet.
+	var unwind []error
+	for i := len(rep.Shards) - 1; i >= 0; i-- {
+		if !rep.Shards[i].Swapped || rep.Shards[i].RolledBack {
+			continue
+		}
+		rb, err := mgrs[i].Rollback()
+		rep.Shards[i] = rb
+		rep.RolledBack = true
+		if err != nil {
+			unwind = append(unwind, fmt.Errorf("engine: shard %d rollback: %w", i, err))
+		}
+	}
+	rep.alignment(mgrs)
+	err := fmt.Errorf("%w: %w", ErrFleetPartial, failed)
+	if len(unwind) > 0 {
+		err = errors.Join(err, errors.Join(unwind...))
+	}
+	return rep, err
+}

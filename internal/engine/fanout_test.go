@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// fleetFixture builds n managers all serving the same initial generation
+// with the same canary corpus — the epoch-aligned starting state a fleet
+// coordinator assumes.
+func fleetFixture(t *testing.T, n int) []*Manager {
+	t.Helper()
+	mgrs := make([]*Manager, n)
+	for i := range mgrs {
+		active := testGen(t, 1, 2, "")
+		corpus := testCorpus(24, active.RawDim())
+		mgr, err := NewManager(active, ManagerConfig{Corpus: corpus})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mgrs[i] = mgr
+	}
+	return mgrs
+}
+
+// TestPromoteAllFileHappyPath: the candidate lands on every shard, the fleet
+// ends aligned on its hash at epoch 2, and each per-shard report is a real
+// gated promotion.
+func TestPromoteAllFileHappyPath(t *testing.T) {
+	mgrs := fleetFixture(t, 3)
+	incumbent := mgrs[0].Active().HashHex()
+	cand := filepath.Join(t.TempDir(), "cand.json")
+	writeCandidate(t, cand, 2, 3) // same verdicts (none flagged), different bytes
+
+	rep, err := PromoteAllFile(mgrs, cand)
+	if err != nil {
+		t.Fatalf("promote all: %v (report %+v)", err, rep)
+	}
+	if !rep.Swapped || rep.RolledBack || !rep.Aligned || !rep.EpochAligned {
+		t.Fatalf("report: %+v", rep)
+	}
+	if rep.Epoch != 2 || rep.ActiveHash == incumbent || rep.ActiveHash == "" {
+		t.Fatalf("fleet lineage: %+v", rep)
+	}
+	if len(rep.Shards) != 3 {
+		t.Fatalf("per-shard reports: %d, want 3", len(rep.Shards))
+	}
+	for i, sr := range rep.Shards {
+		if !sr.Swapped || sr.ActiveHash != rep.ActiveHash || sr.Epoch != 2 || sr.CanaryRows == 0 {
+			t.Fatalf("shard %d report: %+v", i, sr)
+		}
+	}
+	for i, m := range mgrs {
+		if m.Active().HashHex() != rep.ActiveHash {
+			t.Fatalf("shard %d active %s, want %s", i, m.Active().HashHex(), rep.ActiveHash)
+		}
+	}
+}
+
+// TestPromoteAllFileAllOrRollback: a failing shard (its health probe
+// rejects) forces every already-swapped shard back to the incumbent — the
+// fleet never stays split across two generations.
+func TestPromoteAllFileAllOrRollback(t *testing.T) {
+	mgrs := fleetFixture(t, 3)
+	incumbent := mgrs[0].Active().HashHex()
+	// Shard 2's probe always fails: its own Promote swaps then rolls back,
+	// and the fan-out must unwind shards 0 and 1.
+	active := testGen(t, 1, 2, "")
+	failing, err := NewManager(active, ManagerConfig{
+		Corpus: testCorpus(24, active.RawDim()),
+		Probe:  func(*Generation) error { return fmt.Errorf("injected probe failure") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgrs[2] = failing
+
+	cand := filepath.Join(t.TempDir(), "cand.json")
+	writeCandidate(t, cand, 2, 3)
+	rep, err := PromoteAllFile(mgrs, cand)
+	if !errors.Is(err, ErrFleetPartial) {
+		t.Fatalf("err = %v, want ErrFleetPartial", err)
+	}
+	if rep.Swapped || !rep.RolledBack {
+		t.Fatalf("report: %+v", rep)
+	}
+	if !rep.Aligned || rep.ActiveHash != incumbent {
+		t.Fatalf("fleet not restored to the incumbent: %+v", rep)
+	}
+	// Every shard walked swap (epoch 2) then rollback (epoch 3), so the
+	// fleet is epoch-aligned even after the unwind.
+	if !rep.EpochAligned || rep.Epoch != 3 {
+		t.Fatalf("epochs diverged after unwind: %+v", rep)
+	}
+	for i, m := range mgrs {
+		if m.Active().HashHex() != incumbent {
+			t.Fatalf("shard %d left on %s, want incumbent %s", i, m.Active().HashHex(), incumbent)
+		}
+	}
+}
+
+// TestPromoteAllFileIdenticalNoOp: promoting the bundle the fleet already
+// serves is a fleet-wide no-op — no swap, no epoch movement, still aligned.
+func TestPromoteAllFileIdenticalNoOp(t *testing.T) {
+	mgrs := fleetFixture(t, 2)
+	incumbent := mgrs[0].Active()
+	same := filepath.Join(t.TempDir(), "same.json")
+	writeCandidate(t, same, 1, 2) // identical parts: same bundle bytes, same hash
+
+	rep, err := PromoteAllFile(mgrs, same)
+	if err != nil {
+		t.Fatalf("no-op promote errored: %v", err)
+	}
+	if rep.Swapped {
+		t.Fatalf("fleet report claims a live swap for an identical candidate: %+v", rep)
+	}
+	for i, sr := range rep.Shards {
+		if sr.Swapped {
+			t.Fatalf("shard %d swapped an identical candidate: %+v", i, sr)
+		}
+	}
+	if !rep.Aligned || !rep.EpochAligned || rep.Epoch != 1 || rep.ActiveHash != incumbent.HashHex() {
+		t.Fatalf("no-op moved the fleet: %+v", rep)
+	}
+}

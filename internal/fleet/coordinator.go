@@ -1,0 +1,213 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"evax/internal/engine"
+	"evax/internal/runner"
+	"evax/internal/serve"
+)
+
+// DefaultProbeInterval paces the coordinator's heartbeat loop.
+const DefaultProbeInterval = time.Second
+
+// probeTimeout bounds each over-the-wire probe read so a wedged shard costs
+// the heartbeat loop one deadline, not a hang.
+const probeTimeout = 5 * time.Second
+
+// Member is one shard as the coordinator sees it: its ID, its framing
+// address (probed over the wire, exactly like an external client would), and
+// its manager (the in-process promotion target for fleet-wide swaps).
+type Member struct {
+	ID   int
+	Addr string
+	Mgr  *engine.Manager
+}
+
+// Health is one shard's most recent probe result. The probe exercises the
+// real client path end to end: dial + hello, ping/pong (the serve heartbeat
+// frames), and an admin status for the generation pair.
+type Health struct {
+	Shard int    `json:"shard"`
+	Addr  string `json:"addr"`
+	// Alive reports whether the full probe (hello, ping, status) succeeded.
+	Alive bool `json:"alive"`
+	// RTTMs is the round-trip time of the ping/pong exchange.
+	RTTMs float64 `json:"rtt_ms"`
+	// Hash, Epoch and Backend mirror the shard's admin status.
+	Hash    string `json:"hash,omitempty"`
+	Epoch   uint64 `json:"epoch,omitempty"`
+	Backend string `json:"backend,omitempty"`
+	// Err explains a failed probe.
+	Err string `json:"err,omitempty"`
+}
+
+// Coordinator tracks shard membership and health and drives fleet-wide
+// generation swaps. It holds no data-plane state: shards keep scoring with
+// or without a live coordinator, and a restarted coordinator rebuilds its
+// health view from one probe round — which is what makes
+// restart-and-rejoin a non-event (exercised by the e2e tests).
+type Coordinator struct {
+	members  []Member
+	interval time.Duration
+	bus      *Bus // optional; nil publishes nothing
+
+	mu     sync.Mutex
+	health []Health
+	ticks  uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewCoordinator builds a coordinator over a fixed membership. interval <= 0
+// means DefaultProbeInterval; bus may be nil.
+func NewCoordinator(members []Member, interval time.Duration, bus *Bus) *Coordinator {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	health := make([]Health, len(members))
+	for i, m := range members {
+		health[i] = Health{Shard: m.ID, Addr: m.Addr}
+	}
+	return &Coordinator{members: members, interval: interval, bus: bus, health: health}
+}
+
+// Start launches the heartbeat loop: an immediate probe round, then one per
+// interval until Stop.
+func (c *Coordinator) Start() {
+	c.stop = make(chan struct{})
+	c.done = make(chan struct{})
+	go c.loop()
+}
+
+// Stop halts the heartbeat loop and waits for it to exit. The coordinator
+// can be probed manually (ProbeAll) or discarded afterwards; shards are
+// untouched.
+func (c *Coordinator) Stop() {
+	if c.stop == nil {
+		return
+	}
+	close(c.stop)
+	<-c.done
+	c.stop = nil
+}
+
+func (c *Coordinator) loop() {
+	defer close(c.done)
+	c.ProbeAll()
+	t := time.NewTicker(c.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			c.ProbeAll()
+		}
+	}
+}
+
+// ProbeAll probes every member concurrently and returns the refreshed health
+// view in member order.
+func (c *Coordinator) ProbeAll() []Health {
+	c.mu.Lock()
+	c.ticks++
+	tick := c.ticks
+	c.mu.Unlock()
+
+	health := runner.Map(runner.Options{Jobs: len(c.members)}, len(c.members), func(i int) Health {
+		return probeMember(c.members[i], tick)
+	})
+	c.mu.Lock()
+	c.health = health
+	c.mu.Unlock()
+	return health
+}
+
+// Health returns the most recent probe round, in member order.
+func (c *Coordinator) Health() []Health {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Health(nil), c.health...)
+}
+
+// probeMember runs one full-path probe: dial + hello, ping/pong, admin
+// status.
+func probeMember(m Member, tick uint64) Health {
+	h := Health{Shard: m.ID, Addr: m.Addr}
+	cl, err := serve.Dial(m.Addr, m.Mgr.Active().RawDim())
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	//evaxlint:ignore droppederr close failure on a finished probe connection loses nothing
+	defer cl.Close()
+	//evaxlint:ignore droppederr a failed deadline set surfaces as the probe read failing
+	cl.SetReadDeadline(time.Now().Add(probeTimeout))
+
+	// Ping with a token derived the same way corpus seeds are, so a given
+	// (shard, tick) pair always probes with the same token.
+	token := uint64(runner.DeriveSeed("fleet/ping", m.ID, int64(tick)))
+	start := time.Now()
+	if err := cl.Ping(token); err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	fr, err := cl.Recv()
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	h.RTTMs = float64(time.Since(start)) / float64(time.Millisecond)
+	if fr.Type != serve.FramePong {
+		h.Err = fmt.Sprintf("fleet: expected pong, got frame type 0x%02x", fr.Type)
+		return h
+	}
+	echo, err := serve.DecodePong(fr.Payload)
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	if echo != token {
+		h.Err = fmt.Sprintf("fleet: pong echoed token %d, sent %d", echo, token)
+		return h
+	}
+
+	st, err := cl.Status()
+	if err != nil {
+		h.Err = err.Error()
+		return h
+	}
+	h.Hash = st.ActiveHash
+	h.Epoch = st.Epoch
+	h.Backend = st.Backend
+	h.Alive = true
+	return h
+}
+
+// SwapAll fans one candidate bundle across every member's manager with
+// all-or-rollback semantics (engine.PromoteAllFile) and publishes the
+// outcome on the config topic. The fleet never stays split: either every
+// shard ends on the candidate, or every swapped shard is rolled back to the
+// incumbent.
+func (c *Coordinator) SwapAll(path string) (engine.FleetSwapReport, error) {
+	mgrs := make([]*engine.Manager, len(c.members))
+	for i, m := range c.members {
+		mgrs[i] = m.Mgr
+	}
+	rep, err := engine.PromoteAllFile(mgrs, path)
+	if c.bus != nil {
+		// Ok means "the fleet ended aligned on the target generation" — true
+		// for a fleet-wide no-op (already on the candidate), false whenever
+		// the promotion errored, even though the unwind realigned the fleet.
+		up := ConfigUpdate{Kind: "swap", Ok: err == nil && rep.Aligned, Hash: rep.ActiveHash, Epoch: rep.Epoch}
+		if err != nil {
+			up.Detail = err.Error()
+		}
+		c.bus.Config.Publish(up)
+	}
+	return rep, err
+}

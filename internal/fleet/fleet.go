@@ -1,0 +1,251 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+
+	"evax/internal/dataset"
+	"evax/internal/engine"
+	"evax/internal/serve"
+)
+
+// ConfigUpdate is the control-plane announcement the coordinator publishes
+// on the bus after every fleet-wide generation operation: which generation
+// the fleet is (or failed to get) on.
+type ConfigUpdate struct {
+	// Kind names the operation: "swap" or "rollback".
+	Kind string `json:"kind"`
+	// Ok reports whether the fleet ended aligned on the target generation.
+	Ok bool `json:"ok"`
+	// Hash is the fleet-wide active generation hash after the operation
+	// ("" when shards diverged).
+	Hash string `json:"hash,omitempty"`
+	// Epoch is the fleet-wide epoch after the operation (0 when unaligned).
+	Epoch uint64 `json:"epoch,omitempty"`
+	// Detail explains a failed or rolled-back operation.
+	Detail string `json:"detail,omitempty"`
+}
+
+// VerdictAggregate is one shard's replay summary published on the bus: how
+// many rows the router sent it, how many it flagged, and its per-shard
+// verdict digest (folded in corpus order over the shard's rows).
+type VerdictAggregate struct {
+	Shard   int    `json:"shard"`
+	Rows    int    `json:"rows"`
+	Flagged int    `json:"flagged"`
+	Digest  string `json:"digest"`
+}
+
+// Bus groups the fleet's control-plane topics. Data-plane traffic (samples,
+// verdicts) never touches the bus — it stays on the serve framing protocol —
+// so a slow control-plane subscriber can shed without touching a verdict.
+type Bus struct {
+	// Config carries fleet-wide generation announcements.
+	Config *Topic[ConfigUpdate]
+	// Verdicts carries per-shard replay verdict aggregates.
+	Verdicts *Topic[VerdictAggregate]
+	// Stats carries per-shard metrics snapshots (shard ID and generation
+	// provenance stamped by serve).
+	Stats *Topic[serve.Snapshot]
+}
+
+// NewBus creates the three fleet topics.
+func NewBus() *Bus {
+	return &Bus{
+		Config:   NewTopic[ConfigUpdate]("fleet/config"),
+		Verdicts: NewTopic[VerdictAggregate]("fleet/verdicts"),
+		Stats:    NewTopic[serve.Snapshot]("fleet/stats"),
+	}
+}
+
+// Close shuts every topic.
+func (b *Bus) Close() {
+	b.Config.Close()
+	b.Verdicts.Close()
+	b.Stats.Close()
+}
+
+// Config parameterizes a Fleet.
+type Config struct {
+	// Shards is the number of detection shards to host.
+	Shards int
+	// Replicas is the virtual-node count per shard on the routing ring
+	// (<= 0 means DefaultReplicas).
+	Replicas int
+	// Serve is the per-shard server template. Addr is ignored (every shard
+	// listens on its own ephemeral loopback port unless Addrs is set);
+	// ShardID is stamped per shard; HTTPAddr, when set, is kept only on
+	// shard 0 (one process, one debug endpoint).
+	Serve serve.Config
+	// Addrs, when non-empty, pins each shard's listen address (length must
+	// equal Shards). Empty means ephemeral loopback ports.
+	Addrs []string
+	// StateDir, when non-empty, gives each shard a crash-safe generation
+	// ledger under StateDir/shard-<i>.
+	StateDir string
+	// Corpus is the golden canary corpus each shard's manager gates
+	// promotions against (empty = ungated).
+	Corpus []dataset.Sample
+	// AgreementGate overrides the canary agreement floor (0 = engine
+	// default).
+	AgreementGate float64
+}
+
+// Fleet hosts N in-process detection shards — each a full serve.Server with
+// its own listener, manager and generation pair — plus the routing ring and
+// control-plane bus that make them one logical service.
+type Fleet struct {
+	cfg    Config
+	ring   *Ring
+	srvs   []*serve.Server
+	mgrs   []*engine.Manager
+	bus    *Bus
+	rawDim int
+}
+
+// New builds a fleet serving one bundle: every shard compiles its own
+// generation from the same bundle bytes (so all shards start on the same
+// content hash, epoch 1) behind its own manager and server. Call Start to
+// begin listening.
+func New(bundle []byte, cfg Config) (*Fleet, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("fleet: Shards must be positive, got %d", cfg.Shards)
+	}
+	if len(cfg.Addrs) != 0 && len(cfg.Addrs) != cfg.Shards {
+		return nil, fmt.Errorf("fleet: %d addrs pinned for %d shards", len(cfg.Addrs), cfg.Shards)
+	}
+	ring, err := NewRing(cfg.Shards, cfg.Replicas)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Serve.MaxBatch == 0 {
+		cfg.Serve = serve.DefaultConfig()
+	}
+
+	f := &Fleet{cfg: cfg, ring: ring, bus: NewBus()}
+	for i := 0; i < cfg.Shards; i++ {
+		g, err := engine.FromBytes(bundle, "", cfg.Serve.Backend)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d generation: %w", i, err)
+		}
+		mcfg := engine.ManagerConfig{
+			Backend:       cfg.Serve.Backend,
+			Corpus:        cfg.Corpus,
+			AgreementGate: cfg.AgreementGate,
+		}
+		if cfg.StateDir != "" {
+			mcfg.Dir = filepath.Join(cfg.StateDir, fmt.Sprintf("shard-%d", i))
+		}
+		mgr, err := engine.NewManager(g, mcfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d manager: %w", i, err)
+		}
+		scfg := cfg.Serve
+		scfg.ShardID = i
+		scfg.Addr = "127.0.0.1:0"
+		if len(cfg.Addrs) != 0 {
+			scfg.Addr = cfg.Addrs[i]
+		}
+		if i != 0 {
+			scfg.HTTPAddr = ""
+		}
+		if scfg.StatsPath != "" {
+			scfg.StatsPath = fmt.Sprintf("%s.shard-%d", scfg.StatsPath, i)
+		}
+		srv, err := serve.NewFromManager(mgr, scfg)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: shard %d server: %w", i, err)
+		}
+		f.srvs = append(f.srvs, srv)
+		f.mgrs = append(f.mgrs, mgr)
+		f.rawDim = mgr.Active().RawDim()
+	}
+	return f, nil
+}
+
+// Start begins listening on every shard. A shard that fails to bind drains
+// the shards already started before returning the error.
+func (f *Fleet) Start() error {
+	for i, srv := range f.srvs {
+		if err := srv.Start(); err != nil {
+			for j := 0; j < i; j++ {
+				//evaxlint:ignore droppederr startup already failed; the bind error is what the caller acts on
+				f.srvs[j].Drain()
+			}
+			return fmt.Errorf("fleet: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return len(f.srvs) }
+
+// RawDim returns the counter dimensionality every shard streams.
+func (f *Fleet) RawDim() int { return f.rawDim }
+
+// Ring exposes the routing ring.
+func (f *Fleet) Ring() *Ring { return f.ring }
+
+// Bus exposes the control-plane topics.
+func (f *Fleet) Bus() *Bus { return f.bus }
+
+// Addrs returns each shard's bound framing address, in shard order. Valid
+// after Start.
+func (f *Fleet) Addrs() []string {
+	addrs := make([]string, len(f.srvs))
+	for i, srv := range f.srvs {
+		addrs[i] = srv.Addr()
+	}
+	return addrs
+}
+
+// Managers returns the per-shard live-vaccination managers, in shard order —
+// the fan-out targets for fleet-wide promotions.
+func (f *Fleet) Managers() []*engine.Manager { return f.mgrs }
+
+// Server returns shard i's server.
+func (f *Fleet) Server(i int) *serve.Server { return f.srvs[i] }
+
+// Members describes the fleet for a Coordinator: shard IDs, bound addresses
+// and managers. Valid after Start.
+func (f *Fleet) Members() []Member {
+	members := make([]Member, len(f.srvs))
+	for i, srv := range f.srvs {
+		members[i] = Member{ID: i, Addr: srv.Addr(), Mgr: f.mgrs[i]}
+	}
+	return members
+}
+
+// PublishStats snapshots every shard and publishes the snapshots (shard ID
+// and generation provenance stamped) on the stats topic, returning them in
+// shard order.
+func (f *Fleet) PublishStats() []serve.Snapshot {
+	snaps := make([]serve.Snapshot, len(f.srvs))
+	for i, srv := range f.srvs {
+		snaps[i] = srv.Snapshot()
+		f.bus.Stats.Publish(snaps[i])
+	}
+	return snaps
+}
+
+// Drain gracefully stops every shard (each drain flushes every accepted
+// sample), publishes the final stats frames, closes the bus, and returns the
+// final snapshots in shard order along with the first drain error.
+func (f *Fleet) Drain() ([]serve.Snapshot, error) {
+	snaps := make([]serve.Snapshot, len(f.srvs))
+	var errs []error
+	for i, srv := range f.srvs {
+		snap, err := srv.Drain()
+		snaps[i] = snap
+		if err != nil {
+			errs = append(errs, fmt.Errorf("fleet: shard %d drain: %w", i, err))
+		}
+	}
+	for _, snap := range snaps {
+		f.bus.Stats.Publish(snap)
+	}
+	f.bus.Close()
+	return snaps, errors.Join(errs...)
+}

@@ -1,0 +1,309 @@
+package fleet
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"evax/internal/dataset"
+	"evax/internal/defense"
+	"evax/internal/detect"
+	"evax/internal/engine"
+	"evax/internal/hpc"
+	"evax/internal/serve"
+	"evax/internal/sim"
+	"evax/internal/testleak"
+)
+
+// testParts builds an untrained but seeded detector over the EVAX feature
+// set with unit maxima — the same cheap fixture the engine tests use:
+// structurally valid, deterministic, no training run.
+func testParts(t *testing.T, seed int64, threshold float64) (*detect.Detector, *dataset.Dataset) {
+	t.Helper()
+	fs := detect.EVAXBase()
+	fs.SetEngineered(detect.DefaultEngineered(fs))
+	d := detect.NewPerceptron(seed, fs)
+	d.Threshold = threshold
+	maxima := make([]float64, hpc.DerivedSpaceSize(sim.CounterCatalog().Len()))
+	for i := range maxima {
+		maxima[i] = 1
+	}
+	return d, dataset.FromMaxima(maxima)
+}
+
+// testBundle returns bundle bytes for a (seed, threshold) pair. Distinct
+// seeds yield distinct weights, hence distinct content hashes.
+func testBundle(t *testing.T, seed int64, threshold float64) []byte {
+	t.Helper()
+	det, ds := testParts(t, seed, threshold)
+	data, err := defense.EncodeBundle(det, ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// testCorpus fabricates n deterministic raw counter windows.
+func testCorpus(n, rawDim int) []dataset.Sample {
+	out := make([]dataset.Sample, n)
+	for i := range out {
+		raw := make([]float64, rawDim)
+		for j := range raw {
+			raw[j] = float64((i*31 + j*7) % 97)
+		}
+		out[i] = dataset.Sample{Raw: raw, Instructions: 2000, Cycles: 3100}
+	}
+	return out
+}
+
+// startFleet builds and starts a fleet over the bundle, registering drain as
+// cleanup so testleak never sees a lingering shard.
+func startFleet(t *testing.T, bundle []byte, cfg Config) *Fleet {
+	t.Helper()
+	f, err := New(bundle, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		//evaxlint:ignore droppederr test cleanup; tests that care drain explicitly first
+		f.Drain()
+	})
+	return f
+}
+
+// TestFleetReplayDigestInvariance is the golden gate: the merged verdict
+// digest is bit-identical at shard counts 1, 2 and 4, and equal to the
+// single-process serve.ReplayGeneration ground truth — sharding must never
+// change a verdict.
+func TestFleetReplayDigestInvariance(t *testing.T) {
+	testleak.Check(t)
+	bundle := testBundle(t, 1, 2)
+	g, err := engine.FromBytes(bundle, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := testCorpus(96, g.RawDim())
+	truth, err := serve.ReplayGeneration(g, samples, 7, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truth.Rows != len(samples) {
+		t.Fatalf("ground truth scored %d rows", truth.Rows)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		f := startFleet(t, bundle, Config{Shards: shards})
+		rep, err := f.Replay(samples, ReplayOptions{Tenants: 8, Seed: 7})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if rep.Rows != len(samples) || rep.Shards != shards {
+			t.Fatalf("shards=%d report: %+v", shards, rep)
+		}
+		if rep.Hash != truth.Hash {
+			t.Fatalf("shards=%d digest %s, ground truth %s — sharding changed a verdict",
+				shards, rep.HashHex(), truth.HashHex())
+		}
+		if rep.Flagged != truth.Flagged {
+			t.Fatalf("shards=%d flagged %d, ground truth %d", shards, rep.Flagged, truth.Flagged)
+		}
+		total := 0
+		for _, n := range rep.ShardRows {
+			total += n
+		}
+		if total != len(samples) {
+			t.Fatalf("shards=%d shard rows %v sum to %d", shards, rep.ShardRows, total)
+		}
+		if _, err := f.Drain(); err != nil {
+			t.Fatalf("shards=%d drain: %v", shards, err)
+		}
+	}
+}
+
+// TestFleetReplaySeedAndTenantInvariance: the routing seed and tenant count
+// move tenants across shards but can never move the merged digest.
+func TestFleetReplaySeedAndTenantInvariance(t *testing.T) {
+	testleak.Check(t)
+	bundle := testBundle(t, 1, 2)
+	f := startFleet(t, bundle, Config{Shards: 4})
+	samples := testCorpus(64, f.RawDim())
+
+	var want uint64
+	for i, opt := range []ReplayOptions{
+		{Tenants: 8, Seed: 1},
+		{Tenants: 8, Seed: 99},
+		{Tenants: 3, Seed: 1},
+		{Tenants: 1, Seed: 1},
+	} {
+		rep, err := f.Replay(samples, opt)
+		if err != nil {
+			t.Fatalf("opt %d: %v", i, err)
+		}
+		if i == 0 {
+			want = rep.Hash
+			continue
+		}
+		if rep.Hash != want {
+			t.Fatalf("opt %+v digest %016x, want %016x", opt, rep.Hash, want)
+		}
+	}
+}
+
+// TestFleetSwapMidReplay: a coordinator-driven fleet-wide swap lands while
+// tenants are mid-stream. Zero frames may be dropped (the replay's
+// exactly-once accounting enforces it), every shard must finish on the
+// candidate generation at the same epoch, and the bus must announce the swap.
+func TestFleetSwapMidReplay(t *testing.T) {
+	testleak.Check(t)
+	bundle := testBundle(t, 1, 2)
+	g, err := engine.FromBytes(bundle, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	canary := testCorpus(24, g.RawDim())
+	f := startFleet(t, bundle, Config{Shards: 2, Corpus: canary})
+	incumbent := f.Managers()[0].Active().HashHex()
+
+	cfgSub, err := f.Bus().Config.Subscribe("test", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Same threshold, different seed: verdict-compatible on the canary (no
+	// rows flag at threshold 2) so the agreement gate passes, but distinct
+	// bundle bytes so the swap is real.
+	cand := filepath.Join(t.TempDir(), "cand.json")
+	det, ds := testParts(t, 2, 2)
+	if err := defense.SaveBundle(cand, det, ds); err != nil {
+		t.Fatal(err)
+	}
+
+	coord := NewCoordinator(f.Members(), time.Hour, f.Bus())
+	samples := testCorpus(96, f.RawDim())
+	tenants := 4
+	trigger := (len(samples) / tenants) / 2
+
+	var (
+		once     sync.Once
+		swapDone = make(chan struct{})
+		swapRep  engine.FleetSwapReport
+		swapErr  error
+	)
+	rep, err := f.Replay(samples, ReplayOptions{
+		Tenants: tenants,
+		Seed:    7,
+		AfterSend: func(tenant, sent int) {
+			if tenant == 0 && sent == trigger {
+				once.Do(func() {
+					go func() {
+						defer close(swapDone)
+						swapRep, swapErr = coord.SwapAll(cand)
+					}()
+				})
+			}
+		},
+	})
+	<-swapDone
+	if err != nil {
+		t.Fatalf("replay lost frames across the swap: %v", err)
+	}
+	if rep.Rows != len(samples) {
+		t.Fatalf("replay scored %d/%d rows", rep.Rows, len(samples))
+	}
+	if swapErr != nil {
+		t.Fatalf("fleet swap: %v (report %+v)", swapErr, swapRep)
+	}
+	if !swapRep.Swapped || !swapRep.Aligned || !swapRep.EpochAligned || swapRep.Epoch != 2 {
+		t.Fatalf("swap report: %+v", swapRep)
+	}
+	if swapRep.ActiveHash == incumbent {
+		t.Fatal("swap was a no-op; candidate bytes matched the incumbent")
+	}
+	for i, m := range f.Managers() {
+		if m.Active().HashHex() != swapRep.ActiveHash {
+			t.Fatalf("shard %d on %s after swap, fleet hash %s", i, m.Active().HashHex(), swapRep.ActiveHash)
+		}
+	}
+
+	env := <-cfgSub.C()
+	if env.Val.Kind != "swap" || !env.Val.Ok || env.Val.Hash != swapRep.ActiveHash || env.Val.Epoch != 2 {
+		t.Fatalf("bus announcement: %+v", env.Val)
+	}
+}
+
+// TestCoordinatorRestartRejoin: shards keep scoring while the coordinator is
+// down, and a fresh coordinator over the same membership sees a healthy,
+// aligned fleet.
+func TestCoordinatorRestartRejoin(t *testing.T) {
+	testleak.Check(t)
+	bundle := testBundle(t, 1, 2)
+	f := startFleet(t, bundle, Config{Shards: 2})
+	samples := testCorpus(48, f.RawDim())
+	truth, err := f.Replay(samples, ReplayOptions{Tenants: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := NewCoordinator(f.Members(), time.Hour, f.Bus())
+	coord.Start()
+	// Start probes immediately; Health is populated once the first sweep
+	// lands. ProbeAll gives us a deterministic second sweep to assert on.
+	health := coord.ProbeAll()
+	for _, h := range health {
+		if !h.Alive || h.Epoch != 1 || h.Err != "" {
+			t.Fatalf("pre-restart health: %+v", h)
+		}
+	}
+	coord.Stop() // coordinator crash
+
+	// Data plane keeps working with no coordinator: same corpus, same digest.
+	rep, err := f.Replay(samples, ReplayOptions{Tenants: 4, Seed: 2})
+	if err != nil {
+		t.Fatalf("replay during coordinator downtime: %v", err)
+	}
+	if rep.Hash != truth.Hash {
+		t.Fatalf("digest moved during coordinator downtime: %s vs %s", rep.HashHex(), truth.HashHex())
+	}
+
+	// Restart = a fresh coordinator over the same membership; it rejoins by
+	// probing, with no shard-side handshake to replay.
+	coord2 := NewCoordinator(f.Members(), time.Hour, f.Bus())
+	hash := f.Managers()[0].Active().HashHex()
+	for _, h := range coord2.ProbeAll() {
+		if !h.Alive || h.Hash != hash || h.Epoch != 1 {
+			t.Fatalf("post-restart health: %+v", h)
+		}
+	}
+	if got := coord2.Health(); len(got) != 2 {
+		t.Fatalf("cached health: %+v", got)
+	}
+}
+
+// TestFleetStatsProvenance: snapshots published on the stats topic carry the
+// shard ID serve stamped, so merged fleet metrics stay attributable.
+func TestFleetStatsProvenance(t *testing.T) {
+	testleak.Check(t)
+	bundle := testBundle(t, 1, 2)
+	f := startFleet(t, bundle, Config{Shards: 3})
+	sub, err := f.Bus().Stats.Subscribe("test", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := f.PublishStats()
+	if len(snaps) != 3 {
+		t.Fatalf("%d snapshots", len(snaps))
+	}
+	for i, snap := range snaps {
+		if snap.Shard != i {
+			t.Fatalf("snapshot %d stamped shard %d", i, snap.Shard)
+		}
+		env := <-sub.C()
+		if env.Val.Shard != i {
+			t.Fatalf("bus snapshot %d stamped shard %d", i, env.Val.Shard)
+		}
+	}
+}

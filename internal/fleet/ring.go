@@ -1,0 +1,141 @@
+// Package fleet scales the online detection service from one evaxd process
+// to a sharded fleet: a key-routed shard router (deterministic FNV hash
+// ring), a coordinator that tracks shard membership, health and fleet-wide
+// generation swaps, and a typed publish/subscribe control plane carrying
+// config updates, verdict aggregates and shard stats frames — modeled on
+// EVE's pillar pubsub shape, but kept under this repo's replay-digest
+// determinism discipline. The golden invariant mirrors runner's worker-count
+// independence: replaying a recorded corpus through the fleet produces a
+// bit-identical merged verdict digest at ANY shard count, because routing is
+// a pure function of (key, ring), every score depends only on its row, and
+// the merged digest folds verdicts in corpus order. See DESIGN.md §16.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultReplicas is the virtual-node count per shard on the ring. More
+// replicas smooth the key distribution (lower routing skew) at the cost of a
+// larger sorted point table; 64 keeps worst-case skew under ~15% for small
+// fleets while lookups stay a cheap binary search.
+const DefaultReplicas = 64
+
+// ringPoint is one virtual node: a position on the 64-bit ring owned by a
+// shard.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// Ring is the deterministic key→shard router: shards × replicas virtual
+// nodes placed by FNV-1a hashes of derived vnode names (the same fold Key
+// applies to tenants), sorted once at construction. Routing a key walks to
+// its successor point. The placement is a pure function of (shards,
+// replicas) — independent of registration order, worker count, or any
+// runtime state — so two processes that agree on the shard count agree on
+// every route.
+type Ring struct {
+	shards   int
+	replicas int
+	points   []ringPoint
+}
+
+// NewRing builds the ring for a fleet of shards. replicas <= 0 uses
+// DefaultReplicas.
+func NewRing(shards, replicas int) (*Ring, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("fleet: ring needs a positive shard count, got %d", shards)
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	r := &Ring{
+		shards:   shards,
+		replicas: replicas,
+		points:   make([]ringPoint, 0, shards*replicas),
+	}
+	for s := 0; s < shards; s++ {
+		for v := 0; v < replicas; v++ {
+			// Vnodes must span the same full 64-bit range keys do (a 63-bit
+			// derivation like runner.DeriveSeed would park every point in the
+			// lower half of the ring, wrapping half the keyspace onto one
+			// shard). Raw FNV-1a of near-identical vnode names also clusters
+			// (weak avalanche leaves arc ownership off by 10×), which is why
+			// Key finalizes its fold with mix64 — the placement is a pure
+			// function of (shards, replicas).
+			h := Key(fmt.Sprintf("fleet/ring/%d/%d", s, v))
+			r.points = append(r.points, ringPoint{hash: h, shard: s})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// A hash collision between two shards' points would make the
+		// route depend on sort stability; break it by shard index so the
+		// ring stays a pure function of (shards, replicas).
+		return r.points[i].shard < r.points[j].shard
+	})
+	return r, nil
+}
+
+// Shards returns the shard count the ring routes over.
+func (r *Ring) Shards() int { return r.shards }
+
+// Shard routes a key to its shard: the owner of the first virtual node at or
+// after the key's position, wrapping at the top of the ring.
+func (r *Ring) Shard(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].shard
+}
+
+// mix64 is the splitmix64 finalizer: a fixed bijective avalanche over
+// uint64, used to spread structured hash inputs uniformly around the ring.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// Key maps a tenant/connection name to its position on the ring: the FNV-1a
+// fold finalized by mix64, so short names with shared prefixes still spread
+// uniformly. Routing composes Key and Shard: Shard(Key(tenant)).
+func Key(tenant string) uint64 {
+	const (
+		fnvOffset uint64 = 14695981039346656037
+		fnvPrime  uint64 = 1099511628211
+	)
+	h := fnvOffset
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= fnvPrime
+	}
+	return mix64(h)
+}
+
+// Skew summarizes a routing distribution: the largest per-shard load divided
+// by the mean load (1.0 = perfectly even). Zero total load reports 0.
+func Skew(rows []int) float64 {
+	if len(rows) == 0 {
+		return 0
+	}
+	total, max := 0, 0
+	for _, n := range rows {
+		total += n
+		if n > max {
+			max = n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(max) * float64(len(rows)) / float64(total)
+}

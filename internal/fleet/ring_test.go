@@ -1,0 +1,117 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministic(t *testing.T) {
+	a, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(4, DefaultReplicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		key := Key(fmt.Sprintf("tenant-%d", i))
+		sa, sb := a.Shard(key), b.Shard(key)
+		if sa != sb {
+			t.Fatalf("key %d: ring instances disagree (%d vs %d)", i, sa, sb)
+		}
+		if sa < 0 || sa >= 4 {
+			t.Fatalf("key %d routed to shard %d, want [0,4)", i, sa)
+		}
+	}
+	if a.Shards() != 4 {
+		t.Fatalf("Shards() = %d", a.Shards())
+	}
+}
+
+func TestRingRejectsBadShardCount(t *testing.T) {
+	for _, n := range []int{0, -1} {
+		if _, err := NewRing(n, 0); err == nil {
+			t.Fatalf("NewRing(%d) accepted", n)
+		}
+	}
+}
+
+// TestRingGrowthMovesKeysOnlyToNewShard: vnode positions derive from the
+// shard index alone, so growing the fleet adds points without moving any
+// existing ones — a key either keeps its shard or lands on the new one.
+// That is the property that makes resharding an incremental migration
+// instead of a full reshuffle.
+func TestRingGrowthMovesKeysOnlyToNewShard(t *testing.T) {
+	small, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := NewRing(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	const keys = 4096
+	for i := 0; i < keys; i++ {
+		key := Key(fmt.Sprintf("tenant-%d", i))
+		before, after := small.Shard(key), big.Shard(key)
+		if before == after {
+			continue
+		}
+		if after != 4 {
+			t.Fatalf("key %d moved %d -> %d; growth may only move keys to the new shard", i, before, after)
+		}
+		moved++
+	}
+	if moved == 0 {
+		t.Fatal("no key moved to the new shard; ring growth is broken")
+	}
+	if moved > keys/2 {
+		t.Fatalf("%d/%d keys moved on growth; expected roughly 1/5", moved, keys)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(4, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]int, 4)
+	for i := 0; i < 10000; i++ {
+		rows[r.Shard(Key(fmt.Sprintf("tenant-%d", i)))]++
+	}
+	if skew := Skew(rows); skew > 1.15 {
+		t.Fatalf("ring skew %.3f over %v; vnode placement is unbalanced", skew, rows)
+	}
+}
+
+func TestKeyStable(t *testing.T) {
+	if Key("tenant-a") != Key("tenant-a") {
+		t.Fatal("Key not deterministic")
+	}
+	if Key("tenant-a") == Key("tenant-b") {
+		t.Fatal("distinct tenants collided")
+	}
+	// The hash family is pinned — FNV-1a offset basis through the mix64
+	// finalizer — so a refactor cannot silently re-route every tenant.
+	if got, want := Key(""), mix64(14695981039346656037); got != want {
+		t.Fatalf("Key(\"\") = %d, want %d (mixed FNV-1a offset basis)", got, want)
+	}
+}
+
+func TestSkew(t *testing.T) {
+	for _, tc := range []struct {
+		rows []int
+		want float64
+	}{
+		{[]int{10, 10, 10, 10}, 1.0},
+		{[]int{40, 0, 0, 0}, 4.0},
+		{[]int{}, 0},
+		{[]int{0, 0}, 0},
+	} {
+		if got := Skew(tc.rows); got != tc.want {
+			t.Errorf("Skew(%v) = %v, want %v", tc.rows, got, tc.want)
+		}
+	}
+}

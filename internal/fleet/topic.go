@@ -1,0 +1,167 @@
+package fleet
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DefaultQueueDepth bounds a subscriber's queue when Subscribe is called
+// with depth <= 0.
+const DefaultQueueDepth = 64
+
+// Envelope wraps a published value with its topic-assigned sequence number.
+// Sequence numbers are monotone per topic starting at 1, assigned under the
+// publish lock, so every subscriber observes the same total order and can
+// detect sheds by gaps in Seq.
+type Envelope[T any] struct {
+	Seq uint64
+	Val T
+}
+
+// Sub is one subscription on a Topic. Values arrive on C in publish order.
+// A subscriber that falls behind its bounded queue loses the NEWEST
+// envelope at publish time (shed-on-overflow); the loss is deterministic in
+// the sense that it depends only on queue occupancy at the publish, never on
+// timing races between subscribers, and every shed is counted.
+type Sub[T any] struct {
+	name  string
+	c     chan Envelope[T]
+	topic *Topic[T]
+
+	mu     sync.Mutex
+	shed   uint64
+	closed bool
+}
+
+// C returns the subscription's delivery channel. It is closed when the
+// subscription is cancelled or the topic is closed.
+func (s *Sub[T]) C() <-chan Envelope[T] { return s.c }
+
+// Name returns the subscriber name given at Subscribe time.
+func (s *Sub[T]) Name() string { return s.name }
+
+// Shed reports how many envelopes were dropped because this subscriber's
+// queue was full at publish time.
+func (s *Sub[T]) Shed() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.shed
+}
+
+// Cancel removes the subscription from its topic and closes C. Safe to call
+// more than once.
+func (s *Sub[T]) Cancel() { s.topic.cancel(s) }
+
+// Topic is a typed publish/subscribe channel for control-plane traffic
+// (config updates, verdict aggregates, shard stats frames). It follows the
+// EVE pillar pubsub shape — named topics, per-subscriber queues — but with
+// two determinism guarantees the data-plane digest discipline demands:
+//
+//  1. Publish ordering is total: sequence numbers are assigned under one
+//     lock and delivery fans out to subscribers in registration order, so
+//     any two subscribers that both receive envelopes i and j agree on
+//     their relative order.
+//  2. Overflow is shed deterministically: a publish to a full subscriber
+//     queue drops that envelope for that subscriber and counts it, rather
+//     than blocking the publisher or picking a victim by timing.
+type Topic[T any] struct {
+	name string
+
+	mu     sync.Mutex
+	seq    uint64
+	subs   []*Sub[T]
+	closed bool
+}
+
+// NewTopic creates a named topic.
+func NewTopic[T any](name string) *Topic[T] {
+	return &Topic[T]{name: name}
+}
+
+// Name returns the topic name.
+func (t *Topic[T]) Name() string { return t.name }
+
+// Subscribe registers a subscriber with a bounded queue. depth <= 0 uses
+// DefaultQueueDepth. Subscribing to a closed topic returns an error.
+func (t *Topic[T]) Subscribe(name string, depth int) (*Sub[T], error) {
+	if depth <= 0 {
+		depth = DefaultQueueDepth
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return nil, fmt.Errorf("fleet: subscribe %q on closed topic %q", name, t.name)
+	}
+	s := &Sub[T]{name: name, c: make(chan Envelope[T], depth), topic: t}
+	t.subs = append(t.subs, s)
+	return s, nil
+}
+
+// Publish assigns the next sequence number and delivers the envelope to
+// every live subscriber in registration order. It never blocks: a
+// subscriber whose queue is full sheds this envelope (counted on the Sub).
+// Publishing on a closed topic is a no-op returning 0.
+func (t *Topic[T]) Publish(v T) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return 0
+	}
+	t.seq++
+	env := Envelope[T]{Seq: t.seq, Val: v}
+	for _, s := range t.subs {
+		select {
+		case s.c <- env:
+		default:
+			s.mu.Lock()
+			s.shed++
+			s.mu.Unlock()
+		}
+	}
+	return t.seq
+}
+
+// Seq returns the last assigned sequence number (0 before the first
+// publish).
+func (t *Topic[T]) Seq() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seq
+}
+
+// Close shuts the topic: all subscriber channels are closed and later
+// publishes become no-ops. Safe to call more than once.
+func (t *Topic[T]) Close() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.closed {
+		return
+	}
+	t.closed = true
+	for _, s := range t.subs {
+		s.mu.Lock()
+		if !s.closed {
+			s.closed = true
+			close(s.c)
+		}
+		s.mu.Unlock()
+	}
+	t.subs = nil
+}
+
+func (t *Topic[T]) cancel(s *Sub[T]) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, cur := range t.subs {
+		if cur == s {
+			t.subs = append(t.subs[:i], t.subs[i+1:]...)
+			break
+		}
+	}
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.c)
+	}
+	s.mu.Unlock()
+}

@@ -1,0 +1,98 @@
+package fleet
+
+import (
+	"testing"
+)
+
+func TestTopicPublishOrderAndSeq(t *testing.T) {
+	top := NewTopic[int]("t")
+	if top.Name() != "t" {
+		t.Fatalf("Name() = %q", top.Name())
+	}
+	a, err := top.Subscribe("a", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := top.Subscribe("b", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if seq := top.Publish(i * 10); seq != uint64(i+1) {
+			t.Fatalf("publish %d assigned seq %d", i, seq)
+		}
+	}
+	if top.Seq() != 5 {
+		t.Fatalf("Seq() = %d", top.Seq())
+	}
+	for _, sub := range []*Sub[int]{a, b} {
+		for i := 0; i < 5; i++ {
+			env := <-sub.C()
+			if env.Seq != uint64(i+1) || env.Val != i*10 {
+				t.Fatalf("sub %q envelope %d: %+v", sub.Name(), i, env)
+			}
+		}
+		if sub.Shed() != 0 {
+			t.Fatalf("sub %q shed %d with room to spare", sub.Name(), sub.Shed())
+		}
+	}
+	top.Close()
+	if _, ok := <-a.C(); ok {
+		t.Fatal("channel still open after Close")
+	}
+}
+
+func TestTopicShedOnOverflow(t *testing.T) {
+	top := NewTopic[string]("t")
+	slow, err := top.Subscribe("slow", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := top.Subscribe("fast", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		top.Publish("v") // never blocks, even with nobody draining
+	}
+	if slow.Shed() != 3 {
+		t.Fatalf("slow shed %d, want 3", slow.Shed())
+	}
+	if fast.Shed() != 0 {
+		t.Fatalf("fast shed %d, want 0", fast.Shed())
+	}
+	// The slow subscriber kept the OLDEST envelopes: overflow sheds the new
+	// publish, it never evicts queued history.
+	for want := uint64(1); want <= 2; want++ {
+		if env := <-slow.C(); env.Seq != want {
+			t.Fatalf("slow queue head seq %d, want %d", env.Seq, want)
+		}
+	}
+	top.Close()
+}
+
+func TestTopicCancelAndClose(t *testing.T) {
+	top := NewTopic[int]("t")
+	s, err := top.Subscribe("s", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Cancel()
+	s.Cancel() // idempotent
+	if _, ok := <-s.C(); ok {
+		t.Fatal("cancelled channel still open")
+	}
+	if seq := top.Publish(1); seq != 1 {
+		t.Fatalf("publish after cancel: seq %d", seq)
+	}
+
+	top.Close()
+	top.Close() // idempotent
+	if seq := top.Publish(2); seq != 0 {
+		t.Fatalf("publish on closed topic returned seq %d", seq)
+	}
+	if _, err := top.Subscribe("late", 0); err == nil {
+		t.Fatal("subscribe on closed topic accepted")
+	}
+	s.Cancel() // cancelling after close must not double-close the channel
+}

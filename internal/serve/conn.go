@@ -302,7 +302,9 @@ func (c *conn) teardown() {
 		Rejected:   c.rejected,
 		Scored:     c.scored,
 		Flagged:    c.flagged,
+		Shard:      c.srv.cfg.ShardID,
 		BundleHash: c.srv.sw.Active().HashHex(),
+		Epoch:      c.srv.sw.Epoch(),
 	}
 	if sess := c.sess; sess != nil {
 		sess.mu.Lock()

@@ -2,10 +2,45 @@ package serve
 
 import (
 	"bytes"
+	"encoding/json"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 )
+
+func TestConnStatsFrameRoundTrip(t *testing.T) {
+	// The per-connection stats frame must carry fleet provenance — shard ID
+	// plus generation hash and epoch — so merged stats keep saying which
+	// shard-generation pair produced them.
+	cs := ConnStats{
+		Accepted:   120,
+		Rejected:   3,
+		Scored:     117,
+		Flagged:    9,
+		Shard:      5,
+		BundleHash: "00dead00beef0042",
+		Epoch:      7,
+		Session:    11,
+		Dupes:      2,
+	}
+	data, err := json.Marshal(cs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := AppendFrame(nil, FrameStats, data)
+	fr, err := ReadFrame(bytes.NewReader(b))
+	if err != nil || fr.Type != FrameStats {
+		t.Fatalf("decode: %v %+v", err, fr)
+	}
+	var got ConnStats
+	if err := json.Unmarshal(fr.Payload, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cs) {
+		t.Fatalf("round trip lost fields:\n got %+v\nwant %+v", got, cs)
+	}
+}
 
 func TestFrameRoundTrip(t *testing.T) {
 	payload := []byte("hello world")

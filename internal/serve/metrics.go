@@ -112,6 +112,9 @@ func bucketUpperNs(i int) float64 {
 // report.
 type Snapshot struct {
 	UptimeSec float64 `json:"uptime_sec"`
+	// Shard is the fleet shard ID this snapshot came from (Config.ShardID;
+	// 0 for standalone servers).
+	Shard int `json:"shard"`
 	// BundleHash, Epoch and Backend are generation provenance, stamped by
 	// the server: the content hash of the bundle currently scoring (hex —
 	// uint64s lose precision through JSON number round-trips), its
@@ -210,9 +213,14 @@ type ConnStats struct {
 	Rejected uint64 `json:"rejected"`
 	Scored   uint64 `json:"scored"`
 	Flagged  uint64 `json:"flagged"`
-	// BundleHash is the content hash (hex) of the generation active when the
-	// connection closed — provenance for the last verdicts it received.
+	// Shard, BundleHash and Epoch are fleet provenance: which shard served
+	// this connection, and the content hash (hex) plus activation epoch of
+	// the generation active when it closed — so a coordinator merging stats
+	// frames from many shards can tell which shard-generation pair produced
+	// the last verdicts instead of seeing anonymous per-process totals.
+	Shard      int    `json:"shard"`
 	BundleHash string `json:"bundle_hash,omitempty"`
+	Epoch      uint64 `json:"generation_epoch,omitempty"`
 	// Session fields are present only for session-backed connections: the
 	// session id and its lifetime totals across every conn that carried it,
 	// plus the dedup/resend/shed traffic the resilience layer absorbed.

@@ -87,6 +87,11 @@ type Config struct {
 	// bit-identical to offline scoring) or BackendQuantized (int8 hardware
 	// arithmetic, fastest, verdict-agreement gated).
 	Backend string
+	// ShardID identifies this server within a fleet. It is stamped on every
+	// metrics snapshot and per-connection stats frame so aggregated stats
+	// keep their provenance (which shard, which generation) instead of
+	// collapsing into per-process anonymity. Standalone servers leave it 0.
+	ShardID int
 
 	// flushPause, when non-nil, runs at the top of every shard flush. Test
 	// hook: lets a test hold the batcher still while it floods the ingest
@@ -328,12 +333,18 @@ func (s *Server) HTTPAddr() string {
 // Metrics exposes the server's live counters.
 func (s *Server) Metrics() *Metrics { return s.met }
 
+// Snapshot captures the current metrics with shard and generation provenance
+// stamped — the same shape /metrics serves and Drain returns. Fleet
+// coordinators poll it to publish per-shard stats frames.
+func (s *Server) Snapshot() Snapshot { return s.snapshot() }
+
 // snapshot captures the metrics and stamps generation provenance on top:
 // which bundle (content hash) is serving, under which activation epoch and
 // backend — so /metrics and the drain report always say what scored.
 func (s *Server) snapshot() Snapshot {
 	snap := s.met.Snapshot()
 	g := s.sw.Active()
+	snap.Shard = s.cfg.ShardID
 	snap.BundleHash = g.HashHex()
 	snap.Epoch = s.sw.Epoch()
 	snap.Backend = g.Backend()
